@@ -1,0 +1,53 @@
+"""Robustness of the reproduced speedups to device parameters.
+
+The headline claims should not hinge on one device preset: the fused
+kernel's advantage comes from structural properties (one pass over X,
+aggregation hierarchy), so it must survive on a K20X-like part and under
+halved bandwidth — while *shrinking* when atomics get cheap (confirming the
+mechanism, not just the number).
+"""
+
+import numpy as np
+
+from repro.bench.harness import ExperimentResult
+from repro.core import GenericPattern, PatternExecutor
+from repro.gpu.device import GTX_TITAN, K20X
+from repro.kernels.base import GpuContext
+from repro.sparse import random_csr
+
+
+def bench_device_sensitivity(benchmark, record_experiment):
+    def run():
+        res = ExperimentResult(
+            "device-sensitivity",
+            "fused vs cuSPARSE across device variants (m=60k, n=512)",
+            ("device", "fused_ms", "cusparse_ms", "speedup"))
+        rng = np.random.default_rng(0)
+        X = random_csr(60_000, 512, 0.01, rng=1)
+        y = rng.normal(size=512)
+        variants = {
+            "gtx-titan": GTX_TITAN,
+            "k20x": K20X,
+            "half-bandwidth": GTX_TITAN.with_(global_bandwidth_gbps=144.0),
+            "cheap-atomics": GTX_TITAN.with_(atomic_global_ns=0.1),
+        }
+        for name, dev in variants.items():
+            ex = PatternExecutor(GpuContext(dev))
+            p = GenericPattern(X, y)
+            fused = ex.evaluate(p, "fused")
+            base = ex.evaluate(p, "cusparse")
+            res.add(name, fused.time_ms, base.time_ms,
+                    base.time_ms / fused.time_ms)
+        return res
+
+    res = benchmark.pedantic(run, rounds=1, iterations=1)
+    record_experiment(res)
+    rows = {r[0]: r for r in res.rows}
+    # the win is structural: present on every Kepler-class variant
+    for name in ("gtx-titan", "k20x", "half-bandwidth"):
+        assert rows[name][3] > 5.0, name
+    # the two full-speed presets agree within 2x on the ratio
+    assert 0.5 < rows["gtx-titan"][3] / rows["k20x"][3] < 2.0
+    # halving bandwidth barely changes the ratio (both sides memory-bound,
+    # the baseline's lock chains are latency- not bandwidth-bound)
+    assert rows["half-bandwidth"][3] > 0.4 * rows["gtx-titan"][3]

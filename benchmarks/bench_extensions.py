@@ -1,0 +1,93 @@
+"""Benchmarks for the paper's stated extensions.
+
+Section 3 promises the fused kernels "can easily be adapted to a streaming
+design for out-of-core computation"; Section 5's future work is a cost model
+for "hybrid executions involving CPUs and GPUs".  These benchmarks
+demonstrate both extensions quantitatively:
+
+* streaming: double-buffered row blocks hide most transfer time behind
+  kernels (or vice versa), beating the serial transfer+compute sum;
+* hybrid: the analytic row split never loses to the better single processor
+  and approaches the ideal makespan when CPU and GPU rates are comparable.
+"""
+
+import numpy as np
+
+from repro.bench.harness import ExperimentResult
+from repro.core import GenericPattern, HybridExecutor, StreamingExecutor
+from repro.gpu.device import GTX_TITAN
+from repro.kernels.base import GpuContext
+from repro.sparse import random_csr
+
+
+def bench_streaming_overlap(benchmark, record_experiment):
+    def run():
+        res = ExperimentResult(
+            "extension-streaming",
+            "out-of-core streaming: overlapped vs serial (m=120k, n=512)",
+            ("blocks", "kernel_ms", "transfer_ms", "overlapped_ms",
+             "serial_ms", "saving_pct"))
+        rng = np.random.default_rng(0)
+        X = random_csr(120_000, 512, 0.01, rng=1)
+        y = rng.normal(size=512)
+        p = GenericPattern(X, y)
+        for divisor in (2, 6, 16):
+            ex = StreamingExecutor(budget_bytes=X.nbytes() / divisor)
+            rep = ex.evaluate(p)
+            serial = ex.serial_time_ms(rep)
+            res.add(rep.blocks, rep.kernel_ms, rep.transfer_ms,
+                    rep.overlapped_ms, serial,
+                    100.0 * (1 - rep.overlapped_ms / serial))
+        return res
+
+    res = benchmark.pedantic(run, rounds=1, iterations=1)
+    record_experiment(res)
+    savings = res.column("saving_pct")
+    # overlap always helps; the saving is bounded by the smaller stream
+    # (min(kernel, transfer) / (kernel + transfer)) and should get close
+    assert all(s > 0.0 for s in savings)
+    assert max(savings) > 10.0
+    for row in res.rows:
+        _, kernel, transfer, overlapped, serial, saving = row
+        bound = 100.0 * min(kernel, transfer) / serial
+        assert saving <= bound + 1e-6
+    # correctness of the overlap arithmetic: critical path bounded by the
+    # dominant stream plus one exposed block of each kind
+    for row in res.rows:
+        blocks, kernel, transfer, overlapped, serial, _ = row
+        assert overlapped >= max(kernel, transfer) - 1e-9
+        assert overlapped <= serial
+
+
+def bench_hybrid_split(benchmark, record_experiment):
+    def run():
+        res = ExperimentResult(
+            "extension-hybrid",
+            "hybrid CPU/GPU split of the pattern (m=120k, n=512)",
+            ("device_bw_gbps", "split_fraction", "gpu_ms", "cpu_ms",
+             "makespan_ms", "pure_gpu_ms", "gain_pct"))
+        rng = np.random.default_rng(2)
+        X = random_csr(120_000, 512, 0.01, rng=3)
+        y = rng.normal(size=512)
+        p = GenericPattern(X, y)
+        # sweep device speed: slower GPUs shift work to the CPU
+        for bw in (288.0, 48.0, 12.0):
+            ctx = GpuContext(GTX_TITAN.with_(global_bandwidth_gbps=bw))
+            ex = HybridExecutor(ctx=ctx)
+            f = ex.optimal_split(p)
+            rep = ex.evaluate(p, f)
+            pure = ex.evaluate(p, 1.0)
+            res.add(bw, f, rep.gpu_ms, rep.cpu_ms, rep.makespan_ms,
+                    pure.makespan_ms,
+                    100.0 * (1 - rep.makespan_ms / pure.makespan_ms))
+        return res
+
+    res = benchmark.pedantic(run, rounds=1, iterations=1)
+    record_experiment(res)
+    fractions = res.column("split_fraction")
+    gains = res.column("gain_pct")
+    # the slower the device, the more rows the CPU takes
+    assert fractions[0] >= fractions[1] >= fractions[2]
+    # hybrid never loses to pure GPU, and wins clearly on the slow device
+    assert all(g >= -1e-6 for g in gains)
+    assert gains[-1] > 10.0

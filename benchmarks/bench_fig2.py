@@ -1,0 +1,28 @@
+"""Figure 2: ``X^T x y`` sparse — fused kernel vs cuSPARSE.
+
+Regenerates both panels: speedups over the column sweep, global-load
+transaction counts, and the transpose-amortization iteration counts.
+"""
+
+import numpy as np
+
+from repro.bench.figures import figure2
+
+
+def bench_figure2(benchmark, record_experiment):
+    result = benchmark.pedantic(figure2, rounds=1, iterations=1)
+    record_experiment(result)
+
+    speedups = result.column("speedup")
+    load_ratios = result.column("load_ratio")
+    amortize = result.column("amortize_iters")
+
+    # paper shape: fused wins everywhere, most at the low-n end,
+    # with a consistent load-transaction advantage and a non-trivial
+    # number of iterations needed to amortize an explicit transpose
+    assert all(s > 1.0 for s in speedups)
+    assert speedups[0] == max(speedups), "largest win should be at small n"
+    assert speedups[0] > 10.0
+    assert all(r > 1.0 for r in load_ratios)
+    assert all(a >= 2 for a in amortize)
+    assert float(np.mean(speedups)) > 5.0

@@ -1,0 +1,23 @@
+"""Figure 4: the complete pattern ``alpha*X^T(v.(Xy)) + beta*z`` (sparse)."""
+
+import numpy as np
+
+from repro.bench.figures import figure3, figure4
+
+
+def bench_figure4(benchmark, record_experiment):
+    result = benchmark.pedantic(figure4, rounds=1, iterations=1)
+    record_experiment(result)
+
+    cusp = result.column("cusparse_x")
+    bgpu = result.column("bidmat-gpu_x")
+    bcpu = result.column("bidmat-cpu_x")
+
+    assert all(x > 1.0 for x in cusp + bgpu + bcpu)
+    # paper: full-pattern speedups similar or slightly better than Fig. 3
+    # (the baseline pays extra BLAS-1 launches for v, alpha, beta)
+    fig3 = figure3()
+    mean4, mean3 = float(np.mean(cusp)), float(np.mean(fig3.column(
+        "cusparse_x")))
+    assert mean4 > 0.85 * mean3
+    assert float(np.mean(cusp)) > float(np.mean(bgpu)) > 1.0

@@ -1,0 +1,18 @@
+"""Figure 6: exhaustive launch-parameter sweep vs the analytical model."""
+
+from repro.bench.figures import figure6
+
+
+def bench_figure6(benchmark, record_experiment):
+    result = benchmark.pedantic(figure6, rounds=1, iterations=1)
+    record_experiment(result)
+    row = dict(zip(result.column("quantity"), result.column("value")))
+
+    # paper: ~1,200 settings; the model's pick is within 2% of the optimum
+    assert row["settings_explored"] > 800
+    assert row["model_gap_pct"] < 2.0
+    # the sweep spans a meaningful performance range (Fig. 6 shows sharp
+    # peaks and valleys)
+    assert row["worst_time_ms"] > 2.0 * row["best_time_ms"]
+    # the model picks the paper's vector size for mu ~ 10 (n=1k, 0.01)
+    assert row["model_VS"] == 8

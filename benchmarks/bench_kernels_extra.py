@@ -1,0 +1,78 @@
+"""Kernel-level studies beyond the paper's headline figures.
+
+* CSR-scalar vs CSR-vector across mean row length: fixed VS=32 wastes lanes
+  on short rows (where the scalar kernel is competitive), while Eq. 4's
+  adaptive VS dominates both everywhere — the reason §3.3 adopts the
+  Bell & Garland selection rule.
+* Multi-RHS fusion: one X pass serving k patterns approaches k-fold savings
+  while the mirrors fit shared memory.
+"""
+
+import numpy as np
+
+from repro.bench.harness import ExperimentResult
+from repro.kernels import (csrmv, csrmv_scalar, fused_pattern_multi,
+                           fused_pattern_sparse)
+from repro.kernels.sparse_baseline import _csrmv_launch  # noqa: PLC2701
+from repro.gpu.launch import LaunchConfig
+from repro.sparse import random_csr
+from repro.tuning import tune_sparse
+
+
+def bench_scalar_vector_crossover(benchmark, record_experiment):
+    def run():
+        res = ExperimentResult(
+            "kernels-scalar-vs-vector",
+            "CSR-scalar vs CSR-vector (Eq. 4 adaptive VS) across mu",
+            ("mu", "scalar_ms", "vector_ms", "scalar_over_vector",
+             "eq4_VS"))
+        rng = np.random.default_rng(0)
+        m, n = 30_000, 600
+        for sparsity in (0.0025, 0.01, 0.04, 0.12):
+            X = random_csr(m, n, sparsity, rng=int(sparsity * 10_000))
+            y = rng.normal(size=n)
+            sc = csrmv_scalar(X, y)
+            ve = csrmv(X, y)
+            res.add(X.mean_row_nnz, sc.time_ms, ve.time_ms,
+                    sc.time_ms / ve.time_ms,
+                    tune_sparse(X).vector_size)
+        return res
+
+    res = benchmark.pedantic(run, rounds=1, iterations=1)
+    record_experiment(res)
+    ratios = res.column("scalar_over_vector")
+    vss = res.column("eq4_VS")
+    # the scalar kernel's uncoalesced walks hurt more as rows lengthen
+    assert ratios[-1] > ratios[0]
+    assert ratios[-1] > 3.0
+    # Eq. 4 raises VS with mu
+    assert vss == sorted(vss)
+    # adaptive-VS vector never loses to scalar
+    assert all(r >= 1.0 for r in ratios)
+
+
+def bench_multi_rhs(benchmark, record_experiment):
+    def run():
+        res = ExperimentResult(
+            "kernels-multi-rhs",
+            "multi-RHS fused pattern: one X pass serving k systems",
+            ("k", "multi_ms", "sequential_ms", "saving_x"))
+        rng = np.random.default_rng(1)
+        X = random_csr(60_000, 300, 0.02, rng=2)
+        for k in (1, 2, 4, 8):
+            Y = rng.normal(size=(X.n, k))
+            multi = fused_pattern_multi(X, Y)
+            seq = sum(fused_pattern_sparse(X, Y[:, j]).time_ms
+                      for j in range(k))
+            res.add(k, multi.time_ms, seq, seq / multi.time_ms)
+        return res
+
+    res = benchmark.pedantic(run, rounds=1, iterations=1)
+    record_experiment(res)
+    savings = res.column("saving_x")
+    ks = res.column("k")
+    # k=1 is a plain fused call; the saving grows with k but below k-fold
+    assert savings[0] < 1.3
+    for k, s in zip(ks[1:], savings[1:]):
+        assert 1.0 < s < k + 0.5
+    assert savings[-1] > 2.5

@@ -1,0 +1,19 @@
+"""Table 2: single-threaded CPU compute-time breakdown of LR-CG."""
+
+from repro.bench.tables import table2
+
+
+def bench_table2(benchmark, record_experiment):
+    result = benchmark.pedantic(table2, rounds=1, iterations=1)
+    record_experiment(result)
+    rows = {r[0]: r for r in result.rows}
+
+    kdd = rows["KDD2010-like"]
+    higgs = rows["HIGGS-like"]
+    # paper: KDD 82.9% pattern / 16.9% BLAS-1; HIGGS 99.4% / 0.1%
+    assert 70.0 < kdd[1] < 95.0
+    assert 5.0 < kdd[2] < 30.0
+    assert higgs[1] > 97.0
+    assert higgs[2] < 3.0
+    # the pattern share is larger for the wide-row dense data
+    assert higgs[1] > kdd[1]

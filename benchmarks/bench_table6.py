@@ -1,0 +1,19 @@
+"""Table 6: GPU-enabled SystemML vs CPU SystemML (JNI + memory manager)."""
+
+from repro.bench.tables import table6
+
+
+def bench_table6(benchmark, record_experiment):
+    result = benchmark.pedantic(table6, rounds=1, iterations=1)
+    record_experiment(result)
+    rows = {r[0]: r for r in result.rows}
+
+    for name in ("HIGGS-like", "KDD2010-like"):
+        total, kernel = rows[name][2], rows[name][3]
+        # paper's central point: the fused kernel alone is 4-11x faster,
+        # but JNI/transfer/conversion overheads shrink the end-to-end win
+        # to 1.2-1.9x
+        assert kernel > 2.0, f"{name} kernel speedup {kernel}"
+        assert 0.8 < total < 4.0, f"{name} total speedup {total}"
+        assert kernel > 1.5 * total, \
+            f"{name}: overheads should eat most of the kernel speedup"

@@ -1,0 +1,38 @@
+"""Shared fixtures for the benchmark suite.
+
+Each ``bench_*.py`` wraps one experiment builder from :mod:`repro.bench`:
+pytest-benchmark times the builder, and the resulting series/rows (the
+paper's figures and tables, in model milliseconds) are printed to the
+console and collected into ``benchmarks/results/*.md``.
+
+Scale: ``REPRO_SCALE`` (in (0,1], default per experiment) or
+``REPRO_FULL_SCALE=1`` for paper-sized inputs.
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> pathlib.Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture
+def record_experiment(results_dir):
+    """Print an ExperimentResult and persist it as markdown."""
+
+    def _record(result):
+        result.print()
+        out = results_dir / f"{result.experiment}.md"
+        out.write_text(result.to_markdown())
+        return result
+
+    return _record

@@ -1,0 +1,65 @@
+"""Out-of-core streaming and hybrid CPU/GPU execution of the pattern.
+
+Demonstrates the paper's two stated extensions: the §3 streaming adaptation
+(row blocks double-buffered over PCIe, kernel of block *i* overlapping the
+transfer of block *i+1*) and the §5 future-work hybrid execution (a
+cost-model-chosen row split between the fused GPU kernel and the CPU).
+
+Run:  python examples/out_of_core_hybrid.py
+"""
+
+import numpy as np
+
+from repro.core import GenericPattern, HybridExecutor, StreamingExecutor
+from repro.gpu.device import GTX_TITAN
+from repro.kernels.base import GpuContext
+from repro.sparse import random_csr
+from repro.sparse.ops import fused_pattern_reference
+
+def main() -> None:
+    rng = np.random.default_rng(0)
+    m, n = 150_000, 512
+    print(f"building a {m} x {n} sparse matrix (sparsity 0.01)...")
+    X = random_csr(m, n, sparsity=0.01, rng=1)
+    y = rng.normal(size=n)
+    pattern = GenericPattern(X, y)
+    ref = fused_pattern_reference(X, y)
+
+    # ---- streaming: pretend the device only stages 1/8 of X ----------------
+    print("\n== out-of-core streaming (staging budget = X/8) ==")
+    ex = StreamingExecutor(budget_bytes=X.nbytes() / 8)
+    rep = ex.evaluate(pattern)
+    assert np.allclose(rep.output, ref, rtol=1e-9)
+    serial = ex.serial_time_ms(rep)
+    print(f"blocks                = {rep.blocks}")
+    print(f"kernel time           = {rep.kernel_ms:8.3f} model-ms")
+    print(f"transfer time         = {rep.transfer_ms:8.3f} model-ms")
+    print(f"serial (no overlap)   = {serial:8.3f} model-ms")
+    print(f"overlapped critical   = {rep.overlapped_ms:8.3f} model-ms "
+          f"({100 * (1 - rep.overlapped_ms / serial):.1f}% saved)")
+
+    # ---- hybrid: split rows between GPU and CPU -----------------------------
+    print("\n== hybrid CPU/GPU execution ==")
+    for bw, label in ((288.0, "full-speed GTX Titan"),
+                      (24.0, "bandwidth-starved device (1/12 speed)")):
+        ctx = GpuContext(GTX_TITAN.with_(global_bandwidth_gbps=bw))
+        hx = HybridExecutor(ctx=ctx)
+        f = hx.optimal_split(pattern)
+        rep = hx.evaluate(pattern, f)
+        assert np.allclose(rep.output, ref, rtol=1e-9)
+        pure = hx.evaluate(pattern, 1.0)
+        print(f"\n{label}:")
+        print(f"  GPU row share       = {100 * f:.0f}%")
+        print(f"  gpu/cpu time        = {rep.gpu_ms:.3f} / "
+              f"{rep.cpu_ms:.3f} model-ms (balance "
+              f"{rep.balance:.2f})")
+        print(f"  makespan            = {rep.makespan_ms:.3f} vs pure-GPU "
+              f"{pure.makespan_ms:.3f} "
+              f"({100 * (1 - rep.makespan_ms / pure.makespan_ms):.1f}% "
+              "gained)")
+
+    print("\nresults identical to the in-core fused kernel in all modes ✓")
+
+
+if __name__ == "__main__":
+    main()

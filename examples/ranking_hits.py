@@ -1,0 +1,51 @@
+"""HITS web ranking on a power-law link graph via the fused pattern.
+
+Builds a synthetic hyperlink graph with hub/authority structure, runs
+Kleinberg's HITS in both formulations (the textbook alternating updates and
+the fused ``X^T (X a)`` power iteration), verifies both agree, and shows the
+kernel-time advantage of fusing — the HITS column of Table 1 in action.
+
+Run:  python examples/ranking_hits.py
+"""
+
+import numpy as np
+
+from repro.ml import MLRuntime, hits
+from repro.sparse import power_law_csr
+
+def main() -> None:
+    n_pages = 3000
+    print(f"building a {n_pages}-page power-law link graph...")
+    X = power_law_csr(n_pages, n_pages, nnz_target=60_000, alpha=1.4, rng=0)
+    X.values[:] = 1.0                     # unweighted links
+    print(f"links: {X.nnz}, hottest page in-degree: "
+          f"{X.column_counts().max()}\n")
+
+    runs = {}
+    for mode in ("alternating", "fused"):
+        rt = MLRuntime("gpu-fused")
+        res = hits(X, rt, max_iterations=200, tol=1e-10, mode=mode)
+        runs[mode] = (res, rt.ledger.total_ms)
+        print(f"mode={mode:>12}: converged in {res.iterations} iterations, "
+              f"kernel time {rt.ledger.total_ms:8.3f} model-ms")
+
+    a_alt = runs["alternating"][0].authorities
+    a_fused = runs["fused"][0].authorities
+    cos = abs(float(a_alt @ a_fused))
+    print(f"\nformulations agree: |cos| = {cos:.9f}")
+
+    res = runs["fused"][0]
+    print("\ntop-5 authorities:", res.top_authorities(5).tolist())
+    print("top-5 hubs:       ", res.top_hubs(5).tolist())
+
+    # ground truth: the leading eigenvector of X^T X
+    A = X.to_dense()
+    _, evecs = np.linalg.eigh(A.T @ A)
+    lead = np.abs(evecs[:, -1])
+    overlap = set(res.top_authorities(5)) & set(np.argsort(-lead)[:5])
+    print(f"\ntop-5 overlap with the exact eigenvector ranking: "
+          f"{len(overlap)}/5")
+
+
+if __name__ == "__main__":
+    main()

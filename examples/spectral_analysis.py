@@ -1,0 +1,57 @@
+"""Spectral analysis with the multi-RHS fused pattern.
+
+Computes the top-r singular directions of a document-feature matrix by block
+power iteration — every iteration is *one* fused kernel that reads the
+matrix once for all r directions (``repro.kernels.fused_pattern_multi``),
+the block generalization of the HITS column of Table 1.  Compares against r
+independent single-vector iterations and against exact eigenpairs.
+
+Run:  python examples/spectral_analysis.py
+"""
+
+import numpy as np
+
+from repro.kernels import fused_pattern_multi, fused_pattern_sparse
+from repro.ml import subspace_iteration
+from repro.sparse import power_law_csr
+
+def main() -> None:
+    rng = np.random.default_rng(0)
+    m, n, r = 8000, 600, 5
+    print(f"building a {m} x {n} power-law document-feature matrix...")
+    X = power_law_csr(m, n, nnz_target=120_000, alpha=1.4, rng=1)
+    print(f"nnz = {X.nnz}, mu = {X.mean_row_nnz:.1f}\n")
+
+    # ---- the kernel-level story --------------------------------------------
+    B = rng.normal(size=(n, r))
+    multi = fused_pattern_multi(X, B)
+    seq_ms = sum(fused_pattern_sparse(X, B[:, j]).time_ms for j in range(r))
+    print(f"one block iteration, r={r} directions:")
+    print(f"  multi-RHS fused kernel : {multi.time_ms:8.4f} model-ms")
+    print(f"  {r} single-RHS kernels   : {seq_ms:8.4f} model-ms")
+    print(f"  block saving           : {seq_ms / multi.time_ms:8.2f}x\n")
+
+    # ---- full subspace iteration ---------------------------------------------
+    res = subspace_iteration(X, r=r, rng=2, max_iterations=300, tol=1e-10)
+    print(f"subspace iteration: {res.iterations} iterations, "
+          f"{res.total_time_ms:.2f} model-ms")
+    print(f"top-{r} singular values: "
+          f"{np.round(res.singular_values, 2)}")
+
+    # exact check on the small dense shadow
+    A = X.to_dense()
+    exact = np.sqrt(np.linalg.eigvalsh(A.T @ A)[::-1][:r])
+    rel = np.abs(res.singular_values - exact) / exact
+    print(f"relative error vs exact eigensolve: {rel.max():.2e}")
+    assert rel.max() < 1e-4
+
+    # the leading direction identifies the hottest features
+    top_features = np.argsort(-np.abs(res.vectors[:, 0]))[:5]
+    counts = X.column_counts()
+    print(f"\nleading direction's top features: {top_features.tolist()}")
+    print(f"their column popularity ranks:    "
+          f"{[int(np.argsort(-counts).tolist().index(f)) for f in top_features]}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,85 @@
+"""SystemML-style pipeline: DAG construction, pattern rewriting, hybrid run.
+
+Shows the integration path of Section 4.4: a DML-like expression is built as
+an operator DAG, the rewriter recognizes the generic pattern and fuses it,
+the memory manager stages data on the simulated device, and the end-to-end
+LR-CG comparison of Table 6 is reproduced on a HIGGS-like dataset.
+
+Run:  python examples/systemml_pipeline.py
+"""
+
+import numpy as np
+
+from repro.data import higgs_like, regression_targets
+from repro.sparse import random_csr
+from repro.systemml import (Add, EwMul, Input, MatVec, Smul, Transpose,
+                            GpuMemoryManager, SystemMLSession, fused_nodes,
+                            rewrite, table6_comparison)
+
+def main() -> None:
+    # ---- 1. the DML statement q = t(V) %*% (V %*% p) + eps * p ------------
+    V, p = Input("V"), Input("p")
+    q_expr = Add(MatVec(Transpose(V), MatVec(V, p)), Smul(0.001, p))
+    print("DML statement:  q = t(V) %*% (V %*% p) + eps * p")
+    print(f"original DAG:   {q_expr!r}")
+
+    rewritten = rewrite(q_expr)
+    print(f"rewritten DAG:  {rewritten!r}")
+    print(f"fused nodes:    {len(fused_nodes(rewritten))}\n")
+
+    # verify on data
+    rng = np.random.default_rng(0)
+    Vm = random_csr(5000, 300, 0.02, rng=1)
+    env = {"V": Vm, "p": rng.normal(size=300)}
+    from repro.sparse.ops import fused_pattern_reference
+    ref = fused_pattern_reference(Vm, env["p"], z=env["p"], beta=0.001)
+    got = rewritten.eval(env)
+    assert np.allclose(got, ref, rtol=1e-10)
+    print("rewritten DAG evaluates identically to the original ✓\n")
+
+    # ---- 2. the memory manager at work -------------------------------------
+    mm = GpuMemoryManager(capacity_bytes=50e6, via_jni=True)
+    mm.register("V", Vm.nbytes(), needs_conversion=True, pinned=True)
+    mm.register("big-intermediate", 40e6)
+    cost = mm.request("V")
+    print(f"staging V on device: {cost:.3f} ms "
+          f"(JNI {mm.stats.jni_ms:.3f} + convert "
+          f"{mm.stats.conversion_ms:.3f} + PCIe {mm.stats.h2d_ms:.3f})")
+    mm.request("big-intermediate")          # forces nothing: V is pinned
+    print(f"device use: {mm.used_bytes / 1e6:.1f} / "
+          f"{mm.capacity / 1e6:.1f} MB, evictions={mm.stats.evictions}\n")
+
+    # ---- 2b. Listing 1, as written in the paper, through the interpreter ---
+    from repro.ml.runtime import MLRuntime
+    from repro.systemml.script import LISTING1, run_script
+    from repro.data import regression_targets as _rt
+
+    Xs = random_csr(3000, 200, 0.02, rng=7)
+    ys, _ = _rt(Xs, rng=8)
+    rt = MLRuntime("gpu-fused")
+    script_res = run_script(LISTING1, {"1": Xs, "2": ys}, rt)
+    print("running the paper's Listing 1 text through the DML interpreter:")
+    print(f"  statements executed   = {script_res.statements_executed}")
+    print(f"  CG iterations         = {script_res.env['i']:.0f}")
+    print(f"  fused pattern calls   = {script_res.fused_calls}")
+    print(f"  pattern time share    = "
+          f"{100 * rt.ledger.compute_fraction('pattern'):.1f}%\n")
+
+    # ---- 3. Table 6 end to end ---------------------------------------------
+    print("running Table 6 on a HIGGS-like dataset (scale 0.01)...")
+    X = higgs_like(scale=0.01, rng=2)
+    y, _ = regression_targets(X, rng=3)
+    out = table6_comparison(X, y, max_iterations=32)
+    print(f"  iterations            = {out['iterations']:.0f}")
+    print(f"  total speedup         = {out['total_speedup']:.2f}x "
+          "(paper: 1.2x)")
+    print(f"  fused-kernel speedup  = {out['fused_kernel_speedup']:.1f}x "
+          "(paper: 11.2x)")
+    print(f"  GPU transfer overhead = {out['gpu_transfer_ms']:.2f} ms of "
+          f"{out['gpu_total_ms']:.2f} ms total")
+    print("\nthe kernel-level win survives; JNI + transfer overheads eat "
+          "most of it end-to-end — the paper's Section 4.4 conclusion.")
+
+
+if __name__ == "__main__":
+    main()

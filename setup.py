@@ -1,0 +1,5 @@
+"""Legacy setup shim so `pip install -e .` works offline (no wheel package)."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,39 @@
+"""repro — reproduction of "On Optimizing Machine Learning Workloads via
+Kernel Fusion" (Ashari et al., PPoPP 2015).
+
+The package implements the paper's fused GPU kernels for the generic pattern
+
+    ``w = alpha * X^T x (v ⊙ (X x y)) + beta * z``
+
+against a simulated Kepler-class GPU (event-exact memory/atomic accounting +
+an analytical cost model), along with the operator-level baselines
+(cuSPARSE / cuBLAS / BIDMat-like), the §3.3 launch-parameter tuner, the five
+ML algorithms of Table 1, and a SystemML-like end-to-end layer.
+
+Quick start::
+
+    import numpy as np
+    from repro import evaluate
+    from repro.sparse import random_csr
+
+    X = random_csr(10_000, 1_000, sparsity=0.01, rng=0)
+    y = np.random.default_rng(1).normal(size=1_000)
+    fused = evaluate(X, y, strategy="fused")
+    base = evaluate(X, y, strategy="cusparse")
+    print(f"speedup: {base.time_ms / fused.time_ms:.1f}x")
+"""
+
+from .core import (GenericPattern, Instantiation, PatternExecutor, TABLE1,
+                   evaluate, mvtmv, pattern_of, xt_mv)
+from .kernels.base import GpuContext, KernelResult
+from .sparse import CsrMatrix, random_csr
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "GenericPattern", "Instantiation", "PatternExecutor", "TABLE1",
+    "evaluate", "mvtmv", "pattern_of", "xt_mv",
+    "GpuContext", "KernelResult",
+    "CsrMatrix", "random_csr",
+    "__version__",
+]

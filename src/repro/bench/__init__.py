@@ -1,0 +1,8 @@
+"""Benchmark harness reproducing every table and figure of the paper."""
+
+from . import figures, tables  # noqa: F401 - populate the registry
+from .harness import REGISTRY, ExperimentResult, register, resolve_scale, \
+    run_all
+
+__all__ = ["REGISTRY", "ExperimentResult", "register", "resolve_scale",
+           "run_all"]

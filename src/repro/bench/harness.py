@@ -1,0 +1,90 @@
+"""Benchmark harness: experiment registry, series assembly, report output.
+
+Every table and figure of the paper's evaluation section has a builder in
+:mod:`repro.bench.figures` / :mod:`repro.bench.tables` returning an
+:class:`ExperimentResult` — the named series/rows the paper plots, in model
+milliseconds and speedup ratios.  ``benchmarks/bench_*.py`` wraps each
+builder for pytest-benchmark and prints the series; ``EXPERIMENTS.md``
+records paper-vs-measured values.
+
+Scale control: builders take a ``scale`` in (0, 1] applied to the paper's
+row counts; the ``REPRO_SCALE`` environment variable (default 0.2 for
+sparse sweeps) overrides it globally, and ``REPRO_FULL_SCALE=1`` forces 1.0.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import Callable
+
+
+def resolve_scale(default: float) -> float:
+    """Scale factor from the environment, else ``default``."""
+    if os.environ.get("REPRO_FULL_SCALE") == "1":
+        return 1.0
+    env = os.environ.get("REPRO_SCALE")
+    if env:
+        s = float(env)
+        if not 0 < s <= 1:
+            raise ValueError("REPRO_SCALE must be in (0, 1]")
+        return s
+    return default
+
+
+@dataclass
+class ExperimentResult:
+    """Rows of one reproduced table/figure, ready to print or assert on."""
+
+    experiment: str                       # e.g. "figure2"
+    title: str
+    columns: tuple[str, ...]
+    rows: list[tuple] = field(default_factory=list)
+    notes: list[str] = field(default_factory=list)
+
+    def add(self, *values) -> None:
+        if len(values) != len(self.columns):
+            raise ValueError(
+                f"row has {len(values)} values, expected {len(self.columns)}")
+        self.rows.append(tuple(values))
+
+    def column(self, name: str) -> list:
+        idx = self.columns.index(name)
+        return [r[idx] for r in self.rows]
+
+    def to_markdown(self) -> str:
+        def fmt(v) -> str:
+            if isinstance(v, float):
+                return f"{v:.3g}"
+            return str(v)
+
+        lines = [f"### {self.experiment}: {self.title}", ""]
+        lines.append("| " + " | ".join(self.columns) + " |")
+        lines.append("|" + "|".join("---" for _ in self.columns) + "|")
+        for r in self.rows:
+            lines.append("| " + " | ".join(fmt(v) for v in r) + " |")
+        for note in self.notes:
+            lines.append(f"\n*{note}*")
+        return "\n".join(lines) + "\n"
+
+    def print(self) -> None:  # noqa: A003 - bench console output
+        print()
+        print(self.to_markdown())
+
+
+#: experiment name -> builder; populated by figures.py / tables.py imports
+REGISTRY: dict[str, Callable[..., ExperimentResult]] = {}
+
+
+def register(name: str):
+    """Decorator adding a builder to the registry."""
+    def deco(fn):
+        REGISTRY[name] = fn
+        return fn
+    return deco
+
+
+def run_all(**kwargs) -> dict[str, ExperimentResult]:
+    """Run every registered experiment (used by the report generator)."""
+    from . import figures, tables  # noqa: F401 - populate the registry
+    return {name: fn(**kwargs) for name, fn in sorted(REGISTRY.items())}

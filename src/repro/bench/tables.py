@@ -1,0 +1,238 @@
+"""Builders for the paper's tables (1, 2, 4, 5, 6)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.executor import PatternExecutor
+from ..core.pattern import TABLE1, GenericPattern, Instantiation
+from ..kernels.base import DEFAULT_CONTEXT, GpuContext
+from ..data.synthetic import (classification_labels, higgs_like, kdd_like,
+                              regression_targets)
+from ..ml import glm_irls, hits, linreg_cg, logreg_trust_region, svm_primal
+from ..ml.runtime import MLRuntime
+from ..sparse.generate import random_csr
+from ..systemml.profiler import profile_linreg_breakdown
+from ..systemml.runner import table6_comparison
+from .harness import ExperimentResult, register, resolve_scale
+
+_ALGOS = ("LR", "GLM", "LogReg", "SVM", "HITS")
+
+
+def _trace_algorithms(seed: int = 0) -> dict[str, set[Instantiation]]:
+    """Run every algorithm on small data, recording pattern usage."""
+    rng = np.random.default_rng(seed)
+    X = random_csr(300, 24, 0.25, rng=seed)
+    y, _ = regression_targets(X, rng=seed + 1)
+    t = classification_labels(X, rng=seed + 2)
+    counts = np.clip(np.round(np.abs(y)), 0, 20)
+
+    used: dict[str, set[Instantiation]] = {}
+
+    rt = MLRuntime("gpu-fused")
+    linreg_cg(X, y, rt, max_iterations=5, include_transfer=False)
+    used["LR"] = set(rt.ledger.instantiations)
+
+    rt = MLRuntime("gpu-fused")
+    glm_irls(X, counts, "poisson", rt, max_irls=3, max_cg=5)
+    used["GLM"] = set(rt.ledger.instantiations)
+    # GLM also exercises the unweighted form on a Gaussian family
+    rt2 = MLRuntime("gpu-fused")
+    glm_irls(X, y, "gaussian", rt2, max_irls=2, max_cg=5)
+    used["GLM"] |= set(rt2.ledger.instantiations)
+
+    rt = MLRuntime("gpu-fused")
+    logreg_trust_region(X, t, rt, max_newton=3, max_cg=5)
+    used["LogReg"] = set(rt.ledger.instantiations)
+
+    rt = MLRuntime("gpu-fused")
+    svm_primal(X, t, rt, max_newton=3, max_cg=5)
+    used["SVM"] = set(rt.ledger.instantiations)
+
+    rt = MLRuntime("gpu-fused")
+    hits(X, rt, max_iterations=5, mode="fused")
+    used["HITS"] = set(rt.ledger.instantiations)
+    rt2 = MLRuntime("gpu-fused")
+    hits(X, rt2, max_iterations=5, mode="alternating")
+    used["HITS"] |= set(rt2.ledger.instantiations)
+    return used
+
+
+#: which instantiations subsume which (a more general form exercises the
+#: same fused code path plus extras, so using it covers the simpler row)
+_SUBSUMES: dict[Instantiation, frozenset[Instantiation]] = {
+    Instantiation.FULL: frozenset({Instantiation.XT_V_X_Y,
+                                   Instantiation.XT_X_Y_BZ,
+                                   Instantiation.XT_X_Y}),
+    Instantiation.XT_V_X_Y: frozenset({Instantiation.XT_X_Y}),
+    Instantiation.XT_X_Y_BZ: frozenset({Instantiation.XT_X_Y}),
+}
+
+
+def _covers(used: set[Instantiation], inst: Instantiation) -> bool:
+    if inst in used:
+        return True
+    return any(inst in _SUBSUMES.get(u, frozenset()) for u in used)
+
+
+@register("table1")
+def table1(scale: float | None = None,
+           ctx: GpuContext = DEFAULT_CONTEXT) -> ExperimentResult:
+    """Table 1: which instantiations each ML algorithm actually executes."""
+    used = _trace_algorithms()
+    res = ExperimentResult(
+        "table1", "pattern instantiations used by each algorithm (traced)",
+        ("instantiation",) + _ALGOS,
+    )
+    for inst in Instantiation:
+        marks = tuple("x" if _covers(used[a], inst) else ""
+                      for a in _ALGOS)
+        res.add(inst.value, *marks)
+    # coverage check against the paper's table (superset is acceptable:
+    # e.g. our GLM gradient also uses the XT_Y row)
+    missing = []
+    for inst, algos in TABLE1.items():
+        for a in algos:
+            if not _covers(used[a], inst):
+                missing.append(f"{a}:{inst.name}")
+    res.notes.append("paper coverage " + ("complete" if not missing else
+                                          f"MISSING {missing}"))
+    return res
+
+
+@register("table2")
+def table2(scale: float | None = None,
+           ctx: GpuContext = DEFAULT_CONTEXT) -> ExperimentResult:
+    """Table 2: single-threaded CPU time share of the pattern in LR-CG."""
+    scale = resolve_scale(0.005) if scale is None else scale
+    res = ExperimentResult(
+        "table2", "CPU compute-time breakdown of LR-CG (single thread)",
+        ("dataset", "pattern_pct", "blas1_pct", "total_pct"),
+    )
+    Xk = kdd_like(scale=scale, rng=10)
+    yk, _ = regression_targets(Xk, rng=11)
+    rk = profile_linreg_breakdown(Xk, yk, "KDD2010-like",
+                                  max_iterations=100)
+    res.add(rk.dataset, rk.pattern_pct, rk.blas1_pct, rk.total_pct)
+    Xh = higgs_like(scale=scale, rng=12)
+    yh, _ = regression_targets(Xh, rng=13)
+    rh = profile_linreg_breakdown(Xh, yh, "HIGGS-like", max_iterations=32)
+    res.add(rh.dataset, rh.pattern_pct, rh.blas1_pct, rh.total_pct)
+    res.notes.append("paper: KDD2010 82.9% / 16.9% / 99.8%; "
+                     "HIGGS 99.4% / 0.1% / 99.5%")
+    return res
+
+
+def _scaled_cache_ctx(ctx: GpuContext, scale: float) -> GpuContext:
+    """Context whose caches shrink with the dataset scale.
+
+    The KDD2010 phenomena (row-offset binary search missing L2, the output
+    vector not fitting cache) depend on the *ratio* of data-structure sizes
+    to cache capacity.  Scaling the dataset down without scaling the cache
+    would silently erase them, so the KDD experiments run against a device
+    with proportionally scaled L2/texture capacities (standard practice when
+    shrinking simulation workloads).
+    """
+    dev = ctx.device.with_(
+        l2_cache_bytes=max(8192, int(ctx.device.l2_cache_bytes * scale)),
+        texture_cache_bytes_per_sm=max(
+            2048, int(ctx.device.texture_cache_bytes_per_sm * scale)),
+    )
+    return GpuContext(dev, use_texture_cache=ctx.use_texture_cache,
+                      use_l2_reuse=ctx.use_l2_reuse)
+
+
+@register("table4")
+def table4(scale: float | None = None,
+           ctx: GpuContext = DEFAULT_CONTEXT) -> ExperimentResult:
+    """Table 4: the three patterns on the ultra-sparse KDD2010 stand-in
+    (large n: the fused kernel's global-memory aggregation variant)."""
+    scale = resolve_scale(0.004) if scale is None else scale
+    X = kdd_like(scale=scale, rng=20)
+    rng = np.random.default_rng(21)
+    ex = PatternExecutor(_scaled_cache_ctx(ctx, scale))
+    res = ExperimentResult(
+        "table4",
+        f"KDD2010-like ({X.m} x {X.n}, nnz={X.nnz}): proposed vs "
+        "cuBLAS/cuSPARSE (model ms)",
+        ("pattern", "proposed_ms", "cusparse_ms", "speedup"),
+    )
+    p_m = rng.normal(size=X.m)
+    patterns = [
+        ("X^T y", GenericPattern(X, p_m, inner=False)),
+        ("X^T (X y)", GenericPattern(X, rng.normal(size=X.n))),
+        ("full", GenericPattern(X, rng.normal(size=X.n),
+                                v=rng.normal(size=X.m),
+                                z=rng.normal(size=X.n),
+                                alpha=2.0, beta=0.5)),
+    ]
+    for name, p in patterns:
+        fused = ex.evaluate(p, "fused")
+        base = ex.evaluate(p, "cusparse")
+        res.add(name, fused.time_ms, base.time_ms,
+                base.time_ms / fused.time_ms)
+    res.notes.append(
+        "paper (ms): X^T y 50.5 vs 5552.1 (110x); X^T(Xy) 78.3 vs 5683.1 "
+        "(72.6x); full 85.2 vs 5704.1 (66.9x); fused variant = 'global' "
+        f"(n={X.n} exceeds the ~6K shared-memory limit)")
+    return res
+
+
+@register("table5")
+def table5(scale: float | None = None,
+           ctx: GpuContext = DEFAULT_CONTEXT) -> ExperimentResult:
+    """Table 5: end-to-end LR-CG speedup (incl. PCIe transfer)."""
+    scale = resolve_scale(0.004) if scale is None else scale
+    res = ExperimentResult(
+        "table5", "end-to-end LR-CG: fused kernels vs pure cuBLAS/cuSPARSE "
+        "(both including host-device transfer)",
+        ("dataset", "iterations", "fused_total_ms", "baseline_total_ms",
+         "speedup", "transfer_ms"),
+    )
+    cases = []
+    Xh = higgs_like(scale=max(scale, 0.005), rng=30)
+    yh, _ = regression_targets(Xh, rng=31)
+    cases.append(("HIGGS-like", Xh, yh, 32, ctx))
+    Xk = kdd_like(scale=scale, rng=32)
+    yk, _ = regression_targets(Xk, rng=33)
+    cases.append(("KDD2010-like", Xk, yk, 100, _scaled_cache_ctx(ctx, scale)))
+    for name, X, y, iters, case_ctx in cases:
+        rt_f = MLRuntime("gpu-fused", ctx=case_ctx)
+        rf = linreg_cg(X, y, rt_f, tolerance=0.0, max_iterations=iters)
+        rt_b = MLRuntime("gpu-baseline", ctx=case_ctx)
+        rb = linreg_cg(X, y, rt_b, tolerance=0.0, max_iterations=iters)
+        if not np.allclose(rf.w, rb.w, rtol=1e-8, atol=1e-10):
+            raise AssertionError("fused and baseline end-to-end diverged")
+        res.add(name, rf.iterations, rf.total_time_ms, rb.total_time_ms,
+                rb.total_time_ms / rf.total_time_ms,
+                rt_f.ledger.by_category.get("transfer", 0.0))
+    res.notes.append("paper: HIGGS 4.8x (32 iters), KDD2010 9x (100 iters); "
+                     "KDD transfer 939 ms amortized over iterations")
+    return res
+
+
+@register("table6")
+def table6(scale: float | None = None,
+           ctx: GpuContext = DEFAULT_CONTEXT) -> ExperimentResult:
+    """Table 6: SystemML-integrated end-to-end (JNI + memory manager)."""
+    scale = resolve_scale(0.004) if scale is None else scale
+    res = ExperimentResult(
+        "table6", "GPU-enabled SystemML vs CPU SystemML on LR-CG",
+        ("dataset", "iterations", "total_speedup", "fused_kernel_speedup",
+         "gpu_transfer_ms"),
+    )
+    Xh = higgs_like(scale=max(scale, 0.005), rng=40)
+    yh, _ = regression_targets(Xh, rng=41)
+    th = table6_comparison(Xh, yh, max_iterations=32, ctx=ctx)
+    res.add("HIGGS-like", int(th["iterations"]), th["total_speedup"],
+            th["fused_kernel_speedup"], th["gpu_transfer_ms"])
+    Xk = kdd_like(scale=scale, rng=42)
+    yk, _ = regression_targets(Xk, rng=43)
+    tk = table6_comparison(Xk, yk, max_iterations=100,
+                           ctx=_scaled_cache_ctx(ctx, scale))
+    res.add("KDD2010-like", int(tk["iterations"]), tk["total_speedup"],
+            tk["fused_kernel_speedup"], tk["gpu_transfer_ms"])
+    res.notes.append("paper: HIGGS total 1.2x / kernel 11.2x (32 iters); "
+                     "KDD2010 total 1.9x / kernel 4.1x (100 iters) — "
+                     "JNI + conversion overheads eat the kernel speedup")
+    return res

@@ -1,0 +1,189 @@
+"""Command-line interface: ``python -m repro.cli <command>``.
+
+Commands:
+
+* ``evaluate`` — evaluate the generic pattern on a saved or synthetic matrix
+  under one or more strategies, printing model times and speedups;
+* ``tune`` — print the §3.3 launch parameters for a matrix (sparse or dense)
+  and optionally the exhaustive-sweep validation;
+* ``report`` — regenerate EXPERIMENTS.md (all tables and figures);
+* ``script`` — run a mini-DML script (Listing-1 dialect) on saved data;
+* ``generate`` — build and save a synthetic dataset (sweep point, KDD-like,
+  HIGGS-like).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+from . import evaluate as evaluate_pattern
+from .core.executor import STRATEGIES
+from .data import higgs_like, kdd_like, regression_targets, synthetic_sparse
+from .data.io import load_csr, load_dataset, save_csr, save_dataset
+from .sparse import CsrMatrix, random_csr
+from .tuning import autotune_sparse, tune_dense, tune_sparse
+
+
+def _load_matrix(spec: str) -> CsrMatrix | np.ndarray:
+    """``path.npz`` or ``MxN:sparsity`` (synthetic, seeded)."""
+    if spec.endswith(".npz"):
+        return load_csr(spec)
+    try:
+        dims, sparsity = spec.split(":")
+        m, n = (int(v) for v in dims.lower().split("x"))
+        return random_csr(m, n, float(sparsity), rng=0)
+    except ValueError:
+        raise SystemExit(
+            f"matrix spec {spec!r} must be a .npz path or MxN:sparsity "
+            "(e.g. 100000x1024:0.01)") from None
+
+
+def cmd_evaluate(args: argparse.Namespace) -> int:
+    X = _load_matrix(args.matrix)
+    m, n = X.shape
+    rng = np.random.default_rng(args.seed)
+    y = rng.normal(size=n)
+    v = rng.normal(size=m) if args.with_v else None
+    z = rng.normal(size=n) if args.beta else None
+    results = {}
+    for strategy in args.strategies:
+        res = evaluate_pattern(X, y, v=v, z=z, alpha=args.alpha,
+                               beta=args.beta, strategy=strategy)
+        results[strategy] = res
+        print(f"{strategy:>18}: {res.time_ms:10.4f} model-ms   "
+              f"loads={res.counters.global_load_transactions:12.0f}")
+    if "fused" in results and len(results) > 1:
+        base = min((r.time_ms for s, r in results.items() if s != "fused"),
+                   default=None)
+        if base:
+            print(f"\nfused speedup vs best competitor: "
+                  f"{base / results['fused'].time_ms:.2f}x")
+    return 0
+
+
+def cmd_tune(args: argparse.Namespace) -> int:
+    X = _load_matrix(args.matrix)
+    if isinstance(X, CsrMatrix):
+        p = tune_sparse(X)
+        print(f"sparse {X.m}x{X.n} (mu={X.mean_row_nnz:.1f}): "
+              f"VS={p.vector_size} BS={p.block_size} C={p.coarsening} "
+              f"grid={p.grid_size} shm={p.shared_bytes}B "
+              f"variant={p.variant}")
+        if args.sweep:
+            at = autotune_sparse(X)
+            print(f"sweep: {len(at.settings)} settings, model gap "
+                  f"{100 * at.model_gap:.2f}% "
+                  f"(best {at.best.time_ms:.4f} ms)")
+    else:
+        m, n = X.shape
+        p = tune_dense(m, n)
+        print(f"dense {m}x{n}: TL={p.thread_load} VS={p.vector_size} "
+              f"BS={p.block_size} C={p.coarsening} grid={p.grid_size} "
+              f"regs={p.registers} padded_n={p.padded_n}")
+    return 0
+
+
+def cmd_report(args: argparse.Namespace) -> int:
+    from .bench.report import generate
+    generate(args.output)
+    print(f"wrote {args.output}")
+    return 0
+
+
+def cmd_script(args: argparse.Namespace) -> int:
+    from .ml.runtime import MLRuntime
+    from .systemml.script import run_script
+    X, y, _ = load_dataset(args.dataset)
+    with open(args.script) as f:
+        source = f.read()
+    rt = MLRuntime(args.backend)
+    res = run_script(source, {"1": X, "2": y}, rt)
+    print(f"executed {res.statements_executed} statements, "
+          f"{res.fused_calls} fused pattern calls")
+    for cat, ms in sorted(rt.ledger.by_category.items()):
+        print(f"  {cat:>9}: {ms:10.3f} model-ms")
+    for name in res.outputs:
+        print(f"output {name!r}: vector of length "
+              f"{np.asarray(res.outputs[name]).size}")
+    return 0
+
+
+def cmd_generate(args: argparse.Namespace) -> int:
+    if args.kind == "sweep":
+        X: CsrMatrix | np.ndarray = synthetic_sparse(
+            args.n, m=args.m, rng=args.seed)
+    elif args.kind == "kdd":
+        X = kdd_like(scale=args.scale, rng=args.seed)
+    elif args.kind == "higgs":
+        X = higgs_like(scale=args.scale, rng=args.seed)
+    else:  # pragma: no cover - argparse restricts choices
+        raise SystemExit(f"unknown kind {args.kind}")
+    y, _ = regression_targets(X, rng=args.seed + 1)
+    if args.targets:
+        save_dataset(args.output, X, y)
+    elif isinstance(X, CsrMatrix):
+        save_csr(args.output, X)
+    else:
+        raise SystemExit("dense matrices need --targets (saved as dataset)")
+    m, n = X.shape
+    print(f"wrote {args.output}: {m}x{n}"
+          + (f", nnz={X.nnz}" if isinstance(X, CsrMatrix) else " dense"))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    ap = argparse.ArgumentParser(
+        prog="repro", description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter)
+    sub = ap.add_subparsers(dest="command", required=True)
+
+    ev = sub.add_parser("evaluate", help="evaluate the generic pattern")
+    ev.add_argument("matrix", help=".npz path or MxN:sparsity")
+    ev.add_argument("--strategies", nargs="+", default=["fused", "cusparse"],
+                    choices=[s for s in STRATEGIES if s != "auto"])
+    ev.add_argument("--alpha", type=float, default=1.0)
+    ev.add_argument("--beta", type=float, default=0.0)
+    ev.add_argument("--with-v", action="store_true")
+    ev.add_argument("--seed", type=int, default=0)
+    ev.set_defaults(fn=cmd_evaluate)
+
+    tu = sub.add_parser("tune", help="print §3.3 launch parameters")
+    tu.add_argument("matrix")
+    tu.add_argument("--sweep", action="store_true",
+                    help="also run the exhaustive validation sweep")
+    tu.set_defaults(fn=cmd_tune)
+
+    rp = sub.add_parser("report", help="regenerate EXPERIMENTS.md")
+    rp.add_argument("--output", default="EXPERIMENTS.md")
+    rp.set_defaults(fn=cmd_report)
+
+    sc = sub.add_parser("script", help="run a mini-DML script")
+    sc.add_argument("script", help="path to the .dml file")
+    sc.add_argument("dataset", help=".npz dataset (matrix as $1, y as $2)")
+    sc.add_argument("--backend", default="gpu-fused",
+                    choices=["cpu", "gpu-baseline", "gpu-fused"])
+    sc.set_defaults(fn=cmd_script)
+
+    ge = sub.add_parser("generate", help="build a synthetic dataset")
+    ge.add_argument("kind", choices=["sweep", "kdd", "higgs"])
+    ge.add_argument("output")
+    ge.add_argument("--m", type=int, default=100_000)
+    ge.add_argument("--n", type=int, default=1024)
+    ge.add_argument("--scale", type=float, default=0.004)
+    ge.add_argument("--seed", type=int, default=0)
+    ge.add_argument("--targets", action="store_true",
+                    help="save as dataset with regression targets")
+    ge.set_defaults(fn=cmd_generate)
+    return ap
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,21 @@
+"""The paper's contribution: the generic pattern, fused plans, and executor."""
+
+from .api import evaluate, mvtmv, pattern_of, xt_mv
+from .executor import STRATEGIES, PatternExecutor
+from .hybrid import HybridExecutor, HybridReport
+from .streaming import StreamingExecutor, StreamingReport, plan_blocks
+from .pattern import TABLE1, GenericPattern, Instantiation, algorithms_using, \
+    classify
+from .plans import (BidmatCpuPlan, BidmatGpuPlan, CusparsePlan,
+                    ExplicitTransposePlan, FusedPlan, Plan)
+
+__all__ = [
+    "evaluate", "mvtmv", "pattern_of", "xt_mv",
+    "STRATEGIES", "PatternExecutor",
+    "HybridExecutor", "HybridReport",
+    "StreamingExecutor", "StreamingReport", "plan_blocks",
+    "TABLE1", "GenericPattern", "Instantiation", "algorithms_using",
+    "classify",
+    "BidmatCpuPlan", "BidmatGpuPlan", "CusparsePlan",
+    "ExplicitTransposePlan", "FusedPlan", "Plan",
+]

@@ -1,0 +1,60 @@
+"""Public convenience API for evaluating the generic pattern.
+
+Most users need exactly one call::
+
+    from repro import evaluate
+    res = evaluate(X, y, v=v, z=z, alpha=2.0, beta=0.5)   # fused by default
+    res.output      # the vector w
+    res.time_ms     # model time on the simulated GTX Titan
+
+with ``X`` either a :class:`~repro.sparse.CsrMatrix` or a dense 2-D array.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..kernels.base import DEFAULT_CONTEXT, GpuContext, KernelResult
+from ..sparse.csr import CsrMatrix
+from .executor import PatternExecutor
+from .pattern import GenericPattern, Instantiation, classify
+
+
+def evaluate(X: CsrMatrix | np.ndarray, y: np.ndarray,
+             v: np.ndarray | None = None, z: np.ndarray | None = None,
+             alpha: float = 1.0, beta: float = 0.0,
+             strategy: str = "auto",
+             ctx: GpuContext | None = None,
+             check: bool = False) -> KernelResult:
+    """Evaluate ``alpha * X^T (v ⊙ (X y)) + beta * z`` under a strategy.
+
+    Parameters mirror Eq. 1; ``strategy`` is one of ``fused`` (the paper's
+    kernel), ``cusparse``, ``cusparse-explicit``, ``bidmat-gpu``,
+    ``bidmat-cpu``, or ``auto``.
+    """
+    p = GenericPattern(X, y, v=v, z=z, alpha=alpha, beta=beta)
+    ex = PatternExecutor(ctx or DEFAULT_CONTEXT, check=check)
+    return ex.evaluate(p, strategy)
+
+
+def mvtmv(X: CsrMatrix | np.ndarray, y: np.ndarray,
+          strategy: str = "auto", ctx: GpuContext | None = None
+          ) -> KernelResult:
+    """The ``X^T x (X x y)`` instantiation (named after Listing 2's kernel)."""
+    return evaluate(X, y, strategy=strategy, ctx=ctx)
+
+
+def xt_mv(X: CsrMatrix | np.ndarray, y: np.ndarray, alpha: float = 1.0,
+          strategy: str = "auto", ctx: GpuContext | None = None
+          ) -> KernelResult:
+    """The ``alpha * X^T x y`` instantiation (y has length m)."""
+    p = GenericPattern(X, y, alpha=alpha, inner=False)
+    ex = PatternExecutor(ctx or DEFAULT_CONTEXT)
+    return ex.evaluate(p, strategy)
+
+
+def pattern_of(X, y, v=None, z=None, alpha=1.0, beta=0.0,
+               inner: bool = True) -> Instantiation:
+    """Classify a prospective computation onto its Table-1 row."""
+    return classify(GenericPattern(X, y, v=v, z=z, alpha=alpha, beta=beta,
+                                   inner=inner))

@@ -1,0 +1,81 @@
+"""Strategy selection and evaluation for the generic pattern.
+
+:class:`PatternExecutor` is the façade downstream code (the ML layer, the
+SystemML-like DAG runtime, the benchmarks) uses: it resolves a strategy name
+to a plan, applies the paper's fallback rule for wide dense matrices (beyond
+~6K columns the dense fused kernel would spill registers, so it falls back to
+two cuBLAS launches), and verifies results against the NumPy reference when
+``check=True``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..gpu.cpu import CpuCostModel
+from ..kernels.base import DEFAULT_CONTEXT, GpuContext, KernelResult
+from ..tuning.dense_params import MAX_THREAD_LOAD
+from .pattern import GenericPattern
+from .plans import (BidmatCpuPlan, BidmatGpuPlan, CusparsePlan,
+                    ExplicitTransposePlan, FusedPlan, Plan)
+
+STRATEGIES = ("fused", "cusparse", "cusparse-explicit", "bidmat-gpu",
+              "bidmat-cpu", "auto")
+
+
+@dataclass
+class PatternExecutor:
+    """Evaluate patterns under a named strategy with a shared GPU context."""
+
+    ctx: GpuContext = field(default_factory=lambda: DEFAULT_CONTEXT)
+    check: bool = False
+    rtol: float = 1e-9
+    atol: float = 1e-9
+
+    def __post_init__(self) -> None:
+        self._plans: dict[str, Plan] = {
+            "fused": FusedPlan(self.ctx),
+            "cusparse": CusparsePlan(self.ctx),
+            "cusparse-explicit": ExplicitTransposePlan(self.ctx),
+            "bidmat-gpu": BidmatGpuPlan(self.ctx),
+            "bidmat-cpu": BidmatCpuPlan(CpuCostModel()),
+        }
+
+    def plan_for(self, p: GenericPattern, strategy: str) -> Plan:
+        if strategy == "auto":
+            strategy = self.choose_strategy(p)
+        try:
+            return self._plans[strategy]
+        except KeyError:
+            raise ValueError(
+                f"unknown strategy {strategy!r}; one of {STRATEGIES}"
+            ) from None
+
+    def choose_strategy(self, p: GenericPattern) -> str:
+        """The paper's dispatch rule: fuse unless dense and too wide."""
+        m, n = p.shape
+        if not p.is_sparse and n > MAX_THREAD_LOAD * 128:
+            return "cusparse"       # register pressure: two cuBLAS launches
+        return "fused"
+
+    def evaluate(self, p: GenericPattern,
+                 strategy: str = "auto") -> KernelResult:
+        res = self.plan_for(p, strategy).evaluate(p)
+        if self.check:
+            ref = p.reference()
+            if not np.allclose(res.output, ref, rtol=self.rtol,
+                               atol=self.atol * max(
+                                   1.0, float(np.abs(ref).max(initial=0.0)))):
+                raise AssertionError(
+                    f"strategy {strategy!r} diverged from reference "
+                    f"(max err {np.abs(res.output - ref).max():.3g})")
+        return res
+
+    def compare(self, p: GenericPattern,
+                strategies: tuple[str, ...] = ("fused", "cusparse",
+                                               "bidmat-gpu", "bidmat-cpu")
+                ) -> dict[str, KernelResult]:
+        """Evaluate the same pattern under several strategies (bench helper)."""
+        return {s: self.evaluate(p, s) for s in strategies}

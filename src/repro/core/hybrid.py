@@ -1,0 +1,135 @@
+"""Hybrid CPU/GPU execution of the generic pattern.
+
+The paper's stated future work: "the development of a cost model that based
+on a complete system profile decides on hybrid executions involving CPUs and
+GPUs" (§5).  This module implements the obvious first design: split the rows
+of X between the host and the device, run the fused kernel on the GPU share
+and the MKL-like path on the CPU share concurrently, and add the partial
+results (the pattern is additive over row blocks).
+
+The split fraction is chosen analytically: with per-row cost rates
+``g`` (GPU) and ``c`` (CPU), the makespan ``max(f m g, (1-f) m c)`` is
+minimized at ``f* = c / (c + g)``.  Fixed costs (launches, the y broadcast)
+bias small problems toward a single processor, which
+:func:`HybridExecutor.optimal_split` accounts for by probing the endpoints.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..gpu.cpu import CpuCostModel
+from ..kernels.base import DEFAULT_CONTEXT, GpuContext
+from ..sparse.csr import CsrMatrix
+from .pattern import GenericPattern
+from .plans import BidmatCpuPlan, FusedPlan
+
+
+@dataclass
+class HybridReport:
+    """Outcome of one hybrid evaluation."""
+
+    split_fraction: float          # share of rows on the GPU
+    gpu_ms: float
+    cpu_ms: float
+    output: np.ndarray = field(repr=False, default=None)
+
+    @property
+    def makespan_ms(self) -> float:
+        return max(self.gpu_ms, self.cpu_ms)
+
+    @property
+    def balance(self) -> float:
+        """1.0 = perfectly balanced; 0 = one side idle."""
+        hi = self.makespan_ms
+        return min(self.gpu_ms, self.cpu_ms) / hi if hi else 1.0
+
+
+def _take_rows(p: GenericPattern, start: int, end: int) -> GenericPattern:
+    if isinstance(p.X, CsrMatrix):
+        Xb = p.X.row_block(start, end)
+    else:
+        Xb = np.asarray(p.X, dtype=np.float64)[start:end]
+    vb = None if p.v is None else p.v[start:end]
+    return GenericPattern(Xb, p.y, v=vb, alpha=1.0, beta=0.0)
+
+
+@dataclass
+class HybridExecutor:
+    """Cost-model-driven row split between the fused GPU kernel and the CPU."""
+
+    ctx: GpuContext = field(default_factory=lambda: DEFAULT_CONTEXT)
+    cpu: CpuCostModel = field(default_factory=CpuCostModel)
+
+    def __post_init__(self) -> None:
+        self._gpu_plan = FusedPlan(self.ctx)
+        self._cpu_plan = BidmatCpuPlan(self.cpu)
+
+    # ------------------------------------------------------------------ #
+    def estimate(self, p: GenericPattern, fraction: float) -> tuple[float,
+                                                                    float]:
+        """(gpu_ms, cpu_ms) estimate for a given GPU row share."""
+        m = p.shape[0]
+        split = int(round(m * fraction))
+        gpu_ms = self._gpu_plan.evaluate(_take_rows(p, 0, split)).time_ms \
+            if split > 0 else 0.0
+        cpu_ms = self._cpu_plan.evaluate(_take_rows(p, split, m)).time_ms \
+            if split < m else 0.0
+        return gpu_ms, cpu_ms
+
+    def optimal_split(self, p: GenericPattern,
+                      probes: int = 7) -> float:
+        """Find the makespan-minimizing GPU share.
+
+        Uses the analytical ``c / (c + g)`` from single-processor probes,
+        refined by a small golden-ratio-ish sweep (fixed costs make the
+        makespan only piecewise smooth), and compares against the pure-GPU
+        and pure-CPU endpoints.
+        """
+        g_full, _ = self.estimate(p, 1.0)
+        _, c_full = self.estimate(p, 0.0)
+        if g_full == 0.0 or c_full == 0.0:
+            return 1.0 if c_full > 0 else 0.0
+        # makespan max(f*g_full, (1-f)*c_full) is minimized where the two
+        # sides meet: f* = c / (g + c)
+        f_star = c_full / (g_full + c_full)
+        # candidate fractions: the analytic point, endpoints, and a probe grid
+        candidates = {0.0, 1.0, min(1.0, max(0.0, f_star))}
+        candidates.update(np.linspace(0.5, 1.0, probes))
+        best_f, best_t = 1.0, g_full
+        for f in sorted(candidates):
+            gpu_ms, cpu_ms = self.estimate(p, f)
+            t = max(gpu_ms, cpu_ms)
+            if t < best_t:
+                best_f, best_t = f, t
+        return best_f
+
+    def evaluate(self, p: GenericPattern,
+                 fraction: float | None = None) -> HybridReport:
+        """Run the split execution and return the combined result."""
+        if not p.inner:
+            raise ValueError("hybrid executor handles inner patterns")
+        m, n = p.shape
+        if fraction is None:
+            fraction = self.optimal_split(p)
+        if not 0.0 <= fraction <= 1.0:
+            raise ValueError("fraction must be in [0, 1]")
+        split = int(round(m * fraction))
+
+        w = np.zeros(n, dtype=np.float64)
+        gpu_ms = cpu_ms = 0.0
+        if split > 0:
+            res = self._gpu_plan.evaluate(_take_rows(p, 0, split))
+            w += res.output
+            gpu_ms = res.time_ms
+        if split < m:
+            res = self._cpu_plan.evaluate(_take_rows(p, split, m))
+            w += res.output
+            cpu_ms = res.time_ms
+        w *= p.alpha
+        if p.beta != 0.0:
+            w += p.beta * p.z
+        return HybridReport(split_fraction=fraction, gpu_ms=gpu_ms,
+                            cpu_ms=cpu_ms, output=w)

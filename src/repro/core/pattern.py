@@ -1,0 +1,133 @@
+"""The generic computational pattern (Eq. 1) and its Table-1 taxonomy.
+
+``w = alpha * X^T x (v ⊙ (X x y)) + beta * z``
+
+A :class:`GenericPattern` captures one concrete instance: the matrix, the
+vectors that are present, and the scalars.  :func:`classify` maps an instance
+onto the paper's Table 1 rows, and :data:`TABLE1` records which ML algorithms
+use which instantiation — the coverage the ML layer's tests verify by
+tracing actual algorithm executions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+import numpy as np
+
+from ..sparse.csr import CsrMatrix
+
+
+class Instantiation(str, Enum):
+    """Rows of Table 1 (plus the trivial SpMV, which the paper excludes)."""
+
+    XT_Y = "alpha * X^T x y"
+    XT_X_Y = "X^T x (X x y)"
+    XT_V_X_Y = "X^T x (v . (X x y))"
+    XT_X_Y_BZ = "X^T x (X x y) + beta * z"
+    FULL = "X^T x (v . (X x y)) + beta * z"
+
+
+#: Table 1 of the paper: instantiation -> ML algorithms that use it.
+TABLE1: dict[Instantiation, frozenset[str]] = {
+    Instantiation.XT_Y: frozenset({"LR", "GLM", "LogReg", "SVM", "HITS"}),
+    Instantiation.XT_X_Y: frozenset({"LR", "GLM", "SVM", "HITS"}),
+    Instantiation.XT_V_X_Y: frozenset({"GLM", "LogReg"}),
+    Instantiation.XT_X_Y_BZ: frozenset({"LR", "SVM"}),
+    Instantiation.FULL: frozenset({"LogReg"}),
+}
+
+
+@dataclass
+class GenericPattern:
+    """One concrete instance of Eq. 1.
+
+    ``inner`` distinguishes the degenerate first row of Table 1: when False,
+    the pattern is ``alpha * X^T x y`` with ``y`` of length m (no inner
+    product ``X x y`` and no ``v``).
+    """
+
+    X: CsrMatrix | np.ndarray
+    y: np.ndarray
+    v: np.ndarray | None = None
+    z: np.ndarray | None = None
+    alpha: float = 1.0
+    beta: float = 0.0
+    inner: bool = True
+
+    def __post_init__(self) -> None:
+        m, n = self.shape
+        self.y = np.asarray(self.y, dtype=np.float64)
+        expected = n if self.inner else m
+        if self.y.shape != (expected,):
+            raise ValueError(
+                f"y must have shape ({expected},) for "
+                f"{'inner' if self.inner else 'X^T-only'} patterns, "
+                f"got {self.y.shape}")
+        if self.v is not None:
+            if not self.inner:
+                raise ValueError("v is only meaningful with the inner X x y")
+            self.v = np.asarray(self.v, dtype=np.float64)
+            if self.v.shape != (m,):
+                raise ValueError(f"v must have shape ({m},)")
+        if self.z is not None:
+            self.z = np.asarray(self.z, dtype=np.float64)
+            if self.z.shape != (n,):
+                raise ValueError(f"z must have shape ({n},)")
+        if self.beta != 0.0 and self.z is None:
+            raise ValueError("beta != 0 requires z")
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        if isinstance(self.X, CsrMatrix):
+            return self.X.shape
+        Xd = np.asarray(self.X)
+        if Xd.ndim != 2:
+            raise ValueError("X must be a CsrMatrix or a 2-D array")
+        return Xd.shape
+
+    @property
+    def is_sparse(self) -> bool:
+        return isinstance(self.X, CsrMatrix)
+
+    def classify(self) -> Instantiation:
+        return classify(self)
+
+    def reference(self) -> np.ndarray:
+        """Ground-truth evaluation with NumPy (no simulation)."""
+        from ..sparse.ops import fused_pattern_reference, spmv_t
+        if not self.inner:
+            if self.is_sparse:
+                w = self.alpha * spmv_t(self.X, self.y)
+            else:
+                w = self.alpha * (np.asarray(self.X, dtype=np.float64).T
+                                  @ self.y)
+            if self.beta != 0.0:
+                w = w + self.beta * self.z
+            return w
+        return fused_pattern_reference(self.X, self.y, self.v, self.z,
+                                       self.alpha, self.beta)
+
+
+def classify(p: GenericPattern) -> Instantiation:
+    """Map a pattern instance to its Table-1 row."""
+    has_v = p.v is not None
+    has_z = p.beta != 0.0
+    if not p.inner:
+        if has_z:
+            # X^T y + beta z is treated as the XT_Y row plus a BLAS-1 axpy
+            return Instantiation.XT_Y
+        return Instantiation.XT_Y
+    if has_v and has_z:
+        return Instantiation.FULL
+    if has_v:
+        return Instantiation.XT_V_X_Y
+    if has_z:
+        return Instantiation.XT_X_Y_BZ
+    return Instantiation.XT_X_Y
+
+
+def algorithms_using(inst: Instantiation) -> frozenset[str]:
+    """Which of the paper's five ML algorithms use this instantiation."""
+    return TABLE1[inst]

@@ -1,0 +1,18 @@
+"""Dataset builders for the paper's workloads (synthetic sweeps + stand-ins)."""
+
+from .io import (from_scipy, load_csr, load_dataset, save_csr, save_dataset,
+                 to_scipy)
+from .synthetic import (DENSE_SWEEP_COLUMNS, HIGGS_COLS, HIGGS_ROWS,
+                        KDD_COLS, KDD_NNZ, KDD_ROWS, SPARSE_SWEEP_COLUMNS,
+                        SWEEP_ROWS, SWEEP_SPARSITY, classification_labels,
+                        higgs_like, kdd_like, regression_targets,
+                        synthetic_dense, synthetic_sparse)
+
+__all__ = [
+    "from_scipy", "load_csr", "load_dataset", "save_csr", "save_dataset",
+    "to_scipy",
+    "DENSE_SWEEP_COLUMNS", "HIGGS_COLS", "HIGGS_ROWS", "KDD_COLS",
+    "KDD_NNZ", "KDD_ROWS", "SPARSE_SWEEP_COLUMNS", "SWEEP_ROWS",
+    "SWEEP_SPARSITY", "classification_labels", "higgs_like", "kdd_like",
+    "regression_targets", "synthetic_dense", "synthetic_sparse",
+]

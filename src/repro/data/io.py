@@ -1,0 +1,98 @@
+"""Saving and loading matrices and datasets (NumPy ``.npz`` containers).
+
+Practical plumbing for a library users actually adopt: persist the CSR
+substrate and regression/classification workloads to disk, reload them
+bit-exactly, and exchange with SciPy when it is available.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import numpy as np
+
+from ..sparse.csr import CsrMatrix
+
+_FORMAT_VERSION = 1
+
+
+def save_csr(path: str | pathlib.Path, X: CsrMatrix) -> None:
+    """Write a CSR matrix to ``path`` (a ``.npz`` archive)."""
+    np.savez_compressed(
+        path,
+        format_version=np.int64(_FORMAT_VERSION),
+        kind=np.bytes_(b"csr"),
+        shape=np.asarray(X.shape, dtype=np.int64),
+        values=X.values,
+        col_idx=X.col_idx,
+        row_off=X.row_off,
+    )
+
+
+def load_csr(path: str | pathlib.Path) -> CsrMatrix:
+    """Load a CSR matrix written by :func:`save_csr` (validates invariants)."""
+    with np.load(path) as f:
+        if "kind" not in f or bytes(f["kind"]) != b"csr":
+            raise ValueError(f"{path}: not a saved CSR matrix")
+        version = int(f["format_version"])
+        if version > _FORMAT_VERSION:
+            raise ValueError(f"{path}: written by a newer format "
+                             f"(v{version} > v{_FORMAT_VERSION})")
+        shape = tuple(int(v) for v in f["shape"])
+        return CsrMatrix(shape, f["values"], f["col_idx"], f["row_off"])
+
+
+def save_dataset(path: str | pathlib.Path, X, y: np.ndarray,
+                 **extra: np.ndarray) -> None:
+    """Persist a supervised dataset: matrix + targets + named extras."""
+    arrays: dict[str, np.ndarray] = {
+        "format_version": np.int64(_FORMAT_VERSION),
+        "y": np.asarray(y, dtype=np.float64),
+    }
+    if isinstance(X, CsrMatrix):
+        arrays.update(kind=np.bytes_(b"csr"),
+                      shape=np.asarray(X.shape, dtype=np.int64),
+                      values=X.values, col_idx=X.col_idx,
+                      row_off=X.row_off)
+    else:
+        arrays.update(kind=np.bytes_(b"dense"),
+                      dense=np.asarray(X, dtype=np.float64))
+    for name, arr in extra.items():
+        if name in arrays:
+            raise ValueError(f"extra array name {name!r} is reserved")
+        arrays[f"extra_{name}"] = np.asarray(arr)
+    np.savez_compressed(path, **arrays)
+
+
+def load_dataset(path: str | pathlib.Path
+                 ) -> tuple[CsrMatrix | np.ndarray, np.ndarray,
+                            dict[str, np.ndarray]]:
+    """Inverse of :func:`save_dataset`: (X, y, extras)."""
+    with np.load(path) as f:
+        kind = bytes(f["kind"])
+        if kind == b"csr":
+            shape = tuple(int(v) for v in f["shape"])
+            X: CsrMatrix | np.ndarray = CsrMatrix(
+                shape, f["values"], f["col_idx"], f["row_off"])
+        elif kind == b"dense":
+            X = np.array(f["dense"])
+        else:
+            raise ValueError(f"{path}: unknown dataset kind {kind!r}")
+        y = np.array(f["y"])
+        extras = {k[len("extra_"):]: np.array(f[k])
+                  for k in f.files if k.startswith("extra_")}
+    return X, y, extras
+
+
+def to_scipy(X: CsrMatrix):
+    """Convert to ``scipy.sparse.csr_matrix`` (cross-validation helper)."""
+    from scipy.sparse import csr_matrix
+    return csr_matrix((X.values, X.col_idx, X.row_off), shape=X.shape)
+
+
+def from_scipy(S) -> CsrMatrix:
+    """Build a :class:`CsrMatrix` from any SciPy sparse matrix."""
+    S = S.tocsr()
+    return CsrMatrix(S.shape, S.data.astype(np.float64),
+                     S.indices.astype(np.int64),
+                     S.indptr.astype(np.int64))

@@ -1,0 +1,125 @@
+"""Dataset builders: the paper's synthetic sweeps and scaled real-data stand-ins.
+
+* :func:`synthetic_sparse` / :func:`synthetic_dense` — the Figure 2-5
+  workloads (paper: m = 500k rows, sparsity 0.01, n swept over
+  {200 .. 4096} sparse / {32 .. 2048} dense).
+* :func:`kdd_like` — a scaled stand-in for KDD2010 (paper: 15,009,374 rows x
+  29,890,095 columns, 423,865,484 non-zeros => ~28 nnz/row, ultra-sparse with
+  a power-law column popularity).  The phenomena that matter — n far beyond
+  the shared-memory limit, tiny per-column collision probability, mu ~ 28 —
+  are preserved under scaling.
+* :func:`higgs_like` — a scaled stand-in for HIGGS (paper: 11,000,000 rows x
+  28 dense physics features).
+
+Scale defaults keep pure-Python runtimes reasonable; set ``scale=1.0`` (or
+env ``REPRO_FULL_SCALE=1`` in the benches) for paper-sized inputs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..sparse.csr import CsrMatrix
+from ..sparse.generate import random_csr
+
+#: paper-scale constants
+KDD_ROWS, KDD_COLS, KDD_NNZ = 15_009_374, 29_890_095, 423_865_484
+HIGGS_ROWS, HIGGS_COLS = 11_000_000, 28
+SWEEP_ROWS = 500_000
+SWEEP_SPARSITY = 0.01
+SPARSE_SWEEP_COLUMNS = (200, 512, 1024, 2048, 3072, 4096)
+DENSE_SWEEP_COLUMNS = (32, 64, 128, 256, 512, 1024, 2048)
+
+
+def synthetic_sparse(n: int, m: int = SWEEP_ROWS,
+                     sparsity: float = SWEEP_SPARSITY,
+                     rng: np.random.Generator | int | None = None
+                     ) -> CsrMatrix:
+    """One point of the Figures 2-4 sweep: random CSR, uniform sparsity."""
+    return random_csr(m, n, sparsity, rng=rng)
+
+
+def synthetic_dense(n: int, m: int = SWEEP_ROWS,
+                    rng: np.random.Generator | int | None = None
+                    ) -> np.ndarray:
+    """One point of the Figure 5 sweep: dense N(0,1) matrix."""
+    r = np.random.default_rng(rng)
+    return r.normal(size=(m, n))
+
+
+def kdd_like(scale: float = 0.01,
+             rng: np.random.Generator | int | None = None,
+             col_skew: float = 4.0) -> CsrMatrix:
+    """Ultra-sparse KDD2010 stand-in at ``scale`` of the paper's dimensions.
+
+    Row lengths are geometric around mu ~ 28; column indices follow a
+    power-law popularity (``u^col_skew`` inverse-CDF mapping), matching the
+    hot-feature structure of the one-hot-encoded original.  Duplicate
+    (row, col) pairs are permitted — CSR semantics sum them, and every kernel
+    here (like cuSPARSE) handles duplicates by accumulation.
+    """
+    if not 0 < scale <= 1:
+        raise ValueError("scale must be in (0, 1]")
+    r = np.random.default_rng(rng)
+    m = max(1, int(KDD_ROWS * scale))
+    n = max(1, int(KDD_COLS * scale))
+    mu = KDD_NNZ / KDD_ROWS                       # ~28.2 nnz per row
+    row_nnz = r.geometric(1.0 / mu, size=m).astype(np.int64)
+    np.minimum(row_nnz, n, out=row_nnz)
+    row_off = np.zeros(m + 1, dtype=np.int64)
+    np.cumsum(row_nnz, out=row_off[1:])
+    nnz = int(row_off[-1])
+    # power-law column popularity via inverse-CDF of u^k, vectorized
+    u = r.random(nnz)
+    cols = np.minimum((n * u ** col_skew).astype(np.int64), n - 1)
+    # sort columns within each row (CSR convention)
+    rows = np.repeat(np.arange(m), row_nnz)
+    order = np.lexsort((cols, rows))
+    values = r.normal(size=nnz)
+    return CsrMatrix((m, n), values, cols[order], row_off)
+
+
+def higgs_like(scale: float = 0.01,
+               rng: np.random.Generator | int | None = None) -> np.ndarray:
+    """Dense HIGGS stand-in: ``scale * 11M`` rows x 28 feature columns.
+
+    Feature marginals mimic the original's mix of detector-level quantities
+    (positive, long-tailed) and derived quantities (roughly unit-scale).
+    """
+    if not 0 < scale <= 1:
+        raise ValueError("scale must be in (0, 1]")
+    r = np.random.default_rng(rng)
+    m = max(1, int(HIGGS_ROWS * scale))
+    X = np.empty((m, HIGGS_COLS), dtype=np.float64)
+    for j in range(HIGGS_COLS):
+        if j < 21:                                # low-level: lognormal-ish
+            X[:, j] = r.lognormal(mean=0.0, sigma=0.5, size=m)
+        else:                                     # derived: ~N(1, 0.3)
+            X[:, j] = r.normal(1.0, 0.3, size=m)
+    return X
+
+
+def regression_targets(X, noise: float = 0.01,
+                       rng: np.random.Generator | int | None = None
+                       ) -> tuple[np.ndarray, np.ndarray]:
+    """(y, w_true) for a linear-regression workload on ``X``."""
+    r = np.random.default_rng(rng)
+    m, n = X.shape
+    w_true = r.normal(size=n)
+    if isinstance(X, CsrMatrix):
+        from ..sparse.ops import spmv
+        y = spmv(X, w_true)
+    else:
+        y = np.asarray(X) @ w_true
+    if noise:
+        y = y + noise * r.normal(size=m)
+    return y, w_true
+
+
+def classification_labels(X, rng: np.random.Generator | int | None = None
+                          ) -> np.ndarray:
+    """-1/+1 labels from a random linear separator (for LogReg / SVM)."""
+    y, _ = regression_targets(X, noise=0.1, rng=rng)
+    t = np.sign(y - np.median(y))
+    t[t == 0] = 1.0
+    return t

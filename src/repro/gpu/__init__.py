@@ -1,0 +1,43 @@
+"""Simulated GPU substrate: device specs, SIMT semantics, and cost models.
+
+This package replaces the paper's physical NVIDIA GTX Titan.  Kernels execute
+functionally (vectorized NumPy or the :mod:`~repro.gpu.simt` interpreter) and
+report the hardware events a Kepler GPU would generate; the
+:class:`~repro.gpu.costmodel.CostModel` turns those events into model time.
+"""
+
+from .atomics import AtomicBatch, effective_addresses, global_atomic_batch, \
+    shared_atomic_batch, uniform_weights
+from .balance import gini, vector_load_cv, warp_idle_fraction
+from .counters import PerfCounters, merge
+from .costmodel import CostModel, TimeBreakdown
+from .cpu import CORE_I7, CpuCostModel, CpuSpec
+from .device import GTX_TITAN, K20X, PRESETS, TINY_CC35, DeviceSpec, get_device
+from .launch import LaunchConfig, grid_for_rows
+from .memory import (CacheModel, coalesced_transactions, gather_transactions,
+                     segment_transactions, shared_bank_conflict_replays,
+                     uncoalesced_transactions)
+from .occupancy import Occupancy, best_block_size, occupancy
+from .simt import (BARRIER, DeadlockError, LaunchStats, ShflDown, ShflXor,
+                   SimtEngine, ThreadCtx, warp_allreduce_sum, warp_reduce_sum)
+from .trace import KernelSummary, TraceReport, summarize, tracing
+from .transfer import TransferModel
+
+__all__ = [
+    "AtomicBatch", "effective_addresses", "global_atomic_batch",
+    "shared_atomic_batch", "uniform_weights",
+    "gini", "vector_load_cv", "warp_idle_fraction",
+    "PerfCounters", "merge",
+    "CostModel", "TimeBreakdown",
+    "CORE_I7", "CpuCostModel", "CpuSpec",
+    "GTX_TITAN", "K20X", "PRESETS", "TINY_CC35", "DeviceSpec", "get_device",
+    "LaunchConfig", "grid_for_rows",
+    "CacheModel", "coalesced_transactions", "gather_transactions",
+    "segment_transactions", "shared_bank_conflict_replays",
+    "uncoalesced_transactions",
+    "Occupancy", "best_block_size", "occupancy",
+    "BARRIER", "DeadlockError", "LaunchStats", "ShflDown", "ShflXor",
+    "SimtEngine", "ThreadCtx", "warp_allreduce_sum", "warp_reduce_sum",
+    "KernelSummary", "TraceReport", "summarize", "tracing",
+    "TransferModel",
+]

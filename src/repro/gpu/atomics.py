@@ -1,0 +1,101 @@
+"""Atomic-operation contention model.
+
+CUDA serializes atomic read-modify-write operations that target the same
+address.  The cost of the fused kernels' final aggregation therefore depends
+on *how many concurrent writers collide per element of w* — which the paper
+argues is small for very sparse, very wide matrices ("when n is very large
+... the likelihood of concurrent accesses to a single element of w is very
+small").
+
+We model contention from the actual access multiset: given the number of
+issued atomics and the distribution of target addresses, the expected
+serialization degree is the ratio of concurrently in-flight atomics to the
+*effective* number of distinct addresses (inverse Simpson index of the target
+distribution, which correctly penalizes skew).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+
+def effective_addresses(weights: np.ndarray) -> float:
+    """Effective number of distinct targets for a weighted address histogram.
+
+    Uses the inverse Simpson index ``(sum w)^2 / sum w^2``: equals the number
+    of addresses when accesses are uniform, and collapses toward 1 when a few
+    hot addresses dominate (e.g. a dense column in an otherwise sparse
+    matrix).
+    """
+    w = np.asarray(weights, dtype=np.float64)
+    w = w[w > 0]
+    if w.size == 0:
+        return 1.0
+    w = w / w.max()          # normalize to avoid under/overflow in squares
+    total = w.sum()
+    return float(total * total / np.square(w).sum())
+
+
+@dataclass(frozen=True)
+class AtomicBatch:
+    """One batch of atomic operations with its contention estimate."""
+
+    ops: float
+    serialized: float
+
+    @property
+    def degree(self) -> float:
+        return self.serialized / self.ops if self.ops else 1.0
+
+
+def global_atomic_batch(n_ops: float, target_weights: np.ndarray,
+                        concurrent_threads: int) -> AtomicBatch:
+    """Estimate serialized global atomics for ``n_ops`` issued operations.
+
+    ``target_weights`` is a histogram of how often each address is targeted
+    over the whole batch; ``concurrent_threads`` bounds how many atomics can
+    be in flight simultaneously (resident threads on the device).
+    """
+    if n_ops <= 0:
+        return AtomicBatch(0.0, 0.0)
+    eff = effective_addresses(target_weights)
+    in_flight = min(float(n_ops), float(max(1, concurrent_threads)))
+    degree = max(1.0, in_flight / eff)
+    return AtomicBatch(float(n_ops), float(n_ops) * degree)
+
+
+def shared_atomic_batch(n_ops: float, n_addresses: int,
+                        threads_per_block: int) -> AtomicBatch:
+    """Estimate serialized shared-memory atomics within one block.
+
+    Intra-block (inter-vector) aggregation targets the block's private copy of
+    ``w`` in shared memory; only the block's own threads can collide.
+    """
+    if n_ops <= 0:
+        return AtomicBatch(0.0, 0.0)
+    in_flight = min(float(n_ops), float(max(1, threads_per_block)))
+    degree = max(1.0, in_flight / max(1, n_addresses))
+    return AtomicBatch(float(n_ops), float(n_ops) * degree)
+
+
+def uniform_weights(n_addresses: int) -> np.ndarray:
+    """Convenience histogram for uniformly distributed targets."""
+    return np.ones(max(1, n_addresses))
+
+
+def contended_chain(n_ops: float, target_weights: np.ndarray) -> float:
+    """Expected serialized chain length at the hottest address.
+
+    Atomics to *different* addresses proceed in parallel through the L2
+    slices; atomics to the *same* address serialize.  The run time of a batch
+    is therefore governed by the longest per-address chain, which for the
+    weighted histogram is ``n_ops / effective_addresses`` — the exact
+    quantity behind the paper's observation that huge, sparse column spaces
+    make the fused kernel's global aggregation cheap.
+    """
+    if n_ops <= 0:
+        return 0.0
+    return float(n_ops) / effective_addresses(target_weights)

@@ -1,0 +1,76 @@
+"""Workload-balance metrics for CSR-vector row partitioning.
+
+The paper's fourth challenge: "ensuring a balanced workload, maximizing
+thread occupancy ... in case of sparse matrices with different number of
+non-zeros across rows is difficult."  These metrics quantify that balance
+for a given vector size, so kernels can report it and ablations can show how
+Eq. 4's VS choice and the coarsening of Eq. 5 keep the imbalance bounded.
+
+All functions are pure measurements; they do not change model time (whose
+bandwidth derate already absorbs the first-order effect) but are exposed on
+demand for analysis and asserted on in tests.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def warp_idle_fraction(row_nnz: np.ndarray, vector_size: int,
+                       warp_size: int = 32) -> float:
+    """Fraction of warp-lane-cycles idle while sibling vectors finish.
+
+    A warp holds ``warp/VS`` vectors working on consecutive rows; each
+    row-step of the warp lasts as long as its longest row, so lanes assigned
+    shorter rows idle for the difference.
+    """
+    lengths = np.asarray(row_nnz, dtype=np.float64)
+    if lengths.size == 0:
+        return 0.0
+    group = max(1, warp_size // max(1, vector_size))
+    pad = (-lengths.size) % group
+    if pad:
+        lengths = np.concatenate([lengths, np.zeros(pad)])
+    mat = lengths.reshape(-1, group)
+    per_warp_time = mat.max(axis=1)
+    useful = mat.sum(axis=1)
+    capacity = per_warp_time * group
+    total_capacity = capacity.sum()
+    if total_capacity == 0:
+        return 0.0
+    return float(1.0 - useful.sum() / total_capacity)
+
+
+def vector_load_cv(row_nnz: np.ndarray, total_vectors: int) -> float:
+    """Coefficient of variation of per-vector work under round-robin rows.
+
+    The grid-stride row assignment of Algorithms 1-2 deals rows to vectors
+    like cards; with enough coarsening the per-vector totals concentrate —
+    the effect Eq. 5 relies on ("all warps have maximal balanced workload").
+    """
+    lengths = np.asarray(row_nnz, dtype=np.float64)
+    if lengths.size == 0 or total_vectors <= 0:
+        return 0.0
+    pad = (-lengths.size) % total_vectors
+    if pad:
+        lengths = np.concatenate([lengths, np.zeros(pad)])
+    per_vector = lengths.reshape(-1, total_vectors).sum(axis=0)
+    mean = per_vector.mean()
+    if mean == 0:
+        return 0.0
+    return float(per_vector.std() / mean)
+
+
+def gini(values: np.ndarray) -> float:
+    """Gini coefficient of a non-negative workload distribution."""
+    v = np.sort(np.asarray(values, dtype=np.float64))
+    if v.size == 0:
+        return 0.0
+    if np.any(v < 0):
+        raise ValueError("workloads must be non-negative")
+    total = v.sum()
+    if total == 0:
+        return 0.0
+    n = v.size
+    cum = np.cumsum(v)
+    return float((n + 1 - 2 * (cum / total).sum()) / n)

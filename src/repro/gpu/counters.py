@@ -1,0 +1,87 @@
+"""Hardware event counters recorded by simulated kernels.
+
+Every kernel in :mod:`repro.kernels` computes its numerical result *and*
+records the hardware events its CUDA counterpart would generate: global-memory
+load/store transactions, shared-memory accesses and bank conflicts, atomic
+operations (with an estimated serialization degree), floating-point operations,
+barriers, and kernel launches.  The cost model
+(:mod:`repro.gpu.costmodel`) converts a counter record into model time.
+
+Counting *transactions* rather than bytes mirrors how the paper explains its
+speedups (Figure 2-bottom compares global load transactions directly).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, fields
+
+
+@dataclass
+class PerfCounters:
+    """Accumulated event counts for one or more simulated kernel launches."""
+
+    # global memory, in 128-byte transactions
+    global_load_transactions: float = 0.0
+    global_store_transactions: float = 0.0
+    # shared memory, in per-warp accesses; conflicts add serialized replays
+    shared_accesses: float = 0.0
+    shared_bank_conflicts: float = 0.0
+    # atomics, counted as issued ops; serialized_* include contention replays
+    atomic_global_ops: float = 0.0
+    atomic_global_serialized: float = 0.0
+    atomic_shared_ops: float = 0.0
+    atomic_shared_serialized: float = 0.0
+    # per-address serialized chains (addresses retire in parallel):
+    # plain CAS-loop atomics (atomicAdd on double) vs. lock/semaphore updates
+    atomic_cas_chain: float = 0.0
+    atomic_lock_chain: float = 0.0
+    # compute
+    flops: float = 0.0
+    # control
+    barriers: float = 0.0
+    kernel_launches: float = 0.0
+    # host <-> device traffic in bytes
+    h2d_bytes: float = 0.0
+    d2h_bytes: float = 0.0
+
+    def add(self, other: "PerfCounters") -> "PerfCounters":
+        """Accumulate ``other`` into ``self`` (in place) and return ``self``."""
+        for f in fields(self):
+            setattr(self, f.name, getattr(self, f.name) + getattr(other, f.name))
+        return self
+
+    def scaled(self, factor: float) -> "PerfCounters":
+        """Return a copy with every event count multiplied by ``factor``.
+
+        Used to extrapolate iteration-loop costs measured on one iteration.
+        """
+        out = PerfCounters()
+        for f in fields(self):
+            setattr(out, f.name, getattr(self, f.name) * factor)
+        return out
+
+    def copy(self) -> "PerfCounters":
+        return self.scaled(1.0)
+
+    @property
+    def global_transactions(self) -> float:
+        return self.global_load_transactions + self.global_store_transactions
+
+    def global_bytes(self, transaction_bytes: int = 128) -> float:
+        """Total global-memory traffic implied by the transaction counts."""
+        return self.global_transactions * transaction_bytes
+
+    def as_dict(self) -> dict[str, float]:
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+    def __repr__(self) -> str:  # compact, for logs and bench output
+        parts = [f"{k}={v:.3g}" for k, v in self.as_dict().items() if v]
+        return f"PerfCounters({', '.join(parts)})"
+
+
+def merge(*counters: PerfCounters) -> PerfCounters:
+    """Return a new record that is the sum of all inputs."""
+    out = PerfCounters()
+    for c in counters:
+        out.add(c)
+    return out

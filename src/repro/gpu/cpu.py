@@ -1,0 +1,67 @@
+"""CPU roofline model for the BIDMat-CPU / MKL baselines.
+
+The paper's CPU baseline is BIDMat backed by Intel MKL with 8 hyper-threads on
+a core-i7 3.4 GHz host.  For the memory-bound BLAS-2 patterns studied here the
+CPU is bandwidth-limited, so a roofline with a random-access (gather) penalty
+captures the relevant behaviour, including the effect the paper observes in
+Section 4.2: MKL is *relatively* better on sparse inputs (GPU coalescing pays
+off most on dense, regular accesses).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class CpuSpec:
+    """Host CPU description (defaults: core-i7, 4 cores / 8 threads)."""
+
+    name: str = "core-i7-3.4GHz"
+    threads: int = 8
+    #: sustained streaming bandwidth with all threads (GB/s)
+    stream_bandwidth_gbps: float = 21.0
+    #: single-thread streaming bandwidth (GB/s)
+    single_thread_bandwidth_gbps: float = 9.0
+    #: effective bandwidth for dependent random gathers (GB/s)
+    gather_bandwidth_gbps: float = 6.0
+    #: peak double-precision throughput, all cores (GFLOP/s)
+    peak_gflops: float = 108.0
+    #: fixed per-BLAS-call overhead (microseconds)
+    call_overhead_us: float = 2.0
+
+
+CORE_I7 = CpuSpec()
+
+
+@dataclass
+class CpuCostModel:
+    """Roofline time estimates for CPU kernels."""
+
+    spec: CpuSpec = CORE_I7
+    threads: int | None = None  # None -> all threads
+
+    def _bw(self, gather_fraction: float) -> float:
+        t = self.threads or self.spec.threads
+        scale = min(1.0, t / self.spec.threads)
+        stream = (self.spec.single_thread_bandwidth_gbps
+                  + (self.spec.stream_bandwidth_gbps
+                     - self.spec.single_thread_bandwidth_gbps) * scale)
+        gather = self.spec.gather_bandwidth_gbps * max(scale, 1 / self.spec.threads)
+        g = min(1.0, max(0.0, gather_fraction))
+        # harmonic blend: total time is the sum of both phases' times
+        return 1.0 / ((1.0 - g) / stream + g / gather)
+
+    def time_ms(self, streamed_bytes: float, flops: float = 0.0,
+                gather_fraction: float = 0.0, calls: int = 1) -> float:
+        """Model milliseconds for an operation touching ``streamed_bytes``.
+
+        ``gather_fraction`` is the fraction of the traffic that is random
+        access (index-driven, e.g. ``y[col_idx[k]]`` in a CSR SpMV).
+        """
+        t = self.threads or self.spec.threads
+        bw_bytes_per_ms = self._bw(gather_fraction) * 1e6
+        mem_ms = streamed_bytes / bw_bytes_per_ms if streamed_bytes else 0.0
+        flops_per_ms = self.spec.peak_gflops * 1e6 * min(1.0, t / self.spec.threads)
+        compute_ms = flops / flops_per_ms if flops else 0.0
+        return max(mem_ms, compute_ms) + calls * self.spec.call_overhead_us / 1e3

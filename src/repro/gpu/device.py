@@ -1,0 +1,151 @@
+"""Device specifications for the simulated GPU substrate.
+
+The reproduction has no physical GPU; instead, kernels execute functionally
+(NumPy or the SIMT interpreter) and report hardware *events* to a
+:class:`~repro.gpu.counters.PerfCounters`.  A :class:`DeviceSpec` carries the
+architectural constants needed to (a) validate launch configurations,
+(b) compute occupancy exactly like NVIDIA's occupancy calculator, and
+(c) convert event counts into model time.
+
+The default preset mirrors the paper's evaluation hardware, an NVIDIA GeForce
+GTX Titan (compute capability 3.5): 14 SMs x 192 cores, 6 GB global memory at
+288 GB/s, 48 KB shared memory and 64K 32-bit registers per SM, warps of 32
+threads, at most 2,048 resident threads and 16 resident blocks per SM.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+
+@dataclass(frozen=True)
+class DeviceSpec:
+    """Architectural description of a simulated CUDA device.
+
+    All sizes are in bytes unless noted.  Throughput figures are the knobs of
+    the analytical cost model; they are calibrated to first-order published
+    numbers for the Kepler generation and only their *ratios* matter for the
+    reproduced experiments.
+    """
+
+    name: str = "device"
+    compute_capability: tuple[int, int] = (3, 5)
+
+    # --- parallel structure -------------------------------------------------
+    num_sms: int = 14
+    cores_per_sm: int = 192
+    warp_size: int = 32
+    max_threads_per_block: int = 1024
+    max_threads_per_sm: int = 2048
+    max_blocks_per_sm: int = 16
+    max_warps_per_sm: int = 64
+    max_grid_dim_x: int = 2**31 - 1
+
+    # --- register file ------------------------------------------------------
+    registers_per_sm: int = 65536          # 32-bit registers
+    max_registers_per_thread: int = 255
+    max_registers_per_block: int = 65536
+    register_allocation_unit: int = 256    # registers, per-warp granularity
+    warp_allocation_granularity: int = 4   # warps
+
+    # --- memories -----------------------------------------------------------
+    shared_memory_per_sm: int = 49152
+    shared_memory_per_block: int = 49152
+    shared_memory_allocation_unit: int = 256
+    shared_memory_banks: int = 32
+    global_memory_bytes: int = 6 * 1024**3
+    l2_cache_bytes: int = 1536 * 1024
+    texture_cache_bytes_per_sm: int = 48 * 1024
+    memory_transaction_bytes: int = 128    # coalesced global transaction size
+
+    # --- throughputs (model constants) --------------------------------------
+    global_bandwidth_gbps: float = 288.0      # GB/s, ECC off
+    shared_bandwidth_gbps: float = 1300.0     # aggregate across SMs
+    peak_gflops_double: float = 1300.0        # double-precision GFLOP/s
+    atomic_global_ns: float = 1.2             # per serialized global-atomic replay
+    atomic_shared_ns: float = 0.4             # per serialized shared-atomic replay
+    kernel_launch_us: float = 5.0             # per kernel launch
+    sync_us: float = 0.6                      # per block-wide barrier wave
+    texture_hit_ratio: float = 0.97           # cache hit rate for bound vectors
+
+    # --- host link (PCIe Gen3 x16) ------------------------------------------
+    pcie_bandwidth_gbps: float = 12.0         # effective host<->device GB/s
+    pcie_latency_us: float = 10.0
+
+    def validate(self) -> None:
+        """Raise ``ValueError`` if the spec is internally inconsistent."""
+        if self.warp_size <= 0 or self.warp_size & (self.warp_size - 1):
+            raise ValueError("warp_size must be a positive power of two")
+        if self.max_threads_per_block > self.max_threads_per_sm:
+            raise ValueError("a block cannot exceed the per-SM thread limit")
+        if self.max_warps_per_sm * self.warp_size != self.max_threads_per_sm:
+            raise ValueError("max_warps_per_sm inconsistent with thread limit")
+        if self.shared_memory_per_block > self.shared_memory_per_sm:
+            raise ValueError("per-block shared memory exceeds per-SM capacity")
+        if self.registers_per_sm <= 0 or self.num_sms <= 0:
+            raise ValueError("resource counts must be positive")
+
+    # Convenience -------------------------------------------------------------
+    @property
+    def total_cores(self) -> int:
+        return self.num_sms * self.cores_per_sm
+
+    @property
+    def global_bandwidth_bytes_per_ms(self) -> float:
+        return self.global_bandwidth_gbps * 1e9 / 1e3
+
+    @property
+    def pcie_bandwidth_bytes_per_ms(self) -> float:
+        return self.pcie_bandwidth_gbps * 1e9 / 1e3
+
+    def with_(self, **kwargs) -> "DeviceSpec":
+        """Return a copy with the given fields replaced (for ablations)."""
+        return replace(self, **kwargs)
+
+
+#: The paper's evaluation device (NVIDIA GeForce GTX Titan, CC 3.5).
+GTX_TITAN = DeviceSpec(name="GTX Titan")
+
+#: A Tesla K20X-like preset (same generation, fewer SMs, ECC on).
+K20X = DeviceSpec(
+    name="K20X",
+    num_sms=14,
+    global_bandwidth_gbps=250.0 * 0.8,
+    peak_gflops_double=1170.0,
+    global_memory_bytes=6 * 1024**3,
+)
+
+#: A deliberately small device used by tests to hit resource limits quickly.
+TINY_CC35 = DeviceSpec(
+    name="tiny-cc35",
+    num_sms=2,
+    cores_per_sm=64,
+    registers_per_sm=8192,
+    shared_memory_per_sm=8192,
+    shared_memory_per_block=8192,
+    max_threads_per_sm=512,
+    max_warps_per_sm=16,
+    max_threads_per_block=256,
+    max_blocks_per_sm=4,
+    global_memory_bytes=64 * 1024**2,
+)
+
+PRESETS: dict[str, DeviceSpec] = {
+    "gtx-titan": GTX_TITAN,
+    "k20x": K20X,
+    "tiny-cc35": TINY_CC35,
+}
+
+
+def get_device(name: str = "gtx-titan") -> DeviceSpec:
+    """Look up a device preset by name.
+
+    >>> get_device("gtx-titan").num_sms
+    14
+    """
+    try:
+        return PRESETS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown device {name!r}; available: {sorted(PRESETS)}"
+        ) from None

@@ -1,0 +1,91 @@
+"""Kernel launch configuration and validation.
+
+A :class:`LaunchConfig` captures what a CUDA kernel launch would specify:
+grid size, block size, dynamic shared memory, plus the per-thread register
+footprint reported by the compiler (the paper reads it off the NVIDIA Visual
+Profiler: 43 registers/thread for the sparse kernel, 23..255 for the dense one
+depending on the thread load ``TL``).
+
+The fused kernels additionally carry their logical decomposition: vector size
+``VS`` (threads cooperating on a row), number of vectors per block ``NV``, and
+the coarsening factor ``C`` (rows per vector).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .device import DeviceSpec
+
+
+@dataclass(frozen=True)
+class LaunchConfig:
+    """A validated kernel launch configuration."""
+
+    grid_size: int
+    block_size: int
+    shared_bytes: int = 0
+    registers_per_thread: int = 32
+    # logical decomposition used by the fused kernels
+    vector_size: int = 1
+    coarsening: int = 1
+    thread_load: int = 1
+
+    @property
+    def vectors_per_block(self) -> int:
+        """NV — the number of cooperating-thread vectors in one block."""
+        return max(1, self.block_size // self.vector_size)
+
+    @property
+    def total_threads(self) -> int:
+        return self.grid_size * self.block_size
+
+    @property
+    def total_vectors(self) -> int:
+        return self.grid_size * self.vectors_per_block
+
+    def warps_per_block(self, warp_size: int = 32) -> int:
+        return -(-self.block_size // warp_size)
+
+    def validate(self, device: DeviceSpec) -> None:
+        """Raise ``ValueError`` for configurations CUDA would reject."""
+        if self.grid_size < 1:
+            raise ValueError(f"grid_size must be >= 1, got {self.grid_size}")
+        if self.grid_size > device.max_grid_dim_x:
+            raise ValueError("grid_size exceeds device limit")
+        if not 1 <= self.block_size <= device.max_threads_per_block:
+            raise ValueError(
+                f"block_size {self.block_size} outside "
+                f"[1, {device.max_threads_per_block}]"
+            )
+        if self.shared_bytes > device.shared_memory_per_block:
+            raise ValueError(
+                f"shared memory request {self.shared_bytes}B exceeds per-block "
+                f"limit {device.shared_memory_per_block}B"
+            )
+        if self.registers_per_thread > device.max_registers_per_thread:
+            raise ValueError(
+                f"{self.registers_per_thread} registers/thread exceeds limit "
+                f"{device.max_registers_per_thread} (register spilling)"
+            )
+        if self.vector_size < 1 or self.block_size % self.vector_size:
+            raise ValueError("vector_size must divide block_size")
+        if self.coarsening < 1:
+            raise ValueError("coarsening factor must be >= 1")
+        if self.thread_load < 1:
+            raise ValueError("thread_load must be >= 1")
+
+    def describe(self) -> str:
+        return (
+            f"grid={self.grid_size} block={self.block_size} VS={self.vector_size} "
+            f"NV={self.vectors_per_block} C={self.coarsening} TL={self.thread_load} "
+            f"shm={self.shared_bytes}B regs={self.registers_per_thread}"
+        )
+
+
+def grid_for_rows(rows: int, block_size: int, vector_size: int,
+                  coarsening: int) -> int:
+    """Grid size so that ``grid*NV*C`` vectors-slots cover ``rows`` rows."""
+    nv = max(1, block_size // vector_size)
+    per_block = nv * coarsening
+    return max(1, -(-rows // per_block))

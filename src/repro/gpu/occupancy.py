@@ -1,0 +1,130 @@
+"""CUDA occupancy calculator for the simulated device.
+
+Reimplements the resource arithmetic of NVIDIA's occupancy-calculator
+spreadsheet (referenced by the paper in Section 3.3) for compute capability
+3.5: the number of blocks an SM can host is the minimum of the limits imposed
+by (i) resident threads/blocks, (ii) the register file with per-warp
+allocation granularity, and (iii) shared memory with its allocation unit.
+
+The tuner (:mod:`repro.tuning`) uses :func:`occupancy` to pick the block size
+that maximizes resident warps, exactly as described in the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .device import DeviceSpec
+
+
+def _ceil_to(value: int, unit: int) -> int:
+    """Round ``value`` up to a multiple of ``unit``."""
+    if unit <= 0:
+        raise ValueError("granularity must be positive")
+    return -(-value // unit) * unit
+
+
+@dataclass(frozen=True)
+class Occupancy:
+    """Result of an occupancy computation for one launch shape."""
+
+    blocks_per_sm: int
+    warps_per_block: int
+    limited_by: str
+
+    @property
+    def warps_per_sm(self) -> int:
+        return self.blocks_per_sm * self.warps_per_block
+
+    @property
+    def threads_per_sm(self) -> int:
+        return self.warps_per_sm * 32
+
+    def fraction(self, device: DeviceSpec) -> float:
+        """Occupancy as the fraction of the device's maximum resident warps."""
+        if self.blocks_per_sm == 0:
+            return 0.0
+        return self.warps_per_sm / device.max_warps_per_sm
+
+
+def occupancy(device: DeviceSpec, block_size: int,
+              registers_per_thread: int, shared_bytes: int) -> Occupancy:
+    """Compute achievable occupancy for a launch shape on ``device``.
+
+    Returns ``blocks_per_sm == 0`` (with the limiting resource named) when the
+    block cannot be scheduled at all — e.g. it requests more shared memory or
+    registers than one SM owns.
+    """
+    if block_size < 1 or block_size > device.max_threads_per_block:
+        return Occupancy(0, 0, "block-size")
+
+    warp = device.warp_size
+    warps_per_block = -(-block_size // warp)
+
+    # Limit 1: resident threads / resident blocks.
+    by_blocks = device.max_blocks_per_sm
+    by_threads = device.max_warps_per_sm // warps_per_block
+    limit_threads = min(by_blocks, by_threads)
+
+    # Limit 2: register file.  Registers are allocated per warp, rounded up to
+    # the allocation unit; the warp count itself is rounded to the warp
+    # allocation granularity.
+    if registers_per_thread > device.max_registers_per_thread:
+        return Occupancy(0, warps_per_block, "registers-per-thread")
+    if registers_per_thread > 0:
+        regs_per_warp = _ceil_to(registers_per_thread * warp,
+                                 device.register_allocation_unit)
+        warps_alloc = _ceil_to(warps_per_block,
+                               device.warp_allocation_granularity)
+        regs_per_block = regs_per_warp * warps_alloc
+        if regs_per_block > device.max_registers_per_block:
+            return Occupancy(0, warps_per_block, "registers-per-block")
+        limit_regs = device.registers_per_sm // regs_per_block
+    else:
+        limit_regs = limit_threads
+
+    # Limit 3: shared memory, with its allocation unit.
+    if shared_bytes > device.shared_memory_per_block:
+        return Occupancy(0, warps_per_block, "shared-memory-per-block")
+    if shared_bytes > 0:
+        shm_alloc = _ceil_to(shared_bytes, device.shared_memory_allocation_unit)
+        limit_shm = device.shared_memory_per_sm // shm_alloc
+    else:
+        limit_shm = limit_threads
+
+    blocks = min(limit_threads, limit_regs, limit_shm)
+    if blocks == limit_threads and limit_threads <= min(limit_regs, limit_shm):
+        reason = "threads" if by_threads <= by_blocks else "blocks"
+    elif blocks == limit_regs:
+        reason = "registers"
+    else:
+        reason = "shared-memory"
+    return Occupancy(max(0, blocks), warps_per_block, reason)
+
+
+def best_block_size(device: DeviceSpec, registers_per_thread: int,
+                    shared_bytes_fn, candidates=None) -> tuple[int, Occupancy]:
+    """Pick the block size maximizing resident warps per SM.
+
+    ``shared_bytes_fn(block_size)`` returns the dynamic shared-memory request
+    for a given block size (the fused sparse kernel needs
+    ``(BS/VS + n) * sizeof(double)``, so the request depends on BS).
+    Ties are broken toward the *largest* block size, following the paper's
+    goal of maximizing coarsening while keeping occupancy maximal.
+    """
+    if candidates is None:
+        candidates = [w * device.warp_size for w in range(1, 33)]
+    best: tuple[int, Occupancy] | None = None
+    for bs in candidates:
+        if bs > device.max_threads_per_block:
+            continue
+        occ = occupancy(device, bs, registers_per_thread, shared_bytes_fn(bs))
+        if occ.blocks_per_sm == 0:
+            continue
+        if best is None or occ.warps_per_sm > best[1].warps_per_sm or (
+            occ.warps_per_sm == best[1].warps_per_sm and bs > best[0]
+        ):
+            best = (bs, occ)
+    if best is None:
+        raise ValueError("no schedulable block size for the given resources")
+    return best

@@ -1,0 +1,274 @@
+"""A functional SIMT interpreter: blocks, warps, lanes, shared memory.
+
+This module executes CUDA-style kernels *semantically*: a kernel is a Python
+generator function run once per thread, with real shared-memory arrays per
+block, warp-level shuffle exchanges, block-wide barriers, and atomic
+read-modify-write operations.  It exists to validate the fast vectorized
+kernels in :mod:`repro.kernels` — the per-thread renditions of the paper's
+Algorithms 1-3 (:mod:`repro.kernels.simt_kernels`) must produce bit-identical
+results, which pins down the aggregation hierarchy (registers -> shared
+memory -> global memory) and its synchronization points.
+
+Kernel convention
+-----------------
+A kernel is a generator function ``kernel(ctx, *args)`` where ``ctx`` is a
+:class:`ThreadCtx`.  Synchronization points are expressed as ``yield``::
+
+    yield BARRIER                      # __syncthreads()
+    got = yield ShflDown(val, 1, 16)   # __shfl_down_sync within width 16
+
+Threads in a warp execute in lockstep only at these yield points; between
+them, the interpreter runs each thread to its next suspension.  That is
+sufficient for the paper's kernels, whose warp-synchronous sections are all
+expressed through shuffles, shared memory plus barriers, or atomics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterator
+
+import numpy as np
+
+from .device import DeviceSpec, TINY_CC35
+
+
+class Sync:
+    """Marker type for block-wide barriers."""
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return "BARRIER"
+
+
+BARRIER = Sync()
+
+
+@dataclass(frozen=True)
+class ShflDown:
+    """Warp shuffle: lane ``i`` receives the value of lane ``i + delta``
+    within each ``width``-lane subgroup (own value if out of range)."""
+
+    value: float
+    delta: int
+    width: int = 32
+
+
+@dataclass(frozen=True)
+class ShflXor:
+    """Warp shuffle: lane ``i`` exchanges with lane ``i ^ mask``."""
+
+    value: float
+    mask: int
+    width: int = 32
+
+
+@dataclass
+class LaunchStats:
+    """Events observed while interpreting one launch."""
+
+    atomic_global: int = 0
+    atomic_shared: int = 0
+    barriers: int = 0
+    shuffles: int = 0
+    threads_run: int = 0
+
+
+class DeadlockError(RuntimeError):
+    """Raised when threads are parked inconsistently (e.g. divergent barrier)."""
+
+
+class ThreadCtx:
+    """Per-thread view handed to a kernel."""
+
+    __slots__ = ("tid", "block_id", "block_size", "grid_size", "shared",
+                 "_engine")
+
+    def __init__(self, tid: int, block_id: int, block_size: int,
+                 grid_size: int, shared: np.ndarray, engine: "SimtEngine"):
+        self.tid = tid                      # threadIdx.x
+        self.block_id = block_id            # blockIdx.x
+        self.block_size = block_size        # blockDim.x
+        self.grid_size = grid_size          # gridDim.x
+        self.shared = shared                # block-shared array
+        self._engine = engine
+
+    @property
+    def global_tid(self) -> int:
+        return self.block_id * self.block_size + self.tid
+
+    @property
+    def grid_threads(self) -> int:
+        return self.grid_size * self.block_size
+
+    @property
+    def lane(self) -> int:
+        return self.tid % self._engine.device.warp_size
+
+    @property
+    def warp(self) -> int:
+        return self.tid // self._engine.device.warp_size
+
+    def atomic_add(self, array: np.ndarray, index: int, value: float) -> float:
+        """Atomic read-modify-write on global memory; returns the old value."""
+        old = array[index]
+        array[index] = old + value
+        self._engine.stats.atomic_global += 1
+        return old
+
+    def atomic_add_shared(self, index: int, value: float) -> float:
+        """Atomic add targeting this block's shared memory."""
+        old = self.shared[index]
+        self.shared[index] = old + value
+        self._engine.stats.atomic_shared += 1
+        return old
+
+
+class SimtEngine:
+    """Interprets kernel launches block by block.
+
+    Blocks are independent in CUDA (no inter-block barrier exists — the paper
+    leans on this in Section 3.1), so interpreting them sequentially is
+    faithful as long as inter-block communication happens only through
+    atomics, which remain atomic under sequential execution.
+    """
+
+    def __init__(self, device: DeviceSpec = TINY_CC35):
+        self.device = device
+        self.stats = LaunchStats()
+
+    def launch(self, kernel: Callable[..., Iterator[Any]], grid_size: int,
+               block_size: int, args: tuple = (),
+               shared_doubles: int = 0) -> LaunchStats:
+        """Run ``kernel`` over a ``grid_size x block_size`` launch."""
+        if block_size < 1 or block_size > self.device.max_threads_per_block:
+            raise ValueError(f"invalid block size {block_size}")
+        if shared_doubles * 8 > self.device.shared_memory_per_block:
+            raise ValueError("shared memory request exceeds per-block limit")
+        self.stats = LaunchStats()
+        for block_id in range(grid_size):
+            self._run_block(kernel, block_id, grid_size, block_size,
+                            args, shared_doubles)
+        return self.stats
+
+    # ------------------------------------------------------------------ #
+    def _run_block(self, kernel, block_id: int, grid_size: int,
+                   block_size: int, args: tuple, shared_doubles: int) -> None:
+        shared = np.zeros(max(1, shared_doubles), dtype=np.float64)
+        threads: list[Iterator | None] = []
+        parked: list[Any] = [None] * block_size   # token each thread waits on
+        sendval: list[Any] = [None] * block_size  # value to resume with
+        for tid in range(block_size):
+            ctx = ThreadCtx(tid, block_id, block_size, grid_size,
+                            shared, self)
+            threads.append(kernel(ctx, *args))
+            self.stats.threads_run += 1
+
+        live = set(range(block_size))
+        warp = self.device.warp_size
+
+        def advance(tid: int) -> None:
+            gen = threads[tid]
+            assert gen is not None
+            try:
+                token = gen.send(sendval[tid]) if parked[tid] is not None \
+                    else next(gen)
+            except StopIteration:
+                threads[tid] = None
+                parked[tid] = None
+                live.discard(tid)
+                return
+            parked[tid] = token
+            sendval[tid] = None
+
+        # First advance: run every thread to its first suspension or the end.
+        for tid in list(live):
+            parked[tid] = None
+            advance(tid)
+
+        while live:
+            progressed = False
+            # Resolve warp-local shuffles first: a warp whose live lanes are
+            # all parked at shuffles can proceed without the rest of the block.
+            for w0 in range(0, block_size, warp):
+                lanes = [t for t in range(w0, min(w0 + warp, block_size))]
+                live_lanes = [t for t in lanes if t in live]
+                if not live_lanes:
+                    continue
+                toks = [parked[t] for t in live_lanes]
+                if all(isinstance(tk, (ShflDown, ShflXor)) for tk in toks):
+                    self._resolve_shuffles(lanes, live, parked, sendval, w0)
+                    for t in live_lanes:
+                        advance(t)
+                    progressed = True
+            if progressed:
+                continue
+            # Block-wide barrier: every live thread must be parked on it.
+            if live and all(isinstance(parked[t], Sync) for t in live):
+                self.stats.barriers += 1
+                for t in list(live):
+                    sendval[t] = None
+                    advance(t)
+                continue
+            if not live:
+                break
+            kinds = {type(parked[t]).__name__ for t in live}
+            raise DeadlockError(
+                f"block {block_id}: threads parked inconsistently on {kinds} "
+                "(divergent barrier or incomplete warp shuffle)"
+            )
+
+    def _resolve_shuffles(self, lanes, live, parked, sendval, w0) -> None:
+        """Exchange values for one warp's worth of shuffle tokens."""
+        self.stats.shuffles += 1
+        values: dict[int, float] = {}
+        for t in lanes:
+            if t in live:
+                values[t - w0] = parked[t].value
+        for t in lanes:
+            if t not in live:
+                continue
+            tok = parked[t]
+            lane = t - w0
+            width = tok.width
+            group = (lane // width) * width
+            if isinstance(tok, ShflDown):
+                src = lane + tok.delta
+            else:
+                src = lane ^ tok.mask
+            if group <= src < group + width and (w0 + src) in [
+                l for l in lanes
+            ]:
+                sendval[t] = values.get(src, tok.value)
+            else:
+                sendval[t] = tok.value
+
+
+def warp_allreduce_sum(ctx: ThreadCtx, value: float, width: int):
+    """Generator helper: butterfly (xor) all-reduce within ``width`` lanes.
+
+    Every lane of each ``width``-lane group ends with the group sum — the
+    idiom kernels use when all cooperating threads need the reduced value
+    (e.g. Algorithm 2 broadcasting ``p[r]`` to the whole vector).
+    """
+    mask = width // 2
+    while mask >= 1:
+        other = yield ShflXor(value, mask, width)
+        value = value + other
+        mask //= 2
+    return value
+
+
+def warp_reduce_sum(ctx: ThreadCtx, value: float, width: int):
+    """Generator helper: shuffle-based intra-vector sum reduction.
+
+    After completion, lane 0 of each ``width``-lane group holds the group sum
+    (other lanes hold partial sums, as on real hardware).  Usage::
+
+        total = yield from warp_reduce_sum(ctx, partial, VS)
+    """
+    offset = width // 2
+    while offset >= 1:
+        other = yield ShflDown(value, offset, width)
+        value = value + other
+        offset //= 2
+    return value

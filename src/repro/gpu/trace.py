@@ -1,0 +1,105 @@
+"""Kernel-trace analysis: an nvprof-like view of a simulated run.
+
+Attach a trace list to a :class:`~repro.kernels.base.GpuContext` (or use
+:func:`tracing`) and every kernel the context executes records its
+:class:`~repro.kernels.base.KernelResult`.  :func:`summarize` aggregates the
+timeline into per-kernel rows — calls, total/mean time, load transactions,
+atomics — the way the paper's authors read the NVIDIA Visual Profiler to
+find the 43-registers-per-thread figure and the load-transaction counts of
+Figure 2.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+
+
+@dataclass
+class KernelSummary:
+    """Aggregated statistics for one kernel name."""
+
+    name: str
+    calls: int = 0
+    total_ms: float = 0.0
+    load_transactions: float = 0.0
+    store_transactions: float = 0.0
+    atomic_ops: float = 0.0
+    flops: float = 0.0
+
+    @property
+    def mean_ms(self) -> float:
+        return self.total_ms / self.calls if self.calls else 0.0
+
+
+@dataclass
+class TraceReport:
+    """A full trace summary, ordered by total time (hot kernels first)."""
+
+    kernels: list[KernelSummary] = field(default_factory=list)
+
+    @property
+    def total_ms(self) -> float:
+        return sum(k.total_ms for k in self.kernels)
+
+    @property
+    def total_calls(self) -> int:
+        return sum(k.calls for k in self.kernels)
+
+    def fraction(self, name: str) -> float:
+        t = self.total_ms
+        for k in self.kernels:
+            if k.name == name:
+                return k.total_ms / t if t else 0.0
+        return 0.0
+
+    def __getitem__(self, name: str) -> KernelSummary:
+        for k in self.kernels:
+            if k.name == name:
+                return k
+        raise KeyError(name)
+
+    def to_text(self) -> str:
+        lines = [f"{'kernel':<38} {'calls':>6} {'total ms':>10} "
+                 f"{'mean ms':>9} {'%':>6} {'loads':>12}"]
+        total = self.total_ms or 1.0
+        for k in self.kernels:
+            lines.append(
+                f"{k.name:<38} {k.calls:>6d} {k.total_ms:>10.4f} "
+                f"{k.mean_ms:>9.4f} {100 * k.total_ms / total:>5.1f}% "
+                f"{k.load_transactions:>12.0f}")
+        return "\n".join(lines)
+
+
+def summarize(trace: list) -> TraceReport:
+    """Aggregate a kernel trace (list of ``KernelResult``) by kernel name."""
+    by_name: dict[str, KernelSummary] = {}
+    for res in trace:
+        s = by_name.setdefault(res.name or "kernel",
+                               KernelSummary(res.name or "kernel"))
+        s.calls += 1
+        s.total_ms += res.time_ms
+        s.load_transactions += res.counters.global_load_transactions
+        s.store_transactions += res.counters.global_store_transactions
+        s.atomic_ops += res.counters.atomic_global_ops
+        s.flops += res.counters.flops
+    report = TraceReport(sorted(by_name.values(),
+                                key=lambda k: -k.total_ms))
+    return report
+
+
+@contextmanager
+def tracing(ctx):
+    """Temporarily attach a trace to a context::
+
+        with tracing(ctx) as trace:
+            evaluate(X, y, ctx=ctx)
+        print(summarize(trace).to_text())
+    """
+    previous = ctx.trace
+    trace: list = []
+    ctx.trace = trace
+    try:
+        yield trace
+    finally:
+        ctx.trace = previous

@@ -1,0 +1,33 @@
+"""Simulated GPU kernels: the paper's fused kernels and their baselines."""
+
+from .base import DEFAULT_CONTEXT, GpuContext, KernelResult, chain, finish
+from .blas1 import axpy, dot, ewmul, nrm2, scal, sumsq
+from .codegen import (clear_cache, generate_source, get_kernel,
+                      pad_for_vector_size, specialization_key)
+from .dense_baseline import bidmat_gemv_n, bidmat_gemv_t, gemv_n, gemv_t
+from .dense_fused import fused_pattern_dense, fused_xtxy_dense
+from .sparse_baseline import (bidmat_spmv, bidmat_spmv_transpose,
+                              csr2csc_kernel, csrmv, csrmv_transpose,
+                              csrmv_via_explicit_transpose,
+                              vector_gather_transactions)
+from .sparse_formats import ellmv, hybmv
+from .sparse_multi import fused_pattern_multi, max_rhs_for_shared
+from .sparse_scalar import csrmv_scalar, imbalance_report
+from .sparse_fused import (fused_pattern_sparse, fused_xtxy_sparse,
+                           xt_spmv_fused)
+
+__all__ = [
+    "DEFAULT_CONTEXT", "GpuContext", "KernelResult", "chain", "finish",
+    "axpy", "dot", "ewmul", "nrm2", "scal", "sumsq",
+    "clear_cache", "generate_source", "get_kernel", "pad_for_vector_size",
+    "specialization_key",
+    "bidmat_gemv_n", "bidmat_gemv_t", "gemv_n", "gemv_t",
+    "fused_pattern_dense", "fused_xtxy_dense",
+    "bidmat_spmv", "bidmat_spmv_transpose", "csr2csc_kernel", "csrmv",
+    "csrmv_transpose", "csrmv_via_explicit_transpose",
+    "vector_gather_transactions",
+    "ellmv", "hybmv",
+    "fused_pattern_multi", "max_rhs_for_shared",
+    "csrmv_scalar", "imbalance_report",
+    "fused_pattern_sparse", "fused_xtxy_sparse", "xt_spmv_fused",
+]

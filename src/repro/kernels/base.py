@@ -1,0 +1,107 @@
+"""Kernel execution interfaces shared by all simulated kernels.
+
+A *kernel* here computes its true numerical result with vectorized NumPy and
+simultaneously derives the exact hardware events its CUDA counterpart would
+generate from the input's actual layout.  :class:`KernelResult` bundles the
+output vector, the event record, the launch configuration, and the model time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..gpu.costmodel import CostModel, TimeBreakdown
+from ..gpu.counters import PerfCounters
+from ..gpu.device import GTX_TITAN, DeviceSpec
+from ..gpu.launch import LaunchConfig
+from ..gpu.memory import CacheModel
+from ..gpu.occupancy import Occupancy, occupancy
+
+
+@dataclass
+class GpuContext:
+    """Everything a simulated kernel needs besides its operands."""
+
+    device: DeviceSpec = field(default_factory=lambda: GTX_TITAN)
+    use_texture_cache: bool = True
+    use_l2_reuse: bool = True
+    #: when set (see :mod:`repro.gpu.trace`), every finished kernel result
+    #: is appended here — an nvprof-like timeline of the simulated run
+    trace: list | None = None
+
+    def __post_init__(self) -> None:
+        self.cost_model = CostModel(self.device)
+        self.cache = CacheModel(self.device, enabled=self.use_l2_reuse)
+
+    def occupancy_for(self, launch: LaunchConfig) -> Occupancy:
+        return occupancy(self.device, launch.block_size,
+                         launch.registers_per_thread, launch.shared_bytes)
+
+    def concurrent_threads(self, launch: LaunchConfig) -> int:
+        occ = self.occupancy_for(launch)
+        resident = occ.threads_per_sm * self.device.num_sms
+        return max(1, min(resident, launch.total_threads))
+
+
+DEFAULT_CONTEXT = GpuContext()
+
+
+@dataclass
+class KernelResult:
+    """Output and accounting for one (or a few chained) kernel launches."""
+
+    output: np.ndarray | float
+    counters: PerfCounters
+    launch: LaunchConfig | None
+    occupancy_fraction: float
+    time_ms: float
+    breakdown: TimeBreakdown | None = None
+    name: str = ""
+    bandwidth_derate: float = 1.0
+
+    def __repr__(self) -> str:
+        return (f"KernelResult({self.name or 'kernel'}, "
+                f"time={self.time_ms:.4g} ms, occ={self.occupancy_fraction:.2f}, "
+                f"loads={self.counters.global_load_transactions:.3g})")
+
+
+def finish(ctx: GpuContext, output, counters: PerfCounters,
+           launch: LaunchConfig | None, name: str,
+           occupancy_fraction: float | None = None,
+           bandwidth_derate: float = 1.0) -> KernelResult:
+    """Assemble a :class:`KernelResult`, computing model time."""
+    if occupancy_fraction is None:
+        occupancy_fraction = (
+            ctx.occupancy_for(launch).fraction(ctx.device) if launch else 1.0
+        )
+    bd = ctx.cost_model.breakdown(counters, occupancy_fraction,
+                                  bandwidth_derate)
+    res = KernelResult(output, counters, launch, occupancy_fraction,
+                       bd.total_ms, bd, name, bandwidth_derate)
+    if ctx.trace is not None:
+        ctx.trace.append(res)
+    return res
+
+
+#: sustained fraction of peak bandwidth for CSR-vector style sparse kernels
+SPARSE_STREAM_DERATE = 0.6
+
+
+def chain(*results: KernelResult, name: str = "chain") -> KernelResult:
+    """Combine sequential kernel results (times add, counters merge)."""
+    if not results:
+        raise ValueError("chain() needs at least one result")
+    total = PerfCounters()
+    for r in results:
+        total.add(r.counters)
+    return KernelResult(
+        output=results[-1].output,
+        counters=total,
+        launch=results[-1].launch,
+        occupancy_fraction=min(r.occupancy_fraction for r in results),
+        time_ms=sum(r.time_ms for r in results),
+        breakdown=None,
+        name=name,
+    )

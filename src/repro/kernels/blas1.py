@@ -1,0 +1,104 @@
+"""BLAS Level-1 kernels (cuBLAS-like): axpy, dot, nrm2, scal, ewmul.
+
+Listing 1's conjugate-gradient loop stitches these around the BLAS-2 pattern;
+Table 2 shows they account for the *remaining* CPU time (16.9% on KDD2010).
+Each is a single memory-bound kernel launch: the model charges coalesced
+streaming traffic, FLOPs, and the launch overhead that the fused kernel
+amortizes away.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..gpu.counters import PerfCounters
+from ..gpu.launch import LaunchConfig
+from ..gpu.memory import coalesced_transactions
+from .base import DEFAULT_CONTEXT, GpuContext, KernelResult, finish
+
+_D = 8  # sizeof(double)
+
+
+def _launch_for(n: int, ctx: GpuContext) -> LaunchConfig:
+    bs = 256
+    grid = max(1, min(-(-n // bs), ctx.device.num_sms * 16))
+    return LaunchConfig(grid, bs, registers_per_thread=16)
+
+
+def _stream_counters(read_doubles: float, write_doubles: float,
+                     flops: float) -> PerfCounters:
+    c = PerfCounters()
+    c.global_load_transactions = coalesced_transactions(read_doubles * _D)
+    c.global_store_transactions = coalesced_transactions(write_doubles * _D)
+    c.flops = flops
+    c.kernel_launches = 1
+    return c
+
+
+def axpy(alpha: float, x: np.ndarray, y: np.ndarray,
+         ctx: GpuContext = DEFAULT_CONTEXT) -> KernelResult:
+    """``y_out = alpha * x + y`` (cuBLAS ``daxpy``)."""
+    x = np.asarray(x, dtype=np.float64)
+    y = np.asarray(y, dtype=np.float64)
+    if x.shape != y.shape:
+        raise ValueError("axpy operands must have identical shapes")
+    out = alpha * x + y
+    n = x.size
+    return finish(ctx, out, _stream_counters(2 * n, n, 2 * n),
+                  _launch_for(n, ctx), "axpy")
+
+
+def scal(alpha: float, x: np.ndarray,
+         ctx: GpuContext = DEFAULT_CONTEXT) -> KernelResult:
+    """``x_out = alpha * x`` (cuBLAS ``dscal``)."""
+    x = np.asarray(x, dtype=np.float64)
+    n = x.size
+    return finish(ctx, alpha * x, _stream_counters(n, n, n),
+                  _launch_for(n, ctx), "scal")
+
+
+def ewmul(x: np.ndarray, y: np.ndarray,
+          ctx: GpuContext = DEFAULT_CONTEXT) -> KernelResult:
+    """Element-wise multiply ``x ⊙ y`` (the ``v ⊙ (.)`` step, unfused)."""
+    x = np.asarray(x, dtype=np.float64)
+    y = np.asarray(y, dtype=np.float64)
+    if x.shape != y.shape:
+        raise ValueError("ewmul operands must have identical shapes")
+    n = x.size
+    return finish(ctx, x * y, _stream_counters(2 * n, n, n),
+                  _launch_for(n, ctx), "ewmul")
+
+
+def dot(x: np.ndarray, y: np.ndarray,
+        ctx: GpuContext = DEFAULT_CONTEXT) -> KernelResult:
+    """Inner product (cuBLAS ``ddot``): tree reduction + tiny final pass."""
+    x = np.asarray(x, dtype=np.float64)
+    y = np.asarray(y, dtype=np.float64)
+    if x.shape != y.shape:
+        raise ValueError("dot operands must have identical shapes")
+    n = x.size
+    c = _stream_counters(2 * n, 1, 2 * n)
+    c.barriers = max(1, -(-n // 256))  # one barrier wave per block
+    c.shared_accesses = n / 32        # shared-memory tree reduction
+    launch = _launch_for(n, ctx)
+    return finish(ctx, float(x @ y), c, launch, "dot")
+
+
+def nrm2(x: np.ndarray, ctx: GpuContext = DEFAULT_CONTEXT) -> KernelResult:
+    """Euclidean norm (cuBLAS ``dnrm2``)."""
+    x = np.asarray(x, dtype=np.float64)
+    n = x.size
+    c = _stream_counters(n, 1, 2 * n)
+    c.barriers = max(1, -(-n // 256))
+    c.shared_accesses = n / 32
+    return finish(ctx, float(np.sqrt(x @ x)), c, _launch_for(n, ctx), "nrm2")
+
+
+def sumsq(x: np.ndarray, ctx: GpuContext = DEFAULT_CONTEXT) -> KernelResult:
+    """``sum(x * x)`` — Listing 1's ``nr2`` update, one fused L1 kernel."""
+    x = np.asarray(x, dtype=np.float64)
+    n = x.size
+    c = _stream_counters(n, 1, 2 * n)
+    c.barriers = max(1, -(-n // 256))
+    c.shared_accesses = n / 32
+    return finish(ctx, float(x @ x), c, _launch_for(n, ctx), "sumsq")

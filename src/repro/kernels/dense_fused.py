@@ -1,0 +1,119 @@
+"""Fused dense kernel — Algorithm 3 of the paper, driven by generated code.
+
+Each row of ``X`` is handled by a ``VS``-thread vector whose threads keep
+``TL`` elements of ``X``, ``y``, and the partial ``w`` in *registers* (the
+code generator unrolls all register loops into named locals — see
+:mod:`repro.kernels.codegen`).  ``X`` is therefore read from global memory
+exactly once; the intermediate ``p`` never exists in memory; and the only
+global synchronization is the final per-vector atomic flush of ``l_w``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..gpu.counters import PerfCounters
+from ..gpu.memory import coalesced_transactions
+from ..tuning.dense_params import DenseParams, tune_dense
+from .base import DEFAULT_CONTEXT, GpuContext, KernelResult, finish
+from .codegen import get_kernel
+
+_D = 8
+
+
+def _pad(X: np.ndarray, y: np.ndarray,
+         padded_n: int) -> tuple[np.ndarray, np.ndarray]:
+    """Zero-pad columns so VS*TL divides the width (paper §3.2, end)."""
+    m, n = X.shape
+    if padded_n == n:
+        return X, y
+    Xp = np.zeros((m, padded_n), dtype=np.float64)
+    Xp[:, :n] = X
+    yp = np.zeros(padded_n, dtype=np.float64)
+    yp[:n] = y
+    return Xp, yp
+
+
+def fused_pattern_dense(X: np.ndarray, y: np.ndarray,
+                        v: np.ndarray | None = None,
+                        z: np.ndarray | None = None,
+                        alpha: float = 1.0, beta: float = 0.0,
+                        ctx: GpuContext = DEFAULT_CONTEXT,
+                        params: DenseParams | None = None) -> KernelResult:
+    """Algorithm 3: ``alpha * X^T (v ⊙ (X y)) + beta * z`` for dense ``X``."""
+    X = np.asarray(X, dtype=np.float64)
+    if X.ndim != 2:
+        raise ValueError("X must be 2-D")
+    m, n = X.shape
+    y = np.asarray(y, dtype=np.float64)
+    if y.shape != (n,):
+        raise ValueError(f"y must have shape ({n},)")
+    if v is not None and np.asarray(v).shape != (m,):
+        raise ValueError(f"v must have shape ({m},)")
+    if beta != 0.0 and z is None:
+        raise ValueError("beta != 0 requires z")
+
+    if params is None:
+        params = tune_dense(m, n, ctx.device)
+    launch = params.launch()
+    launch.validate(ctx.device)
+
+    # ------- functional result through the *generated* kernel ---------------
+    Xp, yp = _pad(X, y, params.padded_n)
+    kernel = get_kernel(params.padded_n, params.vector_size,
+                        params.thread_load)
+    out_padded = np.zeros(params.padded_n, dtype=np.float64)
+    if beta != 0.0:
+        out_padded[:n] = beta * np.asarray(z, dtype=np.float64)
+    vv = None if v is None else np.asarray(v, dtype=np.float64)
+    kernel(Xp, yp, vv, alpha, out_padded)
+    w = out_padded[:n].copy()
+
+    # ------- event accounting -------------------------------------------------
+    c = PerfCounters()
+    c.global_load_transactions = (
+        coalesced_transactions(m * params.padded_n * _D)   # X, exactly once
+        + coalesced_transactions(params.padded_n * _D)     # y -> registers
+    )
+    if v is not None:
+        c.global_load_transactions += coalesced_transactions(m * _D)
+    if beta != 0.0:
+        c.global_load_transactions += coalesced_transactions(n * _D)
+        c.atomic_global_ops += n
+        c.atomic_cas_chain += 1.0
+
+    # intra-vector reduction: shuffles are register traffic; VS > 32 also
+    # runs an inter-warp shared-memory reduction with two barriers per row
+    rows_per_wave = max(1, params.occupancy.warps_per_sm
+                        * ctx.device.warp_size
+                        * ctx.device.num_sms // params.vector_size)
+    if params.vector_size > ctx.device.warp_size:
+        c.shared_accesses = m * (params.vector_size // 32) / 32
+        c.barriers = 2.0 * m / rows_per_wave
+
+    # final flush: each vector atomically adds its n partials into w
+    total_vectors = min(params.grid_size * (params.block_size
+                                            // params.vector_size),
+                        m)
+    c.atomic_global_ops += total_vectors * params.padded_n
+    c.atomic_cas_chain += total_vectors     # every vector hits every element
+
+    c.flops = 4.0 * m * params.padded_n + 2.0 * m
+    c.kernel_launches = 1
+    # Latency hiding comes from warps *and* per-thread ILP: each thread has
+    # TL independent outstanding loads, so large-TL configurations sustain
+    # full bandwidth despite low warp occupancy (the register-tiling trade
+    # the paper makes deliberately).
+    occ = params.occupancy.fraction(ctx.device)
+    eff_occ = min(1.0, occ * max(1.0, params.thread_load / 2.0))
+    return finish(ctx, w, c, launch, "fused.pattern_dense",
+                  occupancy_fraction=eff_occ)
+
+
+def fused_xtxy_dense(X: np.ndarray, y: np.ndarray,
+                     ctx: GpuContext = DEFAULT_CONTEXT,
+                     params: DenseParams | None = None) -> KernelResult:
+    """Convenience: the ``X^T x (X x y)`` instantiation for dense ``X``."""
+    res = fused_pattern_dense(X, y, ctx=ctx, params=params)
+    res.name = "fused.xtxy_dense"
+    return res

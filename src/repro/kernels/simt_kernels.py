@@ -1,0 +1,225 @@
+"""Per-thread SIMT renditions of the paper's Algorithms 1-3.
+
+These generator kernels run under :class:`repro.gpu.simt.SimtEngine` and
+follow the published pseudocode line by line: CSR-vector row assignment with
+lane/vector ids, shared-memory mirrors of ``w`` with intra-block atomic
+aggregation, shuffle-based intra-vector reductions, coarsened grid-stride row
+loops, and the final inter-block atomic flush.
+
+They are the semantic ground truth for the fast vectorized kernels in
+:mod:`repro.kernels.sparse_fused` / :mod:`repro.kernels.dense_fused`:
+differential tests assert both produce the same numbers on the same inputs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..gpu.simt import BARRIER, ThreadCtx, warp_allreduce_sum
+
+
+def alg1_xt_spmv(ctx: ThreadCtx, values, col_idx, row_off, p, w,
+                 m: int, n: int, VS: int, C: int):
+    """Algorithm 1: ``w += X^T x p`` (shared-memory mirror variant)."""
+    tid = ctx.tid
+    lid, vid = tid % VS, tid // VS
+    NV = ctx.block_size // VS
+    row = ctx.block_id * NV + vid
+    for i in range(tid, n, ctx.block_size):        # SD[1:n] <- 0
+        ctx.shared[i] = 0.0
+    yield BARRIER
+    for _ in range(C):
+        if row < m:
+            start, end = row_off[row], row_off[row + 1]
+            for i in range(start + lid, end, VS):
+                ctx.atomic_add_shared(int(col_idx[i]), values[i] * p[row])
+        row += ctx.grid_threads // VS
+    yield BARRIER                                   # line 14
+    for i in range(tid, n, ctx.block_size):         # lines 15-16
+        ctx.atomic_add(w, i, ctx.shared[i])
+
+
+def alg2_fused_sparse(ctx: ThreadCtx, values, col_idx, row_off, y, v, z, w,
+                      m: int, n: int, VS: int, C: int,
+                      alpha: float, beta: float):
+    """Algorithm 2: the full fused pattern, shared-memory variant."""
+    tid = ctx.tid
+    lid, vid = tid % VS, tid // VS
+    NV = ctx.block_size // VS
+    row = ctx.block_id * NV + vid
+    for i in range(tid, n, ctx.block_size):
+        ctx.shared[i] = 0.0
+    if beta != 0.0:                                 # lines 3-4
+        for i in range(ctx.global_tid, n, ctx.grid_threads):
+            ctx.atomic_add(w, i, beta * z[i])
+    yield BARRIER
+    for _ in range(C):                              # lines 5-15
+        active = row < m
+        s = 0.0
+        if active:
+            start, end = row_off[row], row_off[row + 1]
+            for i in range(start + lid, end, VS):   # lines 10-11
+                s += values[i] * y[col_idx[i]]
+        # line 12: intra-vector reduce; all lanes participate to keep the
+        # warp shuffle convergent, inactive vectors contribute zero
+        s = yield from warp_allreduce_sum(ctx, s, VS)
+        if active:
+            if v is not None:
+                s *= v[row]
+            start, end = row_off[row], row_off[row + 1]
+            for i in range(start + lid, end, VS):   # lines 13-14
+                ctx.atomic_add_shared(int(col_idx[i]), values[i] * s)
+        row += ctx.grid_threads // VS
+    yield BARRIER                                   # line 16
+    for i in range(tid, n, ctx.block_size):         # lines 17-18
+        ctx.atomic_add(w, i, alpha * ctx.shared[i])
+
+
+def alg2_fused_sparse_large_n(ctx: ThreadCtx, values, col_idx, row_off,
+                              y, v, z, w, m: int, n: int, VS: int, C: int,
+                              alpha: float, beta: float):
+    """Algorithm 2, large-n variant: aggregation directly in global memory.
+
+    The shared mirror and the final inter-block flush disappear; lines 13-14
+    target ``w`` with global atomics and ``alpha`` is applied inline.
+    """
+    tid = ctx.tid
+    lid, vid = tid % VS, tid // VS
+    NV = ctx.block_size // VS
+    row = ctx.block_id * NV + vid
+    if beta != 0.0:
+        for i in range(ctx.global_tid, n, ctx.grid_threads):
+            ctx.atomic_add(w, i, beta * z[i])
+    yield BARRIER
+    for _ in range(C):
+        active = row < m
+        s = 0.0
+        if active:
+            start, end = row_off[row], row_off[row + 1]
+            for i in range(start + lid, end, VS):
+                s += values[i] * y[col_idx[i]]
+        s = yield from warp_allreduce_sum(ctx, s, VS)
+        if active:
+            if v is not None:
+                s *= v[row]
+            start, end = row_off[row], row_off[row + 1]
+            for i in range(start + lid, end, VS):
+                ctx.atomic_add(w, int(col_idx[i]), alpha * values[i] * s)
+        row += ctx.grid_threads // VS
+
+
+def alg3_fused_dense(ctx: ThreadCtx, X, y, v, z, w, m: int, n: int,
+                     VS: int, C: int, TL: int, alpha: float, beta: float):
+    """Algorithm 3: the fused dense kernel (register-tiled).
+
+    ``X`` is the VS*TL-padded dense matrix; ``n`` its padded width.  Supports
+    VS > 32 through the inter-warp shared-memory reduction (two barriers per
+    coarsening step, as in lines 18-22).
+    """
+    tid = ctx.tid
+    lid, vid = tid % VS, tid // VS
+    NV = ctx.block_size // VS
+    warps_per_vec = max(1, VS // 32)
+    row = ctx.block_id * NV + vid
+    l_y = [y[lid + k * VS] for k in range(TL)]       # lines 4-5
+    l_w = [0.0] * TL                                 # line 3
+    if beta != 0.0:                                  # lines 6-7
+        for i in range(ctx.global_tid, n, ctx.grid_threads):
+            ctx.atomic_add(w, i, beta * z[i])
+    for _ in range(C):                               # lines 8-25
+        active = row < m
+        l_X = [0.0] * TL
+        s = 0.0
+        if active:
+            for k in range(TL):                      # lines 11-13
+                l_X[k] = X[row, lid + k * VS]
+                s += l_X[k] * l_y[k]
+        if VS <= 32:                                 # lines 14-15
+            s = yield from warp_allreduce_sum(ctx, s, VS)
+        else:                                        # lines 16-22
+            s = yield from warp_allreduce_sum(ctx, s, 32)
+            if lid % 32 == 0:
+                ctx.shared[vid * warps_per_vec + lid // 32] = s
+            yield BARRIER
+            s = 0.0
+            for wv in range(warps_per_vec):
+                s += ctx.shared[vid * warps_per_vec + wv]
+            yield BARRIER
+        if active:
+            if v is not None:
+                s *= v[row]                          # line 20 (cell-wise)
+            for k in range(TL):                      # lines 23-24
+                l_w[k] += l_X[k] * s
+        row += ctx.grid_threads // VS
+    for k in range(TL):                              # lines 26-27
+        ctx.atomic_add(w, lid + k * VS, alpha * l_w[k])
+
+
+def csr_vector_spmv(ctx: ThreadCtx, values, col_idx, row_off, y, out,
+                    m: int, VS: int, C: int):
+    """CSR-vector SpMV (the cuSPARSE-style baseline), per-thread.
+
+    The building block the fused kernels extend: a vector of VS lanes
+    reduces each row's dot product via shuffle, lane 0 writes the result —
+    no shared mirror, no second pass.  Used to differential-test the
+    baseline's functional semantics.
+    """
+    tid = ctx.tid
+    lid, vid = tid % VS, tid // VS
+    NV = ctx.block_size // VS
+    row = ctx.block_id * NV + vid
+    for _ in range(C):
+        active = row < m
+        s = 0.0
+        if active:
+            start, end = row_off[row], row_off[row + 1]
+            for i in range(start + lid, end, VS):
+                s += values[i] * y[col_idx[i]]
+        s = yield from warp_allreduce_sum(ctx, s, VS)
+        if active and lid == 0:
+            out[row] = s
+        row += ctx.grid_threads // VS
+
+
+def run_alg2(engine, X_csr, y, v=None, z=None, alpha=1.0, beta=0.0,
+             VS=4, block_size=32, grid_size=2, C=None, variant="shared"):
+    """Convenience launcher for tests: run Algorithm 2 end to end."""
+    m, n = X_csr.shape
+    if C is None:
+        vectors = grid_size * (block_size // VS)
+        C = max(1, -(-m // vectors))
+    w = np.zeros(n, dtype=np.float64)
+    kern = alg2_fused_sparse if variant == "shared" \
+        else alg2_fused_sparse_large_n
+    shared = n if variant == "shared" else 1
+    engine.launch(
+        kern, grid_size, block_size,
+        (X_csr.values, X_csr.col_idx, X_csr.row_off, y, v, z, w,
+         m, n, VS, C, alpha, beta),
+        shared_doubles=shared,
+    )
+    return w
+
+
+def run_alg3(engine, X, y, v=None, z=None, alpha=1.0, beta=0.0,
+             VS=8, TL=None, block_size=32, grid_size=2, C=None):
+    """Convenience launcher for tests: run Algorithm 3 end to end."""
+    X = np.asarray(X, dtype=np.float64)
+    m, n = X.shape
+    if n % VS:
+        raise ValueError("X must be padded so VS divides n")
+    if TL is None:
+        TL = n // VS
+    if VS * TL != n:
+        raise ValueError("VS * TL must equal the padded width")
+    w = np.zeros(n, dtype=np.float64)
+    if C is None:
+        vectors = grid_size * (block_size // VS)
+        C = max(1, -(-m // vectors))
+    shared = max(1, (block_size // VS) * max(1, VS // 32))
+    engine.launch(
+        alg3_fused_dense, grid_size, block_size,
+        (X, y, v, z, w, m, n, VS, C, TL, alpha, beta),
+        shared_doubles=shared,
+    )
+    return w

@@ -1,0 +1,180 @@
+"""Fused sparse kernels — Algorithms 1 and 2 of the paper.
+
+Algorithm 1 computes ``w = X^T x p`` with CSR-vector row partitioning and a
+two-level aggregation: vectors accumulate into a shared-memory mirror of
+``w`` (inter-vector, atomic within the block), then each block flushes the
+mirror into global memory (inter-block, atomic across blocks).
+
+Algorithm 2 fuses the whole pattern ``alpha * X^T (v ⊙ (X y)) + beta * z``:
+each vector loads a row once to compute ``p[r] = X[r,:] x y`` (register-level
+shuffle reduction), multiplies by ``v[r]``, then *reuses the same row* —
+now warm in cache — to scatter ``X[r,:]^T * p[r]`` into the shared mirror.
+The ``beta * z`` term is folded in as an atomic initialization pass, avoiding
+the inter-block barrier CUDA does not provide.
+
+The large-``n`` variant (used for KDD2010's 30M columns) drops the shared
+mirror and aggregates straight into global memory: more atomic traffic, but
+no shared-memory occupancy limit — and with huge, sparse column spaces the
+collision probability is tiny.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..gpu.atomics import contended_chain, shared_atomic_batch
+from ..gpu.counters import PerfCounters
+from ..gpu.memory import coalesced_transactions, warp_segment_transactions
+from ..sparse.csr import CsrMatrix
+from ..sparse.ops import spmv, spmv_t
+from ..tuning.sparse_params import SparseParams, tune_sparse
+from .base import (DEFAULT_CONTEXT, SPARSE_STREAM_DERATE, GpuContext,
+                   KernelResult, finish)
+from .sparse_baseline import vector_gather_transactions
+
+_D = 8
+_I = 4
+
+
+def _resolve_params(X: CsrMatrix, ctx: GpuContext,
+                    params: SparseParams | None) -> SparseParams:
+    return params if params is not None else tune_sparse(X, ctx.device)
+
+
+def _active_vectors_per_sm(params: SparseParams) -> int:
+    nv = params.block_size // params.vector_size
+    return max(1, params.occupancy.blocks_per_sm * nv)
+
+
+def _row_pass_loads(X: CsrMatrix, vector_size: int,
+                    warp_size: int = 32) -> float:
+    """Coalesced transactions for one pass over values + column indices.
+
+    Counted at warp granularity: a warp holds ``warp/VS`` vectors working on
+    consecutive rows whose CSR segments are adjacent in memory.
+    """
+    rows_per_warp = max(1, warp_size // vector_size)
+    row_nnz = X.row_nnz
+    return (warp_segment_transactions(row_nnz, _D, rows_per_warp)
+            + warp_segment_transactions(row_nnz, _I, rows_per_warp)
+            + coalesced_transactions((X.m + 1) * _I))
+
+
+def xt_spmv_fused(X: CsrMatrix, p: np.ndarray,
+                  ctx: GpuContext = DEFAULT_CONTEXT,
+                  params: SparseParams | None = None) -> KernelResult:
+    """Algorithm 1: ``w = X^T x p`` without transposing ``X``."""
+    params = _resolve_params(X, ctx, params)
+    launch = params.launch()
+    launch.validate(ctx.device)
+    out = spmv_t(X, p)
+
+    c = PerfCounters()
+    c.global_load_transactions = (
+        _row_pass_loads(X, params.vector_size, ctx.device.warp_size)
+        + coalesced_transactions(X.m * _D)                       # p
+    )
+    c.flops = 2.0 * X.nnz + params.grid_size * X.n
+
+    if params.variant == "shared":
+        # per-nnz adds into the shared mirror, contended inside each block
+        shm = shared_atomic_batch(X.nnz, X.n, params.block_size)
+        c.atomic_shared_ops = shm.ops
+        c.atomic_shared_serialized = shm.serialized
+        c.shared_accesses = X.n / 32 * params.grid_size       # mirror init
+        c.barriers = params.grid_size / max(
+            1, params.occupancy.blocks_per_sm * ctx.device.num_sms)
+        # lines 15-16: every block adds its mirror into w -> chain = #blocks
+        c.atomic_global_ops = params.grid_size * X.n
+        c.atomic_cas_chain = params.grid_size
+        c.shared_accesses += X.n / 32 * params.grid_size      # mirror read
+    else:
+        c.atomic_global_ops = X.nnz
+        c.atomic_cas_chain = contended_chain(X.nnz, X.column_counts())
+        c.global_store_transactions += 0.125 * X.nnz          # atomic sectors
+    c.kernel_launches = 1
+    return finish(ctx, out, c, launch, f"fused.xt_spmv[{params.variant}]",
+                  bandwidth_derate=SPARSE_STREAM_DERATE)
+
+
+def fused_pattern_sparse(X: CsrMatrix, y: np.ndarray,
+                         v: np.ndarray | None = None,
+                         z: np.ndarray | None = None,
+                         alpha: float = 1.0, beta: float = 0.0,
+                         ctx: GpuContext = DEFAULT_CONTEXT,
+                         params: SparseParams | None = None) -> KernelResult:
+    """Algorithm 2: the complete fused pattern in one kernel launch."""
+    if beta != 0.0 and z is None:
+        raise ValueError("beta != 0 requires z")
+    params = _resolve_params(X, ctx, params)
+    launch = params.launch()
+    launch.validate(ctx.device)
+
+    # ------- functional result (mirrors the kernel's dataflow) -------------
+    p = spmv(X, y)
+    if v is not None:
+        if np.asarray(v).shape != (X.m,):
+            raise ValueError(f"v must have shape ({X.m},)")
+        p = p * np.asarray(v, dtype=np.float64)
+    w = alpha * spmv_t(X, p)
+    if beta != 0.0:
+        w = w + beta * np.asarray(z, dtype=np.float64)
+
+    # ------- event accounting ----------------------------------------------
+    c = PerfCounters()
+    row_nnz = X.row_nnz
+    first_pass = _row_pass_loads(X, params.vector_size,
+                                 ctx.device.warp_size)
+    c.global_load_transactions = (
+        first_pass
+        + vector_gather_transactions(X, ctx,
+                                     texture=ctx.use_texture_cache)  # y
+    )
+    if v is not None:
+        c.global_load_transactions += coalesced_transactions(X.m * _D)
+
+    # second pass over each row: cache hits where the row is still resident
+    hit = ctx.cache.second_pass_hit_fraction(
+        row_nnz, _active_vectors_per_sm(params))
+    rows_per_warp = max(1, ctx.device.warp_size // params.vector_size)
+    second_full = (warp_segment_transactions(row_nnz, _D, rows_per_warp)
+                   + warp_segment_transactions(row_nnz, _I, rows_per_warp))
+    miss_weight = float((row_nnz * (1.0 - hit)).sum()) / max(1.0,
+                                                             float(row_nnz.sum()))
+    c.global_load_transactions += second_full * miss_weight
+
+    c.flops = 4.0 * X.nnz + 2.0 * X.m
+
+    if beta != 0.0:
+        c.global_load_transactions += coalesced_transactions(X.n * _D)  # z
+        c.atomic_global_ops += X.n         # one add per element, no chain
+        c.atomic_cas_chain += 1.0
+        c.flops += X.n
+
+    if params.variant == "shared":
+        shm = shared_atomic_batch(X.nnz, X.n, params.block_size)
+        c.atomic_shared_ops = shm.ops
+        c.atomic_shared_serialized = shm.serialized
+        c.shared_accesses = 2 * X.n / 32 * params.grid_size
+        c.barriers = params.grid_size / max(
+            1, params.occupancy.blocks_per_sm * ctx.device.num_sms)
+        c.atomic_global_ops += params.grid_size * X.n
+        c.atomic_cas_chain += params.grid_size
+        c.flops += params.grid_size * X.n
+    else:
+        c.atomic_global_ops += X.nnz
+        c.atomic_cas_chain += contended_chain(X.nnz, X.column_counts())
+        c.global_store_transactions += 0.125 * X.nnz
+    c.kernel_launches = 1
+    return finish(ctx, w, c, launch,
+                  f"fused.pattern_sparse[{params.variant}]",
+                  bandwidth_derate=SPARSE_STREAM_DERATE)
+
+
+def fused_xtxy_sparse(X: CsrMatrix, y: np.ndarray,
+                      ctx: GpuContext = DEFAULT_CONTEXT,
+                      params: SparseParams | None = None) -> KernelResult:
+    """Convenience: the ``X^T x (X x y)`` instantiation (no v, z)."""
+    res = fused_pattern_sparse(X, y, ctx=ctx, params=params)
+    res.name = "fused.xtxy_sparse"
+    return res

@@ -1,0 +1,93 @@
+"""CSR-scalar SpMV — the one-thread-per-row kernel of Bell & Garland.
+
+The paper's CSR-vector partitioning (and its Eq. 4, which degenerates to
+``VS = 1`` for very short rows) exists because of this kernel's trade-off:
+one thread walks each row, so *within* a warp the 32 threads read 32
+different row segments simultaneously — scattered accesses that defeat
+coalescing as soon as rows have more than a couple of non-zeros, but zero
+cooperation overhead when rows are tiny.  The classic crossover (scalar wins
+below ~4 nnz/row, vector wins above) is reproduced by the
+``bench_scalar_vector_crossover`` ablation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..gpu.counters import PerfCounters
+from ..gpu.launch import LaunchConfig
+from ..gpu.memory import coalesced_transactions
+from ..gpu.balance import warp_idle_fraction
+from ..sparse.csr import CsrMatrix
+from ..sparse.ops import spmv
+from .base import (DEFAULT_CONTEXT, SPARSE_STREAM_DERATE, GpuContext,
+                   KernelResult, finish)
+from .sparse_baseline import vector_gather_transactions
+
+_D = 8
+_I = 4
+
+
+def _scalar_launch(m: int, ctx: GpuContext) -> LaunchConfig:
+    bs = 256
+    grid = min(max(1, -(-m // bs)),
+               ctx.device.num_sms * ctx.device.max_blocks_per_sm)
+    return LaunchConfig(grid, bs, registers_per_thread=20, vector_size=1)
+
+
+def scalar_row_transactions(row_nnz: np.ndarray, itemsize: int,
+                            warp_size: int = 32,
+                            transaction_bytes: int = 128) -> float:
+    """Transactions for a warp of threads each walking its own row.
+
+    At step ``k`` of the walk, the warp's lanes read element ``k`` of 32
+    *different* rows — addresses ``row_off[r] + k`` scattered across the
+    array, so each active lane's access is (approximately) its own
+    transaction until rows shorten below one element per line.  Short rows
+    bound the damage: a row of 1-2 non-zeros costs about what a coalesced
+    scheme would pay anyway.
+    """
+    lengths = np.asarray(row_nnz, dtype=np.float64)
+    if lengths.size == 0:
+        return 0.0
+    per_line = transaction_bytes / itemsize
+    # step 0 reads the *first* element of 32 adjacent rows — those sit close
+    # together when rows are short, so they coalesce like a stream; every
+    # subsequent step reads one scattered element per lane (own transaction)
+    first_elements = float(np.count_nonzero(lengths))
+    coalesced_first = first_elements / per_line
+    scattered_rest = float(np.maximum(lengths - 1, 0).sum())
+    return coalesced_first + scattered_rest
+
+
+def csrmv_scalar(X: CsrMatrix, y: np.ndarray,
+                 ctx: GpuContext = DEFAULT_CONTEXT) -> KernelResult:
+    """CSR-scalar ``X @ y``: one thread per row, uncoalesced row walks."""
+    out = spmv(X, y)
+    launch = _scalar_launch(X.m, ctx)
+    c = PerfCounters()
+    row_nnz = X.row_nnz
+    c.global_load_transactions = (
+        scalar_row_transactions(row_nnz, _D)         # values, scattered
+        + scalar_row_transactions(row_nnz, _I) * 0.5  # col idx (2 per line)
+        + coalesced_transactions((X.m + 1) * _I)      # row offsets
+        + vector_gather_transactions(X, ctx)
+    )
+    c.global_store_transactions = coalesced_transactions(X.m * _D)
+    c.flops = 2.0 * X.nnz
+    c.kernel_launches = 1
+    c.barriers = 1
+    res = finish(ctx, out, c, launch, "csr-scalar.spmv",
+                 bandwidth_derate=SPARSE_STREAM_DERATE)
+    return res
+
+
+def imbalance_report(X: CsrMatrix, vector_size: int,
+                     ctx: GpuContext = DEFAULT_CONTEXT) -> dict[str, float]:
+    """Load-balance diagnostics for a row partitioning (analysis helper)."""
+    return {
+        "warp_idle_fraction": warp_idle_fraction(
+            X.row_nnz, vector_size, ctx.device.warp_size),
+        "mean_row_nnz": X.mean_row_nnz,
+        "max_row_nnz": float(X.row_nnz.max(initial=0)),
+    }

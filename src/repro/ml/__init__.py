@@ -1,0 +1,21 @@
+"""The five ML algorithms of Table 1, composed from the generic pattern."""
+
+from .glm import FAMILIES, GlmResult, glm_irls
+from .hits import HitsResult, hits
+from .linreg import LinRegResult, linreg_cg
+from .logreg import LogRegResult, logreg_trust_region
+from .multinomial import MultinomialResult, multinomial_logreg
+from .runtime import BACKENDS, MLRuntime, TimeLedger
+from .subspace import SubspaceResult, subspace_iteration
+from .svm import SvmResult, svm_primal
+
+__all__ = [
+    "FAMILIES", "GlmResult", "glm_irls",
+    "HitsResult", "hits",
+    "LinRegResult", "linreg_cg",
+    "LogRegResult", "logreg_trust_region",
+    "MultinomialResult", "multinomial_logreg",
+    "BACKENDS", "MLRuntime", "TimeLedger",
+    "SubspaceResult", "subspace_iteration",
+    "SvmResult", "svm_primal",
+]

@@ -1,0 +1,81 @@
+"""COO (coordinate) sparse matrix — the construction format.
+
+COO is the natural builder format: triplets can arrive in any order and are
+sorted/deduplicated once when converting to CSR.  The paper's kernels operate
+on CSR; COO exists here as the ingestion path (mirroring how SystemML and
+cuSPARSE pipelines assemble matrices before conversion).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass
+class CooMatrix:
+    """Sparse matrix in coordinate format (row, col, value triplets)."""
+
+    shape: tuple[int, int]
+    row: np.ndarray
+    col: np.ndarray
+    data: np.ndarray
+
+    def __post_init__(self) -> None:
+        self.row = np.ascontiguousarray(self.row, dtype=np.int64)
+        self.col = np.ascontiguousarray(self.col, dtype=np.int64)
+        self.data = np.ascontiguousarray(self.data, dtype=np.float64)
+        m, n = self.shape
+        if not (self.row.shape == self.col.shape == self.data.shape):
+            raise ValueError("row/col/data must have identical shapes")
+        if self.row.size:
+            if self.row.min(initial=0) < 0 or self.col.min(initial=0) < 0:
+                raise ValueError("negative indices")
+            if self.row.max(initial=-1) >= m or self.col.max(initial=-1) >= n:
+                raise ValueError("index out of bounds for shape "
+                                 f"{self.shape}")
+
+    @property
+    def nnz(self) -> int:
+        return int(self.data.size)
+
+    def sum_duplicates(self) -> "CooMatrix":
+        """Return a copy with duplicate (row, col) entries summed."""
+        if self.nnz == 0:
+            return CooMatrix(self.shape, self.row, self.col, self.data)
+        m, n = self.shape
+        keys = self.row * n + self.col
+        order = np.argsort(keys, kind="stable")
+        keys = keys[order]
+        data = self.data[order]
+        uniq, start = np.unique(keys, return_index=True)
+        sums = np.add.reduceat(data, start)
+        return CooMatrix(self.shape, uniq // n, uniq % n, sums)
+
+    def to_dense(self) -> np.ndarray:
+        out = np.zeros(self.shape, dtype=np.float64)
+        np.add.at(out, (self.row, self.col), self.data)
+        return out
+
+    def to_csr(self):
+        """Convert to CSR (sorts, sums duplicates)."""
+        from .csr import CsrMatrix
+        dedup = self.sum_duplicates()
+        m, n = self.shape
+        order = np.lexsort((dedup.col, dedup.row))
+        rows = dedup.row[order]
+        row_off = np.zeros(m + 1, dtype=np.int64)
+        np.add.at(row_off, rows + 1, 1)
+        np.cumsum(row_off, out=row_off)
+        return CsrMatrix(self.shape, dedup.data[order], dedup.col[order],
+                         row_off)
+
+    @classmethod
+    def from_dense(cls, dense: np.ndarray, tol: float = 0.0) -> "CooMatrix":
+        dense = np.asarray(dense, dtype=np.float64)
+        if dense.ndim != 2:
+            raise ValueError("expected a 2-D array")
+        mask = np.abs(dense) > tol
+        r, c = np.nonzero(mask)
+        return cls(dense.shape, r, c, dense[r, c])

@@ -1,0 +1,160 @@
+"""CSR (compressed sparse row) matrix — the device format.
+
+The paper's kernels consume CSR exactly as cuSPARSE does: a ``values`` array,
+a parallel ``col_idx`` array, and an ``m+1``-long ``row_off`` prefix array.
+This implementation is self-contained (no SciPy) so the kernel simulations can
+reason about the raw arrays — segment offsets, per-row non-zero counts, and
+column histograms all feed the memory/atomic models directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass
+class CsrMatrix:
+    """Compressed sparse row matrix over float64."""
+
+    shape: tuple[int, int]
+    values: np.ndarray
+    col_idx: np.ndarray
+    row_off: np.ndarray
+
+    def __post_init__(self) -> None:
+        self.values = np.ascontiguousarray(self.values, dtype=np.float64)
+        self.col_idx = np.ascontiguousarray(self.col_idx, dtype=np.int64)
+        self.row_off = np.ascontiguousarray(self.row_off, dtype=np.int64)
+        self.validate()
+
+    # --- invariants ---------------------------------------------------------
+    def validate(self) -> None:
+        """Check the CSR structural invariants; raise ``ValueError`` if broken."""
+        m, n = self.shape
+        if m < 0 or n < 0:
+            raise ValueError("negative dimensions")
+        if self.row_off.shape != (m + 1,):
+            raise ValueError(f"row_off must have length m+1={m + 1}")
+        if self.row_off[0] != 0:
+            raise ValueError("row_off[0] must be 0")
+        if np.any(np.diff(self.row_off) < 0):
+            raise ValueError("row_off must be non-decreasing")
+        if self.row_off[-1] != self.values.size:
+            raise ValueError("row_off[-1] must equal nnz")
+        if self.values.shape != self.col_idx.shape:
+            raise ValueError("values and col_idx must have identical shapes")
+        if self.col_idx.size:
+            if self.col_idx.min() < 0 or self.col_idx.max() >= n:
+                raise ValueError("column index out of bounds")
+
+    # --- basic properties -----------------------------------------------------
+    @property
+    def m(self) -> int:
+        return self.shape[0]
+
+    @property
+    def n(self) -> int:
+        return self.shape[1]
+
+    @property
+    def nnz(self) -> int:
+        return int(self.values.size)
+
+    @property
+    def row_nnz(self) -> np.ndarray:
+        """Per-row non-zero counts (drives CSR-vector load balance)."""
+        return np.diff(self.row_off)
+
+    @property
+    def mean_row_nnz(self) -> float:
+        """mu = NNZ / m, the quantity Eq. 4 selects the vector size from."""
+        return self.nnz / self.m if self.m else 0.0
+
+    @property
+    def density(self) -> float:
+        cells = self.m * self.n
+        return self.nnz / cells if cells else 0.0
+
+    def nbytes(self, itemsize: int = 8, index_size: int = 4) -> int:
+        """Device footprint in bytes (values + col indices + row offsets).
+
+        Column indices are stored as 32-bit on device (cuSPARSE default) even
+        though the host arrays here are int64.
+        """
+        return (self.values.size * itemsize
+                + self.col_idx.size * index_size
+                + self.row_off.size * index_size)
+
+    def column_counts(self) -> np.ndarray:
+        """Histogram of non-zeros per column (feeds the atomic model)."""
+        return np.bincount(self.col_idx, minlength=self.n).astype(np.int64)
+
+    # --- conversions ----------------------------------------------------------
+    def to_dense(self) -> np.ndarray:
+        out = np.zeros(self.shape, dtype=np.float64)
+        rows = np.repeat(np.arange(self.m), self.row_nnz)
+        # accumulate: CSR permits duplicate (row, col) entries, which sum
+        np.add.at(out, (rows, self.col_idx), self.values)
+        return out
+
+    def to_coo(self):
+        from .coo import CooMatrix
+        rows = np.repeat(np.arange(self.m), self.row_nnz)
+        return CooMatrix(self.shape, rows, self.col_idx.copy(),
+                         self.values.copy())
+
+    def transpose_csr(self) -> "CsrMatrix":
+        """Explicit transpose (the host-side analogue of ``csr2csc``)."""
+        from .csc import csr_to_csc
+        csc = csr_to_csc(self)
+        return CsrMatrix((self.n, self.m), csc.values, csc.row_idx,
+                         csc.col_off)
+
+    @classmethod
+    def from_dense(cls, dense: np.ndarray, tol: float = 0.0) -> "CsrMatrix":
+        from .coo import CooMatrix
+        return CooMatrix.from_dense(dense, tol).to_csr()
+
+    @classmethod
+    def empty(cls, shape: tuple[int, int]) -> "CsrMatrix":
+        return cls(shape, np.empty(0), np.empty(0, dtype=np.int64),
+                   np.zeros(shape[0] + 1, dtype=np.int64))
+
+    def row_block(self, start: int, end: int) -> "CsrMatrix":
+        """Sub-matrix of rows ``[start, end)`` (zero-copy on values/cols).
+
+        The column space is preserved, so ``X.row_block(a, b).T @ p_block``
+        contributes directly to the full ``X^T p`` — the decomposition the
+        streaming and hybrid executors rely on.
+        """
+        if not 0 <= start <= end <= self.m:
+            raise ValueError(f"invalid row range [{start}, {end}) "
+                             f"for m={self.m}")
+        s, e = self.row_off[start], self.row_off[end]
+        return CsrMatrix((end - start, self.n), self.values[s:e],
+                         self.col_idx[s:e], self.row_off[start:end + 1] - s)
+
+    # --- row access -------------------------------------------------------------
+    def row_slice(self, r: int) -> tuple[np.ndarray, np.ndarray]:
+        """(values, col_idx) of row ``r`` as contiguous views."""
+        s, e = self.row_off[r], self.row_off[r + 1]
+        return self.values[s:e], self.col_idx[s:e]
+
+    def __matmul__(self, other):
+        """``X @ y`` / ``X @ B`` via the reference ops (NumPy-like sugar)."""
+        from .ops import spmm
+        return spmm(self, np.asarray(other, dtype=np.float64))
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, CsrMatrix):
+            return NotImplemented
+        return (self.shape == other.shape
+                and np.array_equal(self.row_off, other.row_off)
+                and np.array_equal(self.col_idx, other.col_idx)
+                and np.array_equal(self.values, other.values))
+
+    def __repr__(self) -> str:
+        return (f"CsrMatrix(shape={self.shape}, nnz={self.nnz}, "
+                f"density={self.density:.4g})")

@@ -1,0 +1,177 @@
+"""ELL (ELLPACK) and HYB sparse formats.
+
+The paper's CSR-vector kernel descends from Bell & Garland's
+throughput-oriented SpMV study [3], whose other key formats are ELLPACK
+(fixed width per row — perfectly coalesced column-major access, wasteful for
+skewed rows) and HYB (an ELL core plus a COO tail for the long rows).  They
+are provided here both as substrate completeness and as the comparison point
+for the format-choice ablation benchmark: CSR-vector vs ELL vs HYB across
+row-length skew.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .coo import CooMatrix
+from .csr import CsrMatrix
+
+
+@dataclass
+class EllMatrix:
+    """ELLPACK: ``m x width`` dense index/value slabs, column-major access.
+
+    ``col_idx[i, k] == -1`` marks padding; ``values`` there must be zero.
+    """
+
+    shape: tuple[int, int]
+    values: np.ndarray       # (m, width)
+    col_idx: np.ndarray      # (m, width), int64, -1 padding
+
+    def __post_init__(self) -> None:
+        self.values = np.ascontiguousarray(self.values, dtype=np.float64)
+        self.col_idx = np.ascontiguousarray(self.col_idx, dtype=np.int64)
+        m, n = self.shape
+        if self.values.shape != self.col_idx.shape:
+            raise ValueError("values and col_idx must have the same shape")
+        if self.values.ndim != 2 or self.values.shape[0] != m:
+            raise ValueError(f"slabs must have {m} rows")
+        pad = self.col_idx < 0
+        if np.any(self.values[pad] != 0.0):
+            raise ValueError("padding slots must hold zero values")
+        if self.col_idx.size and self.col_idx.max(initial=-1) >= n:
+            raise ValueError("column index out of bounds")
+
+    @property
+    def m(self) -> int:
+        return self.shape[0]
+
+    @property
+    def n(self) -> int:
+        return self.shape[1]
+
+    @property
+    def width(self) -> int:
+        return self.values.shape[1]
+
+    @property
+    def nnz(self) -> int:
+        return int((self.col_idx >= 0).sum())
+
+    @property
+    def padding_fraction(self) -> float:
+        """Wasted slots / total slots — ELL's cost on skewed rows."""
+        total = self.values.size
+        return 1.0 - self.nnz / total if total else 0.0
+
+    def to_dense(self) -> np.ndarray:
+        out = np.zeros(self.shape, dtype=np.float64)
+        rows, slots = np.nonzero(self.col_idx >= 0)
+        np.add.at(out, (rows, self.col_idx[rows, slots]),
+                  self.values[rows, slots])
+        return out
+
+    def to_csr(self) -> CsrMatrix:
+        rows, slots = np.nonzero(self.col_idx >= 0)
+        return CooMatrix(self.shape, rows,
+                         self.col_idx[rows, slots],
+                         self.values[rows, slots]).to_csr()
+
+    @classmethod
+    def from_csr(cls, X: CsrMatrix, width: int | None = None) -> "EllMatrix":
+        """Convert; rows longer than ``width`` raise (use HYB instead)."""
+        w = int(X.row_nnz.max(initial=0)) if width is None else width
+        if np.any(X.row_nnz > w):
+            raise ValueError(
+                f"row with {int(X.row_nnz.max())} nnz exceeds ELL width {w}; "
+                "use HybMatrix")
+        values = np.zeros((X.m, w), dtype=np.float64)
+        col_idx = np.full((X.m, w), -1, dtype=np.int64)
+        for r in range(X.m):
+            s, e = X.row_off[r], X.row_off[r + 1]
+            k = e - s
+            values[r, :k] = X.values[s:e]
+            col_idx[r, :k] = X.col_idx[s:e]
+        return cls(X.shape, values, col_idx)
+
+
+def ell_spmv(X: EllMatrix, y: np.ndarray) -> np.ndarray:
+    """``X @ y`` on the ELL slabs (the reference the kernel model follows)."""
+    y = np.asarray(y, dtype=np.float64)
+    if y.shape != (X.n,):
+        raise ValueError(f"y must have shape ({X.n},)")
+    safe = np.maximum(X.col_idx, 0)
+    gathered = y[safe] * (X.col_idx >= 0)
+    return (X.values * gathered).sum(axis=1)
+
+
+@dataclass
+class HybMatrix:
+    """HYB: ELL core of width ``K`` plus a COO tail for the excess entries."""
+
+    ell: EllMatrix
+    tail: CooMatrix
+
+    def __post_init__(self) -> None:
+        if self.ell.shape != self.tail.shape:
+            raise ValueError("ELL core and COO tail shapes differ")
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        return self.ell.shape
+
+    @property
+    def nnz(self) -> int:
+        return self.ell.nnz + self.tail.nnz
+
+    @property
+    def tail_fraction(self) -> float:
+        return self.tail.nnz / self.nnz if self.nnz else 0.0
+
+    def to_dense(self) -> np.ndarray:
+        return self.ell.to_dense() + self.tail.to_dense()
+
+    @classmethod
+    def from_csr(cls, X: CsrMatrix, width: int | None = None) -> "HybMatrix":
+        """Split at ``width`` (default heuristic: cover the typical row —
+        at least the mean row length and the 66th length percentile, but no
+        more than twice the mean, so heavy tails spill to COO while the ELL
+        core stays dense enough to be worth its slabs)."""
+        if width is None:
+            row_nnz = X.row_nnz
+            if row_nnz.size:
+                mu = max(1.0, X.mean_row_nnz)
+                width = int(max(1, min(max(np.percentile(row_nnz, 66),
+                                           np.ceil(mu)),
+                                       np.ceil(2 * mu))))
+            else:
+                width = 1
+        values = np.zeros((X.m, width), dtype=np.float64)
+        col_idx = np.full((X.m, width), -1, dtype=np.int64)
+        t_rows, t_cols, t_vals = [], [], []
+        for r in range(X.m):
+            s, e = X.row_off[r], X.row_off[r + 1]
+            k = min(e - s, width)
+            values[r, :k] = X.values[s:s + k]
+            col_idx[r, :k] = X.col_idx[s:s + k]
+            if e - s > width:
+                t_rows.append(np.full(e - s - width, r, dtype=np.int64))
+                t_cols.append(X.col_idx[s + width:e])
+                t_vals.append(X.values[s + width:e])
+        if t_rows:
+            tail = CooMatrix(X.shape, np.concatenate(t_rows),
+                             np.concatenate(t_cols), np.concatenate(t_vals))
+        else:
+            tail = CooMatrix(X.shape, np.empty(0, dtype=np.int64),
+                             np.empty(0, dtype=np.int64), np.empty(0))
+        return cls(EllMatrix(X.shape, values, col_idx), tail)
+
+
+def hyb_spmv(X: HybMatrix, y: np.ndarray) -> np.ndarray:
+    """``X @ y`` = ELL part + COO tail scatter."""
+    out = ell_spmv(X.ell, y)
+    if X.tail.nnz:
+        np.add.at(out, X.tail.row, X.tail.data * y[X.tail.col])
+    return out

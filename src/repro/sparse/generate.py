@@ -1,0 +1,139 @@
+"""Random sparse-matrix generators for the paper's workloads.
+
+Three families:
+
+* :func:`random_csr` — uniform sparsity, used by the synthetic sweeps of
+  Figures 2-5 (m = 500k rows, sparsity 0.01, n in {200..4096});
+* :func:`power_law_csr` — skewed rows/columns, the regime where load balance
+  and atomic contention diverge from the uniform case (ablation studies);
+* :func:`kdd_like` lives in :mod:`repro.data.synthetic` and composes these
+  into scaled stand-ins for the paper's real datasets.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .csr import CsrMatrix
+
+
+def random_csr(m: int, n: int, sparsity: float,
+               rng: np.random.Generator | int | None = None,
+               value_scale: float = 1.0,
+               distinct: bool = False) -> CsrMatrix:
+    """Uniform random CSR with expected density ``sparsity``.
+
+    Draws a binomial nnz per row (keeps the generator O(nnz), not O(m*n)).
+    The default fast path samples columns with replacement — duplicate
+    (row, col) entries are permitted by CSR semantics (they accumulate, as
+    cuSPARSE's kernels also allow) and occur with probability ~mu/n.
+    ``distinct=True`` switches to per-row rejection sampling (slower; for
+    property tests that need strict uniqueness).
+    """
+    if not 0.0 <= sparsity <= 1.0:
+        raise ValueError("sparsity must be in [0, 1]")
+    rng = np.random.default_rng(rng)
+    row_nnz = rng.binomial(n, sparsity, size=m).astype(np.int64)
+    np.minimum(row_nnz, n, out=row_nnz)
+    row_off = np.zeros(m + 1, dtype=np.int64)
+    np.cumsum(row_nnz, out=row_off[1:])
+    nnz = int(row_off[-1])
+    if distinct:
+        col_idx = np.empty(nnz, dtype=np.int64)
+        pos = 0
+        for r in range(m):
+            k = int(row_nnz[r])
+            if k == 0:
+                continue
+            if k > n // 2:
+                cols = np.sort(rng.permutation(n)[:k])
+            else:
+                cols = np.unique(rng.integers(0, n, size=int(k * 1.3) + 4))
+                while cols.size < k:
+                    extra = rng.integers(0, n, size=k)
+                    cols = np.unique(np.concatenate([cols, extra]))
+                cols = np.sort(rng.permutation(cols)[:k])
+            col_idx[pos:pos + k] = cols
+            pos += k
+    else:
+        cols = rng.integers(0, n, size=nnz)
+        rows = np.repeat(np.arange(m), row_nnz)
+        order = np.lexsort((cols, rows))
+        col_idx = cols[order]
+    values = rng.normal(0.0, value_scale, size=nnz)
+    return CsrMatrix((m, n), values, col_idx, row_off)
+
+
+def power_law_csr(m: int, n: int, nnz_target: int, alpha: float = 1.5,
+                  rng: np.random.Generator | int | None = None) -> CsrMatrix:
+    """Skewed CSR: Zipf-distributed row lengths and column popularity.
+
+    Models web/social data ("when n is very large, the data is likely to be
+    sparse, e.g. social network data"): a few hot rows and columns, a long
+    tail of near-empty ones.
+    """
+    rng = np.random.default_rng(rng)
+    ranks = np.arange(1, m + 1, dtype=np.float64)
+    weights = ranks ** (-alpha)
+    weights /= weights.sum()
+    # allocate the nnz budget along the power law, redistributing the mass
+    # that row-capacity clipping (row_nnz <= n) would otherwise discard
+    row_nnz = np.zeros(m, dtype=np.int64)
+    remaining = int(min(nnz_target, m * n))
+    for _ in range(30):
+        if remaining <= 0:
+            break
+        free = np.flatnonzero(row_nnz < n)
+        if free.size == 0:
+            break
+        w = weights[free]
+        alloc = np.floor(remaining * w / w.sum()).astype(np.int64)
+        new = np.minimum(row_nnz[free] + alloc, n)
+        granted = int((new - row_nnz[free]).sum())
+        row_nnz[free] = new
+        if granted == 0:
+            # proportional floors all rounded to zero: finish one-by-one
+            take = free[:remaining]
+            row_nnz[take] += 1
+            granted = take.size
+        remaining -= granted
+    rng.shuffle(row_nnz)
+    row_off = np.zeros(m + 1, dtype=np.int64)
+    np.cumsum(row_nnz, out=row_off[1:])
+    nnz = int(row_off[-1])
+    col_ranks = np.arange(1, n + 1, dtype=np.float64)
+    col_w = col_ranks ** (-alpha)
+    col_w /= col_w.sum()
+    col_perm = rng.permutation(n)
+    col_idx = np.empty(nnz, dtype=np.int64)
+    pos = 0
+    for r in range(m):
+        k = int(row_nnz[r])
+        if k == 0:
+            continue
+        cols = rng.choice(n, size=k, replace=False, p=col_w) if k < n \
+            else np.arange(n)
+        col_idx[pos:pos + k] = np.sort(col_perm[cols])
+        pos += k
+    values = rng.normal(size=nnz)
+    return CsrMatrix((m, n), values, col_idx, row_off)
+
+
+def banded_csr(m: int, n: int, bandwidth: int,
+               rng: np.random.Generator | int | None = None) -> CsrMatrix:
+    """Banded CSR (perfectly balanced rows) — best case for CSR-vector."""
+    rng = np.random.default_rng(rng)
+    row_nnz = np.full(m, 0, dtype=np.int64)
+    cols_list = []
+    for r in range(m):
+        center = int(r * n / max(1, m))
+        lo = max(0, center - bandwidth // 2)
+        hi = min(n, lo + bandwidth)
+        cols_list.append(np.arange(lo, hi, dtype=np.int64))
+        row_nnz[r] = hi - lo
+    row_off = np.zeros(m + 1, dtype=np.int64)
+    np.cumsum(row_nnz, out=row_off[1:])
+    col_idx = np.concatenate(cols_list) if cols_list else \
+        np.empty(0, dtype=np.int64)
+    values = rng.normal(size=int(row_off[-1]))
+    return CsrMatrix((m, n), values, col_idx, row_off)

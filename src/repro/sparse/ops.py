@@ -1,0 +1,95 @@
+"""Reference (ground-truth) linear algebra on CSR matrices.
+
+These NumPy implementations define *what* every kernel must compute; the
+kernel simulations in :mod:`repro.kernels` are tested against them.  They are
+also the compute engine of the CPU baselines (BIDMat-CPU / single-threaded
+SystemML), whose time is modelled by :mod:`repro.gpu.cpu`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .csr import CsrMatrix
+
+
+def _check_vector(x: np.ndarray, size: int, name: str) -> np.ndarray:
+    x = np.asarray(x, dtype=np.float64)
+    if x.shape != (size,):
+        raise ValueError(f"{name} must have shape ({size},), got {x.shape}")
+    return x
+
+
+def spmv(X: CsrMatrix, y: np.ndarray) -> np.ndarray:
+    """``X @ y`` for CSR ``X`` — row-parallel dot products."""
+    y = _check_vector(y, X.n, "y")
+    prod = X.values * y[X.col_idx]
+    out = np.zeros(X.m, dtype=np.float64)
+    if prod.size == 0 or X.m == 0:
+        return out
+    # segment sums over non-empty rows via reduceat (O(nnz), C-speed;
+    # empty rows are skipped because reduceat mishandles zero-length spans)
+    nonempty = X.row_nnz > 0
+    starts = X.row_off[:-1][nonempty]
+    out[nonempty] = np.add.reduceat(prod, starts)
+    return out
+
+
+def spmv_t(X: CsrMatrix, p: np.ndarray) -> np.ndarray:
+    """``X.T @ p`` for CSR ``X`` — scatter of scaled rows into columns."""
+    p = _check_vector(p, X.m, "p")
+    scaled = X.values * np.repeat(p, X.row_nnz)
+    if scaled.size == 0:
+        return np.zeros(X.n, dtype=np.float64)
+    return np.bincount(X.col_idx, weights=scaled, minlength=X.n)
+
+
+def fused_pattern_reference(X: CsrMatrix | np.ndarray, y: np.ndarray,
+                            v: np.ndarray | None = None,
+                            z: np.ndarray | None = None,
+                            alpha: float = 1.0,
+                            beta: float = 0.0) -> np.ndarray:
+    """Ground truth for Eq. 1: ``alpha * X^T (v ⊙ (X y)) + beta * z``.
+
+    Accepts either a :class:`CsrMatrix` or a dense 2-D array for ``X``.
+    ``v=None`` means the all-ones vector; ``z=None`` with ``beta != 0`` is an
+    error (matching the kernel API).
+    """
+    if isinstance(X, CsrMatrix):
+        m, n = X.shape
+        y = _check_vector(y, n, "y")
+        p = spmv(X, y)
+        if v is not None:
+            p = p * _check_vector(v, m, "v")
+        w = alpha * spmv_t(X, p)
+    else:
+        Xd = np.asarray(X, dtype=np.float64)
+        m, n = Xd.shape
+        y = _check_vector(y, n, "y")
+        p = Xd @ y
+        if v is not None:
+            p = p * _check_vector(v, m, "v")
+        w = alpha * (Xd.T @ p)
+    if beta != 0.0:
+        if z is None:
+            raise ValueError("beta != 0 requires z")
+        w = w + beta * _check_vector(z, n, "z")
+    return w
+
+
+def spmm(X: CsrMatrix, B: np.ndarray) -> np.ndarray:
+    """``X @ B`` for a dense right-hand side (utility for the ML layer)."""
+    B = np.asarray(B, dtype=np.float64)
+    if B.ndim == 1:
+        return spmv(X, B)
+    out = np.empty((X.m, B.shape[1]), dtype=np.float64)
+    for j in range(B.shape[1]):
+        out[:, j] = spmv(X, B[:, j])
+    return out
+
+
+def row_norms_sq(X: CsrMatrix) -> np.ndarray:
+    """Squared L2 norm of each row (used by SVM/LogReg preconditioners)."""
+    out = np.zeros(X.m, dtype=np.float64)
+    np.add.at(out, np.repeat(np.arange(X.m), X.row_nnz), X.values**2)
+    return out

@@ -1,0 +1,26 @@
+"""SystemML-like end-to-end layer: DAG, rewriter, memory manager, scheduler."""
+
+from .dag import (Add, EwMul, FusedPattern, Input, MatVec, Node, Smul,
+                  Transpose, count_nodes)
+from .memmanager import BlockState, GpuMemoryManager, MemStats, \
+    OutOfDeviceMemory
+from .parser import DmlSyntaxError, parse_assignment, parse_expression
+from .profiler import BreakdownRow, profile_linreg_breakdown
+from .rewriter import fused_nodes, rewrite
+from .runner import SystemMLReport, SystemMLSession, table6_comparison
+from .scheduler import HybridScheduler, PlacementDecision
+from .script import (LISTING1, DmlInterpreter, DmlRuntimeError, ScriptResult,
+                     run_script, split_statements)
+
+__all__ = [
+    "Add", "EwMul", "FusedPattern", "Input", "MatVec", "Node", "Smul",
+    "Transpose", "count_nodes",
+    "BlockState", "GpuMemoryManager", "MemStats", "OutOfDeviceMemory",
+    "DmlSyntaxError", "parse_assignment", "parse_expression",
+    "BreakdownRow", "profile_linreg_breakdown",
+    "fused_nodes", "rewrite",
+    "SystemMLReport", "SystemMLSession", "table6_comparison",
+    "HybridScheduler", "PlacementDecision",
+    "LISTING1", "DmlInterpreter", "DmlRuntimeError", "ScriptResult",
+    "run_script", "split_statements",
+]

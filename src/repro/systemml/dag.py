@@ -1,0 +1,193 @@
+"""A SystemML-like expression DAG for DML-style linear algebra scripts.
+
+SystemML compiles R-like scripts (Listing 1) into operator DAGs before
+deciding execution strategy.  This module provides the small IR needed to
+express the paper's workloads::
+
+    q = add(smul(1.0, matvec(t(X), ewmul(v, matvec(X, p)))), smul(eps, p))
+
+The rewriter (:mod:`repro.systemml.rewriter`) pattern-matches these trees
+onto Eq. 1 and replaces them with a single :class:`FusedPattern` node — the
+paper's "transparently selects our fused GPU kernel" integration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+from ..sparse.csr import CsrMatrix
+from ..sparse.ops import spmv, spmv_t
+
+
+class Node:
+    """Base class for DAG nodes; children listed in ``inputs``."""
+
+    inputs: tuple["Node", ...] = ()
+
+    def eval(self, env: dict[str, Any]) -> Any:  # pragma: no cover
+        raise NotImplementedError
+
+    def walk(self):
+        """Yield every node in the subtree (pre-order)."""
+        yield self
+        for child in self.inputs:
+            yield from child.walk()
+
+
+@dataclass(eq=False)
+class Input(Node):
+    """A named leaf bound at execution time (matrix or vector)."""
+
+    name: str
+
+    def eval(self, env):
+        try:
+            return env[self.name]
+        except KeyError:
+            raise KeyError(f"unbound input {self.name!r}") from None
+
+    def __repr__(self) -> str:
+        return f"Input({self.name})"
+
+
+@dataclass(eq=False)
+class Transpose(Node):
+    """``t(X)`` — only meaningful as a MatVec operand here."""
+
+    child: Node
+
+    def __post_init__(self) -> None:
+        self.inputs = (self.child,)
+
+    def eval(self, env):
+        x = self.child.eval(env)
+        if isinstance(x, CsrMatrix):
+            return x.transpose_csr()
+        return np.asarray(x).T
+
+    def __repr__(self) -> str:
+        return f"t({self.child!r})"
+
+
+@dataclass(eq=False)
+class MatVec(Node):
+    """``M %*% v`` for a (possibly transposed) matrix node."""
+
+    mat: Node
+    vec: Node
+
+    def __post_init__(self) -> None:
+        self.inputs = (self.mat, self.vec)
+
+    def eval(self, env):
+        v = np.asarray(self.vec.eval(env), dtype=np.float64)
+        if isinstance(self.mat, Transpose):
+            X = self.mat.child.eval(env)
+            if isinstance(X, CsrMatrix):
+                return spmv_t(X, v)
+            return np.asarray(X, dtype=np.float64).T @ v
+        X = self.mat.eval(env)
+        if isinstance(X, CsrMatrix):
+            return spmv(X, v)
+        return np.asarray(X, dtype=np.float64) @ v
+
+    def __repr__(self) -> str:
+        return f"({self.mat!r} %*% {self.vec!r})"
+
+
+@dataclass(eq=False)
+class EwMul(Node):
+    """Element-wise vector product ``a * b``."""
+
+    a: Node
+    b: Node
+
+    def __post_init__(self) -> None:
+        self.inputs = (self.a, self.b)
+
+    def eval(self, env):
+        return (np.asarray(self.a.eval(env), dtype=np.float64)
+                * np.asarray(self.b.eval(env), dtype=np.float64))
+
+    def __repr__(self) -> str:
+        return f"({self.a!r} * {self.b!r})"
+
+
+@dataclass(eq=False)
+class Add(Node):
+    """Vector addition ``a + b``."""
+
+    a: Node
+    b: Node
+
+    def __post_init__(self) -> None:
+        self.inputs = (self.a, self.b)
+
+    def eval(self, env):
+        return (np.asarray(self.a.eval(env), dtype=np.float64)
+                + np.asarray(self.b.eval(env), dtype=np.float64))
+
+    def __repr__(self) -> str:
+        return f"({self.a!r} + {self.b!r})"
+
+
+@dataclass(eq=False)
+class Smul(Node):
+    """Scalar multiple ``alpha * x``."""
+
+    alpha: float
+    x: Node
+
+    def __post_init__(self) -> None:
+        self.inputs = (self.x,)
+
+    def eval(self, env):
+        return self.alpha * np.asarray(self.x.eval(env), dtype=np.float64)
+
+    def __repr__(self) -> str:
+        return f"({self.alpha} * {self.x!r})"
+
+
+@dataclass(eq=False)
+class FusedPattern(Node):
+    """A rewritten Eq.-1 subtree: executed by the fused kernel."""
+
+    X: Node                     # Input node of the matrix
+    y: Node
+    v: Node | None = None
+    z: Node | None = None
+    alpha: float = 1.0
+    beta: float = 0.0
+    inner: bool = True
+
+    def __post_init__(self) -> None:
+        kids = [self.X, self.y]
+        if self.v is not None:
+            kids.append(self.v)
+        if self.z is not None:
+            kids.append(self.z)
+        self.inputs = tuple(kids)
+
+    def eval(self, env):
+        from ..core.pattern import GenericPattern
+        p = GenericPattern(
+            self.X.eval(env), np.asarray(self.y.eval(env), dtype=np.float64),
+            v=None if self.v is None else np.asarray(self.v.eval(env),
+                                                     dtype=np.float64),
+            z=None if self.z is None else np.asarray(self.z.eval(env),
+                                                     dtype=np.float64),
+            alpha=self.alpha, beta=self.beta, inner=self.inner)
+        return p.reference()
+
+    def __repr__(self) -> str:
+        return (f"FusedPattern(alpha={self.alpha}, beta={self.beta}, "
+                f"v={self.v is not None}, inner={self.inner})")
+
+
+def count_nodes(root: Node, kind: type | None = None) -> int:
+    """Count nodes (optionally of a given type) in a DAG."""
+    return sum(1 for nd in root.walk()
+               if kind is None or isinstance(nd, kind))

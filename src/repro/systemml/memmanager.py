@@ -1,0 +1,195 @@
+"""GPU memory manager — the SystemML integration component of Section 4.4.
+
+Implements the responsibilities the paper enumerates for its memory manager:
+
+a) allocate device memory if not already allocated;
+b) evict (LRU) when the device is full;
+c) deallocate / mark blocks for reuse;
+d) keep host and device copies consistent (dirty tracking, lazy sync);
+e) convert between host and device layouts (SystemML's sparse-row format vs
+   device CSR) — plus the JVM-heap -> native JNI copy that precedes every
+   PCIe transfer in the Java system.
+
+All activity is charged to a stats record in model milliseconds so Table 6's
+"reduced end-to-end speedups point to inefficiencies in the memory manager
+and data transformations" can be reproduced quantitatively.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..gpu.device import DeviceSpec, GTX_TITAN
+from ..gpu.transfer import TransferModel
+
+
+class OutOfDeviceMemory(RuntimeError):
+    """Raised when a single block cannot fit even after evicting everything."""
+
+
+@dataclass
+class BlockState:
+    """Bookkeeping for one logical data block (matrix or vector)."""
+
+    key: str
+    nbytes: float
+    on_device: bool = False
+    host_dirty: bool = False     # device copy newer than host
+    device_dirty: bool = False   # host copy newer than device
+    needs_conversion: bool = False
+    pinned: bool = False
+    last_use: int = 0
+
+
+@dataclass
+class MemStats:
+    h2d_ms: float = 0.0
+    d2h_ms: float = 0.0
+    jni_ms: float = 0.0
+    conversion_ms: float = 0.0
+    h2d_count: int = 0
+    d2h_count: int = 0
+    evictions: int = 0
+    allocations: int = 0
+
+    @property
+    def total_ms(self) -> float:
+        return self.h2d_ms + self.d2h_ms + self.jni_ms + self.conversion_ms
+
+
+class GpuMemoryManager:
+    """LRU device-memory manager with dirty tracking and layout conversion."""
+
+    def __init__(self, device: DeviceSpec = GTX_TITAN,
+                 capacity_bytes: float | None = None,
+                 via_jni: bool = False):
+        self.device = device
+        self.capacity = (capacity_bytes if capacity_bytes is not None
+                         else device.global_memory_bytes * 0.9)
+        self.transfer = TransferModel(device)
+        self.via_jni = via_jni
+        self.blocks: dict[str, BlockState] = {}
+        self.stats = MemStats()
+        self._clock = 0
+
+    # ------------------------------------------------------------- queries --
+    @property
+    def used_bytes(self) -> float:
+        return sum(b.nbytes for b in self.blocks.values() if b.on_device)
+
+    @property
+    def free_bytes(self) -> float:
+        return self.capacity - self.used_bytes
+
+    def is_resident(self, key: str) -> bool:
+        b = self.blocks.get(key)
+        return b is not None and b.on_device
+
+    # ------------------------------------------------------------ registry --
+    def register(self, key: str, nbytes: float,
+                 needs_conversion: bool = False,
+                 pinned: bool = False) -> BlockState:
+        """Declare a host-side block the manager may later place on device."""
+        if nbytes < 0:
+            raise ValueError("block size must be non-negative")
+        b = self.blocks.get(key)
+        if b is None:
+            b = BlockState(key, nbytes, needs_conversion=needs_conversion,
+                           pinned=pinned)
+            self.blocks[key] = b
+        else:
+            b.nbytes = nbytes
+            b.needs_conversion = needs_conversion
+        return b
+
+    # ------------------------------------------------------------ placement --
+    def request(self, key: str) -> float:
+        """Ensure ``key`` is resident and current on device; return cost (ms).
+
+        Task (a): allocate; (b): evict LRU victims if needed; (d): upload only
+        if the device copy is missing or stale; (e): charge JNI + layout
+        conversion on the way.
+        """
+        b = self.blocks.get(key)
+        if b is None:
+            raise KeyError(f"block {key!r} was never registered")
+        self._clock += 1
+        b.last_use = self._clock
+        if b.on_device and not b.device_dirty:
+            return 0.0
+        cost = 0.0
+        if not b.on_device:
+            if b.nbytes > self.capacity:
+                raise OutOfDeviceMemory(
+                    f"block {key!r} ({b.nbytes / 1e9:.2f} GB) exceeds device "
+                    f"capacity ({self.capacity / 1e9:.2f} GB)")
+            cost += self._make_room(b.nbytes)
+            self.stats.allocations += 1
+        cost += self._upload(b)
+        b.on_device = True
+        b.device_dirty = False
+        return cost
+
+    def _upload(self, b: BlockState) -> float:
+        ms = self.transfer.h2d_ms(b.nbytes, via_jni=self.via_jni,
+                                  convert=b.needs_conversion)
+        pcie = self.transfer.pcie_ms(b.nbytes)
+        self.stats.h2d_ms += pcie
+        self.stats.jni_ms += self.transfer.jni_ms(b.nbytes) \
+            if self.via_jni else 0.0
+        self.stats.conversion_ms += self.transfer.conversion_ms(b.nbytes) \
+            if b.needs_conversion else 0.0
+        self.stats.h2d_count += 1
+        return ms
+
+    def _make_room(self, needed: float) -> float:
+        """Task (b): evict least-recently-used unpinned blocks."""
+        cost = 0.0
+        if needed <= self.free_bytes:
+            return cost
+        victims = sorted(
+            (b for b in self.blocks.values() if b.on_device and not b.pinned),
+            key=lambda b: b.last_use)
+        for v in victims:
+            if needed <= self.free_bytes:
+                break
+            cost += self.sync_to_host(v.key)
+            v.on_device = False
+            self.stats.evictions += 1
+        if needed > self.free_bytes:
+            raise OutOfDeviceMemory(
+                f"cannot free {needed / 1e9:.2f} GB "
+                f"(pinned blocks occupy the device)")
+        return cost
+
+    # ------------------------------------------------------- consistency ----
+    def mark_device_dirty(self, key: str) -> None:
+        """A kernel wrote this block on device; host copy is now stale."""
+        b = self.blocks[key]
+        if not b.on_device:
+            raise ValueError(
+                f"block {key!r} has no device copy to be dirtied — "
+                "request() it before running kernels on it")
+        b.host_dirty = True
+
+    def mark_host_dirty(self, key: str) -> None:
+        """Host code rewrote this block; any device copy is stale."""
+        b = self.blocks[key]
+        b.device_dirty = True
+
+    def sync_to_host(self, key: str) -> float:
+        """Task (d): download iff the device copy is newer."""
+        b = self.blocks[key]
+        if not (b.on_device and b.host_dirty):
+            return 0.0
+        ms = self.transfer.d2h_ms(b.nbytes, via_jni=self.via_jni)
+        self.stats.d2h_ms += self.transfer.pcie_ms(b.nbytes)
+        if self.via_jni:
+            self.stats.jni_ms += self.transfer.jni_ms(b.nbytes)
+        self.stats.d2h_count += 1
+        b.host_dirty = False
+        return ms
+
+    def free(self, key: str) -> None:
+        """Task (c): drop the device copy and forget the block."""
+        self.blocks.pop(key, None)

@@ -1,0 +1,222 @@
+"""A DML expression parser: R-like linear-algebra text -> operator DAG.
+
+SystemML compiles DML scripts (Listing 1 of the paper is one) into operator
+DAGs; this parser covers the expression fragment those statements use::
+
+    q = t(V) %*% (V %*% p) + 0.001 * p          # parses to the DAG the
+                                                 # rewriter fuses into Eq. 1
+
+Grammar (standard R precedence for the relevant operators)::
+
+    expr   := term   (("+" | "-") term)*
+    term   := factor ("*" factor)*
+    factor := atom   ("%*%" atom)*
+    atom   := NUMBER | IDENT | "t" "(" expr ")" | "(" expr ")" | "-" atom
+
+Numeric literals combine with expressions as scalar multiples (``Smul``);
+``a - b`` desugars to ``a + (-1) * b``.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+from .dag import Add, EwMul, Input, MatVec, Node, Smul, Transpose
+
+
+class DmlSyntaxError(ValueError):
+    """Raised on malformed expressions, with position information."""
+
+
+_TOKEN_RE = re.compile(
+    r"\s*(?:(?P<matmul>%\*%)"
+    r"|(?P<number>\d+\.?\d*(?:[eE][+-]?\d+)?|\.\d+(?:[eE][+-]?\d+)?)"
+    r"|(?P<ident>[A-Za-z_][A-Za-z_0-9.]*)"
+    r"|(?P<op>[()+\-*]))"
+)
+
+
+@dataclass(frozen=True)
+class _Token:
+    kind: str
+    text: str
+    pos: int
+
+
+def tokenize(src: str) -> list[_Token]:
+    tokens: list[_Token] = []
+    pos = 0
+    while pos < len(src):
+        m = _TOKEN_RE.match(src, pos)
+        if m is None or m.end() == pos:
+            rest = src[pos:].lstrip()
+            if not rest:
+                break
+            raise DmlSyntaxError(
+                f"unexpected character {rest[0]!r} at position {pos}")
+        kind = m.lastgroup
+        assert kind is not None
+        tokens.append(_Token(kind, m.group(kind), m.start(kind)))
+        pos = m.end()
+    return tokens
+
+
+@dataclass
+class _Scalar:
+    """A numeric literal awaiting combination with a matrix/vector node."""
+
+    value: float
+
+
+class _Parser:
+    def __init__(self, tokens: list[_Token], src: str):
+        self.tokens = tokens
+        self.src = src
+        self.i = 0
+
+    # ----- token helpers ---------------------------------------------------
+    def _peek(self) -> _Token | None:
+        return self.tokens[self.i] if self.i < len(self.tokens) else None
+
+    def _next(self) -> _Token:
+        tok = self._peek()
+        if tok is None:
+            raise DmlSyntaxError(f"unexpected end of input in {self.src!r}")
+        self.i += 1
+        return tok
+
+    def _expect(self, text: str) -> None:
+        tok = self._next()
+        if tok.text != text:
+            raise DmlSyntaxError(
+                f"expected {text!r} at position {tok.pos}, got {tok.text!r}")
+
+    # ----- grammar ----------------------------------------------------------
+    def parse(self):
+        node = self.expr()
+        tok = self._peek()
+        if tok is not None:
+            raise DmlSyntaxError(
+                f"trailing input {tok.text!r} at position {tok.pos}")
+        return node
+
+    def expr(self):
+        node = self.term()
+        while (tok := self._peek()) is not None and tok.text in "+-":
+            self._next()
+            rhs = self.term()
+            if tok.text == "-":
+                rhs = self._combine_mul(_Scalar(-1.0), rhs)
+            node = self._combine_add(node, rhs)
+        return node
+
+    def term(self):
+        node = self.factor()
+        while (tok := self._peek()) is not None and tok.text == "*":
+            self._next()
+            node = self._combine_mul(node, self.factor())
+        return node
+
+    def factor(self):
+        node = self.atom()
+        while (tok := self._peek()) is not None and tok.kind == "matmul":
+            self._next()
+            rhs = self.atom()
+            if isinstance(node, _Scalar) or isinstance(rhs, _Scalar):
+                raise DmlSyntaxError("%*% requires matrix/vector operands")
+            node = MatVec(node, rhs)
+        return node
+
+    def atom(self):
+        tok = self._next()
+        if tok.kind == "number":
+            return _Scalar(float(tok.text))
+        if tok.text == "-":
+            return self._combine_mul(_Scalar(-1.0), self.atom())
+        if tok.text == "(":
+            node = self.expr()
+            self._expect(")")
+            return node
+        if tok.kind == "ident":
+            nxt = self._peek()
+            if tok.text == "t" and nxt is not None and nxt.text == "(":
+                self._next()
+                inner = self.expr()
+                self._expect(")")
+                if isinstance(inner, _Scalar):
+                    raise DmlSyntaxError("t() requires a matrix operand")
+                return Transpose(inner)
+            return Input(tok.text)
+        raise DmlSyntaxError(
+            f"unexpected token {tok.text!r} at position {tok.pos}")
+
+    # ----- node combination --------------------------------------------------
+    @staticmethod
+    def _combine_mul(a, b):
+        if isinstance(a, _Scalar) and isinstance(b, _Scalar):
+            return _Scalar(a.value * b.value)
+        if isinstance(a, _Scalar):
+            return Smul(a.value, b)
+        if isinstance(b, _Scalar):
+            return Smul(b.value, a)
+        return EwMul(a, b)
+
+    @staticmethod
+    def _combine_add(a, b):
+        if isinstance(a, _Scalar) or isinstance(b, _Scalar):
+            raise DmlSyntaxError("cannot add a scalar literal to a matrix "
+                                 "expression (DML broadcasts are not "
+                                 "modelled)")
+        return Add(a, b)
+
+
+def parse_expression(src: str) -> Node:
+    """Parse one DML expression into a DAG.
+
+    >>> node = parse_expression("t(V) %*% (V %*% p) + 0.001 * p")
+    >>> from repro.systemml.rewriter import rewrite, fused_nodes
+    >>> len(fused_nodes(rewrite(node)))
+    1
+    """
+    node = _Parser(tokenize(src), src).parse()
+    if isinstance(node, _Scalar):
+        raise DmlSyntaxError("expression reduces to a bare scalar literal")
+    return node
+
+
+def to_dml(node: Node) -> str:
+    """Pretty-print a DAG back to DML text (inverse of the parser).
+
+    Fully parenthesized, so ``parse_expression(to_dml(n))`` always evaluates
+    identically to ``n`` — the round-trip property the fuzz tests check.
+    Fused nodes cannot be printed (they are a rewrite artifact, not DML).
+    """
+    from .dag import FusedPattern
+    if isinstance(node, Input):
+        return node.name
+    if isinstance(node, Transpose):
+        return f"t({to_dml(node.child)})"
+    if isinstance(node, MatVec):
+        return f"({to_dml(node.mat)} %*% {to_dml(node.vec)})"
+    if isinstance(node, EwMul):
+        return f"({to_dml(node.a)} * {to_dml(node.b)})"
+    if isinstance(node, Add):
+        return f"({to_dml(node.a)} + {to_dml(node.b)})"
+    if isinstance(node, Smul):
+        return f"({node.alpha!r} * {to_dml(node.x)})"
+    if isinstance(node, FusedPattern):
+        raise ValueError("FusedPattern nodes are a rewrite artifact with no "
+                         "DML surface syntax; print the pre-rewrite DAG")
+    raise TypeError(f"cannot print {type(node).__name__}")
+
+
+def parse_assignment(src: str) -> tuple[str, Node]:
+    """Parse ``name = expression`` (one DML statement)."""
+    if "=" not in src:
+        raise DmlSyntaxError("expected an assignment 'name = expression'")
+    name, _, rhs = src.partition("=")
+    name = name.strip()
+    if not re.fullmatch(r"[A-Za-z_][A-Za-z_0-9.]*", name):
+        raise DmlSyntaxError(f"invalid assignment target {name!r}")
+    return name, parse_expression(rhs)

@@ -1,0 +1,53 @@
+"""CPU-time breakdown instrumentation — reproduces Table 2.
+
+The paper measured, on single-threaded SystemML, the share of LR-CG compute
+time spent in operations belonging to the generic pattern (82.9% for KDD2010,
+99.4% for HIGGS) versus BLAS-1 (16.9% / 0.1%).  We obtain the same breakdown
+by running Listing 1 on the single-threaded CPU runtime, whose ledger tags
+every operation with its category.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..ml.linreg import linreg_cg
+from ..ml.runtime import MLRuntime
+
+
+@dataclass
+class BreakdownRow:
+    """One Table-2 row: compute-time percentages for a dataset."""
+
+    dataset: str
+    pattern_pct: float
+    blas1_pct: float
+
+    @property
+    def total_pct(self) -> float:
+        return self.pattern_pct + self.blas1_pct
+
+
+def profile_linreg_breakdown(X, y, dataset: str = "dataset",
+                             eps: float = 1e-3,
+                             max_iterations: int = 100) -> BreakdownRow:
+    """Run LR-CG single-threaded on CPU and report Table 2's percentages.
+
+    ``mv`` time (the plain ``X %*% w`` appears only through the pattern in
+    Listing 1) is folded into the pattern share, matching the paper's
+    definition "operations that are part of one or more of these patterns".
+    """
+    rt = MLRuntime("cpu", cpu_threads=1)
+    linreg_cg(X, np.asarray(y, dtype=np.float64), rt, eps=eps,
+              max_iterations=max_iterations, include_transfer=False)
+    pattern = (rt.ledger.by_category.get("pattern", 0.0)
+               + rt.ledger.by_category.get("mv", 0.0))
+    blas1 = rt.ledger.by_category.get("blas1", 0.0)
+    total = pattern + blas1
+    if total == 0:
+        raise RuntimeError("profiling produced no timed operations")
+    return BreakdownRow(dataset=dataset,
+                        pattern_pct=100.0 * pattern / total,
+                        blas1_pct=100.0 * blas1 / total)

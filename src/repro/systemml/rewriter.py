@@ -1,0 +1,132 @@
+"""Pattern-recognizing rewriter: DAG subtrees -> fused-kernel nodes.
+
+Recognizes every Table-1 instantiation inside an expression DAG and replaces
+it with a :class:`~repro.systemml.dag.FusedPattern` node:
+
+* ``t(X) %*% y``                                   (XT_Y)
+* ``t(X) %*% (X %*% y)``                           (XT_X_Y)
+* ``t(X) %*% (v * (X %*% y))``                     (XT_V_X_Y)
+* any of the above wrapped in ``alpha * (.)`` and/or ``+ beta * z``
+
+The match requires both occurrences of the matrix to be the *same* Input
+node — fusing two different matrices would be wrong, which the tests verify.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .dag import Add, EwMul, FusedPattern, Input, MatVec, Node, Smul, \
+    Transpose
+
+
+@dataclass
+class _Match:
+    X: Input
+    y: Node
+    v: Node | None
+    inner: bool
+
+
+def _same_matrix(a: Node, b: Node) -> bool:
+    """Two mentions of the same matrix: identical node, or Inputs sharing a
+    name (the parser creates one node per mention)."""
+    if a is b:
+        return True
+    return (isinstance(a, Input) and isinstance(b, Input)
+            and a.name == b.name)
+
+
+def _references_matrix(node: Node, X: Input) -> bool:
+    return any(_same_matrix(nd, X) for nd in node.walk())
+
+
+def _match_core(node: Node) -> _Match | None:
+    """Match ``t(X) %*% <inner>`` where inner is y, X%*%y, or v*(X%*%y)."""
+    if not isinstance(node, MatVec) or not isinstance(node.mat, Transpose):
+        return None
+    xt = node.mat.child
+    if not isinstance(xt, Input):
+        return None
+    inner = node.vec
+    # t(X) %*% (v * (X %*% y)) -- v on either side of the element-wise mul
+    if isinstance(inner, EwMul):
+        for v_node, mv in ((inner.a, inner.b), (inner.b, inner.a)):
+            if (isinstance(mv, MatVec) and isinstance(mv.mat, Input)
+                    and _same_matrix(mv.mat, xt)):
+                return _Match(xt, mv.vec, v_node, inner=True)
+        return None
+    # t(X) %*% (X %*% y)
+    if (isinstance(inner, MatVec) and isinstance(inner.mat, Input)
+            and _same_matrix(inner.mat, xt)):
+        return _Match(xt, inner.vec, None, inner=True)
+    # t(X) %*% y
+    return _Match(xt, inner, None, inner=False)
+
+
+def _strip_smul(node: Node) -> tuple[float, Node]:
+    alpha = 1.0
+    while isinstance(node, Smul):
+        alpha *= node.alpha
+        node = node.x
+    return alpha, node
+
+
+def rewrite(node: Node) -> Node:
+    """Return an equivalent DAG with Eq.-1 subtrees fused (bottom-up)."""
+    # First, try the whole node as `core + beta*z` / `alpha*core` shapes.
+    fused = _try_fuse(node)
+    if fused is not None:
+        return fused
+    # Otherwise rewrite children in place (dataclasses are mutable).
+    if isinstance(node, Transpose):
+        node.child = rewrite(node.child)
+        node.__post_init__()
+    elif isinstance(node, MatVec):
+        node.mat = rewrite(node.mat)
+        node.vec = rewrite(node.vec)
+        node.__post_init__()
+    elif isinstance(node, (EwMul, Add)):
+        node.a = rewrite(node.a)
+        node.b = rewrite(node.b)
+        node.__post_init__()
+    elif isinstance(node, Smul):
+        node.x = rewrite(node.x)
+        node.__post_init__()
+    return node
+
+
+def _try_fuse(node: Node) -> FusedPattern | None:
+    """Attempt to match the full Eq. 1 at this root."""
+    # Shape 1: Add(lhs, rhs) where one side is the (scaled) core and the
+    # other is the (scaled) z term.
+    if isinstance(node, Add):
+        for core_side, z_side in ((node.a, node.b), (node.b, node.a)):
+            alpha, core = _strip_smul(core_side)
+            m = _match_core(core)
+            if m is None:
+                continue
+            beta, z_node = _strip_smul(z_side)
+            if beta == 0.0:
+                continue
+            # z must not reference the pattern matrix
+            if _references_matrix(z_node, m.X):
+                continue
+            return FusedPattern(m.X, rewrite(m.y),
+                                v=None if m.v is None else rewrite(m.v),
+                                z=rewrite(z_node), alpha=alpha, beta=beta,
+                                inner=m.inner)
+        return None
+    # Shape 2: (alpha *) core with no z term.
+    alpha, core = _strip_smul(node)
+    m = _match_core(core)
+    if m is None:
+        return None
+    return FusedPattern(m.X, rewrite(m.y),
+                        v=None if m.v is None else rewrite(m.v),
+                        alpha=alpha, inner=m.inner)
+
+
+def fused_nodes(root: Node) -> list[FusedPattern]:
+    """All fused-pattern nodes in a DAG (for assertions and reporting)."""
+    return [nd for nd in root.walk() if isinstance(nd, FusedPattern)]

@@ -1,0 +1,499 @@
+"""A mini-DML script interpreter: run Listing 1 as written in the paper.
+
+SystemML executes R-like DML scripts; this module interprets the statement
+subset those scripts use — enough to run the paper's Listing 1 text
+verbatim:
+
+* assignments with matrix expressions (parsed by
+  :mod:`repro.systemml.parser`, rewritten so every Eq.-1 occurrence executes
+  through the fused kernel);
+* scalar expressions with arithmetic, ``^``, comparisons, ``&``;
+* builtins: ``t()``, ``sum()``, ``read()``, ``write()``, ``matrix(v, rows=,
+  cols=)``, ``nrow()``, ``ncol()``;
+* ``while (cond) { ... }`` loops;
+* ``#`` comments and multi-statement lines separated by ``;``.
+
+Matrix statements are charged to an :class:`~repro.ml.runtime.MLRuntime`
+ledger, so a script run produces the same per-category timing a hand-coded
+algorithm would — the DML text of Listing 1 and :func:`repro.ml.linreg_cg`
+are verified to agree both numerically and in pattern usage.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+from ..ml.runtime import MLRuntime
+from ..sparse.csr import CsrMatrix
+from .dag import Add, EwMul, FusedPattern, Input, MatVec, Node, Smul, \
+    Transpose
+from .parser import DmlSyntaxError
+from .rewriter import rewrite
+
+
+class DmlRuntimeError(RuntimeError):
+    """Raised when a script statement cannot be executed."""
+
+
+# --------------------------------------------------------------------------- #
+# tokenizer (a superset of the expression tokenizer: comparison ops, braces)
+_SCRIPT_TOKEN_RE = re.compile(
+    r"\s*(?:(?P<matmul>%\*%)"
+    r"|(?P<cmp><=|>=|==|!=|<|>)"
+    r"|(?P<and>&&?)"
+    r"|(?P<number>\d+\.?\d*(?:[eE][+-]?\d+)?|\.\d+(?:[eE][+-]?\d+)?)"
+    r"|(?P<ident>[A-Za-z_][A-Za-z_0-9.]*)"
+    r"|(?P<dollar>\$\w+)"
+    r"|(?P<string>\"[^\"]*\")"
+    r"|(?P<op>[()+\-*/^,={}]))"
+)
+
+
+def _strip_comments(line: str) -> str:
+    out = []
+    in_str = False
+    for ch in line:
+        if ch == '"':
+            in_str = not in_str
+        if ch == "#" and not in_str:
+            break
+        out.append(ch)
+    return "".join(out)
+
+
+def split_statements(src: str) -> list[str]:
+    """Split a script into statements, keeping ``while (...) {`` markers."""
+    statements: list[str] = []
+    for raw in src.splitlines():
+        line = _strip_comments(raw).strip()
+        if not line:
+            continue
+        for part in re.split(r";", line):
+            part = part.strip()
+            if part:
+                statements.append(part)
+    return statements
+
+
+# --------------------------------------------------------------------------- #
+@dataclass
+class _Tok:
+    kind: str
+    text: str
+
+
+def _tokenize(src: str) -> list[_Tok]:
+    toks: list[_Tok] = []
+    pos = 0
+    while pos < len(src):
+        m = _SCRIPT_TOKEN_RE.match(src, pos)
+        if m is None or m.end() == pos:
+            rest = src[pos:].strip()
+            if not rest:
+                break
+            raise DmlSyntaxError(f"bad token at {src[pos:pos + 10]!r}")
+        kind = m.lastgroup
+        assert kind is not None
+        toks.append(_Tok(kind, m.group(kind)))
+        pos = m.end()
+    return toks
+
+
+class _ExprEval:
+    """Evaluates one expression against the interpreter's environment.
+
+    Scalars evaluate eagerly; matrix/vector subexpressions build DAG nodes
+    that are rewritten (pattern fusion) and executed through the runtime.
+    """
+
+    def __init__(self, interp: "DmlInterpreter", tokens: list[_Tok]):
+        self.interp = interp
+        self.toks = tokens
+        self.i = 0
+
+    def _peek(self) -> _Tok | None:
+        return self.toks[self.i] if self.i < len(self.toks) else None
+
+    def _next(self) -> _Tok:
+        tok = self._peek()
+        if tok is None:
+            raise DmlSyntaxError("unexpected end of expression")
+        self.i += 1
+        return tok
+
+    def _expect(self, text: str) -> None:
+        tok = self._next()
+        if tok.text != text:
+            raise DmlSyntaxError(f"expected {text!r}, got {tok.text!r}")
+
+    # ---- grammar: bool > cmp > add > mul > matmul > power > atom ----------
+    def parse(self):
+        v = self.bool_expr()
+        if self._peek() is not None:
+            raise DmlSyntaxError(f"trailing {self._peek().text!r}")
+        return v
+
+    def bool_expr(self):
+        v = self.cmp_expr()
+        while (t := self._peek()) is not None and t.kind == "and":
+            self._next()
+            rhs = self.cmp_expr()
+            v = bool(v) and bool(rhs)
+        return v
+
+    def cmp_expr(self):
+        v = self.add_expr()
+        while (t := self._peek()) is not None and t.kind == "cmp":
+            op = self._next().text
+            rhs = self.add_expr()
+            if not (np.isscalar(v) and np.isscalar(rhs)):
+                raise DmlRuntimeError("comparisons need scalar operands")
+            v = {"<": v < rhs, ">": v > rhs, "<=": v <= rhs,
+                 ">=": v >= rhs, "==": v == rhs, "!=": v != rhs}[op]
+        return v
+
+    def add_expr(self):
+        v = self.mul_expr()
+        while (t := self._peek()) is not None and t.text in "+-":
+            op = self._next().text
+            rhs = self.mul_expr()
+            v = self._arith(v, rhs, op)
+        return v
+
+    def mul_expr(self):
+        v = self.matmul_expr()
+        while (t := self._peek()) is not None and t.text in "*/":
+            op = self._next().text
+            rhs = self.matmul_expr()
+            v = self._arith(v, rhs, op)
+        return v
+
+    def matmul_expr(self):
+        v = self.power_expr()
+        while (t := self._peek()) is not None and t.kind == "matmul":
+            self._next()
+            rhs = self.power_expr()
+            v = self._matmul(v, rhs)
+        return v
+
+    def power_expr(self):
+        v = self.atom()
+        if (t := self._peek()) is not None and t.text == "^":
+            self._next()
+            rhs = self.atom()
+            if not (np.isscalar(v) and np.isscalar(rhs)):
+                raise DmlRuntimeError("^ needs scalar operands")
+            return float(v) ** float(rhs)
+        return v
+
+    def atom(self):
+        tok = self._next()
+        if tok.kind == "number":
+            return float(tok.text)
+        if tok.kind == "string":
+            return tok.text.strip('"')
+        if tok.kind == "dollar":
+            return tok.text                 # script argument like $1
+        if tok.text == "-":
+            v = self.atom()
+            return -v if np.isscalar(v) else -np.asarray(v)
+        if tok.text == "(":
+            v = self.bool_expr()
+            self._expect(")")
+            return v
+        if tok.kind == "ident":
+            nxt = self._peek()
+            if nxt is not None and nxt.text == "(":
+                return self._call(tok.text)
+            return self.interp.lookup(tok.text)
+        raise DmlSyntaxError(f"unexpected {tok.text!r}")
+
+    # ---- builtins -----------------------------------------------------------
+    def _call(self, name: str):
+        self._expect("(")
+        args: list[Any] = []
+        kwargs: dict[str, Any] = {}
+        if self._peek() is not None and self._peek().text != ")":
+            while True:
+                tok = self._peek()
+                nxt = self.toks[self.i + 1] if self.i + 1 < len(self.toks) \
+                    else None
+                if tok is not None and tok.kind == "ident" \
+                        and nxt is not None and nxt.text == "=":
+                    key = self._next().text
+                    self._expect("=")
+                    kwargs[key] = self.bool_expr()
+                else:
+                    args.append(self.bool_expr())
+                if self._peek() is not None and self._peek().text == ",":
+                    self._next()
+                    continue
+                break
+        self._expect(")")
+        return self.interp.call_builtin(name, args, kwargs)
+
+    # ---- value combination ----------------------------------------------------
+    def _arith(self, a, b, op: str):
+        if np.isscalar(a) and np.isscalar(b):
+            if op == "+":
+                return a + b
+            if op == "-":
+                return a - b
+            if op == "*":
+                return a * b
+            return a / b
+        if op == "/" and np.isscalar(b):
+            return self._arith(a, 1.0 / b, "*")
+        if op in "+-":
+            bb = -np.asarray(b) if op == "-" else np.asarray(b)
+            return self.interp.vec_add(np.asarray(a), bb)
+        if op == "*":
+            if np.isscalar(a):
+                return self.interp.vec_scal(float(a), np.asarray(b))
+            if np.isscalar(b):
+                return self.interp.vec_scal(float(b), np.asarray(a))
+            return self.interp.vec_mul(np.asarray(a), np.asarray(b))
+        raise DmlRuntimeError(f"unsupported operator {op!r}")
+
+    def _matmul(self, a, b):
+        return self.interp.matmul(a, b)
+
+
+# --------------------------------------------------------------------------- #
+@dataclass
+class ScriptResult:
+    """Environment and ledger after a script run."""
+
+    env: dict[str, Any]
+    runtime: MLRuntime
+    outputs: dict[str, Any] = field(default_factory=dict)
+    statements_executed: int = 0
+    fused_calls: int = 0
+
+
+class _Transposed:
+    """Marker wrapper: ``t(X)`` awaiting a %*% right-hand side."""
+
+    __slots__ = ("matrix",)
+
+    def __init__(self, matrix):
+        self.matrix = matrix
+
+
+class DmlInterpreter:
+    """Executes mini-DML scripts against an :class:`MLRuntime`."""
+
+    def __init__(self, runtime: MLRuntime | None = None,
+                 inputs: dict[str, Any] | None = None):
+        self.rt = runtime or MLRuntime()
+        self.env: dict[str, Any] = {}
+        self.inputs = dict(inputs or {})
+        self.outputs: dict[str, Any] = {}
+        self.statements = 0
+        self.fused_calls = 0
+
+    # ---- environment ---------------------------------------------------------
+    def lookup(self, name: str):
+        try:
+            return self.env[name]
+        except KeyError:
+            raise DmlRuntimeError(f"undefined variable {name!r}") from None
+
+    # ---- vector/matrix ops charged to the runtime -----------------------------
+    def vec_add(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        return self.rt.axpy(1.0, a, b)
+
+    def vec_scal(self, alpha: float, a: np.ndarray) -> np.ndarray:
+        return self.rt.scal(alpha, a)
+
+    def vec_mul(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        return self.rt.ewmul(a, b)
+
+    def matmul(self, a, b):
+        """``a %*% b`` with fused-pattern detection for ``t(X) %*% (...)``.
+
+        The interpreter evaluates inner-most expressions first, so by the
+        time ``t(X) %*% q`` executes, ``q`` is already a vector.  Fusion of
+        the *whole* pattern is still achieved because ``X %*% y`` results are
+        tagged (see ``_MvResult``) with their provenance: if ``q`` was
+        produced as ``X %*% y`` (possibly element-scaled by ``v``), the
+        pattern executes as one fused kernel instead of two launches.
+        """
+        if isinstance(a, _Transposed):
+            X = a.matrix
+            if isinstance(X, np.ndarray) and X.ndim == 1:
+                # t(p) %*% q on column vectors is an inner product
+                return self.rt.dot(X, np.asarray(b, dtype=np.float64))
+            prov = getattr(b, "_dml_provenance", None)
+            if prov is not None and prov.get("X") is X:
+                self.fused_calls += 1
+                return self.rt.pattern(X, prov["y"], v=prov.get("v"))
+            return self.rt.xt_mv(X, np.asarray(b, dtype=np.float64))
+        if isinstance(a, (CsrMatrix, np.ndarray)) and not np.isscalar(b):
+            out = self.rt.mv(a, np.asarray(b, dtype=np.float64))
+            return _MvResult(out, {"X": a, "y": np.asarray(b)})
+        raise DmlRuntimeError("unsupported %*% operands")
+
+    # ---- builtins --------------------------------------------------------------
+    def call_builtin(self, name: str, args: list, kwargs: dict):
+        if name == "t":
+            (x,) = args
+            return _Transposed(x)
+        if name == "sum":
+            (x,) = args
+            x = np.asarray(x, dtype=np.float64)
+            return float(self.rt.dot(x, np.ones_like(x)))
+        if name == "read":
+            (key,) = args
+            key = str(key).lstrip("$")
+            try:
+                return self.inputs[key] if key in self.inputs \
+                    else self.inputs[f"${key}"]
+            except KeyError:
+                # positional $1/$2 style
+                raise DmlRuntimeError(
+                    f"no input bound for read({key!r})") from None
+        if name == "write":
+            x, dest = args
+            self.outputs[str(dest)] = np.asarray(x)
+            return x
+        if name == "matrix":
+            (value,) = args
+            rows = int(kwargs.get("rows", 1))
+            cols = int(kwargs.get("cols", 1))
+            if cols == 1:
+                return np.full(rows, float(value))
+            return np.full((rows, cols), float(value))
+        if name == "nrow":
+            (x,) = args
+            return float(x.shape[0])
+        if name == "ncol":
+            (x,) = args
+            return float(x.shape[1])
+        raise DmlRuntimeError(f"unknown builtin {name!r}")
+
+    # ---- statement execution ------------------------------------------------
+    def eval_expression(self, src: str):
+        return _ExprEval(self, _tokenize(src)).parse()
+
+    def run(self, script: str) -> ScriptResult:
+        statements = split_statements(script)
+        self._run_block(statements, 0, len(statements))
+        return ScriptResult(env=self.env, runtime=self.rt,
+                            outputs=self.outputs,
+                            statements_executed=self.statements,
+                            fused_calls=self.fused_calls)
+
+    def _run_block(self, stmts: list[str], start: int, end: int) -> None:
+        i = start
+        while i < end:
+            stmt = stmts[i]
+            m = re.match(r"while\s*\((?P<cond>.*)\)\s*\{?\s*$", stmt)
+            if m is None:
+                m2 = re.match(r"while\s*\((?P<cond>.*)\)\s*\{", stmt)
+                m = m2
+            if m is not None:
+                body_start, body_end = self._find_block(stmts, i)
+                cond = m.group("cond")
+                guard = 0
+                while bool(self.eval_expression(cond)):
+                    self._run_block(stmts, body_start, body_end)
+                    guard += 1
+                    if guard > 100_000:
+                        raise DmlRuntimeError("while loop exceeded 100k "
+                                              "iterations")
+                i = body_end + 1          # skip past the closing brace
+                continue
+            if stmt == "}":
+                i += 1
+                continue
+            self._execute(stmt)
+            i += 1
+
+    def _find_block(self, stmts: list[str], header: int) -> tuple[int, int]:
+        """Return (first body stmt, index of the closing '}')."""
+        depth = 0
+        start = header + 1
+        if stmts[header].rstrip().endswith("{"):
+            depth = 1
+        else:
+            if start < len(stmts) and stmts[start] == "{":
+                depth = 1
+                start += 1
+            else:
+                raise DmlSyntaxError("while loop body must be braced")
+        i = start
+        while i < len(stmts):
+            opens = stmts[i].count("{")
+            closes = stmts[i].count("}")
+            if re.match(r"while\s*\(", stmts[i]) and not opens:
+                opens = 1                 # header with brace on next line
+            depth += opens - closes
+            if depth == 0:
+                return start, i
+            i += 1
+        raise DmlSyntaxError("unterminated while block")
+
+    def _execute(self, stmt: str) -> None:
+        self.statements += 1
+        m = re.match(r"(?P<name>[A-Za-z_][A-Za-z_0-9.]*)\s*=\s*(?P<rhs>.+)$",
+                     stmt)
+        if m is None:
+            # bare expression statement (e.g. write(...))
+            self.eval_expression(stmt)
+            return
+        value = self.eval_expression(m.group("rhs"))
+        if isinstance(value, _Transposed):
+            raise DmlRuntimeError("cannot assign a bare t(X)")
+        self.env[m.group("name")] = value
+
+
+class _MvResult(np.ndarray):
+    """An ``X %*% y`` result carrying provenance for pattern fusion."""
+
+    def __new__(cls, data: np.ndarray, provenance: dict):
+        obj = np.asarray(data, dtype=np.float64).view(cls)
+        obj._dml_provenance = provenance
+        return obj
+
+    def __array_finalize__(self, obj):
+        if obj is None:
+            return
+        # provenance does not survive arithmetic: only the raw mv result
+        # is a fusable inner term
+        self._dml_provenance = None
+
+
+def run_script(script: str, inputs: dict[str, Any],
+               runtime: MLRuntime | None = None) -> ScriptResult:
+    """Convenience wrapper: interpret ``script`` with the given inputs."""
+    return DmlInterpreter(runtime, inputs).run(script)
+
+
+#: the paper's Listing 1, as mini-DML (read($1/$2) bound via the inputs map)
+LISTING1 = """
+V = read($1); y = read($2);
+eps = 0.001; tolerance = 0.000001;
+r = -(t(V) %*% y);
+p = -r;
+nr2 = sum(r * r);
+nr2_init = nr2; nr2_target = nr2 * tolerance ^ 2;
+w = matrix(0, rows=ncol(V), cols=1);
+max_iteration = 100; i = 0;
+while(i < max_iteration & nr2 > nr2_target) {
+  q = ((t(V) %*% (V %*% p)) + eps * p);
+  alpha = nr2 / (t(p) %*% q);
+  w = w + alpha * p;
+  old_nr2 = nr2;
+  r = r + alpha * q;
+  nr2 = sum(r * r);
+  beta = nr2 / old_nr2;
+  p = -r + beta * p;
+  i = i + 1;
+}
+write(w, "w");
+"""

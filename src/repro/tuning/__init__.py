@@ -1,0 +1,24 @@
+"""Launch-parameter tuning: the paper's analytical model and the exhaustive
+autotuner it is validated against (Figure 6)."""
+
+from .autotune import AutotuneResult, Setting, autotune_sparse, sweep_space
+from .autotune_dense import (DenseAutotuneResult, DenseSetting,
+                             autotune_dense)
+from .dense_params import (MAX_THREAD_LOAD, DenseParams, max_dense_columns,
+                           registers_for_thread_load,
+                           select_vector_size_dense, tune_dense, wasted_warps)
+from .sparse_params import (SPARSE_KERNEL_REGISTERS, SparseParams,
+                            max_shared_columns, select_coarsening,
+                            select_vector_size, shared_bytes_needed,
+                            tune_sparse)
+
+__all__ = [
+    "AutotuneResult", "Setting", "autotune_sparse", "sweep_space",
+    "DenseAutotuneResult", "DenseSetting", "autotune_dense",
+    "MAX_THREAD_LOAD", "DenseParams", "max_dense_columns",
+    "registers_for_thread_load", "select_vector_size_dense", "tune_dense",
+    "wasted_warps",
+    "SPARSE_KERNEL_REGISTERS", "SparseParams", "max_shared_columns",
+    "select_coarsening", "select_vector_size", "shared_bytes_needed",
+    "tune_sparse",
+]

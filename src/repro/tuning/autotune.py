@@ -1,0 +1,169 @@
+"""Exhaustive launch-parameter search — the validation study of Figure 6.
+
+The paper sweeps ~1,200 settings (block size x rows-per-vector, at the
+Eq.-4 vector size) of the sparse fused kernel on a 500k x 1k sparse matrix
+and shows the analytical model's pick is within 2% of the optimum and inside
+the best 1% of all settings.  :func:`autotune_sparse` reproduces the sweep
+against the cost model, reporting the same two quality metrics.
+
+Counter assembly is factored so the sweep reuses the input-dependent pieces
+(row-pass transactions per vector size, the y-gather estimate) across all
+settings — one sweep over ~1,200 plans costs a few hundred milliseconds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..gpu.counters import PerfCounters
+from ..gpu.device import DeviceSpec, GTX_TITAN
+from ..gpu.memory import CacheModel, coalesced_transactions
+from ..kernels.base import SPARSE_STREAM_DERATE, GpuContext
+from ..kernels.sparse_baseline import vector_gather_transactions
+from ..kernels.sparse_fused import _row_pass_loads
+from ..gpu.atomics import shared_atomic_batch
+from ..gpu.costmodel import CostModel
+from ..gpu.occupancy import occupancy
+from ..sparse.csr import CsrMatrix
+from .sparse_params import (SPARSE_KERNEL_REGISTERS, SparseParams,
+                            shared_bytes_needed, tune_sparse)
+
+_D = 8
+_I = 4
+
+
+@dataclass(frozen=True)
+class Setting:
+    """One point of the exhaustive sweep."""
+
+    vector_size: int
+    block_size: int
+    rows_per_vector: int          # the paper's RpV (= coarsening factor C)
+    grid_size: int
+    time_ms: float
+
+
+@dataclass
+class AutotuneResult:
+    """Sweep outcome plus model-quality metrics (Figure 6's claims)."""
+
+    settings: list[Setting]
+    best: Setting
+    model_setting: Setting
+    model_params: SparseParams
+
+    @property
+    def model_gap(self) -> float:
+        """Relative time gap between the model's pick and the optimum."""
+        return (self.model_setting.time_ms - self.best.time_ms) \
+            / self.best.time_ms
+
+    @property
+    def model_rank_fraction(self) -> float:
+        """Fraction of settings strictly faster than the model's pick."""
+        faster = sum(s.time_ms < self.model_setting.time_ms
+                     for s in self.settings)
+        return faster / len(self.settings)
+
+    @property
+    def worst(self) -> Setting:
+        return max(self.settings, key=lambda s: s.time_ms)
+
+
+def _estimate_time(X: CsrMatrix, vs: int, bs: int, c: int,
+                   device: DeviceSpec, cost: CostModel, cache: CacheModel,
+                   row_pass: float, gather: float) -> float | None:
+    """Model time of the fused X^T(Xy) kernel for one (VS, BS, C) setting."""
+    shm = shared_bytes_needed(bs, vs, X.n)
+    if shm > device.shared_memory_per_block:
+        return None
+    occ = occupancy(device, bs, SPARSE_KERNEL_REGISTERS, shm)
+    if occ.blocks_per_sm == 0:
+        return None
+    nv = max(1, bs // vs)
+    grid = max(1, -(-X.m // (nv * c)))
+
+    cnt = PerfCounters()
+    cnt.global_load_transactions = row_pass + gather
+    active_vectors = max(1, occ.blocks_per_sm * nv)
+    hit = cache.second_pass_hit_fraction(X.row_nnz, active_vectors)
+    miss_weight = float((X.row_nnz * (1.0 - hit)).sum()) \
+        / max(1.0, float(X.nnz))
+    cnt.global_load_transactions += row_pass * miss_weight
+    cnt.flops = 4.0 * X.nnz
+    shm_batch = shared_atomic_batch(X.nnz, X.n, bs)
+    cnt.atomic_shared_ops = shm_batch.ops
+    cnt.atomic_shared_serialized = shm_batch.serialized
+    cnt.shared_accesses = 2 * X.n / 32 * grid
+    cnt.barriers = grid / max(1, occ.blocks_per_sm * device.num_sms)
+    cnt.atomic_global_ops = grid * X.n
+    cnt.atomic_cas_chain = grid
+    cnt.kernel_launches = 1
+    return cost.time_ms(cnt, occ.fraction(device), SPARSE_STREAM_DERATE)
+
+
+def sweep_space(X: CsrMatrix, device: DeviceSpec = GTX_TITAN,
+                around_model: bool = True) -> tuple[list[int], list[int],
+                                                    list[int]]:
+    """The paper's search space: VS by Eq. 4, BS in {2^5..2^10}, RpV around
+    the model's choice (in powers of two)."""
+    model = tune_sparse(X, device)
+    vs_values = [model.vector_size]
+    bs_values = [w * 32 for w in range(1, 33)]
+    c0 = model.coarsening
+    rpv_values = sorted({max(1, round(c0 * f))
+                         for f in (0.1, 0.2, 0.35, 0.5, 0.7, 1.0, 1.4,
+                                   2.0, 2.8, 4.0, 5.7, 8.0, 11.0, 16.0,
+                                   23.0, 32.0, 45.0, 64.0, 91.0, 128.0,
+                                   181.0, 256.0, 362.0, 512.0, 724.0,
+                                   1024.0, 1448.0, 2048.0, 2896.0, 4096.0,
+                                   5793.0, 8192.0, 11585.0, 16384.0,
+                                   23170.0, 32768.0, 46341.0, 65536.0)})
+    return vs_values, bs_values, rpv_values
+
+
+def autotune_sparse(X: CsrMatrix, device: DeviceSpec = GTX_TITAN,
+                    ctx: GpuContext | None = None) -> AutotuneResult:
+    """Run the exhaustive sweep and locate the model's pick within it."""
+    ctx = ctx or GpuContext(device)
+    cost = CostModel(device)
+    cache = ctx.cache
+    model_params = tune_sparse(X, device)
+
+    vs_values, bs_values, rpv_values = sweep_space(X, device)
+    gather = vector_gather_transactions(X, ctx, texture=True)
+    row_pass_by_vs = {vs: _row_pass_loads(X, vs, device.warp_size)
+                      for vs in vs_values}
+
+    settings: list[Setting] = []
+    for vs in vs_values:
+        for bs in bs_values:
+            if bs % vs:
+                continue
+            for c in rpv_values:
+                t = _estimate_time(X, vs, bs, c, device, cost, cache,
+                                   row_pass_by_vs[vs], gather)
+                if t is None:
+                    continue
+                nv = max(1, bs // vs)
+                grid = max(1, -(-X.m // (nv * c)))
+                settings.append(Setting(vs, bs, c, grid, t))
+    if not settings:
+        raise RuntimeError("empty search space")
+
+    best = min(settings, key=lambda s: s.time_ms)
+    mt = _estimate_time(X, model_params.vector_size,
+                        model_params.block_size, model_params.coarsening,
+                        device, cost, cache,
+                        row_pass_by_vs.get(model_params.vector_size,
+                                           _row_pass_loads(
+                                               X, model_params.vector_size,
+                                               device.warp_size)),
+                        gather)
+    model_setting = Setting(model_params.vector_size,
+                            model_params.block_size,
+                            model_params.coarsening,
+                            model_params.grid_size, mt)
+    return AutotuneResult(settings, best, model_setting, model_params)

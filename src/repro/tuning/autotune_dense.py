@@ -1,0 +1,106 @@
+"""Exhaustive sweep of the dense kernel's (TL, BS) space.
+
+The paper profiles the dense kernel over thread loads TL in {1..40}
+(23..255 registers) and block sizes that are register-allocation friendly,
+then picks analytically (§3.3).  This sweep validates the dense model the
+same way Figure 6 validates the sparse one: estimate every setting through
+the cost model and locate the analytical pick.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..gpu.counters import PerfCounters
+from ..gpu.costmodel import CostModel
+from ..gpu.device import DeviceSpec, GTX_TITAN
+from ..gpu.memory import coalesced_transactions
+from ..gpu.occupancy import occupancy
+from .dense_params import (MAX_THREAD_LOAD, DenseParams,
+                           registers_for_thread_load,
+                           select_vector_size_dense, tune_dense)
+
+_D = 8
+
+
+@dataclass(frozen=True)
+class DenseSetting:
+    thread_load: int
+    vector_size: int
+    block_size: int
+    padded_n: int
+    occupancy_warps: int
+    time_ms: float
+
+
+@dataclass
+class DenseAutotuneResult:
+    settings: list[DenseSetting]
+    best: DenseSetting
+    model_setting: DenseSetting
+    model_params: DenseParams
+
+    @property
+    def model_gap(self) -> float:
+        return (self.model_setting.time_ms - self.best.time_ms) \
+            / self.best.time_ms
+
+    @property
+    def worst(self) -> DenseSetting:
+        return max(self.settings, key=lambda s: s.time_ms)
+
+
+def _estimate(m: int, n: int, tl: int, bs: int,
+              device: DeviceSpec, cost: CostModel) -> DenseSetting | None:
+    vs = select_vector_size_dense(n, tl, bs)
+    vs = min(vs, bs)
+    if vs * tl < n:
+        return None
+    regs = registers_for_thread_load(tl)
+    occ = occupancy(device, bs, regs, (bs // max(1, vs)) * 8)
+    if occ.blocks_per_sm == 0:
+        return None
+    padded = vs * tl
+    resident_threads = occ.warps_per_sm * device.warp_size
+    vector_slots = device.num_sms * max(1, resident_threads // vs)
+    c = max(1, -(-m // vector_slots))
+    nv = max(1, bs // vs)
+    grid = max(1, -(-m // (nv * c)))
+    total_vectors = min(grid * nv, m)
+
+    cnt = PerfCounters()
+    cnt.global_load_transactions = (
+        coalesced_transactions(m * padded * _D)
+        + coalesced_transactions(padded * _D))
+    cnt.atomic_global_ops = total_vectors * padded
+    cnt.atomic_cas_chain = total_vectors
+    cnt.flops = 4.0 * m * padded
+    cnt.kernel_launches = 1
+    if vs > device.warp_size:
+        cnt.shared_accesses = m * (vs // 32) / 32
+        rows_per_wave = max(1, resident_threads * device.num_sms // vs)
+        cnt.barriers = 2.0 * m / rows_per_wave
+    eff_occ = min(1.0, occ.fraction(device) * max(1.0, tl / 2.0))
+    t = cost.time_ms(cnt, eff_occ)
+    return DenseSetting(tl, vs, bs, padded, occ.warps_per_sm, t)
+
+
+def autotune_dense(m: int, n: int,
+                   device: DeviceSpec = GTX_TITAN) -> DenseAutotuneResult:
+    """Sweep TL x BS for an ``m x n`` dense input; locate the model's pick."""
+    cost = CostModel(device)
+    settings: list[DenseSetting] = []
+    block_sizes = [128, 256, 384, 512, 640, 768, 896, 1024]
+    for bs in block_sizes:
+        for tl in range(1, MAX_THREAD_LOAD + 1):
+            s = _estimate(m, n, tl, bs, device, cost)
+            if s is not None:
+                settings.append(s)
+    if not settings:
+        raise RuntimeError("empty dense search space (n too wide?)")
+    best = min(settings, key=lambda s: s.time_ms)
+
+    params = tune_dense(m, n, device)
+    ms = _estimate(m, n, params.thread_load, params.block_size, device, cost)
+    assert ms is not None
+    return DenseAutotuneResult(settings, best, ms, params)

@@ -1,0 +1,132 @@
+"""Analytical launch-parameter model for the dense fused kernel (§3.3).
+
+The dense kernel is register-hungry: each thread keeps ``TL`` elements of
+``X``, ``y``, and the partial ``w`` in named registers (the code generator
+unrolls accordingly).  The paper profiles 23 registers at ``TL = 1`` up to
+255 at ``TL = 40`` — beyond that the compiler spills and performance
+collapses, so ``TL`` is capped at 40.  ``BS`` defaults to the minimum
+register-allocation-friendly size (128) to limit inter-vector
+synchronization, except for very narrow matrices (n <= 32) where ``BS`` is
+raised to 1024 with ``TL = 1`` to hide load latency.  ``VS`` follows Eq. 6.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..gpu.device import DeviceSpec, GTX_TITAN
+from ..gpu.launch import LaunchConfig
+from ..gpu.occupancy import Occupancy, occupancy
+
+#: TL -> registers/thread, matching the paper's profile (23 @ TL=1, 255 @ TL=40)
+MAX_THREAD_LOAD = 40
+
+
+def registers_for_thread_load(tl: int) -> int:
+    """Register footprint of the generated kernel at thread load ``tl``."""
+    if tl < 1:
+        raise ValueError("thread load must be >= 1")
+    return min(255, 23 + round(5.95 * (tl - 1) + 0.5) if tl > 1 else 23)
+
+
+def select_vector_size_dense(n: int, tl: int, block_size: int) -> int:
+    """Eq. 6: VS from the per-thread coverage ``n / TL``."""
+    ratio = n / tl
+    if ratio > 32:
+        return block_size
+    for i in range(5, 0, -1):          # 2^i >= ratio > 2^(i-1), i in [1, 5]
+        if 2 ** i >= ratio > 2 ** (i - 1):
+            return 2 ** i
+    return 1
+
+
+def wasted_warps(n: int, tl: int, vs: int, warp: int = 32) -> int:
+    """Warp-loads per vector that fall entirely past the row end."""
+    covered = tl * vs
+    return max(0, (covered - n) // warp)
+
+
+@dataclass(frozen=True)
+class DenseParams:
+    """Resolved launch parameters for the dense fused kernel."""
+
+    thread_load: int
+    vector_size: int
+    block_size: int
+    coarsening: int
+    grid_size: int
+    registers: int
+    occupancy: Occupancy
+    padded_n: int
+
+    def launch(self) -> LaunchConfig:
+        return LaunchConfig(
+            grid_size=self.grid_size,
+            block_size=self.block_size,
+            shared_bytes=(self.block_size // self.vector_size) * 8,
+            registers_per_thread=self.registers,
+            vector_size=self.vector_size,
+            coarsening=self.coarsening,
+            thread_load=self.thread_load,
+        )
+
+
+def tune_dense(m: int, n: int, device: DeviceSpec = GTX_TITAN) -> DenseParams:
+    """Full §3.3 resolution for a dense ``m x n`` input."""
+    if m < 1 or n < 1:
+        raise ValueError("matrix dimensions must be positive")
+
+    if n <= device.warp_size:
+        # Narrow-matrix exception: maximum block, one element per thread.
+        bs, tl = 1024, 1
+        vs = select_vector_size_dense(n, tl, bs)
+        regs = registers_for_thread_load(tl)
+        occ = occupancy(device, bs, regs, (bs // max(1, vs)) * 8)
+    else:
+        bs = 128
+        best = None
+        for tl in range(1, MAX_THREAD_LOAD + 1):
+            vs = select_vector_size_dense(n, tl, bs)
+            if vs * tl < n:            # vector cannot cover the row
+                continue
+            regs = registers_for_thread_load(tl)
+            occ = occupancy(device, bs, regs, (bs // max(1, vs)) * 8)
+            if occ.blocks_per_sm == 0:
+                continue
+            warps_per_vec = max(1, (vs * tl) // 32)
+            waste = wasted_warps(n, tl, vs)
+            useful = occ.warps_per_sm * (1.0 - waste / max(1, warps_per_vec))
+            key = (useful, -tl)        # prefer max useful warps, then small TL
+            if best is None or key > best[0]:
+                best = (key, tl, vs, regs, occ)
+        if best is None:
+            raise ValueError(
+                f"no feasible thread load for n={n} at BS={bs} "
+                f"(register limit); use the unfused cuBLAS route"
+            )
+        _, tl, vs, regs, occ = best
+
+    # pad n to the unrolled coverage VS*TL (the kernel pads X and y with
+    # zeros; at most one extra warp-load per vector, excluded by the waste
+    # term above)
+    vs_eff = min(vs, bs)
+    padded_n = vs_eff * tl
+    resident_threads = occ.warps_per_sm * device.warp_size
+    vector_slots = device.num_sms * max(1, resident_threads // vs_eff)
+    c = max(1, -(-m // vector_slots))
+    nv = max(1, bs // vs_eff)
+    grid = max(1, -(-m // (nv * c)))
+    return DenseParams(
+        thread_load=tl, vector_size=vs_eff, block_size=bs, coarsening=c,
+        grid_size=grid, registers=regs, occupancy=occ, padded_n=padded_n,
+    )
+
+
+def max_dense_columns(device: DeviceSpec = GTX_TITAN) -> int:
+    """Largest n the register-resident dense kernel can handle (~6K).
+
+    Beyond this the paper recommends falling back to two cuBLAS launches.
+    """
+    # each thread holds TL elements of X, y, w -> 3*TL doubles = 6*TL regs,
+    # TL <= 40 and VS <= 1024 threads cooperating on a row
+    return MAX_THREAD_LOAD * 128 + 1024  # 40*128 = 5120 covered + slack

@@ -1,0 +1,114 @@
+"""Analytical launch-parameter model for the sparse fused kernel (§3.3).
+
+Three parameters govern the sparse kernel: the vector size ``VS`` (threads
+cooperating on one row, Eq. 4), the block size ``BS`` (chosen to maximize
+occupancy given the kernel's 43 registers/thread and its
+``(BS/VS + n) * sizeof(double)`` shared-memory request), and the coarsening
+factor ``C`` (rows per vector, Eq. 5 — large C means fewer blocks and fewer
+atomic writes to global memory).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..gpu.device import DeviceSpec, GTX_TITAN
+from ..gpu.launch import LaunchConfig
+from ..gpu.occupancy import Occupancy, best_block_size, occupancy
+from ..sparse.csr import CsrMatrix
+
+#: registers/thread of the sparse fused kernel, as profiled by the paper
+SPARSE_KERNEL_REGISTERS = 43
+
+
+def select_vector_size(mean_row_nnz: float) -> int:
+    """Eq. 4: pick VS from {1, 2, 4, 8, 16, 32} by the mean row length mu."""
+    mu = mean_row_nnz
+    if mu > 32:
+        return 32
+    for i in range(4, 0, -1):           # i in [1, 4]: 2^(i+1) >= mu > 2^i
+        if 2 ** (i + 1) >= mu > 2 ** i:
+            return 2 ** i
+    return 1
+
+
+def shared_bytes_needed(block_size: int, vector_size: int, n: int,
+                        itemsize: int = 8) -> int:
+    """The fused kernel's request: one slot per vector plus the w mirror."""
+    return (block_size // vector_size + n) * itemsize
+
+
+def max_shared_columns(device: DeviceSpec, block_size: int = 1024,
+                       vector_size: int = 32, itemsize: int = 8) -> int:
+    """Largest n whose w mirror fits in per-block shared memory (~6K)."""
+    return device.shared_memory_per_block // itemsize - \
+        block_size // vector_size
+
+
+@dataclass(frozen=True)
+class SparseParams:
+    """Resolved launch parameters for the sparse fused kernel."""
+
+    vector_size: int
+    block_size: int
+    coarsening: int
+    grid_size: int
+    shared_bytes: int
+    registers: int
+    variant: str                 # "shared" or "global" (large-n)
+    occupancy: Occupancy
+
+    def launch(self) -> LaunchConfig:
+        return LaunchConfig(
+            grid_size=self.grid_size,
+            block_size=self.block_size,
+            shared_bytes=self.shared_bytes,
+            registers_per_thread=self.registers,
+            vector_size=self.vector_size,
+            coarsening=self.coarsening,
+        )
+
+
+def select_coarsening(device: DeviceSpec, m: int, vector_size: int,
+                      occ: Occupancy) -> int:
+    """Eq. 5: balance all rows over the device's resident vector slots."""
+    resident_threads = occ.warps_per_sm * device.warp_size
+    vector_slots = device.num_sms * max(1, resident_threads // vector_size)
+    return max(1, -(-m // vector_slots))
+
+
+def tune_sparse(X: CsrMatrix, device: DeviceSpec = GTX_TITAN,
+                registers: int = SPARSE_KERNEL_REGISTERS,
+                force_variant: str | None = None) -> SparseParams:
+    """Full §3.3 parameter resolution for a CSR input.
+
+    Chooses the shared-memory variant when the w mirror fits, otherwise the
+    large-n variant that aggregates directly in global memory (the KDD2010
+    regime).  ``force_variant`` overrides for ablation benchmarks.
+    """
+    m, n = X.shape
+    vs = select_vector_size(X.mean_row_nnz)
+
+    variant = force_variant
+    if variant is None:
+        variant = "shared" if n <= max_shared_columns(device) else "global"
+    if variant not in ("shared", "global"):
+        raise ValueError(f"unknown variant {variant!r}")
+
+    if variant == "shared":
+        def shm(bs: int) -> int:
+            return shared_bytes_needed(bs, vs, n)
+    else:
+        # large-n: only the per-vector reduction slots live in shared memory
+        def shm(bs: int) -> int:
+            return (bs // vs) * 8
+
+    bs, occ = best_block_size(device, registers, shm)
+    c = select_coarsening(device, m, vs, occ)
+    nv = bs // vs
+    grid = max(1, -(-m // (nv * c)))
+    return SparseParams(
+        vector_size=vs, block_size=bs, coarsening=c, grid_size=grid,
+        shared_bytes=shm(bs), registers=registers, variant=variant,
+        occupancy=occ,
+    )

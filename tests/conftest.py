@@ -1,0 +1,32 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.kernels.base import GpuContext
+from repro.gpu.device import GTX_TITAN
+from repro.sparse.generate import random_csr
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def ctx() -> GpuContext:
+    return GpuContext(GTX_TITAN)
+
+
+@pytest.fixture
+def small_csr():
+    """A 200 x 40 sparse matrix with mixed row lengths."""
+    return random_csr(200, 40, 0.15, rng=7)
+
+
+@pytest.fixture
+def medium_csr():
+    """A 5k x 300 sparse matrix, the scale kernels are usually tested at."""
+    return random_csr(5000, 300, 0.02, rng=11)

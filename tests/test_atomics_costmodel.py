@@ -1,0 +1,136 @@
+"""Atomic-contention model and the event-to-time cost model."""
+
+import numpy as np
+import pytest
+
+from repro.gpu import (CostModel, GTX_TITAN, PerfCounters,
+                       effective_addresses, global_atomic_batch, merge,
+                       shared_atomic_batch, uniform_weights)
+from repro.gpu.atomics import contended_chain
+
+
+class TestEffectiveAddresses:
+    def test_uniform(self):
+        assert effective_addresses(np.ones(100)) == pytest.approx(100.0)
+
+    def test_single_hot_address(self):
+        w = np.zeros(100)
+        w[0] = 1000
+        assert effective_addresses(w) == pytest.approx(1.0)
+
+    def test_skew_reduces_effective_count(self):
+        skewed = np.array([100.0, 1, 1, 1])
+        assert effective_addresses(skewed) < 4.0
+
+    def test_empty(self):
+        assert effective_addresses(np.zeros(5)) == 1.0
+
+
+class TestChains:
+    def test_uniform_chain(self):
+        assert contended_chain(1000, uniform_weights(100)) == pytest.approx(10.0)
+
+    def test_single_address_fully_serial(self):
+        assert contended_chain(1000, np.array([1.0])) == pytest.approx(1000.0)
+
+    def test_zero_ops(self):
+        assert contended_chain(0, uniform_weights(8)) == 0.0
+
+
+class TestBatches:
+    def test_global_batch_contention(self):
+        b = global_atomic_batch(10_000, uniform_weights(10), 1000)
+        assert b.ops == 10_000
+        assert b.degree == pytest.approx(100.0)
+
+    def test_no_contention_when_spread(self):
+        b = global_atomic_batch(100, uniform_weights(10_000), 100_000)
+        assert b.degree == pytest.approx(1.0)
+
+    def test_shared_batch(self):
+        b = shared_atomic_batch(1000, 10, 640)
+        assert b.serialized >= b.ops
+        assert b.degree == pytest.approx(64.0)
+
+    def test_empty_batches(self):
+        assert global_atomic_batch(0, uniform_weights(4), 10).ops == 0.0
+        assert shared_atomic_batch(0, 4, 32).serialized == 0.0
+
+
+class TestCounters:
+    def test_add_and_merge(self):
+        a = PerfCounters(global_load_transactions=10, flops=5)
+        b = PerfCounters(global_load_transactions=3, kernel_launches=1)
+        m = merge(a, b)
+        assert m.global_load_transactions == 13
+        assert m.flops == 5 and m.kernel_launches == 1
+        a.add(b)
+        assert a.global_load_transactions == 13
+
+    def test_scaled(self):
+        c = PerfCounters(global_load_transactions=4, barriers=2)
+        s = c.scaled(2.5)
+        assert s.global_load_transactions == 10
+        assert c.global_load_transactions == 4
+
+    def test_global_bytes(self):
+        c = PerfCounters(global_load_transactions=2,
+                         global_store_transactions=1)
+        assert c.global_bytes() == 3 * 128
+
+
+class TestCostModel:
+    def test_memory_bound_time(self):
+        cm = CostModel(GTX_TITAN)
+        c = PerfCounters(global_load_transactions=1e6)   # 128 MB
+        t = cm.time_ms(c, occupancy_fraction=1.0)
+        assert t == pytest.approx(128e6 / 288e9 * 1e3, rel=0.01)
+
+    def test_low_occupancy_slower(self):
+        cm = CostModel(GTX_TITAN)
+        c = PerfCounters(global_load_transactions=1e6)
+        fast = cm.time_ms(c, occupancy_fraction=1.0)
+        slow = cm.time_ms(c, occupancy_fraction=0.05)
+        assert slow > 2.0 * fast
+
+    def test_bandwidth_efficiency_saturates(self):
+        cm = CostModel(GTX_TITAN)
+        assert cm.bandwidth_efficiency(0.5) == 1.0
+        assert cm.bandwidth_efficiency(0.9) == 1.0
+        assert cm.bandwidth_efficiency(0.0) == pytest.approx(
+            cm.min_bandwidth_fraction)
+
+    def test_derate_slows_memory(self):
+        cm = CostModel(GTX_TITAN)
+        c = PerfCounters(global_load_transactions=1e6)
+        assert cm.time_ms(c, 1.0, 0.5) == pytest.approx(
+            2.0 * cm.time_ms(c, 1.0, 1.0), rel=0.01)
+
+    def test_lock_chain_dominates_cas_chain(self):
+        cm = CostModel(GTX_TITAN)
+        lock = PerfCounters(atomic_lock_chain=1000)
+        cas = PerfCounters(atomic_cas_chain=1000)
+        assert cm.time_ms(lock) > 100 * cm.time_ms(cas)
+
+    def test_phases_overlap_but_atomics_add(self):
+        cm = CostModel(GTX_TITAN)
+        c = PerfCounters(global_load_transactions=1e6, flops=1e6,
+                         atomic_lock_chain=1e4)
+        bd = cm.breakdown(c)
+        assert bd.total_ms == pytest.approx(
+            max(bd.memory_ms, bd.shared_ms, bd.compute_ms)
+            + bd.atomic_ms + bd.launch_ms + bd.sync_ms)
+        assert bd.memory_ms > bd.compute_ms
+
+    def test_launch_and_sync_costs(self):
+        cm = CostModel(GTX_TITAN)
+        c = PerfCounters(kernel_launches=2, barriers=10)
+        bd = cm.breakdown(c)
+        assert bd.launch_ms == pytest.approx(2 * 5.0 / 1e3)
+        assert bd.sync_ms == pytest.approx(10 * 0.6 / 1e3)
+
+    def test_as_dict_keys(self):
+        bd = CostModel(GTX_TITAN).breakdown(PerfCounters())
+        d = bd.as_dict()
+        assert set(d) == {"memory_ms", "shared_ms", "compute_ms",
+                          "atomic_ms", "launch_ms", "sync_ms", "total_ms"}

@@ -1,0 +1,85 @@
+"""Workload-balance metrics (the paper's load-balance challenge)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.gpu.balance import gini, vector_load_cv, warp_idle_fraction
+from repro.sparse import banded_csr, power_law_csr, random_csr
+from repro.tuning import select_coarsening, tune_sparse
+
+
+class TestWarpIdle:
+    def test_perfectly_balanced_rows(self):
+        assert warp_idle_fraction(np.full(64, 7), vector_size=8) == 0.0
+
+    def test_single_hot_row_in_warp(self):
+        # 4 rows per warp (VS=8): one row of 40, three of 0
+        rows = np.array([40, 0, 0, 0])
+        assert warp_idle_fraction(rows, 8) == pytest.approx(0.75)
+
+    def test_empty(self):
+        assert warp_idle_fraction(np.array([]), 4) == 0.0
+
+    def test_vs32_one_row_per_warp_never_idles(self):
+        rows = np.array([100, 1, 50, 3])
+        assert warp_idle_fraction(rows, 32) == 0.0
+
+    def test_skew_ordering(self):
+        """banded < uniform < power-law, matching intuition."""
+        b = banded_csr(2000, 100, bandwidth=8, rng=0)
+        u = random_csr(2000, 100, 0.08, rng=1)
+        p = power_law_csr(2000, 100, nnz_target=u.nnz, alpha=1.7, rng=2)
+        vs = 8
+        assert warp_idle_fraction(b.row_nnz, vs) \
+            < warp_idle_fraction(u.row_nnz, vs) \
+            < warp_idle_fraction(p.row_nnz, vs)
+
+    def test_larger_vs_reduces_idle(self):
+        """Eq. 4 picks a larger VS for longer rows partly because a whole
+        warp on one row cannot idle against its siblings."""
+        X = power_law_csr(2000, 200, nnz_target=30_000, alpha=1.5, rng=3)
+        assert warp_idle_fraction(X.row_nnz, 32) \
+            <= warp_idle_fraction(X.row_nnz, 2)
+
+
+class TestVectorLoadCv:
+    def test_coarsening_concentrates_load(self):
+        """More rows per vector -> lower relative variance (Eq. 5's goal)."""
+        X = power_law_csr(20_000, 256, nnz_target=200_000, alpha=1.5, rng=4)
+        cv_many_vectors = vector_load_cv(X.row_nnz, 10_000)
+        cv_few_vectors = vector_load_cv(X.row_nnz, 100)
+        assert cv_few_vectors < cv_many_vectors
+
+    def test_model_coarsening_keeps_cv_low(self):
+        X = random_csr(50_000, 512, 0.01, rng=5)
+        params = tune_sparse(X)
+        vectors = params.grid_size * (params.block_size
+                                      // params.vector_size)
+        assert vector_load_cv(X.row_nnz, vectors) < 0.25
+
+    def test_degenerate(self):
+        assert vector_load_cv(np.array([]), 10) == 0.0
+        assert vector_load_cv(np.zeros(8), 4) == 0.0
+
+
+class TestGini:
+    def test_uniform_is_zero(self):
+        assert gini(np.full(100, 3.0)) == pytest.approx(0.0, abs=1e-9)
+
+    def test_single_owner_close_to_one(self):
+        v = np.zeros(1000)
+        v[0] = 1.0
+        assert gini(v) > 0.99
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            gini(np.array([-1.0, 2.0]))
+
+    @settings(max_examples=80, deadline=None)
+    @given(hnp.arrays(np.float64, st.integers(1, 60),
+                      elements=st.floats(0, 1e6)))
+    def test_bounds(self, v):
+        g = gini(v)
+        assert -1e-9 <= g <= 1.0

@@ -1,0 +1,75 @@
+"""The bench harness: registry, result assembly, scale resolution."""
+
+import numpy as np
+import pytest
+
+from repro.bench import REGISTRY, ExperimentResult, resolve_scale
+from repro.bench.figures import figure2, figure6
+from repro.bench.tables import table1
+
+
+class TestExperimentResult:
+    def test_add_and_column(self):
+        r = ExperimentResult("x", "t", ("a", "b"))
+        r.add(1, 2.0)
+        r.add(3, 4.0)
+        assert r.column("a") == [1, 3]
+        assert r.column("b") == [2.0, 4.0]
+
+    def test_add_wrong_arity(self):
+        r = ExperimentResult("x", "t", ("a", "b"))
+        with pytest.raises(ValueError, match="row has"):
+            r.add(1)
+
+    def test_markdown_rendering(self):
+        r = ExperimentResult("figX", "demo", ("n", "speedup"))
+        r.add(100, 12.345)
+        r.notes.append("a note")
+        md = r.to_markdown()
+        assert "| n | speedup |" in md
+        assert "12.3" in md
+        assert "a note" in md
+        assert md.startswith("### figX")
+
+
+class TestRegistry:
+    def test_all_experiments_registered(self):
+        expected = {"figure2", "figure3", "figure4", "figure5", "figure6",
+                    "table1", "table2", "table4", "table5", "table6"}
+        assert expected <= set(REGISTRY)
+
+    def test_scale_resolution(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SCALE", raising=False)
+        monkeypatch.delenv("REPRO_FULL_SCALE", raising=False)
+        assert resolve_scale(0.25) == 0.25
+        monkeypatch.setenv("REPRO_SCALE", "0.5")
+        assert resolve_scale(0.25) == 0.5
+        monkeypatch.setenv("REPRO_FULL_SCALE", "1")
+        assert resolve_scale(0.25) == 1.0
+
+    def test_invalid_scale_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "7")
+        with pytest.raises(ValueError, match="REPRO_SCALE"):
+            resolve_scale(0.1)
+
+
+class TestSmallScaleExperiments:
+    """Experiments at tiny scale: structure checks only (bands are asserted
+    at the benchmark scale in benchmarks/)."""
+
+    def test_figure2_structure(self):
+        r = figure2(scale=0.01)
+        assert r.columns[0] == "n"
+        assert len(r.rows) == 6
+        assert all(s > 1.0 for s in r.column("speedup"))
+
+    def test_figure6_structure(self):
+        r = figure6(scale=0.02)
+        q = dict(zip(r.column("quantity"), r.column("value")))
+        assert q["settings_explored"] > 300
+        assert q["model_gap_pct"] < 25.0
+
+    def test_table1_structure(self):
+        r = table1()
+        assert len(r.rows) == 5
+        assert any("complete" in n for n in r.notes)

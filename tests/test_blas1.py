@@ -1,0 +1,70 @@
+"""BLAS-1 kernel wrappers: numerics and launch accounting."""
+
+import numpy as np
+import pytest
+
+from repro.kernels import axpy, dot, ewmul, nrm2, scal, sumsq
+
+
+class TestNumerics:
+    def test_axpy(self, rng):
+        x, y = rng.normal(size=100), rng.normal(size=100)
+        res = axpy(2.5, x, y)
+        np.testing.assert_allclose(res.output, 2.5 * x + y)
+
+    def test_scal(self, rng):
+        x = rng.normal(size=50)
+        np.testing.assert_allclose(scal(-3.0, x).output, -3.0 * x)
+
+    def test_ewmul(self, rng):
+        x, y = rng.normal(size=64), rng.normal(size=64)
+        np.testing.assert_allclose(ewmul(x, y).output, x * y)
+
+    def test_dot(self, rng):
+        x, y = rng.normal(size=1000), rng.normal(size=1000)
+        assert dot(x, y).output == pytest.approx(float(x @ y))
+
+    def test_nrm2(self, rng):
+        x = rng.normal(size=333)
+        assert nrm2(x).output == pytest.approx(float(np.linalg.norm(x)))
+
+    def test_sumsq(self, rng):
+        x = rng.normal(size=333)
+        assert sumsq(x).output == pytest.approx(float(x @ x))
+
+    def test_shape_mismatch(self, rng):
+        with pytest.raises(ValueError):
+            axpy(1.0, np.ones(3), np.ones(4))
+        with pytest.raises(ValueError):
+            dot(np.ones(3), np.ones(4))
+        with pytest.raises(ValueError):
+            ewmul(np.ones(3), np.ones(4))
+
+
+class TestAccounting:
+    def test_each_op_is_one_launch(self, rng):
+        x, y = rng.normal(size=4096), rng.normal(size=4096)
+        for res in (axpy(1.0, x, y), scal(2.0, x), ewmul(x, y),
+                    dot(x, y), nrm2(x), sumsq(x)):
+            assert res.counters.kernel_launches == 1
+
+    def test_axpy_traffic(self, rng):
+        n = 16384
+        x, y = rng.normal(size=n), rng.normal(size=n)
+        res = axpy(1.0, x, y)
+        # 2n doubles read + n written
+        assert res.counters.global_load_transactions == pytest.approx(
+            2 * n * 8 / 128)
+        assert res.counters.global_store_transactions == pytest.approx(
+            n * 8 / 128)
+
+    def test_time_scales_with_size(self, rng):
+        small = axpy(1.0, rng.normal(size=1000), rng.normal(size=1000))
+        big = axpy(1.0, rng.normal(size=1_000_000),
+                   rng.normal(size=1_000_000))
+        assert big.time_ms > 10 * small.time_ms
+
+    def test_launch_overhead_floors_small_ops(self, rng):
+        tiny = dot(rng.normal(size=8), rng.normal(size=8))
+        # dominated by the 5 us launch overhead, not traffic
+        assert tiny.time_ms >= 0.005

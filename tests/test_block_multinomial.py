@@ -1,0 +1,62 @@
+"""Block (lockstep-CG) multinomial training via the multi-RHS kernel."""
+
+import numpy as np
+import pytest
+
+from repro.ml import MLRuntime, multinomial_logreg
+from repro.sparse import random_csr
+
+
+@pytest.fixture(scope="module")
+def multiclass():
+    X = random_csr(600, 15, 0.4, rng=1)
+    rng = np.random.default_rng(2)
+    labels = np.argmax(X.to_dense() @ rng.normal(size=(15, 3)), axis=1)
+    return X, labels
+
+
+class TestBlockMultinomial:
+    def test_matches_sequential_fit(self, multiclass):
+        X, labels = multiclass
+        blk = multinomial_logreg(X, labels, max_newton=15, block=True)
+        seq = multinomial_logreg(X, labels, max_newton=15, block=False)
+        np.testing.assert_allclose(blk.W, seq.W, atol=1e-4)
+        assert (blk.predict(X) == seq.predict(X)).mean() > 0.99
+
+    def test_accuracy(self, multiclass):
+        X, labels = multiclass
+        blk = multinomial_logreg(X, labels, max_newton=15, block=True)
+        assert (blk.predict(X) == labels).mean() > 0.9
+
+    def test_block_spends_less_pattern_time(self, multiclass):
+        """The whole point: one X pass per CG step instead of K."""
+        X, labels = multiclass
+        rt_b = MLRuntime("gpu-fused")
+        multinomial_logreg(X, labels, rt_b, max_newton=10, block=True)
+        rt_s = MLRuntime("gpu-fused")
+        multinomial_logreg(X, labels, rt_s, max_newton=10, block=False)
+        assert rt_b.ledger.by_category["pattern"] < \
+            0.7 * rt_s.ledger.by_category["pattern"]
+
+    def test_block_on_cpu_backend_still_correct(self, multiclass):
+        X, labels = multiclass
+        blk = multinomial_logreg(X, labels, MLRuntime("cpu"),
+                                 max_newton=10, block=True)
+        assert (blk.predict(X) == labels).mean() > 0.9
+
+    def test_pattern_multi_runtime_op(self, multiclass, rng):
+        """rt.pattern_multi agrees column-wise with rt.pattern."""
+        X, _ = multiclass
+        k = 3
+        Y = rng.normal(size=(X.n, k))
+        V = np.abs(rng.normal(size=(X.m, k)))
+        Z = rng.normal(size=(X.n, k))
+        for backend in ("cpu", "gpu-baseline", "gpu-fused"):
+            rt = MLRuntime(backend)
+            multi = rt.pattern_multi(X, Y, V=V, Z=Z, beta=0.5)
+            single = np.column_stack([
+                MLRuntime(backend).pattern(X, Y[:, j], v=V[:, j],
+                                           z=Z[:, j], beta=0.5)
+                for j in range(k)])
+            np.testing.assert_allclose(multi, single, rtol=1e-10,
+                                       err_msg=backend)

@@ -1,0 +1,164 @@
+"""GenericPattern, classification (Table 1), and the public API."""
+
+import numpy as np
+import pytest
+
+from repro import (GenericPattern, Instantiation, TABLE1, evaluate, mvtmv,
+                   pattern_of, xt_mv)
+from repro.core.pattern import algorithms_using
+from repro.sparse import random_csr
+
+
+class TestClassification:
+    def test_xtxy(self, small_csr, rng):
+        p = GenericPattern(small_csr, rng.normal(size=small_csr.n))
+        assert p.classify() is Instantiation.XT_X_Y
+
+    def test_with_v(self, small_csr, rng):
+        p = GenericPattern(small_csr, rng.normal(size=small_csr.n),
+                           v=rng.normal(size=small_csr.m))
+        assert p.classify() is Instantiation.XT_V_X_Y
+
+    def test_with_z(self, small_csr, rng):
+        p = GenericPattern(small_csr, rng.normal(size=small_csr.n),
+                           z=rng.normal(size=small_csr.n), beta=0.1)
+        assert p.classify() is Instantiation.XT_X_Y_BZ
+
+    def test_full(self, small_csr, rng):
+        p = GenericPattern(small_csr, rng.normal(size=small_csr.n),
+                           v=rng.normal(size=small_csr.m),
+                           z=rng.normal(size=small_csr.n), beta=0.1)
+        assert p.classify() is Instantiation.FULL
+
+    def test_xt_y(self, small_csr, rng):
+        p = GenericPattern(small_csr, rng.normal(size=small_csr.m),
+                           inner=False)
+        assert p.classify() is Instantiation.XT_Y
+
+    def test_pattern_of_helper(self, small_csr, rng):
+        inst = pattern_of(small_csr, rng.normal(size=small_csr.n))
+        assert inst is Instantiation.XT_X_Y
+
+
+class TestValidation:
+    def test_y_length_inner(self, small_csr):
+        with pytest.raises(ValueError, match="y must have shape"):
+            GenericPattern(small_csr, np.ones(small_csr.m))  # m != n here
+
+    def test_y_length_outer(self, small_csr):
+        with pytest.raises(ValueError, match="y must have shape"):
+            GenericPattern(small_csr, np.ones(small_csr.n), inner=False)
+
+    def test_v_with_outer_rejected(self, small_csr):
+        with pytest.raises(ValueError, match="v is only meaningful"):
+            GenericPattern(small_csr, np.ones(small_csr.m),
+                           v=np.ones(small_csr.m), inner=False)
+
+    def test_beta_needs_z(self, small_csr):
+        with pytest.raises(ValueError, match="requires z"):
+            GenericPattern(small_csr, np.ones(small_csr.n), beta=2.0)
+
+    def test_z_shape(self, small_csr):
+        with pytest.raises(ValueError, match="z must have shape"):
+            GenericPattern(small_csr, np.ones(small_csr.n),
+                           z=np.ones(3), beta=1.0)
+
+
+class TestTable1Registry:
+    def test_all_instantiations_present(self):
+        assert set(TABLE1) == set(Instantiation)
+
+    def test_paper_cells(self):
+        assert algorithms_using(Instantiation.XT_Y) == {
+            "LR", "GLM", "LogReg", "SVM", "HITS"}
+        assert algorithms_using(Instantiation.FULL) == {"LogReg"}
+        assert "SVM" in algorithms_using(Instantiation.XT_X_Y_BZ)
+        assert "GLM" in algorithms_using(Instantiation.XT_V_X_Y)
+
+
+class TestReference:
+    def test_inner_reference(self, small_csr, rng):
+        y = rng.normal(size=small_csr.n)
+        v = rng.normal(size=small_csr.m)
+        p = GenericPattern(small_csr, y, v=v, alpha=2.0)
+        d = small_csr.to_dense()
+        np.testing.assert_allclose(p.reference(), 2.0 * d.T @ ((d @ y) * v),
+                                   rtol=1e-10)
+
+    def test_outer_reference(self, small_csr, rng):
+        y = rng.normal(size=small_csr.m)
+        p = GenericPattern(small_csr, y, alpha=-1.0, inner=False)
+        np.testing.assert_allclose(p.reference(),
+                                   -small_csr.to_dense().T @ y, rtol=1e-10)
+
+    def test_dense_matrix_pattern(self, rng):
+        X = rng.normal(size=(40, 12))
+        p = GenericPattern(X, rng.normal(size=12))
+        assert not p.is_sparse
+        np.testing.assert_allclose(p.reference(), X.T @ (X @ p.y),
+                                   rtol=1e-12)
+
+
+class TestPublicApi:
+    def test_evaluate_checks_against_reference(self, medium_csr, rng):
+        y = rng.normal(size=medium_csr.n)
+        res = evaluate(medium_csr, y, strategy="fused", check=True)
+        assert res.time_ms > 0
+
+    def test_all_strategies_agree(self, medium_csr, rng):
+        y = rng.normal(size=medium_csr.n)
+        v = rng.normal(size=medium_csr.m)
+        z = rng.normal(size=medium_csr.n)
+        outs = {}
+        for s in ("fused", "cusparse", "cusparse-explicit", "bidmat-gpu",
+                  "bidmat-cpu"):
+            outs[s] = evaluate(medium_csr, y, v=v, z=z, alpha=1.5, beta=0.5,
+                               strategy=s).output
+        ref = outs.pop("fused")
+        for s, o in outs.items():
+            np.testing.assert_allclose(o, ref, rtol=1e-9, atol=1e-11,
+                                       err_msg=s)
+
+    def test_mvtmv_alias(self, medium_csr, rng):
+        y = rng.normal(size=medium_csr.n)
+        np.testing.assert_allclose(mvtmv(medium_csr, y).output,
+                                   evaluate(medium_csr, y).output)
+
+    def test_xt_mv(self, medium_csr, rng):
+        p = rng.normal(size=medium_csr.m)
+        res = xt_mv(medium_csr, p, alpha=3.0)
+        np.testing.assert_allclose(
+            res.output, 3.0 * medium_csr.to_dense().T @ p, rtol=1e-9)
+
+    def test_unknown_strategy(self, medium_csr, rng):
+        with pytest.raises(ValueError, match="unknown strategy"):
+            evaluate(medium_csr, rng.normal(size=medium_csr.n),
+                     strategy="tpu")
+
+    def test_auto_falls_back_for_wide_dense(self, rng):
+        """Beyond the register limit the executor must pick the unfused
+        route (the paper's explicit recommendation)."""
+        from repro.core.executor import PatternExecutor
+        from repro.tuning import MAX_THREAD_LOAD
+        X = rng.normal(size=(20, MAX_THREAD_LOAD * 128 + 200))
+        ex = PatternExecutor()
+        p = GenericPattern(X, rng.normal(size=X.shape[1]))
+        assert ex.choose_strategy(p) == "cusparse"
+        res = ex.evaluate(p, "auto")
+        np.testing.assert_allclose(res.output, X.T @ (X @ p.y), rtol=1e-9)
+
+    def test_check_detects_divergence(self, medium_csr, rng, monkeypatch):
+        from repro.core import executor as ex_mod
+        ex = ex_mod.PatternExecutor(check=True)
+        p = GenericPattern(medium_csr, rng.normal(size=medium_csr.n))
+        plan = ex.plan_for(p, "fused")
+        orig = plan.evaluate
+
+        def corrupted(pattern):
+            r = orig(pattern)
+            r.output = r.output + 1.0
+            return r
+
+        monkeypatch.setattr(plan, "evaluate", corrupted)
+        with pytest.raises(AssertionError, match="diverged"):
+            ex.evaluate(p, "fused")

@@ -1,0 +1,148 @@
+"""CSR format: construction, invariants, conversions, row access."""
+
+import numpy as np
+import pytest
+
+from repro.sparse import CooMatrix, CsrMatrix, csr_to_csc, random_csr
+
+
+class TestConstruction:
+    def test_from_dense_roundtrip(self, rng):
+        d = rng.normal(size=(13, 7))
+        d[rng.random(size=d.shape) < 0.5] = 0.0
+        X = CsrMatrix.from_dense(d)
+        np.testing.assert_array_equal(X.to_dense(), d)
+
+    def test_empty(self):
+        X = CsrMatrix.empty((5, 9))
+        assert X.nnz == 0
+        assert X.to_dense().shape == (5, 9)
+        assert X.mean_row_nnz == 0.0
+
+    def test_zero_rows(self):
+        X = CsrMatrix.empty((0, 4))
+        assert X.m == 0 and X.mean_row_nnz == 0.0
+
+    def test_repr_mentions_shape_and_nnz(self, small_csr):
+        s = repr(small_csr)
+        assert "200" in s and "40" in s and str(small_csr.nnz) in s
+
+
+class TestInvariants:
+    def test_row_off_wrong_length(self):
+        with pytest.raises(ValueError, match="row_off"):
+            CsrMatrix((2, 2), np.ones(1), np.zeros(1, dtype=np.int64),
+                      np.array([0, 1]))
+
+    def test_row_off_not_monotone(self):
+        with pytest.raises(ValueError, match="non-decreasing"):
+            CsrMatrix((2, 2), np.ones(2), np.zeros(2, dtype=np.int64),
+                      np.array([0, 2, 2 - 1]))
+
+    def test_row_off_first_nonzero(self):
+        with pytest.raises(ValueError, match=r"row_off\[0\]"):
+            CsrMatrix((1, 2), np.ones(1), np.zeros(1, dtype=np.int64),
+                      np.array([1, 1]))
+
+    def test_nnz_mismatch(self):
+        with pytest.raises(ValueError, match="nnz"):
+            CsrMatrix((1, 2), np.ones(2), np.zeros(2, dtype=np.int64),
+                      np.array([0, 1]))
+
+    def test_col_out_of_bounds(self):
+        with pytest.raises(ValueError, match="column index"):
+            CsrMatrix((1, 2), np.ones(1), np.array([5]), np.array([0, 1]))
+
+    def test_values_colidx_shape_mismatch(self):
+        with pytest.raises(ValueError, match="identical shapes"):
+            CsrMatrix((1, 3), np.ones(2), np.zeros(1, dtype=np.int64),
+                      np.array([0, 2]))
+
+
+class TestProperties:
+    def test_row_nnz_sums_to_nnz(self, small_csr):
+        assert small_csr.row_nnz.sum() == small_csr.nnz
+
+    def test_mean_row_nnz(self, small_csr):
+        assert small_csr.mean_row_nnz == pytest.approx(
+            small_csr.nnz / small_csr.m)
+
+    def test_density(self, small_csr):
+        assert 0.05 < small_csr.density < 0.35
+
+    def test_column_counts(self):
+        X = random_csr(200, 40, 0.15, rng=7, distinct=True)
+        counts = X.column_counts()
+        assert counts.shape == (X.n,)
+        assert counts.sum() == X.nnz
+        dense_counts = (X.to_dense() != 0).sum(axis=0)
+        np.testing.assert_array_equal(counts, dense_counts)
+
+    def test_nbytes_accounts_for_all_arrays(self, small_csr):
+        expected = (small_csr.nnz * 8 + small_csr.nnz * 4
+                    + (small_csr.m + 1) * 4)
+        assert small_csr.nbytes() == expected
+
+    def test_row_slice_views(self, small_csr):
+        vals, cols = small_csr.row_slice(3)
+        s, e = small_csr.row_off[3], small_csr.row_off[4]
+        assert vals.shape == (e - s,)
+        np.testing.assert_array_equal(cols, small_csr.col_idx[s:e])
+
+
+class TestTranspose:
+    def test_transpose_csr_matches_dense(self, small_csr):
+        XT = small_csr.transpose_csr()
+        np.testing.assert_allclose(XT.to_dense(), small_csr.to_dense().T)
+
+    def test_double_transpose_identity(self, small_csr):
+        XTT = small_csr.transpose_csr().transpose_csr()
+        assert XTT == small_csr
+
+    def test_csr_to_csc_matches(self, small_csr):
+        csc = csr_to_csc(small_csr)
+        np.testing.assert_allclose(csc.to_dense(), small_csr.to_dense())
+
+
+class TestEquality:
+    def test_equal_matrices(self, small_csr):
+        other = CsrMatrix(small_csr.shape, small_csr.values.copy(),
+                          small_csr.col_idx.copy(),
+                          small_csr.row_off.copy())
+        assert small_csr == other
+
+    def test_unequal_values(self, small_csr):
+        other = CsrMatrix(small_csr.shape, small_csr.values * 2,
+                          small_csr.col_idx.copy(),
+                          small_csr.row_off.copy())
+        assert small_csr != other
+
+    def test_not_implemented_for_other_types(self, small_csr):
+        assert (small_csr == 42) is False or (small_csr == 42) is NotImplemented \
+            or not (small_csr == 42)
+
+
+class TestCoo:
+    def test_coo_roundtrip(self, rng):
+        d = rng.normal(size=(9, 6))
+        d[rng.random(size=d.shape) < 0.6] = 0.0
+        coo = CooMatrix.from_dense(d)
+        np.testing.assert_array_equal(coo.to_csr().to_dense(), d)
+
+    def test_duplicates_summed(self):
+        coo = CooMatrix((2, 2), np.array([0, 0, 1]), np.array([1, 1, 0]),
+                        np.array([2.0, 3.0, 4.0]))
+        X = coo.to_csr()
+        assert X.to_dense()[0, 1] == 5.0
+        assert X.to_dense()[1, 0] == 4.0
+        assert X.nnz == 2
+
+    def test_out_of_bounds_rejected(self):
+        with pytest.raises(ValueError):
+            CooMatrix((2, 2), np.array([2]), np.array([0]), np.array([1.0]))
+
+    def test_csr_to_coo_roundtrip(self):
+        # duplicate-free matrix: the roundtrip is exact (duplicates would
+        # legitimately be summed by the conversion)
+        X = random_csr(150, 30, 0.2, rng=9, distinct=True)
+        assert X.to_coo().to_csr() == X

@@ -1,0 +1,120 @@
+"""Device specs, launch validation, and the occupancy calculator."""
+
+import pytest
+
+from repro.gpu import (GTX_TITAN, K20X, TINY_CC35, DeviceSpec, LaunchConfig,
+                       Occupancy, best_block_size, get_device, grid_for_rows,
+                       occupancy)
+
+
+class TestDeviceSpec:
+    def test_presets_valid(self):
+        for dev in (GTX_TITAN, K20X, TINY_CC35):
+            dev.validate()
+
+    def test_get_device(self):
+        assert get_device("gtx-titan").num_sms == 14
+        with pytest.raises(KeyError, match="unknown device"):
+            get_device("h100")
+
+    def test_with_override(self):
+        d = GTX_TITAN.with_(num_sms=8)
+        assert d.num_sms == 8
+        assert GTX_TITAN.num_sms == 14   # original untouched
+
+    def test_invalid_spec_rejected(self):
+        with pytest.raises(ValueError):
+            GTX_TITAN.with_(warp_size=33).validate()
+        with pytest.raises(ValueError):
+            GTX_TITAN.with_(max_threads_per_block=4096).validate()
+
+    def test_bandwidth_conversions(self):
+        assert GTX_TITAN.global_bandwidth_bytes_per_ms == pytest.approx(
+            288e9 / 1e3)
+        assert GTX_TITAN.total_cores == 14 * 192
+
+
+class TestLaunchConfig:
+    def test_valid_launch(self):
+        lc = LaunchConfig(28, 640, shared_bytes=8832,
+                          registers_per_thread=43, vector_size=8)
+        lc.validate(GTX_TITAN)
+        assert lc.vectors_per_block == 80
+        assert lc.total_threads == 28 * 640
+
+    def test_block_too_large(self):
+        with pytest.raises(ValueError, match="block_size"):
+            LaunchConfig(1, 2048).validate(GTX_TITAN)
+
+    def test_too_much_shared_memory(self):
+        with pytest.raises(ValueError, match="shared memory"):
+            LaunchConfig(1, 128, shared_bytes=100_000).validate(GTX_TITAN)
+
+    def test_register_spill_rejected(self):
+        with pytest.raises(ValueError, match="spilling"):
+            LaunchConfig(1, 128, registers_per_thread=300).validate(GTX_TITAN)
+
+    def test_vector_size_must_divide(self):
+        with pytest.raises(ValueError, match="vector_size"):
+            LaunchConfig(1, 100, vector_size=16).validate(GTX_TITAN)
+
+    def test_grid_for_rows(self):
+        # 128 threads, VS=4 -> 32 vectors/block; C=2 -> 64 rows/block
+        assert grid_for_rows(640, 128, 4, 2) == 10
+        assert grid_for_rows(1, 128, 4, 2) == 1
+
+
+class TestOccupancy:
+    def test_paper_example(self):
+        """The paper's §4.3 config: VS=8, BS=640, 43 regs, 8832B shared
+        -> 2 blocks/SM x 14 SMs = the 28 blocks the paper reports."""
+        occ = occupancy(GTX_TITAN, 640, 43, 8832)
+        assert occ.blocks_per_sm == 2
+        assert occ.limited_by == "registers"
+        assert occ.warps_per_sm == 40
+
+    def test_thread_limited(self):
+        occ = occupancy(GTX_TITAN, 1024, 16, 0)
+        assert occ.blocks_per_sm == 2       # 2048 threads / 1024
+        assert occ.threads_per_sm == 2048
+        assert occ.fraction(GTX_TITAN) == 1.0
+
+    def test_shared_memory_limited(self):
+        occ = occupancy(GTX_TITAN, 128, 16, 24 * 1024)
+        assert occ.blocks_per_sm == 2
+        assert occ.limited_by == "shared-memory"
+
+    def test_unschedulable_shared(self):
+        occ = occupancy(GTX_TITAN, 128, 16, 64 * 1024)
+        assert occ.blocks_per_sm == 0
+        assert occ.fraction(GTX_TITAN) == 0.0
+
+    def test_register_spill_unschedulable(self):
+        occ = occupancy(GTX_TITAN, 128, 256, 0)
+        assert occ.blocks_per_sm == 0
+
+    def test_monotone_in_registers(self):
+        """More registers per thread never increases occupancy."""
+        prev = None
+        for regs in (16, 32, 64, 128, 255):
+            w = occupancy(GTX_TITAN, 256, regs, 0).warps_per_sm
+            if prev is not None:
+                assert w <= prev
+            prev = w
+
+    def test_best_block_size_maximizes_warps(self):
+        bs, occ = best_block_size(GTX_TITAN, 43,
+                                  lambda b: (b // 8 + 1000) * 8)
+        candidates = [w * 32 for w in range(1, 33)]
+        for c in candidates:
+            o = occupancy(GTX_TITAN, c, 43, (c // 8 + 1000) * 8)
+            assert o.warps_per_sm <= occ.warps_per_sm
+
+    def test_best_block_size_no_feasible(self):
+        with pytest.raises(ValueError, match="no schedulable"):
+            best_block_size(GTX_TITAN, 43, lambda b: 10**6)
+
+    def test_tiny_device_limits(self):
+        occ = occupancy(TINY_CC35, 256, 16, 0)
+        assert occ.blocks_per_sm >= 1
+        assert occ.threads_per_sm <= TINY_CC35.max_threads_per_sm

@@ -1,0 +1,137 @@
+"""Differential tests: SIMT-interpreted Algorithms 1-3 vs vectorized kernels.
+
+The per-thread generator kernels follow the paper's pseudocode line by line;
+the vectorized kernels must produce the same numbers (up to floating-point
+reassociation) on the same inputs, across launch geometries.
+"""
+
+import numpy as np
+import pytest
+
+from repro.gpu import SimtEngine
+from repro.kernels.simt_kernels import (alg1_xt_spmv, run_alg2, run_alg3)
+from repro.sparse import CsrMatrix, random_csr, spmv, spmv_t
+from repro.sparse.ops import fused_pattern_reference
+
+
+@pytest.fixture
+def engine():
+    return SimtEngine()
+
+
+class TestAlg1:
+    @pytest.mark.parametrize("vs,bs,grid", [(2, 16, 2), (4, 32, 3),
+                                            (8, 32, 1), (1, 8, 4)])
+    def test_matches_reference(self, engine, rng, vs, bs, grid):
+        X = random_csr(60, 24, 0.2, rng=1)
+        p = rng.normal(size=X.m)
+        w = np.zeros(X.n)
+        vectors = grid * (bs // vs)
+        C = max(1, -(-X.m // vectors))
+        engine.launch(alg1_xt_spmv, grid, bs,
+                      (X.values, X.col_idx, X.row_off, p, w, X.m, X.n,
+                       vs, C, ),
+                      shared_doubles=X.n)
+        np.testing.assert_allclose(w, spmv_t(X, p), rtol=1e-10, atol=1e-12)
+
+    def test_insufficient_coarsening_misses_rows(self, engine, rng):
+        """If C is too small to cover all rows, tail rows are dropped —
+        the launch geometry invariant the tuner (Eq. 5) guarantees."""
+        X = random_csr(64, 10, 0.3, rng=2)
+        p = rng.normal(size=X.m)
+        w = np.zeros(X.n)
+        engine.launch(alg1_xt_spmv, 1, 8,
+                      (X.values, X.col_idx, X.row_off, p, w, X.m, X.n,
+                       2, 1),
+                      shared_doubles=X.n)
+        assert not np.allclose(w, spmv_t(X, p))
+
+
+class TestAlg2:
+    @pytest.mark.parametrize("variant", ["shared", "global"])
+    @pytest.mark.parametrize("vs,bs,grid", [(2, 16, 3), (4, 32, 2),
+                                            (8, 64, 2)])
+    def test_full_pattern(self, engine, rng, variant, vs, bs, grid):
+        X = random_csr(70, 30, 0.15, rng=3)
+        y = rng.normal(size=X.n)
+        v = rng.normal(size=X.m)
+        z = rng.normal(size=X.n)
+        w = run_alg2(engine, X, y, v, z, alpha=1.7, beta=-0.4, VS=vs,
+                     block_size=bs, grid_size=grid, variant=variant)
+        expected = fused_pattern_reference(X, y, v, z, 1.7, -0.4)
+        np.testing.assert_allclose(w, expected, rtol=1e-9, atol=1e-11)
+
+    def test_no_v_no_z(self, engine, rng):
+        X = random_csr(50, 20, 0.2, rng=4)
+        y = rng.normal(size=X.n)
+        w = run_alg2(engine, X, y, VS=4, block_size=32, grid_size=2)
+        np.testing.assert_allclose(w, spmv_t(X, spmv(X, y)), rtol=1e-9)
+
+    def test_empty_rows_handled(self, engine, rng):
+        X = CsrMatrix((6, 8),
+                      np.array([1.0, 2.0, 3.0]),
+                      np.array([0, 3, 7]),
+                      np.array([0, 1, 1, 1, 2, 3, 3]))
+        y = rng.normal(size=8)
+        w = run_alg2(engine, X, y, VS=2, block_size=8, grid_size=1)
+        np.testing.assert_allclose(w, spmv_t(X, spmv(X, y)), rtol=1e-10)
+
+    def test_matches_vectorized_kernel(self, engine, rng):
+        """The headline differential: interpreted == vectorized."""
+        from repro.kernels import fused_pattern_sparse
+        X = random_csr(80, 25, 0.2, rng=5)
+        y = rng.normal(size=X.n)
+        v = rng.normal(size=X.m)
+        z = rng.normal(size=X.n)
+        fast = fused_pattern_sparse(X, y, v, z, 2.0, 0.5)
+        simt = run_alg2(engine, X, y, v, z, 2.0, 0.5, VS=4,
+                        block_size=32, grid_size=3)
+        np.testing.assert_allclose(fast.output, simt, rtol=1e-9, atol=1e-11)
+
+
+class TestAlg3:
+    @pytest.mark.parametrize("vs,tl,bs,grid", [
+        (8, 4, 32, 2),      # 32 columns
+        (16, 2, 32, 3),     # 32 columns, wider vectors
+        (4, 8, 16, 2),      # deep thread load
+    ])
+    def test_dense_fused(self, engine, rng, vs, tl, bs, grid):
+        n = vs * tl
+        X = rng.normal(size=(40, n))
+        y = rng.normal(size=n)
+        v = rng.normal(size=40)
+        z = rng.normal(size=n)
+        w = run_alg3(engine, X, y, v, z, alpha=1.2, beta=0.3, VS=vs, TL=tl,
+                     block_size=bs, grid_size=grid)
+        expected = 1.2 * X.T @ ((X @ y) * v) + 0.3 * z
+        np.testing.assert_allclose(w, expected, rtol=1e-9, atol=1e-11)
+
+    def test_vs_above_warp_uses_shared_reduction(self, engine, rng):
+        """VS = 64 > 32 exercises the inter-warp reduction (Alg 3 L16-22)."""
+        vs, tl = 64, 2
+        n = vs * tl
+        X = rng.normal(size=(10, n))
+        y = rng.normal(size=n)
+        w = run_alg3(engine, X, y, VS=vs, TL=tl, block_size=64, grid_size=2)
+        np.testing.assert_allclose(w, X.T @ (X @ y), rtol=1e-9)
+        assert engine.stats.barriers > 0
+
+    def test_matches_vectorized_kernel(self, engine, rng):
+        from repro.kernels import fused_pattern_dense
+        from repro.tuning import tune_dense
+        m, n = 60, 64
+        X = rng.normal(size=(m, n))
+        y = rng.normal(size=n)
+        v = rng.normal(size=m)
+        fast = fused_pattern_dense(X, y, v=v, alpha=1.5)
+        simt = run_alg3(engine, X, y, v=v, alpha=1.5, VS=16, TL=4,
+                        block_size=32, grid_size=4)
+        np.testing.assert_allclose(fast.output, simt, rtol=1e-9)
+
+    def test_geometry_validation(self, engine, rng):
+        X = rng.normal(size=(10, 30))
+        with pytest.raises(ValueError, match="padded"):
+            run_alg3(engine, X, rng.normal(size=30), VS=8)
+        X2 = rng.normal(size=(10, 32))
+        with pytest.raises(ValueError, match="VS \\* TL"):
+            run_alg3(engine, X2, rng.normal(size=32), VS=8, TL=2)

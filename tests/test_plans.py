@@ -1,0 +1,121 @@
+"""Execution plans: composition, chaining, and baseline structure."""
+
+import numpy as np
+import pytest
+
+from repro.core import (BidmatCpuPlan, BidmatGpuPlan, CusparsePlan,
+                        ExplicitTransposePlan, FusedPlan, GenericPattern)
+from repro.kernels.base import chain
+from repro.sparse import random_csr
+
+
+class TestCusparsePlan:
+    def test_launch_count_full_pattern(self, medium_csr, rng):
+        """Unfused full pattern = csrmv + ewmul + csrmv_t + scal + axpy."""
+        p = GenericPattern(medium_csr, rng.normal(size=medium_csr.n),
+                           v=rng.normal(size=medium_csr.m),
+                           z=rng.normal(size=medium_csr.n),
+                           alpha=2.0, beta=0.5)
+        res = CusparsePlan().evaluate(p)
+        assert res.counters.kernel_launches == 5
+
+    def test_launch_count_xtxy(self, medium_csr, rng):
+        p = GenericPattern(medium_csr, rng.normal(size=medium_csr.n))
+        res = CusparsePlan().evaluate(p)
+        assert res.counters.kernel_launches == 2
+
+    def test_dense_route(self, rng):
+        X = rng.normal(size=(500, 64))
+        p = GenericPattern(X, rng.normal(size=64))
+        res = CusparsePlan().evaluate(p)
+        np.testing.assert_allclose(res.output, X.T @ (X @ p.y), rtol=1e-10)
+
+    def test_outer_pattern(self, medium_csr, rng):
+        p = GenericPattern(medium_csr, rng.normal(size=medium_csr.m),
+                           inner=False)
+        res = CusparsePlan().evaluate(p)
+        np.testing.assert_allclose(
+            res.output, medium_csr.to_dense().T @ p.y, rtol=1e-9)
+
+
+class TestExplicitTransposePlan:
+    def test_first_call_charges_transpose(self, medium_csr, rng):
+        p = GenericPattern(medium_csr, rng.normal(size=medium_csr.n))
+        plan = ExplicitTransposePlan()
+        res = plan.evaluate(p)
+        assert res.counters.kernel_launches >= 5   # csrmv + csr2csc(3) + csrmv
+
+    def test_amortized_cache_skips_transpose(self, medium_csr, rng):
+        p = GenericPattern(medium_csr, rng.normal(size=medium_csr.n))
+        plan = ExplicitTransposePlan(amortized=True)
+        first = plan.evaluate(p)
+        second = plan.evaluate(p)
+        assert second.time_ms < first.time_ms or \
+            second.counters.kernel_launches <= first.counters.kernel_launches
+        # steady state: no csr2csc launches
+        assert second.counters.kernel_launches == 2
+
+    def test_sparse_only(self, rng):
+        X = rng.normal(size=(10, 5))
+        with pytest.raises(ValueError, match="sparse-only"):
+            ExplicitTransposePlan().evaluate(
+                GenericPattern(X, rng.normal(size=5)))
+
+
+class TestCpuPlan:
+    def test_gather_fraction_depends_on_llc(self):
+        plan = BidmatCpuPlan()
+        assert plan._gather_fraction(1000) < plan._gather_fraction(10**7)
+
+    def test_cpu_dense_slower_than_gpu_fused(self, rng):
+        X = rng.normal(size=(20_000, 128))
+        p = GenericPattern(X, rng.normal(size=128))
+        cpu = BidmatCpuPlan().evaluate(p)
+        gpu = FusedPlan().evaluate(p)
+        assert cpu.time_ms > 5.0 * gpu.time_ms
+
+    def test_no_gpu_counters(self, medium_csr, rng):
+        p = GenericPattern(medium_csr, rng.normal(size=medium_csr.n))
+        res = BidmatCpuPlan().evaluate(p)
+        assert res.counters.kernel_launches == 0
+        assert res.launch is None
+
+
+class TestChaining:
+    def test_chain_sums_times_and_counters(self, medium_csr, rng):
+        from repro.kernels import csrmv, csrmv_transpose
+        y = rng.normal(size=medium_csr.n)
+        a = csrmv(medium_csr, y)
+        b = csrmv_transpose(medium_csr, a.output)
+        c = chain(a, b, name="two-step")
+        assert c.time_ms == pytest.approx(a.time_ms + b.time_ms)
+        assert c.counters.kernel_launches == 2
+        assert c.name == "two-step"
+        np.testing.assert_array_equal(c.output, b.output)
+
+    def test_chain_empty_raises(self):
+        with pytest.raises(ValueError):
+            chain()
+
+
+class TestPlanOrdering:
+    def test_paper_baseline_ordering_sparse(self, rng):
+        """At the synthetic-sweep operating point the baselines order as
+        cuSPARSE slowest, then BIDMat-GPU, then BIDMat-CPU (Fig. 3)."""
+        X = random_csr(30_000, 512, 0.01, rng=8)
+        p = GenericPattern(X, rng.normal(size=512))
+        fused = FusedPlan().evaluate(p).time_ms
+        cusp = CusparsePlan().evaluate(p).time_ms
+        bgpu = BidmatGpuPlan().evaluate(p).time_ms
+        bcpu = BidmatCpuPlan().evaluate(p).time_ms
+        assert fused < bcpu < bgpu < cusp
+
+    def test_paper_baseline_ordering_dense(self, rng):
+        """Dense flips the CPU: BIDMat-CPU is the slowest method (Fig. 5)."""
+        X = rng.normal(size=(20_000, 256))
+        p = GenericPattern(X, rng.normal(size=256))
+        fused = FusedPlan().evaluate(p).time_ms
+        cublas = CusparsePlan().evaluate(p).time_ms
+        bgpu = BidmatGpuPlan().evaluate(p).time_ms
+        bcpu = BidmatCpuPlan().evaluate(p).time_ms
+        assert fused < bgpu < cublas < bcpu

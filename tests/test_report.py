@@ -1,0 +1,72 @@
+"""The EXPERIMENTS.md report generator."""
+
+import numpy as np
+import pytest
+
+from repro.bench.harness import ExperimentResult
+from repro.bench.report import PAPER_HEADLINES, generate, measured_headline
+
+
+class TestHeadlines:
+    def test_every_experiment_has_a_paper_headline(self):
+        from repro.bench import REGISTRY
+        assert set(PAPER_HEADLINES) == set(REGISTRY)
+
+    def test_figure2_headline(self):
+        r = ExperimentResult("figure2", "t", (
+            "n", "fused_ms", "cusparse_ms", "speedup", "fused_loads",
+            "cusparse_loads", "load_ratio", "amortize_iters"))
+        r.add(200, 0.1, 2.0, 20.0, 100, 350, 3.5, 5)
+        r.add(1024, 0.2, 2.0, 10.0, 200, 700, 3.5, 6)
+        s = measured_headline("figure2", r)
+        assert "max 20.0x at n=200" in s
+        assert "3.5x fewer loads" in s
+
+    def test_figure3_headline_averages(self):
+        r = ExperimentResult("figure3", "t",
+                             ("n", "fused_ms", "cusparse_x",
+                              "bidmat-gpu_x", "bidmat-cpu_x"))
+        r.add(200, 0.1, 20.0, 15.0, 9.0)
+        r.add(400, 0.1, 10.0, 5.0, 9.0)
+        assert measured_headline("figure3", r) == \
+            "avg 15.0x / 10.0x / 9.0x"
+
+    def test_table6_headline(self):
+        r = ExperimentResult("table6", "t",
+                             ("dataset", "iterations", "total_speedup",
+                              "fused_kernel_speedup", "gpu_transfer_ms"))
+        r.add("HIGGS-like", 32, 1.2, 11.2, 5.0)
+        r.add("KDD2010-like", 100, 1.9, 4.1, 90.0)
+        s = measured_headline("table6", r)
+        assert "1.2x/1.9x" in s and "11.2x/4.1x" in s
+
+    def test_unknown_experiment_falls_back(self):
+        r = ExperimentResult("mystery", "t", ("a",))
+        assert measured_headline("mystery", r) == "see detail table"
+
+    def test_headline_survives_malformed_result(self):
+        r = ExperimentResult("figure2", "t", ("wrong", "columns"))
+        s = measured_headline("figure2", r)
+        assert "unavailable" in s
+
+
+class TestGenerate:
+    def test_generate_writes_report(self, tmp_path, monkeypatch):
+        """End-to-end with a stubbed registry (the real one takes minutes)."""
+        import repro.bench.report as report_mod
+
+        def fake_builder(scale=None):
+            r = ExperimentResult("figure2", "stub", (
+                "n", "fused_ms", "cusparse_ms", "speedup", "fused_loads",
+                "cusparse_loads", "load_ratio", "amortize_iters"))
+            r.add(200, 0.1, 2.0, 20.0, 100, 350, 3.5, 5)
+            return r
+
+        monkeypatch.setattr(report_mod, "REGISTRY",
+                            {"figure2": fake_builder})
+        out = tmp_path / "EXP.md"
+        text = generate(str(out))
+        assert out.exists()
+        assert "paper vs measured" in text
+        assert "figure2" in text
+        assert "| 200 |" in text

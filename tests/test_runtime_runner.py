@@ -1,0 +1,90 @@
+"""MLRuntime operations across backends and the SystemML runner details."""
+
+import numpy as np
+import pytest
+
+from repro.data import higgs_like, regression_targets
+from repro.ml.runtime import MLRuntime
+from repro.sparse import random_csr
+from repro.systemml.runner import SystemMLReport, SystemMLSession
+
+
+class TestRuntimeOps:
+    @pytest.fixture(params=["cpu", "gpu-baseline", "gpu-fused"])
+    def rt(self, request):
+        return MLRuntime(request.param)
+
+    def test_pattern_numerics(self, rt, medium_csr, rng):
+        y = rng.normal(size=medium_csr.n)
+        v = rng.normal(size=medium_csr.m)
+        z = rng.normal(size=medium_csr.n)
+        out = rt.pattern(medium_csr, y, v=v, z=z, alpha=1.5, beta=0.2)
+        d = medium_csr.to_dense()
+        np.testing.assert_allclose(out, 1.5 * d.T @ ((d @ y) * v) + 0.2 * z,
+                                   rtol=1e-9)
+        assert rt.ledger.by_category["pattern"] > 0
+
+    def test_xt_mv(self, rt, medium_csr, rng):
+        p = rng.normal(size=medium_csr.m)
+        out = rt.xt_mv(medium_csr, p, alpha=-2.0)
+        np.testing.assert_allclose(out, -2.0 * medium_csr.to_dense().T @ p,
+                                   rtol=1e-9)
+
+    def test_mv_sparse_and_dense(self, rt, medium_csr, rng):
+        y = rng.normal(size=medium_csr.n)
+        np.testing.assert_allclose(rt.mv(medium_csr, y),
+                                   medium_csr.to_dense() @ y, rtol=1e-10)
+        Xd = rng.normal(size=(50, 8))
+        np.testing.assert_allclose(rt.mv(Xd, np.ones(8)), Xd @ np.ones(8))
+        assert rt.ledger.by_category["mv"] > 0
+
+    def test_blas1_ops(self, rt, rng):
+        x, y = rng.normal(size=64), rng.normal(size=64)
+        np.testing.assert_allclose(rt.axpy(2.0, x, y), 2.0 * x + y)
+        np.testing.assert_allclose(rt.scal(-1.0, x), -x)
+        np.testing.assert_allclose(rt.ewmul(x, y), x * y)
+        assert rt.dot(x, y) == pytest.approx(float(x @ y))
+        assert rt.sumsq(x) == pytest.approx(float(x @ x))
+        assert rt.nrm2(x) == pytest.approx(float(np.linalg.norm(x)))
+        assert rt.ledger.op_counts["blas1"] == 6
+
+    def test_upload_download_charging(self, medium_csr, rng):
+        gpu = MLRuntime("gpu-fused")
+        gpu.upload(medium_csr)
+        gpu.download(rng.normal(size=10))
+        assert gpu.ledger.by_category["transfer"] > 0
+        cpu = MLRuntime("cpu")
+        cpu.upload(medium_csr)
+        assert cpu.ledger.by_category.get("transfer", 0.0) == 0.0
+
+
+class TestSystemMLReport:
+    def test_total_is_sum_of_parts(self):
+        rep = SystemMLReport(mode="x", iterations=3, kernel_ms=1.0,
+                             blas1_ms=2.0, transfer_ms=4.0)
+        assert rep.total_ms == 7.0
+
+    def test_gpu_baseline_session_slower_than_fused(self):
+        X = higgs_like(scale=0.003, rng=1)
+        y, _ = regression_targets(X, rng=2)
+        fused = SystemMLSession("gpu-fused").run_linreg_cg(
+            X, y, max_iterations=10)
+        base = SystemMLSession("gpu-baseline").run_linreg_cg(
+            X, y, max_iterations=10)
+        np.testing.assert_allclose(fused.w, base.w, rtol=1e-10)
+        assert fused.kernel_ms < base.kernel_ms
+
+    def test_transfer_dominates_gpu_session(self):
+        """Table 6's diagnosis: most GPU-session time is data movement."""
+        X = higgs_like(scale=0.003, rng=3)
+        y, _ = regression_targets(X, rng=4)
+        rep = SystemMLSession("gpu-fused").run_linreg_cg(
+            X, y, max_iterations=20)
+        assert rep.transfer_ms > rep.kernel_ms
+
+    def test_iterations_capped(self):
+        X = random_csr(300, 20, 0.3, rng=5)
+        y, _ = regression_targets(X, rng=6)
+        rep = SystemMLSession("cpu").run_linreg_cg(X, y, max_iterations=4,
+                                                   tolerance=0.0)
+        assert rep.iterations == 4

@@ -1,0 +1,56 @@
+"""Scale-invariance of the model (the check DESIGN.md §6 promises).
+
+Benchmarks run at reduced row counts; the reported *ratios* are only
+meaningful if model times scale ~linearly with problem size so fused-vs-
+baseline speedups are stable across scales.
+"""
+
+import numpy as np
+import pytest
+
+from repro import evaluate
+from repro.sparse import random_csr
+from repro.data.synthetic import synthetic_dense
+
+
+class TestSparseScaleInvariance:
+    @pytest.fixture(scope="class")
+    def measurements(self):
+        rng = np.random.default_rng(0)
+        out = {}
+        for m in (25_000, 50_000, 100_000):
+            X = random_csr(m, 512, 0.01, rng=m)
+            y = rng.normal(size=512)
+            fused = evaluate(X, y, strategy="fused")
+            base = evaluate(X, y, strategy="cusparse")
+            out[m] = (X.nnz, fused.time_ms, base.time_ms)
+        return out
+
+    def test_fused_time_linear_in_nnz(self, measurements):
+        per_nnz = [t / nnz for nnz, t, _ in measurements.values()]
+        # constant per-nnz cost within 35% across a 4x scale range
+        # (fixed launch costs bias the smallest size upward)
+        assert max(per_nnz) < 1.35 * min(per_nnz)
+
+    def test_speedup_stable_across_scales(self, measurements):
+        speedups = [b / f for _, f, b in measurements.values()]
+        assert max(speedups) < 1.4 * min(speedups)
+
+    def test_speedup_grows_with_scale(self, measurements):
+        """Fixed overheads amortize, so larger inputs show >= speedups —
+        scaled-down benches *understate* the paper, never inflate it."""
+        ms = sorted(measurements)
+        s = [measurements[m][2] / measurements[m][1] for m in ms]
+        assert s[0] <= s[-1] * 1.1
+
+
+class TestDenseScaleInvariance:
+    def test_dense_time_linear_in_rows(self):
+        rng = np.random.default_rng(1)
+        times = {}
+        for m in (10_000, 20_000, 40_000):
+            X = synthetic_dense(256, m=m, rng=m)
+            y = rng.normal(size=256)
+            times[m] = evaluate(X, y, strategy="fused").time_ms
+        per_row = [t / m for m, t in times.items()]
+        assert max(per_row) < 1.3 * min(per_row)

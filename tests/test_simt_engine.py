@@ -1,0 +1,168 @@
+"""The SIMT interpreter: barriers, shuffles, atomics, deadlock detection."""
+
+import numpy as np
+import pytest
+
+from repro.gpu import (BARRIER, DeadlockError, ShflDown, ShflXor, SimtEngine,
+                       TINY_CC35, warp_allreduce_sum, warp_reduce_sum)
+
+
+class TestBasicExecution:
+    def test_thread_ids(self):
+        seen = []
+
+        def k(ctx):
+            seen.append((ctx.block_id, ctx.tid, ctx.global_tid))
+            return
+            yield  # make it a generator
+
+        SimtEngine().launch(k, 2, 4)
+        assert len(seen) == 8
+        assert (1, 3, 7) in seen
+
+    def test_atomic_add_global(self):
+        out = np.zeros(1)
+
+        def k(ctx, buf):
+            ctx.atomic_add(buf, 0, 1.0)
+            return
+            yield
+
+        stats = SimtEngine().launch(k, 3, 8, (out,))
+        assert out[0] == 24.0
+        assert stats.atomic_global == 24
+
+    def test_shared_memory_per_block(self):
+        out = np.zeros(2)
+
+        def k(ctx, buf):
+            if ctx.tid == 0:
+                ctx.shared[0] = ctx.block_id + 1.0
+            yield BARRIER
+            if ctx.tid == 1:
+                ctx.atomic_add(buf, ctx.block_id, ctx.shared[0])
+
+        SimtEngine().launch(k, 2, 2, (out,))
+        np.testing.assert_array_equal(out, [1.0, 2.0])
+
+    def test_barrier_orders_writes(self):
+        out = np.zeros(32)
+
+        def k(ctx, buf):
+            ctx.shared[ctx.tid] = float(ctx.tid)
+            yield BARRIER
+            buf[ctx.tid] = ctx.shared[(ctx.tid + 1) % ctx.block_size]
+
+        SimtEngine().launch(k, 1, 32, (out,), shared_doubles=32)
+        np.testing.assert_array_equal(out, (np.arange(32) + 1) % 32)
+
+
+class TestShuffles:
+    def test_shfl_down_basic(self):
+        out = np.zeros(32)
+
+        def k(ctx, buf):
+            got = yield ShflDown(float(ctx.tid), 1, 32)
+            buf[ctx.tid] = got
+
+        SimtEngine().launch(k, 1, 32, (out,))
+        expected = np.minimum(np.arange(32) + 1, 31)
+        np.testing.assert_array_equal(out, expected)
+
+    def test_shfl_down_width_groups(self):
+        out = np.zeros(8)
+
+        def k(ctx, buf):
+            got = yield ShflDown(float(ctx.tid), 2, 4)
+            buf[ctx.tid] = got
+
+        SimtEngine().launch(k, 1, 8, (out,))
+        # within each 4-lane group, lane i gets i+2 (own value past the edge)
+        np.testing.assert_array_equal(out, [2, 3, 2, 3, 6, 7, 6, 7])
+
+    def test_shfl_xor(self):
+        out = np.zeros(4)
+
+        def k(ctx, buf):
+            got = yield ShflXor(float(ctx.tid), 1, 4)
+            buf[ctx.tid] = got
+
+        SimtEngine().launch(k, 1, 4, (out,))
+        np.testing.assert_array_equal(out, [1, 0, 3, 2])
+
+    def test_warp_reduce_sum(self):
+        out = np.zeros(1)
+
+        def k(ctx, buf):
+            total = yield from warp_reduce_sum(ctx, float(ctx.tid + 1), 32)
+            if ctx.lane == 0:
+                ctx.atomic_add(buf, 0, total)
+
+        SimtEngine().launch(k, 1, 32, (out,))
+        assert out[0] == 32 * 33 / 2
+
+    def test_warp_allreduce_every_lane(self):
+        out = np.zeros(16)
+
+        def k(ctx, buf):
+            total = yield from warp_allreduce_sum(ctx, float(ctx.tid), 8)
+            buf[ctx.tid] = total
+
+        SimtEngine().launch(k, 1, 16, (out,))
+        np.testing.assert_array_equal(out[:8], np.full(8, 28.0))
+        np.testing.assert_array_equal(out[8:], np.full(8, 28.0 + 64))
+
+    def test_partial_warp_reduce(self):
+        """Threads beyond the active group may have finished; the shuffle
+        must still resolve for live lanes."""
+        out = np.zeros(1)
+
+        def k(ctx, buf):
+            total = yield from warp_allreduce_sum(ctx, 1.0, 4)
+            if ctx.tid == 0:
+                buf[0] = total
+
+        SimtEngine().launch(k, 1, 4, (out,))
+        assert out[0] == 4.0
+
+
+class TestErrors:
+    def test_divergent_barrier_deadlocks(self):
+        def k(ctx):
+            if ctx.tid == 0:
+                yield BARRIER
+            # other threads exit without reaching the barrier... except a
+            # generator with no yield executes nothing; force mixed states
+            elif ctx.tid == 1:
+                got = yield ShflDown(1.0, 1, 32)
+                _ = got
+
+        with pytest.raises(DeadlockError):
+            SimtEngine().launch(k, 1, 2)
+
+    def test_block_size_validation(self):
+        def k(ctx):
+            return
+            yield
+
+        with pytest.raises(ValueError, match="block size"):
+            SimtEngine(TINY_CC35).launch(k, 1, 100_000)
+
+    def test_shared_memory_validation(self):
+        def k(ctx):
+            return
+            yield
+
+        with pytest.raises(ValueError, match="shared memory"):
+            SimtEngine(TINY_CC35).launch(k, 1, 32,
+                                         shared_doubles=10**6)
+
+    def test_stats_counts(self):
+        def k(ctx):
+            yield BARRIER
+            _ = yield ShflDown(1.0, 1, 32)
+
+        stats = SimtEngine().launch(k, 2, 32)
+        assert stats.barriers == 2          # one per block
+        assert stats.shuffles == 2
+        assert stats.threads_run == 64

@@ -1,0 +1,96 @@
+"""Reference sparse ops against dense NumPy ground truth."""
+
+import numpy as np
+import pytest
+
+from repro.sparse import (CsrMatrix, fused_pattern_reference, random_csr,
+                          row_norms_sq, spmm, spmv, spmv_t)
+
+
+class TestSpmv:
+    def test_matches_dense(self, small_csr, rng):
+        y = rng.normal(size=small_csr.n)
+        np.testing.assert_allclose(spmv(small_csr, y),
+                                   small_csr.to_dense() @ y, rtol=1e-12)
+
+    def test_empty_rows(self):
+        X = CsrMatrix((3, 2), np.array([1.0]), np.array([1]),
+                      np.array([0, 0, 1, 1]))
+        np.testing.assert_array_equal(spmv(X, np.array([1.0, 2.0])),
+                                      [0.0, 2.0, 0.0])
+
+    def test_all_empty(self):
+        X = CsrMatrix.empty((4, 3))
+        np.testing.assert_array_equal(spmv(X, np.ones(3)), np.zeros(4))
+
+    def test_wrong_shape_raises(self, small_csr):
+        with pytest.raises(ValueError, match="shape"):
+            spmv(small_csr, np.ones(small_csr.n + 1))
+
+    def test_duplicate_columns_accumulate(self):
+        X = CsrMatrix((1, 3), np.array([2.0, 3.0]), np.array([1, 1]),
+                      np.array([0, 2]))
+        assert spmv(X, np.array([0.0, 1.0, 0.0]))[0] == 5.0
+
+
+class TestSpmvT:
+    def test_matches_dense(self, small_csr, rng):
+        p = rng.normal(size=small_csr.m)
+        np.testing.assert_allclose(spmv_t(small_csr, p),
+                                   small_csr.to_dense().T @ p, rtol=1e-12)
+
+    def test_empty_matrix(self):
+        X = CsrMatrix.empty((4, 3))
+        np.testing.assert_array_equal(spmv_t(X, np.ones(4)), np.zeros(3))
+
+    def test_wrong_shape_raises(self, small_csr):
+        with pytest.raises(ValueError, match="shape"):
+            spmv_t(small_csr, np.ones(small_csr.m - 1))
+
+
+class TestPatternReference:
+    @pytest.mark.parametrize("alpha,beta,use_v", [
+        (1.0, 0.0, False), (2.5, 0.0, True), (1.0, 0.7, False),
+        (-1.5, 0.3, True), (0.0, 1.0, True),
+    ])
+    def test_sparse_matches_dense(self, small_csr, rng, alpha, beta, use_v):
+        m, n = small_csr.shape
+        y = rng.normal(size=n)
+        v = rng.normal(size=m) if use_v else None
+        z = rng.normal(size=n) if beta else None
+        d = small_csr.to_dense()
+        p = d @ y
+        if use_v:
+            p = p * v
+        expected = alpha * (d.T @ p) + (beta * z if beta else 0.0)
+        got = fused_pattern_reference(small_csr, y, v, z, alpha, beta)
+        np.testing.assert_allclose(got, expected, rtol=1e-10, atol=1e-12)
+
+    def test_dense_input(self, rng):
+        X = rng.normal(size=(30, 8))
+        y = rng.normal(size=8)
+        got = fused_pattern_reference(X, y)
+        np.testing.assert_allclose(got, X.T @ (X @ y), rtol=1e-12)
+
+    def test_beta_without_z_raises(self, small_csr, rng):
+        with pytest.raises(ValueError, match="requires z"):
+            fused_pattern_reference(small_csr, rng.normal(size=small_csr.n),
+                                    beta=1.0)
+
+
+class TestUtility:
+    def test_spmm_columns(self, small_csr, rng):
+        B = rng.normal(size=(small_csr.n, 3))
+        np.testing.assert_allclose(spmm(small_csr, B),
+                                   small_csr.to_dense() @ B, rtol=1e-12)
+
+    def test_spmm_vector(self, small_csr, rng):
+        y = rng.normal(size=small_csr.n)
+        np.testing.assert_allclose(spmm(small_csr, y), spmv(small_csr, y))
+
+    def test_row_norms_sq(self):
+        # distinct entries: squared norms match the dense squares (with
+        # duplicates, (a+b)^2 != a^2+b^2 and to_dense sums the entries)
+        X = random_csr(120, 30, 0.2, rng=3, distinct=True)
+        expected = (X.to_dense() ** 2).sum(axis=1)
+        np.testing.assert_allclose(row_norms_sq(X), expected, rtol=1e-12)

@@ -1,0 +1,152 @@
+"""Out-of-core streaming and hybrid CPU/GPU execution of the pattern."""
+
+import numpy as np
+import pytest
+
+from repro.core import GenericPattern, HybridExecutor, StreamingExecutor, \
+    plan_blocks
+from repro.gpu.device import GTX_TITAN
+from repro.kernels.base import GpuContext
+from repro.sparse import random_csr
+from repro.sparse.ops import fused_pattern_reference
+
+
+@pytest.fixture(scope="module")
+def problem():
+    X = random_csr(8000, 200, 0.03, rng=1)
+    rng = np.random.default_rng(2)
+    y = rng.normal(size=200)
+    v = rng.normal(size=8000)
+    z = rng.normal(size=200)
+    return X, y, v, z
+
+
+class TestRowBlocks:
+    def test_row_block_content(self, small_csr):
+        sub = small_csr.row_block(10, 30)
+        np.testing.assert_allclose(sub.to_dense(),
+                                   small_csr.to_dense()[10:30])
+
+    def test_row_block_bounds(self, small_csr):
+        with pytest.raises(ValueError):
+            small_csr.row_block(5, 3)
+        with pytest.raises(ValueError):
+            small_csr.row_block(0, small_csr.m + 1)
+
+    def test_pattern_additive_over_blocks(self, small_csr, rng):
+        """The decomposition streaming relies on."""
+        y = rng.normal(size=small_csr.n)
+        mid = small_csr.m // 2
+        a = fused_pattern_reference(small_csr.row_block(0, mid), y)
+        b = fused_pattern_reference(small_csr.row_block(mid, small_csr.m), y)
+        np.testing.assert_allclose(a + b,
+                                   fused_pattern_reference(small_csr, y),
+                                   rtol=1e-9)
+
+    def test_plan_blocks_cover_all_rows(self, problem):
+        X, *_ = problem
+        blocks = plan_blocks(X, X.nbytes() / 5)
+        assert blocks[0][0] == 0 and blocks[-1][1] == X.m
+        for (s1, e1), (s2, e2) in zip(blocks, blocks[1:]):
+            assert e1 == s2
+        assert len(blocks) >= 5
+
+    def test_plan_blocks_budget_respected(self, problem):
+        X, *_ = problem
+        budget = X.nbytes() / 4
+        for s, e in plan_blocks(X, budget):
+            if e - s > 1:      # single-row blocks may legitimately exceed
+                assert X.row_block(s, e).nbytes() <= budget
+
+    def test_plan_blocks_invalid_budget(self, problem):
+        with pytest.raises(ValueError):
+            plan_blocks(problem[0], 0)
+
+
+class TestStreaming:
+    def test_streamed_result_exact(self, problem):
+        X, y, v, z = problem
+        p = GenericPattern(X, y, v=v, z=z, alpha=1.5, beta=-0.3)
+        rep = StreamingExecutor(budget_bytes=X.nbytes() / 6).evaluate(p)
+        expected = fused_pattern_reference(X, y, v, z, 1.5, -0.3)
+        np.testing.assert_allclose(rep.output, expected, rtol=1e-9)
+        assert rep.blocks >= 6
+
+    def test_single_block_when_it_fits(self, problem):
+        X, y, *_ = problem
+        p = GenericPattern(X, y)
+        rep = StreamingExecutor().evaluate(p)     # default: 40% of 6 GB
+        assert rep.blocks == 1
+
+    def test_overlap_beats_serial(self, problem):
+        X, y, *_ = problem
+        p = GenericPattern(X, y)
+        ex = StreamingExecutor(budget_bytes=X.nbytes() / 10)
+        rep = ex.evaluate(p)
+        assert rep.overlapped_ms < ex.serial_time_ms(rep)
+
+    def test_dense_input_streams_too(self, rng):
+        X = rng.normal(size=(3000, 64))
+        y = rng.normal(size=64)
+        p = GenericPattern(X, y)
+        rep = StreamingExecutor(
+            budget_bytes=X.nbytes / 4).evaluate(p)
+        np.testing.assert_allclose(rep.output, X.T @ (X @ y), rtol=1e-9)
+        assert rep.blocks >= 4
+
+    def test_outer_pattern_rejected(self, problem):
+        X, *_ = problem
+        p = GenericPattern(X, np.ones(X.m), inner=False)
+        with pytest.raises(ValueError, match="inner"):
+            StreamingExecutor().evaluate(p)
+
+
+class TestHybrid:
+    def test_result_exact_at_any_split(self, problem):
+        X, y, v, z = problem
+        p = GenericPattern(X, y, v=v, z=z, alpha=2.0, beta=0.5)
+        expected = fused_pattern_reference(X, y, v, z, 2.0, 0.5)
+        for f in (0.0, 0.3, 0.7, 1.0):
+            rep = HybridExecutor().evaluate(p, fraction=f)
+            np.testing.assert_allclose(rep.output, expected, rtol=1e-9,
+                                       err_msg=f"f={f}")
+
+    def test_endpoints(self, problem):
+        X, y, *_ = problem
+        p = GenericPattern(X, y)
+        ex = HybridExecutor()
+        pure_gpu = ex.evaluate(p, 1.0)
+        pure_cpu = ex.evaluate(p, 0.0)
+        assert pure_gpu.cpu_ms == 0.0 and pure_gpu.gpu_ms > 0.0
+        assert pure_cpu.gpu_ms == 0.0 and pure_cpu.cpu_ms > 0.0
+
+    def test_optimal_never_worse_than_endpoints(self, problem):
+        X, y, *_ = problem
+        p = GenericPattern(X, y)
+        ex = HybridExecutor()
+        f = ex.optimal_split(p)
+        opt = ex.evaluate(p, f)
+        assert opt.makespan_ms <= ex.evaluate(p, 1.0).makespan_ms + 1e-9
+        assert opt.makespan_ms <= ex.evaluate(p, 0.0).makespan_ms + 1e-9
+
+    def test_slow_gpu_shifts_split_to_cpu(self, problem):
+        """With a crippled device the optimal split moves toward the CPU."""
+        X, y, *_ = problem
+        p = GenericPattern(X, y)
+        fast = HybridExecutor().optimal_split(p)
+        slow_dev = GTX_TITAN.with_(global_bandwidth_gbps=2.0,
+                                   kernel_launch_us=0.0)
+        slow = HybridExecutor(ctx=GpuContext(slow_dev)).optimal_split(p)
+        assert slow < fast or slow < 1.0
+
+    def test_invalid_fraction(self, problem):
+        X, y, *_ = problem
+        p = GenericPattern(X, y)
+        with pytest.raises(ValueError):
+            HybridExecutor().evaluate(p, fraction=1.5)
+
+    def test_balance_metric(self, problem):
+        X, y, *_ = problem
+        p = GenericPattern(X, y)
+        rep = HybridExecutor().evaluate(p, 0.5)
+        assert 0.0 <= rep.balance <= 1.0

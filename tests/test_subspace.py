@@ -1,0 +1,55 @@
+"""Block power iteration (multi-RHS consumer) against exact eigenpairs."""
+
+import numpy as np
+import pytest
+
+from repro.ml import hits, subspace_iteration
+from repro.sparse import random_csr
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return random_csr(800, 100, 0.05, rng=1)
+
+
+class TestSubspaceIteration:
+    def test_eigenvalues_match_exact(self, graph):
+        res = subspace_iteration(graph, r=4, rng=0, max_iterations=500,
+                                 tol=1e-11)
+        A = graph.to_dense()
+        exact = np.linalg.eigvalsh(A.T @ A)[::-1][:4]
+        np.testing.assert_allclose(res.eigenvalues, exact, rtol=1e-6)
+
+    def test_vectors_orthonormal(self, graph):
+        res = subspace_iteration(graph, r=5, rng=0, max_iterations=100)
+        G = res.vectors.T @ res.vectors
+        np.testing.assert_allclose(G, np.eye(5), atol=1e-9)
+
+    def test_eigenvalues_descending(self, graph):
+        res = subspace_iteration(graph, r=6, rng=0, max_iterations=100)
+        assert np.all(np.diff(res.eigenvalues) <= 1e-9)
+
+    def test_leading_vector_agrees_with_hits(self, graph):
+        res = subspace_iteration(graph, r=1, rng=0, max_iterations=500,
+                                 tol=1e-12)
+        h = hits(graph, max_iterations=500, tol=1e-12)
+        cos = abs(float(res.vectors[:, 0] @ h.authorities))
+        assert cos > 1.0 - 1e-8
+
+    def test_singular_values(self, graph):
+        res = subspace_iteration(graph, r=3, rng=0, max_iterations=200)
+        np.testing.assert_allclose(res.singular_values ** 2,
+                                   res.eigenvalues, rtol=1e-12)
+
+    def test_r_validation(self, graph):
+        with pytest.raises(ValueError):
+            subspace_iteration(graph, r=0)
+        with pytest.raises(ValueError):
+            subspace_iteration(graph, r=graph.n + 1)
+
+    def test_model_time_accumulates(self, graph):
+        short = subspace_iteration(graph, r=2, rng=0, max_iterations=3,
+                                   tol=0.0)
+        long = subspace_iteration(graph, r=2, rng=0, max_iterations=12,
+                                  tol=0.0)
+        assert long.total_time_ms > 2.0 * short.total_time_ms

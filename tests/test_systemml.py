@@ -1,0 +1,242 @@
+"""SystemML layer: DAG, rewriter, memory manager, scheduler, runner."""
+
+import numpy as np
+import pytest
+
+from repro.gpu.device import GTX_TITAN
+from repro.data import higgs_like, regression_targets
+from repro.sparse import random_csr
+from repro.sparse.ops import fused_pattern_reference, spmv, spmv_t
+from repro.systemml import (Add, EwMul, FusedPattern, GpuMemoryManager,
+                            HybridScheduler, Input, MatVec, OutOfDeviceMemory,
+                            Smul, SystemMLSession, Transpose, count_nodes,
+                            fused_nodes, profile_linreg_breakdown, rewrite,
+                            table6_comparison)
+
+
+@pytest.fixture
+def env(rng):
+    X = random_csr(60, 25, 0.2, rng=1)
+    return {
+        "X": X,
+        "y": rng.normal(size=25),
+        "v": rng.normal(size=60),
+        "z": rng.normal(size=25),
+        "h": rng.normal(size=60),
+    }
+
+
+class TestDag:
+    def test_eval_matvec(self, env):
+        expr = MatVec(Input("X"), Input("y"))
+        np.testing.assert_allclose(expr.eval(env),
+                                   spmv(env["X"], env["y"]))
+
+    def test_eval_transpose_matvec(self, env):
+        expr = MatVec(Transpose(Input("X")), Input("h"))
+        np.testing.assert_allclose(expr.eval(env),
+                                   spmv_t(env["X"], env["h"]))
+
+    def test_unbound_input(self):
+        with pytest.raises(KeyError, match="unbound"):
+            Input("missing").eval({})
+
+    def test_walk_and_count(self, env):
+        expr = Add(Smul(2.0, Input("z")), Input("z"))
+        assert count_nodes(expr) == 4
+        assert count_nodes(expr, Input) == 2
+
+
+class TestRewriter:
+    def _check(self, expr, env, expected):
+        rewritten = rewrite(expr)
+        assert len(fused_nodes(rewritten)) == 1
+        np.testing.assert_allclose(rewritten.eval(env), expected,
+                                   rtol=1e-10, atol=1e-12)
+
+    def test_xt_y(self, env):
+        expr = MatVec(Transpose(Input("X")), Input("h"))
+        self._check(expr, env, spmv_t(env["X"], env["h"]))
+
+    def test_xtxy(self, env):
+        X = Input("X")
+        expr = MatVec(Transpose(X), MatVec(X, Input("y")))
+        self._check(expr, env,
+                    fused_pattern_reference(env["X"], env["y"]))
+
+    def test_full_pattern_with_alpha_beta(self, env):
+        X = Input("X")
+        expr = Add(
+            Smul(2.0, MatVec(Transpose(X),
+                             EwMul(Input("v"), MatVec(X, Input("y"))))),
+            Smul(0.5, Input("z")))
+        self._check(expr, env,
+                    fused_pattern_reference(env["X"], env["y"], env["v"],
+                                            env["z"], 2.0, 0.5))
+
+    def test_v_on_either_side(self, env):
+        X = Input("X")
+        expr = MatVec(Transpose(X),
+                      EwMul(MatVec(X, Input("y")), Input("v")))
+        self._check(expr, env,
+                    fused_pattern_reference(env["X"], env["y"], env["v"]))
+
+    def test_z_term_order_irrelevant(self, env):
+        X = Input("X")
+        core = MatVec(Transpose(X), MatVec(X, Input("y")))
+        expr = Add(Smul(0.1, Input("z")), core)
+        self._check(expr, env,
+                    fused_pattern_reference(env["X"], env["y"],
+                                            z=env["z"], beta=0.1))
+
+    def test_different_matrices_not_fused(self, env, rng):
+        """t(A) %*% (B %*% y) with A != B must NOT fuse."""
+        env = dict(env)
+        env["B"] = random_csr(60, 25, 0.2, rng=9)
+        expr = MatVec(Transpose(Input("X")),
+                      MatVec(Input("B"), Input("y")))
+        rewritten = rewrite(expr)
+        fused = fused_nodes(rewritten)
+        # fuses only as the degenerate t(X) %*% w form, never as XTXY
+        assert all(not f.inner or f.X is not None for f in fused)
+        expected = spmv_t(env["X"], spmv(env["B"], env["y"]))
+        np.testing.assert_allclose(rewritten.eval(env), expected,
+                                   rtol=1e-10)
+
+    def test_nested_smul_collapsed(self, env):
+        X = Input("X")
+        expr = Smul(2.0, Smul(3.0, MatVec(Transpose(X),
+                                          MatVec(X, Input("y")))))
+        rewritten = rewrite(expr)
+        nodes = fused_nodes(rewritten)
+        assert len(nodes) == 1 and nodes[0].alpha == 6.0
+
+
+class TestMemoryManager:
+    def test_upload_once(self):
+        mm = GpuMemoryManager(GTX_TITAN)
+        mm.register("A", 1e6)
+        first = mm.request("A")
+        second = mm.request("A")
+        assert first > 0.0 and second == 0.0
+        assert mm.stats.h2d_count == 1
+
+    def test_lru_eviction(self):
+        mm = GpuMemoryManager(GTX_TITAN, capacity_bytes=2.5e6)
+        for k in ("A", "B", "C"):
+            mm.register(k, 1e6)
+        mm.request("A")
+        mm.request("B")
+        mm.request("C")                     # evicts A (least recently used)
+        assert not mm.is_resident("A")
+        assert mm.is_resident("B") and mm.is_resident("C")
+        assert mm.stats.evictions == 1
+
+    def test_pinned_never_evicted(self):
+        mm = GpuMemoryManager(GTX_TITAN, capacity_bytes=2.5e6)
+        mm.register("P", 2e6, pinned=True)
+        mm.register("B", 1e6)
+        mm.request("P")
+        with pytest.raises(OutOfDeviceMemory):
+            mm.request("B")
+        assert mm.is_resident("P")
+
+    def test_block_larger_than_device(self):
+        mm = GpuMemoryManager(GTX_TITAN, capacity_bytes=1e6)
+        mm.register("huge", 2e6)
+        with pytest.raises(OutOfDeviceMemory, match="exceeds device"):
+            mm.request("huge")
+
+    def test_dirty_sync(self):
+        mm = GpuMemoryManager(GTX_TITAN)
+        mm.register("A", 1e6)
+        mm.request("A")
+        assert mm.sync_to_host("A") == 0.0      # clean: no download
+        mm.mark_device_dirty("A")
+        assert mm.sync_to_host("A") > 0.0
+        assert mm.stats.d2h_count == 1
+
+    def test_host_dirty_forces_reupload(self):
+        mm = GpuMemoryManager(GTX_TITAN)
+        mm.register("A", 1e6)
+        mm.request("A")
+        mm.mark_host_dirty("A")
+        assert mm.request("A") > 0.0
+
+    def test_jni_and_conversion_charged(self):
+        mm = GpuMemoryManager(GTX_TITAN, via_jni=True)
+        mm.register("S", 1e7, needs_conversion=True)
+        mm.request("S")
+        assert mm.stats.jni_ms > 0.0
+        assert mm.stats.conversion_ms > 0.0
+        assert mm.stats.total_ms > mm.stats.h2d_ms
+
+    def test_unregistered_request(self):
+        mm = GpuMemoryManager(GTX_TITAN)
+        with pytest.raises(KeyError):
+            mm.request("ghost")
+
+    def test_free(self):
+        mm = GpuMemoryManager(GTX_TITAN)
+        mm.register("A", 1e6)
+        mm.request("A")
+        mm.free("A")
+        assert not mm.is_resident("A")
+
+
+class TestScheduler:
+    def test_gpu_chosen_when_cheaper(self):
+        mm = GpuMemoryManager(GTX_TITAN)
+        mm.register("A", 1e4)
+        sched = HybridScheduler(mm)
+        d = sched.decide("op", ["A"], gpu_kernel_ms=0.01, cpu_ms=10.0)
+        assert d.target == "gpu"
+        assert mm.is_resident("A")
+
+    def test_cpu_chosen_when_transfer_dominates(self):
+        mm = GpuMemoryManager(GTX_TITAN)
+        mm.register("A", 1e9)               # ~83 ms PCIe
+        sched = HybridScheduler(mm)
+        d = sched.decide("op", ["A"], gpu_kernel_ms=0.01, cpu_ms=1.0)
+        assert d.target == "cpu"
+        assert not mm.is_resident("A")
+
+    def test_resident_operand_flips_decision(self):
+        mm = GpuMemoryManager(GTX_TITAN)
+        mm.register("A", 1e8)
+        sched = HybridScheduler(mm)
+        first = sched.decide("op", ["A"], gpu_kernel_ms=0.5, cpu_ms=2.0)
+        assert first.target == "cpu"
+        mm.request("A")                     # now resident
+        second = sched.decide("op", ["A"], gpu_kernel_ms=0.5, cpu_ms=2.0)
+        assert second.target == "gpu"
+        assert sched.gpu_fraction == 0.5
+
+
+class TestEndToEnd:
+    def test_table2_breakdown_shape(self):
+        X = random_csr(2000, 50, 0.1, rng=10)
+        y, _ = regression_targets(X, rng=11)
+        row = profile_linreg_breakdown(X, y, "toy", max_iterations=20)
+        assert row.pattern_pct + row.blas1_pct == pytest.approx(100.0)
+        assert row.pattern_pct > 50.0
+
+    def test_table6_shape(self):
+        X = higgs_like(scale=0.002, rng=12)
+        y, _ = regression_targets(X, rng=13)
+        out = table6_comparison(X, y, max_iterations=10)
+        assert out["fused_kernel_speedup"] > out["total_speedup"]
+        assert out["total_speedup"] > 0.5
+
+    def test_session_modes_agree_numerically(self):
+        X = higgs_like(scale=0.001, rng=14)
+        y, _ = regression_targets(X, rng=15)
+        g = SystemMLSession("gpu-fused").run_linreg_cg(X, y,
+                                                       max_iterations=8)
+        c = SystemMLSession("cpu").run_linreg_cg(X, y, max_iterations=8)
+        np.testing.assert_allclose(g.w, c.w, rtol=1e-10)
+        assert g.transfer_ms > 0.0 and c.transfer_ms == 0.0
+
+    def test_invalid_mode(self):
+        with pytest.raises(ValueError, match="mode"):
+            SystemMLSession("fpga")

@@ -1,0 +1,77 @@
+"""Host-link transfer model and the CPU roofline model."""
+
+import pytest
+
+from repro.gpu import CORE_I7, CpuCostModel, CpuSpec, GTX_TITAN, \
+    TransferModel
+
+
+class TestTransferModel:
+    def test_pcie_time_linear_plus_latency(self):
+        t = TransferModel(GTX_TITAN)
+        one_gb = t.pcie_ms(1e9)
+        assert one_gb == pytest.approx(
+            GTX_TITAN.pcie_latency_us / 1e3
+            + 1e9 / GTX_TITAN.pcie_bandwidth_bytes_per_ms)
+        assert t.pcie_ms(0) == 0.0
+
+    def test_jni_slower_than_pcie_per_byte(self):
+        t = TransferModel(GTX_TITAN)
+        nbytes = 1e8
+        assert t.jni_ms(nbytes) > 0
+        # JNI heap copy is slower than the PCIe link itself
+        assert t.jni_ms(nbytes) > t.pcie_ms(nbytes) - \
+            GTX_TITAN.pcie_latency_us / 1e3
+
+    def test_h2d_composition(self):
+        t = TransferModel(GTX_TITAN)
+        nbytes = 5e7
+        plain = t.h2d_ms(nbytes)
+        with_jni = t.h2d_ms(nbytes, via_jni=True)
+        full = t.h2d_ms(nbytes, via_jni=True, convert=True)
+        assert plain < with_jni < full
+        assert full == pytest.approx(plain + t.jni_ms(nbytes)
+                                     + t.conversion_ms(nbytes))
+
+    def test_kdd_transfer_magnitude(self):
+        """The paper reports 939 ms to ship KDD2010 (~6.3 GB CSR) to the
+        device; our PCIe model should land in the same order."""
+        t = TransferModel(GTX_TITAN)
+        kdd_bytes = 423_865_484 * 12 + (15_009_374 + 1) * 4
+        ms = t.pcie_ms(kdd_bytes)
+        assert 200 < ms < 2000
+
+
+class TestCpuModel:
+    def test_memory_bound_time(self):
+        cpu = CpuCostModel()
+        t = cpu.time_ms(21e9, flops=0, calls=0)   # 21 GB at 21 GB/s
+        assert t == pytest.approx(1000.0, rel=0.05)
+
+    def test_gather_fraction_slows(self):
+        cpu = CpuCostModel()
+        stream = cpu.time_ms(1e9, gather_fraction=0.0, calls=0)
+        gather = cpu.time_ms(1e9, gather_fraction=1.0, calls=0)
+        assert gather > 2.0 * stream
+
+    def test_single_thread_slower(self):
+        full = CpuCostModel().time_ms(1e9, calls=0)
+        one = CpuCostModel(threads=1).time_ms(1e9, calls=0)
+        assert one > 1.5 * full
+
+    def test_compute_bound_branch(self):
+        cpu = CpuCostModel()
+        t = cpu.time_ms(1e3, flops=1e9, calls=0)
+        assert t == pytest.approx(1e9 / (CORE_I7.peak_gflops * 1e6),
+                                  rel=0.05)
+
+    def test_call_overhead(self):
+        cpu = CpuCostModel()
+        assert cpu.time_ms(0, calls=10) == pytest.approx(
+            10 * CORE_I7.call_overhead_us / 1e3)
+
+    def test_custom_spec(self):
+        fast = CpuSpec(stream_bandwidth_gbps=100.0,
+                       single_thread_bandwidth_gbps=50.0)
+        assert CpuCostModel(fast).time_ms(1e9, calls=0) < \
+            CpuCostModel().time_ms(1e9, calls=0)

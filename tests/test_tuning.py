@@ -1,0 +1,157 @@
+"""The §3.3 analytical tuner: Eq. 4/5/6, register table, autotuner."""
+
+import numpy as np
+import pytest
+
+from repro.gpu.device import GTX_TITAN, TINY_CC35
+from repro.sparse import random_csr
+from repro.tuning import (MAX_THREAD_LOAD, autotune_sparse,
+                          max_dense_columns, max_shared_columns,
+                          registers_for_thread_load, select_coarsening,
+                          select_vector_size, select_vector_size_dense,
+                          shared_bytes_needed, tune_dense, tune_sparse,
+                          wasted_warps)
+
+
+class TestEq4VectorSize:
+    @pytest.mark.parametrize("mu,expected", [
+        (0.5, 1), (1.0, 1), (2.0, 1),      # mu <= 2: otherwise-branch
+        (3.0, 2), (4.0, 2),                 # 4 >= mu > 2
+        (5.0, 4), (8.0, 4),
+        (10.0, 8), (16.0, 8),
+        (20.0, 16), (32.0, 16),
+        (33.0, 32), (100.0, 32),            # mu > 32
+    ])
+    def test_eq4_cases(self, mu, expected):
+        assert select_vector_size(mu) == expected
+
+
+class TestEq6DenseVectorSize:
+    def test_wide_rows_use_full_block(self):
+        assert select_vector_size_dense(2048, 16, 128) == 128
+
+    @pytest.mark.parametrize("n,tl,expected", [
+        (32, 1, 32), (28, 1, 32), (17, 1, 32),
+        (16, 1, 16), (9, 1, 16), (8, 1, 8), (2, 1, 2),
+        (200, 7, 32),                        # the paper's example
+    ])
+    def test_power_of_two_selection(self, n, tl, expected):
+        assert select_vector_size_dense(n, tl, 128) == expected
+
+    def test_wasted_warps_paper_example(self):
+        # paper: BS=128, TL=2, n=200 -> 1 wasted warp; TL=7, VS=32 -> 0
+        assert wasted_warps(200, 2, 128) == 1
+        assert wasted_warps(200, 7, 32) == 0
+
+
+class TestRegisterTable:
+    def test_endpoints_match_paper(self):
+        assert registers_for_thread_load(1) == 23
+        assert registers_for_thread_load(40) == 255
+
+    def test_monotone(self):
+        regs = [registers_for_thread_load(tl)
+                for tl in range(1, MAX_THREAD_LOAD + 1)]
+        assert regs == sorted(regs)
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            registers_for_thread_load(0)
+
+
+class TestSparseTuner:
+    def test_paper_configuration(self):
+        """500k x 1k at 0.01 (mu~10): the paper reports VS=8, BS=640,
+        28 blocks, ~223 rows per vector."""
+        X = random_csr(500_000, 1000, 0.01, rng=0)
+        p = tune_sparse(X, GTX_TITAN)
+        assert p.vector_size == 8
+        assert p.block_size == 640
+        assert p.variant == "shared"
+        assert p.occupancy.blocks_per_sm == 2
+        assert p.grid_size == 28
+        assert 180 <= p.coarsening <= 260      # paper: 223
+
+    def test_shared_bytes_formula(self):
+        # (BS/VS + n) * 8: the paper's 8,832 B for BS=640, VS=8, n=1024
+        assert shared_bytes_needed(640, 8, 1024) == 8832
+
+    def test_variant_switch_at_shared_limit(self):
+        limit = max_shared_columns(GTX_TITAN)
+        assert 4000 < limit < 7000              # paper: "close to 6K"
+        X_small = random_csr(1000, 512, 0.02, rng=1)
+        assert tune_sparse(X_small).variant == "shared"
+        X_wide = random_csr(200, 50_000, 0.0005, rng=2)
+        assert tune_sparse(X_wide).variant == "global"
+
+    def test_force_variant(self):
+        X = random_csr(1000, 128, 0.05, rng=3)
+        assert tune_sparse(X, force_variant="global").variant == "global"
+        with pytest.raises(ValueError, match="variant"):
+            tune_sparse(X, force_variant="bogus")
+
+    def test_coarsening_covers_all_rows(self):
+        X = random_csr(10_000, 256, 0.02, rng=4)
+        p = tune_sparse(X)
+        vectors = p.grid_size * (p.block_size // p.vector_size)
+        assert vectors * p.coarsening >= X.m
+
+    def test_launch_validates(self):
+        X = random_csr(5000, 300, 0.02, rng=5)
+        tune_sparse(X).launch().validate(GTX_TITAN)
+
+    def test_tiny_device(self):
+        X = random_csr(500, 100, 0.05, rng=6)
+        p = tune_sparse(X, TINY_CC35)
+        p.launch().validate(TINY_CC35)
+
+
+class TestDenseTuner:
+    def test_narrow_matrix_exception(self):
+        """n <= 32: BS=1024 and TL=1 (the paper's special case)."""
+        p = tune_dense(10_000, 28)
+        assert p.block_size == 1024
+        assert p.thread_load == 1
+
+    def test_coverage_invariant(self):
+        for n in (33, 64, 200, 777, 2048):
+            p = tune_dense(5000, n)
+            assert p.vector_size * p.thread_load >= n
+            assert p.padded_n == p.vector_size * p.thread_load
+            assert p.thread_load <= MAX_THREAD_LOAD
+            p.launch().validate(GTX_TITAN)
+
+    def test_register_limit_respected(self):
+        for n in (100, 1000, 5000):
+            p = tune_dense(1000, n)
+            assert p.registers <= 255
+
+    def test_too_wide_raises(self):
+        with pytest.raises(ValueError, match="cuBLAS"):
+            tune_dense(100, max_dense_columns() + 2000)
+
+    def test_invalid_dims(self):
+        with pytest.raises(ValueError):
+            tune_dense(0, 10)
+
+
+class TestAutotune:
+    @pytest.fixture(scope="class")
+    def result(self):
+        X = random_csr(20_000, 512, 0.01, rng=7)
+        return autotune_sparse(X)
+
+    def test_search_space_size(self, result):
+        assert len(result.settings) > 500     # paper: ~1,200
+
+    def test_model_near_optimum(self, result):
+        assert result.model_gap < 0.10        # paper: < 2% at full scale
+
+    def test_best_not_worse_than_model(self, result):
+        assert result.best.time_ms <= result.model_setting.time_ms
+
+    def test_performance_range_is_wide(self, result):
+        assert result.worst.time_ms > 1.5 * result.best.time_ms
+
+    def test_model_rank_reported(self, result):
+        assert 0.0 <= result.model_rank_fraction <= 1.0
