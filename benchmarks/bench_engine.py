@@ -1,0 +1,39 @@
+"""PatternEngine session cache: cold-vs-warm amortization, batched wall time.
+
+Regenerates the engine experiment: 100 LR-CG-style iterations per strategy,
+comparing fresh per-call evaluation against one cached session, plus a
+serial-vs-batched wall-clock comparison (in the notes).
+"""
+
+from repro.bench.engine_bench import engine_amortization
+
+
+def bench_engine(benchmark, record_experiment):
+    result = benchmark.pedantic(engine_amortization, rounds=1, iterations=1)
+    record_experiment(result)
+
+    rows = {r[0]: r for r in result.rows}
+    amortized = dict(zip(result.column("strategy"),
+                         result.column("amortized_x")))
+    hit_rates = dict(zip(result.column("strategy"),
+                         result.column("hit_rate")))
+
+    # the acceptance claim: warm-cache model time for the 100-iteration
+    # series beats cold per-call evaluation by >= 2x on the route that
+    # re-pays the csr2csc conversion (Fig. 2's amortization, now a session
+    # guarantee), with a > 0.95 plan-cache hit rate
+    assert amortized["cusparse-explicit"] >= 2.0
+    assert all(hr > 0.95 for hr in hit_rates.values())
+
+    # the transpose is built exactly once per session
+    assert rows["cusparse-explicit"][7] == 1
+    assert rows["fused"][7] == 0
+
+    # strategies that carry no per-call setup cost must be model-time
+    # neutral under the cache: caching never makes a plan slower
+    assert amortized["fused"] >= 1.0 - 1e-12
+    assert amortized["cusparse"] >= 1.0 - 1e-12
+
+    # warm explicit-transpose calls drop the conversion entirely
+    exp = rows["cusparse-explicit"]
+    assert exp[2] < exp[1], "warm call must be cheaper than cold call"

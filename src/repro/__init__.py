@@ -23,7 +23,8 @@ Quick start::
     print(f"speedup: {base.time_ms / fused.time_ms:.1f}x")
 """
 
-from .core import (GenericPattern, Instantiation, PatternExecutor, TABLE1,
+from .core import (GenericPattern, Instantiation, PatternEngine,
+                   PatternExecutor, PatternRequest, TABLE1,
                    evaluate, mvtmv, pattern_of, xt_mv)
 from .kernels.base import GpuContext, KernelResult
 from .sparse import CsrMatrix, random_csr
@@ -31,7 +32,8 @@ from .sparse import CsrMatrix, random_csr
 __version__ = "1.0.0"
 
 __all__ = [
-    "GenericPattern", "Instantiation", "PatternExecutor", "TABLE1",
+    "GenericPattern", "Instantiation", "PatternEngine", "PatternExecutor",
+    "PatternRequest", "TABLE1",
     "evaluate", "mvtmv", "pattern_of", "xt_mv",
     "GpuContext", "KernelResult",
     "CsrMatrix", "random_csr",

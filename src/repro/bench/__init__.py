@@ -1,6 +1,6 @@
 """Benchmark harness reproducing every table and figure of the paper."""
 
-from . import figures, tables  # noqa: F401 - populate the registry
+from . import engine_bench, figures, tables  # noqa: F401 - registry
 from .harness import REGISTRY, ExperimentResult, register, resolve_scale, \
     run_all
 

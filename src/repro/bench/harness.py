@@ -86,5 +86,5 @@ def register(name: str):
 
 def run_all(**kwargs) -> dict[str, ExperimentResult]:
     """Run every registered experiment (used by the report generator)."""
-    from . import figures, tables  # noqa: F401 - populate the registry
+    from . import engine_bench, figures, tables  # noqa: F401 - registry
     return {name: fn(**kwargs) for name, fn in sorted(REGISTRY.items())}

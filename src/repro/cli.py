@@ -8,6 +8,9 @@ Commands:
   and optionally the exhaustive-sweep validation;
 * ``report`` — regenerate EXPERIMENTS.md (all tables and figures);
 * ``script`` — run a mini-DML script (Listing-1 dialect) on saved data;
+* ``engine-stats`` — run an LR-CG-style iteration series through the
+  :class:`~repro.core.engine.PatternEngine` session cache and report
+  hits/misses, bytes cached, and amortized-vs-cold model time;
 * ``generate`` — build and save a synthetic dataset (sweep point, KDD-like,
   HIGGS-like).
 """
@@ -15,6 +18,7 @@ Commands:
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 
 import numpy as np
@@ -30,6 +34,8 @@ from .tuning import autotune_sparse, tune_dense, tune_sparse
 def _load_matrix(spec: str) -> CsrMatrix | np.ndarray:
     """``path.npz`` or ``MxN:sparsity`` (synthetic, seeded)."""
     if spec.endswith(".npz"):
+        if not os.path.exists(spec):
+            raise SystemExit(f"matrix file not found: {spec}")
         return load_csr(spec)
     try:
         dims, sparsity = spec.split(":")
@@ -96,6 +102,10 @@ def cmd_report(args: argparse.Namespace) -> int:
 def cmd_script(args: argparse.Namespace) -> int:
     from .ml.runtime import MLRuntime
     from .systemml.script import run_script
+    if not os.path.exists(args.script):
+        raise SystemExit(f"script file not found: {args.script}")
+    if not os.path.exists(args.dataset):
+        raise SystemExit(f"dataset file not found: {args.dataset}")
     X, y, _ = load_dataset(args.dataset)
     with open(args.script) as f:
         source = f.read()
@@ -108,6 +118,43 @@ def cmd_script(args: argparse.Namespace) -> int:
     for name in res.outputs:
         print(f"output {name!r}: vector of length "
               f"{np.asarray(res.outputs[name]).size}")
+    return 0
+
+
+def cmd_engine_stats(args: argparse.Namespace) -> int:
+    """Cold-vs-warm cache report for an LR-CG-style iteration series."""
+    from .core.engine import PatternEngine, PatternRequest
+
+    X = _load_matrix(args.matrix)
+    m, n = X.shape
+    rng = np.random.default_rng(args.seed)
+    engine = PatternEngine()
+
+    # the hot statement of Listing 1: q = X^T (X p) + eps * p, p changing
+    # every iteration but the matrix (and therefore the plan) staying fixed
+    for _ in range(args.iterations):
+        p = rng.normal(size=n)
+        engine.evaluate(X, p, z=p, beta=args.eps, strategy=args.strategy)
+    st = engine.stats()
+
+    # an uncached run pays the cold per-call price every iteration
+    cold_total = st.cold_ms_per_call * args.iterations
+    warm_total = st.cold_model_ms + st.warm_model_ms
+    print(f"matrix {m}x{n}, strategy {args.strategy!r}, "
+          f"{args.iterations} iterations")
+    print(st.report())
+    print(f"uncached total:   {cold_total:10.3f} model-ms")
+    print(f"engine total:     {warm_total:10.3f} model-ms "
+          f"({cold_total / max(warm_total, 1e-12):.2f}x)")
+
+    if args.batch:
+        reqs = [PatternRequest(X, rng.normal(size=n), strategy=args.strategy)
+                for _ in range(args.batch)]
+        results = engine.evaluate_many(reqs, max_workers=args.workers)
+        walls = [r.wall_ms for r in results]
+        print(f"batched:          {len(results)} requests on "
+              f"{args.workers} workers, wall "
+              f"{min(walls):.2f}-{max(walls):.2f} ms/request")
     return 0
 
 
@@ -166,6 +213,20 @@ def build_parser() -> argparse.ArgumentParser:
     sc.add_argument("--backend", default="gpu-fused",
                     choices=["cpu", "gpu-baseline", "gpu-fused"])
     sc.set_defaults(fn=cmd_script)
+
+    es = sub.add_parser("engine-stats",
+                        help="cold-vs-warm cache report for an LR-CG-style "
+                             "iteration series")
+    es.add_argument("matrix", help=".npz path or MxN:sparsity")
+    es.add_argument("--iterations", type=int, default=100)
+    es.add_argument("--strategy", default="auto",
+                    choices=list(STRATEGIES))
+    es.add_argument("--eps", type=float, default=0.001)
+    es.add_argument("--batch", type=int, default=0,
+                    help="also time N batched requests through the pool")
+    es.add_argument("--workers", type=int, default=4)
+    es.add_argument("--seed", type=int, default=0)
+    es.set_defaults(fn=cmd_engine_stats)
 
     ge = sub.add_parser("generate", help="build a synthetic dataset")
     ge.add_argument("kind", choices=["sweep", "kdd", "higgs"])

@@ -1,6 +1,8 @@
 """The paper's contribution: the generic pattern, fused plans, and executor."""
 
 from .api import evaluate, mvtmv, pattern_of, xt_mv
+from .engine import (BatchResult, EngineStats, PatternEngine, PatternRequest,
+                     fingerprint_matrix)
 from .executor import STRATEGIES, PatternExecutor
 from .hybrid import HybridExecutor, HybridReport
 from .streaming import StreamingExecutor, StreamingReport, plan_blocks
@@ -11,6 +13,8 @@ from .plans import (BidmatCpuPlan, BidmatGpuPlan, CusparsePlan,
 
 __all__ = [
     "evaluate", "mvtmv", "pattern_of", "xt_mv",
+    "BatchResult", "EngineStats", "PatternEngine", "PatternRequest",
+    "fingerprint_matrix",
     "STRATEGIES", "PatternExecutor",
     "HybridExecutor", "HybridReport",
     "StreamingExecutor", "StreamingReport", "plan_blocks",

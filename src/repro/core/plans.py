@@ -51,10 +51,15 @@ class FusedPlan(Plan):
     force_variant: str | None = None   # sparse: "shared" | "global"
     name = "fused"
 
-    def evaluate(self, p: GenericPattern) -> KernelResult:
+    def evaluate(self, p: GenericPattern, *,
+                 params=None) -> KernelResult:
+        """``params`` lets a session (:class:`~repro.core.engine.
+        PatternEngine`) pass pre-resolved §3.3 parameters instead of
+        re-tuning on every call."""
         if p.is_sparse:
-            params = tune_sparse(p.X, self.ctx.device,
-                                 force_variant=self.force_variant)
+            if params is None:
+                params = tune_sparse(p.X, self.ctx.device,
+                                     force_variant=self.force_variant)
             if not p.inner:
                 res = sparse_fused.xt_spmv_fused(p.X, p.y, self.ctx, params)
                 if p.alpha != 1.0:
@@ -75,7 +80,8 @@ class FusedPlan(Plan):
                 res = chain(res, blas1.axpy(p.beta, p.z, res.output,
                                             self.ctx), name=res.name)
             return res
-        params = tune_dense(*Xd.shape, device=self.ctx.device)
+        if params is None:
+            params = tune_dense(*Xd.shape, device=self.ctx.device)
         return dense_fused.fused_pattern_dense(
             Xd, p.y, p.v, p.z, p.alpha, p.beta, self.ctx, params)
 
@@ -138,7 +144,10 @@ class ExplicitTransposePlan(Plan):
     def __post_init__(self) -> None:
         self._xt_cache: dict[int, CsrMatrix] = {}
 
-    def evaluate(self, p: GenericPattern) -> KernelResult:
+    def evaluate(self, p: GenericPattern, *,
+                 xt: CsrMatrix | None = None) -> KernelResult:
+        """``xt`` lets a session pass a pre-built (already charged)
+        transpose, modelling the amortized steady state of Fig. 2."""
         if not p.is_sparse:
             raise ValueError("explicit-transpose plan is sparse-only")
         steps: list[KernelResult] = []
@@ -153,7 +162,8 @@ class ExplicitTransposePlan(Plan):
         else:
             inter = p.y
         key = id(p.X)
-        XT = self._xt_cache.get(key) if self.amortized else None
+        XT = xt if xt is not None else (
+            self._xt_cache.get(key) if self.amortized else None)
         spmv_res, trans_res = sparse_baseline.csrmv_via_explicit_transpose(
             p.X, inter, self.ctx, XT=XT)
         if self.amortized and XT is None:

@@ -70,19 +70,26 @@ def generate_source(n: int, vs: int, tl: int) -> str:
     return "\n".join(lines) + "\n"
 
 
-def get_kernel(n: int, vs: int, tl: int):
-    """Compile (or fetch from cache) the specialized kernel function."""
+def ensure_kernel(n: int, vs: int, tl: int) -> tuple[object, bool]:
+    """Fetch (or compile) the specialized kernel; reports whether this call
+    actually compiled it — session layers use the flag for accounting."""
     key = specialization_key(n, vs, tl)
     fn = _KERNEL_CACHE.get(key)
-    if fn is None:
-        src = generate_source(n, vs, tl)
-        namespace: dict[str, object] = {}
-        code = compile(src, filename=f"<generated mtmvm_{n}_{vs}_{tl}>",
-                       mode="exec")
-        exec(code, namespace)  # noqa: S102 - generated from trusted template
-        fn = namespace[f"mtmvm_{n}_{vs}_{tl}"]
-        _KERNEL_CACHE[key] = fn
-    return fn
+    if fn is not None:
+        return fn, False
+    src = generate_source(n, vs, tl)
+    namespace: dict[str, object] = {}
+    code = compile(src, filename=f"<generated mtmvm_{n}_{vs}_{tl}>",
+                   mode="exec")
+    exec(code, namespace)  # noqa: S102 - generated from trusted template
+    fn = namespace[f"mtmvm_{n}_{vs}_{tl}"]
+    _KERNEL_CACHE[key] = fn
+    return fn, True
+
+
+def get_kernel(n: int, vs: int, tl: int):
+    """Compile (or fetch from cache) the specialized kernel function."""
+    return ensure_kernel(n, vs, tl)[0]
 
 
 def cache_size() -> int:

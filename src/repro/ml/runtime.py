@@ -71,11 +71,21 @@ class TimeLedger:
 
 
 class MLRuntime:
-    """Executes ML-algorithm operations under a chosen backend."""
+    """Executes ML-algorithm operations under a chosen backend.
+
+    GPU backends route every pattern statement through a
+    :class:`~repro.core.engine.PatternEngine` session, so iterative
+    algorithms (LR-CG, GLM, HITS) pay plan selection and §3.3 tuning once
+    per matrix instead of once per call.  Pass ``engine`` to share a session
+    across runtimes, and ``strategy`` to pin a specific execution plan
+    (e.g. ``"cusparse-explicit"`` to study Fig. 2's transpose amortization).
+    """
 
     def __init__(self, backend: str = "gpu-fused",
                  ctx: GpuContext | None = None,
-                 cpu_threads: int | None = None):
+                 cpu_threads: int | None = None,
+                 engine: "PatternEngine | None" = None,
+                 strategy: str | None = None):
         if backend not in BACKENDS:
             raise ValueError(f"backend must be one of {BACKENDS}")
         self.backend = backend
@@ -83,6 +93,11 @@ class MLRuntime:
         self.cpu = CpuCostModel(threads=cpu_threads)
         self.transfer = TransferModel(self.ctx.device)
         self.executor = PatternExecutor(self.ctx)
+        self.strategy = strategy
+        if engine is None and self.on_gpu:
+            from ..core.engine import PatternEngine
+            engine = PatternEngine(self.ctx)
+        self.engine = engine
         self.ledger = TimeLedger()
 
     # ------------------------------------------------------------ helpers --
@@ -108,6 +123,11 @@ class MLRuntime:
                                self.transfer.d2h_ms(self._nbytes(x)))
 
     # ------------------------------------------------------------- pattern --
+    def _gpu_strategy(self, default_fused: str = "auto") -> str:
+        if self.strategy is not None:
+            return self.strategy
+        return "cusparse" if self.backend == "gpu-baseline" else default_fused
+
     def pattern(self, X, y, v=None, z=None, alpha: float = 1.0,
                 beta: float = 0.0) -> np.ndarray:
         """Eq. 1 under the backend's strategy; the hot op of every algorithm."""
@@ -116,10 +136,8 @@ class MLRuntime:
         if self.backend == "cpu":
             from ..core.plans import BidmatCpuPlan
             res = BidmatCpuPlan(self.cpu).evaluate(p)
-        elif self.backend == "gpu-baseline":
-            res = self.executor.evaluate(p, "cusparse")
         else:
-            res = self.executor.evaluate(p, "auto")
+            res = self.engine.evaluate_pattern(p, self._gpu_strategy())
         self.ledger.charge("pattern", res.time_ms)
         return res.output
 
@@ -148,9 +166,7 @@ class MLRuntime:
                 from ..core.plans import BidmatCpuPlan
                 res = BidmatCpuPlan(self.cpu).evaluate(p)
             else:
-                res = self.executor.evaluate(
-                    p, "cusparse" if self.backend == "gpu-baseline"
-                    else "auto")
+                res = self.engine.evaluate_pattern(p, self._gpu_strategy())
             self.ledger.charge("pattern", res.time_ms)
             out[:, j] = res.output
         return out
@@ -162,10 +178,9 @@ class MLRuntime:
         if self.backend == "cpu":
             from ..core.plans import BidmatCpuPlan
             res = BidmatCpuPlan(self.cpu).evaluate(p)
-        elif self.backend == "gpu-baseline":
-            res = self.executor.evaluate(p, "cusparse")
         else:
-            res = self.executor.evaluate(p, "fused")
+            res = self.engine.evaluate_pattern(
+                p, self._gpu_strategy(default_fused="fused"))
         self.ledger.charge("pattern", res.time_ms)
         return res.output
 

@@ -21,6 +21,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from ..core.engine import PatternEngine
 from ..core.executor import PatternExecutor
 from ..core.pattern import GenericPattern
 from ..gpu.cpu import CpuCostModel
@@ -43,6 +44,7 @@ class SystemMLReport:
     blas1_ms: float
     transfer_ms: float           # PCIe + JNI + conversion
     w: np.ndarray = field(repr=False, default=None)
+    cache_hit_rate: float = 0.0  # engine plan-cache hit rate (GPU modes)
 
     @property
     def total_ms(self) -> float:
@@ -63,6 +65,9 @@ class SystemMLSession:
         self.cpu_threads = cpu_threads
         self.memmgr = GpuMemoryManager(self.ctx.device, via_jni=via_jni)
         self.executor = PatternExecutor(self.ctx)
+        # pattern statements go through a session cache: plan selection,
+        # tuning, and derived artifacts amortize across CG iterations
+        self.engine = PatternEngine(self.ctx)
         self.cpu = CpuCostModel(threads=cpu_threads)
         self.scheduler: "HybridScheduler | None" = None
         if mode == "hybrid":
@@ -135,7 +140,7 @@ class SystemMLSession:
         # r = -(t(X) %*% y): the y vector crosses JNI+PCIe, result returns
         transfer_ms += self.memmgr.transfer.h2d_ms(m * _D, via_jni=True)
         gp = GenericPattern(X, y64, alpha=-1.0, inner=False)
-        r0 = self.executor.evaluate(gp, strategy)
+        r0 = self.engine.evaluate_pattern(gp, strategy)
         kernel_ms += r0.time_ms
         transfer_ms += self.memmgr.transfer.d2h_ms(n * _D, via_jni=True)
         r = r0.output
@@ -149,7 +154,7 @@ class SystemMLSession:
             # ship p to the device, run the fused statement, ship q back
             transfer_ms += self.memmgr.transfer.h2d_ms(n * _D, via_jni=True)
             gp = GenericPattern(X, p, z=p, beta=eps)
-            qres = self.executor.evaluate(gp, strategy)
+            qres = self.engine.evaluate_pattern(gp, strategy)
             kernel_ms += qres.time_ms
             transfer_ms += self.memmgr.transfer.d2h_ms(n * _D, via_jni=True)
             q = qres.output
@@ -165,7 +170,8 @@ class SystemMLSession:
         blas1_ms = cpu_rt.ledger.by_category.get("blas1", 0.0)
         return SystemMLReport(mode=self.mode, iterations=i,
                               kernel_ms=kernel_ms, blas1_ms=blas1_ms,
-                              transfer_ms=transfer_ms, w=w)
+                              transfer_ms=transfer_ms, w=w,
+                              cache_hit_rate=self.engine.stats().hit_rate)
 
     def _run_linreg_hybrid(self, X, y, eps: float, max_iterations: int,
                            tolerance: float) -> SystemMLReport:

@@ -1,0 +1,111 @@
+"""CLI error handling: exit codes for bad subcommands, specs, and files.
+
+``main()`` returns 0 on success; argparse rejections exit with code 2; our
+own guard rails raise ``SystemExit(message)``, which the interpreter maps to
+exit status 1.  ``_exit_code`` normalizes all three so every test asserts a
+concrete process exit status.
+"""
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+from repro.data.io import save_csr, save_dataset
+from repro.sparse import random_csr
+
+
+def _exit_code(argv) -> int:
+    """Run ``main`` and normalize the exit status like ``sys.exit`` would."""
+    try:
+        rc = main(argv)
+    except SystemExit as e:
+        if e.code is None:
+            return 0
+        return 1 if isinstance(e.code, str) else int(e.code)
+    return rc if rc is not None else 0
+
+
+class TestArgparseRejections:
+    def test_no_arguments(self, capsys):
+        assert _exit_code([]) == 2
+
+    def test_bad_subcommand(self, capsys):
+        assert _exit_code(["frobnicate"]) == 2
+        assert "invalid choice" in capsys.readouterr().err
+
+    def test_bad_strategy_choice(self, capsys):
+        assert _exit_code(["evaluate", "100x20:0.1",
+                           "--strategies", "quantum"]) == 2
+
+    def test_auto_not_allowed_in_evaluate(self, capsys):
+        # evaluate compares named strategies; `auto` is engine-stats-only
+        assert _exit_code(["evaluate", "100x20:0.1",
+                           "--strategies", "auto"]) == 2
+
+    def test_bad_generate_kind(self, capsys):
+        assert _exit_code(["generate", "mnist", "out.npz"]) == 2
+
+
+class TestFileGuards:
+    def test_evaluate_missing_npz(self, tmp_path, capsys):
+        missing = str(tmp_path / "nope.npz")
+        with pytest.raises(SystemExit) as exc:
+            main(["evaluate", missing])
+        assert f"matrix file not found: {missing}" in str(exc.value.code)
+        assert _exit_code(["evaluate", missing]) == 1
+
+    def test_tune_missing_npz(self, tmp_path):
+        assert _exit_code(["tune", str(tmp_path / "nope.npz")]) == 1
+
+    def test_bad_matrix_spec(self):
+        with pytest.raises(SystemExit) as exc:
+            main(["evaluate", "not-a-spec"])
+        assert "MxN:sparsity" in str(exc.value.code)
+        assert _exit_code(["evaluate", "100xx20:0.1"]) == 1
+
+    def test_script_missing_script_file(self, tmp_path):
+        dataset = tmp_path / "data.npz"
+        X = random_csr(30, 8, 0.3, rng=0)
+        save_dataset(str(dataset), X, np.ones(30))
+        assert _exit_code(["script", str(tmp_path / "nope.dml"),
+                           str(dataset)]) == 1
+
+    def test_script_missing_dataset(self, tmp_path):
+        script = tmp_path / "lr.dml"
+        script.write_text("w = t(X) %*% y\n")
+        assert _exit_code(["script", str(script),
+                           str(tmp_path / "nope.npz")]) == 1
+
+    def test_generate_dense_without_targets(self, tmp_path):
+        with pytest.raises(SystemExit) as exc:
+            main(["generate", "higgs", str(tmp_path / "h.npz"),
+                  "--scale", "0.002"])
+        assert "--targets" in str(exc.value.code)
+
+
+class TestSuccessPaths:
+    """Contrast cases: the same commands succeed once inputs exist."""
+
+    def test_evaluate_synthetic_spec(self, capsys):
+        assert _exit_code(["evaluate", "200x40:0.15"]) == 0
+        out = capsys.readouterr().out
+        assert "fused" in out and "model-ms" in out
+
+    def test_evaluate_saved_npz(self, tmp_path, capsys):
+        path = str(tmp_path / "m.npz")
+        save_csr(path, random_csr(100, 16, 0.2, rng=1))
+        assert _exit_code(["evaluate", path]) == 0
+
+    def test_engine_stats_reports_cache_lines(self, capsys):
+        assert _exit_code(["engine-stats", "200x40:0.15",
+                           "--iterations", "5",
+                           "--strategy", "cusparse-explicit",
+                           "--batch", "3", "--workers", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "hit-rate" in out
+        assert "uncached total" in out
+        assert "batched:" in out
+
+    def test_engine_stats_missing_npz(self, tmp_path):
+        assert _exit_code(["engine-stats",
+                           str(tmp_path / "nope.npz")]) == 1

@@ -135,3 +135,86 @@ class TestAlg3:
         X2 = rng.normal(size=(10, 32))
         with pytest.raises(ValueError, match="VS \\* TL"):
             run_alg3(engine, X2, rng.normal(size=32), VS=8, TL=2)
+
+
+class TestEngineCachedPlans:
+    """Engine-cached plans replayed through the SIMT interpreter.
+
+    The PatternEngine memoizes the §3.3-tuned ``VS/BS/C`` launch parameters;
+    replaying those exact cached parameters through the per-thread
+    Algorithm 2/3 interpreters must reproduce the warm engine output — the
+    cache stores a *valid* plan, not just a fast one.
+    """
+
+    @pytest.fixture
+    def titan_simt(self):
+        from repro.gpu.device import GTX_TITAN
+        return SimtEngine(GTX_TITAN)      # tuned BS targets the Titan
+
+    def _cached_entry(self, pattern_engine, strategy="fused"):
+        entries = [e for e in pattern_engine._plans.values()
+                   if e.strategy == strategy]
+        assert len(entries) == 1
+        return entries[0]
+
+    def test_cached_sparse_params_replay_through_alg2(self, titan_simt, rng):
+        from repro.core.engine import PatternEngine
+        X = random_csr(70, 28, 0.2, rng=6)
+        y = rng.normal(size=X.n)
+        v = rng.normal(size=X.m)
+        z = rng.normal(size=X.n)
+        pe = PatternEngine()
+        pe.evaluate(X, y, v=v, z=z, alpha=1.7, beta=-0.4, strategy="fused")
+        warm = pe.evaluate(X, y, v=v, z=z, alpha=1.7, beta=-0.4,
+                           strategy="fused")
+        assert pe.stats().plan_hits == 1
+
+        sp = self._cached_entry(pe).params
+        simt = run_alg2(titan_simt, X, y, v, z, alpha=1.7, beta=-0.4,
+                        VS=sp.vector_size, block_size=sp.block_size,
+                        grid_size=sp.grid_size, C=sp.coarsening,
+                        variant=sp.variant)
+        np.testing.assert_allclose(simt, warm.output, rtol=1e-9, atol=1e-11)
+
+    def test_cached_dense_params_replay_through_alg3(self, titan_simt, rng):
+        from repro.core.engine import PatternEngine
+        m, n = 60, 48
+        X = rng.normal(size=(m, n))
+        y = rng.normal(size=n)
+        v = rng.normal(size=m)
+        pe = PatternEngine()
+        pe.evaluate(X, y, v=v, alpha=1.5, strategy="fused")
+        warm = pe.evaluate(X, y, v=v, alpha=1.5, strategy="fused")
+
+        dp = self._cached_entry(pe).params
+        Xp = np.zeros((m, dp.padded_n))
+        Xp[:, :n] = X
+        yp = np.zeros(dp.padded_n)
+        yp[:n] = y
+        simt = run_alg3(titan_simt, Xp, yp, v=v, alpha=1.5,
+                        VS=dp.vector_size, TL=dp.thread_load,
+                        block_size=dp.block_size, grid_size=dp.grid_size,
+                        C=dp.coarsening)
+        np.testing.assert_allclose(simt[:n], warm.output, rtol=1e-9)
+
+    def test_cached_plan_stays_valid_after_mutation_rekey(self, titan_simt,
+                                                          rng):
+        """In-place mutation re-keys the plan; the *new* cached parameters
+        must replay correctly on the mutated matrix (no stale-plan reuse)."""
+        from repro.core.engine import PatternEngine
+        X = random_csr(70, 28, 0.2, rng=8)
+        y = rng.normal(size=X.n)
+        pe = PatternEngine()
+        pe.evaluate(X, y, strategy="fused")
+        X.values *= 1.75                       # mutate in place
+        pe.evaluate(X, y, strategy="fused")    # must miss and re-tune
+        warm = pe.evaluate(X, y, strategy="fused")
+        assert pe.stats().plan_misses == 2
+
+        entries = [e for e in pe._plans.values() if e.strategy == "fused"]
+        sp = entries[-1].params
+        simt = run_alg2(titan_simt, X, y,
+                        VS=sp.vector_size, block_size=sp.block_size,
+                        grid_size=sp.grid_size, C=sp.coarsening,
+                        variant=sp.variant)
+        np.testing.assert_allclose(simt, warm.output, rtol=1e-9, atol=1e-11)

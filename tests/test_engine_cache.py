@@ -1,0 +1,229 @@
+"""Unit tests for the PatternEngine session layer: cache mechanics, LRU
+bounds, invalidation, stats accounting, and the batched API."""
+
+import numpy as np
+import pytest
+
+from repro.core.engine import (BatchResult, PatternEngine, PatternRequest,
+                               fingerprint_device, fingerprint_matrix)
+from repro.core.api import evaluate as evaluate_uncached
+from repro.kernels import codegen
+from repro.kernels.base import GpuContext
+from repro.gpu.device import GTX_TITAN, K20X
+from repro.sparse import CsrMatrix, random_csr
+
+
+@pytest.fixture
+def engine():
+    return PatternEngine()
+
+
+def _vec(n, seed=0):
+    return np.random.default_rng(seed).normal(size=n)
+
+
+class TestPlanCache:
+    def test_second_call_hits(self, engine, small_csr):
+        engine.evaluate(small_csr, _vec(small_csr.n, 1))
+        engine.evaluate(small_csr, _vec(small_csr.n, 2))
+        s = engine.stats()
+        assert (s.plan_hits, s.plan_misses) == (1, 1)
+        assert s.cold_calls == 1 and s.warm_calls == 1
+
+    def test_structurally_identical_matrices_share_entries(self, engine):
+        A = random_csr(150, 30, 0.2, rng=3)
+        B = random_csr(150, 30, 0.2, rng=3)       # same seed -> same data
+        engine.evaluate(A, _vec(30))
+        engine.evaluate(B, _vec(30))
+        assert engine.stats().plan_hits == 1
+
+    def test_different_pattern_shape_misses(self, engine, small_csr):
+        y = _vec(small_csr.n)
+        engine.evaluate(small_csr, y)
+        engine.evaluate(small_csr, y, v=_vec(small_csr.m))
+        engine.evaluate(small_csr, y, z=y, beta=0.5)
+        assert engine.stats().plan_misses == 3
+
+    def test_alpha_beta_values_do_not_fragment_the_cache(self, engine,
+                                                         small_csr):
+        y = _vec(small_csr.n)
+        engine.evaluate(small_csr, y, z=y, beta=0.5)
+        engine.evaluate(small_csr, y, z=y, beta=2.5, alpha=3.0)
+        s = engine.stats()
+        assert (s.plan_hits, s.plan_misses) == (1, 1)
+
+    def test_lru_eviction_bound(self):
+        engine = PatternEngine(max_plans=2)
+        for seed in range(4):
+            X = random_csr(100, 20, 0.2, rng=seed)
+            engine.evaluate(X, _vec(20))
+        s = engine.stats()
+        assert s.plan_entries == 2
+        assert s.evictions == 2
+
+    def test_unknown_strategy_raises(self, engine, small_csr):
+        with pytest.raises(ValueError, match="unknown strategy"):
+            engine.evaluate(small_csr, _vec(small_csr.n),
+                            strategy="quantum")
+
+    def test_auto_resolves_like_executor(self, engine, rng):
+        wide = rng.normal(size=(50, 6000))        # beyond the dense limit
+        engine.evaluate(wide, rng.normal(size=6000))
+        entry = next(iter(engine._plans.values()))
+        assert entry.strategy == "cusparse"
+
+    def test_check_mode_verifies(self, small_csr):
+        engine = PatternEngine(check=True)
+        res = engine.evaluate(small_csr, _vec(small_csr.n),
+                              v=_vec(small_csr.m), alpha=1.5)
+        ref = evaluate_uncached(small_csr, _vec(small_csr.n),
+                                v=_vec(small_csr.m), alpha=1.5)
+        np.testing.assert_array_equal(res.output, ref.output)
+
+
+class TestInvalidation:
+    def test_invalidate_drops_matrix_state(self, engine, small_csr):
+        y = _vec(small_csr.n)
+        engine.evaluate(small_csr, y, strategy="cusparse-explicit")
+        removed = engine.invalidate(small_csr)
+        assert removed == 2            # one plan entry + one transpose
+        engine.evaluate(small_csr, y, strategy="cusparse-explicit")
+        s = engine.stats()
+        assert s.plan_misses == 2 and s.transposes_built == 2
+
+    def test_invalidate_unknown_matrix_is_noop(self, engine, small_csr):
+        engine.evaluate(small_csr, _vec(small_csr.n))
+        other = random_csr(60, 10, 0.3, rng=9)
+        assert engine.invalidate(other) == 0
+        assert engine.stats().plan_entries == 1
+
+    def test_clear_preserves_counters(self, engine, small_csr):
+        engine.evaluate(small_csr, _vec(small_csr.n))
+        engine.clear()
+        s = engine.stats()
+        assert s.plan_entries == 0 and s.bytes_cached == 0
+        assert s.calls == 1
+
+
+class TestArtifacts:
+    def test_transpose_bytes_accounted(self, engine, small_csr):
+        engine.evaluate(small_csr, _vec(small_csr.n),
+                        strategy="cusparse-explicit")
+        s = engine.stats()
+        XT = small_csr.transpose_csr()
+        expected = XT.values.nbytes + XT.col_idx.nbytes + XT.row_off.nbytes
+        assert s.artifact_bytes == expected
+        assert s.bytes_cached >= expected
+
+    def test_artifact_lru_bound(self):
+        engine = PatternEngine(max_artifact_bytes=1)   # room for one only
+        for seed in range(3):
+            X = random_csr(120, 25, 0.2, rng=seed)
+            engine.evaluate(X, _vec(25), strategy="cusparse-explicit")
+        s = engine.stats()
+        assert s.transposes_built == 3
+        assert len(engine._artifacts) == 1             # bound enforced
+
+    def test_dense_codegen_compiled_once(self):
+        codegen.clear_cache()
+        engine = PatternEngine()
+        X = np.random.default_rng(2).normal(size=(64, 48))
+        y = _vec(48)
+        engine.evaluate(X, y, strategy="fused")
+        engine.evaluate(X, _vec(48, 5), strategy="fused")
+        assert engine.stats().kernels_compiled == 1
+
+
+class TestBatched:
+    def test_results_in_request_order_and_bit_identical(self, engine,
+                                                        small_csr):
+        reqs = [PatternRequest(small_csr, _vec(small_csr.n, s))
+                for s in range(6)]
+        out = engine.evaluate_many(reqs, max_workers=4)
+        assert [b.index for b in out] == list(range(6))
+        for s, b in enumerate(out):
+            ref = evaluate_uncached(small_csr, _vec(small_csr.n, s))
+            np.testing.assert_array_equal(b.result.output, ref.output)
+            assert b.wall_ms >= 0.0
+            assert isinstance(b, BatchResult)
+
+    def test_warm_batch_reports_cached(self, engine, small_csr):
+        y = _vec(small_csr.n)
+        engine.evaluate(small_csr, y)                  # pre-warm the plan
+        out = engine.evaluate_many(
+            [PatternRequest(small_csr, _vec(small_csr.n, s))
+             for s in range(4)], max_workers=2)
+        assert all(b.cached for b in out)
+
+    def test_serial_worker_cold_flags(self, small_csr):
+        engine = PatternEngine()
+        out = engine.evaluate_many(
+            [PatternRequest(small_csr, _vec(small_csr.n, s))
+             for s in range(3)], max_workers=1)
+        assert [b.cached for b in out] == [False, True, True]
+
+    def test_accepts_dicts_and_patterns(self, engine, small_csr):
+        from repro.core.pattern import GenericPattern
+        out = engine.evaluate_many([
+            {"X": small_csr, "y": _vec(small_csr.n)},
+            GenericPattern(small_csr, _vec(small_csr.n, 1)),
+        ])
+        assert len(out) == 2
+
+    def test_rejects_garbage_requests(self, engine):
+        with pytest.raises(TypeError, match="requests must be"):
+            engine.evaluate_many([42])
+
+    def test_empty_batch(self, engine):
+        assert engine.evaluate_many([]) == []
+
+    def test_many_workers_consistent_under_contention(self, engine):
+        mats = [random_csr(150, 30, 0.2, rng=s) for s in range(4)]
+        reqs = [PatternRequest(mats[i % 4], _vec(30, i)) for i in range(24)]
+        out = engine.evaluate_many(reqs, max_workers=8)
+        for i, b in enumerate(out):
+            ref = evaluate_uncached(mats[i % 4], _vec(30, i))
+            np.testing.assert_array_equal(b.result.output, ref.output)
+
+
+class TestFingerprints:
+    def test_matrix_fingerprint_is_content_based(self, small_csr):
+        clone = CsrMatrix(small_csr.shape, small_csr.values.copy(),
+                          small_csr.col_idx.copy(),
+                          small_csr.row_off.copy())
+        assert fingerprint_matrix(small_csr) == fingerprint_matrix(clone)
+        clone.values[0] += 1.0
+        assert fingerprint_matrix(small_csr) != fingerprint_matrix(clone)
+
+    def test_dense_fingerprint_handles_views(self, rng):
+        X = rng.normal(size=(30, 20))
+        assert fingerprint_matrix(X) == fingerprint_matrix(X.copy())
+        assert fingerprint_matrix(X.T) != fingerprint_matrix(X)
+
+    def test_device_fingerprint_differs_across_specs(self):
+        assert (fingerprint_device(GpuContext(GTX_TITAN))
+                != fingerprint_device(GpuContext(K20X)))
+        assert (fingerprint_device(GpuContext(GTX_TITAN,
+                                              use_texture_cache=False))
+                != fingerprint_device(GpuContext(GTX_TITAN)))
+
+
+class TestStatsReport:
+    def test_report_mentions_key_quantities(self, engine, small_csr):
+        engine.evaluate(small_csr, _vec(small_csr.n),
+                        strategy="cusparse-explicit")
+        engine.evaluate(small_csr, _vec(small_csr.n, 1),
+                        strategy="cusparse-explicit")
+        text = engine.stats().report()
+        for token in ("hit-rate", "bytes cached", "amortized speedup",
+                      "transposes built"):
+            assert token in text
+
+    def test_amortized_speedup_tracks_transpose_saving(self, engine,
+                                                       medium_csr):
+        for s in range(5):
+            engine.evaluate(medium_csr, _vec(medium_csr.n, s),
+                            strategy="cusparse-explicit")
+        s = engine.stats()
+        assert s.amortized_speedup > 1.5
+        assert s.warm_ms_per_call < s.cold_ms_per_call

@@ -1,0 +1,172 @@
+"""Property-based tests for PatternEngine cache-key correctness.
+
+The satellite contract:
+
+* mutating a matrix in place MUST miss the cache,
+* swapping the device spec MUST miss the cache,
+* evaluating an identical matrix twice MUST hit,
+* engine results are bit-identical to uncached ``api.evaluate()`` across
+  >= 200 randomly generated patterns.
+
+Hypothesis drives the fingerprint/key invariants; a seeded-random loop
+(8 chunks x 25 patterns) covers the bit-identity sweep across every
+strategy, sparse and dense, with and without ``v``/``z``.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.core.api import evaluate as evaluate_uncached
+from repro.core.engine import (PatternEngine, fingerprint_device,
+                               fingerprint_matrix)
+from repro.core.pattern import GenericPattern
+from repro.kernels.base import GpuContext
+from repro.gpu.device import GTX_TITAN, K20X, TINY_CC35
+from repro.sparse import CsrMatrix, random_csr
+
+
+def _clone(X: CsrMatrix) -> CsrMatrix:
+    return CsrMatrix(X.shape, X.values.copy(), X.col_idx.copy(),
+                     X.row_off.copy())
+
+
+# ----------------------------------------------------- hypothesis: cache keys
+class TestFingerprintProperties:
+    @settings(max_examples=30, deadline=None)
+    @given(seed=st.integers(0, 2**31 - 1))
+    def test_value_mutation_changes_fingerprint(self, seed):
+        X = random_csr(60, 15, 0.2, rng=seed)
+        assume(X.nnz > 0)
+        clone = _clone(X)
+        assert fingerprint_matrix(X) == fingerprint_matrix(clone)
+        idx = seed % X.nnz
+        clone.values[idx] += 1.0
+        assert fingerprint_matrix(X) != fingerprint_matrix(clone)
+
+    @settings(max_examples=30, deadline=None)
+    @given(seed=st.integers(0, 2**31 - 1))
+    def test_structure_mutation_changes_fingerprint(self, seed):
+        X = random_csr(60, 15, 0.2, rng=seed)
+        assume(X.nnz > 0)
+        clone = _clone(X)
+        idx = seed % X.nnz
+        clone.col_idx[idx] = (clone.col_idx[idx] + 1) % X.n
+        assert fingerprint_matrix(X) != fingerprint_matrix(clone)
+
+    @settings(max_examples=30, deadline=None)
+    @given(seed=st.integers(0, 2**31 - 1), m=st.integers(2, 40),
+           n=st.integers(2, 40))
+    def test_dense_fingerprint_content_based(self, seed, m, n):
+        X = np.random.default_rng(seed).normal(size=(m, n))
+        assert fingerprint_matrix(X) == fingerprint_matrix(X.copy())
+        Y = X.copy()
+        Y[seed % m, seed % n] += 0.5
+        assert fingerprint_matrix(X) != fingerprint_matrix(Y)
+
+    @settings(max_examples=25, deadline=None)
+    @given(seed=st.integers(0, 2**31 - 1))
+    def test_mutation_misses_the_live_cache(self, seed):
+        engine = PatternEngine()
+        X = random_csr(80, 20, 0.2, rng=seed)
+        assume(X.nnz > 0)
+        y = np.random.default_rng(seed).normal(size=X.n)
+        engine.evaluate(X, y)
+        engine.evaluate(_clone(X), y)          # identical content: hit
+        s = engine.stats()
+        assert (s.plan_hits, s.plan_misses) == (1, 1)
+        X.values[seed % X.nnz] *= 2.0          # in-place mutation: miss
+        engine.evaluate(X, y)
+        s = engine.stats()
+        assert (s.plan_hits, s.plan_misses) == (1, 2)
+
+
+class TestDeviceSwap:
+    @pytest.mark.parametrize("a,b", [(GTX_TITAN, K20X),
+                                     (GTX_TITAN, TINY_CC35),
+                                     (K20X, TINY_CC35)])
+    def test_device_specs_key_apart(self, a, b, small_csr):
+        ea, eb = PatternEngine(GpuContext(a)), PatternEngine(GpuContext(b))
+        assert fingerprint_device(ea.ctx) != fingerprint_device(eb.ctx)
+        p = GenericPattern(small_csr, np.ones(small_csr.n))
+        fp = fingerprint_matrix(small_csr)
+        assert ea._plan_key(p, fp, "fused") != eb._plan_key(p, fp, "fused")
+
+    def test_cache_flags_key_apart(self, small_csr):
+        base = PatternEngine(GpuContext(GTX_TITAN))
+        for flip in (GpuContext(GTX_TITAN, use_texture_cache=False),
+                     GpuContext(GTX_TITAN, use_l2_reuse=False)):
+            other = PatternEngine(flip)
+            p = GenericPattern(small_csr, np.ones(small_csr.n))
+            fp = fingerprint_matrix(small_csr)
+            assert (base._plan_key(p, fp, "fused")
+                    != other._plan_key(p, fp, "fused"))
+
+    def test_per_device_results_match_their_uncached_baseline(self,
+                                                              small_csr):
+        y = np.random.default_rng(0).normal(size=small_csr.n)
+        for dev in (GTX_TITAN, K20X):
+            ctx = GpuContext(dev)
+            engine = PatternEngine(ctx)
+            for _ in range(2):                 # cold then warm
+                res = engine.evaluate(small_csr, y, strategy="fused")
+                ref = evaluate_uncached(small_csr, y, strategy="fused",
+                                        ctx=ctx)
+                np.testing.assert_array_equal(res.output, ref.output)
+                assert res.time_ms == ref.time_ms
+
+
+# ------------------------------------------- seeded sweep: 200-way bit-identity
+SPARSE_STRATEGIES = ("auto", "fused", "cusparse", "cusparse-explicit",
+                     "bidmat-gpu", "bidmat-cpu")
+DENSE_STRATEGIES = ("auto", "fused", "cusparse", "bidmat-gpu", "bidmat-cpu")
+PATTERNS_PER_CHUNK = 25
+
+
+def _random_case(rng):
+    sparse = rng.random() < 0.6
+    if sparse:
+        m = int(rng.integers(30, 300))
+        n = int(rng.integers(8, 80))
+        X = random_csr(m, n, float(rng.uniform(0.05, 0.4)),
+                       rng=int(rng.integers(0, 2**31)))
+        strategy = SPARSE_STRATEGIES[int(rng.integers(
+            0, len(SPARSE_STRATEGIES)))]
+    else:
+        m = int(rng.integers(16, 120))
+        n = int(rng.integers(8, 100))
+        X = rng.normal(size=(m, n))
+        strategy = DENSE_STRATEGIES[int(rng.integers(
+            0, len(DENSE_STRATEGIES)))]
+    y = rng.normal(size=n)
+    v = rng.normal(size=m) if rng.random() < 0.5 else None
+    z = rng.normal(size=n) if rng.random() < 0.5 else None
+    alpha = float(rng.uniform(-2.0, 2.0))
+    beta = float(rng.uniform(0.1, 2.0)) if z is not None else 0.0
+    return X, y, v, z, alpha, beta, strategy
+
+
+@pytest.mark.parametrize("chunk", range(8))
+def test_bit_identical_to_uncached_across_random_patterns(chunk):
+    """8 chunks x 25 patterns = 200 random cases, every strategy mixed in.
+
+    Each case is evaluated twice through one shared engine (cold, then warm)
+    and both results must be *bit-identical* to a fresh uncached
+    ``api.evaluate()`` — caching plans/params/artifacts must never change a
+    single output bit.
+    """
+    rng = np.random.default_rng(1000 + chunk)
+    engine = PatternEngine()
+    for case in range(PATTERNS_PER_CHUNK):
+        X, y, v, z, alpha, beta, strategy = _random_case(rng)
+        ref = evaluate_uncached(X, y, v=v, z=z, alpha=alpha, beta=beta,
+                                strategy=strategy)
+        cold = engine.evaluate(X, y, v=v, z=z, alpha=alpha, beta=beta,
+                               strategy=strategy)
+        warm = engine.evaluate(X, y, v=v, z=z, alpha=alpha, beta=beta,
+                               strategy=strategy)
+        context = f"chunk={chunk} case={case} strategy={strategy}"
+        assert np.array_equal(cold.output, ref.output), context
+        assert np.array_equal(warm.output, ref.output), context
+    assert engine.stats().plan_hits >= PATTERNS_PER_CHUNK

@@ -1,0 +1,123 @@
+"""Regression tests: the csr2csc transpose is built exactly once per session.
+
+Figure 2's amortization claim, promoted to a session-layer guarantee: under
+the ``cusparse-explicit`` strategy the engine pays the device-side
+transposition on the first call only.  N iterations of LR-CG must launch
+``cusparse.csr2csc`` once, and warm-call PerfCounters must no longer carry
+the conversion's launches, loads, or model time.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.engine import PatternEngine
+from repro.kernels.base import GpuContext
+from repro.kernels.sparse_baseline import csr2csc_kernel
+from repro.ml.linreg import linreg_cg
+from repro.ml.runtime import MLRuntime
+from repro.sparse import random_csr
+
+ITERATIONS = 12
+
+
+@pytest.fixture
+def traced_ctx():
+    return GpuContext(trace=[])
+
+
+def _targets(X, seed=3):
+    rng = np.random.default_rng(seed)
+    return X.to_dense() @ rng.normal(size=X.n) + 0.01 * rng.normal(size=X.m)
+
+
+class TestLinRegTransposeReuse:
+    def test_transpose_launched_once_across_cg_iterations(self, traced_ctx):
+        X = random_csr(800, 60, 0.05, rng=21)
+        rt = MLRuntime("gpu-fused", ctx=traced_ctx,
+                       strategy="cusparse-explicit")
+        res = linreg_cg(X, _targets(X), runtime=rt,
+                        max_iterations=ITERATIONS, include_transfer=False)
+        assert res.iterations == ITERATIONS
+
+        conversions = [r for r in traced_ctx.trace
+                       if r.name == "cusparse.csr2csc"]
+        assert len(conversions) == 1, (
+            "csr2csc must run once per session, not once per iteration")
+
+        s = rt.engine.stats()
+        assert s.transposes_built == 1
+        # every pattern/xt_mv statement after the two cold ones is warm
+        assert s.warm_calls == s.calls - 2
+        assert s.hit_rate > 0.8
+
+    def test_warm_iterations_cost_exactly_cold_minus_conversion(self):
+        X = random_csr(800, 60, 0.05, rng=21)
+        rng = np.random.default_rng(1)
+        engine = PatternEngine()
+        for _ in range(ITERATIONS):           # the CG hot statement
+            p = rng.normal(size=X.n)
+            engine.evaluate(X, p, z=p, beta=1e-3,
+                            strategy="cusparse-explicit")
+        s = engine.stats()
+        trans_ms = csr2csc_kernel(X, GpuContext()).time_ms
+        assert (s.cold_calls, s.warm_calls) == (1, ITERATIONS - 1)
+        assert s.cold_ms_per_call > s.warm_ms_per_call
+        # the cold call is exactly one warm chain plus the conversion
+        assert s.cold_model_ms - s.warm_ms_per_call \
+            == pytest.approx(trans_ms, rel=1e-9)
+
+    def test_fused_backend_never_transposes(self, traced_ctx):
+        X = random_csr(800, 60, 0.05, rng=21)
+        rt = MLRuntime("gpu-fused", ctx=traced_ctx)
+        linreg_cg(X, _targets(X), runtime=rt, max_iterations=ITERATIONS,
+                  include_transfer=False)
+        assert not [r for r in traced_ctx.trace
+                    if r.name == "cusparse.csr2csc"]
+        assert rt.engine.stats().transposes_built == 0
+
+
+class TestWarmCallCounters:
+    def test_warm_counters_drop_the_conversion(self):
+        X = random_csr(600, 80, 0.08, rng=5)
+        y = np.random.default_rng(0).normal(size=X.n)
+        engine = PatternEngine()
+        cold = engine.evaluate(X, y, z=y, beta=1e-3,
+                               strategy="cusparse-explicit")
+        warm = engine.evaluate(X, y, z=y, beta=1e-3,
+                               strategy="cusparse-explicit")
+        trans = csr2csc_kernel(X, GpuContext())
+
+        # the cold call is exactly the warm chain plus the conversion
+        assert cold.time_ms == pytest.approx(warm.time_ms + trans.time_ms)
+        assert cold.counters.kernel_launches == \
+            warm.counters.kernel_launches + trans.counters.kernel_launches
+        assert cold.counters.global_load_transactions == pytest.approx(
+            warm.counters.global_load_transactions
+            + trans.counters.global_load_transactions)
+        # numerics are unaffected by the cached artifact
+        np.testing.assert_array_equal(cold.output, warm.output)
+
+    def test_shared_engine_across_runtimes_shares_the_transpose(self):
+        X = random_csr(800, 60, 0.05, rng=21)
+        engine = PatternEngine()
+        rt1 = MLRuntime("gpu-fused", engine=engine,
+                        strategy="cusparse-explicit")
+        rt2 = MLRuntime("gpu-fused", engine=engine,
+                        strategy="cusparse-explicit")
+        linreg_cg(X, _targets(X), runtime=rt1, max_iterations=4,
+                  include_transfer=False)
+        linreg_cg(X, _targets(X), runtime=rt2, max_iterations=4,
+                  include_transfer=False)
+        assert engine.stats().transposes_built == 1
+
+    def test_mutation_forces_a_rebuild(self):
+        X = random_csr(600, 80, 0.08, rng=5)
+        y = np.random.default_rng(0).normal(size=X.n)
+        engine = PatternEngine()
+        engine.evaluate(X, y, strategy="cusparse-explicit")
+        X.values[: X.nnz // 2] *= 1.5
+        res = engine.evaluate(X, y, strategy="cusparse-explicit")
+        assert engine.stats().transposes_built == 2
+        from repro.core.api import evaluate as evaluate_uncached
+        ref = evaluate_uncached(X, y, strategy="cusparse-explicit")
+        np.testing.assert_array_equal(res.output, ref.output)
