@@ -44,8 +44,12 @@ import numpy as np
 
 from ..kernels import codegen
 from ..kernels.base import DEFAULT_CONTEXT, GpuContext, KernelResult, chain
-from ..kernels.sparse_baseline import csr2csc_kernel
+from ..kernels.dense_baseline import profile_gemv
+from ..kernels.dense_fused import profile_dense_fused
+from ..kernels.sparse_baseline import csr2csc_kernel, profile_csrmv
+from ..kernels.sparse_fused import profile_sparse_fused
 from ..sparse.csr import CsrMatrix
+from ..sparse.ops import SpmvPlan
 from ..tuning.dense_params import DenseParams, tune_dense
 from ..tuning.sparse_params import SparseParams, tune_sparse
 from .executor import PatternExecutor
@@ -145,6 +149,7 @@ class EngineStats:
     artifact_hits: int = 0
     artifact_misses: int = 0
     transposes_built: int = 0
+    profiles_built: int = 0
     kernels_compiled: int = 0
     evictions: int = 0
     invalidations: int = 0
@@ -189,6 +194,7 @@ class EngineStats:
             f"artifacts:        {self.artifact_hits} hits / "
             f"{self.artifact_misses} misses, "
             f"{self.transposes_built} transposes built, "
+            f"{self.profiles_built} profiles built, "
             f"{self.kernels_compiled} kernels compiled",
             f"bytes cached:     {self.bytes_cached}",
             f"cold model-time:  {self.cold_ms_per_call:.4f} ms/call",
@@ -403,15 +409,130 @@ class PatternEngine:
         """Run the memoized plan; returns (result, artifacts_were_warm)."""
         plan = self.executor.plan_for(p, entry.strategy)
         if entry.strategy == "fused":
-            return plan.evaluate(p, params=entry.params), True
+            prof, prof_warm = self._profile_for(p, entry, mat_fp)
+            return plan.evaluate(p, params=entry.params,
+                                 profile=prof), prof_warm
         if entry.strategy == "cusparse-explicit" and p.is_sparse:
             XT, trans_res, warm = self._transpose_for(p.X, mat_fp)
-            res = plan.evaluate(p, xt=XT)
+            if p.inner:
+                x_prof, x_warm = self._profile_for(p, entry, mat_fp)
+            else:
+                x_prof, x_warm = None, True
+            xt_prof, xt_warm = self._xt_profile_for(XT, mat_fp)
+            res = plan.evaluate(p, xt=XT, profile=x_prof,
+                                xt_profile=xt_prof)
             if trans_res is not None:
                 # the one-time conversion is charged to the cold call
                 res = chain(trans_res, res, name=res.name)
-            return res, warm
-        return plan.evaluate(p), True
+            return res, warm and x_warm and xt_warm
+        prof, prof_warm = self._profile_for(p, entry, mat_fp)
+        if prof is None:
+            return plan.evaluate(p), prof_warm
+        return plan.evaluate(p, profile=prof), prof_warm
+
+    # ------------------------------------------------------- kernel profiles
+    def _profile_kind(self, p: GenericPattern, strategy: str) -> str | None:
+        """Artifact key suffix for the profile a (pattern, strategy) needs.
+
+        One profile serves a whole kernel family, so distinct plan keys that
+        route to the same kernels (e.g. ``cusparse`` and ``bidmat-gpu`` over
+        one sparse matrix) share a single cached template.
+        """
+        if strategy == "bidmat-cpu":
+            return None                      # roofline model, no counters
+        if p.is_sparse:
+            if strategy == "fused":
+                return "profile:fused-sparse"
+            return "profile:csrmv"
+        if strategy == "fused" and p.inner:
+            return "profile:fused-dense"
+        return "profile:gemv"
+
+    def _profile_for(self, p: GenericPattern, entry: PlanEntry,
+                     mat_fp: str) -> tuple[object | None, bool]:
+        """Fetch or build the kernel profile for this plan entry.
+
+        Returns ``(profile_or_None, was_warm)``.  Profiles live in the same
+        LRU as the csr2csc transpose, keyed by the matrix's *content*
+        fingerprint — mutating the matrix in place produces a different
+        fingerprint and therefore a fresh inspection, never a stale template.
+        """
+        kind = self._profile_kind(p, entry.strategy)
+        if kind is None:
+            return None, True
+        akey = (mat_fp, self._device_fp, kind)
+        with self._lock:
+            art = self._artifacts.get(akey)
+            if art is not None:
+                self._artifacts.move_to_end(akey)
+                self._stats.artifact_hits += 1
+                return art.value, True
+        if kind == "profile:fused-sparse":
+            splan = self._spmv_plan_for(p.X, mat_fp)
+            prof = profile_sparse_fused(p.X, self.ctx, entry.params,
+                                        spmv_plan=splan)
+        elif kind == "profile:csrmv":
+            splan = self._spmv_plan_for(p.X, mat_fp)
+            prof = profile_csrmv(p.X, self.ctx, spmv_plan=splan)
+        elif kind == "profile:fused-dense":
+            prof = profile_dense_fused(np.asarray(p.X, dtype=np.float64),
+                                       self.ctx, entry.params)
+        else:
+            prof = profile_gemv(p.X, self.ctx)
+        self._store_profile(akey, kind, prof, int(prof.nbytes))
+        return prof, False
+
+    def _xt_profile_for(self, XT: CsrMatrix,
+                        mat_fp: str) -> tuple[object, bool]:
+        """Profile for the steady-state ``csrmv`` over the cached transpose.
+
+        Keyed by the *original* matrix's fingerprint (the transpose is a
+        derived artifact under the same key family), so invalidation drops
+        both together.
+        """
+        akey = (mat_fp, self._device_fp, "profile:xt-csrmv")
+        with self._lock:
+            art = self._artifacts.get(akey)
+            if art is not None:
+                self._artifacts.move_to_end(akey)
+                self._stats.artifact_hits += 1
+                return art.value, True
+        prof = profile_csrmv(XT, self.ctx)
+        self._store_profile(akey, "profile:xt-csrmv", prof,
+                            int(prof.nbytes))
+        return prof, False
+
+    def _spmv_plan_for(self, X: CsrMatrix, mat_fp: str) -> SpmvPlan:
+        """Shared planned-SpMV artifact (reduceat starts + row expansion).
+
+        Several profile kinds over the same matrix reference one plan, so
+        the O(nnz) row-expansion index is materialized once per matrix.
+        """
+        akey = (mat_fp, self._device_fp, "spmv-plan")
+        with self._lock:
+            art = self._artifacts.get(akey)
+            if art is not None:
+                self._artifacts.move_to_end(akey)
+                self._stats.artifact_hits += 1
+                return art.value
+        plan = SpmvPlan(X)
+        self._store_profile(akey, "spmv-plan", plan, int(plan.nbytes))
+        return plan
+
+    def _store_profile(self, akey: tuple, kind: str, value: object,
+                       nbytes: int) -> None:
+        with self._lock:
+            if akey in self._artifacts:       # lost a build race: keep first
+                return
+            self._stats.artifact_misses += 1
+            self._stats.profiles_built += 1
+            self._artifacts[akey] = ArtifactEntry(kind, value, nbytes, 0.0)
+            self._artifact_bytes += nbytes
+            while (self._artifact_bytes > self.max_artifact_bytes
+                   and len(self._artifacts) > 1):
+                _, old = self._artifacts.popitem(last=False)
+                self._artifact_bytes -= old.nbytes
+                self._stats.evictions += 1
 
     def _transpose_for(self, X: CsrMatrix, mat_fp: str
                        ) -> tuple[CsrMatrix, KernelResult | None, bool]:

@@ -52,16 +52,22 @@ class FusedPlan(Plan):
     name = "fused"
 
     def evaluate(self, p: GenericPattern, *,
-                 params=None) -> KernelResult:
+                 params=None, profile=None) -> KernelResult:
         """``params`` lets a session (:class:`~repro.core.engine.
         PatternEngine`) pass pre-resolved §3.3 parameters instead of
-        re-tuning on every call."""
+        re-tuning on every call; ``profile`` additionally supplies the
+        matching kernel profile (sparse
+        :class:`~repro.kernels.sparse_fused.SparseFusedProfile`, dense
+        :class:`~repro.kernels.dense_fused.DenseFusedProfile`, or
+        :class:`~repro.kernels.dense_baseline.GemvProfile` for the
+        unfused dense transpose route)."""
         if p.is_sparse:
-            if params is None:
+            if params is None and profile is None:
                 params = tune_sparse(p.X, self.ctx.device,
                                      force_variant=self.force_variant)
             if not p.inner:
-                res = sparse_fused.xt_spmv_fused(p.X, p.y, self.ctx, params)
+                res = sparse_fused.xt_spmv_fused(p.X, p.y, self.ctx, params,
+                                                 profile=profile)
                 if p.alpha != 1.0:
                     res.output = p.alpha * res.output
                 if p.beta != 0.0:
@@ -69,21 +75,23 @@ class FusedPlan(Plan):
                                                 self.ctx), name=res.name)
                 return res
             return sparse_fused.fused_pattern_sparse(
-                p.X, p.y, p.v, p.z, p.alpha, p.beta, self.ctx, params)
+                p.X, p.y, p.v, p.z, p.alpha, p.beta, self.ctx, params,
+                profile=profile)
         Xd = np.asarray(p.X, dtype=np.float64)
         if not p.inner:
             # the paper does not fuse dense X^T x y (cuBLAS is already good)
-            res = dense_baseline.gemv_t(Xd, p.y, self.ctx)
+            res = dense_baseline.gemv_t(Xd, p.y, self.ctx, profile=profile)
             if p.alpha != 1.0:
                 res.output = p.alpha * res.output
             if p.beta != 0.0:
                 res = chain(res, blas1.axpy(p.beta, p.z, res.output,
                                             self.ctx), name=res.name)
             return res
-        if params is None:
+        if params is None and profile is None:
             params = tune_dense(*Xd.shape, device=self.ctx.device)
         return dense_fused.fused_pattern_dense(
-            Xd, p.y, p.v, p.z, p.alpha, p.beta, self.ctx, params)
+            Xd, p.y, p.v, p.z, p.alpha, p.beta, self.ctx, params,
+            profile=profile)
 
 
 @dataclass
@@ -93,33 +101,42 @@ class CusparsePlan(Plan):
     ctx: GpuContext = field(default_factory=lambda: DEFAULT_CONTEXT)
     name = "cusparse"
 
-    def evaluate(self, p: GenericPattern) -> KernelResult:
+    def evaluate(self, p: GenericPattern, *,
+                 profile=None) -> KernelResult:
+        """``profile`` is a shared :class:`~repro.kernels.sparse_baseline.
+        CsrmvProfile` (sparse) or :class:`~repro.kernels.dense_baseline.
+        GemvProfile` (dense) — one template serves every operator in the
+        chain, since they all walk the same matrix."""
         steps: list[KernelResult] = []
         if p.is_sparse:
             if not p.inner:
-                r = sparse_baseline.csrmv_transpose(p.X, p.y, self.ctx)
+                r = sparse_baseline.csrmv_transpose(p.X, p.y, self.ctx,
+                                                    profile=profile)
             else:
-                r1 = sparse_baseline.csrmv(p.X, p.y, self.ctx)
+                r1 = sparse_baseline.csrmv(p.X, p.y, self.ctx,
+                                           profile=profile)
                 steps.append(r1)
                 inter = r1.output
                 if p.v is not None:
                     r2 = blas1.ewmul(p.v, inter, self.ctx)
                     steps.append(r2)
                     inter = r2.output
-                r = sparse_baseline.csrmv_transpose(p.X, inter, self.ctx)
+                r = sparse_baseline.csrmv_transpose(p.X, inter, self.ctx,
+                                                    profile=profile)
         else:
             Xd = np.asarray(p.X, dtype=np.float64)
             if not p.inner:
-                r = dense_baseline.gemv_t(Xd, p.y, self.ctx)
+                r = dense_baseline.gemv_t(Xd, p.y, self.ctx, profile=profile)
             else:
-                r1 = dense_baseline.gemv_n(Xd, p.y, self.ctx)
+                r1 = dense_baseline.gemv_n(Xd, p.y, self.ctx, profile=profile)
                 steps.append(r1)
                 inter = r1.output
                 if p.v is not None:
                     r2 = blas1.ewmul(p.v, inter, self.ctx)
                     steps.append(r2)
                     inter = r2.output
-                r = dense_baseline.gemv_t(Xd, inter, self.ctx)
+                r = dense_baseline.gemv_t(Xd, inter, self.ctx,
+                                          profile=profile)
         steps.append(r)
         out = r.output
         if p.alpha != 1.0:
@@ -145,14 +162,17 @@ class ExplicitTransposePlan(Plan):
         self._xt_cache: dict[int, CsrMatrix] = {}
 
     def evaluate(self, p: GenericPattern, *,
-                 xt: CsrMatrix | None = None) -> KernelResult:
+                 xt: CsrMatrix | None = None,
+                 profile=None, xt_profile=None) -> KernelResult:
         """``xt`` lets a session pass a pre-built (already charged)
-        transpose, modelling the amortized steady state of Fig. 2."""
+        transpose, modelling the amortized steady state of Fig. 2.
+        ``profile`` templates the kernels over ``X`` (the inner ``csrmv``);
+        ``xt_profile`` templates the steady-state ``csrmv`` over ``X^T``."""
         if not p.is_sparse:
             raise ValueError("explicit-transpose plan is sparse-only")
         steps: list[KernelResult] = []
         if p.inner:
-            r1 = sparse_baseline.csrmv(p.X, p.y, self.ctx)
+            r1 = sparse_baseline.csrmv(p.X, p.y, self.ctx, profile=profile)
             steps.append(r1)
             inter = r1.output
             if p.v is not None:
@@ -165,7 +185,8 @@ class ExplicitTransposePlan(Plan):
         XT = xt if xt is not None else (
             self._xt_cache.get(key) if self.amortized else None)
         spmv_res, trans_res = sparse_baseline.csrmv_via_explicit_transpose(
-            p.X, inter, self.ctx, XT=XT)
+            p.X, inter, self.ctx, XT=XT,
+            profile=xt_profile if XT is not None else None)
         if self.amortized and XT is None:
             # build and cache, but do not charge the (amortized) transpose
             csc = trans_res.output if trans_res is not None else None
@@ -193,11 +214,13 @@ class BidmatGpuPlan(Plan):
     ctx: GpuContext = field(default_factory=lambda: DEFAULT_CONTEXT)
     name = "bidmat-gpu"
 
-    def evaluate(self, p: GenericPattern) -> KernelResult:
+    def evaluate(self, p: GenericPattern, *,
+                 profile=None) -> KernelResult:
         steps: list[KernelResult] = []
         if p.is_sparse:
             if p.inner:
-                r1 = sparse_baseline.bidmat_spmv(p.X, p.y, self.ctx)
+                r1 = sparse_baseline.bidmat_spmv(p.X, p.y, self.ctx,
+                                                 profile=profile)
                 steps.append(r1)
                 inter = r1.output
                 if p.v is not None:
@@ -206,11 +229,13 @@ class BidmatGpuPlan(Plan):
                     inter = r2.output
             else:
                 inter = p.y
-            r = sparse_baseline.bidmat_spmv_transpose(p.X, inter, self.ctx)
+            r = sparse_baseline.bidmat_spmv_transpose(p.X, inter, self.ctx,
+                                                      profile=profile)
         else:
             Xd = np.asarray(p.X, dtype=np.float64)
             if p.inner:
-                r1 = dense_baseline.bidmat_gemv_n(Xd, p.y, self.ctx)
+                r1 = dense_baseline.bidmat_gemv_n(Xd, p.y, self.ctx,
+                                                  profile=profile)
                 steps.append(r1)
                 inter = r1.output
                 if p.v is not None:
@@ -219,7 +244,8 @@ class BidmatGpuPlan(Plan):
                     inter = r2.output
             else:
                 inter = p.y
-            r = dense_baseline.bidmat_gemv_t(Xd, inter, self.ctx)
+            r = dense_baseline.bidmat_gemv_t(Xd, inter, self.ctx,
+                                             profile=profile)
         steps.append(r)
         out = r.output
         if p.alpha != 1.0:

@@ -81,6 +81,53 @@ def warp_segment_transactions(row_nnz: np.ndarray, itemsize: int = DOUBLE,
     return float(per_group.sum() + extra)
 
 
+@dataclass(frozen=True)
+class SegmentPassTemplate:
+    """Structure-invariant transaction counts for one CSR row pass.
+
+    For a fixed row-length distribution and warp partitioning, one pass over
+    the matrix touches the ``values`` (8 B) and ``col_idx`` (4 B) streams; the
+    per-pass transaction counts depend only on structure, so kernels that
+    re-walk the same matrix every iteration can compute them once.  The
+    stored numbers are exactly ``warp_segment_transactions(row_nnz, 8, g)``
+    and ``(..., 4, g)`` — same grouping, same rounding — so templated and
+    direct accounting agree to the bit.
+    """
+
+    tx_values: float      # 8-byte stream (doubles)
+    tx_col_idx: float     # 4-byte stream (device column indices)
+
+    @property
+    def pass_transactions(self) -> float:
+        """Total for one full pass over values + column indices."""
+        return self.tx_values + self.tx_col_idx
+
+
+def warp_segment_template(row_nnz: np.ndarray, rows_per_group: int = 16,
+                          transaction_bytes: int = 128
+                          ) -> SegmentPassTemplate:
+    """Profile-returning variant of :func:`warp_segment_transactions`.
+
+    Computes the per-group nnz once and derives both itemsize counts from
+    it, instead of re-padding and re-reducing the row-length array twice per
+    kernel call.
+    """
+    lengths = np.asarray(row_nnz, dtype=np.int64)
+    if lengths.size == 0:
+        return SegmentPassTemplate(0.0, 0.0)
+    g = max(1, int(rows_per_group))
+    pad = (-lengths.size) % g
+    if pad:
+        lengths = np.concatenate([lengths, np.zeros(pad, dtype=np.int64)])
+    group_nnz = lengths.reshape(-1, g).sum(axis=1)
+    extra = np.count_nonzero(group_nnz)
+    tx = []
+    for itemsize in (DOUBLE, 4):
+        per_group = np.ceil(group_nnz * itemsize / transaction_bytes)
+        tx.append(float(per_group.sum() + extra))
+    return SegmentPassTemplate(tx[0], tx[1])
+
+
 def uncoalesced_transactions(n_accesses: float) -> float:
     """Transactions for fully scattered accesses (one line per access).
 
@@ -166,6 +213,21 @@ class CacheModel:
                             np.minimum(1.0, budget / np.maximum(row_bytes, 1)),
                             1.0)
         return frac
+
+    def second_pass_miss_weight(self, row_nnz: np.ndarray,
+                                active_vectors_per_sm: int,
+                                itemsize: int = DOUBLE) -> float:
+        """nnz-weighted miss fraction of the second pass over each row.
+
+        The scalar the fused kernels actually multiply into their re-read
+        traffic: ``sum(row_nnz * (1 - hit)) / max(1, nnz)``.  Structure- and
+        device-dependent only, so a kernel profile computes it once per
+        (matrix, params, device) and reuses it on every warm call.
+        """
+        nnz = np.asarray(row_nnz, dtype=np.float64)
+        hit = self.second_pass_hit_fraction(nnz, active_vectors_per_sm,
+                                            itemsize)
+        return float((nnz * (1.0 - hit)).sum()) / max(1.0, float(nnz.sum()))
 
     def texture_hit_ratio(self) -> float:
         """Hit ratio for a read-only vector bound to texture memory."""

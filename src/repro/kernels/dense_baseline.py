@@ -6,9 +6,16 @@ memory.  ``dgemv`` in normal mode is bandwidth-optimal; transpose mode tiles
 ``X`` through shared memory, where the column-strided accesses cause bank
 conflicts (the effect the paper cites when motivating its register-based
 scheme) and the row-major-by-column walk loses some coalescing efficiency.
+
+:class:`GemvProfile` precomputes the launch shape and counter scalars shared
+by all four operators — thin compared with the sparse profiles (dense
+counters are closed-form), but it keeps the warm engine path uniform: every
+kernel family resolves its structure-invariant state once per matrix.
 """
 
 from __future__ import annotations
+
+from dataclasses import dataclass
 
 import numpy as np
 
@@ -34,27 +41,69 @@ def _check(X: np.ndarray, vec: np.ndarray, axis: int, name: str) -> None:
         raise ValueError(f"{name} must have shape ({X.shape[axis]},)")
 
 
+@dataclass
+class GemvProfile:
+    """Structure-invariant counter template for the GEMV operator family."""
+
+    launch: LaunchConfig
+    occupancy_fraction: float
+    m: int
+    n: int
+    load_mn: float      # coalesced m*n doubles (one full pass over X)
+    m_stream: float     # coalesced m doubles
+    n_stream: float     # coalesced n doubles
+    tile_replays: int   # bank-conflict replays for the transpose tile
+
+    @property
+    def nbytes(self) -> int:
+        return 256
+
+
+def profile_gemv(X: np.ndarray,
+                 ctx: GpuContext = DEFAULT_CONTEXT) -> GemvProfile:
+    """One-time counter-template build for ``gemv_n``/``gemv_t``/BIDMat."""
+    X = np.asarray(X)
+    if X.ndim != 2:
+        raise ValueError("X must be 2-D")
+    m, n = X.shape
+    launch = _dense_launch(m, ctx)
+    return GemvProfile(
+        launch=launch,
+        occupancy_fraction=(ctx.occupancy_for(launch).fraction(ctx.device)),
+        m=m, n=n,
+        load_mn=coalesced_transactions(m * n * _D),
+        m_stream=coalesced_transactions(m * _D),
+        n_stream=coalesced_transactions(n * _D),
+        tile_replays=shared_bank_conflict_replays(stride_elements=8),
+    )
+
+
 def gemv_n(X: np.ndarray, y: np.ndarray,
-           ctx: GpuContext = DEFAULT_CONTEXT) -> KernelResult:
+           ctx: GpuContext = DEFAULT_CONTEXT,
+           profile: GemvProfile | None = None) -> KernelResult:
     """cuBLAS-like ``X @ y`` (row-parallel, fully coalesced)."""
     X = np.asarray(X, dtype=np.float64)
     y = np.asarray(y, dtype=np.float64)
     _check(X, y, 1, "y")
     m, n = X.shape
+    if profile is None:
+        profile = profile_gemv(X, ctx)
+    pr = profile
     out = X @ y
     c = PerfCounters()
-    c.global_load_transactions = (coalesced_transactions(m * n * _D)
-                                  + coalesced_transactions(n * _D))
-    c.global_store_transactions = coalesced_transactions(m * _D)
+    c.global_load_transactions = pr.load_mn + pr.n_stream
+    c.global_store_transactions = pr.m_stream
     c.flops = 2.0 * m * n
     c.shared_accesses = m / 4
     c.kernel_launches = 1
     c.barriers = 1
-    return finish(ctx, out, c, _dense_launch(m, ctx), "cublas.gemv_n")
+    return finish(ctx, out, c, pr.launch, "cublas.gemv_n",
+                  occupancy_fraction=pr.occupancy_fraction)
 
 
 def gemv_t(X: np.ndarray, p: np.ndarray,
-           ctx: GpuContext = DEFAULT_CONTEXT) -> KernelResult:
+           ctx: GpuContext = DEFAULT_CONTEXT,
+           profile: GemvProfile | None = None) -> KernelResult:
     """cuBLAS-like ``X.T @ p`` via shared-memory tiling.
 
     Charges the transpose tile's bank-conflict replays (column-strided
@@ -65,28 +114,29 @@ def gemv_t(X: np.ndarray, p: np.ndarray,
     p = np.asarray(p, dtype=np.float64)
     _check(X, p, 0, "p")
     m, n = X.shape
+    if profile is None:
+        profile = profile_gemv(X, ctx)
+    pr = profile
     out = X.T @ p
     c = PerfCounters()
-    c.global_load_transactions = (
-        1.15 * coalesced_transactions(m * n * _D)   # tile walk overhead
-        + coalesced_transactions(m * _D)
-    )
-    c.global_store_transactions = coalesced_transactions(n * _D)
+    c.global_load_transactions = 1.15 * pr.load_mn + pr.m_stream
+    c.global_store_transactions = pr.n_stream
     c.flops = 2.0 * m * n
     # one shared access per element through the tile; column-strided reads
     # conflict (stride 8 doubles across 32 4-byte banks -> 16-way conflict)
-    replays = shared_bank_conflict_replays(stride_elements=8)
     c.shared_accesses = m * n / 32
-    c.shared_bank_conflicts = replays * m * n / 32
+    c.shared_bank_conflicts = pr.tile_replays * m * n / 32
     c.kernel_launches = 1
     c.barriers = max(1.0, m * n / 32768)   # per-tile barriers
-    return finish(ctx, out, c, _dense_launch(m, ctx), "cublas.gemv_t")
+    return finish(ctx, out, c, pr.launch, "cublas.gemv_t",
+                  occupancy_fraction=pr.occupancy_fraction)
 
 
 def bidmat_gemv_n(X: np.ndarray, y: np.ndarray,
-                  ctx: GpuContext = DEFAULT_CONTEXT) -> KernelResult:
+                  ctx: GpuContext = DEFAULT_CONTEXT,
+                  profile: GemvProfile | None = None) -> KernelResult:
     """BIDMat's dense MV — comparable to cuBLAS in normal mode."""
-    res = gemv_n(X, y, ctx)
+    res = gemv_n(X, y, ctx, profile=profile)
     res.counters.global_load_transactions *= 1.05
     res.time_ms = ctx.cost_model.time_ms(res.counters, res.occupancy_fraction, res.bandwidth_derate)
     res.name = "bidmat.gemv_n"
@@ -94,7 +144,8 @@ def bidmat_gemv_n(X: np.ndarray, y: np.ndarray,
 
 
 def bidmat_gemv_t(X: np.ndarray, p: np.ndarray,
-                  ctx: GpuContext = DEFAULT_CONTEXT) -> KernelResult:
+                  ctx: GpuContext = DEFAULT_CONTEXT,
+                  profile: GemvProfile | None = None) -> KernelResult:
     """BIDMat's transpose MV: a clean second pass without the cuBLAS tile
     conflicts (BIDMat stores partials per thread and reduces), costing close
     to one extra full read of ``X``."""
@@ -102,13 +153,16 @@ def bidmat_gemv_t(X: np.ndarray, p: np.ndarray,
     p = np.asarray(p, dtype=np.float64)
     _check(X, p, 0, "p")
     m, n = X.shape
+    if profile is None:
+        profile = profile_gemv(X, ctx)
+    pr = profile
     out = X.T @ p
     c = PerfCounters()
-    c.global_load_transactions = (coalesced_transactions(m * n * _D)
-                                  + coalesced_transactions(m * _D))
-    c.global_store_transactions = coalesced_transactions(n * _D) * 4
+    c.global_load_transactions = pr.load_mn + pr.m_stream
+    c.global_store_transactions = pr.n_stream * 4
     c.flops = 2.0 * m * n
     c.shared_accesses = m * n / 32
     c.kernel_launches = 1
     c.barriers = 1
-    return finish(ctx, out, c, _dense_launch(m, ctx), "bidmat.gemv_t")
+    return finish(ctx, out, c, pr.launch, "bidmat.gemv_t",
+                  occupancy_fraction=pr.occupancy_fraction)

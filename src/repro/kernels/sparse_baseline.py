@@ -14,20 +14,27 @@ These model the operator-level strategy the paper compares against:
   quantifies.
 * :func:`bidmat_spmv` / :func:`bidmat_spmv_transpose` — BIDMat's GPU kernels,
   which the paper found to perform "similar to cuSPARSE".
+
+Like the fused kernels, every structure-dependent accounting term lives in
+a :class:`CsrmvProfile` built once per (matrix, device, ctx flags); calls
+without a cached profile build one inline, so profiled and unprofiled
+results are identical by construction.
 """
 
 from __future__ import annotations
 
+from dataclasses import dataclass
+
 import numpy as np
 
-from ..gpu.atomics import contended_chain
+from ..gpu.atomics import ContentionProfile, contention_profile
 from ..gpu.counters import PerfCounters
 from ..gpu.launch import LaunchConfig, grid_for_rows
 from ..gpu.memory import (coalesced_transactions, gather_transactions,
-                          warp_segment_transactions)
+                          warp_segment_template)
 from ..sparse.csc import csr_to_csc
 from ..sparse.csr import CsrMatrix
-from ..sparse.ops import spmv, spmv_t
+from ..sparse.ops import SpmvPlan
 from .base import (DEFAULT_CONTEXT, SPARSE_STREAM_DERATE, GpuContext,
                    KernelResult, finish)
 
@@ -44,10 +51,16 @@ def vector_gather_transactions(X: CsrMatrix, ctx: GpuContext,
     so after compulsory misses most gathers hit cache; texture binding
     (the fused kernel's trick) raises the hit rate further.
     """
-    n = X.n
-    cold_lines = coalesced_transactions(n * _D)
     raw = gather_transactions(X.col_idx, itemsize=_D,
                               warp_size=ctx.device.warp_size)
+    return _gather_from_raw(X, ctx, raw, texture)
+
+
+def _gather_from_raw(X: CsrMatrix, ctx: GpuContext, raw: float,
+                     texture: bool) -> float:
+    """Fold the (expensive, structure-only) raw line count into a hit model."""
+    n = X.n
+    cold_lines = coalesced_transactions(n * _D)
     vec_bytes = n * _D
     if texture:
         hit = ctx.cache.texture_hit_ratio()
@@ -70,45 +83,53 @@ def _csrmv_launch(X: CsrMatrix, ctx: GpuContext) -> LaunchConfig:
     return LaunchConfig(grid, bs, registers_per_thread=32, vector_size=vs)
 
 
-def csrmv(X: CsrMatrix, y: np.ndarray,
-          ctx: GpuContext = DEFAULT_CONTEXT,
-          texture: bool = False) -> KernelResult:
-    """cuSPARSE-like ``X @ y`` (CSR-vector with warp reduction)."""
-    out = spmv(X, y)
-    launch = _csrmv_launch(X, ctx)
-    rows_per_warp = max(1, ctx.device.warp_size // launch.vector_size)
-    c = PerfCounters()
-    row_nnz = X.row_nnz
-    c.global_load_transactions = (
-        warp_segment_transactions(row_nnz, _D, rows_per_warp)   # values
-        + warp_segment_transactions(row_nnz, _I, rows_per_warp)  # col idx
-        + coalesced_transactions((X.m + 1) * _I)   # row offsets
-        + vector_gather_transactions(X, ctx, texture)
-    )
-    c.global_store_transactions = coalesced_transactions(X.m * _D)
-    c.flops = 2.0 * X.nnz
-    c.shared_accesses = X.m / 4        # warp-reduction spill per row
-    c.kernel_launches = 1
-    c.barriers = 1
-    return finish(ctx, out, c, launch, "cusparse.csrmv",
-                  bandwidth_derate=SPARSE_STREAM_DERATE)
+@dataclass
+class CsrmvProfile:
+    """Structure-invariant counter template for the cuSPARSE-style kernels.
 
-
-def csrmv_transpose(X: CsrMatrix, p: np.ndarray,
-                    ctx: GpuContext = DEFAULT_CONTEXT) -> KernelResult:
-    """cuSPARSE-like transpose-mode SpMV: ``X^T @ p`` on the CSR arrays.
-
-    Structural cost story (cuSPARSE is closed-source; the paper infers the
-    behaviour from profiler counters): one coalesced pass over values and
-    column indices, an extra pass's worth of traffic to recover row ids and
-    manage per-column semaphores, and one global atomic per non-zero into the
-    output — serialized by hot columns.
+    Shared by :func:`csrmv`, :func:`csrmv_transpose`, :func:`csr2csc_kernel`
+    and the BIDMat variants: they all walk the same CSR arrays under the
+    same launch shape, so one inspection serves the whole operator family.
+    Both texture states of the y-gather are precomputed because ``texture``
+    is a per-call flag, not a structural property.
     """
-    out = spmv_t(X, p)
+
+    launch: LaunchConfig
+    occupancy_fraction: float
+    spmv_plan: SpmvPlan
+    m: int
+    n: int
+    nnz: int
+    tx_values: float        # values stream, warp-segment counted
+    tx_col_idx: float       # col_idx stream, warp-segment counted
+    rowoff_stream: float    # coalesced (m+1) ints
+    coloff_stream: float    # coalesced (n+1) ints (csr2csc offsets)
+    gather_plain: float     # y gathers through L2
+    gather_texture: float   # y gathers through the texture path
+    m_stream: float         # coalesced m doubles (p / output)
+    n_stream: float         # coalesced n doubles
+    rowid_stream: float     # transpose mode: row-id expansion pass
+    sem_traffic: float      # transpose mode: semaphore/output round trips
+    recovery: float         # transpose mode: binary-search row recovery
+    contention: ContentionProfile   # column-histogram atomic contention
+
+    @property
+    def row_pass(self) -> float:
+        return self.tx_values + self.tx_col_idx
+
+    @property
+    def nbytes(self) -> int:
+        return int(self.spmv_plan.nbytes) + 512
+
+
+def profile_csrmv(X: CsrMatrix, ctx: GpuContext = DEFAULT_CONTEXT,
+                  spmv_plan: SpmvPlan | None = None) -> CsrmvProfile:
+    """One-time structure inspection for the cuSPARSE-style kernel family."""
     launch = _csrmv_launch(X, ctx)
     rows_per_warp = max(1, ctx.device.warp_size // launch.vector_size)
-    c = PerfCounters()
-    row_nnz = X.row_nnz
+    seg = warp_segment_template(X.row_nnz, rows_per_warp)
+    raw = gather_transactions(X.col_idx, itemsize=_D,
+                              warp_size=ctx.device.warp_size)
     nnz = X.nnz
     l2 = ctx.device.l2_cache_bytes
 
@@ -128,76 +149,145 @@ def csrmv_transpose(X: CsrMatrix, p: np.ndarray,
     miss_frac = min(1.0, max(0.03, 1.0 - (l2 / 2) / max(1.0, rowoff_bytes)))
     recovery = probes * miss_frac * nnz
 
-    c.global_load_transactions = (
-        warp_segment_transactions(row_nnz, _D, rows_per_warp)    # values
-        + warp_segment_transactions(row_nnz, _I, rows_per_warp)  # col idx
-        + coalesced_transactions(nnz * _D)             # row-id expansion pass
-        + coalesced_transactions(X.m * _D)             # p
-        + sem_traffic + recovery
+    return CsrmvProfile(
+        launch=launch,
+        occupancy_fraction=ctx.occupancy_for(launch).fraction(ctx.device),
+        spmv_plan=spmv_plan if spmv_plan is not None else SpmvPlan(X),
+        m=X.m, n=X.n, nnz=nnz,
+        tx_values=seg.tx_values,
+        tx_col_idx=seg.tx_col_idx,
+        rowoff_stream=coalesced_transactions((X.m + 1) * _I),
+        coloff_stream=coalesced_transactions((X.n + 1) * _I),
+        gather_plain=_gather_from_raw(X, ctx, raw, texture=False),
+        gather_texture=_gather_from_raw(X, ctx, raw, texture=True),
+        m_stream=coalesced_transactions(X.m * _D),
+        n_stream=coalesced_transactions(X.n * _D),
+        rowid_stream=coalesced_transactions(nnz * _D),
+        sem_traffic=sem_traffic,
+        recovery=recovery,
+        contention=contention_profile(X.column_counts()),
     )
-    c.global_store_transactions = sem_traffic           # lock release/update
-    c.atomic_global_ops = nnz
-    # semaphore-guarded column updates serialize along hot columns
-    c.atomic_lock_chain = contended_chain(nnz, X.column_counts())
-    c.flops = 2.0 * nnz
+
+
+def csrmv(X: CsrMatrix, y: np.ndarray,
+          ctx: GpuContext = DEFAULT_CONTEXT,
+          texture: bool = False,
+          profile: CsrmvProfile | None = None) -> KernelResult:
+    """cuSPARSE-like ``X @ y`` (CSR-vector with warp reduction)."""
+    if profile is None:
+        profile = profile_csrmv(X, ctx)
+    pr = profile
+    out = pr.spmv_plan.spmv(y)
+    c = PerfCounters()
+    c.global_load_transactions = (
+        pr.tx_values                       # values
+        + pr.tx_col_idx                    # col idx
+        + pr.rowoff_stream                 # row offsets
+        + (pr.gather_texture if texture else pr.gather_plain)
+    )
+    c.global_store_transactions = pr.m_stream
+    c.flops = 2.0 * pr.nnz
+    c.shared_accesses = pr.m / 4       # warp-reduction spill per row
     c.kernel_launches = 1
     c.barriers = 1
-    return finish(ctx, out, c, launch, "cusparse.csrmv_transpose",
+    return finish(ctx, out, c, pr.launch, "cusparse.csrmv",
+                  occupancy_fraction=pr.occupancy_fraction,
+                  bandwidth_derate=SPARSE_STREAM_DERATE)
+
+
+def csrmv_transpose(X: CsrMatrix, p: np.ndarray,
+                    ctx: GpuContext = DEFAULT_CONTEXT,
+                    profile: CsrmvProfile | None = None) -> KernelResult:
+    """cuSPARSE-like transpose-mode SpMV: ``X^T @ p`` on the CSR arrays.
+
+    Structural cost story (cuSPARSE is closed-source; the paper infers the
+    behaviour from profiler counters): one coalesced pass over values and
+    column indices, an extra pass's worth of traffic to recover row ids and
+    manage per-column semaphores, and one global atomic per non-zero into the
+    output — serialized by hot columns.
+    """
+    if profile is None:
+        profile = profile_csrmv(X, ctx)
+    pr = profile
+    out = pr.spmv_plan.spmv_t(p)
+    c = PerfCounters()
+    c.global_load_transactions = (
+        pr.tx_values                       # values
+        + pr.tx_col_idx                    # col idx
+        + pr.rowid_stream                  # row-id expansion pass
+        + pr.m_stream                      # p
+        + pr.sem_traffic + pr.recovery
+    )
+    c.global_store_transactions = pr.sem_traffic   # lock release/update
+    c.atomic_global_ops = pr.nnz
+    # semaphore-guarded column updates serialize along hot columns
+    c.atomic_lock_chain = pr.contention.chain(pr.nnz)
+    c.flops = 2.0 * pr.nnz
+    c.kernel_launches = 1
+    c.barriers = 1
+    return finish(ctx, out, c, pr.launch, "cusparse.csrmv_transpose",
+                  occupancy_fraction=pr.occupancy_fraction,
                   bandwidth_derate=SPARSE_STREAM_DERATE)
 
 
 def csr2csc_kernel(X: CsrMatrix,
-                   ctx: GpuContext = DEFAULT_CONTEXT) -> KernelResult:
+                   ctx: GpuContext = DEFAULT_CONTEXT,
+                   profile: CsrmvProfile | None = None) -> KernelResult:
     """Explicit device-side transposition (cuSPARSE ``csr2csc``).
 
     Counting-sort structure: a histogram pass (one global atomic per nnz),
     a prefix sum over columns, and a scatter pass whose writes are inherently
     uncoalesced (destination order is column-major).
     """
+    if profile is None:
+        profile = profile_csrmv(X, ctx)
+    pr = profile
     csc = csr_to_csc(X)
-    nnz = X.nnz
-    launch = _csrmv_launch(X, ctx)
-    rows_per_warp = max(1, ctx.device.warp_size // launch.vector_size)
+    nnz = pr.nnz
     c = PerfCounters()
     c.global_load_transactions = (
-        2 * warp_segment_transactions(X.row_nnz, _D, rows_per_warp)
-        + 2 * warp_segment_transactions(X.row_nnz, _I, rows_per_warp)
-        + coalesced_transactions((X.n + 1) * _I)   # offsets
+        2 * pr.tx_values
+        + 2 * pr.tx_col_idx
+        + pr.coloff_stream                 # offsets
     )
     # scatter: each nnz writes value+row-id to an uncoalesced position
-    c.global_store_transactions = nnz * 2 * 0.25 + \
-        coalesced_transactions((X.n + 1) * _I)
+    c.global_store_transactions = nnz * 2 * 0.25 + pr.coloff_stream
     c.atomic_global_ops = nnz                          # histogram pass
-    c.atomic_cas_chain = contended_chain(nnz, X.column_counts())
+    c.atomic_cas_chain = pr.contention.chain(nnz)
     c.kernel_launches = 3                           # histogram, scan, scatter
     c.barriers = 3
-    return finish(ctx, csc, c, launch, "cusparse.csr2csc",
+    return finish(ctx, csc, c, pr.launch, "cusparse.csr2csc",
+                  occupancy_fraction=pr.occupancy_fraction,
                   bandwidth_derate=SPARSE_STREAM_DERATE)
 
 
 def csrmv_via_explicit_transpose(X: CsrMatrix, p: np.ndarray,
                                  ctx: GpuContext = DEFAULT_CONTEXT,
-                                 XT: CsrMatrix | None = None
+                                 XT: CsrMatrix | None = None,
+                                 profile: CsrmvProfile | None = None
                                  ) -> tuple[KernelResult, KernelResult | None]:
     """NVIDIA's recommended route: ``csr2csc`` once, then plain ``csrmv``.
 
     Returns ``(spmv_result, transpose_result_or_None)``; pass a pre-built
-    ``XT`` to model the amortized steady state.
+    ``XT`` to model the amortized steady state.  ``profile``, when given,
+    is the :class:`CsrmvProfile` of the *transposed* matrix (the operand of
+    the steady-state ``csrmv``).
     """
     trans = None
     if XT is None:
         trans = csr2csc_kernel(X, ctx)
         csc = trans.output
         XT = CsrMatrix((X.n, X.m), csc.values, csc.row_idx, csc.col_off)
-    res = csrmv(XT, p, ctx)
+    res = csrmv(XT, p, ctx, profile=profile)
     res.name = "cusparse.csrmv(X^T explicit)"
     return res, trans
 
 
 def bidmat_spmv(X: CsrMatrix, y: np.ndarray,
-                ctx: GpuContext = DEFAULT_CONTEXT) -> KernelResult:
+                ctx: GpuContext = DEFAULT_CONTEXT,
+                profile: CsrmvProfile | None = None) -> KernelResult:
     """BIDMat's GPU SpMV — measured "similar to cuSPARSE" by the paper."""
-    res = csrmv(X, y, ctx)
+    res = csrmv(X, y, ctx, profile=profile)
     res.counters.global_load_transactions *= 1.08   # slightly less tuned
     res.time_ms = ctx.cost_model.time_ms(res.counters,
                                          res.occupancy_fraction,
@@ -207,9 +297,10 @@ def bidmat_spmv(X: CsrMatrix, y: np.ndarray,
 
 
 def bidmat_spmv_transpose(X: CsrMatrix, p: np.ndarray,
-                          ctx: GpuContext = DEFAULT_CONTEXT) -> KernelResult:
+                          ctx: GpuContext = DEFAULT_CONTEXT,
+                          profile: CsrmvProfile | None = None) -> KernelResult:
     """BIDMat's GPU transpose SpMV (same per-nnz atomic strategy)."""
-    res = csrmv_transpose(X, p, ctx)
+    res = csrmv_transpose(X, p, ctx, profile=profile)
     res.counters.global_load_transactions *= 0.9    # no semaphore pass
     res.counters.atomic_lock_chain *= 0.7           # plain CAS, no locks
     res.time_ms = ctx.cost_model.time_ms(res.counters,

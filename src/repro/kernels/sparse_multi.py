@@ -12,6 +12,11 @@ per-nnz shared atomics and the final flush scale with k.  The win therefore
 approaches k x on load-bound inputs and saturates when the per-k terms take
 over — the ``bench_multi_rhs`` ablation shows the curve.  Shared-memory
 capacity bounds k: the mirrors need ``k * n`` doubles per block.
+
+The structure-invariant aggregates (row-pass transactions, gathers, the
+second-pass miss weight, the global contention chain) come from the same
+:class:`~repro.kernels.sparse_fused.SparseFusedProfile` as Algorithm 2 —
+only the cheap per-k scalar scaling happens per call.
 """
 
 from __future__ import annotations
@@ -22,12 +27,10 @@ from ..gpu.atomics import shared_atomic_batch
 from ..gpu.counters import PerfCounters
 from ..gpu.memory import coalesced_transactions
 from ..sparse.csr import CsrMatrix
-from ..sparse.ops import spmv, spmv_t
-from ..tuning.sparse_params import SparseParams, tune_sparse
+from ..tuning.sparse_params import SparseParams
 from .base import (DEFAULT_CONTEXT, SPARSE_STREAM_DERATE, GpuContext,
                    KernelResult, finish)
-from .sparse_baseline import vector_gather_transactions
-from .sparse_fused import _active_vectors_per_sm, _row_pass_loads
+from .sparse_fused import SparseFusedProfile, profile_sparse_fused
 
 _D = 8
 
@@ -44,7 +47,9 @@ def fused_pattern_multi(X: CsrMatrix, Y: np.ndarray,
                         Z: np.ndarray | None = None,
                         alpha: float = 1.0, beta: float = 0.0,
                         ctx: GpuContext = DEFAULT_CONTEXT,
-                        params: SparseParams | None = None) -> KernelResult:
+                        params: SparseParams | None = None,
+                        profile: SparseFusedProfile | None = None
+                        ) -> KernelResult:
     """``W[:, j] = alpha * X^T (V[:, j] ⊙ (X Y[:, j])) + beta * Z[:, j]``.
 
     ``Y`` is ``(n, k)``; ``V`` (optional) is ``(m, k)``; ``Z`` (required iff
@@ -68,34 +73,26 @@ def fused_pattern_multi(X: CsrMatrix, Y: np.ndarray,
         if Z.shape != (X.n, k):
             raise ValueError(f"Z must have shape ({X.n}, {k})")
 
-    if params is None:
-        params = tune_sparse(X, ctx.device)
-    launch = params.launch()
-    launch.validate(ctx.device)
+    if profile is None:
+        profile = profile_sparse_fused(X, ctx, params)
+    pr = profile
+    params = pr.params
 
     # ---- functional result --------------------------------------------------
     W = np.empty((X.n, k), dtype=np.float64)
     for j in range(k):
-        p = spmv(X, Y[:, j])
+        p = pr.spmv_plan.spmv(Y[:, j])
         if V is not None:
             p = p * V[:, j]
-        W[:, j] = alpha * spmv_t(X, p)
+        W[:, j] = alpha * pr.spmv_plan.spmv_t(p)
         if beta != 0.0:
             W[:, j] += beta * Z[:, j]
 
     # ---- event accounting: X once, per-k terms scaled ------------------------
     c = PerfCounters()
-    first_pass = _row_pass_loads(X, params.vector_size,
-                                 ctx.device.warp_size)
-    gathers = vector_gather_transactions(X, ctx,
-                                         texture=ctx.use_texture_cache)
-    hit = ctx.cache.second_pass_hit_fraction(
-        X.row_nnz, _active_vectors_per_sm(params))
-    miss_weight = float((X.row_nnz * (1.0 - hit)).sum()) \
-        / max(1.0, float(X.nnz))
     c.global_load_transactions = (
-        first_pass * (1.0 + miss_weight)     # X: one pass + cache misses
-        + gathers * k                        # y_j gathers
+        pr.first_pass * (1.0 + pr.miss_weight)   # X: one pass + cache misses
+        + pr.gather * k                          # y_j gathers
     )
     if V is not None:
         c.global_load_transactions += k * coalesced_transactions(X.m * _D)
@@ -114,16 +111,14 @@ def fused_pattern_multi(X: CsrMatrix, Y: np.ndarray,
         c.atomic_shared_ops += shm.ops
         c.atomic_shared_serialized += shm.serialized
         c.shared_accesses += 2 * k * X.n / 32 * params.grid_size
-        c.barriers += params.grid_size / max(
-            1, params.occupancy.blocks_per_sm * ctx.device.num_sms)
+        c.barriers += pr.block_barriers
         c.atomic_global_ops += params.grid_size * X.n * k
         c.atomic_cas_chain += params.grid_size
     else:
-        from ..gpu.atomics import contended_chain
         c.atomic_global_ops += k * X.nnz
-        c.atomic_cas_chain += k * contended_chain(X.nnz, X.column_counts())
+        c.atomic_cas_chain += k * pr.cas_chain_global
         c.global_store_transactions += 0.125 * k * X.nnz
     c.kernel_launches = 1
-    return finish(ctx, W, c, launch,
+    return finish(ctx, W, c, pr.launch,
                   f"fused.pattern_multi[k={k}]",
                   bandwidth_derate=SPARSE_STREAM_DERATE)

@@ -12,6 +12,8 @@ below ~4 nnz/row, vector wins above) is reproduced by the
 
 from __future__ import annotations
 
+from dataclasses import dataclass
+
 import numpy as np
 
 from ..gpu.counters import PerfCounters
@@ -19,7 +21,7 @@ from ..gpu.launch import LaunchConfig
 from ..gpu.memory import coalesced_transactions
 from ..gpu.balance import warp_idle_fraction
 from ..sparse.csr import CsrMatrix
-from ..sparse.ops import spmv
+from ..sparse.ops import SpmvPlan
 from .base import (DEFAULT_CONTEXT, SPARSE_STREAM_DERATE, GpuContext,
                    KernelResult, finish)
 from .sparse_baseline import vector_gather_transactions
@@ -60,24 +62,60 @@ def scalar_row_transactions(row_nnz: np.ndarray, itemsize: int,
     return coalesced_first + scattered_rest
 
 
-def csrmv_scalar(X: CsrMatrix, y: np.ndarray,
-                 ctx: GpuContext = DEFAULT_CONTEXT) -> KernelResult:
-    """CSR-scalar ``X @ y``: one thread per row, uncoalesced row walks."""
-    out = spmv(X, y)
+@dataclass
+class ScalarProfile:
+    """Structure-invariant counter template for the CSR-scalar kernel."""
+
+    launch: LaunchConfig
+    occupancy_fraction: float
+    spmv_plan: SpmvPlan
+    m: int
+    nnz: int
+    load_transactions: float   # values + col idx + row offsets + y gathers
+    m_stream: float            # coalesced m doubles (output)
+
+    @property
+    def nbytes(self) -> int:
+        return int(self.spmv_plan.nbytes) + 256
+
+
+def profile_csrmv_scalar(X: CsrMatrix, ctx: GpuContext = DEFAULT_CONTEXT,
+                         spmv_plan: SpmvPlan | None = None) -> ScalarProfile:
+    """One-time structure inspection for :func:`csrmv_scalar`."""
     launch = _scalar_launch(X.m, ctx)
-    c = PerfCounters()
     row_nnz = X.row_nnz
-    c.global_load_transactions = (
-        scalar_row_transactions(row_nnz, _D)         # values, scattered
+    loads = (
+        scalar_row_transactions(row_nnz, _D)          # values, scattered
         + scalar_row_transactions(row_nnz, _I) * 0.5  # col idx (2 per line)
         + coalesced_transactions((X.m + 1) * _I)      # row offsets
         + vector_gather_transactions(X, ctx)
     )
-    c.global_store_transactions = coalesced_transactions(X.m * _D)
-    c.flops = 2.0 * X.nnz
+    return ScalarProfile(
+        launch=launch,
+        occupancy_fraction=ctx.occupancy_for(launch).fraction(ctx.device),
+        spmv_plan=spmv_plan if spmv_plan is not None else SpmvPlan(X),
+        m=X.m, nnz=X.nnz,
+        load_transactions=loads,
+        m_stream=coalesced_transactions(X.m * _D),
+    )
+
+
+def csrmv_scalar(X: CsrMatrix, y: np.ndarray,
+                 ctx: GpuContext = DEFAULT_CONTEXT,
+                 profile: ScalarProfile | None = None) -> KernelResult:
+    """CSR-scalar ``X @ y``: one thread per row, uncoalesced row walks."""
+    if profile is None:
+        profile = profile_csrmv_scalar(X, ctx)
+    pr = profile
+    out = pr.spmv_plan.spmv(y)
+    c = PerfCounters()
+    c.global_load_transactions = pr.load_transactions
+    c.global_store_transactions = pr.m_stream
+    c.flops = 2.0 * pr.nnz
     c.kernel_launches = 1
     c.barriers = 1
-    res = finish(ctx, out, c, launch, "csr-scalar.spmv",
+    res = finish(ctx, out, c, pr.launch, "csr-scalar.spmv",
+                 occupancy_fraction=pr.occupancy_fraction,
                  bandwidth_derate=SPARSE_STREAM_DERATE)
     return res
 

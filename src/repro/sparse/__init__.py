@@ -5,11 +5,13 @@ from .csc import CscMatrix, csc_to_csr, csr_to_csc
 from .csr import CsrMatrix
 from .ell import EllMatrix, HybMatrix, ell_spmv, hyb_spmv
 from .generate import banded_csr, power_law_csr, random_csr
-from .ops import (fused_pattern_reference, row_norms_sq, spmm, spmv, spmv_t)
+from .ops import (SpmvPlan, fused_pattern_reference, row_norms_sq, spmm,
+                  spmv, spmv_t)
 
 __all__ = [
     "CooMatrix", "CscMatrix", "csc_to_csr", "csr_to_csc", "CsrMatrix",
     "EllMatrix", "HybMatrix", "ell_spmv", "hyb_spmv",
     "banded_csr", "power_law_csr", "random_csr",
-    "fused_pattern_reference", "row_norms_sq", "spmm", "spmv", "spmv_t",
+    "SpmvPlan", "fused_pattern_reference", "row_norms_sq", "spmm", "spmv",
+    "spmv_t",
 ]

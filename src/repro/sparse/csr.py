@@ -27,6 +27,7 @@ class CsrMatrix:
         self.values = np.ascontiguousarray(self.values, dtype=np.float64)
         self.col_idx = np.ascontiguousarray(self.col_idx, dtype=np.int64)
         self.row_off = np.ascontiguousarray(self.row_off, dtype=np.int64)
+        self._column_counts: np.ndarray | None = None
         self.validate()
 
     # --- invariants ---------------------------------------------------------
@@ -88,8 +89,22 @@ class CsrMatrix:
                 + self.row_off.size * index_size)
 
     def column_counts(self) -> np.ndarray:
-        """Histogram of non-zeros per column (feeds the atomic model)."""
-        return np.bincount(self.col_idx, minlength=self.n).astype(np.int64)
+        """Histogram of non-zeros per column (feeds the atomic model).
+
+        Computed lazily and cached on the instance: every global-variant
+        kernel call consults it, and it only depends on the structure
+        (``col_idx`` + shape).  The cache follows the engine's fingerprint
+        semantics — an in-place mutation of ``col_idx`` must be treated as
+        a *new* matrix (the engine's content fingerprint misses for exactly
+        that reason); this per-object cache is never invalidated in place.
+        The returned array is read-only because it is shared across calls.
+        """
+        if self._column_counts is None:
+            counts = np.bincount(self.col_idx,
+                                 minlength=self.n).astype(np.int64)
+            counts.flags.writeable = False
+            self._column_counts = counts
+        return self._column_counts
 
     # --- conversions ----------------------------------------------------------
     def to_dense(self) -> np.ndarray:

@@ -86,7 +86,8 @@ class TestInvalidation:
         y = _vec(small_csr.n)
         engine.evaluate(small_csr, y, strategy="cusparse-explicit")
         removed = engine.invalidate(small_csr)
-        assert removed == 2            # one plan entry + one transpose
+        # one plan entry + transpose + csrmv profile + spmv plan + XT profile
+        assert removed == 5
         engine.evaluate(small_csr, y, strategy="cusparse-explicit")
         s = engine.stats()
         assert s.plan_misses == 2 and s.transposes_built == 2
@@ -112,8 +113,10 @@ class TestArtifacts:
         s = engine.stats()
         XT = small_csr.transpose_csr()
         expected = XT.values.nbytes + XT.col_idx.nbytes + XT.row_off.nbytes
-        assert s.artifact_bytes == expected
-        assert s.bytes_cached >= expected
+        # the transpose plus the (smaller) kernel profiles and spmv plan
+        assert s.artifact_bytes >= expected
+        assert s.artifact_bytes <= expected + 64 * 1024
+        assert s.bytes_cached >= s.artifact_bytes
 
     def test_artifact_lru_bound(self):
         engine = PatternEngine(max_artifact_bytes=1)   # room for one only

@@ -94,3 +94,43 @@ class TestUtility:
         X = random_csr(120, 30, 0.2, rng=3, distinct=True)
         expected = (X.to_dense() ** 2).sum(axis=1)
         np.testing.assert_allclose(row_norms_sq(X), expected, rtol=1e-12)
+
+
+class TestVectorizedFormulations:
+    """Satellites of the kernel-profile PR: the vectorized rewrites must
+    match the element-at-a-time formulations they replaced, exactly."""
+
+    def test_row_norms_sq_matches_add_at(self):
+        # the old formulation accumulated with np.add.at over row ids
+        X = random_csr(150, 40, 0.25, rng=17)
+        old = np.zeros(X.m)
+        row_ids = np.repeat(np.arange(X.m), np.diff(X.row_off))
+        np.add.at(old, row_ids, X.values ** 2)
+        got = row_norms_sq(X)
+        np.testing.assert_allclose(got, old, rtol=0, atol=1e-12)
+
+    def test_row_norms_sq_empty_rows(self):
+        X = CsrMatrix((3, 2), np.array([2.0]), np.array([1]),
+                      np.array([0, 0, 1, 1]))
+        np.testing.assert_array_equal(row_norms_sq(X), [0.0, 4.0, 0.0])
+
+    def test_spmm_exactly_matches_per_column_spmv(self):
+        # the segmented-reduction spmm must be bit-identical to a column
+        # loop of spmv calls (same reduceat order per column)
+        rng = np.random.default_rng(23)
+        X = random_csr(90, 25, 0.2, rng=23)
+        B = rng.normal(size=(X.n, 4))
+        got = spmm(X, B)
+        for j in range(B.shape[1]):
+            assert np.array_equal(got[:, j], spmv(X, B[:, j])), f"col {j}"
+
+    def test_spmm_empty_matrix_and_zero_k(self):
+        X = CsrMatrix.empty((4, 3))
+        np.testing.assert_array_equal(spmm(X, np.ones((3, 2))),
+                                      np.zeros((4, 2)))
+        Y = random_csr(5, 3, 0.5, rng=1)
+        assert spmm(Y, np.ones((3, 0))).shape == (5, 0)
+
+    def test_spmm_wrong_rows_raises(self, small_csr):
+        with pytest.raises(ValueError):
+            spmm(small_csr, np.ones((small_csr.n + 1, 2)))
