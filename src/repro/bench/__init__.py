@@ -1,6 +1,6 @@
 """Benchmark harness reproducing every table and figure of the paper."""
 
-from . import engine_bench, figures, tables  # noqa: F401 - registry
+from . import engine_bench, figures, serve_bench, tables  # noqa: F401
 from .harness import REGISTRY, ExperimentResult, register, resolve_scale, \
     run_all
 

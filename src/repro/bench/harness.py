@@ -86,5 +86,6 @@ def register(name: str):
 
 def run_all(**kwargs) -> dict[str, ExperimentResult]:
     """Run every registered experiment (used by the report generator)."""
-    from . import engine_bench, figures, tables  # noqa: F401 - registry
+    from . import (engine_bench, figures, serve_bench,  # noqa: F401
+                   tables)
     return {name: fn(**kwargs) for name, fn in sorted(REGISTRY.items())}

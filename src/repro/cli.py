@@ -12,7 +12,12 @@ Commands:
   :class:`~repro.core.engine.PatternEngine` session cache and report
   hits/misses, bytes cached, and amortized-vs-cold model time;
 * ``generate`` — build and save a synthetic dataset (sweep point, KDD-like,
-  HIGGS-like).
+  HIGGS-like);
+* ``loadgen`` — synthesize a serving workload trace (Zipf-skewed matrix
+  popularity, Poisson arrivals, deadline spread) as a small JSON file;
+* ``serve`` — replay a workload trace through the micro-batching
+  :class:`~repro.serve.server.PatternServer` and report latency
+  percentiles, shedding/timeout counts, and live engine metrics.
 """
 
 from __future__ import annotations
@@ -20,6 +25,7 @@ from __future__ import annotations
 import argparse
 import os
 import sys
+import zipfile
 
 import numpy as np
 
@@ -181,6 +187,97 @@ def cmd_generate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _serve_config(args: argparse.Namespace):
+    from .serve import ServerConfig
+    return ServerConfig(
+        queue_capacity=args.queue_capacity, max_batch=args.max_batch,
+        batch_linger_ms=args.linger_ms, workers=args.workers,
+        engine_workers=args.engine_workers, policy=args.policy,
+        default_deadline_ms=args.default_deadline_ms)
+
+
+def _run_trace(args: argparse.Namespace, trace: dict) -> int:
+    from .core.engine import PatternEngine
+    from .serve import PatternServer, format_report, run_workload
+
+    engine = PatternEngine(max_plans=args.max_plans,
+                           max_artifact_bytes=args.max_artifact_bytes)
+    with PatternServer(engine, _serve_config(args)) as server:
+        report = run_workload(server, trace, verify=args.verify)
+        metrics_json = server.metrics_json()
+        metrics_prom = server.metrics_prometheus()
+    print(format_report(report))
+    for spec, text in ((args.metrics_json, metrics_json),
+                       (args.prometheus, metrics_prom)):
+        if spec == "-":
+            print(text)
+        elif spec:
+            with open(spec, "w") as f:
+                f.write(text if text.endswith("\n") else text + "\n")
+            print(f"wrote {spec}")
+    if args.verify and report["divergent"]:
+        print(f"{report['divergent']} outputs diverged from uncached "
+              "evaluation", file=sys.stderr)
+        return 1
+    return 0
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    from .serve import load_workload
+    if not os.path.exists(args.workload):
+        raise SystemExit(f"workload file not found: {args.workload}")
+    return _run_trace(args, load_workload(args.workload))
+
+
+def cmd_loadgen(args: argparse.Namespace) -> int:
+    from .serve import save_workload, synthesize_workload
+    trace = synthesize_workload(
+        matrices=args.matrices, requests=args.requests, zipf=args.zipf,
+        rows=args.rows, cols=args.cols, sparsity=args.sparsity,
+        rate_rps=args.rate, mode=args.mode, concurrency=args.concurrency,
+        deadline_ms=args.deadline_ms, deadline_spread=args.deadline_spread,
+        strategy=args.strategy, beta=args.beta, seed=args.seed)
+    save_workload(args.output, trace)
+    arrivals = "burst at t=0" if args.rate is None or args.mode == "closed" \
+        else f"Poisson at {args.rate:g} req/s"
+    print(f"wrote {args.output}: {args.requests} requests over "
+          f"{args.matrices} matrices ({args.rows}x{args.cols}:"
+          f"{args.sparsity:g}), Zipf({args.zipf:g}), {args.mode} loop, "
+          f"{arrivals}")
+    if args.run:
+        return _run_trace(args, trace)
+    return 0
+
+
+def _add_serve_run_flags(p: argparse.ArgumentParser) -> None:
+    """Server/engine knobs shared by ``serve`` and ``loadgen --run``."""
+    from .serve import POLICIES
+    p.add_argument("--policy", default="fingerprint", choices=list(POLICIES),
+                   help="micro-batching policy (default: fingerprint)")
+    p.add_argument("--workers", type=int, default=2,
+                   help="concurrent batches in flight")
+    p.add_argument("--engine-workers", type=int, default=1,
+                   help="threads inside evaluate_many per batch")
+    p.add_argument("--max-batch", type=int, default=16)
+    p.add_argument("--queue-capacity", type=int, default=256)
+    p.add_argument("--linger-ms", type=float, default=1.0,
+                   help="batch-fill linger before dispatch")
+    p.add_argument("--default-deadline-ms", type=float, default=None,
+                   help="deadline for requests that carry none")
+    p.add_argument("--max-plans", type=int, default=256,
+                   help="engine plan-LRU bound")
+    p.add_argument("--max-artifact-bytes", type=int,
+                   default=256 * 1024 * 1024,
+                   help="engine artifact-LRU byte budget")
+    p.add_argument("--verify", action="store_true",
+                   help="check every output bit-identically against "
+                        "uncached evaluation (slow; exits 1 on divergence)")
+    p.add_argument("--metrics-json", metavar="PATH",
+                   help="write the metrics snapshot as JSON ('-' = stdout)")
+    p.add_argument("--prometheus", metavar="PATH",
+                   help="write Prometheus text metrics ('-' = stdout)")
+
+
 def build_parser() -> argparse.ArgumentParser:
     ap = argparse.ArgumentParser(
         prog="repro", description=__doc__,
@@ -238,12 +335,51 @@ def build_parser() -> argparse.ArgumentParser:
     ge.add_argument("--targets", action="store_true",
                     help="save as dataset with regression targets")
     ge.set_defaults(fn=cmd_generate)
+
+    sv = sub.add_parser("serve",
+                        help="replay a workload trace through the "
+                             "micro-batching PatternServer")
+    sv.add_argument("workload", help="trace JSON from `repro loadgen`")
+    _add_serve_run_flags(sv)
+    sv.set_defaults(fn=cmd_serve)
+
+    lg = sub.add_parser("loadgen", help="synthesize a serving workload trace")
+    lg.add_argument("output", help="trace JSON path to write")
+    lg.add_argument("--matrices", type=int, default=8)
+    lg.add_argument("--requests", type=int, default=200)
+    lg.add_argument("--zipf", type=float, default=1.1,
+                    help="matrix-popularity skew exponent")
+    lg.add_argument("--rows", type=int, default=2000)
+    lg.add_argument("--cols", type=int, default=96)
+    lg.add_argument("--sparsity", type=float, default=0.05)
+    lg.add_argument("--rate", type=float, default=None,
+                    help="open-loop arrival rate in req/s (default: burst)")
+    lg.add_argument("--mode", default="open", choices=["open", "closed"])
+    lg.add_argument("--concurrency", type=int, default=8,
+                    help="closed-loop outstanding requests")
+    lg.add_argument("--deadline-ms", type=float, default=None)
+    lg.add_argument("--deadline-spread", type=float, default=0.0,
+                    help="uniform deadline spread fraction in [0, 1)")
+    lg.add_argument("--strategy", default="fused",
+                    choices=list(STRATEGIES))
+    lg.add_argument("--beta", type=float, default=1e-3)
+    lg.add_argument("--seed", type=int, default=0)
+    lg.add_argument("--run", action="store_true",
+                    help="also replay the trace through a server in-process")
+    _add_serve_run_flags(lg)
+    lg.set_defaults(fn=cmd_loadgen)
     return ap
 
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
-    return args.fn(args)
+    try:
+        return args.fn(args)
+    except (OSError, ValueError, KeyError, zipfile.BadZipFile) as exc:
+        # uniform contract: unreadable/corrupt inputs exit 1 with one line
+        # on stderr, never a traceback (tests/test_cli_errors.py)
+        print(f"repro {args.command}: {exc}", file=sys.stderr)
+        return 1
 
 
 if __name__ == "__main__":

@@ -160,7 +160,9 @@ class EngineStats:
     warm_calls: int = 0
     cold_model_ms: float = 0.0
     warm_model_ms: float = 0.0
+    batches: int = 0
     batch_requests: int = 0
+    batch_max_requests: int = 0
     batch_wall_ms: float = 0.0
 
     @property
@@ -203,7 +205,9 @@ class EngineStats:
         ]
         if self.batch_requests:
             lines.append(
-                f"batched:          {self.batch_requests} requests, "
+                f"batched:          {self.batch_requests} requests in "
+                f"{self.batches} batches (largest "
+                f"{self.batch_max_requests}), "
                 f"{self.batch_wall_ms:.2f} wall-ms total")
         return "\n".join(lines)
 
@@ -285,12 +289,22 @@ class PatternEngine:
                 out = list(pool.map(run, enumerate(items)))
         batch_wall = (time.perf_counter() - t0) * 1e3
         with self._lock:
+            self._stats.batches += 1
             self._stats.batch_requests += len(items)
+            self._stats.batch_max_requests = max(
+                self._stats.batch_max_requests, len(items))
             self._stats.batch_wall_ms += batch_wall
         return out
 
-    def stats(self) -> EngineStats:
-        """Point-in-time snapshot of cache counters and amortization."""
+    def snapshot(self) -> EngineStats:
+        """Consistent point-in-time snapshot of counters and cache sizes.
+
+        The whole snapshot — counter copy, LRU entry count, and the byte
+        totals — is assembled while holding the cache lock, so it can never
+        observe a cache mid-eviction (counters from before an eviction,
+        sizes from after).  Concurrent ``evaluate``/``evaluate_many``
+        callers are safe; see ``tests/test_engine_concurrency.py``.
+        """
         with self._lock:
             s = EngineStats(**{f: getattr(self._stats, f)
                                for f in self._stats.__dataclass_fields__})
@@ -299,6 +313,10 @@ class PatternEngine:
             s.bytes_cached = (self._artifact_bytes
                               + sum(e.nbytes for e in self._plans.values()))
         return s
+
+    def stats(self) -> EngineStats:
+        """Alias of :meth:`snapshot` (kept for the PR-1 API)."""
+        return self.snapshot()
 
     def invalidate(self, X: CsrMatrix | np.ndarray) -> int:
         """Drop every plan and artifact derived from ``X``; returns count."""

@@ -1,0 +1,33 @@
+"""``repro.serve`` — micro-batching pattern-evaluation serving layer.
+
+Turns the :class:`~repro.core.engine.PatternEngine` session cache into a
+long-lived service: bounded admission with load-shedding and deadlines, a
+fingerprint-aware micro-batcher that keeps same-matrix requests adjacent so
+cached profiles/plans/transposes are reused, a worker pool draining batches
+through ``evaluate_many``, and live metrics exportable as JSON or
+Prometheus text.  See DESIGN.md §3.3 for the architecture.
+"""
+
+from .batcher import POLICIES, form_batches
+from .client import ServeClient
+from .loadgen import (MODES, build_matrices, format_report, load_workload,
+                      materialize_request, materialize_requests, percentile,
+                      run_workload, save_workload, synthesize_workload,
+                      zipf_weights)
+from .metrics import Histogram, ServeMetrics
+from .queue import AdmissionQueue
+from .request import (STATUS_ERROR, STATUS_OK, STATUS_REJECTED, STATUS_SHED,
+                      STATUS_TIMEOUT, STATUSES, ServeFuture, ServeRequest,
+                      ServeResponse)
+from .server import PatternServer, ServerConfig
+
+__all__ = [
+    "POLICIES", "MODES", "STATUSES", "STATUS_OK", "STATUS_SHED",
+    "STATUS_TIMEOUT", "STATUS_REJECTED", "STATUS_ERROR",
+    "AdmissionQueue", "Histogram", "PatternServer", "ServeClient",
+    "ServeFuture", "ServeMetrics", "ServeRequest", "ServeResponse",
+    "ServerConfig", "build_matrices", "form_batches", "format_report",
+    "load_workload", "materialize_request", "materialize_requests",
+    "percentile", "run_workload", "save_workload", "synthesize_workload",
+    "zipf_weights",
+]

@@ -1,0 +1,48 @@
+"""In-process client for :class:`~repro.serve.server.PatternServer`.
+
+Mirrors the ``engine.evaluate`` keyword surface so tests and benchmarks can
+swap a direct engine call for a served one without reshaping arguments:
+
+    with PatternServer() as server:
+        client = ServeClient(server)
+        resp = client.evaluate(X, y, z=y, beta=1e-3)
+        assert resp.ok and resp.result is not None
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..sparse.csr import CsrMatrix
+from .request import ServeFuture, ServeRequest, ServeResponse
+from .server import PatternServer
+
+
+class ServeClient:
+    """Thin convenience wrapper building ServeRequests for one server."""
+
+    def __init__(self, server: PatternServer):
+        self.server = server
+
+    def submit(self, X: CsrMatrix | np.ndarray, y: np.ndarray, *,
+               v: np.ndarray | None = None, z: np.ndarray | None = None,
+               alpha: float = 1.0, beta: float = 0.0, inner: bool = True,
+               strategy: str = "auto", deadline_ms: float | None = None,
+               block: bool = False,
+               timeout: float | None = None) -> ServeFuture:
+        req = ServeRequest(X, y, v=v, z=z, alpha=alpha, beta=beta,
+                           inner=inner, strategy=strategy,
+                           deadline_ms=deadline_ms)
+        return self.server.submit(req, block=block, timeout=timeout)
+
+    def evaluate(self, X: CsrMatrix | np.ndarray, y: np.ndarray, *,
+                 wait_timeout: float | None = None,
+                 **kw) -> ServeResponse:
+        """Submit with backpressure and wait for the terminal response."""
+        return self.submit(X, y, block=True, **kw).result(wait_timeout)
+
+    def map(self, requests, block: bool = False,
+            wait_timeout: float | None = None) -> list[ServeResponse]:
+        """Submit a sequence of :class:`ServeRequest`, gather in order."""
+        futures = [self.server.submit(r, block=block) for r in requests]
+        return [f.result(wait_timeout) for f in futures]

@@ -1,0 +1,284 @@
+"""Workload traces and the open/closed-loop load generator.
+
+A *workload trace* is a plain-JSON description of a serving experiment:
+the matrices (as seeded synthetic specs, so a trace file is a few KB, not
+gigabytes of data), the request stream (which matrix, which vector seed,
+arrival offset, deadline), and the loop mode.  ``repro loadgen``
+synthesizes traces — fingerprint popularity follows a Zipf(s) law, arrival
+times a Poisson process at the configured rate, deadlines a uniform spread
+around the target — and ``repro serve`` (or :func:`run_workload`) replays
+them through a :class:`~repro.serve.server.PatternServer`:
+
+* **open loop** — requests are submitted at their trace arrival times
+  regardless of completions (non-blocking: a full queue sheds).  With no
+  ``rate_rps`` the trace is a *burst*: everything is offered at t=0, which
+  is the backlog-replay mode the serving benchmark uses.
+* **closed loop** — ``concurrency`` workers each keep one request
+  outstanding, submitting with backpressure; offered load adapts to
+  service capacity (no shedding, by construction).
+
+Every request is deterministic given the trace (seeded vectors), so a
+replay can be verified bit-identically against direct, uncached
+evaluation — the zero-divergence guarantee the benchmark asserts.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+
+import numpy as np
+
+from ..core.api import evaluate as evaluate_uncached
+from ..sparse.csr import CsrMatrix
+from ..sparse.generate import random_csr
+from .request import ServeRequest
+from .server import PatternServer
+
+TRACE_VERSION = 1
+MODES = ("open", "closed")
+
+
+# ----------------------------------------------------------------- synthesis
+def zipf_weights(k: int, s: float) -> np.ndarray:
+    """Normalized Zipf(s) popularity over ``k`` ranks (rank 1 hottest)."""
+    if k < 1:
+        raise ValueError("need at least one rank")
+    ranks = np.arange(1, k + 1, dtype=np.float64)
+    w = ranks ** -float(s)
+    return w / w.sum()
+
+
+def synthesize_workload(*, matrices: int = 8, requests: int = 200,
+                        zipf: float = 1.1, rows: int = 2000, cols: int = 96,
+                        sparsity: float = 0.05,
+                        rate_rps: float | None = None, mode: str = "open",
+                        concurrency: int = 8,
+                        deadline_ms: float | None = None,
+                        deadline_spread: float = 0.0,
+                        strategy: str = "fused", beta: float = 1e-3,
+                        seed: int = 0) -> dict:
+    """Build a JSON-able trace with Zipf-skewed fingerprint popularity."""
+    if mode not in MODES:
+        raise ValueError(f"mode must be one of {MODES}, got {mode!r}")
+    if matrices < 1 or requests < 1:
+        raise ValueError("need at least one matrix and one request")
+    if not 0.0 <= deadline_spread < 1.0:
+        raise ValueError("deadline_spread must be in [0, 1)")
+    rng = np.random.default_rng(seed)
+    mats = [{"name": f"m{i}", "spec": f"{rows}x{cols}:{sparsity}",
+             "seed": seed * 1000 + i} for i in range(matrices)]
+    weights = zipf_weights(matrices, zipf)
+    picks = rng.choice(matrices, size=requests, p=weights)
+    at = np.zeros(requests)
+    if rate_rps:
+        # Poisson arrivals: exponential inter-arrival gaps at rate_rps
+        at = np.cumsum(rng.exponential(1e3 / rate_rps, size=requests))
+    reqs = []
+    for i in range(requests):
+        dl = None
+        if deadline_ms is not None:
+            lo = deadline_ms * (1.0 - deadline_spread)
+            hi = deadline_ms * (1.0 + deadline_spread)
+            dl = float(rng.uniform(lo, hi))
+        reqs.append({"matrix": mats[int(picks[i])]["name"],
+                     "seed": int(rng.integers(0, 2**31)),
+                     "at_ms": float(at[i]),
+                     "deadline_ms": dl,
+                     "strategy": strategy,
+                     "beta": beta})
+    return {"version": TRACE_VERSION, "mode": mode,
+            "rate_rps": rate_rps, "concurrency": concurrency,
+            "zipf": zipf, "seed": seed,
+            "matrices": mats, "requests": reqs}
+
+
+def save_workload(path, trace: dict) -> None:
+    with open(path, "w") as f:
+        json.dump(trace, f, indent=2)
+        f.write("\n")
+
+
+def load_workload(path) -> dict:
+    """Read and validate a trace file (raises ``ValueError`` on bad shape)."""
+    with open(path) as f:
+        try:
+            trace = json.load(f)
+        except json.JSONDecodeError as exc:
+            raise ValueError(f"{path}: not valid JSON ({exc})") from None
+    if not isinstance(trace, dict):
+        raise ValueError(f"{path}: workload trace must be a JSON object")
+    version = trace.get("version")
+    if version != TRACE_VERSION:
+        raise ValueError(f"{path}: unsupported trace version {version!r} "
+                         f"(expected {TRACE_VERSION})")
+    if trace.get("mode") not in MODES:
+        raise ValueError(f"{path}: trace mode must be one of {MODES}")
+    names = set()
+    for m in trace.get("matrices", []):
+        for field in ("name", "spec", "seed"):
+            if field not in m:
+                raise ValueError(f"{path}: matrix entry missing {field!r}")
+        names.add(m["name"])
+    if not names:
+        raise ValueError(f"{path}: trace has no matrices")
+    if not trace.get("requests"):
+        raise ValueError(f"{path}: trace has no requests")
+    for r in trace["requests"]:
+        if r.get("matrix") not in names:
+            raise ValueError(f"{path}: request references unknown matrix "
+                             f"{r.get('matrix')!r}")
+    return trace
+
+
+def build_matrices(trace: dict) -> dict[str, CsrMatrix]:
+    """Materialize the trace's seeded synthetic matrices."""
+    out: dict[str, CsrMatrix] = {}
+    for m in trace["matrices"]:
+        dims, sparsity = m["spec"].split(":")
+        rows, cols = (int(v) for v in dims.lower().split("x"))
+        out[m["name"]] = random_csr(rows, cols, float(sparsity),
+                                    rng=int(m["seed"]))
+    return out
+
+
+def materialize_request(entry: dict, X: CsrMatrix) -> ServeRequest:
+    """Deterministic ServeRequest for one trace entry (seeded vectors)."""
+    rng = np.random.default_rng(int(entry["seed"]))
+    y = rng.normal(size=X.n)
+    beta = float(entry.get("beta", 0.0))
+    return ServeRequest(X, y, z=(y if beta != 0.0 else None), beta=beta,
+                        strategy=entry.get("strategy", "auto"),
+                        deadline_ms=entry.get("deadline_ms"))
+
+
+def materialize_requests(trace: dict,
+                         matrices: dict[str, CsrMatrix] | None = None
+                         ) -> list[ServeRequest]:
+    """All of a trace's requests, in trace order."""
+    if matrices is None:
+        matrices = build_matrices(trace)
+    return [materialize_request(e, matrices[e["matrix"]])
+            for e in trace["requests"]]
+
+
+# ------------------------------------------------------------------- running
+def percentile(values, q: float) -> float:
+    """Exact percentile (linear interpolation) of a value list."""
+    if not len(values):
+        return 0.0
+    return float(np.percentile(np.asarray(values, dtype=np.float64),
+                               q * 100.0))
+
+
+def run_workload(server: PatternServer, trace: dict,
+                 verify: bool = False) -> dict:
+    """Replay a trace through a running server; returns the latency report.
+
+    ``verify=True`` re-evaluates every completed request through uncached
+    :func:`repro.core.api.evaluate` and counts byte-level divergences
+    (always expected to be zero — the engine never caches numerics).
+    """
+    matrices = build_matrices(trace)
+    entries = trace["requests"]
+    requests = materialize_requests(trace, matrices)
+    mode = trace.get("mode", "open")
+    t0 = time.monotonic()
+
+    if mode == "closed":
+        concurrency = max(1, int(trace.get("concurrency") or 1))
+        responses: list = [None] * len(requests)
+        next_index = {"i": 0}
+        index_lock = threading.Lock()
+
+        def worker():
+            while True:
+                with index_lock:
+                    i = next_index["i"]
+                    if i >= len(requests):
+                        return
+                    next_index["i"] = i + 1
+                responses[i] = server.evaluate(requests[i])
+
+        threads = [threading.Thread(target=worker, daemon=True)
+                   for _ in range(concurrency)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+    else:
+        futures = []
+        for entry, req in zip(entries, requests):
+            due = t0 + float(entry.get("at_ms", 0.0)) / 1e3
+            delay = due - time.monotonic()
+            if delay > 0:
+                time.sleep(delay)
+            futures.append(server.submit(req, block=False))
+        responses = [f.result() for f in futures]
+    wall_s = time.monotonic() - t0
+
+    by_status: dict[str, int] = {}
+    latencies, waits, services = [], [], []
+    warm = 0
+    for resp in responses:
+        by_status[resp.status] = by_status.get(resp.status, 0) + 1
+        if resp.ok:
+            latencies.append(resp.latency_ms)
+            waits.append(resp.wait_ms)
+            services.append(resp.service_ms)
+            warm += bool(resp.cached)
+    completed = by_status.get("ok", 0)
+
+    divergent = 0
+    if verify:
+        for entry, req, resp in zip(entries, requests, responses):
+            if not resp.ok:
+                continue
+            ref = evaluate_uncached(req.X, req.y, v=req.v, z=req.z,
+                                    alpha=req.alpha, beta=req.beta,
+                                    strategy=req.strategy,
+                                    ctx=server.engine.ctx)
+            if not np.array_equal(resp.result.output, ref.output):
+                divergent += 1
+
+    return {
+        "mode": mode,
+        "requests": len(requests),
+        "by_status": by_status,
+        "completed": completed,
+        "wall_s": wall_s,
+        "throughput_rps": completed / wall_s if wall_s > 0 else 0.0,
+        "latency_ms": {"p50": percentile(latencies, 0.50),
+                       "p99": percentile(latencies, 0.99),
+                       "mean": (float(np.mean(latencies))
+                                if latencies else 0.0),
+                       "max": max(latencies, default=0.0)},
+        "wait_ms_p99": percentile(waits, 0.99),
+        "service_ms_p99": percentile(services, 0.99),
+        "warm_fraction": warm / completed if completed else 0.0,
+        "divergent": divergent if verify else None,
+    }
+
+
+def format_report(report: dict) -> str:
+    """One human-readable block for the CLI."""
+    lat = report["latency_ms"]
+    statuses = ", ".join(f"{k}={v}"
+                         for k, v in sorted(report["by_status"].items()))
+    lines = [
+        f"mode:        {report['mode']}",
+        f"requests:    {report['requests']} ({statuses})",
+        f"wall:        {report['wall_s'] * 1e3:10.1f} ms "
+        f"({report['throughput_rps']:.1f} req/s)",
+        f"latency:     p50 {lat['p50']:.2f} ms, p99 {lat['p99']:.2f} ms, "
+        f"mean {lat['mean']:.2f} ms, max {lat['max']:.2f} ms",
+        f"queue wait:  p99 {report['wait_ms_p99']:.2f} ms; "
+        f"service p99 {report['service_ms_p99']:.2f} ms",
+        f"warm:        {100 * report['warm_fraction']:.1f}% of completed "
+        "requests fully cached",
+    ]
+    if report.get("divergent") is not None:
+        lines.append(f"verified:    {report['divergent']} divergent outputs "
+                     "vs uncached evaluation")
+    return "\n".join(lines)

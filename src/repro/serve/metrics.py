@@ -1,0 +1,221 @@
+"""Live serving metrics: counters, histograms, JSON and Prometheus export.
+
+Everything is streaming and bounded: histograms keep fixed log-spaced
+buckets plus count/sum/min/max (no unbounded per-request samples), so a
+long-lived server's metrics footprint is constant.  ``ServeMetrics`` is the
+single lock-protected sink the server records into; ``snapshot()`` folds in
+the queue/in-flight gauges and the engine's own cache statistics so one
+call yields the full serving picture, exportable as JSON or as the
+Prometheus text exposition format.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+
+#: Default latency buckets (milliseconds), log-spaced 50us .. 10s.
+DEFAULT_BUCKETS_MS = (0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 25.0,
+                      50.0, 100.0, 250.0, 500.0, 1000.0, 2500.0, 10000.0)
+
+#: Default micro-batch size buckets.
+BATCH_SIZE_BUCKETS = (1, 2, 4, 8, 16, 32, 64, 128)
+
+
+class Histogram:
+    """Fixed-bucket streaming histogram (Prometheus-style, cumulative le)."""
+
+    def __init__(self, buckets=DEFAULT_BUCKETS_MS):
+        self.buckets = tuple(sorted(float(b) for b in buckets))
+        if not self.buckets:
+            raise ValueError("histogram needs at least one bucket bound")
+        self.counts = [0] * (len(self.buckets) + 1)   # last = +Inf overflow
+        self.count = 0
+        self.total = 0.0
+        self.min = float("inf")
+        self.max = float("-inf")
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        self.count += 1
+        self.total += value
+        self.min = min(self.min, value)
+        self.max = max(self.max, value)
+        for i, bound in enumerate(self.buckets):
+            if value <= bound:
+                self.counts[i] += 1
+                return
+        self.counts[-1] += 1
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def percentile(self, q: float) -> float:
+        """Bucket-interpolated percentile estimate (``q`` in [0, 1])."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError("q must be in [0, 1]")
+        if self.count == 0:
+            return 0.0
+        rank = q * self.count
+        seen = 0
+        lo = 0.0
+        for i, bound in enumerate(self.buckets):
+            c = self.counts[i]
+            if seen + c >= rank and c > 0:
+                frac = (rank - seen) / c
+                return min(lo + frac * (bound - lo), self.max)
+            seen += c
+            lo = bound
+        return self.max        # landed in the +Inf overflow bucket
+
+    def to_dict(self) -> dict:
+        return {
+            "count": self.count,
+            "sum": self.total,
+            "min": self.min if self.count else 0.0,
+            "max": self.max if self.count else 0.0,
+            "mean": self.mean,
+            "p50": self.percentile(0.50),
+            "p99": self.percentile(0.99),
+            "buckets": {str(b): c
+                        for b, c in zip(self.buckets, self.counts)},
+            "overflow": self.counts[-1],
+        }
+
+
+class ServeMetrics:
+    """Lock-protected metrics sink for one :class:`PatternServer`."""
+
+    COUNTERS = ("submitted", "admitted", "completed", "shed", "timeout",
+                "rejected", "errors", "batches")
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counters = dict.fromkeys(self.COUNTERS, 0)
+        self._wait_ms = Histogram()
+        self._service_ms = Histogram()
+        self._latency_ms = Histogram()
+        self._batch_size = Histogram(BATCH_SIZE_BUCKETS)
+
+    # -------------------------------------------------------------- recording
+    def inc(self, name: str, n: int = 1) -> None:
+        with self._lock:
+            self._counters[name] += n
+
+    def observe_wait(self, ms: float) -> None:
+        with self._lock:
+            self._wait_ms.observe(ms)
+
+    def observe_batch(self, size: int, service_ms_per_request) -> None:
+        """Record one dispatched batch and its per-request service times."""
+        with self._lock:
+            self._counters["batches"] += 1
+            self._batch_size.observe(size)
+            for ms in service_ms_per_request:
+                self._service_ms.observe(ms)
+
+    def observe_latency(self, ms: float) -> None:
+        with self._lock:
+            self._latency_ms.observe(ms)
+
+    # -------------------------------------------------------------- exporting
+    def snapshot(self, queue_depth: int = 0, in_flight: int = 0,
+                 engine_stats=None) -> dict:
+        """One consistent dict of counters, gauges, histograms, hit-rates."""
+        with self._lock:
+            snap = {
+                "counters": dict(self._counters),
+                "gauges": {"queue_depth": queue_depth,
+                           "in_flight": in_flight},
+                "histograms": {
+                    "wait_ms": self._wait_ms.to_dict(),
+                    "service_ms": self._service_ms.to_dict(),
+                    "latency_ms": self._latency_ms.to_dict(),
+                    "batch_size": self._batch_size.to_dict(),
+                },
+            }
+        if engine_stats is not None:
+            snap["engine"] = {
+                "plan_hit_rate": engine_stats.hit_rate,
+                "plan_hits": engine_stats.plan_hits,
+                "plan_misses": engine_stats.plan_misses,
+                "artifact_hits": engine_stats.artifact_hits,
+                "artifact_misses": engine_stats.artifact_misses,
+                "profiles_built": engine_stats.profiles_built,
+                "transposes_built": engine_stats.transposes_built,
+                "evictions": engine_stats.evictions,
+                "bytes_cached": engine_stats.bytes_cached,
+                "warm_calls": engine_stats.warm_calls,
+                "cold_calls": engine_stats.cold_calls,
+                "batches": engine_stats.batches,
+            }
+        return snap
+
+    def to_json(self, queue_depth: int = 0, in_flight: int = 0,
+                engine_stats=None, indent: int | None = 2) -> str:
+        return json.dumps(self.snapshot(queue_depth, in_flight, engine_stats),
+                          indent=indent)
+
+    def to_prometheus(self, queue_depth: int = 0, in_flight: int = 0,
+                      engine_stats=None) -> str:
+        """Prometheus text exposition format (version 0.0.4)."""
+        snap = self.snapshot(queue_depth, in_flight, engine_stats)
+        lines: list[str] = []
+
+        def counter(name, help_, value, labels=""):
+            lines.append(f"# HELP {name} {help_}")
+            lines.append(f"# TYPE {name} counter")
+            lines.append(f"{name}{labels} {value}")
+
+        def gauge(name, help_, value):
+            lines.append(f"# HELP {name} {help_}")
+            lines.append(f"# TYPE {name} gauge")
+            lines.append(f"{name} {value}")
+
+        lines.append("# HELP repro_serve_requests_total requests by "
+                     "terminal status")
+        lines.append("# TYPE repro_serve_requests_total counter")
+        for status in ("completed", "shed", "timeout", "rejected", "errors"):
+            lines.append(f'repro_serve_requests_total'
+                         f'{{status="{status}"}} '
+                         f'{snap["counters"][status]}')
+        counter("repro_serve_submitted_total",
+                "requests offered to the admission queue",
+                snap["counters"]["submitted"])
+        counter("repro_serve_batches_total", "micro-batches dispatched",
+                snap["counters"]["batches"])
+        gauge("repro_serve_queue_depth", "requests waiting for dispatch",
+              snap["gauges"]["queue_depth"])
+        gauge("repro_serve_in_flight", "batches currently evaluating",
+              snap["gauges"]["in_flight"])
+        for hname, hist in snap["histograms"].items():
+            metric = f"repro_serve_{hname}"
+            lines.append(f"# HELP {metric} serving histogram ({hname})")
+            lines.append(f"# TYPE {metric} histogram")
+            cumulative = 0
+            for bound, c in hist["buckets"].items():
+                cumulative += c
+                lines.append(f'{metric}_bucket{{le="{bound}"}} {cumulative}')
+            cumulative += hist["overflow"]
+            lines.append(f'{metric}_bucket{{le="+Inf"}} {cumulative}')
+            lines.append(f"{metric}_sum {hist['sum']}")
+            lines.append(f"{metric}_count {hist['count']}")
+        if "engine" in snap:
+            eng = snap["engine"]
+            gauge("repro_engine_plan_hit_rate",
+                  "plan-cache hit rate of the serving engine",
+                  eng["plan_hit_rate"])
+            gauge("repro_engine_bytes_cached",
+                  "bytes held by the engine plan+artifact caches",
+                  eng["bytes_cached"])
+            counter("repro_engine_profiles_built_total",
+                    "kernel profiles built by the serving engine",
+                    eng["profiles_built"])
+            counter("repro_engine_transposes_built_total",
+                    "csr2csc transposes built by the serving engine",
+                    eng["transposes_built"])
+            counter("repro_engine_evictions_total",
+                    "LRU evictions in the serving engine",
+                    eng["evictions"])
+        return "\n".join(lines) + "\n"

@@ -1,0 +1,121 @@
+"""Bounded admission queue with backpressure, draining, and close semantics.
+
+The server's front door.  ``offer`` either sheds (non-blocking, queue full
+-> ``False``) or exerts backpressure (blocking until space or timeout);
+``drain`` is the scheduler side: block until at least one item is queued,
+then *linger* briefly so a micro-batch can accumulate, then take up to
+``max_items`` in FIFO order.  ``close`` wakes every waiter and makes all
+subsequent offers fail, which is what gives shutdown its deterministic
+rejection path.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from typing import Iterable
+
+
+class AdmissionQueue:
+    """Thread-safe bounded FIFO used between ``submit`` and the scheduler."""
+
+    def __init__(self, capacity: int):
+        if capacity < 1:
+            raise ValueError("queue capacity must be >= 1")
+        self.capacity = capacity
+        self._items: deque = deque()
+        self._lock = threading.Lock()
+        self._not_empty = threading.Condition(self._lock)
+        self._not_full = threading.Condition(self._lock)
+        self._closed = False
+
+    # ---------------------------------------------------------- producer side
+    def offer(self, item, block: bool = False,
+              timeout: float | None = None) -> bool:
+        """Enqueue ``item``; returns False when shed, closed, or timed out."""
+        deadline = (time.monotonic() + timeout) if timeout is not None \
+            else None
+        with self._not_full:
+            while len(self._items) >= self.capacity and not self._closed:
+                if not block:
+                    return False
+                if deadline is None:
+                    self._not_full.wait()
+                else:
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0:
+                        return False
+                    self._not_full.wait(remaining)
+            if self._closed:
+                return False
+            self._items.append(item)
+            self._not_empty.notify()
+            return True
+
+    # ---------------------------------------------------------- consumer side
+    def drain(self, max_items: int | None = None,
+              wait_s: float | None = 0.05,
+              linger_s: float = 0.0) -> list:
+        """Take up to ``max_items`` in FIFO order.
+
+        Blocks up to ``wait_s`` for the first item (``None`` = forever).
+        Once one is present, waits up to ``linger_s`` more — or until
+        ``max_items`` have accumulated — so the caller can form a fuller
+        micro-batch.  Returns ``[]`` on timeout or when closed and empty.
+        """
+        deadline = (time.monotonic() + wait_s) if wait_s is not None else None
+        with self._not_empty:
+            while not self._items and not self._closed:
+                if deadline is None:
+                    self._not_empty.wait()
+                else:
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0:
+                        return []
+                    self._not_empty.wait(remaining)
+            if not self._items:
+                return []
+            if linger_s > 0:
+                linger_deadline = time.monotonic() + linger_s
+                while (not self._closed
+                       and (max_items is None
+                            or len(self._items) < max_items)):
+                    remaining = linger_deadline - time.monotonic()
+                    if remaining <= 0:
+                        break
+                    self._not_empty.wait(remaining)
+            take = len(self._items) if max_items is None \
+                else min(max_items, len(self._items))
+            out = [self._items.popleft() for _ in range(take)]
+            self._not_full.notify_all()
+            return out
+
+    def reject_pending(self) -> list:
+        """Atomically remove and return everything still queued."""
+        with self._lock:
+            out = list(self._items)
+            self._items.clear()
+            self._not_full.notify_all()
+            return out
+
+    # -------------------------------------------------------------- lifecycle
+    def close(self) -> None:
+        """Fail all future offers and wake every blocked producer/consumer."""
+        with self._lock:
+            self._closed = True
+            self._not_empty.notify_all()
+            self._not_full.notify_all()
+
+    @property
+    def closed(self) -> bool:
+        with self._lock:
+            return self._closed
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._items)
+
+    def __iter__(self) -> Iterable:  # pragma: no cover - debugging aid
+        with self._lock:
+            return iter(list(self._items))

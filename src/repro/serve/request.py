@@ -1,0 +1,138 @@
+"""Request/response types for the pattern-evaluation server.
+
+A :class:`ServeRequest` is the user-facing description of one Eq.-1
+evaluation (matrix + vectors + scalars + strategy) plus serving policy
+knobs (a relative deadline).  Submitting one yields a :class:`ServeFuture`
+that always resolves to a :class:`ServeResponse` — rejections (queue shed,
+deadline timeout, shutdown) are *responses with a status*, never raised
+exceptions, so callers can distinguish load-shedding from failure without
+try/except plumbing.
+
+Internally the server wraps each admitted request in a ``_Ticket`` carrying
+the content fingerprint (the micro-batcher's grouping key), the absolute
+deadline, and the enqueue timestamp used for wait-time accounting.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..core.engine import PatternRequest, fingerprint_matrix
+from ..core.pattern import GenericPattern
+from ..kernels.base import KernelResult
+from ..sparse.csr import CsrMatrix
+
+#: Terminal statuses a response can carry.
+STATUS_OK = "ok"                 # evaluated; ``result`` is set
+STATUS_SHED = "shed"             # admission queue full (load-shedding)
+STATUS_TIMEOUT = "timeout"       # deadline expired before evaluation
+STATUS_REJECTED = "rejected"     # server shutting down / not accepting
+STATUS_ERROR = "error"           # evaluation raised; ``reason`` has details
+STATUSES = (STATUS_OK, STATUS_SHED, STATUS_TIMEOUT, STATUS_REJECTED,
+            STATUS_ERROR)
+
+
+@dataclass
+class ServeRequest:
+    """One pattern evaluation to run through the server."""
+
+    X: CsrMatrix | np.ndarray
+    y: np.ndarray
+    v: np.ndarray | None = None
+    z: np.ndarray | None = None
+    alpha: float = 1.0
+    beta: float = 0.0
+    inner: bool = True
+    strategy: str = "auto"
+    deadline_ms: float | None = None   # relative to submit; None = no deadline
+
+    def to_pattern_request(self) -> PatternRequest:
+        return PatternRequest(self.X, self.y, v=self.v, z=self.z,
+                              alpha=self.alpha, beta=self.beta,
+                              inner=self.inner, strategy=self.strategy)
+
+    def validate(self) -> GenericPattern:
+        """Eagerly shape-check (raises ``ValueError`` in the caller's
+        thread, not inside a worker where it would poison a whole batch)."""
+        return GenericPattern(self.X, self.y, v=self.v, z=self.z,
+                              alpha=self.alpha, beta=self.beta,
+                              inner=self.inner)
+
+    def group_key(self) -> tuple[str, str]:
+        """Micro-batching key: requests sharing it reuse one cached
+        profile/plan/transpose when evaluated back to back."""
+        return (fingerprint_matrix(self.X), self.strategy)
+
+
+@dataclass
+class ServeResponse:
+    """Terminal outcome of one submitted request."""
+
+    id: int
+    status: str
+    result: KernelResult | None = None
+    reason: str = ""
+    fingerprint: str = ""
+    wait_ms: float = 0.0          # enqueue -> batch dispatch
+    service_ms: float = 0.0       # host wall time inside the engine
+    latency_ms: float = 0.0       # enqueue -> resolution (end-to-end)
+    batch_size: int = 0           # live requests in the dispatched batch
+    cached: bool = False          # engine served this request fully warm
+
+    @property
+    def ok(self) -> bool:
+        return self.status == STATUS_OK
+
+
+class ServeFuture:
+    """Write-once handle resolved by the server with a ServeResponse."""
+
+    __slots__ = ("_event", "_response", "resolved_at")
+
+    def __init__(self) -> None:
+        self._event = threading.Event()
+        self._response: ServeResponse | None = None
+        #: ``time.monotonic()`` of the winning :meth:`resolve` call —
+        #: lets callers measure completion time against their own clock
+        #: (e.g. a backlog-replay benchmark timing from floodgate-open)
+        self.resolved_at: float | None = None
+
+    def resolve(self, response: ServeResponse) -> bool:
+        """First resolution wins; later ones are ignored (returns False)."""
+        if self._event.is_set():
+            return False
+        self._response = response
+        self.resolved_at = time.monotonic()
+        self._event.set()
+        return True
+
+    def done(self) -> bool:
+        return self._event.is_set()
+
+    def result(self, timeout: float | None = None) -> ServeResponse:
+        if not self._event.wait(timeout):
+            raise TimeoutError("request was not resolved within the timeout")
+        assert self._response is not None
+        return self._response
+
+
+@dataclass
+class _Ticket:
+    """Internal per-request record flowing queue -> batcher -> worker."""
+
+    id: int
+    request: PatternRequest
+    key: tuple[str, str]            # (matrix fingerprint, strategy)
+    enqueued_at: float              # time.monotonic()
+    deadline_at: float | None       # absolute monotonic deadline, or None
+    future: ServeFuture = field(default_factory=ServeFuture)
+
+    def expired(self, now: float | None = None) -> bool:
+        if self.deadline_at is None:
+            return False
+        return (now if now is not None else time.monotonic()) \
+            > self.deadline_at

@@ -1,0 +1,317 @@
+"""The pattern-evaluation server: admission -> micro-batching -> workers.
+
+``PatternServer`` turns a :class:`~repro.core.engine.PatternEngine` into a
+long-lived service:
+
+* **admission** — a bounded :class:`~repro.serve.queue.AdmissionQueue`;
+  non-blocking submits are *shed* when it is full (load-shedding),
+  blocking submits exert backpressure.  Each request may carry a relative
+  deadline; requests that expire while queued are rejected with a
+  ``timeout`` status instead of being evaluated.
+* **scheduling** — a single scheduler thread drains the queue (with a
+  short linger so batches fill), forms micro-batches with
+  :func:`~repro.serve.batcher.form_batches` (``fingerprint`` policy groups
+  requests by matrix content fingerprint so each batch reuses one cached
+  profile/plan/transpose; ``fifo`` is the naive baseline), and dispatches
+  at most ``workers`` batches concurrently — undispatched work stays in
+  the admission queue where it remains sheddable and rejectable.
+* **execution** — a worker pool drains batches through
+  ``PatternEngine.evaluate_many``; numerical results are never cached, so
+  server outputs are bit-identical to direct ``engine.evaluate`` calls.
+* **shutdown** — :meth:`stop` stops admission, lets in-flight batches
+  complete, resolves everything still queued with a deterministic
+  ``rejected`` response, and joins every thread it started.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+
+from ..core.engine import PatternEngine
+from .batcher import POLICIES, form_batches
+from .metrics import ServeMetrics
+from .queue import AdmissionQueue
+from .request import (STATUS_ERROR, STATUS_OK, STATUS_REJECTED, STATUS_SHED,
+                      STATUS_TIMEOUT, ServeFuture, ServeRequest,
+                      ServeResponse, _Ticket)
+
+
+@dataclass
+class ServerConfig:
+    """Tunables for one :class:`PatternServer`."""
+
+    queue_capacity: int = 256        # admission bound (backpressure/shed)
+    max_batch: int = 16              # requests per dispatched micro-batch
+    batch_linger_ms: float = 1.0     # wait for a batch to fill before cut
+    workers: int = 2                 # concurrent batches in flight
+    engine_workers: int = 1          # threads inside evaluate_many per batch
+    policy: str = "fingerprint"      # "fingerprint" | "fifo"
+    default_deadline_ms: float | None = None
+    drain_lookahead: int | None = None   # tickets pulled per round (None=all)
+
+    def __post_init__(self) -> None:
+        if self.policy not in POLICIES:
+            raise ValueError(f"unknown batching policy {self.policy!r}; "
+                             f"expected one of {POLICIES}")
+        if self.queue_capacity < 1:
+            raise ValueError("queue_capacity must be >= 1")
+        if self.max_batch < 1:
+            raise ValueError("max_batch must be >= 1")
+        if self.workers < 1:
+            raise ValueError("workers must be >= 1")
+
+
+class PatternServer:
+    """Micro-batching evaluation server over one PatternEngine session."""
+
+    def __init__(self, engine: PatternEngine | None = None,
+                 config: ServerConfig | None = None,
+                 start: bool = True):
+        self.engine = engine or PatternEngine()
+        self.config = config or ServerConfig()
+        self.metrics = ServeMetrics()
+        self._queue = AdmissionQueue(self.config.queue_capacity)
+        self._pool = ThreadPoolExecutor(
+            max_workers=self.config.workers,
+            thread_name_prefix="repro-serve-worker")
+        self._scheduler = threading.Thread(
+            target=self._schedule_loop, name="repro-serve-scheduler",
+            daemon=True)
+        self._stop_event = threading.Event()
+        self._accepting = True
+        self._stopped = False
+        self._lifecycle_lock = threading.Lock()
+        self._flight_lock = threading.Lock()
+        self._flight_cond = threading.Condition(self._flight_lock)
+        self._in_flight = 0
+        self._next_id = 0
+        self._id_lock = threading.Lock()
+        if start:
+            self.start()
+
+    # ------------------------------------------------------------- lifecycle
+    def start(self) -> "PatternServer":
+        """Start the scheduler thread (idempotent)."""
+        with self._lifecycle_lock:
+            if self._stopped:
+                raise RuntimeError("server was stopped; create a new one")
+            if not self._scheduler.is_alive():
+                try:
+                    self._scheduler.start()
+                except RuntimeError:       # already started and finished
+                    pass
+        return self
+
+    def stop(self) -> None:
+        """Graceful shutdown: drain in-flight work, reject queued requests.
+
+        Safe to call more than once.  After it returns: every submitted
+        future is resolved, no server thread is alive, and further submits
+        resolve immediately as ``rejected``.
+        """
+        with self._lifecycle_lock:
+            if self._stopped:
+                return
+            self._stopped = True
+            self._accepting = False
+            started = self._scheduler.ident is not None
+            self._queue.close()
+            self._stop_event.set()
+            with self._flight_cond:
+                self._flight_cond.notify_all()
+            if started:
+                self._scheduler.join()
+            else:
+                # scheduler never ran: reject the backlog ourselves
+                for ticket in self._queue.reject_pending():
+                    self._reject(ticket, "server shutdown")
+            self._pool.shutdown(wait=True)
+
+    close = stop
+
+    def __enter__(self) -> "PatternServer":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+    # -------------------------------------------------------------- frontend
+    def submit(self, request: ServeRequest, block: bool = False,
+               timeout: float | None = None) -> ServeFuture:
+        """Offer a request; always returns a future that will resolve.
+
+        ``block=True`` waits for queue space (backpressure) up to
+        ``timeout`` seconds; otherwise a full queue sheds immediately.
+        Shape errors in the request raise ``ValueError`` here, in the
+        caller's thread, before anything is enqueued.
+        """
+        request.validate()
+        rid = self._new_id()
+        key = request.group_key()
+        deadline_ms = request.deadline_ms
+        if deadline_ms is None:
+            deadline_ms = self.config.default_deadline_ms
+        now = time.monotonic()
+        ticket = _Ticket(
+            id=rid, request=request.to_pattern_request(), key=key,
+            enqueued_at=now,
+            deadline_at=(now + deadline_ms / 1e3)
+            if deadline_ms is not None else None)
+        self.metrics.inc("submitted")
+        if not self._accepting:
+            self._reject(ticket, "server shutdown")
+            return ticket.future
+        if not self._queue.offer(ticket, block=block, timeout=timeout):
+            if self._accepting and not self._queue.closed:
+                self.metrics.inc("shed")
+                ticket.future.resolve(ServeResponse(
+                    id=rid, status=STATUS_SHED, fingerprint=key[0],
+                    reason=f"admission queue full "
+                           f"(capacity {self.config.queue_capacity})"))
+            else:
+                self._reject(ticket, "server shutdown")
+        else:
+            self.metrics.inc("admitted")
+        return ticket.future
+
+    def evaluate(self, request: ServeRequest, block: bool = True,
+                 timeout: float | None = None,
+                 wait_timeout: float | None = None) -> ServeResponse:
+        """Submit and wait for the terminal response."""
+        return self.submit(request, block=block,
+                           timeout=timeout).result(wait_timeout)
+
+    # ---------------------------------------------------------------- gauges
+    @property
+    def queue_depth(self) -> int:
+        return len(self._queue)
+
+    @property
+    def in_flight(self) -> int:
+        with self._flight_lock:
+            return self._in_flight
+
+    def wait_idle(self, timeout: float | None = None) -> bool:
+        """Block until the queue is empty and nothing is in flight."""
+        deadline = (time.monotonic() + timeout) if timeout is not None \
+            else None
+        with self._flight_cond:
+            while self._in_flight > 0 or len(self._queue) > 0:
+                remaining = None
+                if deadline is not None:
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0:
+                        return False
+                self._flight_cond.wait(remaining if remaining is not None
+                                       else 0.05)
+        return True
+
+    def metrics_snapshot(self) -> dict:
+        return self.metrics.snapshot(self.queue_depth, self.in_flight,
+                                     self.engine.snapshot())
+
+    def metrics_json(self, indent: int | None = 2) -> str:
+        return self.metrics.to_json(self.queue_depth, self.in_flight,
+                                    self.engine.snapshot(), indent=indent)
+
+    def metrics_prometheus(self) -> str:
+        return self.metrics.to_prometheus(self.queue_depth, self.in_flight,
+                                          self.engine.snapshot())
+
+    # -------------------------------------------------------------- internals
+    def _new_id(self) -> int:
+        with self._id_lock:
+            self._next_id += 1
+            return self._next_id
+
+    def _reject(self, ticket: _Ticket, reason: str) -> None:
+        if ticket.future.resolve(ServeResponse(
+                id=ticket.id, status=STATUS_REJECTED, reason=reason,
+                fingerprint=ticket.key[0])):
+            self.metrics.inc("rejected")
+
+    def _schedule_loop(self) -> None:
+        cfg = self.config
+        linger_s = max(cfg.batch_linger_ms, 0.0) / 1e3
+        pending: deque[list[_Ticket]] = deque()
+        while not self._stop_event.is_set():
+            if not pending:
+                tickets = self._queue.drain(
+                    max_items=cfg.drain_lookahead, wait_s=0.05,
+                    linger_s=linger_s)
+                if not tickets:
+                    continue
+                pending.extend(form_batches(tickets, cfg.policy,
+                                            cfg.max_batch))
+            if not self._acquire_slot():
+                break                       # stopping; pending handled below
+            self._pool.submit(self._run_batch, pending.popleft())
+        # shutdown: everything not dispatched gets a deterministic rejection
+        leftovers = [t for batch in pending for t in batch]
+        leftovers.extend(self._queue.reject_pending())
+        for ticket in leftovers:
+            self._reject(ticket, "server shutdown")
+
+    def _acquire_slot(self) -> bool:
+        """Wait for an in-flight slot; False when the server is stopping."""
+        with self._flight_cond:
+            while (self._in_flight >= self.config.workers
+                   and not self._stop_event.is_set()):
+                self._flight_cond.wait(0.05)
+            if self._stop_event.is_set():
+                return False
+            self._in_flight += 1
+            return True
+
+    def _release_slot(self) -> None:
+        with self._flight_cond:
+            self._in_flight -= 1
+            self._flight_cond.notify_all()
+
+    def _run_batch(self, batch: list[_Ticket]) -> None:
+        try:
+            now = time.monotonic()
+            live: list[_Ticket] = []
+            for t in batch:
+                wait_ms = (now - t.enqueued_at) * 1e3
+                if t.expired(now):
+                    self.metrics.inc("timeout")
+                    self.metrics.observe_wait(wait_ms)
+                    t.future.resolve(ServeResponse(
+                        id=t.id, status=STATUS_TIMEOUT,
+                        reason="deadline expired while queued",
+                        fingerprint=t.key[0], wait_ms=wait_ms))
+                else:
+                    live.append(t)
+            if not live:
+                return
+            results = self.engine.evaluate_many(
+                [t.request for t in live],
+                max_workers=self.config.engine_workers)
+            done = time.monotonic()
+            for t, br in zip(live, results):
+                wait_ms = (now - t.enqueued_at) * 1e3
+                latency_ms = (done - t.enqueued_at) * 1e3
+                self.metrics.inc("completed")
+                self.metrics.observe_wait(wait_ms)
+                self.metrics.observe_latency(latency_ms)
+                t.future.resolve(ServeResponse(
+                    id=t.id, status=STATUS_OK, result=br.result,
+                    fingerprint=t.key[0], wait_ms=wait_ms,
+                    service_ms=br.wall_ms, latency_ms=latency_ms,
+                    batch_size=len(live), cached=br.cached))
+            self.metrics.observe_batch(len(live),
+                                       [br.wall_ms for br in results])
+        except Exception as exc:           # never let a batch die silently
+            for t in batch:
+                if t.future.resolve(ServeResponse(
+                        id=t.id, status=STATUS_ERROR,
+                        reason=f"{type(exc).__name__}: {exc}",
+                        fingerprint=t.key[0])):
+                    self.metrics.inc("errors")
+        finally:
+            self._release_slot()

@@ -82,6 +82,49 @@ class TestFileGuards:
                   "--scale", "0.002"])
         assert "--targets" in str(exc.value.code)
 
+    def test_serve_missing_workload(self, tmp_path, capsys):
+        missing = str(tmp_path / "nope.json")
+        with pytest.raises(SystemExit) as exc:
+            main(["serve", missing])
+        assert f"workload file not found: {missing}" in str(exc.value.code)
+        assert _exit_code(["serve", missing]) == 1
+
+    def test_serve_corrupt_workload(self, tmp_path, capsys):
+        path = tmp_path / "corrupt.json"
+        path.write_text("{not json at all")
+        assert _exit_code(["serve", str(path)]) == 1
+        err = capsys.readouterr().err
+        assert err.startswith("repro serve:")
+        assert len(err.strip().splitlines()) == 1   # one line, no traceback
+
+    def test_serve_invalid_trace_shape(self, tmp_path, capsys):
+        path = tmp_path / "empty.json"
+        path.write_text('{"version": 1, "mode": "open"}\n')
+        assert _exit_code(["serve", str(path)]) == 1
+        assert "no matrices" in capsys.readouterr().err
+
+    def test_loadgen_unwritable_output(self, tmp_path, capsys):
+        target = str(tmp_path / "no" / "such" / "dir" / "trace.json")
+        assert _exit_code(["loadgen", target,
+                           "--matrices", "2", "--requests", "4"]) == 1
+        err = capsys.readouterr().err
+        assert err.startswith("repro loadgen:")
+        assert len(err.strip().splitlines()) == 1
+
+    def test_loadgen_bad_deadline_spread(self, tmp_path, capsys):
+        assert _exit_code(["loadgen", str(tmp_path / "t.json"),
+                           "--deadline-ms", "10",
+                           "--deadline-spread", "1.5"]) == 1
+        assert "deadline_spread" in capsys.readouterr().err
+
+    def test_evaluate_corrupt_npz(self, tmp_path, capsys):
+        path = tmp_path / "corrupt.npz"
+        path.write_bytes(b"this is not a zip archive")
+        assert _exit_code(["evaluate", str(path)]) == 1
+        err = capsys.readouterr().err
+        assert err.startswith("repro evaluate:")
+        assert len(err.strip().splitlines()) == 1
+
 
 class TestSuccessPaths:
     """Contrast cases: the same commands succeed once inputs exist."""
@@ -109,3 +152,26 @@ class TestSuccessPaths:
     def test_engine_stats_missing_npz(self, tmp_path):
         assert _exit_code(["engine-stats",
                            str(tmp_path / "nope.npz")]) == 1
+
+    def test_loadgen_then_serve_round_trip(self, tmp_path, capsys):
+        trace = str(tmp_path / "trace.json")
+        assert _exit_code(["loadgen", trace, "--matrices", "2",
+                           "--requests", "8", "--rows", "80",
+                           "--cols", "8"]) == 0
+        assert "wrote" in capsys.readouterr().out
+        metrics = str(tmp_path / "metrics.json")
+        assert _exit_code(["serve", trace, "--verify",
+                           "--metrics-json", metrics]) == 0
+        out = capsys.readouterr().out
+        assert "latency:" in out and "0 divergent outputs" in out
+        import json
+        parsed = json.loads(open(metrics).read())
+        assert parsed["counters"]["completed"] == 8
+
+    def test_loadgen_run_inline(self, tmp_path, capsys):
+        assert _exit_code(["loadgen", str(tmp_path / "t.json"),
+                           "--matrices", "2", "--requests", "6",
+                           "--rows", "80", "--cols", "8", "--run",
+                           "--prometheus", "-"]) == 0
+        out = capsys.readouterr().out
+        assert "repro_serve_requests_total" in out

@@ -1,0 +1,161 @@
+"""PatternEngine under concurrent load: lock audit as executable invariants.
+
+Satellite of the serving PR: the server's worker pool hits one shared
+engine from many threads, so the cache layer must hold its invariants under
+contention — tight LRU bounds, concurrent ``snapshot()`` readers, and
+``invalidate()`` racing live evaluations.  The invariants asserted here:
+
+* no exception escapes any thread;
+* every output is bit-identical to uncached evaluation (caching never
+  changes numerics, no matter the interleaving);
+* ``plan_entries`` never exceeds ``max_plans`` and ``artifact_bytes``
+  stays within ``max_artifact_bytes`` at every observed snapshot;
+* snapshots are internally consistent (bytes_cached >= artifact_bytes,
+  warm + cold == calls) because they are assembled under the cache lock.
+"""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.core.api import evaluate as evaluate_uncached
+from repro.core.engine import PatternEngine, PatternRequest
+from repro.sparse import random_csr
+
+N_THREADS = 8
+CALLS_PER_THREAD = 12
+
+
+@pytest.fixture()
+def matrices():
+    return [random_csr(100 + 20 * i, 16, 0.2, rng=i) for i in range(6)]
+
+
+def _hammer(engine, matrices, thread_seed, errors, batched=False):
+    """One worker: mixed evaluate / evaluate_many over a matrix pool."""
+    rng = np.random.default_rng(thread_seed)
+    try:
+        for call in range(CALLS_PER_THREAD):
+            X = matrices[int(rng.integers(0, len(matrices)))]
+            y = rng.normal(size=X.n)
+            strategy = ("fused", "cusparse",
+                        "cusparse-explicit")[call % 3]
+            if batched and call % 4 == 3:
+                reqs = [PatternRequest(X, rng.normal(size=X.n),
+                                       strategy=strategy)
+                        for _ in range(3)]
+                for br in engine.evaluate_many(reqs, max_workers=3):
+                    assert br.result.output is not None
+            else:
+                res = engine.evaluate(X, y, strategy=strategy)
+                ref = evaluate_uncached(X, y, strategy=strategy)
+                if not np.array_equal(res.output, ref.output):
+                    raise AssertionError(
+                        f"divergent output (thread seed {thread_seed}, "
+                        f"call {call}, {strategy})")
+    except BaseException as exc:              # pragma: no cover - on failure
+        errors.append(exc)
+
+
+def _run_threads(targets):
+    threads = [threading.Thread(target=fn, args=args)
+               for fn, args in targets]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join(timeout=120.0)
+    assert not any(t.is_alive() for t in threads), "worker thread hung"
+
+
+class TestConcurrentEvaluate:
+    def test_stress_with_tight_lru_bounds(self, matrices):
+        """>= 8 threads against max_plans=4 and a few-KB artifact budget."""
+        engine = PatternEngine(max_plans=4, max_artifact_bytes=64 * 1024)
+        errors: list = []
+        snapshots: list = []
+        stop = threading.Event()
+
+        def snapshotter():
+            # concurrent reader: snapshot() must never see a torn cache
+            try:
+                while not stop.is_set():
+                    snapshots.append(engine.snapshot())
+            except BaseException as exc:      # pragma: no cover - on failure
+                errors.append(exc)
+
+        workers = [(_hammer, (engine, matrices, 100 + i, errors, i % 2 == 0))
+                   for i in range(N_THREADS)]
+        reader = threading.Thread(target=snapshotter)
+        reader.start()
+        _run_threads(workers)
+        stop.set()
+        reader.join(timeout=30.0)
+
+        assert errors == []
+        final = engine.snapshot()
+        for snap in snapshots + [final]:
+            assert snap.plan_entries <= 4
+            assert snap.artifact_bytes <= 64 * 1024
+            assert snap.bytes_cached >= snap.artifact_bytes
+            assert snap.warm_calls + snap.cold_calls == snap.calls
+        # the tight bounds were actually exercised, not vacuous
+        assert final.evictions > 0
+        assert final.calls >= N_THREADS * (CALLS_PER_THREAD - 3)
+
+    def test_invalidate_races_evaluate(self, matrices):
+        """invalidate() storms while 8 threads evaluate: no stale results."""
+        engine = PatternEngine(max_plans=8, max_artifact_bytes=1 << 20)
+        errors: list = []
+        stop = threading.Event()
+
+        def invalidator():
+            try:
+                while not stop.is_set():
+                    for X in matrices:
+                        engine.invalidate(X)
+            except BaseException as exc:      # pragma: no cover - on failure
+                errors.append(exc)
+
+        inval = threading.Thread(target=invalidator)
+        inval.start()
+        _run_threads([(_hammer, (engine, matrices, 200 + i, errors))
+                      for i in range(N_THREADS)])
+        stop.set()
+        inval.join(timeout=30.0)
+
+        assert errors == []
+        final = engine.snapshot()
+        assert final.invalidations > 0
+        assert final.plan_entries <= 8
+
+    def test_evaluate_many_from_many_threads(self, matrices):
+        """Concurrent batch submitters keep the batch counters coherent."""
+        engine = PatternEngine(max_plans=4, max_artifact_bytes=64 * 1024)
+        errors: list = []
+        batch_sizes = (1, 2, 5, 3)
+
+        def submitter(seed, size):
+            rng = np.random.default_rng(seed)
+            try:
+                for _ in range(4):
+                    X = matrices[int(rng.integers(0, len(matrices)))]
+                    reqs = [PatternRequest(X, rng.normal(size=X.n),
+                                           strategy="fused")
+                            for _ in range(size)]
+                    out = engine.evaluate_many(reqs, max_workers=2)
+                    assert len(out) == size
+                    assert [b.index for b in out] == list(range(size))
+            except BaseException as exc:      # pragma: no cover - on failure
+                errors.append(exc)
+
+        _run_threads([(submitter, (300 + i, batch_sizes[i % 4]))
+                      for i in range(N_THREADS)])
+        assert errors == []
+        st = engine.snapshot()
+        expected_requests = sum(4 * batch_sizes[i % 4]
+                                for i in range(N_THREADS))
+        assert st.batches == 4 * N_THREADS
+        assert st.batch_requests == expected_requests
+        assert st.batch_max_requests == max(batch_sizes)
+        assert st.batch_wall_ms > 0.0

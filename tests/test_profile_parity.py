@@ -265,3 +265,34 @@ class TestProfileInvalidation:
         assert counts is X.column_counts()     # cached
         with pytest.raises(ValueError):
             counts[0] = 99                      # shared: must be immutable
+
+    @pytest.mark.parametrize("strategy", ["fused", "cusparse-explicit"])
+    def test_mutation_between_served_batches(self, strategy):
+        """In-place mutation between server batches drops the cached
+        profile: the post-mutation batch must be bit-identical to a cold
+        engine, and the serving engine must rebuild (content fingerprints
+        make stale artifacts unreachable, not merely unlikely)."""
+        from repro.serve import PatternServer, ServeRequest, ServerConfig
+
+        X = random_csr(140, 24, 0.2, rng=21)
+        rng = np.random.default_rng(21)
+        ys = [rng.normal(size=X.n) for _ in range(4)]
+
+        with PatternServer(config=ServerConfig(max_batch=4)) as server:
+            warmup = [server.evaluate(ServeRequest(X, y, strategy=strategy))
+                      for y in ys]
+            assert all(r.ok for r in warmup)
+            built_before = server.engine.snapshot().profiles_built
+
+            X.values *= 1.5                    # in-place content mutation
+            served = [server.evaluate(ServeRequest(X, y, strategy=strategy))
+                      for y in ys]
+            stats = server.engine.snapshot()
+
+        cold = PatternEngine()
+        for y, resp in zip(ys, served):
+            assert resp.ok
+            ref = cold.evaluate(X, y, strategy=strategy)
+            assert np.array_equal(resp.result.output, ref.output)
+        # the serving engine really rebuilt rather than serving stale bits
+        assert stats.profiles_built > built_before

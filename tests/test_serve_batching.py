@@ -1,0 +1,251 @@
+"""Unit tests for the serve building blocks: batcher, queue, metrics.
+
+All pure/threaded-but-local components — no PatternServer here, so failures
+localize to the exact layer (batch formation, admission semantics, or the
+metrics/export path) rather than the whole serving stack.
+"""
+
+import json
+import threading
+import time
+
+import pytest
+
+from repro.serve import AdmissionQueue, Histogram, ServeMetrics, form_batches
+from repro.serve.metrics import BATCH_SIZE_BUCKETS
+from repro.serve.request import _Ticket
+
+
+def ticket(i: int, key: str) -> _Ticket:
+    return _Ticket(id=i, request=None, key=(key, "auto"),
+                   enqueued_at=float(i), deadline_at=None)
+
+
+class TestFormBatches:
+    def test_empty(self):
+        assert form_batches([], "fifo", 4) == []
+        assert form_batches([], "fingerprint", 4) == []
+
+    def test_fifo_preserves_arrival_order(self):
+        ts = [ticket(i, "ab"[i % 2]) for i in range(5)]
+        batches = form_batches(ts, "fifo", 2)
+        assert [[t.id for t in b] for b in batches] == [[0, 1], [2, 3], [4]]
+
+    def test_fingerprint_groups_by_key(self):
+        ts = [ticket(0, "a"), ticket(1, "b"), ticket(2, "a"),
+              ticket(3, "b"), ticket(4, "a")]
+        batches = form_batches(ts, "fingerprint", 16)
+        # groups ordered by earliest arrival; arrival order kept inside
+        assert [[t.id for t in b] for b in batches] == [[0, 2, 4], [1, 3]]
+
+    def test_fingerprint_respects_max_batch(self):
+        ts = [ticket(i, "a") for i in range(5)] + [ticket(9, "b")]
+        batches = form_batches(ts, "fingerprint", 2)
+        assert [len(b) for b in batches] == [2, 2, 1, 1]
+
+    def test_every_ticket_dispatched_exactly_once(self):
+        ts = [ticket(i, "abc"[i % 3]) for i in range(17)]
+        for policy in ("fifo", "fingerprint"):
+            got = sorted(t.id for b in form_batches(ts, policy, 4) for t in b)
+            assert got == list(range(17))
+
+    def test_strategy_is_part_of_the_key(self):
+        a = _Ticket(id=0, request=None, key=("m", "fused"),
+                    enqueued_at=0.0, deadline_at=None)
+        b = _Ticket(id=1, request=None, key=("m", "cusparse"),
+                    enqueued_at=1.0, deadline_at=None)
+        assert len(form_batches([a, b], "fingerprint", 8)) == 2
+
+    def test_bad_arguments(self):
+        with pytest.raises(ValueError, match="policy"):
+            form_batches([ticket(0, "a")], "random", 4)
+        with pytest.raises(ValueError, match="max_batch"):
+            form_batches([ticket(0, "a")], "fifo", 0)
+
+
+class TestAdmissionQueue:
+    def test_offer_and_fifo_drain(self):
+        q = AdmissionQueue(4)
+        for i in range(3):
+            assert q.offer(i)
+        assert len(q) == 3
+        assert q.drain(wait_s=0.0) == [0, 1, 2]
+        assert len(q) == 0
+
+    def test_nonblocking_offer_sheds_when_full(self):
+        q = AdmissionQueue(2)
+        assert q.offer(1) and q.offer(2)
+        assert not q.offer(3)                 # shed
+        assert q.drain(wait_s=0.0) == [1, 2]  # original order kept
+
+    def test_blocking_offer_times_out(self):
+        q = AdmissionQueue(1)
+        q.offer(1)
+        t0 = time.monotonic()
+        assert not q.offer(2, block=True, timeout=0.05)
+        assert time.monotonic() - t0 >= 0.04
+
+    def test_blocking_offer_wakes_on_drain(self):
+        q = AdmissionQueue(1)
+        q.offer("first")
+        done = []
+
+        def producer():
+            done.append(q.offer("second", block=True, timeout=2.0))
+
+        t = threading.Thread(target=producer)
+        t.start()
+        time.sleep(0.02)
+        assert q.drain(wait_s=0.1) == ["first"]
+        t.join(timeout=2.0)
+        assert done == [True]
+        assert q.drain(wait_s=0.5) == ["second"]
+
+    def test_drain_respects_max_items(self):
+        q = AdmissionQueue(8)
+        for i in range(6):
+            q.offer(i)
+        assert q.drain(max_items=4, wait_s=0.0) == [0, 1, 2, 3]
+        assert q.drain(max_items=4, wait_s=0.0) == [4, 5]
+
+    def test_drain_lingers_to_accumulate(self):
+        q = AdmissionQueue(8)
+        q.offer("early")
+
+        def late():
+            time.sleep(0.03)
+            q.offer("late")
+
+        t = threading.Thread(target=late)
+        t.start()
+        out = q.drain(wait_s=0.5, linger_s=0.25)
+        t.join()
+        assert out == ["early", "late"]
+
+    def test_close_fails_future_offers_and_wakes_waiters(self):
+        q = AdmissionQueue(1)
+        q.offer(1)
+        results = []
+
+        def blocked():
+            results.append(q.offer(2, block=True, timeout=5.0))
+
+        t = threading.Thread(target=blocked)
+        t.start()
+        time.sleep(0.02)
+        q.close()
+        t.join(timeout=2.0)
+        assert results == [False]
+        assert q.closed
+        assert not q.offer(3)
+        # items enqueued before close still drain (shutdown rejects them)
+        assert q.reject_pending() == [1]
+
+    def test_reject_pending_empties_atomically(self):
+        q = AdmissionQueue(4)
+        q.offer("a")
+        q.offer("b")
+        assert q.reject_pending() == ["a", "b"]
+        assert len(q) == 0
+        assert q.reject_pending() == []
+
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError):
+            AdmissionQueue(0)
+
+
+class TestHistogram:
+    def test_streaming_stats(self):
+        h = Histogram((1.0, 10.0, 100.0))
+        for v in (0.5, 5.0, 50.0, 500.0):
+            h.observe(v)
+        assert h.count == 4
+        assert h.total == pytest.approx(555.5)
+        assert h.min == 0.5 and h.max == 500.0
+        assert h.counts == [1, 1, 1, 1]       # one overflow
+
+    def test_percentile_bounds(self):
+        h = Histogram((1.0, 2.0, 4.0))
+        for v in (0.5, 1.5, 3.0, 3.5):
+            h.observe(v)
+        assert h.percentile(0.0) == 0.0
+        p50, p99 = h.percentile(0.5), h.percentile(0.99)
+        assert 0.0 < p50 <= p99 <= h.max
+        with pytest.raises(ValueError):
+            h.percentile(1.5)
+
+    def test_empty_histogram(self):
+        h = Histogram()
+        assert h.percentile(0.99) == 0.0
+        d = h.to_dict()
+        assert d["count"] == 0 and d["min"] == 0.0 and d["max"] == 0.0
+
+    def test_to_dict_buckets_sum_to_count(self):
+        h = Histogram(BATCH_SIZE_BUCKETS)
+        for v in (1, 3, 3, 200):
+            h.observe(v)
+        d = h.to_dict()
+        assert sum(d["buckets"].values()) + d["overflow"] == d["count"]
+
+
+class TestServeMetrics:
+    def _loaded(self) -> ServeMetrics:
+        m = ServeMetrics()
+        m.inc("submitted", 3)
+        m.inc("admitted", 2)
+        m.inc("completed", 2)
+        m.inc("shed")
+        m.observe_wait(1.5)
+        m.observe_batch(2, [0.8, 0.9])
+        m.observe_latency(2.3)
+        m.observe_latency(4.1)
+        return m
+
+    def test_snapshot_counts(self):
+        snap = self._loaded().snapshot(queue_depth=5, in_flight=1)
+        assert snap["counters"]["submitted"] == 3
+        assert snap["counters"]["shed"] == 1
+        assert snap["counters"]["batches"] == 1
+        assert snap["gauges"] == {"queue_depth": 5, "in_flight": 1}
+        assert snap["histograms"]["service_ms"]["count"] == 2
+        assert snap["histograms"]["latency_ms"]["count"] == 2
+        assert "engine" not in snap            # no engine stats passed
+
+    def test_json_round_trips(self):
+        parsed = json.loads(self._loaded().to_json(indent=None))
+        assert parsed["counters"]["completed"] == 2
+
+    def test_prometheus_format(self):
+        text = self._loaded().to_prometheus(queue_depth=2, in_flight=1)
+        assert text.endswith("\n")
+        assert 'repro_serve_requests_total{status="shed"} 1' in text
+        assert "repro_serve_queue_depth 2" in text
+        assert "# TYPE repro_serve_latency_ms histogram" in text
+        # cumulative `le` buckets: the +Inf bucket equals the count
+        lines = text.splitlines()
+        inf = next(ln for ln in lines
+                   if ln.startswith('repro_serve_latency_ms_bucket{le="+Inf"'))
+        count = next(ln for ln in lines
+                     if ln.startswith("repro_serve_latency_ms_count"))
+        assert inf.split()[-1] == count.split()[-1] == "2"
+        # cumulative counts never decrease across bucket bounds
+        vals = [int(ln.split()[-1]) for ln in lines
+                if ln.startswith("repro_serve_latency_ms_bucket")]
+        assert vals == sorted(vals)
+
+    def test_prometheus_engine_block(self):
+        from repro.core.engine import PatternEngine
+        from repro.sparse import random_csr
+        import numpy as np
+        eng = PatternEngine()
+        X = random_csr(40, 10, 0.3, rng=0)
+        eng.evaluate(X, np.ones(10), strategy="fused")
+        built = eng.snapshot().profiles_built
+        assert built > 0
+        text = ServeMetrics().to_prometheus(engine_stats=eng.snapshot())
+        assert f"repro_engine_profiles_built_total {built}" in text
+        assert "repro_engine_plan_hit_rate" in text
+
+    def test_unknown_counter_rejected(self):
+        with pytest.raises(KeyError):
+            ServeMetrics().inc("nonexistent")

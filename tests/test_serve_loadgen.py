@@ -1,0 +1,183 @@
+"""Workload traces: synthesis determinism, validation, replay semantics."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core.engine import PatternEngine
+from repro.serve import (PatternServer, ServerConfig, build_matrices,
+                         format_report, load_workload, materialize_request,
+                         materialize_requests, percentile, run_workload,
+                         save_workload, synthesize_workload, zipf_weights)
+
+
+class TestZipfWeights:
+    def test_normalized_and_decreasing(self):
+        w = zipf_weights(8, 1.1)
+        assert w.sum() == pytest.approx(1.0)
+        assert all(a > b for a, b in zip(w, w[1:]))
+
+    def test_zero_skew_is_uniform(self):
+        assert np.allclose(zipf_weights(5, 0.0), 0.2)
+
+    def test_needs_a_rank(self):
+        with pytest.raises(ValueError):
+            zipf_weights(0, 1.0)
+
+
+class TestSynthesize:
+    def test_deterministic_given_seed(self):
+        kw = dict(matrices=4, requests=30, rows=200, cols=16, seed=7,
+                  rate_rps=50.0, deadline_ms=100.0, deadline_spread=0.5)
+        assert synthesize_workload(**kw) == synthesize_workload(**kw)
+        other = synthesize_workload(**{**kw, "seed": 8})
+        assert other != synthesize_workload(**kw)
+
+    def test_structure(self):
+        t = synthesize_workload(matrices=3, requests=20, rows=100, cols=8,
+                                sparsity=0.2, rate_rps=100.0,
+                                deadline_ms=50.0, strategy="cusparse")
+        assert t["version"] == 1 and t["mode"] == "open"
+        assert len(t["matrices"]) == 3 and len(t["requests"]) == 20
+        assert {m["spec"] for m in t["matrices"]} == {"100x8:0.2"}
+        arrivals = [r["at_ms"] for r in t["requests"]]
+        assert arrivals == sorted(arrivals) and arrivals[-1] > 0
+        assert all(r["strategy"] == "cusparse" for r in t["requests"])
+        assert all(r["deadline_ms"] == 50.0 for r in t["requests"])
+
+    def test_burst_when_no_rate(self):
+        t = synthesize_workload(matrices=2, requests=5, rows=50, cols=8)
+        assert all(r["at_ms"] == 0.0 for r in t["requests"])
+
+    def test_json_serializable(self):
+        t = synthesize_workload(matrices=2, requests=5, rows=50, cols=8)
+        assert json.loads(json.dumps(t)) == t
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="mode"):
+            synthesize_workload(mode="oscillating")
+        with pytest.raises(ValueError, match="at least one"):
+            synthesize_workload(matrices=0)
+        with pytest.raises(ValueError, match="deadline_spread"):
+            synthesize_workload(deadline_spread=1.0)
+
+
+class TestSaveLoad:
+    def test_round_trip(self, tmp_path):
+        t = synthesize_workload(matrices=2, requests=6, rows=80, cols=8)
+        path = tmp_path / "trace.json"
+        save_workload(path, t)
+        assert load_workload(path) == t
+
+    @pytest.mark.parametrize("mutate, msg", [
+        (lambda t: t.update(version=99), "version"),
+        (lambda t: t.update(mode="poke"), "mode"),
+        (lambda t: t.update(matrices=[]), "no matrices"),
+        (lambda t: t.update(requests=[]), "no requests"),
+        (lambda t: t["matrices"][0].pop("spec"), "missing 'spec'"),
+        (lambda t: t["requests"][0].update(matrix="ghost"),
+         "unknown matrix"),
+    ])
+    def test_rejects_malformed(self, tmp_path, mutate, msg):
+        t = synthesize_workload(matrices=2, requests=6, rows=80, cols=8)
+        mutate(t)
+        path = tmp_path / "bad.json"
+        save_workload(path, t)
+        with pytest.raises(ValueError, match=msg):
+            load_workload(path)
+
+    def test_rejects_non_json(self, tmp_path):
+        path = tmp_path / "garbage.json"
+        path.write_text("{not json")
+        with pytest.raises(ValueError, match="not valid JSON"):
+            load_workload(path)
+
+    def test_rejects_non_object(self, tmp_path):
+        path = tmp_path / "list.json"
+        path.write_text("[1, 2]\n")
+        with pytest.raises(ValueError, match="JSON object"):
+            load_workload(path)
+
+
+class TestMaterialize:
+    def test_matrices_match_spec_and_seed(self):
+        t = synthesize_workload(matrices=3, requests=5, rows=120, cols=16,
+                                sparsity=0.1, seed=3)
+        mats = build_matrices(t)
+        assert set(mats) == {"m0", "m1", "m2"}
+        for X in mats.values():
+            assert X.shape == (120, 16)
+        again = build_matrices(t)
+        for name in mats:
+            assert np.array_equal(mats[name].values, again[name].values)
+
+    def test_requests_are_seed_deterministic(self):
+        t = synthesize_workload(matrices=2, requests=4, rows=60, cols=8,
+                                beta=0.5)
+        mats = build_matrices(t)
+        r1 = materialize_request(t["requests"][0], mats["m0"])
+        r2 = materialize_request(t["requests"][0], mats["m0"])
+        assert np.array_equal(r1.y, r2.y)
+        assert r1.beta == 0.5 and r1.z is not None
+
+    def test_zero_beta_drops_z(self):
+        t = synthesize_workload(matrices=1, requests=2, rows=60, cols=8,
+                                beta=0.0)
+        reqs = materialize_requests(t)
+        assert all(r.z is None for r in reqs)
+
+    def test_materialize_requests_order(self):
+        t = synthesize_workload(matrices=2, requests=7, rows=60, cols=8)
+        reqs = materialize_requests(t)
+        assert len(reqs) == 7
+
+
+class TestPercentile:
+    def test_exact(self):
+        vals = list(range(1, 101))
+        assert percentile(vals, 0.50) == pytest.approx(50.5)
+        assert percentile(vals, 1.00) == 100.0
+        assert percentile([], 0.99) == 0.0
+
+
+class TestRunWorkload:
+    @pytest.fixture()
+    def server(self):
+        srv = PatternServer(PatternEngine(), ServerConfig(
+            queue_capacity=64, max_batch=8, workers=2))
+        yield srv
+        srv.stop()
+
+    def test_open_burst_with_verify(self, server):
+        t = synthesize_workload(matrices=2, requests=12, rows=150, cols=12,
+                                sparsity=0.2, seed=5)
+        report = run_workload(server, t, verify=True)
+        assert report["completed"] == 12
+        assert report["by_status"] == {"ok": 12}
+        assert report["divergent"] == 0
+        assert report["latency_ms"]["p99"] >= report["latency_ms"]["p50"] > 0
+
+    def test_closed_loop(self, server):
+        t = synthesize_workload(matrices=2, requests=10, rows=100, cols=10,
+                                mode="closed", concurrency=3, seed=2)
+        report = run_workload(server, t)
+        assert report["mode"] == "closed"
+        assert report["completed"] == 10
+        assert report["divergent"] is None     # verify off
+        assert report["warm_fraction"] >= 0.0
+
+    def test_paced_open_loop(self, server):
+        t = synthesize_workload(matrices=1, requests=5, rows=80, cols=8,
+                                rate_rps=500.0, seed=4)
+        report = run_workload(server, t)
+        assert report["completed"] == 5
+        # pacing means the wall clock covers the arrival span
+        assert report["wall_s"] * 1e3 >= t["requests"][-1]["at_ms"]
+
+    def test_format_report_lines(self, server):
+        t = synthesize_workload(matrices=1, requests=4, rows=80, cols=8)
+        text = format_report(run_workload(server, t, verify=True))
+        for needle in ("mode:", "latency:", "p99", "warm:",
+                       "0 divergent outputs"):
+            assert needle in text

@@ -1,0 +1,316 @@
+"""PatternServer behaviour: identity, admission, deadlines, shutdown.
+
+The serving contract under test:
+
+* outputs are bit-identical to direct uncached evaluation (the server adds
+  scheduling, never numerics);
+* a full admission queue sheds non-blocking submits and backpressures
+  blocking ones;
+* queued requests whose deadline expires are resolved ``timeout``, not
+  evaluated;
+* graceful shutdown completes in-flight batches, rejects everything still
+  queued with a deterministic ``rejected`` response, and leaks no threads.
+"""
+
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.core.api import evaluate as evaluate_uncached
+from repro.core.engine import PatternEngine
+from repro.serve import (STATUS_ERROR, STATUS_OK, STATUS_REJECTED,
+                         STATUS_SHED, STATUS_TIMEOUT, PatternServer,
+                         ServeClient, ServeFuture, ServeRequest,
+                         ServeResponse, ServerConfig)
+from repro.sparse import random_csr
+
+
+def serve_threads() -> list[threading.Thread]:
+    return [t for t in threading.enumerate()
+            if t.is_alive() and t.name.startswith("repro-serve")]
+
+
+class SlowEngine(PatternEngine):
+    """Engine whose batches take a visible amount of wall time."""
+
+    def __init__(self, delay_s: float = 0.05, **kw):
+        super().__init__(**kw)
+        self.delay_s = delay_s
+
+    def evaluate_many(self, requests, max_workers=None):
+        time.sleep(self.delay_s)
+        return super().evaluate_many(requests, max_workers=max_workers)
+
+
+class FailingEngine(PatternEngine):
+    """Engine that raises while ``failing`` is set."""
+
+    failing = False
+
+    def evaluate_many(self, requests, max_workers=None):
+        if self.failing:
+            raise RuntimeError("injected engine failure")
+        return super().evaluate_many(requests, max_workers=max_workers)
+
+
+@pytest.fixture()
+def X():
+    return random_csr(150, 24, 0.2, rng=0)
+
+
+@pytest.fixture()
+def rng():
+    return np.random.default_rng(1)
+
+
+class TestRoundTrip:
+    def test_bit_identical_to_uncached(self, X, rng):
+        y = rng.normal(size=X.n)
+        z = rng.normal(size=X.n)
+        with PatternServer() as server:
+            resp = server.evaluate(ServeRequest(X, y, z=z, beta=0.3,
+                                                strategy="fused"))
+        ref = evaluate_uncached(X, y, z=z, beta=0.3, strategy="fused")
+        assert resp.ok and resp.status == STATUS_OK
+        assert np.array_equal(resp.result.output, ref.output)
+        assert resp.latency_ms >= resp.wait_ms >= 0.0
+        assert resp.batch_size >= 1
+        assert resp.fingerprint            # grouping key is reported back
+
+    def test_every_policy_same_bits(self, X, rng):
+        ys = [rng.normal(size=X.n) for _ in range(6)]
+        outs = {}
+        for policy in ("fifo", "fingerprint"):
+            with PatternServer(config=ServerConfig(policy=policy)) as server:
+                outs[policy] = [
+                    server.evaluate(ServeRequest(X, y)).result.output
+                    for y in ys]
+        for a, b in zip(outs["fifo"], outs["fingerprint"]):
+            assert np.array_equal(a, b)
+
+    def test_second_call_served_warm(self, X, rng):
+        with PatternServer() as server:
+            server.evaluate(ServeRequest(X, rng.normal(size=X.n),
+                                         strategy="fused"))
+            warm = server.evaluate(ServeRequest(X, rng.normal(size=X.n),
+                                                strategy="fused"))
+        assert warm.cached
+
+    def test_invalid_shapes_raise_in_caller(self, X):
+        with PatternServer() as server:
+            with pytest.raises(ValueError):
+                server.submit(ServeRequest(X, np.ones(X.n + 3)))
+        # nothing was enqueued for the bad request
+        assert server.metrics.snapshot()["counters"]["submitted"] == 0
+
+
+class TestAdmission:
+    def test_shed_when_full(self, X, rng):
+        server = PatternServer(
+            config=ServerConfig(queue_capacity=2), start=False)
+        futures = [server.submit(ServeRequest(X, rng.normal(size=X.n)))
+                   for _ in range(4)]
+        shed = [f.result(0.1) for f in futures[2:]]
+        assert all(r.status == STATUS_SHED for r in shed)
+        assert all("admission queue full" in r.reason for r in shed)
+        server.start()
+        assert all(f.result(10.0).ok for f in futures[:2])
+        server.stop()
+        snap = server.metrics.snapshot()["counters"]
+        assert snap["shed"] == 2 and snap["completed"] == 2
+        assert snap["submitted"] == 4 and snap["admitted"] == 2
+
+    def test_backpressure_blocks_until_timeout(self, X, rng):
+        server = PatternServer(
+            config=ServerConfig(queue_capacity=1), start=False)
+        server.submit(ServeRequest(X, rng.normal(size=X.n)))
+        t0 = time.monotonic()
+        fut = server.submit(ServeRequest(X, rng.normal(size=X.n)),
+                            block=True, timeout=0.08)
+        waited = time.monotonic() - t0
+        assert waited >= 0.06                  # actually exerted backpressure
+        assert fut.result(0.1).status == STATUS_SHED
+        server.stop()
+
+    def test_backpressure_admits_when_space_frees(self, X, rng):
+        engine = SlowEngine(delay_s=0.02)
+        with PatternServer(engine, ServerConfig(queue_capacity=1,
+                                                max_batch=1,
+                                                workers=1)) as server:
+            futures = [server.submit(ServeRequest(X, rng.normal(size=X.n)),
+                                     block=True, timeout=10.0)
+                       for _ in range(5)]
+            assert all(f.result(30.0).ok for f in futures)
+
+
+class TestDeadlines:
+    def test_expired_while_queued(self, X, rng):
+        server = PatternServer(start=False)
+        fut = server.submit(ServeRequest(X, rng.normal(size=X.n),
+                                         deadline_ms=1.0))
+        time.sleep(0.03)
+        server.start()
+        resp = fut.result(10.0)
+        assert resp.status == STATUS_TIMEOUT
+        assert "deadline" in resp.reason
+        server.stop()
+        assert server.metrics.snapshot()["counters"]["timeout"] == 1
+
+    def test_generous_deadline_completes(self, X, rng):
+        with PatternServer() as server:
+            resp = server.evaluate(ServeRequest(X, rng.normal(size=X.n),
+                                                deadline_ms=60_000.0))
+        assert resp.ok
+
+    def test_config_default_deadline_applies(self, X, rng):
+        server = PatternServer(
+            config=ServerConfig(default_deadline_ms=1.0), start=False)
+        fut = server.submit(ServeRequest(X, rng.normal(size=X.n)))
+        time.sleep(0.03)
+        server.start()
+        assert fut.result(10.0).status == STATUS_TIMEOUT
+        server.stop()
+
+
+class TestShutdown:
+    def test_graceful_under_load(self, X, rng):
+        engine = SlowEngine(delay_s=0.05)
+        server = PatternServer(engine, ServerConfig(
+            queue_capacity=64, max_batch=4, workers=1, batch_linger_ms=0.0))
+        futures = [server.submit(ServeRequest(X, rng.normal(size=X.n)))
+                   for _ in range(24)]
+        time.sleep(0.02)                      # let the first batch dispatch
+        server.stop()
+        responses = [f.result(10.0) for f in futures]
+        by_status = {}
+        for r in responses:
+            by_status[r.status] = by_status.get(r.status, 0) + 1
+        # in-flight work completed, everything else was rejected cleanly
+        assert by_status.get(STATUS_OK, 0) >= 1
+        assert by_status.get(STATUS_REJECTED, 0) >= 1
+        assert set(by_status) <= {STATUS_OK, STATUS_REJECTED}
+        assert all(r.reason == "server shutdown" for r in responses
+                   if r.status == STATUS_REJECTED)
+        assert serve_threads() == []          # no leaked threads
+
+    def test_submit_after_stop_is_rejected(self, X, rng):
+        server = PatternServer()
+        server.stop()
+        resp = server.submit(
+            ServeRequest(X, rng.normal(size=X.n))).result(0.1)
+        assert resp.status == STATUS_REJECTED
+        assert resp.reason == "server shutdown"
+
+    def test_stop_is_idempotent(self, X, rng):
+        server = PatternServer()
+        assert server.evaluate(ServeRequest(X, rng.normal(size=X.n))).ok
+        server.stop()
+        server.stop()
+        assert serve_threads() == []
+
+    def test_stop_without_start_rejects_backlog(self, X, rng):
+        server = PatternServer(start=False)
+        futures = [server.submit(ServeRequest(X, rng.normal(size=X.n)))
+                   for _ in range(3)]
+        server.stop()
+        assert all(f.result(0.1).status == STATUS_REJECTED
+                   for f in futures)
+        assert serve_threads() == []
+
+    def test_every_future_resolves_exactly_once(self, X, rng):
+        engine = SlowEngine(delay_s=0.01)
+        server = PatternServer(engine, ServerConfig(max_batch=2, workers=2))
+        futures = [server.submit(ServeRequest(X, rng.normal(size=X.n)))
+                   for _ in range(10)]
+        server.stop()
+        for f in futures:
+            assert f.done()
+            first = f.result(0.0)
+            assert f.result(0.0) is first     # stable terminal response
+
+
+class TestErrorIsolation:
+    def test_engine_failure_resolves_batch_as_error(self, X, rng):
+        engine = FailingEngine()
+        with PatternServer(engine, ServerConfig(workers=1)) as server:
+            engine.failing = True
+            bad = server.evaluate(ServeRequest(X, rng.normal(size=X.n)))
+            assert bad.status == STATUS_ERROR
+            assert "injected engine failure" in bad.reason
+            engine.failing = False
+            good = server.evaluate(ServeRequest(X, rng.normal(size=X.n)))
+            assert good.ok                     # server survived the failure
+        snap = server.metrics.snapshot()["counters"]
+        assert snap["errors"] == 1 and snap["completed"] == 1
+
+
+class TestGaugesAndMetrics:
+    def test_wait_idle(self, X, rng):
+        with PatternServer() as server:
+            fut = server.submit(ServeRequest(X, rng.normal(size=X.n)))
+            assert server.wait_idle(timeout=10.0)
+            assert fut.done()
+            assert server.queue_depth == 0 and server.in_flight == 0
+
+    def test_metrics_exports_include_engine(self, X, rng):
+        with PatternServer() as server:
+            server.evaluate(ServeRequest(X, rng.normal(size=X.n),
+                                         strategy="fused"))
+            snap = server.metrics_snapshot()
+            prom = server.metrics_prometheus()
+        assert snap["engine"]["profiles_built"] >= 1
+        assert snap["counters"]["completed"] == 1
+        assert snap["histograms"]["latency_ms"]["count"] == 1
+        assert "repro_engine_profiles_built_total" in prom
+        assert 'repro_serve_requests_total{status="completed"} 1' in prom
+
+    def test_engine_batch_stats_update(self, X, rng):
+        with PatternServer(config=ServerConfig(max_batch=8)) as server:
+            futures = [server.submit(ServeRequest(X, rng.normal(size=X.n)))
+                       for _ in range(6)]
+            assert all(f.result(10.0).ok for f in futures)
+            st = server.engine.snapshot()
+        assert st.batches >= 1
+        assert st.batch_requests == 6
+        assert 1 <= st.batch_max_requests <= 6
+
+
+class TestConfigValidation:
+    @pytest.mark.parametrize("kw", [
+        {"policy": "roulette"}, {"queue_capacity": 0},
+        {"max_batch": 0}, {"workers": 0},
+    ])
+    def test_rejects_bad_config(self, kw):
+        with pytest.raises(ValueError):
+            ServerConfig(**kw)
+
+
+class TestServeFuture:
+    def test_first_resolution_wins(self):
+        fut = ServeFuture()
+        a = ServeResponse(id=1, status=STATUS_OK)
+        b = ServeResponse(id=1, status=STATUS_REJECTED)
+        assert fut.resolve(a)
+        assert not fut.resolve(b)
+        assert fut.result(0.0) is a
+        assert fut.resolved_at is not None
+
+    def test_result_timeout(self):
+        with pytest.raises(TimeoutError):
+            ServeFuture().result(0.01)
+
+
+class TestServeClient:
+    def test_submit_evaluate_map(self, X, rng):
+        with PatternServer() as server:
+            client = ServeClient(server)
+            resp = client.evaluate(X, rng.normal(size=X.n), beta=0.2,
+                                   z=rng.normal(size=X.n))
+            assert resp.ok
+            resps = client.map([ServeRequest(X, rng.normal(size=X.n))
+                                for _ in range(3)], wait_timeout=10.0)
+            assert all(r.ok for r in resps)
+            fut = client.submit(X, rng.normal(size=X.n), strategy="fused")
+            assert fut.result(10.0).ok
