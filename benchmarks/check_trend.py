@@ -1,0 +1,147 @@
+"""CI benchmark-trend gate: fresh BENCH_*.json vs committed baselines.
+
+Compares the ratio metrics (top-level numeric keys ending in ``_x`` —
+speedups and overhead reductions, which are wall-clock-noise tolerant,
+unlike raw millisecond series) of freshly produced benchmark JSON files
+against the baselines committed under ``benchmarks/results/``.  A metric
+fails when it regresses by more than ``--max-regression`` (default 2x:
+``fresh < baseline / 2``).  Improvements and new metrics never fail.
+
+Writes a markdown trend table to ``--summary`` (or ``$GITHUB_STEP_SUMMARY``
+when set) so the comparison shows up in the CI job summary.
+
+Usage::
+
+    python benchmarks/check_trend.py --fresh benchmarks/results \
+        --baseline /tmp/baselines --require BENCH_profile.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import pathlib
+import sys
+
+
+def ratio_metrics(doc: dict) -> dict[str, float]:
+    """Top-level numeric keys ending in ``_x`` — the gated ratio metrics."""
+    return {k: float(v) for k, v in doc.items()
+            if k.endswith("_x") and isinstance(v, (int, float))
+            and not isinstance(v, bool)}
+
+
+def load_dir(path: pathlib.Path) -> dict[str, dict[str, float]]:
+    """``{file name: {metric: value}}`` for every BENCH_*.json in ``path``."""
+    out: dict[str, dict[str, float]] = {}
+    for f in sorted(path.glob("BENCH_*.json")):
+        try:
+            doc = json.loads(f.read_text())
+        except (OSError, json.JSONDecodeError) as exc:
+            raise SystemExit(f"check_trend: unreadable {f}: {exc}") from None
+        if isinstance(doc, dict):
+            out[f.name] = ratio_metrics(doc)
+    return out
+
+
+def compare(fresh: dict[str, dict[str, float]],
+            baseline: dict[str, dict[str, float]],
+            max_regression: float) -> tuple[list[dict], list[str]]:
+    """Row-per-metric comparison plus the list of failure messages."""
+    rows: list[dict] = []
+    failures: list[str] = []
+    for name in sorted(set(fresh) | set(baseline)):
+        fresh_metrics = fresh.get(name, {})
+        base_metrics = baseline.get(name, {})
+        for metric in sorted(set(fresh_metrics) | set(base_metrics)):
+            f_val = fresh_metrics.get(metric)
+            b_val = base_metrics.get(metric)
+            if f_val is None:
+                status = "missing-fresh"
+                failures.append(
+                    f"{name}:{metric} present in baseline but missing from "
+                    "the fresh run")
+            elif b_val is None:
+                status = "new"
+            elif b_val <= 0:
+                status = "skipped (non-positive baseline)"
+            elif f_val < b_val / max_regression:
+                status = "REGRESSED"
+                failures.append(
+                    f"{name}:{metric} regressed more than "
+                    f"{max_regression:g}x: {f_val:.3f} vs baseline "
+                    f"{b_val:.3f}")
+            else:
+                status = "improved" if f_val > b_val else "ok"
+            rows.append({"file": name, "metric": metric, "fresh": f_val,
+                         "baseline": b_val, "status": status})
+    return rows, failures
+
+
+def markdown_table(rows: list[dict], max_regression: float) -> str:
+    def fmt(v):
+        return f"{v:.3f}" if v is not None else "—"
+
+    lines = ["## Benchmark trend (ratio metrics, "
+             f"fail under baseline/{max_regression:g})", "",
+             "| file | metric | baseline | fresh | status |",
+             "|---|---|---:|---:|---|"]
+    for r in rows:
+        mark = "❌" if r["status"] in ("REGRESSED", "missing-fresh") else "✅"
+        lines.append(f"| {r['file']} | `{r['metric']}` | "
+                     f"{fmt(r['baseline'])} | {fmt(r['fresh'])} | "
+                     f"{mark} {r['status']} |")
+    if not rows:
+        lines.append("| — | — | — | — | no ratio metrics found |")
+    return "\n".join(lines) + "\n"
+
+
+def main(argv: list[str] | None = None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--fresh", required=True, type=pathlib.Path,
+                    help="directory with freshly produced BENCH_*.json")
+    ap.add_argument("--baseline", required=True, type=pathlib.Path,
+                    help="directory with committed baseline BENCH_*.json")
+    ap.add_argument("--max-regression", type=float, default=2.0,
+                    help="fail when fresh < baseline / this (default: 2.0)")
+    ap.add_argument("--require", action="append", default=[],
+                    metavar="FILE", help="BENCH file that must exist in the "
+                    "fresh directory (repeatable)")
+    ap.add_argument("--summary", type=pathlib.Path, default=None,
+                    help="markdown output path (default: "
+                         "$GITHUB_STEP_SUMMARY when set)")
+    args = ap.parse_args(argv)
+    if args.max_regression <= 1.0:
+        raise SystemExit("check_trend: --max-regression must be > 1")
+    for d in (args.fresh, args.baseline):
+        if not d.is_dir():
+            raise SystemExit(f"check_trend: not a directory: {d}")
+
+    fresh = load_dir(args.fresh)
+    baseline = load_dir(args.baseline)
+    rows, failures = compare(fresh, baseline, args.max_regression)
+    for req in args.require:
+        if req not in fresh:
+            failures.append(f"required fresh result missing: {req}")
+
+    table = markdown_table(rows, args.max_regression)
+    summary = args.summary or (
+        pathlib.Path(os.environ["GITHUB_STEP_SUMMARY"])
+        if os.environ.get("GITHUB_STEP_SUMMARY") else None)
+    if summary is not None:
+        with open(summary, "a") as f:
+            f.write(table)
+    print(table)
+
+    if failures:
+        for msg in failures:
+            print(f"check_trend: {msg}", file=sys.stderr)
+        return 1
+    print(f"check_trend: {len(rows)} metric(s) within "
+          f"{args.max_regression:g}x of baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

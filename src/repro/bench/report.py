@@ -26,6 +26,8 @@ PAPER_HEADLINES: dict[str, str] = {
     "serve": "fingerprint-aware micro-batching vs naive FIFO under a "
              "bounded artifact LRU (serving-layer extension; no paper "
              "headline)",
+    "trace": "span-level phase attribution of serving latency "
+             "(observability extension; no paper headline)",
     "figure2": "avg ~35x vs cuSPARSE, max 67x at small n; ~3.5x fewer loads",
     "figure3": "avg 20.33x / 14.66x / 9.28x vs cuSPARSE / BIDMat-GPU / "
                "BIDMat-CPU",
@@ -99,6 +101,12 @@ def measured_headline(name: str, res: ExperimentResult) -> str:
             return (f"p99 {rows['fifo'][4]:.1f} -> "
                     f"{rows['fingerprint'][4]:.1f} ms ({ratio:.1f}x), "
                     f"{rows['fingerprint'][10]:.0f} divergent outputs")
+        if name == "trace":
+            q = dict(zip(res.column("quantity"), res.column("value")))
+            return (f"coverage {100 * q['coverage']:.1f}% of "
+                    f"{q['measured_ms']:.0f} ms over {q['spans']:.0f} "
+                    f"spans; queue {q['queue_wait_ms']:.0f} ms, kernels "
+                    f"{q['kernel_execute_ms']:.0f} ms")
         if name == "table6":
             rows = {r[0]: r for r in res.rows}
             return (f"total {rows['HIGGS-like'][2]:.1f}x/"
@@ -163,7 +171,7 @@ NOTES = """
 #: experiments measuring host wall-clock (not model time) run first, before
 #: the long model-time builders perturb the process (allocator arenas, CPU
 #: caches) and skew the timed comparisons
-WALL_CLOCK_FIRST = ("profile", "serve")
+WALL_CLOCK_FIRST = ("profile", "serve", "trace")
 
 
 def generate(path: str = "EXPERIMENTS.md") -> str:

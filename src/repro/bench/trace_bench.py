@@ -1,0 +1,62 @@
+"""Span-tracing experiment: phase attribution of a traced serve replay.
+
+Replays a closed-loop loadgen workload through a :class:`PatternServer`
+with a capturing :class:`repro.trace.Tracer` installed and decomposes the
+measured per-request end-to-end latency into the traced phases (queue
+wait, evaluation — split into profile builds and kernel execution — and
+completion wait).  The reproduced quantity is *coverage*: the fraction of
+measured latency the span tree explains, which the ``repro trace`` CLI
+gates at 1 ± 0.1.
+"""
+
+from __future__ import annotations
+
+from .. import trace
+from ..core.engine import PatternEngine
+from ..serve import (PatternServer, ServerConfig, run_workload,
+                     synthesize_workload)
+from .harness import ExperimentResult, register, resolve_scale
+
+
+@register("trace")
+def trace_attribution(scale: float | None = None,
+                      requests: int = 120) -> ExperimentResult:
+    """Traced replay -> per-phase latency decomposition + coverage."""
+    scale = resolve_scale(scale if scale is not None else 1.0)
+    rows = max(200, int(20_000 * scale))
+    workload = synthesize_workload(matrices=4, requests=requests, rows=rows,
+                                   cols=96, sparsity=0.03, mode="closed",
+                                   seed=0)
+    with trace.capture() as tracer:
+        server = PatternServer(PatternEngine(),
+                               ServerConfig(workers=2, max_batch=8))
+        try:
+            report = run_workload(server, workload)
+        finally:
+            server.stop()
+    # arithmetic mean * count recovers the per-request latency sum exactly
+    measured = report["latency_ms"]["mean"] * report["completed"]
+    att = trace.attribution(tracer.snapshot(), measured)
+
+    res = ExperimentResult(
+        experiment="trace",
+        title=f"Span-traced serve replay: {requests} closed-loop requests "
+              f"over 4 matrices ({rows}x96:0.03), phase attribution of "
+              "end-to-end latency",
+        columns=("quantity", "value"),
+    )
+    for key in ("measured_ms", "attributed_ms", "coverage", "queue_wait_ms",
+                "evaluate_ms", "profile_build_ms", "kernel_execute_ms",
+                "evaluate_other_ms", "completion_ms"):
+        res.add(key, att[key])
+    res.add("spans", len(tracer.snapshot()))
+    res.notes = [
+        "coverage = (queue-wait + evaluate + completion-wait) / measured "
+        "latency sum; the repro-trace CLI fails outside 1 +/- 0.1",
+        "tracing is zero-cost when disabled (one global read per span "
+        "site) and outputs are bit-identical either way "
+        "(tests/test_trace_parity.py, tests/test_trace_overhead.py)",
+        "host wall-clock latencies on the simulated-device counter model; "
+        "span taxonomy in DESIGN.md §3.4",
+    ]
+    return res

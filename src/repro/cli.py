@@ -17,14 +17,25 @@ Commands:
   popularity, Poisson arrivals, deadline spread) as a small JSON file;
 * ``serve`` — replay a workload trace through the micro-batching
   :class:`~repro.serve.server.PatternServer` and report latency
-  percentiles, shedding/timeout counts, and live engine metrics.
+  percentiles, shedding/timeout counts, and live engine metrics;
+* ``trace`` — run a pattern workload (or replay a loadgen trace) under span
+  tracing; writes Chrome trace-event JSON (``chrome://tracing``/Perfetto)
+  and prints the top-down phase summary with end-to-end cost attribution.
+
+``serve``, ``loadgen --run``, and ``trace --replay`` honor SIGINT: the
+first Ctrl-C drains in-flight work and shuts the server down gracefully
+(exit 130); further SIGINTs are deferred until the drain completes so the
+scheduler thread can never be leaked mid-join.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import os
+import signal
 import sys
+import time
 import zipfile
 
 import numpy as np
@@ -196,16 +207,48 @@ def _serve_config(args: argparse.Namespace):
         default_deadline_ms=args.default_deadline_ms)
 
 
+def _drain_ignoring_sigint(server) -> None:
+    """Stop the server with SIGINT deferred for the duration.
+
+    A second Ctrl-C during the drain would otherwise interrupt
+    ``PatternServer.stop()`` mid-join and leak the scheduler thread; the
+    stop is retried by the caller's ``finally`` if that ever happens.
+    """
+    try:
+        previous = signal.signal(signal.SIGINT, signal.SIG_IGN)
+    except ValueError:                     # not the main thread (tests)
+        previous = None
+    try:
+        server.stop()
+    finally:
+        if previous is not None:
+            signal.signal(signal.SIGINT, previous)
+
+
+def _interrupted(args: argparse.Namespace, server) -> int:
+    """Shared SIGINT epilogue for serve/loadgen/trace replays (exit 130)."""
+    _drain_ignoring_sigint(server)
+    print(f"repro {args.command}: interrupted — drained in-flight work "
+          "and shut down cleanly", file=sys.stderr)
+    return 130
+
+
 def _run_trace(args: argparse.Namespace, trace: dict) -> int:
     from .core.engine import PatternEngine
     from .serve import PatternServer, format_report, run_workload
 
     engine = PatternEngine(max_plans=args.max_plans,
                            max_artifact_bytes=args.max_artifact_bytes)
-    with PatternServer(engine, _serve_config(args)) as server:
+    server = PatternServer(engine, _serve_config(args))
+    try:
         report = run_workload(server, trace, verify=args.verify)
+        server.stop()                  # drain before the final snapshots
         metrics_json = server.metrics_json()
         metrics_prom = server.metrics_prometheus()
+    except KeyboardInterrupt:
+        return _interrupted(args, server)
+    finally:
+        server.stop()                  # idempotent; covers error paths
     print(format_report(report))
     for spec, text in ((args.metrics_json, metrics_json),
                        (args.prometheus, metrics_prom)):
@@ -218,6 +261,99 @@ def _run_trace(args: argparse.Namespace, trace: dict) -> int:
     if args.verify and report["divergent"]:
         print(f"{report['divergent']} outputs diverged from uncached "
               "evaluation", file=sys.stderr)
+        return 1
+    return 0
+
+
+def _traced_replay(args: argparse.Namespace) -> tuple[int | None, float]:
+    """Replay a loadgen trace through a server while a tracer is installed.
+
+    Returns ``(exit_status, measured_ms)`` where ``exit_status`` is not
+    ``None`` only when the replay was interrupted, and ``measured_ms`` is
+    the sum of completed-request end-to-end latencies (the quantity the
+    attribution gate decomposes).
+    """
+    from .core.engine import PatternEngine
+    from .serve import (PatternServer, format_report, load_workload,
+                        run_workload)
+
+    if not os.path.exists(args.replay):
+        raise SystemExit(f"workload file not found: {args.replay}")
+    workload = load_workload(args.replay)
+    engine = PatternEngine(max_plans=args.max_plans,
+                           max_artifact_bytes=args.max_artifact_bytes)
+    server = PatternServer(engine, _serve_config(args))
+    try:
+        report = run_workload(server, workload)
+        server.stop()                  # drain so every span is recorded
+    except KeyboardInterrupt:
+        return _interrupted(args, server), 0.0
+    finally:
+        server.stop()
+    print(format_report(report))
+    print()
+    # arithmetic mean * count recovers the latency sum exactly
+    measured = report["latency_ms"]["mean"] * report["completed"]
+    return None, measured
+
+
+def _traced_engine_loop(args: argparse.Namespace, tracer) -> float:
+    """Warm-engine iteration loop (the Listing-1 hot statement) under
+    tracing; returns the summed per-call wall time in milliseconds."""
+    from .core.engine import PatternEngine
+
+    X = _load_matrix(args.matrix)
+    n = X.shape[1]
+    rng = np.random.default_rng(args.seed)
+    engine = PatternEngine(max_plans=args.max_plans,
+                           max_artifact_bytes=args.max_artifact_bytes)
+    # warm the session first, then drop the warmup spans: first-call costs
+    # (plan/tune/profile builds, allocator and code warmup) land partly
+    # outside any span and would skew the attribution of the amortized
+    # regime this mode profiles; replay mode keeps its cold starts because
+    # its per-request decomposition is exact by construction
+    warm = rng.normal(size=n)
+    engine.evaluate(X, warm, z=warm, beta=1e-3, strategy=args.strategy)
+    tracer.clear()
+    measured = 0.0
+    for _ in range(args.iterations):
+        y = rng.normal(size=n)
+        t0 = time.perf_counter()
+        engine.evaluate(X, y, z=y, beta=1e-3, strategy=args.strategy)
+        measured += (time.perf_counter() - t0) * 1e3
+    return measured
+
+
+def cmd_trace(args: argparse.Namespace) -> int:
+    from . import trace as tracing
+
+    with tracing.capture() as tracer:
+        if args.replay:
+            status, measured = _traced_replay(args)
+            if status is not None:
+                return status
+        else:
+            measured = _traced_engine_loop(args, tracer)
+
+    spans = tracer.snapshot()
+    if tracer.dropped:
+        print(f"repro trace: retention cap hit, {tracer.dropped} spans "
+              "dropped (aggregates remain exact)", file=sys.stderr)
+    if args.chrome:
+        doc = tracing.to_chrome(spans)
+        tracing.validate_chrome(doc)
+        with open(args.chrome, "w") as f:
+            json.dump(doc, f)
+        print(f"wrote {args.chrome}: {len(doc['traceEvents'])} trace events "
+              "(open in chrome://tracing or Perfetto)")
+    print(tracing.to_text(tracing.aggregate(spans)))
+    print()
+    att = tracing.attribution(spans, measured)
+    print(tracing.attribution_text(att))
+    if measured > 0 and abs(att["coverage"] - 1.0) > args.coverage_tolerance:
+        print(f"repro trace: attribution coverage {att['coverage']:.3f} "
+              f"outside 1±{args.coverage_tolerance:g} of measured latency",
+              file=sys.stderr)
         return 1
     return 0
 
@@ -249,8 +385,8 @@ def cmd_loadgen(args: argparse.Namespace) -> int:
     return 0
 
 
-def _add_serve_run_flags(p: argparse.ArgumentParser) -> None:
-    """Server/engine knobs shared by ``serve`` and ``loadgen --run``."""
+def _add_serve_config_flags(p: argparse.ArgumentParser) -> None:
+    """Server/engine knobs shared by ``serve``, ``loadgen --run``, ``trace``."""
     from .serve import POLICIES
     p.add_argument("--policy", default="fingerprint", choices=list(POLICIES),
                    help="micro-batching policy (default: fingerprint)")
@@ -269,6 +405,11 @@ def _add_serve_run_flags(p: argparse.ArgumentParser) -> None:
     p.add_argument("--max-artifact-bytes", type=int,
                    default=256 * 1024 * 1024,
                    help="engine artifact-LRU byte budget")
+
+
+def _add_serve_run_flags(p: argparse.ArgumentParser) -> None:
+    """Config knobs plus the replay-output flags of ``serve``/``loadgen``."""
+    _add_serve_config_flags(p)
     p.add_argument("--verify", action="store_true",
                    help="check every output bit-identically against "
                         "uncached evaluation (slow; exits 1 on divergence)")
@@ -368,6 +509,26 @@ def build_parser() -> argparse.ArgumentParser:
                     help="also replay the trace through a server in-process")
     _add_serve_run_flags(lg)
     lg.set_defaults(fn=cmd_loadgen)
+
+    tr = sub.add_parser("trace",
+                        help="run a workload under span tracing: Chrome "
+                             "trace JSON + per-phase cost attribution")
+    mode = tr.add_mutually_exclusive_group(required=True)
+    mode.add_argument("--replay", metavar="TRACE.json",
+                      help="loadgen trace to replay through a PatternServer")
+    mode.add_argument("--matrix", metavar="SPEC",
+                      help=".npz path or MxN:sparsity for a warm engine loop")
+    tr.add_argument("--iterations", type=int, default=30,
+                    help="engine-loop iterations (--matrix mode)")
+    tr.add_argument("--strategy", default="auto", choices=list(STRATEGIES))
+    tr.add_argument("--chrome", metavar="PATH",
+                    help="write Chrome trace-event JSON "
+                         "(chrome://tracing, Perfetto)")
+    tr.add_argument("--coverage-tolerance", type=float, default=0.10,
+                    help="fail when |attribution coverage - 1| exceeds this")
+    tr.add_argument("--seed", type=int, default=0)
+    _add_serve_config_flags(tr)
+    tr.set_defaults(fn=cmd_trace)
     return ap
 
 

@@ -37,11 +37,12 @@ import threading
 import time
 from collections import OrderedDict
 from concurrent.futures import ThreadPoolExecutor
-from dataclasses import astuple, dataclass, field
+from dataclasses import astuple, dataclass
 from hashlib import blake2b
 
 import numpy as np
 
+from .. import trace
 from ..kernels import codegen
 from ..kernels.base import DEFAULT_CONTEXT, GpuContext, KernelResult, chain
 from ..kernels.dense_baseline import profile_gemv
@@ -137,6 +138,7 @@ class BatchResult:
     result: KernelResult
     wall_ms: float               # host wall-clock spent on this request
     cached: bool                 # True when plan (and artifacts) were warm
+    started_at: float = 0.0      # time.monotonic() when evaluation began
 
 
 @dataclass
@@ -274,20 +276,28 @@ class PatternEngine:
             return []
         workers = max_workers or min(8, len(items))
 
-        def run(idx_req):
-            idx, (p, strategy) = idx_req
-            t0 = time.perf_counter()
-            res, cached = self._evaluate(p, strategy)
-            wall = (time.perf_counter() - t0) * 1e3
-            return BatchResult(idx, res, wall, cached)
+        batch_span = trace.span("batch", "engine",
+                                requests=len(items), workers=workers)
+        with batch_span:
+            parent = trace.current_id()
 
-        t0 = time.perf_counter()
-        if workers <= 1:
-            out = [run(item) for item in enumerate(items)]
-        else:
-            with ThreadPoolExecutor(max_workers=workers) as pool:
-                out = list(pool.map(run, enumerate(items)))
-        batch_wall = (time.perf_counter() - t0) * 1e3
+            def run(idx_req):
+                idx, (p, strategy) = idx_req
+                started = time.monotonic()
+                t0 = time.perf_counter()
+                with trace.span("request", "engine", parent=parent,
+                                index=idx):
+                    res, cached = self._evaluate(p, strategy)
+                wall = (time.perf_counter() - t0) * 1e3
+                return BatchResult(idx, res, wall, cached, started)
+
+            t0 = time.perf_counter()
+            if workers <= 1:
+                out = [run(item) for item in enumerate(items)]
+            else:
+                with ThreadPoolExecutor(max_workers=workers) as pool:
+                    out = list(pool.map(run, enumerate(items)))
+            batch_wall = (time.perf_counter() - t0) * 1e3
         with self._lock:
             self._stats.batches += 1
             self._stats.batch_requests += len(items)
@@ -361,7 +371,14 @@ class PatternEngine:
 
     def _evaluate(self, p: GenericPattern,
                   strategy: str) -> tuple[KernelResult, bool]:
-        mat_fp = fingerprint_matrix(p.X)
+        span = trace.span("evaluate", "engine", strategy=strategy)
+        with span:
+            return self._evaluate_traced(p, strategy, span)
+
+    def _evaluate_traced(self, p: GenericPattern, strategy: str,
+                         span) -> tuple[KernelResult, bool]:
+        with trace.span("fingerprint", "engine"):
+            mat_fp = fingerprint_matrix(p.X)
         key = self._plan_key(p, mat_fp, strategy)
         with self._lock:
             entry = self._plans.get(key)
@@ -380,6 +397,9 @@ class PatternEngine:
 
         res, artifacts_warm = self._execute(p, entry, mat_fp)
         cached = plan_hit and artifacts_warm
+        span.set("plan", "hit" if plan_hit else "miss")
+        span.set("cached", cached)
+        span.set("resolved_strategy", entry.strategy)
 
         if self.check:
             ref = p.reference()
@@ -403,24 +423,29 @@ class PatternEngine:
 
     def _resolve(self, p: GenericPattern, strategy: str) -> PlanEntry:
         """Cold path: pick the plan and derive its launch parameters."""
-        resolved = strategy
-        if resolved == "auto":
-            resolved = self.executor.choose_strategy(p)
-        self.executor.plan_for(p, resolved)      # validates the name
-        params: SparseParams | DenseParams | None = None
-        ck = None
-        if resolved == "fused":
-            if p.is_sparse:
-                params = tune_sparse(p.X, self.ctx.device)
-            elif p.inner:
-                params = tune_dense(*p.shape, device=self.ctx.device)
-                ck = (params.padded_n, params.vector_size,
-                      params.thread_load)
-                _, compiled = codegen.ensure_kernel(*ck)
-                if compiled:
-                    with self._lock:
-                        self._stats.kernels_compiled += 1
-        return PlanEntry(strategy=resolved, params=params, codegen_key=ck)
+        with trace.span("plan", "engine", requested=strategy) as sp:
+            resolved = strategy
+            if resolved == "auto":
+                resolved = self.executor.choose_strategy(p)
+            self.executor.plan_for(p, resolved)      # validates the name
+            sp.set("strategy", resolved)
+            params: SparseParams | DenseParams | None = None
+            ck = None
+            if resolved == "fused":
+                if p.is_sparse:
+                    with trace.span("tune", "engine"):
+                        params = tune_sparse(p.X, self.ctx.device)
+                elif p.inner:
+                    with trace.span("tune", "engine"):
+                        params = tune_dense(*p.shape, device=self.ctx.device)
+                    ck = (params.padded_n, params.vector_size,
+                          params.thread_load)
+                    _, compiled = codegen.ensure_kernel(*ck)
+                    if compiled:
+                        with self._lock:
+                            self._stats.kernels_compiled += 1
+            return PlanEntry(strategy=resolved, params=params,
+                             codegen_key=ck)
 
     def _execute(self, p: GenericPattern, entry: PlanEntry,
                  mat_fp: str) -> tuple[KernelResult, bool]:
@@ -485,18 +510,20 @@ class PatternEngine:
                 self._artifacts.move_to_end(akey)
                 self._stats.artifact_hits += 1
                 return art.value, True
-        if kind == "profile:fused-sparse":
-            splan = self._spmv_plan_for(p.X, mat_fp)
-            prof = profile_sparse_fused(p.X, self.ctx, entry.params,
-                                        spmv_plan=splan)
-        elif kind == "profile:csrmv":
-            splan = self._spmv_plan_for(p.X, mat_fp)
-            prof = profile_csrmv(p.X, self.ctx, spmv_plan=splan)
-        elif kind == "profile:fused-dense":
-            prof = profile_dense_fused(np.asarray(p.X, dtype=np.float64),
-                                       self.ctx, entry.params)
-        else:
-            prof = profile_gemv(p.X, self.ctx)
+        with trace.span("profile-build", "engine", kind=kind) as sp:
+            if kind == "profile:fused-sparse":
+                splan = self._spmv_plan_for(p.X, mat_fp)
+                prof = profile_sparse_fused(p.X, self.ctx, entry.params,
+                                            spmv_plan=splan)
+            elif kind == "profile:csrmv":
+                splan = self._spmv_plan_for(p.X, mat_fp)
+                prof = profile_csrmv(p.X, self.ctx, spmv_plan=splan)
+            elif kind == "profile:fused-dense":
+                prof = profile_dense_fused(np.asarray(p.X, dtype=np.float64),
+                                           self.ctx, entry.params)
+            else:
+                prof = profile_gemv(p.X, self.ctx)
+            sp.count(bytes_built=int(prof.nbytes))
         self._store_profile(akey, kind, prof, int(prof.nbytes))
         return prof, False
 
@@ -515,7 +542,10 @@ class PatternEngine:
                 self._artifacts.move_to_end(akey)
                 self._stats.artifact_hits += 1
                 return art.value, True
-        prof = profile_csrmv(XT, self.ctx)
+        with trace.span("profile-build", "engine",
+                        kind="profile:xt-csrmv") as sp:
+            prof = profile_csrmv(XT, self.ctx)
+            sp.count(bytes_built=int(prof.nbytes))
         self._store_profile(akey, "profile:xt-csrmv", prof,
                             int(prof.nbytes))
         return prof, False
@@ -533,7 +563,9 @@ class PatternEngine:
                 self._artifacts.move_to_end(akey)
                 self._stats.artifact_hits += 1
                 return art.value
-        plan = SpmvPlan(X)
+        with trace.span("profile-build", "engine", kind="spmv-plan") as sp:
+            plan = SpmvPlan(X)
+            sp.count(bytes_built=int(plan.nbytes), nnz=X.nnz)
         self._store_profile(akey, "spmv-plan", plan, int(plan.nbytes))
         return plan
 
@@ -561,11 +593,13 @@ class PatternEngine:
                 self._artifacts.move_to_end(akey)
                 self._stats.artifact_hits += 1
                 return art.value, None, True
-        trans_res = csr2csc_kernel(X, self.ctx)
-        csc = trans_res.output
-        XT = CsrMatrix((X.n, X.m), csc.values, csc.row_idx, csc.col_off)
-        nbytes = int(XT.values.nbytes + XT.col_idx.nbytes
-                     + XT.row_off.nbytes)
+        with trace.span("transpose-build", "engine") as sp:
+            trans_res = csr2csc_kernel(X, self.ctx)
+            csc = trans_res.output
+            XT = CsrMatrix((X.n, X.m), csc.values, csc.row_idx, csc.col_off)
+            nbytes = int(XT.values.nbytes + XT.col_idx.nbytes
+                         + XT.row_off.nbytes)
+            sp.count(bytes_built=nbytes, nnz=X.nnz)
         with self._lock:
             self._stats.artifact_misses += 1
             self._stats.transposes_built += 1

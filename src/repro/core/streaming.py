@@ -21,7 +21,6 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from ..gpu.counters import PerfCounters
 from ..gpu.transfer import TransferModel
 from ..kernels.base import DEFAULT_CONTEXT, GpuContext, KernelResult
 from ..sparse.csr import CsrMatrix

@@ -19,6 +19,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from .. import trace
 from ..gpu.counters import PerfCounters
 from ..gpu.launch import LaunchConfig
 from ..gpu.memory import coalesced_transactions, shared_bank_conflict_replays
@@ -89,7 +90,9 @@ def gemv_n(X: np.ndarray, y: np.ndarray,
     if profile is None:
         profile = profile_gemv(X, ctx)
     pr = profile
-    out = X @ y
+    with trace.span("spmv", "kernel", kernel="cublas.gemv_n") as sp:
+        out = X @ y
+        sp.count(elements=m * n)
     c = PerfCounters()
     c.global_load_transactions = pr.load_mn + pr.n_stream
     c.global_store_transactions = pr.m_stream
@@ -117,7 +120,9 @@ def gemv_t(X: np.ndarray, p: np.ndarray,
     if profile is None:
         profile = profile_gemv(X, ctx)
     pr = profile
-    out = X.T @ p
+    with trace.span("xt-accumulate", "kernel", kernel="cublas.gemv_t") as sp:
+        out = X.T @ p
+        sp.count(elements=m * n)
     c = PerfCounters()
     c.global_load_transactions = 1.15 * pr.load_mn + pr.m_stream
     c.global_store_transactions = pr.n_stream
@@ -138,7 +143,8 @@ def bidmat_gemv_n(X: np.ndarray, y: np.ndarray,
     """BIDMat's dense MV — comparable to cuBLAS in normal mode."""
     res = gemv_n(X, y, ctx, profile=profile)
     res.counters.global_load_transactions *= 1.05
-    res.time_ms = ctx.cost_model.time_ms(res.counters, res.occupancy_fraction, res.bandwidth_derate)
+    res.time_ms = ctx.cost_model.time_ms(res.counters, res.occupancy_fraction,
+                                         res.bandwidth_derate)
     res.name = "bidmat.gemv_n"
     return res
 

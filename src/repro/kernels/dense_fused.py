@@ -22,6 +22,7 @@ from typing import Callable
 
 import numpy as np
 
+from .. import trace
 from ..gpu.counters import PerfCounters
 from ..gpu.launch import LaunchConfig
 from ..gpu.memory import coalesced_transactions
@@ -161,13 +162,21 @@ def fused_pattern_dense(X: np.ndarray, y: np.ndarray,
     params = pr.params
 
     # ------- functional result through the *generated* kernel ---------------
+    # Algorithm 3 runs as one generated kernel; the axpy initialization and
+    # the fused body (SpMV + inter-vector + X^T.t accumulation) are the two
+    # phases visible from the host side
     yp = _pad_vec(y, params.padded_n)
     out_padded = np.zeros(params.padded_n, dtype=np.float64)
     if beta != 0.0:
-        out_padded[:n] = beta * np.asarray(z, dtype=np.float64)
+        with trace.span("axpy", "kernel") as sp:
+            out_padded[:n] = beta * np.asarray(z, dtype=np.float64)
+            sp.count(cols=n)
     vv = None if v is None else np.asarray(v, dtype=np.float64)
-    pr.kernel(pr.x_padded, yp, vv, alpha, out_padded)
-    w = out_padded[:n].copy()
+    with trace.span("fused-dense", "kernel",
+                    kernel="fused.pattern_dense") as sp:
+        pr.kernel(pr.x_padded, yp, vv, alpha, out_padded)
+        w = out_padded[:n].copy()
+        sp.count(elements=m * n)
 
     # ------- event accounting -------------------------------------------------
     c = PerfCounters()

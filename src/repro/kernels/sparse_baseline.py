@@ -27,6 +27,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from .. import trace
 from ..gpu.atomics import ContentionProfile, contention_profile
 from ..gpu.counters import PerfCounters
 from ..gpu.launch import LaunchConfig, grid_for_rows
@@ -177,7 +178,9 @@ def csrmv(X: CsrMatrix, y: np.ndarray,
     if profile is None:
         profile = profile_csrmv(X, ctx)
     pr = profile
-    out = pr.spmv_plan.spmv(y)
+    with trace.span("spmv", "kernel", kernel="cusparse.csrmv") as sp:
+        out = pr.spmv_plan.spmv(y)
+        sp.count(nnz=pr.nnz)
     c = PerfCounters()
     c.global_load_transactions = (
         pr.tx_values                       # values
@@ -209,7 +212,10 @@ def csrmv_transpose(X: CsrMatrix, p: np.ndarray,
     if profile is None:
         profile = profile_csrmv(X, ctx)
     pr = profile
-    out = pr.spmv_plan.spmv_t(p)
+    with trace.span("xt-accumulate", "kernel",
+                    kernel="cusparse.csrmv_transpose") as sp:
+        out = pr.spmv_plan.spmv_t(p)
+        sp.count(nnz=pr.nnz)
     c = PerfCounters()
     c.global_load_transactions = (
         pr.tx_values                       # values
@@ -242,7 +248,9 @@ def csr2csc_kernel(X: CsrMatrix,
     if profile is None:
         profile = profile_csrmv(X, ctx)
     pr = profile
-    csc = csr_to_csc(X)
+    with trace.span("csr2csc", "kernel") as sp:
+        csc = csr_to_csc(X)
+        sp.count(nnz=pr.nnz)
     nnz = pr.nnz
     c = PerfCounters()
     c.global_load_transactions = (

@@ -33,6 +33,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from .. import trace
 from ..gpu.atomics import contention_profile, shared_atomic_batch
 from ..gpu.counters import PerfCounters
 from ..gpu.launch import LaunchConfig
@@ -171,7 +172,9 @@ def xt_spmv_fused(X: CsrMatrix, p: np.ndarray,
     if profile is None:
         profile = profile_sparse_fused(X, ctx, params)
     pr = profile
-    out = pr.spmv_plan.spmv_t(p)
+    with trace.span("xt-accumulate", "kernel", variant=pr.variant) as sp:
+        out = pr.spmv_plan.spmv_t(p)
+        sp.count(nnz=pr.nnz)
 
     c = PerfCounters()
     c.global_load_transactions = pr.first_pass + pr.m_stream       # X, p
@@ -214,14 +217,25 @@ def fused_pattern_sparse(X: CsrMatrix, y: np.ndarray,
     pr = profile
 
     # ------- functional result (mirrors the kernel's dataflow) -------------
-    p = pr.spmv_plan.spmv(y)
+    # each Algorithm-2 phase is bracketed by a span: the row pass (SpMV),
+    # the inter-vector scaling, the second row pass (X^T.t accumulation
+    # into the shared/global mirror), and the beta*z fold
+    with trace.span("spmv", "kernel", variant=pr.variant) as sp:
+        p = pr.spmv_plan.spmv(y)
+        sp.count(nnz=pr.nnz)
     if v is not None:
         if np.asarray(v).shape != (pr.m,):
             raise ValueError(f"v must have shape ({pr.m},)")
-        p = p * np.asarray(v, dtype=np.float64)
-    w = alpha * pr.spmv_plan.spmv_t(p)
+        with trace.span("inter-vector", "kernel") as sp:
+            p = p * np.asarray(v, dtype=np.float64)
+            sp.count(rows=pr.m)
+    with trace.span("xt-accumulate", "kernel", variant=pr.variant) as sp:
+        w = alpha * pr.spmv_plan.spmv_t(p)
+        sp.count(nnz=pr.nnz)
     if beta != 0.0:
-        w = w + beta * np.asarray(z, dtype=np.float64)
+        with trace.span("axpy", "kernel") as sp:
+            w = w + beta * np.asarray(z, dtype=np.float64)
+            sp.count(cols=pr.n)
 
     # ------- event accounting: close the template over the call scalars ----
     c = PerfCounters()

@@ -121,8 +121,14 @@ class ServeMetrics:
 
     # -------------------------------------------------------------- exporting
     def snapshot(self, queue_depth: int = 0, in_flight: int = 0,
-                 engine_stats=None) -> dict:
-        """One consistent dict of counters, gauges, histograms, hit-rates."""
+                 engine_stats=None, phases=None) -> dict:
+        """One consistent dict of counters, gauges, histograms, hit-rates.
+
+        ``phases``, when given, is the span-derived per-phase aggregate from
+        an installed :class:`repro.trace.Tracer` (``phase_totals()``), so a
+        traced server exports queue-wait/profile-build/kernel-execute time
+        next to its endpoint histograms.
+        """
         with self._lock:
             snap = {
                 "counters": dict(self._counters),
@@ -135,6 +141,8 @@ class ServeMetrics:
                     "batch_size": self._batch_size.to_dict(),
                 },
             }
+        if phases is not None:
+            snap["phases"] = phases
         if engine_stats is not None:
             snap["engine"] = {
                 "plan_hit_rate": engine_stats.hit_rate,
@@ -153,14 +161,17 @@ class ServeMetrics:
         return snap
 
     def to_json(self, queue_depth: int = 0, in_flight: int = 0,
-                engine_stats=None, indent: int | None = 2) -> str:
-        return json.dumps(self.snapshot(queue_depth, in_flight, engine_stats),
+                engine_stats=None, indent: int | None = 2,
+                phases=None) -> str:
+        return json.dumps(self.snapshot(queue_depth, in_flight, engine_stats,
+                                        phases=phases),
                           indent=indent)
 
     def to_prometheus(self, queue_depth: int = 0, in_flight: int = 0,
-                      engine_stats=None) -> str:
+                      engine_stats=None, phases=None) -> str:
         """Prometheus text exposition format (version 0.0.4)."""
-        snap = self.snapshot(queue_depth, in_flight, engine_stats)
+        snap = self.snapshot(queue_depth, in_flight, engine_stats,
+                             phases=phases)
         lines: list[str] = []
 
         def counter(name, help_, value, labels=""):
@@ -201,6 +212,13 @@ class ServeMetrics:
             lines.append(f'{metric}_bucket{{le="+Inf"}} {cumulative}')
             lines.append(f"{metric}_sum {hist['sum']}")
             lines.append(f"{metric}_count {hist['count']}")
+        for phase, tot in snap.get("phases", {}).items():
+            lines.append(
+                f'repro_trace_phase_ms_total{{phase="{phase}"}} '
+                f'{tot["total_ms"]}')
+            lines.append(
+                f'repro_trace_phase_count_total{{phase="{phase}"}} '
+                f'{tot["count"]}')
         if "engine" in snap:
             eng = snap["engine"]
             gauge("repro_engine_plan_hit_rate",

@@ -31,6 +31,7 @@ from collections import deque
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
 
+from .. import trace
 from ..core.engine import PatternEngine
 from .batcher import POLICIES, form_batches
 from .metrics import ServeMetrics
@@ -84,7 +85,10 @@ class PatternServer:
         self._stop_event = threading.Event()
         self._accepting = True
         self._stopped = False
-        self._lifecycle_lock = threading.Lock()
+        self._shutdown_complete = False
+        # reentrant: an interrupted stop() may be retried from the same
+        # thread (the CLI's SIGINT path) without deadlocking
+        self._lifecycle_lock = threading.RLock()
         self._flight_lock = threading.Lock()
         self._flight_cond = threading.Condition(self._flight_lock)
         self._in_flight = 0
@@ -109,12 +113,14 @@ class PatternServer:
     def stop(self) -> None:
         """Graceful shutdown: drain in-flight work, reject queued requests.
 
-        Safe to call more than once.  After it returns: every submitted
-        future is resolved, no server thread is alive, and further submits
-        resolve immediately as ``rejected``.
+        Safe to call more than once, including again after a
+        ``KeyboardInterrupt`` cut a previous call short mid-join: the
+        shutdown is only latched as complete once every thread has been
+        joined, so a retry finishes the drain instead of silently leaking
+        the scheduler (the ``repro serve`` SIGINT regression).
         """
         with self._lifecycle_lock:
-            if self._stopped:
+            if self._shutdown_complete:
                 return
             self._stopped = True
             self._accepting = False
@@ -130,6 +136,7 @@ class PatternServer:
                 for ticket in self._queue.reject_pending():
                     self._reject(ticket, "server shutdown")
             self._pool.shutdown(wait=True)
+            self._shutdown_complete = True
 
     close = stop
 
@@ -149,34 +156,40 @@ class PatternServer:
         Shape errors in the request raise ``ValueError`` here, in the
         caller's thread, before anything is enqueued.
         """
-        request.validate()
-        rid = self._new_id()
-        key = request.group_key()
-        deadline_ms = request.deadline_ms
-        if deadline_ms is None:
-            deadline_ms = self.config.default_deadline_ms
-        now = time.monotonic()
-        ticket = _Ticket(
-            id=rid, request=request.to_pattern_request(), key=key,
-            enqueued_at=now,
-            deadline_at=(now + deadline_ms / 1e3)
-            if deadline_ms is not None else None)
-        self.metrics.inc("submitted")
-        if not self._accepting:
-            self._reject(ticket, "server shutdown")
-            return ticket.future
-        if not self._queue.offer(ticket, block=block, timeout=timeout):
-            if self._accepting and not self._queue.closed:
-                self.metrics.inc("shed")
-                ticket.future.resolve(ServeResponse(
-                    id=rid, status=STATUS_SHED, fingerprint=key[0],
-                    reason=f"admission queue full "
-                           f"(capacity {self.config.queue_capacity})"))
-            else:
+        with trace.span("admission", "serve") as sp:
+            request.validate()
+            rid = self._new_id()
+            key = request.group_key()
+            deadline_ms = request.deadline_ms
+            if deadline_ms is None:
+                deadline_ms = self.config.default_deadline_ms
+            now = time.monotonic()
+            ticket = _Ticket(
+                id=rid, request=request.to_pattern_request(), key=key,
+                enqueued_at=now,
+                deadline_at=(now + deadline_ms / 1e3)
+                if deadline_ms is not None else None)
+            self.metrics.inc("submitted")
+            sp.set("rid", rid)
+            if not self._accepting:
                 self._reject(ticket, "server shutdown")
-        else:
-            self.metrics.inc("admitted")
-        return ticket.future
+                sp.set("outcome", "rejected")
+                return ticket.future
+            if not self._queue.offer(ticket, block=block, timeout=timeout):
+                if self._accepting and not self._queue.closed:
+                    self.metrics.inc("shed")
+                    sp.set("outcome", "shed")
+                    ticket.future.resolve(ServeResponse(
+                        id=rid, status=STATUS_SHED, fingerprint=key[0],
+                        reason=f"admission queue full "
+                               f"(capacity {self.config.queue_capacity})"))
+                else:
+                    self._reject(ticket, "server shutdown")
+                    sp.set("outcome", "rejected")
+            else:
+                self.metrics.inc("admitted")
+                sp.set("outcome", "admitted")
+            return ticket.future
 
     def evaluate(self, request: ServeRequest, block: bool = True,
                  timeout: float | None = None,
@@ -210,17 +223,25 @@ class PatternServer:
                                        else 0.05)
         return True
 
+    def _trace_phases(self) -> dict | None:
+        """Span-derived phase aggregates when a tracer is installed."""
+        tracer = trace.active()
+        return tracer.phase_totals() if tracer is not None else None
+
     def metrics_snapshot(self) -> dict:
         return self.metrics.snapshot(self.queue_depth, self.in_flight,
-                                     self.engine.snapshot())
+                                     self.engine.snapshot(),
+                                     phases=self._trace_phases())
 
     def metrics_json(self, indent: int | None = 2) -> str:
         return self.metrics.to_json(self.queue_depth, self.in_flight,
-                                    self.engine.snapshot(), indent=indent)
+                                    self.engine.snapshot(), indent=indent,
+                                    phases=self._trace_phases())
 
     def metrics_prometheus(self) -> str:
         return self.metrics.to_prometheus(self.queue_depth, self.in_flight,
-                                          self.engine.snapshot())
+                                          self.engine.snapshot(),
+                                          phases=self._trace_phases())
 
     # -------------------------------------------------------------- internals
     def _new_id(self) -> int:
@@ -245,8 +266,12 @@ class PatternServer:
                     linger_s=linger_s)
                 if not tickets:
                     continue
-                pending.extend(form_batches(tickets, cfg.policy,
-                                            cfg.max_batch))
+                with trace.span("batch-formation", "serve",
+                                policy=cfg.policy) as sp:
+                    batches = form_batches(tickets, cfg.policy,
+                                           cfg.max_batch)
+                    sp.count(tickets=len(tickets), batches=len(batches))
+                pending.extend(batches)
             if not self._acquire_slot():
                 break                       # stopping; pending handled below
             self._pool.submit(self._run_batch, pending.popleft())
@@ -274,38 +299,9 @@ class PatternServer:
 
     def _run_batch(self, batch: list[_Ticket]) -> None:
         try:
-            now = time.monotonic()
-            live: list[_Ticket] = []
-            for t in batch:
-                wait_ms = (now - t.enqueued_at) * 1e3
-                if t.expired(now):
-                    self.metrics.inc("timeout")
-                    self.metrics.observe_wait(wait_ms)
-                    t.future.resolve(ServeResponse(
-                        id=t.id, status=STATUS_TIMEOUT,
-                        reason="deadline expired while queued",
-                        fingerprint=t.key[0], wait_ms=wait_ms))
-                else:
-                    live.append(t)
-            if not live:
-                return
-            results = self.engine.evaluate_many(
-                [t.request for t in live],
-                max_workers=self.config.engine_workers)
-            done = time.monotonic()
-            for t, br in zip(live, results):
-                wait_ms = (now - t.enqueued_at) * 1e3
-                latency_ms = (done - t.enqueued_at) * 1e3
-                self.metrics.inc("completed")
-                self.metrics.observe_wait(wait_ms)
-                self.metrics.observe_latency(latency_ms)
-                t.future.resolve(ServeResponse(
-                    id=t.id, status=STATUS_OK, result=br.result,
-                    fingerprint=t.key[0], wait_ms=wait_ms,
-                    service_ms=br.wall_ms, latency_ms=latency_ms,
-                    batch_size=len(live), cached=br.cached))
-            self.metrics.observe_batch(len(live),
-                                       [br.wall_ms for br in results])
+            with trace.span("batch", "serve", size=len(batch),
+                            policy=self.config.policy) as bsp:
+                self._run_batch_traced(batch, bsp)
         except Exception as exc:           # never let a batch die silently
             for t in batch:
                 if t.future.resolve(ServeResponse(
@@ -315,3 +311,59 @@ class PatternServer:
                     self.metrics.inc("errors")
         finally:
             self._release_slot()
+
+    def _run_batch_traced(self, batch: list[_Ticket], bsp) -> None:
+        tracer = trace.active()
+        batch_span_id = trace.current_id()
+        now = time.monotonic()
+        live: list[_Ticket] = []
+        for t in batch:
+            wait_ms = (now - t.enqueued_at) * 1e3
+            if t.expired(now):
+                self.metrics.inc("timeout")
+                self.metrics.observe_wait(wait_ms)
+                if tracer is not None:
+                    tracer.add_span("queue-wait", "serve",
+                                    t.enqueued_at, now,
+                                    parent=batch_span_id,
+                                    args={"rid": t.id,
+                                          "status": "timeout"})
+                t.future.resolve(ServeResponse(
+                    id=t.id, status=STATUS_TIMEOUT,
+                    reason="deadline expired while queued",
+                    fingerprint=t.key[0], wait_ms=wait_ms))
+            else:
+                live.append(t)
+        if not live:
+            return
+        results = self.engine.evaluate_many(
+            [t.request for t in live],
+            max_workers=self.config.engine_workers)
+        done = time.monotonic()
+        for t, br in zip(live, results):
+            wait_ms = (now - t.enqueued_at) * 1e3
+            latency_ms = (done - t.enqueued_at) * 1e3
+            self.metrics.inc("completed")
+            self.metrics.observe_wait(wait_ms)
+            self.metrics.observe_latency(latency_ms)
+            if tracer is not None:
+                # per-request decomposition: queue wait runs from enqueue
+                # to the moment *this* request's evaluation began inside
+                # the (possibly serialized) batch; completion wait covers
+                # its evaluation end until the whole batch resolves
+                tracer.add_span("queue-wait", "serve",
+                                t.enqueued_at, br.started_at,
+                                parent=batch_span_id,
+                                args={"rid": t.id, "status": "ok"})
+                tracer.add_span("completion", "serve",
+                                br.started_at + br.wall_ms / 1e3, done,
+                                parent=batch_span_id,
+                                args={"rid": t.id})
+            t.future.resolve(ServeResponse(
+                id=t.id, status=STATUS_OK, result=br.result,
+                fingerprint=t.key[0], wait_ms=wait_ms,
+                service_ms=br.wall_ms, latency_ms=latency_ms,
+                batch_size=len(live), cached=br.cached))
+        bsp.count(completed=len(live))
+        self.metrics.observe_batch(len(live),
+                                   [br.wall_ms for br in results])

@@ -1,0 +1,99 @@
+"""``repro.trace`` — low-overhead span tracing with per-phase attribution.
+
+The engine, the kernels, and the serving layer are instrumented with
+:func:`span` call sites.  With no tracer installed those sites cost one
+global read and a shared no-op context manager — nothing is timed or
+allocated, and outputs are bit-identical either way.  Installing a
+:class:`Tracer` (usually via :func:`capture`) turns the same sites into a
+nested, thread-aware span tree that exports to Chrome trace-event JSON
+(``chrome://tracing`` / Perfetto) or a top-down phase summary with
+end-to-end cost attribution.  See DESIGN.md §3.4 for the span taxonomy.
+
+Typical use::
+
+    from repro import trace
+
+    with trace.capture() as tracer:
+        engine.evaluate(X, y)
+    print(trace.to_text(trace.aggregate(tracer.snapshot())))
+    trace.write_chrome("chrome-trace.json", tracer.snapshot())
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+
+from .export import to_chrome, validate_chrome, write_chrome
+from .report import (PhaseStat, aggregate, attribution, attribution_text,
+                     to_text)
+from .span import NOOP_SPAN, Span, Tracer
+
+__all__ = [
+    "NOOP_SPAN", "PhaseStat", "Span", "Tracer", "active", "aggregate",
+    "attribution", "attribution_text", "capture", "current_id", "install",
+    "span", "to_chrome", "to_text", "uninstall", "validate_chrome",
+    "write_chrome",
+]
+
+#: The installed tracer, or None.  Hot paths read this once per span site —
+#: the single branch that makes disabled tracing free.
+_active: Tracer | None = None
+_install_lock = threading.Lock()
+
+
+def install(tracer: Tracer | None = None) -> Tracer:
+    """Install (and return) the process-wide tracer."""
+    global _active
+    with _install_lock:
+        _active = tracer if tracer is not None else Tracer()
+        return _active
+
+
+def uninstall() -> None:
+    """Remove the installed tracer; span sites go back to no-ops."""
+    global _active
+    with _install_lock:
+        _active = None
+
+
+def active() -> Tracer | None:
+    """The installed tracer, or None when tracing is disabled."""
+    return _active
+
+
+@contextmanager
+def capture(tracer: Tracer | None = None):
+    """Install a tracer for the duration of a block, then restore::
+
+        with trace.capture() as tracer:
+            ...traced work...
+    """
+    global _active
+    with _install_lock:
+        previous = _active
+        _active = tracer if tracer is not None else Tracer()
+        current = _active
+    try:
+        yield current
+    finally:
+        with _install_lock:
+            _active = previous
+
+
+def span(name: str, category: str = "", parent: int | None = None, **args):
+    """Open a span on the installed tracer, or a shared no-op when none is.
+
+    This is the only call hot paths make; keep arguments cheap (plain
+    scalars) because they are evaluated before the enabled check.
+    """
+    t = _active
+    if t is None:
+        return NOOP_SPAN
+    return t.span(name, category, parent=parent, **args)
+
+
+def current_id() -> int | None:
+    """Current span id for cross-thread parent propagation (None if off)."""
+    t = _active
+    return t.current_id() if t is not None else None

@@ -1,0 +1,95 @@
+"""Chrome trace-event export: spans -> ``chrome://tracing`` / Perfetto JSON.
+
+Emits the JSON Object Format of the Trace Event specification: a
+``traceEvents`` array of complete (``"ph": "X"``) events with microsecond
+``ts``/``dur``, one process, real thread ids, plus ``thread_name`` metadata
+events so the serve scheduler/worker/engine threads are labelled in the
+viewer.  Span ``args`` and ``counters`` are merged into the event ``args``
+so cache hits and nnz counts show up in the selection panel.
+
+:func:`validate_chrome` is the schema check the tests (and the ``repro
+trace`` CLI, after writing) run over the produced document.
+"""
+
+from __future__ import annotations
+
+import json
+
+from .span import Span
+
+_PID = 1
+
+
+def to_chrome(spans: list[Span], process_name: str = "repro") -> dict:
+    """Build the Chrome trace-event JSON document for a span list."""
+    base = min((s.t0 for s in spans), default=0.0)
+    events: list[dict] = [{
+        "name": "process_name", "ph": "M", "pid": _PID, "tid": 0,
+        "args": {"name": process_name},
+    }]
+    seen_tids: dict[int, str] = {}
+    for s in spans:
+        if s.tid not in seen_tids:
+            seen_tids[s.tid] = s.thread_name
+            events.append({
+                "name": "thread_name", "ph": "M", "pid": _PID,
+                "tid": s.tid, "args": {"name": s.thread_name},
+            })
+        args = {**s.args, **s.counters}
+        args["span_id"] = s.id
+        if s.parent_id is not None:
+            args["parent_id"] = s.parent_id
+        events.append({
+            "name": s.name,
+            "cat": s.category or "repro",
+            "ph": "X",
+            "ts": (s.t0 - base) * 1e6,
+            "dur": (s.t1 - s.t0) * 1e6,
+            "pid": _PID,
+            "tid": s.tid,
+            "args": args,
+        })
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def write_chrome(path, spans: list[Span],
+                 process_name: str = "repro") -> dict:
+    """Write the Chrome trace JSON to ``path``; returns the document."""
+    doc = to_chrome(spans, process_name=process_name)
+    with open(path, "w") as f:
+        json.dump(doc, f, indent=1)
+        f.write("\n")
+    return doc
+
+
+def validate_chrome(doc: dict) -> int:
+    """Check a document against the trace-event schema we emit.
+
+    Raises ``ValueError`` on the first violation; returns the number of
+    complete ("X") events otherwise.
+    """
+    if not isinstance(doc, dict):
+        raise ValueError("chrome trace must be a JSON object")
+    events = doc.get("traceEvents")
+    if not isinstance(events, list):
+        raise ValueError("chrome trace must carry a 'traceEvents' array")
+    complete = 0
+    for i, ev in enumerate(events):
+        if not isinstance(ev, dict):
+            raise ValueError(f"event {i}: not an object")
+        for key in ("name", "ph", "pid", "tid"):
+            if key not in ev:
+                raise ValueError(f"event {i}: missing {key!r}")
+        if ev["ph"] == "M":
+            continue
+        if ev["ph"] != "X":
+            raise ValueError(f"event {i}: unexpected phase {ev['ph']!r}")
+        for key in ("ts", "dur", "cat"):
+            if key not in ev:
+                raise ValueError(f"event {i}: complete event missing {key!r}")
+        if not (isinstance(ev["ts"], (int, float)) and ev["ts"] >= 0):
+            raise ValueError(f"event {i}: ts must be a number >= 0")
+        if not (isinstance(ev["dur"], (int, float)) and ev["dur"] >= 0):
+            raise ValueError(f"event {i}: dur must be a number >= 0")
+        complete += 1
+    return complete

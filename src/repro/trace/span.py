@@ -1,0 +1,228 @@
+"""Structured spans with thread-local context propagation.
+
+A :class:`Span` is one timed region of the pipeline — an engine evaluation,
+a kernel phase, a stretch of queue wait — with a name, a category (the
+coarse phase taxonomy DESIGN.md §3.4 tabulates), nested parentage, and two
+attachment channels: ``args`` (facts known at open/close time: strategy,
+cache hit/miss, batch size) and ``counters`` (accumulated quantities: nnz
+processed, bytes built).
+
+A :class:`Tracer` collects finished spans.  Context propagation is
+thread-local: within one thread, ``tracer.span(...)`` nests under the
+innermost open span automatically; across threads (the serve worker pool,
+``evaluate_many``'s executor) the caller captures ``tracer.current_id()``
+and passes it as ``parent=`` so the tree survives the hop.
+
+**Zero-cost when disabled.**  The hot paths call the module-level
+:func:`repro.trace.span` helper, which reads one module global; when no
+tracer is installed it returns a shared no-op context manager whose
+``__enter__``/``__exit__``/``set``/``count`` do nothing.  No timestamps are
+taken, no objects allocated — the disabled path is a dict-free branch, and
+``tests/test_trace_overhead.py`` holds it under 5% of a warm
+``evaluate_many`` loop.  Numerical outputs never depend on tracing either
+way (``tests/test_trace_parity.py``).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+
+
+@dataclass
+class Span:
+    """One finished, timed region (times are ``time.monotonic()`` seconds)."""
+
+    id: int
+    parent_id: int | None
+    name: str
+    category: str
+    t0: float
+    t1: float
+    tid: int
+    thread_name: str
+    args: dict = field(default_factory=dict)
+    counters: dict = field(default_factory=dict)
+
+    @property
+    def duration_ms(self) -> float:
+        return (self.t1 - self.t0) * 1e3
+
+
+class _NoopSpan:
+    """Shared do-nothing span handle for the disabled-tracer path."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NoopSpan":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        return False
+
+    def set(self, key: str, value) -> None:
+        pass
+
+    def count(self, **counters) -> None:
+        pass
+
+
+NOOP_SPAN = _NoopSpan()
+
+
+class _ActiveSpan:
+    """An open span: context manager that records itself on exit."""
+
+    __slots__ = ("_tracer", "id", "parent_id", "name", "category", "t0",
+                 "args", "counters")
+
+    def __init__(self, tracer: "Tracer", name: str, category: str,
+                 parent_id: int | None, args: dict):
+        self._tracer = tracer
+        self.id = tracer._next_id()
+        self.parent_id = parent_id
+        self.name = name
+        self.category = category
+        self.args = args
+        self.counters: dict = {}
+        self.t0 = 0.0
+
+    def set(self, key: str, value) -> None:
+        """Attach a fact learned while the span was open (cache hit, ...)."""
+        self.args[key] = value
+
+    def count(self, **counters) -> None:
+        """Accumulate numeric counters (nnz=..., bytes=...)."""
+        for k, v in counters.items():
+            self.counters[k] = self.counters.get(k, 0) + v
+
+    def __enter__(self) -> "_ActiveSpan":
+        tr = self._tracer
+        if self.parent_id is None:
+            self.parent_id = tr.current_id()
+        tr._push(self.id)
+        self.t0 = tr.clock()
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        t1 = self._tracer.clock()
+        self._tracer._pop()
+        self._tracer._record(Span(
+            id=self.id, parent_id=self.parent_id, name=self.name,
+            category=self.category, t0=self.t0, t1=t1,
+            tid=threading.get_ident(),
+            thread_name=threading.current_thread().name,
+            args=self.args, counters=self.counters))
+        return False
+
+
+class Tracer:
+    """Thread-safe collector of finished spans plus running phase totals.
+
+    ``max_spans`` bounds retention (a long-lived server must not grow
+    without bound): beyond it, new spans still feed the aggregate phase
+    totals but the event list stops growing and ``dropped`` counts them.
+    """
+
+    clock = staticmethod(time.monotonic)
+
+    def __init__(self, max_spans: int = 250_000):
+        self.max_spans = max_spans
+        self.spans: list[Span] = []
+        self.dropped = 0
+        self._lock = threading.Lock()
+        self._id = 0
+        self._tls = threading.local()
+        self._totals: dict[tuple[str, str], list] = {}
+
+    # ------------------------------------------------------------ span opening
+    def span(self, name: str, category: str = "", parent: int | None = None,
+             **args) -> _ActiveSpan:
+        """Open a span as a context manager; nests under the thread's
+        innermost open span unless ``parent`` is given explicitly."""
+        return _ActiveSpan(self, name, category, parent, args)
+
+    def add_span(self, name: str, category: str, t0: float, t1: float,
+                 parent: int | None = None, tid: int | None = None,
+                 args: dict | None = None,
+                 counters: dict | None = None) -> Span:
+        """Record a synthetic span from explicit timestamps.
+
+        The serve layer uses this for regions whose endpoints were measured
+        by other code (queue wait: enqueue time -> dispatch time) rather
+        than bracketed by a context manager.  Timestamps must come from the
+        tracer clock (``time.monotonic()``).
+        """
+        sp = Span(id=self._next_id(), parent_id=parent, name=name,
+                  category=category, t0=t0, t1=max(t0, t1),
+                  tid=tid if tid is not None else threading.get_ident(),
+                  thread_name=threading.current_thread().name,
+                  args=args or {}, counters=counters or {})
+        self._record(sp)
+        return sp
+
+    # ------------------------------------------------------- context tracking
+    def current_id(self) -> int | None:
+        """Innermost open span id in this thread (``None`` at top level).
+
+        Capture this before handing work to another thread and pass it as
+        ``parent=`` there; thread-local nesting cannot cross the hop.
+        """
+        stack = getattr(self._tls, "stack", None)
+        return stack[-1] if stack else None
+
+    def _push(self, span_id: int) -> None:
+        stack = getattr(self._tls, "stack", None)
+        if stack is None:
+            stack = self._tls.stack = []
+        stack.append(span_id)
+
+    def _pop(self) -> None:
+        stack = getattr(self._tls, "stack", None)
+        if stack:
+            stack.pop()
+
+    # -------------------------------------------------------------- recording
+    def _next_id(self) -> int:
+        with self._lock:
+            self._id += 1
+            return self._id
+
+    def _record(self, span: Span) -> None:
+        with self._lock:
+            key = (span.category, span.name)
+            tot = self._totals.get(key)
+            if tot is None:
+                tot = self._totals[key] = [0, 0.0]
+            tot[0] += 1
+            tot[1] += span.duration_ms
+            if len(self.spans) < self.max_spans:
+                self.spans.append(span)
+            else:
+                self.dropped += 1
+
+    # -------------------------------------------------------------- reporting
+    def phase_totals(self) -> dict[str, dict]:
+        """Running per-phase aggregates (survive ``max_spans`` drops).
+
+        Keys are ``category.name``; values carry ``count`` and
+        ``total_ms``.  This is what the serve metrics endpoint folds in.
+        """
+        with self._lock:
+            return {
+                (f"{cat}.{name}" if cat else name):
+                    {"count": c, "total_ms": ms}
+                for (cat, name), (c, ms) in sorted(self._totals.items())
+            }
+
+    def snapshot(self) -> list[Span]:
+        """Point-in-time copy of the retained span list."""
+        with self._lock:
+            return list(self.spans)
+
+    def clear(self) -> None:
+        with self._lock:
+            self.spans.clear()
+            self._totals.clear()
+            self.dropped = 0

@@ -1,0 +1,103 @@
+"""benchmarks/check_trend.py: the CI benchmark-trend gate."""
+
+import importlib.util
+import json
+import pathlib
+
+import pytest
+
+_SPEC = importlib.util.spec_from_file_location(
+    "check_trend",
+    pathlib.Path(__file__).parent.parent / "benchmarks" / "check_trend.py")
+check_trend = importlib.util.module_from_spec(_SPEC)
+_SPEC.loader.exec_module(check_trend)
+
+
+def write_bench(directory, name, **metrics):
+    directory.mkdir(exist_ok=True)
+    doc = {"experiment": name, "series": [{"per_call_ms": 1.0}],
+           "notes": ["text"], **metrics}
+    (directory / f"BENCH_{name}.json").write_text(json.dumps(doc))
+
+
+def run(tmp_path, fresh, baseline, *extra):
+    return check_trend.main([
+        "--fresh", str(tmp_path / fresh),
+        "--baseline", str(tmp_path / baseline),
+        "--summary", str(tmp_path / "summary.md"), *extra])
+
+
+def test_equal_and_improved_metrics_pass(tmp_path, capsys):
+    write_bench(tmp_path / "base", "a", speedup_x=2.0, other_x=1.0)
+    write_bench(tmp_path / "fresh", "a", speedup_x=3.0, other_x=1.0)
+    assert run(tmp_path, "fresh", "base") == 0
+    out = capsys.readouterr().out
+    assert "improved" in out and "| `speedup_x` |" in out
+    summary = (tmp_path / "summary.md").read_text()
+    assert "Benchmark trend" in summary and "✅" in summary
+
+
+def test_regression_beyond_2x_fails(tmp_path, capsys):
+    write_bench(tmp_path / "base", "a", speedup_x=4.0)
+    write_bench(tmp_path / "fresh", "a", speedup_x=1.9)   # > 2x drop
+    assert run(tmp_path, "fresh", "base") == 1
+    assert "REGRESSED" in capsys.readouterr().out
+
+
+def test_regression_within_2x_passes(tmp_path):
+    write_bench(tmp_path / "base", "a", speedup_x=4.0)
+    write_bench(tmp_path / "fresh", "a", speedup_x=2.1)   # noisy but < 2x
+    assert run(tmp_path, "fresh", "base") == 0
+
+
+def test_custom_max_regression(tmp_path):
+    write_bench(tmp_path / "base", "a", speedup_x=4.0)
+    write_bench(tmp_path / "fresh", "a", speedup_x=2.1)
+    assert run(tmp_path, "fresh", "base", "--max-regression", "1.5") == 1
+
+
+def test_metric_missing_from_fresh_fails(tmp_path, capsys):
+    write_bench(tmp_path / "base", "a", speedup_x=2.0)
+    write_bench(tmp_path / "fresh", "a")                  # metric vanished
+    assert run(tmp_path, "fresh", "base") == 1
+    assert "missing" in capsys.readouterr().err
+
+
+def test_required_file_missing_fails(tmp_path, capsys):
+    write_bench(tmp_path / "base", "a", speedup_x=2.0)
+    write_bench(tmp_path / "fresh", "a", speedup_x=2.0)
+    assert run(tmp_path, "fresh", "base",
+               "--require", "BENCH_missing.json") == 1
+    assert "required fresh result missing" in capsys.readouterr().err
+
+
+def test_new_metric_and_new_file_never_fail(tmp_path):
+    write_bench(tmp_path / "base", "a", speedup_x=2.0)
+    write_bench(tmp_path / "fresh", "a", speedup_x=2.0, brand_new_x=0.1)
+    write_bench(tmp_path / "fresh", "b", another_x=0.5)
+    assert run(tmp_path, "fresh", "base") == 0
+
+
+def test_non_ratio_keys_are_ignored(tmp_path, capsys):
+    write_bench(tmp_path / "base", "a", speedup_x=2.0, iterations=30,
+                p99_ms=100.0)
+    write_bench(tmp_path / "fresh", "a", speedup_x=2.0, iterations=5,
+                p99_ms=900.0)                             # 9x wall noise: ok
+    assert run(tmp_path, "fresh", "base") == 0
+    out = capsys.readouterr().out
+    assert "p99_ms" not in out and "iterations" not in out
+
+
+def test_committed_baselines_self_compare_green(tmp_path):
+    results = pathlib.Path(__file__).parent.parent / "benchmarks" / "results"
+    assert check_trend.main([
+        "--fresh", str(results), "--baseline", str(results),
+        "--summary", str(tmp_path / "s.md"),
+        "--require", "BENCH_profile.json", "--require", "BENCH_serve.json",
+        "--require", "BENCH_trace.json"]) == 0
+
+
+def test_unreadable_fresh_dir_exits_with_message(tmp_path):
+    write_bench(tmp_path / "base", "a", speedup_x=2.0)
+    with pytest.raises(SystemExit, match="not a directory"):
+        run(tmp_path, "nonexistent", "base")

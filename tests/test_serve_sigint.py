@@ -1,0 +1,108 @@
+"""SIGINT handling: graceful shutdown, no leaked scheduler threads.
+
+The regression this guards: ``PatternServer.stop()`` used to latch itself
+as stopped on entry, so a ``KeyboardInterrupt`` landing mid-join (the first
+Ctrl-C during ``repro serve``'s drain) made every retry return immediately
+with the scheduler thread still alive.  ``stop()`` now only latches after
+all joins complete, and the CLI catches ``KeyboardInterrupt``, defers
+further SIGINTs, finishes the drain, and exits 130.
+"""
+
+import os
+import signal
+import subprocess
+import sys
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro import cli
+from repro.core.engine import PatternEngine
+from repro.serve import PatternServer, ServeRequest, ServerConfig
+from repro.sparse import random_csr
+
+SRC = os.path.join(os.path.dirname(os.path.dirname(__file__)), "src")
+
+
+def serve_threads():
+    return [t for t in threading.enumerate()
+            if t.name.startswith("repro-serve")]
+
+
+def wait_for_no_serve_threads(timeout=5.0):
+    deadline = time.monotonic() + timeout
+    while serve_threads() and time.monotonic() < deadline:
+        time.sleep(0.01)
+    return serve_threads()
+
+
+def test_stop_retried_after_interrupted_join_completes_drain(monkeypatch):
+    server = PatternServer(PatternEngine(), ServerConfig(workers=1))
+    X = random_csr(400, 32, 0.05, rng=0)
+    y = np.random.default_rng(0).normal(size=32)
+    assert server.evaluate(ServeRequest(X, y)).status == "ok"
+
+    real_join = threading.Thread.join
+    calls = {"n": 0}
+
+    def interrupting_join(self, timeout=None):
+        if self.name == "repro-serve-scheduler" and calls["n"] == 0:
+            calls["n"] += 1
+            raise KeyboardInterrupt
+        return real_join(self, timeout)
+
+    monkeypatch.setattr(threading.Thread, "join", interrupting_join)
+    with pytest.raises(KeyboardInterrupt):
+        server.stop()
+    # the interrupted stop must NOT have latched completion
+    assert not server._shutdown_complete
+    server.stop()                           # the retry finishes the drain
+    assert server._shutdown_complete
+    monkeypatch.undo()
+    assert not wait_for_no_serve_threads()
+
+
+def test_cli_keyboard_interrupt_drains_and_returns_130(
+        tmp_path, capsys, monkeypatch):
+    workload = tmp_path / "wl.json"
+    assert cli.main(["loadgen", str(workload), "--requests", "20",
+                     "--matrices", "2", "--rows", "300", "--cols", "32",
+                     "--mode", "closed"]) == 0
+
+    # _run_trace resolves run_workload from the package at call time
+    def interrupted_run(server, trace, verify=False):
+        raise KeyboardInterrupt
+
+    monkeypatch.setattr("repro.serve.run_workload", interrupted_run)
+    code = cli.main(["serve", str(workload)])
+    err = capsys.readouterr().err
+    assert code == 130
+    assert "interrupted" in err and "shut down cleanly" in err
+    assert not wait_for_no_serve_threads()  # no leaked scheduler/workers
+
+
+def test_sigint_subprocess_exits_130_without_traceback(tmp_path):
+    """A real SIGINT mid-replay: graceful one-line exit, status 130."""
+    workload = tmp_path / "wl.json"
+    subprocess.run(
+        [sys.executable, "-m", "repro.cli", "loadgen", str(workload),
+         "--requests", "8000", "--matrices", "8", "--rows", "2500",
+         "--cols", "64", "--mode", "closed"],
+        check=True, env={**os.environ, "PYTHONPATH": SRC},
+        capture_output=True, timeout=120)
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro.cli", "serve", str(workload)],
+        env={**os.environ, "PYTHONPATH": SRC},
+        stdout=subprocess.PIPE, stderr=subprocess.PIPE, text=True)
+    time.sleep(2.0)                         # let the replay get going
+    proc.send_signal(signal.SIGINT)
+    try:
+        _, err = proc.communicate(timeout=60)
+    except subprocess.TimeoutExpired:
+        proc.kill()
+        pytest.fail("serve did not shut down after SIGINT")
+    assert proc.returncode == 130, err
+    assert "interrupted" in err
+    assert "Traceback" not in err

@@ -1,0 +1,65 @@
+"""Disabled tracing must stay under 5% of a warm evaluate_many loop.
+
+The guard multiplies the measured per-site cost of the disabled
+``trace.span`` fast path by the number of span sites one warm evaluation
+actually crosses (counted with a real tracer), and compares against the
+measured warm per-call time.  That keeps the bound meaningful without
+depending on the difference of two noisy end-to-end timings.
+"""
+
+import time
+
+import numpy as np
+
+from repro import trace
+from repro.core.engine import PatternEngine, PatternRequest
+from repro.sparse import random_csr
+
+
+def _warm_engine():
+    X = random_csr(5000, 128, 0.02, rng=0)
+    engine = PatternEngine()
+    rng = np.random.default_rng(0)
+    for _ in range(3):
+        engine.evaluate(X, rng.normal(size=128), strategy="fused")
+    return engine, X
+
+
+def _requests(X, n):
+    rng = np.random.default_rng(1)
+    return [PatternRequest(X, rng.normal(size=X.shape[1]), strategy="fused")
+            for _ in range(n)]
+
+
+def test_disabled_span_sites_under_5_percent_of_warm_call():
+    assert trace.active() is None
+    engine, X = _warm_engine()
+
+    # spans per warm call, counted on the real instrumentation
+    with trace.capture() as tracer:
+        engine.evaluate_many(_requests(X, 4))
+    sites_per_call = len(tracer.snapshot()) / 4
+
+    # measured warm per-call time of the *untraced* loop
+    reqs = _requests(X, 16)
+    t0 = time.perf_counter()
+    engine.evaluate_many(reqs)
+    per_call_s = (time.perf_counter() - t0) / len(reqs)
+
+    # measured per-site cost of the disabled fast path
+    n = 20_000
+    t0 = time.perf_counter()
+    for _ in range(n):
+        with trace.span("overhead", "test", probe=1):
+            pass
+    per_site_s = (time.perf_counter() - t0) / n
+
+    overhead = per_site_s * sites_per_call
+    assert overhead < 0.05 * per_call_s, (
+        f"disabled tracing costs {1e6 * overhead:.2f} us over "
+        f"{sites_per_call:.0f} sites vs {1e6 * per_call_s:.1f} us/call")
+
+
+def test_disabled_span_allocates_nothing():
+    assert trace.active() is None
+    assert trace.span("a", "b") is trace.span("c", "d") is trace.NOOP_SPAN

@@ -1,0 +1,56 @@
+"""Tracing must never change results: traced outputs are bit-identical."""
+
+import numpy as np
+
+from repro import trace
+from repro.core.engine import PatternEngine, PatternRequest
+from repro.serve import PatternServer, ServeRequest, ServerConfig
+from repro.sparse import random_csr
+
+
+def _inputs(n_requests=6):
+    X = random_csr(2000, 96, 0.03, rng=7)
+    rng = np.random.default_rng(7)
+    ys = [rng.normal(size=96) for _ in range(n_requests)]
+    return X, ys
+
+
+def test_engine_outputs_bit_identical_with_tracing():
+    X, ys = _inputs()
+    baseline = [PatternEngine().evaluate(X, y, z=y, beta=1e-3,
+                                         strategy="auto").output
+                for y in ys]
+    with trace.capture() as tracer:
+        traced = [PatternEngine().evaluate(X, y, z=y, beta=1e-3,
+                                           strategy="auto").output
+                  for y in ys]
+    assert tracer.snapshot()                    # tracing actually happened
+    for b, t in zip(baseline, traced):
+        assert np.array_equal(b, t)             # exact, not approx
+
+
+def test_evaluate_many_bit_identical_with_tracing():
+    X, ys = _inputs()
+    reqs = [PatternRequest(X, y, strategy="fused") for y in ys]
+    base = [r.result.output for r in PatternEngine().evaluate_many(reqs)]
+    with trace.capture():
+        traced = [r.result.output
+                  for r in PatternEngine().evaluate_many(reqs)]
+    for b, t in zip(base, traced):
+        assert np.array_equal(b, t)
+
+
+def test_serve_outputs_bit_identical_with_tracing():
+    X, ys = _inputs()
+    cfg = ServerConfig(workers=2, max_batch=4)
+
+    def run():
+        with PatternServer(PatternEngine(), cfg) as server:
+            return [server.evaluate(ServeRequest(X, y)).result.output
+                    for y in ys]
+
+    base = run()
+    with trace.capture():
+        traced = run()
+    for b, t in zip(base, traced):
+        assert np.array_equal(b, t)

@@ -1,0 +1,162 @@
+"""Span-tree structure: nesting, thread propagation, counters, retention."""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro import trace
+from repro.trace import Tracer, validate_chrome
+
+
+def by_name(spans, name):
+    return [s for s in spans if s.name == name]
+
+
+def test_module_span_is_noop_when_uninstalled():
+    assert trace.active() is None
+    sp = trace.span("anything", "test")
+    assert sp is trace.NOOP_SPAN
+    with sp as inner:                      # enter/exit/set/count all inert
+        inner.set("key", 1)
+        inner.count(n=2)
+    assert trace.current_id() is None
+
+
+def test_thread_local_nesting():
+    with trace.capture() as tracer:
+        with trace.span("outer", "test") as outer:
+            with trace.span("inner", "test"):
+                assert trace.current_id() is not None
+            with trace.span("sibling", "test"):
+                pass
+        with trace.span("top", "test"):
+            pass
+    spans = {s.name: s for s in tracer.snapshot()}
+    assert spans["outer"].parent_id is None
+    assert spans["inner"].parent_id == outer.id
+    assert spans["sibling"].parent_id == outer.id
+    assert spans["top"].parent_id is None
+    assert all(s.t1 >= s.t0 for s in spans.values())
+
+
+def test_explicit_parent_crosses_threads():
+    with trace.capture() as tracer:
+        with trace.span("root", "test"):
+            parent = trace.current_id()
+
+            def work():
+                # thread-local nesting cannot cross the hop: without the
+                # explicit parent this span would be a root in its thread
+                with trace.span("hop", "test", parent=parent):
+                    with trace.span("nested", "test"):
+                        pass
+
+            t = threading.Thread(target=work, name="hop-thread")
+            t.start()
+            t.join()
+    spans = {s.name: s for s in tracer.snapshot()}
+    assert spans["hop"].parent_id == spans["root"].id
+    assert spans["nested"].parent_id == spans["hop"].id
+    assert spans["hop"].tid != spans["root"].tid
+    assert spans["hop"].thread_name == "hop-thread"
+
+
+def test_args_and_counters_accumulate():
+    with trace.capture() as tracer:
+        with trace.span("k", "kernel", variant="csr") as sp:
+            sp.set("hit", True)
+            sp.count(nnz=100, bytes=10)
+            sp.count(nnz=50)
+    (s,) = tracer.snapshot()
+    assert s.args == {"variant": "csr", "hit": True}
+    assert s.counters == {"nnz": 150, "bytes": 10}
+
+
+def test_add_span_synthetic_and_clamped():
+    tracer = Tracer()
+    t = tracer.clock()
+    tracer.add_span("queue-wait", "serve", t, t + 0.25, args={"rid": 7})
+    backwards = tracer.add_span("neg", "serve", t, t - 1.0)
+    assert backwards.duration_ms == 0.0          # t1 clamped to t0
+    qw = by_name(tracer.snapshot(), "queue-wait")[0]
+    assert qw.duration_ms == pytest.approx(250.0)
+    assert qw.args["rid"] == 7
+
+
+def test_retention_cap_keeps_totals_exact():
+    with trace.capture(Tracer(max_spans=3)) as tracer:
+        for _ in range(10):
+            with trace.span("tick", "test"):
+                pass
+    assert len(tracer.snapshot()) == 3
+    assert tracer.dropped == 7
+    totals = tracer.phase_totals()
+    assert totals["test.tick"]["count"] == 10    # aggregates survive drops
+    tracer.clear()
+    assert tracer.snapshot() == [] and tracer.dropped == 0
+
+
+def test_capture_restores_previous_tracer():
+    outer = trace.install()
+    try:
+        with trace.capture() as inner:
+            assert trace.active() is inner
+        assert trace.active() is outer
+    finally:
+        trace.uninstall()
+    assert trace.active() is None
+
+
+def test_serve_span_tree_crosses_worker_threads():
+    """Request spans parent under batch spans despite the thread hops."""
+    from repro.core.engine import PatternEngine
+    from repro.serve import PatternServer, ServeRequest, ServerConfig
+    from repro.sparse import random_csr
+
+    X = random_csr(300, 32, 0.05, rng=0)
+    rng = np.random.default_rng(1)
+    with trace.capture() as tracer:
+        with PatternServer(PatternEngine(),
+                           ServerConfig(workers=2, max_batch=4)) as server:
+            futures = [server.submit(ServeRequest(X, rng.normal(size=32)))
+                       for _ in range(8)]
+            for f in futures:
+                assert f.result().status == "ok"
+    spans = tracer.snapshot()
+    batches = {s.id: s for s in by_name(spans, "batch")
+               if s.category == "serve"}
+    assert batches
+    requests = by_name(spans, "request")
+    assert len(requests) == 8
+    engine_batches = {s.id: s for s in by_name(spans, "batch")
+                      if s.category == "engine"}
+    for r in requests:
+        assert r.parent_id in engine_batches
+    # per-request synthetic spans hang off the serve batch that ran them
+    for name in ("queue-wait", "completion"):
+        synth = by_name(spans, name)
+        assert len(synth) == 8
+        assert all(s.parent_id in batches for s in synth)
+    # admission runs on the submitting thread, batches on worker threads
+    tids = {s.tid for s in by_name(spans, "admission")}
+    assert tids == {threading.get_ident()}
+    assert any(s.tid != threading.get_ident() for s in batches.values())
+    # the whole tree exports to valid Chrome trace JSON
+    assert validate_chrome(trace.to_chrome(spans)) == len(spans)
+
+
+def test_validate_chrome_rejects_malformed():
+    with pytest.raises(ValueError):
+        validate_chrome([])
+    with pytest.raises(ValueError):
+        validate_chrome({"traceEvents": [{"ph": "X"}]})
+    with pytest.raises(ValueError):
+        validate_chrome({"traceEvents": [
+            {"name": "x", "ph": "X", "pid": 1, "tid": 1,
+             "ts": -5, "dur": 1, "cat": "c"}]})
+    ok = {"traceEvents": [
+        {"name": "p", "ph": "M", "pid": 1, "tid": 0, "args": {}},
+        {"name": "x", "ph": "X", "pid": 1, "tid": 1,
+         "ts": 0.0, "dur": 2.5, "cat": "c", "args": {}}]}
+    assert validate_chrome(ok) == 1
