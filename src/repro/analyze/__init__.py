@@ -1,0 +1,36 @@
+"""Static race/barrier/codegen analysis for the per-thread SIMT kernels.
+
+The paper's fused kernels are correct only under invariants the runtime can
+at best discover late (a deadlocked launch) or not at all (a silently
+corrupted ``w``).  This package enforces them at *plan time*:
+
+* :mod:`~repro.analyze.extract` lowers each generator kernel into an
+  abstract model (shared/global accesses, atomicity, barrier phases, taint);
+* :mod:`~repro.analyze.checkers` runs the shared/global race detector and
+  the barrier-divergence checker over that model;
+* :mod:`~repro.analyze.codegen_lint` validates generated dense-kernel
+  source against the Listing 2 register rules;
+* :mod:`~repro.analyze.sanitizer` cross-validates every static finding
+  class dynamically through ``SimtEngine(sanitize=True)``;
+* :mod:`~repro.analyze.check` ties it together for the ``repro check`` CLI.
+"""
+
+from .check import (DEFAULT_GRID, analyze_file, check_grid, check_shipped,
+                    findings_json, findings_text, parse_grid, run_check)
+from .checkers import check_barriers, check_model, check_models, check_races
+from .codegen_lint import check_codegen_source, check_specialization
+from .extract import AnalysisError, extract_kernel, extract_source, is_kernel
+from .model import Access, Finding, Guard, KernelModel, SyncPoint
+from .sanitizer import (alg1_launch, alg2_launch, dynamic_kinds,
+                        fixture_inputs, sanitized_launch)
+
+__all__ = [
+    "DEFAULT_GRID", "analyze_file", "check_grid", "check_shipped",
+    "findings_json", "findings_text", "parse_grid", "run_check",
+    "check_barriers", "check_model", "check_models", "check_races",
+    "check_codegen_source", "check_specialization",
+    "AnalysisError", "extract_kernel", "extract_source", "is_kernel",
+    "Access", "Finding", "Guard", "KernelModel", "SyncPoint",
+    "alg1_launch", "alg2_launch", "dynamic_kinds", "fixture_inputs",
+    "sanitized_launch",
+]

@@ -1,0 +1,103 @@
+"""The ``repro check`` entry point: run every static checker and report.
+
+Default scope (no paths given): all shipped SIMT kernels in
+:mod:`repro.kernels.simt_kernels` plus a ``(VS, TL)`` grid of generated
+dense specializations (the Listing 2 lint).  With explicit paths, only
+those kernel files are analyzed — that is how the seeded-bug fixture corpus
+under ``tests/badkernels/`` is exercised.
+"""
+
+from __future__ import annotations
+
+import ast
+import json
+import os
+
+from .checkers import check_models
+from .codegen_lint import check_specialization
+from .extract import AnalysisError, extract_kernel, is_kernel
+from .model import Finding
+
+DEFAULT_GRID = ((2, 2), (4, 2), (4, 4), (8, 2), (8, 4), (16, 2), (32, 2))
+
+
+def parse_grid(spec: str) -> tuple[tuple[int, int], ...]:
+    """Parse ``"4x2,8x4"`` into ``((4, 2), (8, 4))`` (VS x TL pairs)."""
+    pairs = []
+    for part in spec.split(","):
+        part = part.strip()
+        if not part:
+            continue
+        try:
+            vs, tl = (int(v) for v in part.lower().split("x"))
+        except ValueError:
+            raise ValueError(
+                f"grid entry {part!r} must be VSxTL (e.g. 8x4)") from None
+        if vs < 1 or tl < 1:
+            raise ValueError(f"grid entry {part!r} must be positive")
+        pairs.append((vs, tl))
+    if not pairs:
+        raise ValueError("empty specialization grid")
+    return tuple(pairs)
+
+
+def analyze_file(path: str) -> list[Finding]:
+    """Statically check every SIMT kernel defined in one Python file."""
+    with open(path) as f:
+        source = f.read()
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as exc:
+        raise AnalysisError(
+            f"{path}:{exc.lineno}: {exc.msg}") from None
+    findings: list[Finding] = []
+    for node in tree.body:
+        if isinstance(node, ast.FunctionDef) and is_kernel(node):
+            for f_ in check_models(extract_kernel(node)):
+                findings.append(Finding(
+                    kind=f_.kind, kernel=f_.kernel, line=f_.line,
+                    message=f_.message, file=path))
+    return findings
+
+
+def shipped_kernels_path() -> str:
+    from ..kernels import simt_kernels
+    return simt_kernels.__file__
+
+
+def check_shipped() -> list[Finding]:
+    """Race/barrier analysis of every shipped per-thread kernel."""
+    return analyze_file(shipped_kernels_path())
+
+
+def check_grid(grid: tuple[tuple[int, int], ...] = DEFAULT_GRID) \
+        -> list[Finding]:
+    """Lint generated dense kernels across a (VS, TL) specialization grid."""
+    findings: list[Finding] = []
+    for vs, tl in grid:
+        findings.extend(check_specialization(vs * tl, vs, tl))
+    return findings
+
+
+def run_check(paths: list[str] | None = None,
+              grid: tuple[tuple[int, int], ...] = DEFAULT_GRID) \
+        -> list[Finding]:
+    """Full check run; ``paths`` overrides the default shipped-kernel scope."""
+    if paths:
+        findings: list[Finding] = []
+        for path in paths:
+            if not os.path.exists(path):
+                raise SystemExit(f"kernel file not found: {path}")
+            findings.extend(analyze_file(path))
+        return findings
+    return check_shipped() + check_grid(grid)
+
+
+def findings_json(findings: list[Finding]) -> str:
+    return json.dumps([f.to_dict() for f in findings], indent=2)
+
+
+def findings_text(findings: list[Finding], checked: str) -> str:
+    lines = [f.describe() for f in findings]
+    lines.append(f"{len(findings)} finding(s) over {checked}")
+    return "\n".join(lines)

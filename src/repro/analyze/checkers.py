@@ -1,0 +1,139 @@
+"""Static checkers over extracted kernel models.
+
+Three finding families, each anchored to an invariant the paper's fused
+kernels rely on:
+
+* ``shared-race`` / ``global-race`` — the aggregation hierarchy (registers →
+  shared memory → global memory, Section 3.1) is only correct when every
+  potentially-colliding update is atomic or barrier-separated.  Shared-memory
+  conflicts are checked per barrier phase; global-memory conflicts ignore
+  phases entirely because **no inter-block barrier exists** — the exact
+  reason Algorithms 1-2 flush with ``ctx.atomic_add``.
+* ``divergent-barrier`` — ``BARRIER`` (and warp shuffles) under a
+  thread-divergent condition deadlock on real hardware;
+  :class:`~repro.gpu.simt.SimtEngine` only discovers this at launch time,
+  this checker flags it before any launch.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+
+from .model import SHARED, WRITE, Access, Finding, KernelModel
+
+
+def _pair_conflicts(a: Access, b: Access) -> bool:
+    """Whether two may-concurrent accesses to one array can collide."""
+    if a.kind != WRITE and b.kind != WRITE:
+        return False                      # read-read is always fine
+    if a.atomic and b.atomic:
+        return False                      # atomics serialize against atomics
+    if a.space == SHARED:
+        return not (a.thread_disjoint and b.thread_disjoint)
+    return not (a.grid_disjoint and b.grid_disjoint)
+
+
+def _self_conflicts(a: Access) -> bool:
+    """Whether one write site collides with its own other executions."""
+    if a.kind != WRITE or a.atomic:
+        return False
+    if a.space == SHARED:
+        return not a.thread_disjoint
+    return not a.grid_disjoint
+
+
+def _race_kind(space: str) -> str:
+    return "shared-race" if space == SHARED else "global-race"
+
+
+def _taint_text(t: frozenset[str]) -> str:
+    return "{" + ",".join(sorted(t)) + "}" if t else "{uniform}"
+
+
+def check_races(model: KernelModel) -> list[Finding]:
+    """Conflicting non-atomic accesses not separated by a barrier."""
+    findings: list[Finding] = []
+    seen: set[tuple] = set()
+
+    def emit(kind: str, line: int, message: str, key: tuple) -> None:
+        if key in seen:
+            return
+        seen.add(key)
+        findings.append(Finding(kind=kind, kernel=model.name, line=line,
+                                message=message))
+
+    by_array: dict[tuple[str, str], list[Access]] = {}
+    for acc in model.accesses:
+        by_array.setdefault((acc.space, acc.array), []).append(acc)
+
+    for (space, array), accs in sorted(by_array.items()):
+        for a in accs:
+            if _self_conflicts(a):
+                scope = ("threads of one block" if space == SHARED
+                         else "threads of different blocks")
+                emit(_race_kind(space), a.line,
+                     f"non-atomic write to {space} array {array!r} with "
+                     f"index taint {_taint_text(a.index_taint)} is not "
+                     f"provably disjoint across {scope}; use "
+                     + ("ctx.atomic_add_shared" if space == SHARED
+                        else "ctx.atomic_add")
+                     + " or restructure the partition",
+                     ("self", space, array, a.line))
+        for a, b in combinations(accs, 2):
+            if space == SHARED and a.phase != b.phase:
+                continue                  # a barrier orders shared phases
+            if a.line == b.line and a.kind == b.kind and a.atomic == b.atomic:
+                continue                  # duplicate site from loop re-walk
+            if _pair_conflicts(a, b):
+                between = ("in the same barrier phase" if space == SHARED
+                           else "with no inter-block barrier available")
+                emit(_race_kind(space), max(a.line, b.line),
+                     f"{a.kind} (line {a.line}) and {b.kind} (line {b.line})"
+                     f" of {space} array {array!r} may touch the same cell "
+                     f"{between}; separate them with a barrier or make both "
+                     "atomic",
+                     ("pair", space, array, frozenset({a.line, b.line}),
+                      frozenset({(a.kind, a.atomic), (b.kind, b.atomic)})))
+    return findings
+
+
+def check_barriers(model: KernelModel) -> list[Finding]:
+    """Barriers or warp shuffles under thread-divergent control flow."""
+    findings: list[Finding] = []
+    seen: set[tuple] = set()
+    for sync in model.syncs:
+        divergent = sync.divergent_guards()
+        if not divergent:
+            continue
+        key = (sync.kind, sync.line)
+        if key in seen:
+            continue
+        seen.add(key)
+        conds = "; ".join(f"{g.text!r} (line {g.line}, taint "
+                          f"{_taint_text(g.taint)})" for g in divergent)
+        what = ("BARRIER" if sync.kind == "barrier"
+                else "warp shuffle")
+        findings.append(Finding(
+            kind="divergent-barrier", kernel=model.name, line=sync.line,
+            message=f"{what} under thread-divergent control flow: {conds}; "
+                    "threads taking different sides deadlock at the sync "
+                    "point (SimtEngine raises DeadlockError at launch)"))
+    return findings
+
+
+def check_model(model: KernelModel) -> list[Finding]:
+    """All static checkers over one kernel model."""
+    return check_barriers(model) + check_races(model)
+
+
+def check_models(models: list[KernelModel]) -> list[Finding]:
+    """Check every path model, deduplicating identical findings."""
+    out: list[Finding] = []
+    seen: set[tuple] = set()
+    for model in models:
+        for f in check_model(model):
+            key = (f.kind, f.kernel, f.line, f.message)
+            if key not in seen:
+                seen.add(key)
+                out.append(f)
+    return out

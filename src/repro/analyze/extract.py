@@ -1,0 +1,421 @@
+"""AST-driven extraction of per-thread SIMT kernels into kernel models.
+
+A kernel (any generator function whose first parameter is the thread context,
+conventionally ``ctx``) is lowered into one or more :class:`KernelModel`
+instances — one per control-flow *path* through uniform, barrier-containing
+branches (e.g. Algorithm 3's ``VS <= 32`` register-vs-shared reduction split,
+where the two sides have different barrier structures and must be analyzed
+separately).
+
+The walk performs a simple flow-insensitive taint analysis (see
+:mod:`repro.analyze.model` for the lattice) plus *phase numbering*: a counter
+incremented at every ``yield BARRIER``, so two accesses share a phase exactly
+when no barrier is guaranteed between them.  Loops whose body contains a
+barrier are walked twice, which makes loop-carried adjacency visible — the
+region after a loop's last barrier and the region before its first barrier
+meet across iterations, the classic way a "barrier at the top of the loop"
+still leaves a race around the back edge.
+
+Known approximations (sound for the corpus this analyzes, documented here so
+nobody mistakes them for guarantees):
+
+* two tid-partitioned accesses are assumed to use the *same* partition, so
+  they never conflict — true for the paper's ``range(tid, n, block_size)``
+  strided idiom;
+* accesses in the two sides of a non-split ``if`` are treated as
+  co-executing even when the condition is uniform (conservative);
+* ``yield from`` into a helper is treated as one shuffle synchronization,
+  not inlined.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from .model import (BLOCK, DATA, GLOBAL, READ, SHARED, TID, WRITE, Access,
+                    Guard, KernelModel, SyncPoint)
+
+UNIFORM: frozenset[str] = frozenset()
+MAX_PATHS = 32
+
+# taints of ``ctx.<attr>`` reads
+_CTX_ATTR_TAINT: dict[str, frozenset[str]] = {
+    "tid": frozenset({TID}),
+    "lane": frozenset({TID}),
+    "warp": frozenset({TID}),
+    "block_id": frozenset({BLOCK}),
+    "global_tid": frozenset({TID, BLOCK}),
+    "block_size": UNIFORM,
+    "grid_size": UNIFORM,
+    "grid_threads": UNIFORM,
+}
+
+
+class AnalysisError(ValueError):
+    """The kernel uses a construct the extractor cannot model."""
+
+
+class _NeedChoice(Exception):
+    """Internal: the walk hit an unexplored uniform barrier-branch."""
+
+    def __init__(self, node_id: int):
+        self.node_id = node_id
+
+
+def _contains_barrier(node: ast.AST) -> bool:
+    for sub in ast.walk(node):
+        if (isinstance(sub, ast.Yield) and isinstance(sub.value, ast.Name)
+                and sub.value.id == "BARRIER"):
+            return True
+    return False
+
+
+def _guard_text(node: ast.AST) -> str:
+    try:
+        return ast.unparse(node)
+    except Exception:  # pragma: no cover - unparse is total on 3.9+
+        return "<condition>"
+
+
+class _Walker:
+    """One linear walk over a kernel body for a fixed path assignment."""
+
+    def __init__(self, fn: ast.FunctionDef, ctx_name: str,
+                 arrays: set[str], choices: dict[int, bool]):
+        self.fn = fn
+        self.ctx = ctx_name
+        self.arrays = arrays           # global-array parameter names
+        self.choices = choices
+        self.env: dict[str, frozenset[str]] = {}
+        self.phase = 0
+        self.guards: list[Guard] = []
+        self.model = KernelModel(name=fn.name)
+
+    # ---------------------------------------------------------------- #
+    def run(self) -> KernelModel:
+        for p in self.fn.args.args[1:]:
+            self.env[p.arg] = UNIFORM
+        self._walk_body(self.fn.body)
+        self.model.phases = self.phase + 1
+        self.model.path = ",".join(
+            f"{nid}:{'T' if v else 'F'}"
+            for nid, v in sorted(self.choices.items()))
+        return self.model
+
+    # -- access recording -------------------------------------------- #
+    def _record(self, space: str, array: str, kind: str, atomic: bool,
+                index_taint: frozenset[str], line: int) -> None:
+        self.model.accesses.append(Access(
+            space=space, array=array, kind=kind, atomic=atomic,
+            index_taint=index_taint, phase=self.phase, line=line,
+            guards=tuple(self.guards)))
+
+    def _record_sync(self, kind: str, line: int) -> None:
+        self.model.syncs.append(
+            SyncPoint(kind=kind, line=line, guards=tuple(self.guards)))
+
+    # -- expression taint (recording reads as a side effect) ---------- #
+    def _is_ctx_attr(self, node: ast.AST, attr: str) -> bool:
+        return (isinstance(node, ast.Attribute) and node.attr == attr
+                and isinstance(node.value, ast.Name)
+                and node.value.id == self.ctx)
+
+    def _subscript_base(self, node: ast.Subscript) -> tuple[str, str] | None:
+        """(space, array-name) when the base is analyzable memory."""
+        if self._is_ctx_attr(node.value, "shared"):
+            return SHARED, "shared"
+        if isinstance(node.value, ast.Name) and node.value.id in self.arrays:
+            return GLOBAL, node.value.id
+        return None
+
+    def taint(self, node: ast.AST | None) -> frozenset[str]:
+        if node is None:
+            return UNIFORM
+        if isinstance(node, ast.Constant):
+            return UNIFORM
+        if isinstance(node, ast.Name):
+            return self.env.get(node.id, UNIFORM)
+        if isinstance(node, ast.Attribute):
+            if (isinstance(node.value, ast.Name)
+                    and node.value.id == self.ctx):
+                return _CTX_ATTR_TAINT.get(node.attr, UNIFORM)
+            return self.taint(node.value)
+        if isinstance(node, ast.Subscript):
+            base = self._subscript_base(node)
+            idx_taint = self.taint(node.slice)
+            if base is not None:
+                space, array = base
+                self._record(space, array, READ, False, idx_taint,
+                             node.lineno)
+                return idx_taint | {DATA}
+            return idx_taint | self.taint(node.value)
+        if isinstance(node, ast.Call):
+            return self._call_taint(node)
+        if isinstance(node, (ast.Yield, ast.YieldFrom)):
+            # a suspension point used as an expression (``s = yield from
+            # warp_allreduce_sum(...)``); the received value comes from
+            # other lanes' data
+            self._record_sync("shuffle", node.lineno)
+            return self.taint(node.value) | {DATA} if node.value is not None \
+                else frozenset({DATA})
+        if isinstance(node, (ast.ListComp, ast.SetComp, ast.GeneratorExp)):
+            return self._comp_taint(node)
+        out: frozenset[str] = UNIFORM
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, (ast.expr, ast.keyword)):
+                val = child.value if isinstance(child, ast.keyword) else child
+                out |= self.taint(val)
+            elif isinstance(child, ast.comprehension):  # pragma: no cover
+                out |= self.taint(child.iter)
+        return out
+
+    def _call_taint(self, node: ast.Call) -> frozenset[str]:
+        func = node.func
+        if self._is_ctx_attr(func, "atomic_add"):
+            if len(node.args) < 3:
+                raise AnalysisError(
+                    f"{self.fn.name}:{node.lineno}: atomic_add needs "
+                    "(array, index, value)")
+            arr, idx, val = node.args[0], node.args[1], node.args[2]
+            if not isinstance(arr, ast.Name):
+                raise AnalysisError(
+                    f"{self.fn.name}:{node.lineno}: atomic_add target "
+                    "must be a named array")
+            self.arrays.add(arr.id)
+            self._record(GLOBAL, arr.id, WRITE, True, self.taint(idx),
+                         node.lineno)
+            self.taint(val)
+            return UNIFORM
+        if self._is_ctx_attr(func, "atomic_add_shared"):
+            if len(node.args) < 2:
+                raise AnalysisError(
+                    f"{self.fn.name}:{node.lineno}: atomic_add_shared "
+                    "needs (index, value)")
+            idx, val = node.args[0], node.args[1]
+            self._record(SHARED, "shared", WRITE, True, self.taint(idx),
+                         node.lineno)
+            self.taint(val)
+            return UNIFORM
+        out: frozenset[str] = UNIFORM
+        for a in node.args:
+            out |= self.taint(a)
+        for kw in node.keywords:
+            out |= self.taint(kw.value)
+        return out
+
+    def _comp_taint(self, node) -> frozenset[str]:
+        saved = dict(self.env)
+        out: frozenset[str] = UNIFORM
+        try:
+            for gen in node.generators:
+                it = self.taint(gen.iter)
+                out |= it
+                self._bind(gen.target, it)
+                for cond in gen.ifs:
+                    out |= self.taint(cond)
+            out |= self.taint(node.elt)
+        finally:
+            self.env = saved
+        return out
+
+    # -- binding ------------------------------------------------------ #
+    def _bind(self, target: ast.AST, taint: frozenset[str]) -> None:
+        if isinstance(target, ast.Name):
+            self.env[target.id] = taint
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            for elt in target.elts:
+                self._bind(elt, taint)
+        elif isinstance(target, ast.Starred):
+            self._bind(target.value, taint)
+
+    # -- statements --------------------------------------------------- #
+    def _walk_body(self, body: list[ast.stmt]) -> None:
+        for stmt in body:
+            self._walk_stmt(stmt)
+
+    def _walk_stmt(self, stmt: ast.stmt) -> None:
+        if isinstance(stmt, ast.Expr):
+            val = stmt.value
+            if (isinstance(val, ast.Yield) and isinstance(val.value, ast.Name)
+                    and val.value.id == "BARRIER"):
+                self._record_sync("barrier", stmt.lineno)
+                self.phase += 1
+                return
+            self.taint(val)
+            return
+        if isinstance(stmt, (ast.Assign, ast.AnnAssign)):
+            self._walk_assign(stmt)
+            return
+        if isinstance(stmt, ast.AugAssign):
+            value_taint = self.taint(stmt.value)
+            target = stmt.target
+            if isinstance(target, ast.Subscript):
+                base = self._subscript_base(target)
+                idx_taint = self.taint(target.slice)
+                if base is not None:
+                    space, array = base
+                    self._record(space, array, READ, False, idx_taint,
+                                 stmt.lineno)
+                    self._record(space, array, WRITE, False, idx_taint,
+                                 stmt.lineno)
+                elif isinstance(target.value, ast.Name):
+                    name = target.value.id
+                    self.env[name] = (self.env.get(name, UNIFORM)
+                                      | value_taint | idx_taint)
+            elif isinstance(target, ast.Name):
+                self.env[target.id] = (self.env.get(target.id, UNIFORM)
+                                       | value_taint)
+            return
+        if isinstance(stmt, ast.If):
+            self._walk_if(stmt)
+            return
+        if isinstance(stmt, (ast.For, ast.While)):
+            self._walk_loop(stmt)
+            return
+        if isinstance(stmt, (ast.Return, ast.Pass, ast.Break, ast.Continue)):
+            return
+        if isinstance(stmt, ast.Assert):
+            self.taint(stmt.test)
+            return
+        raise AnalysisError(
+            f"{self.fn.name}:{stmt.lineno}: unsupported statement "
+            f"{type(stmt).__name__} in SIMT kernel")
+
+    def _walk_assign(self, stmt: ast.Assign | ast.AnnAssign) -> None:
+        value = stmt.value
+        targets = stmt.targets if isinstance(stmt, ast.Assign) \
+            else [stmt.target]
+        # pairwise tuple unpacking keeps `start, end = a, b` precise
+        if (len(targets) == 1 and isinstance(targets[0], ast.Tuple)
+                and isinstance(value, ast.Tuple)
+                and len(targets[0].elts) == len(value.elts)):
+            for tgt, val in zip(targets[0].elts, value.elts):
+                self._assign_one(tgt, self.taint(val), stmt.lineno)
+            return
+        value_taint = self.taint(value)
+        for tgt in targets:
+            self._assign_one(tgt, value_taint, stmt.lineno)
+
+    def _assign_one(self, target: ast.AST, value_taint: frozenset[str],
+                    line: int) -> None:
+        if isinstance(target, ast.Subscript):
+            base = self._subscript_base(target)
+            idx_taint = self.taint(target.slice)
+            if base is not None:
+                space, array = base
+                self._record(space, array, WRITE, False, idx_taint, line)
+            elif isinstance(target.value, ast.Name):
+                name = target.value.id
+                self.env[name] = (self.env.get(name, UNIFORM)
+                                  | value_taint | idx_taint)
+            return
+        self._bind(target, value_taint)
+
+    def _walk_if(self, stmt: ast.If) -> None:
+        cond_taint = self.taint(stmt.test)
+        guard = Guard(taint=cond_taint, text=_guard_text(stmt.test),
+                      line=stmt.lineno)
+        divergent = bool(cond_taint & {TID, DATA})
+        if not divergent and _contains_barrier(stmt):
+            # a uniform branch with different barrier structures per side:
+            # analyze each side as its own path so phase numbering stays
+            # exact (Algorithm 3's VS <= 32 split)
+            nid = id(stmt)
+            if nid not in self.choices:
+                raise _NeedChoice(nid)
+            chosen = stmt.body if self.choices[nid] else stmt.orelse
+            self.guards.append(guard)
+            try:
+                self._walk_body(chosen)
+            finally:
+                self.guards.pop()
+            return
+        self.guards.append(guard)
+        try:
+            self._walk_body(stmt.body)
+            self._walk_body(stmt.orelse)
+        finally:
+            self.guards.pop()
+
+    def _walk_loop(self, stmt: ast.For | ast.While) -> None:
+        if isinstance(stmt, ast.For):
+            bound_taint = self.taint(stmt.iter)
+            self._bind(stmt.target, bound_taint)
+            text = f"for {_guard_text(stmt.target)} in {_guard_text(stmt.iter)}"
+        else:
+            bound_taint = self.taint(stmt.test)
+            text = f"while {_guard_text(stmt.test)}"
+        guard = Guard(taint=bound_taint, text=text, line=stmt.lineno)
+        # a loop whose body contains a barrier wraps the trailing region
+        # onto the leading one across the back edge; walking the body twice
+        # makes that adjacency share a phase number
+        rounds = 2 if any(_contains_barrier(s) for s in stmt.body) else 1
+        self.guards.append(guard)
+        try:
+            for _ in range(rounds):
+                self._walk_body(stmt.body)
+        finally:
+            self.guards.pop()
+        self._walk_body(stmt.orelse)
+
+
+def _collect_arrays(fn: ast.FunctionDef, ctx_name: str) -> set[str]:
+    """Parameter names used as memory: subscripted or atomically targeted."""
+    params = {p.arg for p in fn.args.args[1:]}
+    arrays: set[str] = set()
+    for node in ast.walk(fn):
+        if (isinstance(node, ast.Subscript)
+                and isinstance(node.value, ast.Name)
+                and node.value.id in params):
+            arrays.add(node.value.id)
+        if isinstance(node, ast.Call):
+            func = node.func
+            if (isinstance(func, ast.Attribute)
+                    and func.attr == "atomic_add"
+                    and isinstance(func.value, ast.Name)
+                    and func.value.id == ctx_name
+                    and node.args and isinstance(node.args[0], ast.Name)):
+                arrays.add(node.args[0].id)
+    return arrays
+
+
+def is_kernel(fn: ast.FunctionDef) -> bool:
+    """Generator functions taking a thread context first are SIMT kernels."""
+    if not fn.args.args:
+        return False
+    for node in ast.walk(fn):
+        if isinstance(node, (ast.Yield, ast.YieldFrom)):
+            return True
+    return False
+
+
+def extract_kernel(fn: ast.FunctionDef) -> list[KernelModel]:
+    """Lower one kernel into models, one per uniform barrier-branch path."""
+    ctx_name = fn.args.args[0].arg
+    arrays = _collect_arrays(fn, ctx_name)
+    models: list[KernelModel] = []
+    worklist: list[dict[int, bool]] = [{}]
+    while worklist:
+        choices = worklist.pop()
+        walker = _Walker(fn, ctx_name, set(arrays), choices)
+        try:
+            models.append(walker.run())
+        except _NeedChoice as nc:
+            worklist.append({**choices, nc.node_id: True})
+            worklist.append({**choices, nc.node_id: False})
+        if len(models) + len(worklist) > MAX_PATHS:
+            raise AnalysisError(
+                f"{fn.name}: more than {MAX_PATHS} uniform barrier-branch "
+                "paths; refusing to enumerate")
+    return models
+
+
+def extract_source(source: str, filename: str = "<kernel>") \
+        -> list[KernelModel]:
+    """Extract models for every SIMT kernel defined in ``source``."""
+    tree = ast.parse(source, filename=filename)
+    models: list[KernelModel] = []
+    for node in tree.body:
+        if isinstance(node, ast.FunctionDef) and is_kernel(node):
+            models.extend(extract_kernel(node))
+    return models

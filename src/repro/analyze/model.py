@@ -1,0 +1,122 @@
+"""Abstract kernel model for static SIMT analysis.
+
+The extractor (:mod:`repro.analyze.extract`) lowers each per-thread generator
+kernel into this representation: every shared/global memory access with its
+*taint* (which thread identifiers its index depends on), every ``yield
+BARRIER`` point with its enclosing control conditions, and every warp-shuffle
+synchronization.  The checkers (:mod:`repro.analyze.checkers`) then reason
+about barrier-delimited phases and index disjointness without ever executing
+the kernel.
+
+Taint lattice
+-------------
+An index expression carries a subset of ``{tid, block, data}``:
+
+* ``tid``   — derived from ``ctx.tid`` (also lane/vector ids, ``lid``/``vid``);
+* ``block`` — derived from ``ctx.block_id`` (``ctx.global_tid`` carries both);
+* ``data``  — passed through a memory load (e.g. ``col_idx[i]``), so its
+  value is unknown statically and may collide across threads.
+
+Disjointness rules (the heart of the race checker):
+
+* a **shared** access is thread-disjoint when ``tid`` is in its taint and
+  ``data`` is not — tid-strided partitions (``range(tid, n, block_size)``)
+  give every thread its own cells within the block;
+* a **global** access is grid-disjoint when both ``tid`` and ``block`` are
+  present and ``data`` is not — only a partition keyed by the *global*
+  thread id (or a row id striding by ``grid_threads``) keeps different
+  blocks out of each other's cells, the exact inter-block aggregation
+  hazard of Algorithms 1-2.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+TID = "tid"
+BLOCK = "block"
+DATA = "data"
+
+SHARED = "shared"
+GLOBAL = "global"
+
+READ = "read"
+WRITE = "write"
+
+
+@dataclass(frozen=True)
+class Guard:
+    """One enclosing control condition (``if``/loop bound) of a statement."""
+
+    taint: frozenset[str]
+    text: str
+    line: int
+
+
+@dataclass(frozen=True)
+class Access:
+    """One static memory access site, annotated for the race checker."""
+
+    space: str                  # SHARED | GLOBAL
+    array: str                  # parameter name ("shared" for ctx.shared)
+    kind: str                   # READ | WRITE
+    atomic: bool
+    index_taint: frozenset[str]
+    phase: int                  # barrier-delimited region id
+    line: int
+    guards: tuple[Guard, ...] = ()
+
+    @property
+    def thread_disjoint(self) -> bool:
+        return TID in self.index_taint and DATA not in self.index_taint
+
+    @property
+    def grid_disjoint(self) -> bool:
+        return (TID in self.index_taint and BLOCK in self.index_taint
+                and DATA not in self.index_taint)
+
+
+@dataclass(frozen=True)
+class SyncPoint:
+    """A ``yield BARRIER`` or warp-shuffle suspension point."""
+
+    kind: str                   # "barrier" | "shuffle"
+    line: int
+    guards: tuple[Guard, ...] = ()
+
+    def divergent_guards(self) -> tuple[Guard, ...]:
+        """Guards whose truth can differ between threads of one block."""
+        return tuple(g for g in self.guards
+                     if g.taint & {TID, DATA})
+
+
+@dataclass
+class KernelModel:
+    """One analyzed control-flow path through a kernel."""
+
+    name: str
+    path: str = ""              # which uniform branches this path assumes
+    accesses: list[Access] = field(default_factory=list)
+    syncs: list[SyncPoint] = field(default_factory=list)
+    phases: int = 1
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One checker result, stable across static and CLI output."""
+
+    kind: str                   # shared-race | global-race | divergent-barrier
+    #                           # | codegen-nonconstant-index
+    #                           # | codegen-coverage | codegen-accumulation
+    kernel: str
+    line: int
+    message: str
+    file: str = ""
+
+    def to_dict(self) -> dict:
+        return {"kind": self.kind, "kernel": self.kernel, "line": self.line,
+                "message": self.message, "file": self.file}
+
+    def describe(self) -> str:
+        loc = f"{self.file}:{self.line}" if self.file else f"line {self.line}"
+        return f"{loc} [{self.kind}] {self.kernel}: {self.message}"

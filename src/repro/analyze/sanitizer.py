@@ -1,0 +1,95 @@
+"""Dynamic cross-validation of static findings via the SimtEngine sanitizer.
+
+Every static finding class maps onto a dynamic observation the interpreter
+can make when run with ``SimtEngine(sanitize=True)``:
+
+* ``shared-race`` / ``global-race`` — the shadow-memory sanitizer records
+  the last writer (block, thread, barrier epoch) per cell and reports any
+  unordered conflicting pair (:class:`repro.gpu.simt.SanitizerReport`);
+* ``divergent-barrier`` — the launch itself raises
+  :class:`~repro.gpu.simt.DeadlockError` when threads park inconsistently.
+
+:func:`dynamic_kinds` runs one launch and folds both observations into the
+static finding taxonomy, so a fixture kernel's static and dynamic verdicts
+can be asserted equal (the acceptance criterion of the analyzer: no finding
+class exists that only one side can see).
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from ..gpu.simt import DeadlockError, SanitizerReport, SimtEngine
+from ..sparse import random_csr
+
+
+def sanitized_launch(kernel: Callable, grid_size: int, block_size: int,
+                     args: tuple = (), shared_doubles: int = 0) \
+        -> tuple[set[str], SanitizerReport | None]:
+    """Run one sanitized launch; return (finding kinds, report).
+
+    ``report`` is ``None`` when the launch deadlocked — shadow state from a
+    partial launch would be misleading.
+    """
+    engine = SimtEngine(sanitize=True)
+    try:
+        engine.launch(kernel, grid_size, block_size, args,
+                      shared_doubles=shared_doubles)
+    except DeadlockError:
+        return {"divergent-barrier"}, None
+    return engine.report.kinds(), engine.report
+
+
+def dynamic_kinds(kernel: Callable, grid_size: int, block_size: int,
+                  args: tuple = (), shared_doubles: int = 0) -> set[str]:
+    """The finding kinds one sanitized launch reproduces dynamically."""
+    kinds, _ = sanitized_launch(kernel, grid_size, block_size, args,
+                                shared_doubles=shared_doubles)
+    return kinds
+
+
+def fixture_inputs(m: int = 13, n: int = 8, seed: int = 0):
+    """A small, column-reusing CSR workload that makes latent races land.
+
+    Dense-ish sparsity guarantees different rows (handled by different
+    vectors, possibly in different blocks) share columns, so a non-atomic
+    shared/global aggregation actually collides instead of getting lucky.
+    """
+    X = random_csr(m, n, 0.6, rng=seed)
+    rng = np.random.default_rng(seed + 1)
+    return {
+        "X": X, "m": m, "n": n,
+        "p": rng.normal(size=m), "y": rng.normal(size=n),
+        "v": rng.normal(size=m), "z": rng.normal(size=n),
+        "w": np.zeros(n),
+    }
+
+
+def alg1_launch(kernel: Callable, *, grid_size: int = 2,
+                block_size: int = 8, VS: int = 4, seed: int = 0) -> set[str]:
+    """Sanitize a kernel with Algorithm 1's signature on fixture inputs."""
+    fx = fixture_inputs(seed=seed)
+    X, m, n = fx["X"], fx["m"], fx["n"]
+    vectors = grid_size * (block_size // VS)
+    C = max(1, -(-m // vectors))
+    return dynamic_kinds(
+        kernel, grid_size, block_size,
+        (X.values, X.col_idx, X.row_off, fx["p"], fx["w"], m, n, VS, C),
+        shared_doubles=n)
+
+
+def alg2_launch(kernel: Callable, *, grid_size: int = 2,
+                block_size: int = 8, VS: int = 4, seed: int = 0,
+                alpha: float = 1.0, beta: float = 0.5) -> set[str]:
+    """Sanitize a kernel with Algorithm 2's signature on fixture inputs."""
+    fx = fixture_inputs(seed=seed)
+    X, m, n = fx["X"], fx["m"], fx["n"]
+    vectors = grid_size * (block_size // VS)
+    C = max(1, -(-m // vectors))
+    return dynamic_kinds(
+        kernel, grid_size, block_size,
+        (X.values, X.col_idx, X.row_off, fx["y"], fx["v"], fx["z"], fx["w"],
+         m, n, VS, C, alpha, beta),
+        shared_doubles=n)

@@ -20,7 +20,11 @@ Commands:
   percentiles, shedding/timeout counts, and live engine metrics;
 * ``trace`` — run a pattern workload (or replay a loadgen trace) under span
   tracing; writes Chrome trace-event JSON (``chrome://tracing``/Perfetto)
-  and prints the top-down phase summary with end-to-end cost attribution.
+  and prints the top-down phase summary with end-to-end cost attribution;
+* ``check`` — static race/barrier/codegen analysis of the per-thread SIMT
+  kernels (shipped set or explicit files) plus a (VS, TL) grid of generated
+  dense specializations; machine-readable findings with ``--json``, exit 1
+  on any finding.
 
 ``serve``, ``loadgen --run``, and ``trace --replay`` honor SIGINT: the
 first Ctrl-C drains in-flight work and shuts the server down gracefully
@@ -358,6 +362,25 @@ def cmd_trace(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_check(args: argparse.Namespace) -> int:
+    """Static race/barrier/codegen analysis; exit 1 on any finding."""
+    from .analyze import findings_json, findings_text, parse_grid, run_check
+    try:
+        grid = parse_grid(args.grid)
+        findings = run_check(paths=args.paths or None, grid=grid)
+    except KeyboardInterrupt:
+        print("repro check: interrupted", file=sys.stderr)
+        return 130
+    if args.json:
+        print(findings_json(findings))
+    else:
+        checked = (f"{len(args.paths)} kernel file(s)" if args.paths
+                   else f"shipped kernels + {len(grid)} generated "
+                        "specializations")
+        print(findings_text(findings, checked))
+    return 1 if findings else 0
+
+
 def cmd_serve(args: argparse.Namespace) -> int:
     from .serve import load_workload
     if not os.path.exists(args.workload):
@@ -476,6 +499,19 @@ def build_parser() -> argparse.ArgumentParser:
     ge.add_argument("--targets", action="store_true",
                     help="save as dataset with regression targets")
     ge.set_defaults(fn=cmd_generate)
+
+    ck = sub.add_parser("check",
+                        help="static race/barrier/codegen analysis of the "
+                             "SIMT kernels (exit 1 on any finding)")
+    ck.add_argument("paths", nargs="*",
+                    help="kernel files to analyze (default: shipped "
+                         "kernels + generated specializations)")
+    ck.add_argument("--json", action="store_true",
+                    help="machine-readable findings on stdout")
+    ck.add_argument("--grid", default="2x2,4x2,4x4,8x2,8x4,16x2,32x2",
+                    help="VSxTL specialization grid for the codegen lint "
+                         "(comma-separated, e.g. 8x4,16x2)")
+    ck.set_defaults(fn=cmd_check)
 
     sv = sub.add_parser("serve",
                         help="replay a workload trace through the "

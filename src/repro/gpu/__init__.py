@@ -18,7 +18,8 @@ from .memory import (CacheModel, coalesced_transactions, gather_transactions,
                      segment_transactions, shared_bank_conflict_replays,
                      uncoalesced_transactions)
 from .occupancy import Occupancy, best_block_size, occupancy
-from .simt import (BARRIER, DeadlockError, LaunchStats, ShflDown, ShflXor,
+from .simt import (BARRIER, AccessRecord, DeadlockError, LaunchStats,
+                   RaceEvent, SanitizerReport, ShadowArray, ShflDown, ShflXor,
                    SimtEngine, ThreadCtx, warp_allreduce_sum, warp_reduce_sum)
 from .trace import KernelSummary, TraceReport, summarize, tracing
 from .transfer import TransferModel
@@ -36,7 +37,8 @@ __all__ = [
     "segment_transactions", "shared_bank_conflict_replays",
     "uncoalesced_transactions",
     "Occupancy", "best_block_size", "occupancy",
-    "BARRIER", "DeadlockError", "LaunchStats", "ShflDown", "ShflXor",
+    "BARRIER", "AccessRecord", "DeadlockError", "LaunchStats", "RaceEvent",
+    "SanitizerReport", "ShadowArray", "ShflDown", "ShflXor",
     "SimtEngine", "ThreadCtx", "warp_allreduce_sum", "warp_reduce_sum",
     "KernelSummary", "TraceReport", "summarize", "tracing",
     "TransferModel",

@@ -16,7 +16,6 @@ distribution, which correctly penalizes skew).
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass
 
 import numpy as np

@@ -13,7 +13,7 @@ speedups (Figure 2-bottom compares global load transactions directly).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, fields
+from dataclasses import dataclass, fields
 
 
 @dataclass

@@ -15,7 +15,7 @@ threads, at most 2,048 resident threads and 16 resident blocks per SM.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 
 
 @dataclass(frozen=True)

@@ -25,7 +25,8 @@ expressed through shuffles, shared memory plus barriers, or atomics.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import inspect
+from dataclasses import dataclass
 from typing import Any, Callable, Iterator
 
 import numpy as np
@@ -77,6 +78,146 @@ class DeadlockError(RuntimeError):
     """Raised when threads are parked inconsistently (e.g. divergent barrier)."""
 
 
+@dataclass(frozen=True)
+class AccessRecord:
+    """One recorded memory access in sanitizer mode."""
+
+    block: int
+    tid: int
+    epoch: int       # barrier interval within the block
+    op: str          # "read" | "write" | "atomic"
+
+
+@dataclass(frozen=True)
+class RaceEvent:
+    """A happens-before violation found by the race sanitizer.
+
+    Two accesses to the same cell conflict when at least one is a write,
+    they are not both atomic, and no barrier orders them: either they come
+    from different blocks (no inter-block barrier exists — Section 3.1), or
+    from different threads of one block within the same barrier epoch.
+    """
+
+    space: str                 # "shared" | "global"
+    array: str                 # parameter name of the kernel
+    index: Any                 # the cell both accesses touched
+    first: AccessRecord
+    second: AccessRecord
+
+    def describe(self) -> str:
+        return (f"{self.space} race on {self.array}[{self.index}]: "
+                f"{self.first.op} by (block {self.first.block}, "
+                f"tid {self.first.tid}, epoch {self.first.epoch}) vs "
+                f"{self.second.op} by (block {self.second.block}, "
+                f"tid {self.second.tid}, epoch {self.second.epoch})")
+
+
+def _ordered(a: AccessRecord, b: AccessRecord) -> bool:
+    """Whether a barrier orders the two accesses (same-thread is ordered)."""
+    if a.block != b.block:
+        return False                      # no inter-block barrier exists
+    return a.tid == b.tid or a.epoch != b.epoch
+
+
+class ShadowArray:
+    """Array wrapper used in sanitizer mode: records reads/writes per cell.
+
+    Plain ``arr[i]`` loads and stores are recorded as they happen; the
+    atomic entry points on :class:`ThreadCtx` record ``"atomic"`` instead.
+    Augmented stores (``arr[i] += v``) decompose into a recorded read plus
+    a recorded write, which is exactly the non-atomicity the sanitizer must
+    see.  The wrapped ndarray is mutated in place, so callers holding the
+    raw array observe the kernel's output unchanged.
+    """
+
+    __slots__ = ("data", "name", "space", "_engine", "_cells")
+
+    def __init__(self, data: np.ndarray, name: str, space: str,
+                 engine: "SimtEngine"):
+        self.data = data
+        self.name = name
+        self.space = space
+        self._engine = engine
+        # cell -> {"read": set[AccessRecord-key], "write": ..., "atomic": ...}
+        self._cells: dict[Any, dict[str, set[AccessRecord]]] = {}
+
+    # -- ndarray surface the kernels rely on --------------------------- #
+    @property
+    def shape(self):
+        return self.data.shape
+
+    @property
+    def dtype(self):
+        return self.data.dtype
+
+    def __len__(self) -> int:
+        return len(self.data)
+
+    def __getitem__(self, idx):
+        self.record(idx, "read")
+        return self.data[idx]
+
+    def __setitem__(self, idx, value) -> None:
+        self.record(idx, "write")
+        self.data[idx] = value
+
+    # -- shadow bookkeeping -------------------------------------------- #
+    @staticmethod
+    def _cell(idx) -> Any:
+        if isinstance(idx, tuple):
+            return tuple(int(i) for i in idx)
+        return int(idx)
+
+    def record(self, idx, op: str) -> None:
+        try:
+            cell = self._cell(idx)
+        except (TypeError, ValueError):   # slice/fancy index: not a cell op
+            return
+        eng = self._engine
+        rec = AccessRecord(eng._cur_block, eng._cur_tid, eng._cur_epoch, op)
+        slots = self._cells.setdefault(
+            cell, {"read": set(), "write": set(), "atomic": set()})
+        against = {"read": ("write", "atomic"),
+                   "write": ("read", "write", "atomic"),
+                   "atomic": ("read", "write")}[op]
+        for other_op in against:
+            for prev in slots[other_op]:
+                if not _ordered(prev, rec):
+                    eng._report_race(self, cell, prev, rec)
+                    break                  # one witness per op pair suffices
+        slots[op].add(rec)
+
+
+class SanitizerReport:
+    """Races observed during sanitized launches (deduplicated)."""
+
+    MAX_EVENTS = 256
+
+    WITNESSES_PER_CLASS = 4
+
+    def __init__(self) -> None:
+        self.events: list[RaceEvent] = []
+        self._per_class: dict[tuple, int] = {}
+        self.dropped = 0
+
+    def add(self, event: RaceEvent) -> None:
+        key = (event.space, event.array,
+               frozenset((event.first.op, event.second.op)))
+        if (self._per_class.get(key, 0) >= self.WITNESSES_PER_CLASS
+                or len(self.events) >= self.MAX_EVENTS):
+            self.dropped += 1
+            return
+        self._per_class[key] = self._per_class.get(key, 0) + 1
+        self.events.append(event)
+
+    def kinds(self) -> set[str]:
+        """Map observed races onto the static finding taxonomy."""
+        return {f"{e.space}-race" for e in self.events}
+
+    def __bool__(self) -> bool:
+        return bool(self.events)
+
+
 class ThreadCtx:
     """Per-thread view handed to a kernel."""
 
@@ -108,8 +249,11 @@ class ThreadCtx:
     def warp(self) -> int:
         return self.tid // self._engine.device.warp_size
 
-    def atomic_add(self, array: np.ndarray, index: int, value: float) -> float:
+    def atomic_add(self, array, index: int, value: float) -> float:
         """Atomic read-modify-write on global memory; returns the old value."""
+        if isinstance(array, ShadowArray):
+            array.record(index, "atomic")
+            array = array.data
         old = array[index]
         array[index] = old + value
         self._engine.stats.atomic_global += 1
@@ -117,8 +261,12 @@ class ThreadCtx:
 
     def atomic_add_shared(self, index: int, value: float) -> float:
         """Atomic add targeting this block's shared memory."""
-        old = self.shared[index]
-        self.shared[index] = old + value
+        shared = self.shared
+        if isinstance(shared, ShadowArray):
+            shared.record(index, "atomic")
+            shared = shared.data
+        old = shared[index]
+        shared[index] = old + value
         self._engine.stats.atomic_shared += 1
         return old
 
@@ -132,9 +280,38 @@ class SimtEngine:
     atomics, which remain atomic under sequential execution.
     """
 
-    def __init__(self, device: DeviceSpec = TINY_CC35):
+    def __init__(self, device: DeviceSpec = TINY_CC35,
+                 sanitize: bool = False):
         self.device = device
         self.stats = LaunchStats()
+        self.sanitize = sanitize
+        self.report = SanitizerReport()
+        # sanitizer bookkeeping: which thread the interpreter is currently
+        # advancing, and the barrier epoch of the block being run
+        self._cur_block = 0
+        self._cur_tid = 0
+        self._cur_epoch = 0
+
+    def _report_race(self, shadow: ShadowArray, cell,
+                     first: AccessRecord, second: AccessRecord) -> None:
+        self.report.add(RaceEvent(shadow.space, shadow.name, cell,
+                                  first, second))
+
+    def _wrap_args(self, kernel, args: tuple) -> tuple:
+        """Shadow every ndarray argument, labeled by kernel parameter name."""
+        try:
+            names = [p.name for p in
+                     inspect.signature(kernel).parameters.values()][1:]
+        except (TypeError, ValueError):    # builtins/partials: fall back
+            names = []
+        wrapped = []
+        for i, a in enumerate(args):
+            if isinstance(a, np.ndarray):
+                label = names[i] if i < len(names) else f"arg{i}"
+                wrapped.append(ShadowArray(a, label, "global", self))
+            else:
+                wrapped.append(a)
+        return tuple(wrapped)
 
     def launch(self, kernel: Callable[..., Iterator[Any]], grid_size: int,
                block_size: int, args: tuple = (),
@@ -145,6 +322,9 @@ class SimtEngine:
         if shared_doubles * 8 > self.device.shared_memory_per_block:
             raise ValueError("shared memory request exceeds per-block limit")
         self.stats = LaunchStats()
+        if self.sanitize:
+            self.report = SanitizerReport()
+            args = self._wrap_args(kernel, args)
         for block_id in range(grid_size):
             self._run_block(kernel, block_id, grid_size, block_size,
                             args, shared_doubles)
@@ -153,7 +333,11 @@ class SimtEngine:
     # ------------------------------------------------------------------ #
     def _run_block(self, kernel, block_id: int, grid_size: int,
                    block_size: int, args: tuple, shared_doubles: int) -> None:
-        shared = np.zeros(max(1, shared_doubles), dtype=np.float64)
+        shared: Any = np.zeros(max(1, shared_doubles), dtype=np.float64)
+        if self.sanitize:
+            shared = ShadowArray(shared, "shared", "shared", self)
+            self._cur_block = block_id
+            self._cur_epoch = 0
         threads: list[Iterator | None] = []
         parked: list[Any] = [None] * block_size   # token each thread waits on
         sendval: list[Any] = [None] * block_size  # value to resume with
@@ -169,6 +353,7 @@ class SimtEngine:
         def advance(tid: int) -> None:
             gen = threads[tid]
             assert gen is not None
+            self._cur_tid = tid
             try:
                 token = gen.send(sendval[tid]) if parked[tid] is not None \
                     else next(gen)
@@ -205,6 +390,7 @@ class SimtEngine:
             # Block-wide barrier: every live thread must be parked on it.
             if live and all(isinstance(parked[t], Sync) for t in live):
                 self.stats.barriers += 1
+                self._cur_epoch += 1       # the barrier orders epochs
                 for t in list(live):
                     sendval[t] = None
                     advance(t)

@@ -18,7 +18,6 @@ from ..gpu.memory import coalesced_transactions
 from ..sparse.ell import EllMatrix, HybMatrix, ell_spmv, hyb_spmv
 from .base import (DEFAULT_CONTEXT, SPARSE_STREAM_DERATE, GpuContext,
                    KernelResult, finish)
-from .sparse_baseline import vector_gather_transactions
 
 _D = 8
 _I = 4

@@ -1,0 +1,48 @@
+"""Seeded bug: Algorithm 2 with a barrier under a thread-divergent guard.
+
+``active = row < m`` differs between threads once the row loop reaches the
+matrix tail, so a ``yield BARRIER`` inside ``if active:`` is reached by only
+part of the block while the rest proceeds to the warp shuffle —
+``divergent-barrier`` statically, :class:`DeadlockError` at launch.
+"""
+
+from repro.gpu.simt import BARRIER, ThreadCtx, warp_allreduce_sum
+
+EXPECTED_KIND = "divergent-barrier"
+SIGNATURE = "alg2"
+
+
+def alg2_divergent_barrier(ctx: ThreadCtx, values, col_idx, row_off, y, v, z,
+                           w, m: int, n: int, VS: int, C: int,
+                           alpha: float, beta: float):
+    tid = ctx.tid
+    lid, vid = tid % VS, tid // VS
+    NV = ctx.block_size // VS
+    row = ctx.block_id * NV + vid
+    for i in range(tid, n, ctx.block_size):
+        ctx.shared[i] = 0.0
+    if beta != 0.0:
+        for i in range(ctx.global_tid, n, ctx.grid_threads):
+            ctx.atomic_add(w, i, beta * z[i])
+    yield BARRIER
+    for _ in range(C):
+        active = row < m
+        s = 0.0
+        if active:
+            # BUG: barrier under a tid-dependent condition — inactive
+            # threads skip it and park at the shuffle below instead
+            yield BARRIER
+            start, end = row_off[row], row_off[row + 1]
+            for i in range(start + lid, end, VS):
+                s += values[i] * y[col_idx[i]]
+        s = yield from warp_allreduce_sum(ctx, s, VS)
+        if active:
+            if v is not None:
+                s *= v[row]
+            start, end = row_off[row], row_off[row + 1]
+            for i in range(start + lid, end, VS):
+                ctx.atomic_add_shared(int(col_idx[i]), values[i] * s)
+        row += ctx.grid_threads // VS
+    yield BARRIER
+    for i in range(tid, n, ctx.block_size):
+        ctx.atomic_add(w, i, alpha * ctx.shared[i])

@@ -1,0 +1,34 @@
+"""Seeded bug: Algorithm 1 without the barrier before the flush.
+
+The shipped kernel separates the shared-memory aggregation (lines 5-13)
+from the inter-block flush (lines 15-16) with the line-14 barrier.  Dropping
+it lets a thread read ``ctx.shared[i]`` for the flush while other threads
+are still aggregating into the same cells: an atomic-write/plain-read
+conflict in one barrier phase — ``shared-race``.
+"""
+
+from repro.gpu.simt import BARRIER, ThreadCtx
+
+EXPECTED_KIND = "shared-race"
+SIGNATURE = "alg1"
+
+
+def alg1_dropped_barrier(ctx: ThreadCtx, values, col_idx, row_off, p, w,
+                         m: int, n: int, VS: int, C: int):
+    tid = ctx.tid
+    lid, vid = tid % VS, tid // VS
+    NV = ctx.block_size // VS
+    row = ctx.block_id * NV + vid
+    for i in range(tid, n, ctx.block_size):
+        ctx.shared[i] = 0.0
+    yield BARRIER
+    for _ in range(C):
+        if row < m:
+            start, end = row_off[row], row_off[row + 1]
+            for i in range(start + lid, end, VS):
+                ctx.atomic_add_shared(int(col_idx[i]), values[i] * p[row])
+        row += ctx.grid_threads // VS
+    # BUG: line-14 `yield BARRIER` dropped — the flush below reads cells
+    # other threads may still be aggregating into
+    for i in range(tid, n, ctx.block_size):
+        ctx.atomic_add(w, i, ctx.shared[i])

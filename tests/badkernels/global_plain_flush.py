@@ -1,0 +1,34 @@
+"""Seeded bug: Algorithm 1 flushing to global memory without atomics.
+
+Lines 15-16 flush each block's shared mirror into the global ``w``.  Every
+block covers the *same* ``[0, n)`` range with its tid-strided loop, and no
+inter-block barrier exists, so the flush must be ``ctx.atomic_add``.  The
+plain read-modify-write here loses updates between blocks —
+``global-race`` (index taint lacks the block id).
+"""
+
+from repro.gpu.simt import BARRIER, ThreadCtx
+
+EXPECTED_KIND = "global-race"
+SIGNATURE = "alg1"
+
+
+def alg1_global_plain_flush(ctx: ThreadCtx, values, col_idx, row_off, p, w,
+                            m: int, n: int, VS: int, C: int):
+    tid = ctx.tid
+    lid, vid = tid % VS, tid // VS
+    NV = ctx.block_size // VS
+    row = ctx.block_id * NV + vid
+    for i in range(tid, n, ctx.block_size):
+        ctx.shared[i] = 0.0
+    yield BARRIER
+    for _ in range(C):
+        if row < m:
+            start, end = row_off[row], row_off[row + 1]
+            for i in range(start + lid, end, VS):
+                ctx.atomic_add_shared(int(col_idx[i]), values[i] * p[row])
+        row += ctx.grid_threads // VS
+    yield BARRIER
+    for i in range(tid, n, ctx.block_size):
+        # BUG: every block writes the same cells; must be ctx.atomic_add
+        w[i] = w[i] + ctx.shared[i]

@@ -1,0 +1,35 @@
+"""Seeded bug: Algorithm 1 with a *plain* shared-memory add.
+
+Lines 10-11 of Algorithm 1 aggregate partial products of shared columns
+from different rows; two lanes (of different vectors) handling rows that
+share a column collide on the same shared cell.  The shipped kernel uses
+``ctx.atomic_add_shared``; this mutant uses a plain read-modify-write,
+which the checker must flag as ``shared-race`` (data-dependent index,
+non-atomic) and the sanitizer reproduces as an unordered shared conflict.
+"""
+
+from repro.gpu.simt import BARRIER, ThreadCtx
+
+EXPECTED_KIND = "shared-race"
+SIGNATURE = "alg1"
+
+
+def alg1_plain_shared_add(ctx: ThreadCtx, values, col_idx, row_off, p, w,
+                          m: int, n: int, VS: int, C: int):
+    tid = ctx.tid
+    lid, vid = tid % VS, tid // VS
+    NV = ctx.block_size // VS
+    row = ctx.block_id * NV + vid
+    for i in range(tid, n, ctx.block_size):
+        ctx.shared[i] = 0.0
+    yield BARRIER
+    for _ in range(C):
+        if row < m:
+            start, end = row_off[row], row_off[row + 1]
+            for i in range(start + lid, end, VS):
+                # BUG: non-atomic aggregation on a data-dependent index
+                ctx.shared[int(col_idx[i])] += values[i] * p[row]
+        row += ctx.grid_threads // VS
+    yield BARRIER
+    for i in range(tid, n, ctx.block_size):
+        ctx.atomic_add(w, i, ctx.shared[i])

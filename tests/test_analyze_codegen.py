@@ -1,0 +1,129 @@
+"""Codegen linter: Listing 2 register rules on generated and mutated source."""
+
+import re
+
+import pytest
+
+from repro.analyze import check_codegen_source, check_specialization
+from repro.analyze.check import DEFAULT_GRID, parse_grid
+from repro.kernels.codegen import generate_source
+
+
+def mutate(src, pattern, replacement, count=1):
+    out, n = re.subn(pattern, replacement, src, count=count)
+    assert n == count, f"pattern {pattern!r} not found"
+    return out
+
+
+class TestCleanOutput:
+    @pytest.mark.parametrize("vs,tl", DEFAULT_GRID)
+    def test_default_grid_is_clean(self, vs, tl):
+        assert check_specialization(vs * tl, vs, tl) == []
+
+    def test_degenerate_single_register(self):
+        assert check_specialization(5, 5, 1) == []
+
+    def test_findings_carry_filename(self):
+        src = mutate(generate_source(8, 4, 2), r"s \+= l_X2 @ l_y2", "pass")
+        (finding,) = check_codegen_source(src, filename="gen.py")
+        assert finding.file == "gen.py"
+        assert finding.kernel == "mtmvm_8_4_2"
+
+
+class TestNonconstantIndex:
+    def test_variable_slice_bound(self):
+        src = mutate(generate_source(8, 4, 2),
+                     r"l_y1 = y\[0:4\]", "vs = 4\n    l_y1 = y[0:vs]")
+        kinds = {f.kind for f in check_codegen_source(src)}
+        assert "codegen-nonconstant-index" in kinds
+
+    def test_computed_index(self):
+        src = mutate(generate_source(8, 4, 2),
+                     r"l_X2 = X\[:, 4:8\]", "l_X2 = X[:, 2 * 2:8]")
+        kinds = {f.kind for f in check_codegen_source(src)}
+        assert "codegen-nonconstant-index" in kinds
+
+    def test_full_row_slice_is_allowed(self):
+        # X[:, lo:hi] keeps its bare `:` row slice — not a violation
+        assert check_specialization(8, 4, 2) == []
+
+
+class TestCoverage:
+    def test_overlapping_slices(self):
+        src = mutate(generate_source(8, 4, 2), r"l_y2 = y\[4:8\]",
+                     "l_y2 = y[2:6]")
+        findings = check_codegen_source(src)
+        assert {f.kind for f in findings} == {"codegen-coverage"}
+        assert any("l_y2" in f.message for f in findings)
+
+    def test_missing_register(self):
+        src = mutate(generate_source(12, 4, 3), r"    l_X3 = X\[:, 8:12\]\n",
+                     "")
+        findings = check_codegen_source(src)
+        assert any(f.kind == "codegen-coverage" and "l_X" in f.message
+                   for f in findings)
+
+    def test_gap_in_tiling(self):
+        src = generate_source(12, 4, 3)
+        src = mutate(src, r"l_y2 = y\[4:8\]", "l_y2 = y[0:4]")
+        findings = check_codegen_source(src)
+        assert {f.kind for f in findings} == {"codegen-coverage"}
+
+    def test_out_slice_out_of_order(self):
+        src = generate_source(8, 4, 2)
+        src = mutate(src, r"out\[0:4\] \+= alpha \* l_w1",
+                     "out[4:8] += alpha * l_w1")
+        src = mutate(src, r"out\[4:8\] \+= alpha \* l_w2",
+                     "out[0:4] += alpha * l_w2")
+        findings = check_codegen_source(src)
+        assert {f.kind for f in findings} == {"codegen-coverage"}
+
+    def test_name_key_mismatch(self):
+        src = mutate(generate_source(8, 4, 2), r"mtmvm_8_4_2", "mtmvm_8_4_3")
+        (finding,) = check_codegen_source(src)
+        assert finding.kind == "codegen-coverage"
+        assert "n=8 != VS*TL" in finding.message
+
+    def test_unparseable_source(self):
+        (finding,) = check_codegen_source("def broken(:\n")
+        assert finding.kind == "codegen-coverage"
+        assert "does not parse" in finding.message
+
+
+class TestAccumulation:
+    def test_dropped_chain_link(self):
+        src = mutate(generate_source(12, 4, 3), r"    s \+= l_X2 @ l_y2\n",
+                     "")
+        findings = check_codegen_source(src)
+        assert {f.kind for f in findings} == {"codegen-accumulation"}
+
+    def test_reinitialized_accumulator(self):
+        src = mutate(generate_source(8, 4, 2), r"s \+= l_X2 @ l_y2",
+                     "s = l_X2 @ l_y2")
+        findings = check_codegen_source(src)
+        assert {f.kind for f in findings} == {"codegen-accumulation"}
+        assert any("initialized exactly once" in f.message for f in findings)
+
+    def test_out_of_order_chain(self):
+        src = mutate(generate_source(12, 4, 3),
+                     r"s \+= l_X2 @ l_y2\n    s \+= l_X3 @ l_y3",
+                     "s += l_X3 @ l_y3\n    s += l_X2 @ l_y2")
+        findings = check_codegen_source(src)
+        assert {f.kind for f in findings} == {"codegen-accumulation"}
+
+    def test_v_elementwise_rebind_is_allowed(self):
+        # `s = s * v` under `if v is not None:` is the sanctioned rebind
+        assert check_specialization(16, 8, 2) == []
+
+
+class TestGridParsing:
+    def test_parse_round_trip(self):
+        assert parse_grid("2x2,8x4") == ((2, 2), (8, 4))
+
+    def test_rejects_malformed_entry(self):
+        with pytest.raises(ValueError, match="must be VSxTL"):
+            parse_grid("2x2,banana")
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            parse_grid("0x4")

@@ -1,0 +1,154 @@
+"""SimtEngine sanitizer mode: shadow memory, epochs, and race witnesses."""
+
+import numpy as np
+import pytest
+
+from repro.analyze.sanitizer import (alg1_launch, alg2_launch, dynamic_kinds,
+                                     fixture_inputs, sanitized_launch)
+from repro.gpu.simt import BARRIER, SanitizerReport, SimtEngine
+from repro.kernels.simt_kernels import alg1_xt_spmv, alg2_fused_sparse
+
+
+class TestShadowSemantics:
+    def test_plain_writes_same_cell_same_epoch(self):
+        buf = np.zeros(1)
+
+        def k(ctx, buf):
+            buf[0] = float(ctx.tid)
+            yield BARRIER
+
+        kinds = dynamic_kinds(k, 1, 2, (buf,))
+        assert kinds == {"global-race"}
+
+    def test_same_thread_rewrites_are_ordered(self):
+        buf = np.zeros(1)
+
+        def k(ctx, buf):
+            buf[0] = 1.0
+            buf[0] = 2.0
+            yield BARRIER
+
+        assert dynamic_kinds(k, 1, 1, (buf,)) == set()
+
+    def test_barrier_epoch_orders_within_block(self):
+        def k(ctx):
+            if ctx.tid == 0:
+                ctx.shared[0] = 1.0
+            yield BARRIER
+            if ctx.tid == 1:
+                ctx.shared[0] = 2.0
+
+        assert dynamic_kinds(k, 1, 2, (), shared_doubles=1) == set()
+
+    def test_barriers_do_not_order_across_blocks(self):
+        buf = np.zeros(1)
+
+        def k(ctx, buf):
+            if ctx.block_id == 0:
+                buf[0] = 1.0
+            yield BARRIER
+            yield BARRIER
+            if ctx.block_id == 1:
+                buf[0] = 2.0
+
+        assert dynamic_kinds(k, 2, 1, (buf,)) == {"global-race"}
+
+    def test_atomics_commute(self):
+        buf = np.zeros(1)
+
+        def k(ctx, buf):
+            ctx.atomic_add(buf, 0, 1.0)
+            return
+            yield
+
+        kinds, report = sanitized_launch(k, 2, 4, (buf,))
+        assert kinds == set()
+        assert buf[0] == 8.0  # shadow wrapper must not perturb numerics
+
+    def test_atomic_vs_plain_read_conflicts(self):
+        buf = np.zeros(1)
+        out = np.zeros(4)
+
+        def k(ctx, buf, out):
+            ctx.atomic_add(buf, 0, 1.0)
+            out[ctx.global_tid] = buf[0]
+            yield BARRIER
+
+        assert dynamic_kinds(k, 1, 4, (buf, out)) == {"global-race"}
+
+    def test_shared_race_reported_in_shared_space(self):
+        def k(ctx):
+            ctx.shared[0] = float(ctx.tid)
+            yield BARRIER
+
+        kinds, report = sanitized_launch(k, 1, 4, (), shared_doubles=1)
+        assert kinds == {"shared-race"}
+        ev = report.events[0]
+        assert ev.space == "shared"
+        assert "shared" in ev.describe()
+
+
+class TestReport:
+    def test_witnesses_capped_per_class(self):
+        buf = np.zeros(8)
+
+        def k(ctx, buf):
+            for i in range(8):
+                buf[i] = float(ctx.tid)
+            yield BARRIER
+
+        kinds, report = sanitized_launch(k, 1, 16, (buf,))
+        assert kinds == {"global-race"}
+        assert 0 < len(report.events) <= SanitizerReport.WITNESSES_PER_CLASS
+
+    def test_report_resets_between_launches(self):
+        buf = np.zeros(1)
+
+        def racy(ctx, buf):
+            buf[0] = float(ctx.tid)
+            yield BARRIER
+
+        def clean(ctx, buf):
+            ctx.atomic_add(buf, 0, 1.0)
+            return
+            yield
+
+        engine = SimtEngine(sanitize=True)
+        engine.launch(racy, 1, 2, (buf,))
+        assert engine.report.events
+        engine.launch(clean, 1, 2, (buf,))
+        assert not engine.report.events
+
+    def test_sanitizer_off_by_default(self):
+        buf = np.zeros(1)
+
+        def racy(ctx, buf):
+            buf[0] = float(ctx.tid)
+            yield BARRIER
+
+        engine = SimtEngine()
+        engine.launch(racy, 1, 2, (buf,))
+        assert not engine.report.events
+
+
+class TestShippedKernelsClean:
+    def test_alg1_clean_and_correct(self):
+        fx = fixture_inputs()
+        assert alg1_launch(alg1_xt_spmv) == set()
+        # and the sanitized run computes the right thing
+        X, m, n = fx["X"], fx["m"], fx["n"]
+        w = np.zeros(n)
+        engine = SimtEngine(sanitize=True)
+        grid, block, VS = 2, 8, 4
+        C = max(1, -(-m // (grid * (block // VS))))
+        engine.launch(alg1_xt_spmv, grid, block,
+                      (X.values, X.col_idx, X.row_off, fx["p"], w,
+                       m, n, VS, C), shared_doubles=n)
+        np.testing.assert_allclose(w, X.to_dense().T @ fx["p"])
+
+    def test_alg2_clean(self):
+        assert alg2_launch(alg2_fused_sparse) == set()
+
+    @pytest.mark.parametrize("vs", [2, 4, 8])
+    def test_alg1_clean_across_vector_sizes(self, vs):
+        assert alg1_launch(alg1_xt_spmv, VS=vs) == set()

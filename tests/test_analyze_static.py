@@ -1,0 +1,219 @@
+"""Static analyzer: extraction, taint, phases, and the three checkers."""
+
+import textwrap
+
+import pytest
+
+from repro.analyze import (AnalysisError, check_models, check_shipped,
+                           extract_source)
+from repro.analyze.model import BLOCK, DATA, GLOBAL, SHARED, TID, WRITE
+
+
+def models_of(src):
+    return extract_source(textwrap.dedent(src))
+
+
+def kinds_of(src):
+    return {f.kind for f in check_models(models_of(src))}
+
+
+class TestExtraction:
+    def test_discovers_all_shipped_kernels(self):
+        from repro.kernels import simt_kernels
+        with open(simt_kernels.__file__) as f:
+            models = extract_source(f.read())
+        names = {m.name for m in models}
+        assert names == {"alg1_xt_spmv", "alg2_fused_sparse",
+                         "alg2_fused_sparse_large_n", "alg3_fused_dense",
+                         "csr_vector_spmv"}
+        # the launchers are not generators taking ctx — not kernels
+        assert "run_alg2" not in names and "run_alg3" not in names
+
+    def test_alg3_splits_on_uniform_barrier_branch(self):
+        from repro.kernels import simt_kernels
+        with open(simt_kernels.__file__) as f:
+            models = [m for m in extract_source(f.read())
+                      if m.name == "alg3_fused_dense"]
+        # VS <= 32 (barrier-free) and VS > 32 (two barriers per step)
+        assert len(models) == 2
+        assert {m.phases for m in models} == {1, 5}
+
+    def test_taint_propagation_through_locals(self):
+        (model,) = models_of("""
+            def k(ctx, w, n, VS):
+                tid = ctx.tid
+                lid, vid = tid % VS, tid // VS
+                row = ctx.block_id * (ctx.block_size // VS) + vid
+                ctx.atomic_add(w, row, 1.0)
+                yield BARRIER
+        """)
+        (acc,) = [a for a in model.accesses if a.array == "w"]
+        assert acc.index_taint == frozenset({TID, BLOCK})
+        assert acc.atomic and acc.kind == WRITE
+
+    def test_data_taint_through_memory_loads(self):
+        (model,) = models_of("""
+            def k(ctx, col_idx, w, n):
+                i = ctx.tid
+                c = int(col_idx[i])
+                w[c] = 1.0
+                yield BARRIER
+        """)
+        write = [a for a in model.accesses
+                 if a.array == "w" and a.kind == WRITE][0]
+        assert DATA in write.index_taint
+
+    def test_barrier_increments_phase(self):
+        (model,) = models_of("""
+            def k(ctx, n):
+                ctx.shared[ctx.tid] = 0.0
+                yield BARRIER
+                ctx.shared[ctx.tid] = 1.0
+                yield BARRIER
+        """)
+        phases = [a.phase for a in model.accesses if a.space == SHARED]
+        assert phases == [0, 1]
+        assert model.phases == 3
+
+    def test_loop_with_barrier_walked_twice_for_wraparound(self):
+        # write after the loop's barrier lands in the same phase as the
+        # read before it on the next iteration — the back-edge adjacency
+        assert "shared-race" in kinds_of("""
+            def k(ctx, n, C):
+                for _ in range(C):
+                    s = ctx.shared[0]
+                    yield BARRIER
+                    ctx.shared[ctx.tid % 2] = s
+        """)
+
+    def test_unsupported_statement_raises(self):
+        with pytest.raises(AnalysisError, match="unsupported"):
+            models_of("""
+                def k(ctx):
+                    with open("x") as f:
+                        pass
+                    yield BARRIER
+            """)
+
+    def test_global_array_identified_via_atomic_add(self):
+        (model,) = models_of("""
+            def k(ctx, w):
+                ctx.atomic_add(w, ctx.global_tid, 1.0)
+                yield BARRIER
+        """)
+        assert [a.space for a in model.accesses if a.array == "w"] \
+            == [GLOBAL]
+
+
+class TestRaceChecker:
+    def test_shipped_kernels_are_clean(self):
+        assert check_shipped() == []
+
+    def test_plain_shared_write_data_index(self):
+        assert kinds_of("""
+            def k(ctx, col_idx, values, n):
+                i = ctx.tid
+                ctx.shared[int(col_idx[i])] += values[i]
+                yield BARRIER
+        """) == {"shared-race"}
+
+    def test_uniform_shared_write_races(self):
+        assert "shared-race" in kinds_of("""
+            def k(ctx, n):
+                ctx.shared[0] = 1.0
+                yield BARRIER
+        """)
+
+    def test_tid_partitioned_shared_write_is_clean(self):
+        assert kinds_of("""
+            def k(ctx, n):
+                for i in range(ctx.tid, n, ctx.block_size):
+                    ctx.shared[i] = 0.0
+                yield BARRIER
+        """) == set()
+
+    def test_atomic_write_and_plain_read_same_phase(self):
+        assert kinds_of("""
+            def k(ctx, col_idx, w, n):
+                ctx.atomic_add_shared(int(col_idx[ctx.tid]), 1.0)
+                for i in range(ctx.tid, n, ctx.block_size):
+                    ctx.atomic_add(w, i, ctx.shared[i])
+                yield BARRIER
+        """) == {"shared-race"}
+
+    def test_barrier_separation_clears_the_conflict(self):
+        assert kinds_of("""
+            def k(ctx, col_idx, w, n):
+                ctx.atomic_add_shared(int(col_idx[ctx.tid]), 1.0)
+                yield BARRIER
+                for i in range(ctx.tid, n, ctx.block_size):
+                    ctx.atomic_add(w, i, ctx.shared[i])
+        """) == set()
+
+    def test_block_local_global_write_races_across_blocks(self):
+        # tid-strided partition covers the same cells in every block
+        assert kinds_of("""
+            def k(ctx, w, n):
+                for i in range(ctx.tid, n, ctx.block_size):
+                    w[i] = w[i] + 1.0
+                yield BARRIER
+        """) == {"global-race"}
+
+    def test_grid_strided_global_write_is_clean(self):
+        assert kinds_of("""
+            def k(ctx, w, n):
+                for i in range(ctx.global_tid, n, ctx.grid_threads):
+                    w[i] = 1.0
+                yield BARRIER
+        """) == set()
+
+    def test_atomic_global_aggregation_is_clean(self):
+        assert kinds_of("""
+            def k(ctx, w, n):
+                for i in range(ctx.tid, n, ctx.block_size):
+                    ctx.atomic_add(w, i, 1.0)
+                yield BARRIER
+        """) == set()
+
+
+class TestBarrierChecker:
+    def test_barrier_under_tid_branch(self):
+        assert kinds_of("""
+            def k(ctx):
+                if ctx.tid == 0:
+                    yield BARRIER
+        """) == {"divergent-barrier"}
+
+    def test_barrier_under_data_dependent_branch(self):
+        assert kinds_of("""
+            def k(ctx, row_off, m):
+                active = row_off[ctx.tid] < m
+                if active:
+                    yield BARRIER
+        """) == {"divergent-barrier"}
+
+    def test_barrier_in_tid_trip_count_loop(self):
+        assert kinds_of("""
+            def k(ctx, n):
+                for i in range(ctx.tid, n, ctx.block_size):
+                    yield BARRIER
+        """) == {"divergent-barrier"}
+
+    def test_uniform_branch_barrier_is_clean(self):
+        assert kinds_of("""
+            def k(ctx, beta, n):
+                if beta != 0.0:
+                    yield BARRIER
+                for i in range(ctx.tid, n, ctx.block_size):
+                    ctx.shared[i] = 0.0
+                yield BARRIER
+        """) == set()
+
+    def test_shuffle_under_divergent_guard(self):
+        findings = check_models(models_of("""
+            def k(ctx, m, VS):
+                if ctx.tid < m:
+                    s = yield from warp_allreduce_sum(ctx, 1.0, VS)
+        """))
+        assert {f.kind for f in findings} == {"divergent-barrier"}
+        assert "shuffle" in findings[0].message

@@ -1,0 +1,85 @@
+"""The seeded-bug corpus: every mutant is flagged with the right kind,
+statically AND dynamically, and the two verdicts agree.
+
+This is the analyzer's acceptance gate: no finding class exists that only
+the static checker or only the sanitizer can see.  Each fixture module
+declares its ``EXPECTED_KIND`` and which launch ``SIGNATURE`` it uses.
+"""
+
+import importlib.util
+import inspect
+from pathlib import Path
+
+import pytest
+
+from repro.analyze import analyze_file
+from repro.analyze.sanitizer import alg1_launch, alg2_launch
+from repro.cli import main
+
+CORPUS = Path(__file__).parent / "badkernels"
+FIXTURES = sorted(p for p in CORPUS.glob("*.py") if p.name != "__init__.py")
+
+LAUNCHERS = {"alg1": alg1_launch, "alg2": alg2_launch}
+
+
+def load_module(path):
+    spec = importlib.util.spec_from_file_location(path.stem, path)
+    mod = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(mod)
+    return mod
+
+
+def fixture_kernel(mod):
+    return next(fn for name, fn in sorted(vars(mod).items())
+                if inspect.isgeneratorfunction(fn)
+                and name.startswith(("alg1_", "alg2_")))
+
+
+def test_corpus_is_nonempty():
+    assert len(FIXTURES) >= 4
+    kinds = set()
+    for path in FIXTURES:
+        kinds.add(load_module(path).EXPECTED_KIND)
+    # the corpus must exercise every race/barrier finding class
+    assert kinds == {"shared-race", "global-race", "divergent-barrier"}
+
+
+@pytest.mark.parametrize("path", FIXTURES, ids=lambda p: p.stem)
+def test_static_flags_expected_kind(path):
+    mod = load_module(path)
+    kinds = {f.kind for f in analyze_file(str(path))}
+    assert kinds == {mod.EXPECTED_KIND}
+
+
+@pytest.mark.parametrize("path", FIXTURES, ids=lambda p: p.stem)
+def test_dynamic_reproduces_expected_kind(path):
+    mod = load_module(path)
+    kinds = LAUNCHERS[mod.SIGNATURE](fixture_kernel(mod))
+    assert kinds == {mod.EXPECTED_KIND}
+
+
+@pytest.mark.parametrize("path", FIXTURES, ids=lambda p: p.stem)
+def test_static_and_dynamic_agree(path):
+    mod = load_module(path)
+    static = {f.kind for f in analyze_file(str(path))}
+    dynamic = LAUNCHERS[mod.SIGNATURE](fixture_kernel(mod))
+    assert static == dynamic == {mod.EXPECTED_KIND}
+
+
+def test_cli_flags_whole_corpus(capsys):
+    rc = main(["check"] + [str(p) for p in FIXTURES])
+    assert rc == 1
+    out = capsys.readouterr().out
+    for path in FIXTURES:
+        assert path.name in out or str(path) in out
+
+
+def test_cli_json_lists_every_expected_kind(capsys):
+    import json
+    rc = main(["check", "--json"] + [str(p) for p in FIXTURES])
+    assert rc == 1
+    findings = json.loads(capsys.readouterr().out)
+    reported = {(Path(f["file"]).name, f["kind"]) for f in findings}
+    for path in FIXTURES:
+        mod = load_module(path)
+        assert (path.name, mod.EXPECTED_KIND) in reported

@@ -125,6 +125,44 @@ class TestFileGuards:
         assert err.startswith("repro evaluate:")
         assert len(err.strip().splitlines()) == 1
 
+    def test_check_missing_kernel_file(self, tmp_path):
+        missing = str(tmp_path / "nope.py")
+        with pytest.raises(SystemExit) as exc:
+            main(["check", missing])
+        assert f"kernel file not found: {missing}" in str(exc.value.code)
+        assert _exit_code(["check", missing]) == 1
+
+    def test_check_bad_grid_spec(self, capsys):
+        assert _exit_code(["check", "--grid", "8x"]) == 1
+        err = capsys.readouterr().err
+        assert err.startswith("repro check:")
+        assert "VSxTL" in err
+        assert len(err.strip().splitlines()) == 1
+
+    def test_check_empty_grid_spec(self, capsys):
+        assert _exit_code(["check", "--grid", ","]) == 1
+        assert "empty" in capsys.readouterr().err
+
+    def test_check_unparseable_kernel_file(self, tmp_path, capsys):
+        path = tmp_path / "broken.py"
+        path.write_text("def k(:\n")
+        assert _exit_code(["check", str(path)]) == 1
+        err = capsys.readouterr().err
+        assert err.startswith("repro check:")
+        assert len(err.strip().splitlines()) == 1   # one line, no traceback
+
+    def test_check_sigint_exits_130(self, monkeypatch, capsys):
+        import repro.analyze
+
+        def boom(*a, **kw):
+            raise KeyboardInterrupt
+
+        # cmd_check does `from .analyze import run_check` at call time
+        monkeypatch.setattr(repro.analyze, "run_check", boom)
+        assert _exit_code(["check"]) == 130
+        err = capsys.readouterr().err
+        assert err.strip() == "repro check: interrupted"
+
 
 class TestSuccessPaths:
     """Contrast cases: the same commands succeed once inputs exist."""
@@ -167,6 +205,17 @@ class TestSuccessPaths:
         import json
         parsed = json.loads(open(metrics).read())
         assert parsed["counters"]["completed"] == 8
+
+    def test_check_shipped_kernels_clean(self, capsys):
+        assert _exit_code(["check"]) == 0
+        out = capsys.readouterr().out
+        assert "0 finding(s)" in out
+        assert "shipped kernels" in out
+
+    def test_check_json_output_parses(self, capsys):
+        import json
+        assert _exit_code(["check", "--json", "--grid", "4x2"]) == 0
+        assert json.loads(capsys.readouterr().out) == []
 
     def test_loadgen_run_inline(self, tmp_path, capsys):
         assert _exit_code(["loadgen", str(tmp_path / "t.json"),

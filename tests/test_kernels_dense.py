@@ -7,7 +7,7 @@ from repro.kernels import (bidmat_gemv_n, bidmat_gemv_t, clear_cache,
                            fused_pattern_dense, fused_xtxy_dense,
                            gemv_n, gemv_t, generate_source, get_kernel,
                            pad_for_vector_size)
-from repro.kernels.codegen import cache_size
+from repro.kernels.codegen import cache_size, ensure_kernel
 from repro.tuning import tune_dense
 
 
@@ -72,6 +72,25 @@ class TestCodegen:
         with pytest.raises(ValueError):
             generate_source(0, 0, 0)
 
+    @pytest.mark.parametrize("n,vs,tl", [
+        (31, 16, 2),    # n one short of VS*TL
+        (48, 16, 2),    # n one register-slice over
+        (0, 0, 1),      # zero VS
+        (0, 4, 0),      # zero TL
+        (-8, -4, 2),    # negative VS (and key still "consistent": -8 == -4*2)
+    ])
+    def test_bad_specializations_never_reach_compile(self, n, vs, tl):
+        clear_cache()
+        with pytest.raises(ValueError):
+            generate_source(n, vs, tl)
+        with pytest.raises(ValueError):
+            ensure_kernel(n, vs, tl)
+        assert cache_size() == 0, "a rejected key must not be cached"
+
+    def test_nonpositive_message_names_both_knobs(self):
+        with pytest.raises(ValueError, match="VS and TL must be positive"):
+            generate_source(-8, -4, 2)
+
     def test_generated_kernel_computes_pattern(self, rng):
         k = get_kernel(32, 16, 2)
         X = rng.normal(size=(50, 32))
@@ -99,6 +118,20 @@ class TestCodegen:
         assert cache_size() == 1
         get_kernel(64, 16, 4)
         assert cache_size() == 2
+
+    def test_ensure_kernel_reports_compile_flag(self):
+        clear_cache()
+        fn1, compiled1 = ensure_kernel(32, 16, 2)
+        fn2, compiled2 = ensure_kernel(32, 16, 2)
+        assert compiled1 and not compiled2
+        assert fn1 is fn2
+
+    def test_repeated_get_kernel_never_recompiles(self):
+        clear_cache()
+        first = get_kernel(32, 16, 2)
+        for _ in range(5):
+            assert get_kernel(32, 16, 2) is first
+        assert cache_size() == 1
 
     def test_padding_helper(self):
         assert pad_for_vector_size(200, 32) == 224
