@@ -1,0 +1,106 @@
+"""Fusion-plan optimizer benchmark: auto vs pattern vs unfused.
+
+Wraps the ``fusion`` experiment (``repro.bench.fusion_bench``): every
+shipped DML script executed unfused, through the hand-matched pattern
+rewriter, and through the cost-based optimizer, in model milliseconds.
+Two ratio metrics are trend-gated against the committed baseline:
+
+* ``auto_vs_unfused_x`` — summed unfused model ms over summed auto model
+  ms.  The optimizer's end-to-end win; a regression here means plans
+  stopped fusing.
+* ``auto_vs_pattern_x`` — summed pattern-rewriter ms over summed auto ms.
+  Must stay >= 1.0: cost-based selection may never lose to the fixed
+  rewrite it generalizes (it wins where the rewriter leaves cell-wise
+  regions unfused).
+
+Also runnable as a script for CI smoke runs::
+
+    PYTHONPATH=src python benchmarks/bench_fusion.py --quick
+
+which writes the series to ``benchmarks/results/BENCH_fusion.json``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def fusion_payload(scale: float) -> dict:
+    from repro.bench.fusion_bench import fusion_plans
+
+    result = fusion_plans(scale=scale)
+    series = [dict(zip(result.columns, row)) for row in result.rows]
+    unfused = sum(r["unfused_ms"] for r in series)
+    pattern = sum(r["pattern_ms"] for r in series)
+    auto = sum(r["auto_ms"] for r in series)
+    return {
+        "experiment": "fusion",
+        "title": result.title,
+        "series": series,
+        "auto_vs_unfused_x": unfused / max(auto, 1e-12),
+        "auto_vs_pattern_x": pattern / max(auto, 1e-12),
+        "searches": sorted({r["search"] for r in series}),
+        "notes": result.notes,
+    }
+
+
+def bench_fusion(benchmark, record_experiment):
+    """pytest-benchmark wrapper: plan, execute, and assert the orderings."""
+    from repro.bench.fusion_bench import fusion_plans
+
+    result = benchmark.pedantic(fusion_plans, rounds=1, iterations=1)
+    record_experiment(result)
+    rows = {r[0]: r for r in result.rows}
+    for name, (_, unfused, pattern, auto, *_rest) in rows.items():
+        assert auto <= unfused + 1e-9, f"{name}: auto lost to unfused"
+        assert auto <= pattern + 1e-9, f"{name}: auto lost to pattern"
+    # the Eq.-1 scripts must be rediscovered (big wins), the cell-wise
+    # scripts must at least beat their unfused form
+    for name in ("linreg-cg", "logreg", "svm"):
+        assert rows[name][4] > 2.0, f"{name}: Eq.-1 fusion not rediscovered"
+    for name in ("cg-update", "row-scale"):
+        assert rows[name][4] > 1.0, f"{name}: cell-wise region not fused"
+
+
+def main(argv: list[str] | None = None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--quick", action="store_true",
+                    help="small matrix for CI smoke runs")
+    ap.add_argument("--check", action="store_true",
+                    help="exit non-zero when auto loses to either fixed "
+                         "strategy (ratios are model time: deterministic, "
+                         "so this is safe to gate)")
+    args = ap.parse_args(argv)
+
+    payload = fusion_payload(scale=0.05 if args.quick else 1.0)
+
+    for row in payload["series"]:
+        print(f"{row['script']:>10}: unfused {row['unfused_ms']:8.3f}  "
+              f"pattern {row['pattern_ms']:8.3f}  "
+              f"auto {row['auto_ms']:8.3f} model-ms  "
+              f"({row['auto_speedup']:.1f}x, {row['search']})")
+    print(f"auto vs unfused: {payload['auto_vs_unfused_x']:.2f}x, "
+          f"auto vs pattern: {payload['auto_vs_pattern_x']:.2f}x")
+
+    RESULTS_DIR.mkdir(exist_ok=True)
+    out = RESULTS_DIR / "BENCH_fusion.json"
+    out.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {out}")
+
+    ok = (payload["auto_vs_unfused_x"] >= 1.0
+          and payload["auto_vs_pattern_x"] >= 1.0)
+    if not ok:
+        print("targets missed: auto must not lose to unfused or pattern",
+              file=sys.stderr)
+        if args.check:
+            return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

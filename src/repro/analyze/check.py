@@ -14,7 +14,8 @@ import json
 import os
 
 from .checkers import check_models
-from .codegen_lint import check_specialization
+from .codegen_lint import (check_cellwise_source, check_codegen_source,
+                           check_specialization)
 from .extract import AnalysisError, extract_kernel, is_kernel
 from .model import Finding
 
@@ -52,11 +53,24 @@ def analyze_file(path: str) -> list[Finding]:
             f"{path}:{exc.lineno}: {exc.msg}") from None
     findings: list[Finding] = []
     for node in tree.body:
-        if isinstance(node, ast.FunctionDef) and is_kernel(node):
+        if not isinstance(node, ast.FunctionDef):
+            continue
+        if is_kernel(node):
             for f_ in check_models(extract_kernel(node)):
                 findings.append(Finding(
                     kind=f_.kind, kernel=f_.kernel, line=f_.line,
                     message=f_.message, file=path))
+        elif node.name.startswith(("mtmvm_", "cellwise_")):
+            # generated-kernel families are linted as standalone sources;
+            # re-anchor their segment-relative line numbers to the file
+            src = ast.get_source_segment(source, node) or ""
+            checker = (check_codegen_source if node.name.startswith("mtmvm_")
+                       else check_cellwise_source)
+            offset = node.lineno - 1
+            findings.extend(
+                Finding(kind=f_.kind, kernel=f_.kernel,
+                        line=f_.line + offset, message=f_.message, file=path)
+                for f_ in checker(src))
     return findings
 
 
@@ -79,6 +93,38 @@ def check_grid(grid: tuple[tuple[int, int], ...] = DEFAULT_GRID) \
     return findings
 
 
+def check_fusion_sources() -> list[Finding]:
+    """Lint every fused source the plan optimizer emits for the shipped
+    DML scripts on a small synthetic matrix (fresh-kernel regression)."""
+    from ..kernels.cellwise import cellwise_params
+    from ..kernels.codegen import generate_cellwise_source
+    from ..sparse.generate import random_csr
+    from ..systemml.fusion import SHIPPED_DML, make_env, optimize
+
+    X = random_csr(64, 16, 0.2, rng=0)
+    findings: list[Finding] = []
+    seen: set[tuple] = set()
+    for spec in SHIPPED_DML.values():
+        root = spec.parse()
+        plan = optimize(root, make_env(spec, X, rng=1),
+                        expression=spec.dml)
+        for cand in plan.chosen_candidates():
+            if cand.program is None:       # eq1 lowers onto existing kernels
+                continue
+            # both shipped vector lengths, so each program is linted at the
+            # specializations the runtime would actually compile
+            for n in {X.shape[0], X.shape[1]}:
+                vs, tl = cellwise_params(n)
+                key = (cand.program.key(), vs * tl, vs, tl)
+                if key in seen:
+                    continue
+                seen.add(key)
+                findings.extend(check_cellwise_source(
+                    generate_cellwise_source(vs * tl, vs, tl, cand.program),
+                    filename=f"<fusion {spec.name}: {cand.label}>"))
+    return findings
+
+
 def run_check(paths: list[str] | None = None,
               grid: tuple[tuple[int, int], ...] = DEFAULT_GRID) \
         -> list[Finding]:
@@ -90,7 +136,7 @@ def run_check(paths: list[str] | None = None,
                 raise SystemExit(f"kernel file not found: {path}")
             findings.extend(analyze_file(path))
         return findings
-    return check_shipped() + check_grid(grid)
+    return check_shipped() + check_grid(grid) + check_fusion_sources()
 
 
 def findings_json(findings: list[Finding]) -> str:

@@ -218,3 +218,153 @@ def check_specialization(n: int, vs: int, tl: int) -> list[Finding]:
     from ..kernels.codegen import generate_source
     return check_codegen_source(generate_source(n, vs, tl),
                                 filename=f"<generated mtmvm_{n}_{vs}_{tl}>")
+
+
+# ------------------------------------------------- fused cell-wise kernels --
+_CELL_NAME_RE = re.compile(r"^cellwise_(\d+)_(\d+)_(\d+)$")
+_CELL_LOCAL_RE = re.compile(r"l_a(\d+)s(\d+)")
+
+
+def _cell_load_slices(fn: ast.FunctionDef) \
+        -> tuple[dict[tuple[int, int], tuple[int | None, int | None, int]],
+                 list[Finding]]:
+    """``(input k, slice i) -> (lo, hi, line)`` for ``l_a{k}s{i} = ...``."""
+    out: dict[tuple[int, int], tuple[int | None, int | None, int]] = {}
+    findings: list[Finding] = []
+    for stmt in fn.body:
+        if not (isinstance(stmt, ast.Assign) and len(stmt.targets) == 1
+                and isinstance(stmt.targets[0], ast.Name)):
+            continue
+        m = re.fullmatch(r"l_a(\d+)s(\d+)", stmt.targets[0].id)
+        if not m:
+            continue
+        key = (int(m.group(1)), int(m.group(2)))
+        if key in out:
+            findings.append(_finding(
+                "codegen-accumulation", fn.name, stmt.lineno,
+                f"register l_a{key[0]}s{key[1]} is assigned more than once "
+                "(registers are single-assignment)"))
+            continue
+        if not isinstance(stmt.value, ast.Subscript):
+            findings.append(_finding(
+                "codegen-coverage", fn.name, stmt.lineno,
+                f"register l_a{key[0]}s{key[1]} must load a slice of its "
+                "input array"))
+            continue
+        lo, hi, _ = _slice_bounds(stmt.value.slice)
+        out[key] = (lo, hi, stmt.lineno)
+    return out, findings
+
+
+def _cell_out_stores(fn: ast.FunctionDef) \
+        -> tuple[list[tuple[int | None, int | None, int, str]],
+                 list[Finding]]:
+    """Ordered ``out[lo:hi] = rhs`` stores plus accumulation violations."""
+    stores: list[tuple[int | None, int | None, int, str]] = []
+    findings: list[Finding] = []
+    for stmt in fn.body:
+        if (isinstance(stmt, ast.AugAssign)
+                and isinstance(stmt.target, ast.Subscript)
+                and isinstance(stmt.target.value, ast.Name)
+                and stmt.target.value.id == "out"):
+            findings.append(_finding(
+                "codegen-accumulation", fn.name, stmt.lineno,
+                "fused cell-wise kernels must store each out slice exactly "
+                "once with '='; '+=' re-reads global memory (read-modify-"
+                "write hazard)"))
+            continue
+        if not (isinstance(stmt, ast.Assign) and len(stmt.targets) == 1
+                and isinstance(stmt.targets[0], ast.Subscript)
+                and isinstance(stmt.targets[0].value, ast.Name)
+                and stmt.targets[0].value.id == "out"):
+            continue
+        lo, hi, _ = _slice_bounds(stmt.targets[0].slice)
+        stores.append((lo, hi, stmt.lineno, ast.unparse(stmt.value)))
+    return stores, findings
+
+
+def check_cellwise_source(source: str, filename: str = "") -> list[Finding]:
+    """Lint one generated fused cell-wise kernel (optimizer-emitted).
+
+    Mirrors :func:`check_codegen_source` for the ``cellwise_<n>_<VS>_<TL>``
+    family: constant slice bounds (register residency), per-input and
+    per-store tiling of ``[0, n)`` in slice order, single-assignment
+    registers, exactly one plain store per out slice, and no cross-slice
+    register reads.
+    """
+    try:
+        tree = ast.parse(source)
+    except SyntaxError as exc:
+        return [_finding("codegen-coverage", "<unparseable>",
+                         exc.lineno or 0,
+                         f"generated source does not parse: {exc.msg}")]
+    fns = [n for n in tree.body if isinstance(n, ast.FunctionDef)]
+    if len(fns) != 1:
+        return [_finding("codegen-coverage", "<module>", 1,
+                         f"expected exactly one generated function, found "
+                         f"{len(fns)}")]
+    fn = fns[0]
+    m = _CELL_NAME_RE.match(fn.name)
+    if not m:
+        return [_finding("codegen-coverage", fn.name, fn.lineno,
+                         "generated function name must be "
+                         "cellwise_<n>_<VS>_<TL>")]
+    n, vs, tl = (int(g) for g in m.groups())
+    if n != vs * tl:
+        return [_finding("codegen-coverage", fn.name, fn.lineno,
+                         f"specialization key n={n} != VS*TL={vs}*{tl}")]
+    n_inputs = len(fn.args.args) - 1       # last parameter is `out`
+
+    findings = _check_constant_indices(fn)
+    loads, load_findings = _cell_load_slices(fn)
+    findings += load_findings
+    for k in range(n_inputs):
+        ids = sorted(i for (kk, i) in loads if kk == k)
+        if ids != list(range(1, tl + 1)):
+            findings.append(_finding(
+                "codegen-coverage", fn.name, fn.lineno,
+                f"l_a{k} slice ids are {ids}, expected 1..{tl}"))
+            continue
+        for i in range(1, tl + 1):
+            lo, hi, line = loads[(k, i)]
+            want = ((i - 1) * vs, i * vs)
+            if (lo, hi) != want:
+                findings.append(_finding(
+                    "codegen-coverage", fn.name, line,
+                    f"l_a{k}s{i} covers [{lo}, {hi}), expected "
+                    f"[{want[0]}, {want[1]})"))
+
+    stores, store_findings = _cell_out_stores(fn)
+    findings += store_findings
+    got = [(lo, hi) for lo, hi, _, _ in stores]
+    want_stores = [((i - 1) * vs, i * vs) for i in range(1, tl + 1)]
+    if got != want_stores:
+        findings.append(_finding(
+            "codegen-coverage", fn.name,
+            stores[0][2] if stores else fn.lineno,
+            f"out stores cover {got}, expected {want_stores} (disjoint, "
+            f"VS-wide, in slice order, exactly once each)"))
+    for idx, (_, _, line, rhs) in enumerate(stores, start=1):
+        wrong = sorted({f"l_a{k}s{i}"
+                       for k, i in ((int(a), int(b)) for a, b
+                                    in _CELL_LOCAL_RE.findall(rhs))
+                       if i != idx})
+        if wrong:
+            findings.append(_finding(
+                "codegen-accumulation", fn.name, line,
+                f"store for slice {idx} reads registers of other slices: "
+                f"{wrong}"))
+    if filename:
+        findings = [Finding(kind=f.kind, kernel=f.kernel, line=f.line,
+                            message=f.message, file=filename)
+                    for f in findings]
+    return findings
+
+
+def check_cellwise_specialization(n: int, vs: int, tl: int,
+                                  program) -> list[Finding]:
+    """Generate one fused cell-wise kernel and lint its source."""
+    from ..kernels.codegen import generate_cellwise_source
+    return check_cellwise_source(
+        generate_cellwise_source(n, vs, tl, program),
+        filename=f"<generated cellwise_{n}_{vs}_{tl}>")

@@ -1,6 +1,6 @@
 """Benchmark harness reproducing every table and figure of the paper."""
 
-from . import engine_bench, figures, serve_bench, tables, \
+from . import engine_bench, figures, fusion_bench, serve_bench, tables, \
     trace_bench  # noqa: F401
 from .harness import REGISTRY, ExperimentResult, register, resolve_scale, \
     run_all

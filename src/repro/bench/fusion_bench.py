@@ -1,0 +1,81 @@
+"""Fusion-plan optimizer experiment: cost-based plans vs fixed strategies.
+
+Runs every shipped DML script (:data:`repro.systemml.fusion.SHIPPED_DML`)
+three ways on the same seeded sparse matrix — unfused operator-at-a-time,
+the hand-matched pattern rewriter, and the cost-based optimizer
+(``fuse="auto"``) — and compares summed *model* kernel milliseconds.  The
+reproduced claim is SystemML-style plan selection (arXiv:1801.00829): the
+optimizer must rediscover the Eq.-1 fusion on the regression scripts
+purely from the counter model, and may only ever match or beat the fixed
+strategies, never lose to them.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.engine import PatternEngine
+from ..sparse.generate import random_csr
+from ..systemml.fusion import (
+    SHIPPED_DML,
+    clone_dag,
+    evaluate_dag,
+    make_env,
+    optimize,
+)
+from ..systemml.rewriter import rewrite
+from .harness import ExperimentResult, register, resolve_scale
+
+
+def _model_ms(root, env, engine=None) -> float:
+    results: list = []
+    evaluate_dag(root, env, engine=engine, results=results)
+    return sum(r.time_ms for r in results)
+
+
+@register("fusion")
+def fusion_plans(scale: float | None = None) -> ExperimentResult:
+    """Per-script model time for unfused / pattern / auto execution."""
+    scale = resolve_scale(scale if scale is not None else 1.0)
+    rows = max(500, int(100_000 * scale))
+    cols = max(32, int(256 * min(1.0, scale * 4)))
+    X = random_csr(rows, cols, 0.01, rng=0)
+
+    res = ExperimentResult(
+        experiment="fusion",
+        title=f"Cost-based fusion plans vs fixed strategies: shipped DML "
+              f"scripts on {rows}x{cols}:0.01 (model ms)",
+        columns=("script", "unfused_ms", "pattern_ms", "auto_ms",
+                 "auto_speedup", "candidates", "chosen", "search"),
+    )
+    engine = PatternEngine()
+    for name in sorted(SHIPPED_DML):
+        spec = SHIPPED_DML[name]
+        env = make_env(spec, X, rng=1)
+        root = spec.parse()
+
+        unfused_ms = _model_ms(root, env)
+        pattern_ms = _model_ms(rewrite(clone_dag(root)), env, engine=engine)
+        plan = optimize(root, env, engine=engine, expression=spec.dml)
+        auto_ms = _model_ms(plan.lowered(), env, engine=engine)
+
+        base = np.asarray(root.eval(env))
+        got = np.asarray(evaluate_dag(plan.lowered(), env, engine=engine))
+        assert np.array_equal(got, base), f"{name}: plan diverged"
+        assert auto_ms <= unfused_ms + 1e-9, f"{name}: auto lost to unfused"
+
+        res.add(name, unfused_ms, pattern_ms, auto_ms,
+                unfused_ms / max(auto_ms, 1e-12),
+                len(plan.candidates), len(plan.chosen), plan.search)
+
+    res.notes = [
+        "auto = cost-based fusion-plan optimizer (fuse='auto'); pattern = "
+        "the hand-matched Eq.-1 rewriter; unfused = operator-at-a-time",
+        "the optimizer rediscovers the Eq.-1 kernel on linreg-cg/logreg/svm "
+        "from the counter model alone, and additionally fuses cell-wise "
+        "regions the fixed rewriter cannot see (cg-update, row-scale)",
+        "every auto plan is asserted bit-identical to the unfused baseline "
+        "before timing is reported (tests/test_fusion_parity.py)",
+        "model milliseconds on the simulated GTX Titan",
+    ]
+    return res

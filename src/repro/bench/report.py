@@ -28,6 +28,10 @@ PAPER_HEADLINES: dict[str, str] = {
              "headline)",
     "trace": "span-level phase attribution of serving latency "
              "(observability extension; no paper headline)",
+    "fusion": "SystemML-style cost-based operator fusion: the optimizer "
+              "rediscovers the Eq.-1 kernel from the counter model "
+              "(plan-selection extension, arXiv:1801.00829; no paper "
+              "headline)",
     "figure2": "avg ~35x vs cuSPARSE, max 67x at small n; ~3.5x fewer loads",
     "figure3": "avg 20.33x / 14.66x / 9.28x vs cuSPARSE / BIDMat-GPU / "
                "BIDMat-CPU",
@@ -63,6 +67,13 @@ def measured_headline(name: str, res: ExperimentResult) -> str:
             return (f"warm model overhead {overhead['warm_unprofiled']:.1f} "
                     f"-> {overhead['warm_profiled']:.2f} ms/call; warm "
                     f"e2e {e2e:.1f}x")
+        if name == "fusion":
+            sp = dict(zip(res.column("script"), res.column("auto_speedup")))
+            eq1 = min(sp[s] for s in ("linreg-cg", "logreg", "svm"))
+            cell = min(sp[s] for s in ("cg-update", "row-scale"))
+            return (f"auto >= {eq1:.1f}x vs unfused on the Eq.-1 scripts, "
+                    f">= {cell:.1f}x on cell-wise scripts the fixed "
+                    f"rewriter leaves unfused")
         if name == "figure2":
             sp = res.column("speedup")
             lr = res.column("load_ratio")

@@ -24,7 +24,11 @@ Commands:
 * ``check`` — static race/barrier/codegen analysis of the per-thread SIMT
   kernels (shipped set or explicit files) plus a (VS, TL) grid of generated
   dense specializations; machine-readable findings with ``--json``, exit 1
-  on any finding.
+  on any finding;
+* ``plan`` — enumerate, cost, and select DAG fusion plans
+  (:mod:`repro.systemml.fusion`) for the shipped DML scripts or an
+  arbitrary ``--expr``, printing per-candidate fused/unfused model costs
+  and the chosen plan; machine-readable with ``--json``.
 
 ``serve``, ``loadgen --run``, and ``trace --replay`` honor SIGINT: the
 first Ctrl-C drains in-flight work and shuts the server down gracefully
@@ -381,6 +385,68 @@ def cmd_check(args: argparse.Namespace) -> int:
     return 1 if findings else 0
 
 
+def cmd_plan(args: argparse.Namespace) -> int:
+    """Enumerate, cost, and select fusion plans for DML expressions."""
+    from .core.engine import PatternEngine
+    from .systemml.fusion import SHIPPED_DML, infer_roles, make_env
+    from .systemml.parser import parse_expression
+
+    X = _load_matrix(args.matrix)
+    engine = PatternEngine()
+    jobs: list[tuple[str, object, dict]] = []
+    try:
+        if args.expr:
+            root = parse_expression(args.expr)
+            env = make_env(infer_roles(root), X, rng=args.seed)
+            jobs.append((args.expr, root, env))
+        else:
+            names = (list(SHIPPED_DML) if args.script == "all"
+                     else [args.script])
+            for name in names:
+                if name not in SHIPPED_DML:
+                    raise SystemExit(
+                        f"unknown script {name!r} (choose from "
+                        f"{', '.join(sorted(SHIPPED_DML))} or 'all')")
+                spec = SHIPPED_DML[name]
+                jobs.append((f"{name}: {spec.dml}", spec.parse(),
+                             make_env(spec, X, rng=args.seed)))
+        plans = []
+        for name, root, env in jobs:
+            plan = engine.fusion_plan(root, env, node_budget=args.budget,
+                                      expression=name)
+            plans.append(plan)
+    except KeyboardInterrupt:
+        print("repro plan: interrupted", file=sys.stderr)
+        return 130
+
+    if args.json:
+        print(json.dumps([p.to_dict() for p in plans], indent=2))
+        return 0
+    m, n = X.shape
+    print(f"matrix {m}x{n}, {len(plans)} expression(s)\n")
+    for plan in plans:
+        chosen = set(plan.chosen)
+        print(f"{plan.expression}")
+        print(f"  nodes={plan.node_count} search={plan.search} "
+              f"baseline={plan.baseline.time_ms:.4f} model-ms "
+              f"saving={plan.saving_ms:.4f} model-ms")
+        for i, pc in enumerate(plan.candidates):
+            mark = "*" if i in chosen else " "
+            print(f"  {mark} [{i}] {pc.candidate.label}")
+            print(f"        fused {pc.fused.time_ms:.4f} ms "
+                  f"({pc.fused.transactions:.0f} txn, "
+                  f"{pc.fused.launches:.0f} launches) | unfused "
+                  f"{pc.unfused.time_ms:.4f} ms "
+                  f"({pc.unfused.transactions:.0f} txn, "
+                  f"{pc.unfused.launches:.0f} launches, "
+                  f"{pc.unfused.intermediate_bytes:.0f} B intermediates) "
+                  f"| saving {pc.saving_ms:.4f} ms")
+        if not plan.candidates:
+            print("    (no fusable regions)")
+        print()
+    return 0
+
+
 def cmd_serve(args: argparse.Namespace) -> int:
     from .serve import load_workload
     if not os.path.exists(args.workload):
@@ -512,6 +578,24 @@ def build_parser() -> argparse.ArgumentParser:
                     help="VSxTL specialization grid for the codegen lint "
                          "(comma-separated, e.g. 8x4,16x2)")
     ck.set_defaults(fn=cmd_check)
+
+    pl = sub.add_parser("plan",
+                        help="enumerate, cost, and select DAG fusion plans "
+                             "for shipped DML scripts or an expression")
+    pl.add_argument("--script", default="all",
+                    help="shipped script name or 'all' (default)")
+    pl.add_argument("--expr", metavar="DML",
+                    help="plan an arbitrary DML expression instead "
+                         "(vector roles are inferred from matvec edges)")
+    pl.add_argument("--matrix", default="2000x128:0.02",
+                    help=".npz path or MxN:sparsity (default "
+                         "2000x128:0.02)")
+    pl.add_argument("--budget", type=int, default=32,
+                    help="node budget before greedy fallback")
+    pl.add_argument("--seed", type=int, default=0)
+    pl.add_argument("--json", action="store_true",
+                    help="machine-readable plans on stdout")
+    pl.set_defaults(fn=cmd_plan)
 
     sv = sub.add_parser("serve",
                         help="replay a workload trace through the "

@@ -153,6 +153,7 @@ class EngineStats:
     transposes_built: int = 0
     profiles_built: int = 0
     kernels_compiled: int = 0
+    fusion_plans_built: int = 0
     evictions: int = 0
     invalidations: int = 0
     plan_entries: int = 0
@@ -305,6 +306,43 @@ class PatternEngine:
                 self._stats.batch_max_requests, len(items))
             self._stats.batch_wall_ms += batch_wall
         return out
+
+    def fusion_plan(self, root, env: dict, node_budget: int = 32,
+                    max_exhaustive: int = 12, expression: str = ""):
+        """Optimize an expression DAG through the session's artifact cache.
+
+        Plans are keyed by :func:`~repro.systemml.fusion.fingerprint_dag`
+        (DAG topology + matrix content + vector lengths + device), so an
+        iterative solver enumerates and costs a DAG once and replays the
+        cached :class:`~repro.systemml.fusion.FusionPlan` — including its
+        lazily lowered DAG — on every subsequent iteration.  Plans live in
+        the byte-bounded artifact LRU; note :meth:`invalidate` keys on the
+        *matrix* fingerprint and does not match plan keys, so stale plans
+        age out of the LRU rather than being dropped eagerly.
+        """
+        from ..systemml.fusion import fingerprint_dag, optimize
+
+        dag_fp = fingerprint_dag(root, env, self._device_fp)
+        akey = (dag_fp, self._device_fp, "fusion-plan")
+        with self._lock:
+            art = self._artifacts.get(akey)
+            if art is not None:
+                self._artifacts.move_to_end(akey)
+                self._stats.artifact_hits += 1
+                return art.value
+        with trace.span("fusion-plan", "engine") as sp:
+            plan = optimize(root, env, ctx=self.ctx, engine=self,
+                            node_budget=node_budget,
+                            max_exhaustive=max_exhaustive,
+                            expression=expression)
+            sp.set("search", plan.search)
+            sp.count(candidates=len(plan.candidates),
+                     chosen=len(plan.chosen))
+        # the plan object is small; charge a nominal footprint to the LRU
+        self._store_profile(akey, "fusion-plan", plan, 4096)
+        with self._lock:
+            self._stats.fusion_plans_built += 1
+        return plan
 
     def snapshot(self) -> EngineStats:
         """Consistent point-in-time snapshot of counters and cache sizes.

@@ -103,3 +103,69 @@ def clear_cache() -> None:
 def pad_for_vector_size(n: int, vs: int) -> int:
     """Columns after zero-padding so VS divides n (at most VS-1 extra)."""
     return math.ceil(n / vs) * vs
+
+
+# --------------------------------------------------------------------------
+# Cell-wise fused kernels (optimizer-emitted regions)
+# --------------------------------------------------------------------------
+
+_CELLWISE_CACHE: dict[tuple, object] = {}
+
+
+def generate_cellwise_source(n: int, vs: int, tl: int, program) -> str:
+    """Emit unrolled source for a fused cell-wise kernel.
+
+    ``program`` is a :class:`repro.kernels.cellwise.CellwiseProgram`.  The
+    emitted ``cellwise_{n}_{vs}_{tl}(a0, ..., ak, out)`` follows the same
+    Listing-2 register discipline as :func:`generate_source`: each of the
+    ``tl`` unroll steps loads every operand's ``vs``-wide slice into named
+    locals with compile-time-constant bounds, evaluates the region's whole
+    expression in registers, and stores the result slice exactly once —
+    the invariants :func:`repro.analyze.check_cellwise_source` enforces.
+    """
+    if n != vs * tl:
+        raise ValueError(f"padded n={n} must equal VS*TL={vs}*{tl}")
+    if tl < 1 or vs < 1:
+        raise ValueError("VS and TL must be positive")
+
+    name = f"cellwise_{n}_{vs}_{tl}"
+    args = [f"a{k}" for k in range(program.n_inputs)]
+    lines = [
+        f"def {name}({', '.join(args)}, out):",
+        f'    """Generated fused cell-wise kernel: '
+        f'{program.describe()} (n={n}, VS={vs}, TL={tl})."""',
+    ]
+    for i in range(1, tl + 1):
+        lo, hi = (i - 1) * vs, i * vs
+        for k in range(program.n_inputs):
+            lines.append(f"    l_a{k}s{i} = a{k}[{lo}:{hi}]")
+        expr = program.render(
+            [f"l_a{k}s{i}" for k in range(program.n_inputs)])
+        lines.append(f"    out[{lo}:{hi}] = {expr}")
+    lines.append("    return out")
+    return "\n".join(lines) + "\n"
+
+
+def ensure_cellwise_kernel(n: int, vs: int, tl: int,
+                           program) -> tuple[object, bool]:
+    """Fetch (or compile) a cell-wise specialization; flags compilation."""
+    key = (program.expr, program.n_inputs, int(n), int(vs), int(tl))
+    fn = _CELLWISE_CACHE.get(key)
+    if fn is not None:
+        return fn, False
+    src = generate_cellwise_source(n, vs, tl, program)
+    namespace: dict[str, object] = {}
+    code = compile(src, filename=f"<generated cellwise_{n}_{vs}_{tl}>",
+                   mode="exec")
+    exec(code, namespace)  # noqa: S102 - generated from trusted template
+    fn = namespace[f"cellwise_{n}_{vs}_{tl}"]
+    _CELLWISE_CACHE[key] = fn
+    return fn, True
+
+
+def cellwise_cache_size() -> int:
+    return len(_CELLWISE_CACHE)
+
+
+def clear_cellwise_cache() -> None:
+    _CELLWISE_CACHE.clear()

@@ -37,6 +37,10 @@ _I = 4
 
 BACKENDS = ("cpu", "gpu-baseline", "gpu-fused")
 
+#: how expression DAGs are fused: cost-based optimizer, hand-written
+#: pattern rewriter (the default, matching prior behaviour), or not at all
+FUSE_MODES = ("auto", "pattern", "off")
+
 
 @dataclass
 class TimeLedger:
@@ -85,15 +89,19 @@ class MLRuntime:
                  ctx: GpuContext | None = None,
                  cpu_threads: int | None = None,
                  engine: "PatternEngine | None" = None,
-                 strategy: str | None = None):
+                 strategy: str | None = None,
+                 fuse: str = "pattern"):
         if backend not in BACKENDS:
             raise ValueError(f"backend must be one of {BACKENDS}")
+        if fuse not in FUSE_MODES:
+            raise ValueError(f"fuse must be one of {FUSE_MODES}")
         self.backend = backend
         self.ctx = ctx or DEFAULT_CONTEXT
         self.cpu = CpuCostModel(threads=cpu_threads)
         self.transfer = TransferModel(self.ctx.device)
         self.executor = PatternExecutor(self.ctx)
         self.strategy = strategy
+        self.fuse = fuse
         if engine is None and self.on_gpu:
             from ..core.engine import PatternEngine
             engine = PatternEngine(self.ctx)
@@ -183,6 +191,35 @@ class MLRuntime:
                 p, self._gpu_strategy(default_fused="fused"))
         self.ledger.charge("pattern", res.time_ms)
         return res.output
+
+    # -------------------------------------------------------- expressions --
+    def run_expression(self, expr, env: dict) -> np.ndarray:
+        """Evaluate a DML expression (string or DAG) under ``fuse`` mode.
+
+        * ``"off"`` — unfused: one kernel per DAG operator;
+        * ``"pattern"`` — the hand-written Eq.-1 rewriter, then kernels;
+        * ``"auto"`` — the cost-based fusion-plan optimizer
+          (:mod:`repro.systemml.fusion`), plan-cached in the engine.
+
+        All three modes are bit-identical for sparse matrices; model time
+        is charged to the ledger per launched kernel.
+        """
+        from ..systemml.fusion import clone_dag, evaluate_dag
+        from ..systemml.parser import parse_expression
+
+        root = parse_expression(expr) if isinstance(expr, str) else expr
+        if self.backend == "cpu":
+            return np.asarray(root.eval(env))
+        if self.fuse == "auto" and self.engine is not None:
+            plan = self.engine.fusion_plan(
+                root, env,
+                expression=expr if isinstance(expr, str) else "")
+            root = plan.lowered()
+        elif self.fuse == "pattern":
+            from ..systemml.rewriter import rewrite
+            root = rewrite(clone_dag(root))
+        return evaluate_dag(root, env, self.ctx, engine=self.engine,
+                            ledger=self.ledger)
 
     # ------------------------------------------------------------------ mv --
     def mv(self, X, y) -> np.ndarray:

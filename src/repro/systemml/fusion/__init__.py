@@ -1,0 +1,39 @@
+"""Cost-based DAG fusion-plan optimizer (see DESIGN.md §3.6).
+
+Pipeline: :func:`index_dag` → :func:`infer_shapes` →
+:func:`enumerate_candidates` → :func:`cost_candidate` →
+:func:`optimize` → :meth:`FusionPlan.lowered` → :func:`evaluate_dag`.
+"""
+
+from .candidates import Candidate, enumerate_candidates
+from .cost import CostEstimate, PlannedCandidate, cost_candidate
+from .executor import evaluate_dag
+from .graph import DagIndex, index_dag, infer_shapes
+from .lower import FusedCellwise, FusedRowAgg, clone_dag, lower
+from .optimizer import FusionPlan, fingerprint_dag, optimize
+from .scripts import COLS, ROWS, SHIPPED_DML, ScriptSpec, infer_roles, make_env
+
+__all__ = [
+    "COLS",
+    "Candidate",
+    "CostEstimate",
+    "DagIndex",
+    "FusedCellwise",
+    "FusedRowAgg",
+    "FusionPlan",
+    "PlannedCandidate",
+    "ROWS",
+    "SHIPPED_DML",
+    "ScriptSpec",
+    "clone_dag",
+    "cost_candidate",
+    "enumerate_candidates",
+    "evaluate_dag",
+    "fingerprint_dag",
+    "index_dag",
+    "infer_roles",
+    "infer_shapes",
+    "lower",
+    "make_env",
+    "optimize",
+]

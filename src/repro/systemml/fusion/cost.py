@@ -1,0 +1,194 @@
+"""Candidate costing with the exact counter/transaction model.
+
+Each candidate is costed by *running* both of its execution forms through
+the same simulated-kernel dispatch the executor uses — the fused kernel
+for the region, and one kernel per member operator for the unfused form —
+and reading the recorded :class:`~repro.gpu.counters.PerfCounters` plus
+the cost model's time off the results.  Because every counter in the
+simulation depends only on matrix structure, vector lengths, and launch
+geometry (never on values), the predicted counts are *exactly* the counts
+a later execution records — ``tests/test_fusion_cost.py`` asserts
+field-by-field equality against replayed executions.
+
+On top of the transaction model, each unfused estimate carries the bytes
+of materialized intermediates the fusion would eliminate (the paper's
+Figure-2 "global load transactions" story, stated in bytes).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ...core.executor import PatternExecutor
+from ...core.pattern import GenericPattern
+from ...gpu.counters import PerfCounters
+from ...kernels import blas1
+from ...kernels.base import DEFAULT_CONTEXT, GpuContext, KernelResult
+from ...kernels.cellwise import fused_cellwise, fused_rowagg
+from ..dag import Add, EwMul, Input, MatVec, Node, Smul, Transpose
+from .candidates import Candidate
+from .executor import _matvec, _vec
+from .graph import DagIndex, VEC
+
+_D = 8
+
+
+@dataclass
+class CostEstimate:
+    """Aggregate model cost of one execution form of a region."""
+
+    time_ms: float = 0.0
+    transactions: float = 0.0
+    launches: float = 0.0
+    flops: float = 0.0
+    intermediate_bytes: float = 0.0
+
+    def absorb(self, res: KernelResult) -> None:
+        self.time_ms += res.time_ms
+        self.transactions += res.counters.global_transactions
+        self.launches += res.counters.kernel_launches
+        self.flops += res.counters.flops
+
+    def to_dict(self) -> dict[str, float]:
+        return {"time_ms": self.time_ms, "transactions": self.transactions,
+                "launches": self.launches, "flops": self.flops,
+                "intermediate_bytes": self.intermediate_bytes}
+
+
+@dataclass
+class PlannedCandidate:
+    """A candidate with both execution forms costed."""
+
+    candidate: Candidate
+    fused: CostEstimate
+    unfused: CostEstimate
+    fused_counters: PerfCounters
+    unfused_counters: PerfCounters
+
+    @property
+    def saving_ms(self) -> float:
+        return self.unfused.time_ms - self.fused.time_ms
+
+    @property
+    def member_ids(self) -> frozenset[int]:
+        return self.candidate.member_ids
+
+    def to_dict(self) -> dict:
+        c = self.candidate
+        return {"kind": c.kind, "label": c.label,
+                "members": len(c.members),
+                "fused": self.fused.to_dict(),
+                "unfused": self.unfused.to_dict(),
+                "saving_ms": self.saving_ms}
+
+
+def _probe_value(nd: Node, env: dict, shapes: dict[int, tuple]):
+    """A structurally faithful stand-in for a region input's value.
+
+    Matrices come from the environment (counters depend on their sparsity
+    structure); vectors are zero probes of the inferred length (counters
+    are value-independent, so zeros cost exactly what real data costs).
+    """
+    if isinstance(nd, Input) and nd.name in env:
+        return env[nd.name]
+    s = shapes.get(id(nd))
+    if s is not None and s[0] == VEC:
+        return np.zeros(s[1], dtype=np.float64)
+    raise ValueError(f"cannot build probe for {nd!r}")
+
+
+def _run_fused(c: Candidate, env: dict, shapes: dict[int, tuple],
+               ctx: GpuContext, engine) -> KernelResult:
+    """Execute the candidate's fused form on probe inputs."""
+    if c.kind == "eq1":
+        p = GenericPattern(
+            _probe_value(c.X, env, shapes), _vec(_probe_value(c.y, env,
+                                                              shapes)),
+            v=None if c.v is None else _vec(_probe_value(c.v, env, shapes)),
+            z=None if c.z is None else _vec(_probe_value(c.z, env, shapes)),
+            alpha=c.alpha, beta=c.beta, inner=c.inner)
+        if engine is not None:
+            return engine.evaluate_pattern(p, "fused")
+        return PatternExecutor(ctx).plan_for(p, "fused").evaluate(p)
+    if c.kind == "cellwise":
+        vals = [_vec(_probe_value(o, env, shapes)) for o in c.operands]
+        return fused_cellwise(c.program, vals, ctx)
+    if c.kind == "rowagg":
+        mv = c.mv
+        transpose = isinstance(mv.mat, Transpose)
+        mat_node = mv.mat.child if transpose else mv.mat
+        X = _probe_value(mat_node, env, shapes)
+        y = _vec(_probe_value(mv.vec, env, shapes))
+        extras = [_vec(_probe_value(o, env, shapes))
+                  for o in c.operands[1:]]
+        return fused_rowagg(X, y, c.program, extras, ctx,
+                            transpose=transpose)
+    raise ValueError(f"unknown candidate kind {c.kind!r}")
+
+
+def _run_unfused(c: Candidate, env: dict, shapes: dict[int, tuple],
+                 ctx: GpuContext, index: DagIndex) \
+        -> tuple[list[KernelResult], float]:
+    """Execute the region's member operators one kernel at a time.
+
+    Children outside the region get probe values; members evaluate in
+    topological order so interior results feed their consumers.  Returns
+    the per-member results plus the bytes of interior intermediates that
+    the fused form would never materialize.
+    """
+    order = {id(nd): i for i, nd in enumerate(index.nodes)}
+    members = sorted((m for m in c.members
+                      if not isinstance(m, Transpose)),
+                     key=lambda m: order[id(m)])
+    mids = {id(m) for m in c.members}
+    vals: dict[int, np.ndarray] = {}
+    results: list[KernelResult] = []
+    intermediate = 0.0
+
+    def operand(child: Node):
+        if id(child) in vals:
+            return vals[id(child)]
+        return _probe_value(child, env, shapes)
+
+    for m in members:
+        if isinstance(m, MatVec):
+            if isinstance(m.mat, Transpose):
+                res = _matvec(operand(m.mat.child), _vec(operand(m.vec)),
+                              True, ctx)
+            else:
+                res = _matvec(operand(m.mat), _vec(operand(m.vec)),
+                              False, ctx)
+        elif isinstance(m, EwMul):
+            res = blas1.ewmul(_vec(operand(m.a)), _vec(operand(m.b)), ctx)
+        elif isinstance(m, Add):
+            res = blas1.axpy(1.0, _vec(operand(m.a)), _vec(operand(m.b)),
+                             ctx)
+        elif isinstance(m, Smul):
+            res = blas1.scal(m.alpha, _vec(operand(m.x)), ctx)
+        else:
+            raise TypeError(f"cannot cost member {type(m).__name__}")
+        vals[id(m)] = res.output
+        results.append(res)
+        if m is not c.root and id(m) in mids:
+            intermediate += res.output.size * _D
+    return results, intermediate
+
+
+def cost_candidate(c: Candidate, env: dict, shapes: dict[int, tuple],
+                   index: DagIndex, ctx: GpuContext = DEFAULT_CONTEXT,
+                   engine=None) -> PlannedCandidate:
+    """Cost both execution forms of one candidate."""
+    fused_res = _run_fused(c, env, shapes, ctx, engine)
+    fused = CostEstimate()
+    fused.absorb(fused_res)
+    unfused_results, intermediate = _run_unfused(c, env, shapes, ctx, index)
+    unfused = CostEstimate(intermediate_bytes=intermediate)
+    uc = PerfCounters()
+    for res in unfused_results:
+        unfused.absorb(res)
+        uc.add(res.counters)
+    return PlannedCandidate(candidate=c, fused=fused, unfused=unfused,
+                            fused_counters=fused_res.counters.copy(),
+                            unfused_counters=uc)

@@ -1,0 +1,140 @@
+"""Shipped DML expressions for the planner and its tests.
+
+Each spec is the per-iteration core expression of one of the paper's
+workloads (Table 1), written in the DML subset the parser accepts.
+``make_env`` binds a spec to a concrete matrix plus seeded random
+vectors whose lengths follow each name's inferred role, so the planner,
+parity tests, CLI, and benchmarks all drive identical inputs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ...sparse.csr import CsrMatrix
+from ..dag import Input, MatVec, Node, Transpose
+from ..parser import parse_expression
+
+#: vector roles: length follows the matrix's rows or cols
+ROWS = "rows"
+COLS = "cols"
+
+
+@dataclass(frozen=True)
+class ScriptSpec:
+    """One shipped DML expression with its vector-role bindings."""
+
+    name: str
+    dml: str
+    roles: dict[str, str]                  # vector name -> ROWS | COLS
+    note: str = ""
+
+    def parse(self) -> Node:
+        return parse_expression(self.dml)
+
+
+SHIPPED_DML: dict[str, ScriptSpec] = {
+    spec.name: spec for spec in (
+        ScriptSpec(
+            "linreg-cg",
+            "t(X) %*% (X %*% p) + 0.001 * p",
+            {"p": COLS},
+            "LinregCG q-update: Eq. 1 with v = 1, beta = lambda"),
+        ScriptSpec(
+            "logreg",
+            "t(X) %*% (w * (X %*% p)) + 0.001 * p",
+            {"p": COLS, "w": ROWS},
+            "LogReg trust-region Hessian-vector product: full Eq. 1"),
+        ScriptSpec(
+            "svm",
+            "t(X) %*% (s * (X %*% w))",
+            {"w": COLS, "s": ROWS},
+            "L2SVM Hessian-vector core: Eq. 1 with beta = 0"),
+        ScriptSpec(
+            "cg-update",
+            "r + 0.25 * q - 0.1 * p",
+            {"r": COLS, "q": COLS, "p": COLS},
+            "CG vector update: pure cell-wise chain"),
+        ScriptSpec(
+            "row-scale",
+            "u * (X %*% p) + 0.5 * u",
+            {"u": ROWS, "p": COLS},
+            "row-aggregation: matvec with fused cell-wise epilogue"),
+    )
+}
+
+
+def infer_roles(root: Node) -> dict[str, str]:
+    """Derive each vector Input's role (ROWS/COLS) for ``--expr`` DAGs.
+
+    MatVec edges pin roles exactly: ``X %*% v`` needs ``len(v) == cols``
+    and produces a rows-length vector; ``t(X) %*% v`` the reverse.
+    Cell-wise operators propagate the role across their operands (their
+    shapes must agree).  Unconstrained vectors default to COLS.
+    """
+    roles: dict[str, str] = {}
+    groups: list[set[str]] = []            # names that must share a role
+
+    def vec_names(nd: Node) -> set[str]:
+        if isinstance(nd, Input):
+            return {nd.name}
+        if isinstance(nd, MatVec):
+            return set()                   # produces a new vector
+        out: set[str] = set()
+        for c in nd.inputs:
+            out |= vec_names(c)
+        return out
+
+    def walk(nd: Node) -> str | None:
+        """Returns the role of nd's (vector) result when known."""
+        if isinstance(nd, Input):
+            return roles.get(nd.name)
+        if isinstance(nd, MatVec):
+            transpose = isinstance(nd.mat, Transpose)
+            for name in vec_names(nd.vec):
+                roles.setdefault(name, ROWS if transpose else COLS)
+            walk(nd.vec)
+            return COLS if transpose else ROWS
+        result = None
+        for c in nd.inputs:
+            r = walk(c)
+            if r is not None:
+                result = r
+        names = vec_names(nd)
+        if names:
+            groups.append(names)
+            if result is not None:
+                for name in names:
+                    roles.setdefault(name, result)
+        return result
+
+    walk(root)
+    # propagate within same-shape groups, then default the rest
+    for g in groups:
+        known = {roles[n] for n in g if n in roles}
+        if len(known) == 1:
+            for n in g:
+                roles.setdefault(n, next(iter(known)))
+    for g in groups:
+        for n in g:
+            roles.setdefault(n, COLS)
+    return roles
+
+
+def make_env(spec_or_roles, X: CsrMatrix | np.ndarray,
+             rng: np.random.Generator | int = 0,
+             matrix_name: str = "X") -> dict:
+    """Bind a spec (or a roles dict) to ``X`` plus seeded random vectors."""
+    roles = (spec_or_roles.roles if isinstance(spec_or_roles, ScriptSpec)
+             else dict(spec_or_roles))
+    if not isinstance(rng, np.random.Generator):
+        rng = np.random.default_rng(rng)
+    m, n = X.shape
+    env: dict = {matrix_name: X}
+    for name, role in sorted(roles.items()):
+        if name == matrix_name:
+            continue
+        env[name] = rng.standard_normal(m if role == ROWS else n)
+    return env

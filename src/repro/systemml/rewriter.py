@@ -72,31 +72,88 @@ def _strip_smul(node: Node) -> tuple[float, Node]:
     return alpha, node
 
 
+def _smul_members(top: Node, core: Node) -> list[Node]:
+    """The Smul wrappers between ``top`` and (excluding) ``core``."""
+    out = []
+    while top is not core:
+        out.append(top)
+        top = top.x                        # _strip_smul guarantees Smul
+    return out
+
+
+def _consumer_counts(root: Node) -> dict[int, int]:
+    """Consumer-edge count per unique node across the whole DAG."""
+    counts: dict[int, int] = {}
+    seen: set[int] = set()
+
+    def visit(nd: Node) -> None:
+        if id(nd) in seen:
+            return
+        seen.add(id(nd))
+        for child in nd.inputs:
+            counts[id(child)] = counts.get(id(child), 0) + 1
+            visit(child)
+
+    visit(root)
+    return counts
+
+
+def _interior_free(members: list[Node], counts: dict[int, int]) -> bool:
+    """True when no interior (erased) node has an outside consumer.
+
+    Fusing erases each member; a member consumed more than once is also
+    needed elsewhere in the DAG, so its value must stay materialized and
+    the fusion is illegal (it would silently drop the sharing).
+    """
+    return all(counts.get(id(m), 0) <= 1 for m in members)
+
+
 def rewrite(node: Node) -> Node:
-    """Return an equivalent DAG with Eq.-1 subtrees fused (bottom-up)."""
+    """Return an equivalent DAG with Eq.-1 subtrees fused (bottom-up).
+
+    Shared interior nodes (diamonds) block fusion of the region that
+    would erase them: consumer edges are counted over the whole DAG
+    passed in, so sharing visible from ``node`` is always respected.
+    """
+    return _rewrite(node, _consumer_counts(node))
+
+
+def _rewrite(node: Node, counts: dict[int, int]) -> Node:
     # First, try the whole node as `core + beta*z` / `alpha*core` shapes.
-    fused = _try_fuse(node)
+    fused = _try_fuse(node, counts)
     if fused is not None:
         return fused
     # Otherwise rewrite children in place (dataclasses are mutable).
     if isinstance(node, Transpose):
-        node.child = rewrite(node.child)
+        node.child = _rewrite(node.child, counts)
         node.__post_init__()
     elif isinstance(node, MatVec):
-        node.mat = rewrite(node.mat)
-        node.vec = rewrite(node.vec)
+        node.mat = _rewrite(node.mat, counts)
+        node.vec = _rewrite(node.vec, counts)
         node.__post_init__()
     elif isinstance(node, (EwMul, Add)):
-        node.a = rewrite(node.a)
-        node.b = rewrite(node.b)
+        node.a = _rewrite(node.a, counts)
+        node.b = _rewrite(node.b, counts)
         node.__post_init__()
     elif isinstance(node, Smul):
-        node.x = rewrite(node.x)
+        node.x = _rewrite(node.x, counts)
         node.__post_init__()
     return node
 
 
-def _try_fuse(node: Node) -> FusedPattern | None:
+def _core_members(m: _Match, core: Node) -> list[Node]:
+    """The nodes a core match erases: outer MatVec, Transpose, inner."""
+    members: list[Node] = [core, core.mat]
+    inner = core.vec
+    if m.inner:
+        members.append(inner)
+        if isinstance(inner, EwMul):       # the inner MatVec too
+            mv = inner.b if inner.a is m.v else inner.a
+            members.append(mv)
+    return members
+
+
+def _try_fuse(node: Node, counts: dict[int, int]) -> FusedPattern | None:
     """Attempt to match the full Eq. 1 at this root."""
     # Shape 1: Add(lhs, rhs) where one side is the (scaled) core and the
     # other is the (scaled) z term.
@@ -112,18 +169,27 @@ def _try_fuse(node: Node) -> FusedPattern | None:
             # z must not reference the pattern matrix
             if _references_matrix(z_node, m.X):
                 continue
-            return FusedPattern(m.X, rewrite(m.y),
-                                v=None if m.v is None else rewrite(m.v),
-                                z=rewrite(z_node), alpha=alpha, beta=beta,
-                                inner=m.inner)
+            members = (_smul_members(core_side, core)
+                       + _smul_members(z_side, z_node)
+                       + _core_members(m, core))
+            if not _interior_free(members, counts):
+                continue
+            return FusedPattern(m.X, _rewrite(m.y, counts),
+                                v=(None if m.v is None
+                                   else _rewrite(m.v, counts)),
+                                z=_rewrite(z_node, counts), alpha=alpha,
+                                beta=beta, inner=m.inner)
         return None
     # Shape 2: (alpha *) core with no z term.
     alpha, core = _strip_smul(node)
     m = _match_core(core)
     if m is None:
         return None
-    return FusedPattern(m.X, rewrite(m.y),
-                        v=None if m.v is None else rewrite(m.v),
+    members = _smul_members(node, core) + _core_members(m, core)
+    if not _interior_free(members, counts):
+        return None
+    return FusedPattern(m.X, _rewrite(m.y, counts),
+                        v=None if m.v is None else _rewrite(m.v, counts),
                         alpha=alpha, inner=m.inner)
 
 

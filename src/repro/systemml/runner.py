@@ -56,11 +56,16 @@ class SystemMLSession:
 
     def __init__(self, mode: str = "gpu-fused",
                  ctx: GpuContext | None = None,
-                 cpu_threads: int = 8, via_jni: bool = True):
+                 cpu_threads: int = 8, via_jni: bool = True,
+                 fuse: str = "pattern"):
         if mode not in ("cpu", "gpu-fused", "gpu-baseline", "hybrid"):
             raise ValueError(
                 "mode must be cpu, gpu-fused, gpu-baseline, or hybrid")
+        from ..ml.runtime import FUSE_MODES
+        if fuse not in FUSE_MODES:
+            raise ValueError(f"fuse must be one of {FUSE_MODES}")
         self.mode = mode
+        self.fuse = fuse
         self.ctx = ctx or DEFAULT_CONTEXT
         self.cpu_threads = cpu_threads
         self.memmgr = GpuMemoryManager(self.ctx.device, via_jni=via_jni)
@@ -103,6 +108,40 @@ class SystemMLSession:
                     decision.transfer_ms + vec_ms)
         return cpu_est.output, cpu_est.time_ms, 0.0
 
+    def _statement_runner(self, X, y64: np.ndarray, n: int, eps: float):
+        """DAG-level execution of Listing 1's two pattern statements.
+
+        ``fuse="auto"`` asks the engine's plan cache for a cost-optimized
+        :class:`~repro.systemml.fusion.FusionPlan` per statement (planned
+        once per matrix fingerprint, replayed every CG iteration);
+        ``fuse="off"`` executes the parsed DAG one operator-kernel at a
+        time.  Returns ``run(stmt_name, env) -> (output, kernel_ms)``.
+        """
+        from .fusion import evaluate_dag
+        from .parser import parse_expression
+
+        stmts = {
+            "r": "-1.0 * (t(X) %*% y)",
+            "q": f"t(X) %*% (X %*% p) + {eps!r} * p",
+        }
+        roots = {name: parse_expression(dml) for name, dml in stmts.items()}
+        if self.fuse == "auto":
+            # plan both statements up front (p is not computed yet, but
+            # plans depend only on vector lengths — zeros probe suffices)
+            plan_env = {"X": X, "y": y64, "p": np.zeros(n)}
+            roots = {
+                name: self.engine.fusion_plan(
+                    root, plan_env, expression=stmts[name]).lowered()
+                for name, root in roots.items()}
+
+        def run(name: str, env: dict) -> tuple[np.ndarray, float]:
+            results: list = []
+            out = evaluate_dag(roots[name], env, self.ctx,
+                               engine=self.engine, results=results)
+            return out, sum(res.time_ms for res in results)
+
+        return run
+
     def run_linreg_cg(self, X, y, eps: float = 1e-3,
                       max_iterations: int = 100,
                       tolerance: float = 1e-6) -> SystemMLReport:
@@ -137,13 +176,24 @@ class SystemMLSession:
         cpu_rt = MLRuntime("cpu", cpu_threads=self.cpu_threads)
         y64 = np.asarray(y, dtype=np.float64)
 
+        # fuse="auto"/"off": the pattern statements run as expression DAGs
+        # (cost-optimized or unfused); fuse="pattern" keeps the hand-matched
+        # engine route.  All three are bit-identical on sparse matrices.
+        run_stmt = None
+        if self.fuse != "pattern":
+            run_stmt = self._statement_runner(X, y64, n, eps)
+
         # r = -(t(X) %*% y): the y vector crosses JNI+PCIe, result returns
         transfer_ms += self.memmgr.transfer.h2d_ms(m * _D, via_jni=True)
-        gp = GenericPattern(X, y64, alpha=-1.0, inner=False)
-        r0 = self.engine.evaluate_pattern(gp, strategy)
-        kernel_ms += r0.time_ms
+        if run_stmt is not None:
+            r, k_ms = run_stmt("r", {"X": X, "y": y64})
+            kernel_ms += k_ms
+        else:
+            gp = GenericPattern(X, y64, alpha=-1.0, inner=False)
+            r0 = self.engine.evaluate_pattern(gp, strategy)
+            kernel_ms += r0.time_ms
+            r = r0.output
         transfer_ms += self.memmgr.transfer.d2h_ms(n * _D, via_jni=True)
-        r = r0.output
 
         p = cpu_rt.scal(-1.0, r)
         nr2 = cpu_rt.sumsq(r)
@@ -153,11 +203,15 @@ class SystemMLSession:
         while i < max_iterations and nr2 > nr2_target:
             # ship p to the device, run the fused statement, ship q back
             transfer_ms += self.memmgr.transfer.h2d_ms(n * _D, via_jni=True)
-            gp = GenericPattern(X, p, z=p, beta=eps)
-            qres = self.engine.evaluate_pattern(gp, strategy)
-            kernel_ms += qres.time_ms
+            if run_stmt is not None:
+                q, k_ms = run_stmt("q", {"X": X, "p": p})
+                kernel_ms += k_ms
+            else:
+                gp = GenericPattern(X, p, z=p, beta=eps)
+                qres = self.engine.evaluate_pattern(gp, strategy)
+                kernel_ms += qres.time_ms
+                q = qres.output
             transfer_ms += self.memmgr.transfer.d2h_ms(n * _D, via_jni=True)
-            q = qres.output
 
             alpha = nr2 / cpu_rt.dot(p, q)
             w = cpu_rt.axpy(alpha, p, w)

@@ -1,0 +1,14 @@
+"""Seeded bug: an out slice is accumulated with ``+=``.
+
+Fused cell-wise kernels must store each output slice exactly once with a
+plain assignment — ``+=`` re-reads global memory (read-modify-write
+hazard on an uninitialized buffer); expected ``codegen-accumulation``.
+"""
+
+
+def cellwise_8_4_2(a0, out):
+    l_a0s1 = a0[0:4]
+    out[0:4] += (2.0 * l_a0s1)  # BUG: accumulating store
+    l_a0s2 = a0[4:8]
+    out[4:8] = (2.0 * l_a0s2)
+    return out

@@ -1,0 +1,16 @@
+"""Seeded bug: slice 2's store reads slice 1's register.
+
+Each output slice must be computed only from its own slice's registers;
+a cross-slice read silently computes the wrong elements.  Expected
+``codegen-accumulation``.
+"""
+
+
+def cellwise_8_4_2(a0, a1, out):
+    l_a0s1 = a0[0:4]
+    l_a1s1 = a1[0:4]
+    out[0:4] = (l_a0s1 * l_a1s1)
+    l_a0s2 = a0[4:8]
+    l_a1s2 = a1[4:8]
+    out[4:8] = (l_a0s2 * l_a1s1)  # BUG: reads slice 1's register
+    return out

@@ -1,0 +1,13 @@
+"""Seeded bug: the same out slice is stored twice and one slice never.
+
+Stores must cover each ``VS``-wide slice exactly once in order; expected
+``codegen-coverage``.
+"""
+
+
+def cellwise_8_4_2(a0, out):
+    l_a0s1 = a0[0:4]
+    out[0:4] = (2.0 * l_a0s1)
+    l_a0s2 = a0[4:8]
+    out[0:4] = (2.0 * l_a0s2)  # BUG: restores slice 1, [4, 8) never written
+    return out

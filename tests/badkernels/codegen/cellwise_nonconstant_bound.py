@@ -1,0 +1,14 @@
+"""Seeded bug: a register load uses a runtime slice bound.
+
+A non-constant bound would spill the register array in CUDA (Listing 2);
+the cell-wise codegen lint must flag it as ``codegen-nonconstant-index``.
+"""
+
+
+def cellwise_8_4_2(a0, out):
+    vs = 4
+    l_a0s1 = a0[0:vs]          # BUG: bound is a variable, not a literal
+    out[0:4] = (2.0 * l_a0s1)
+    l_a0s2 = a0[4:8]
+    out[4:8] = (2.0 * l_a0s2)
+    return out

@@ -1,0 +1,13 @@
+"""Seeded bug: the second register load overlaps the first slice.
+
+The loads must tile ``[0, n)`` disjointly in slice order; the lint must
+flag the overlap as ``codegen-coverage``.
+"""
+
+
+def cellwise_8_4_2(a0, out):
+    l_a0s1 = a0[0:4]
+    out[0:4] = (2.0 * l_a0s1)
+    l_a0s2 = a0[2:6]           # BUG: overlaps slice 1, leaves [6, 8) unread
+    out[4:8] = (2.0 * l_a0s2)
+    return out

@@ -1,0 +1,206 @@
+"""Cost-model ground-truthing: predicted counters == executed counters.
+
+The optimizer costs candidates by *probing* the kernel model with
+zero-valued vectors (structure decides the counters, values never do).
+These tests pin that contract three ways:
+
+1. the probe's fused counters equal the counters of the kernel that
+   actually runs when the candidate's lowered DAG executes;
+2. cell-wise counters follow the closed-form transaction model across a
+   small (n, VS, TL) grid, independent of input values;
+3. the sparse Eq.-1 model's atomic counts match the SIMT engine's
+   *replayed* per-thread atomics for the same launch geometry.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.gpu.counters import PerfCounters
+from repro.gpu.memory import coalesced_transactions
+from repro.gpu.occupancy import Occupancy
+from repro.gpu.simt import SimtEngine
+from repro.kernels.cellwise import CellwiseProgram, cellwise_params, fused_cellwise
+from repro.kernels.simt_kernels import run_alg2
+from repro.kernels.sparse_fused import fused_pattern_sparse
+from repro.sparse.generate import random_csr
+from repro.sparse.ops import spmv, spmv_t
+from repro.tuning.sparse_params import (
+    SPARSE_KERNEL_REGISTERS,
+    SparseParams,
+    shared_bytes_needed,
+)
+from repro.systemml.fusion import (
+    SHIPPED_DML,
+    cost_candidate,
+    enumerate_candidates,
+    evaluate_dag,
+    index_dag,
+    infer_shapes,
+    lower,
+    make_env,
+)
+
+SCRIPTS = sorted(SHIPPED_DML)
+
+
+@pytest.mark.parametrize("name", SCRIPTS)
+def test_probe_counters_match_executed_counters(name):
+    """Zero-probe cost counters == real-value execution counters, exactly."""
+    spec = SHIPPED_DML[name]
+    X = random_csr(120, 32, 0.08, rng=6)
+    env = make_env(spec, X, rng=13)
+    root = spec.parse()
+    index = index_dag(root)
+    shapes = infer_shapes(index, env)
+    cands = enumerate_candidates(index, shapes)
+    assert cands, name
+    for cand in cands:
+        pc = cost_candidate(cand, env, shapes, index)
+        lowered = lower(root, [cand])
+        results = []
+        evaluate_dag(lowered, env, results=results)
+        fused = [r for r in results if r.name.startswith("fused.")]
+        assert len(fused) == 1, (name, cand.label, [r.name for r in results])
+        assert fused[0].counters.as_dict() == pc.fused_counters.as_dict(), \
+            (name, cand.label)
+        assert fused[0].time_ms == pc.fused.time_ms
+
+
+@pytest.mark.parametrize("name", SCRIPTS)
+def test_unfused_cost_matches_member_execution(name):
+    """The unfused estimate prices one kernel per non-transpose member."""
+    spec = SHIPPED_DML[name]
+    X = random_csr(90, 24, 0.1, rng=8)
+    env = make_env(spec, X, rng=14)
+    root = spec.parse()
+    index = index_dag(root)
+    shapes = infer_shapes(index, env)
+    for cand in enumerate_candidates(index, shapes):
+        pc = cost_candidate(cand, env, shapes, index)
+        n_kernels = sum(1 for m in cand.members
+                        if type(m).__name__ != "Transpose")
+        assert pc.unfused.launches == n_kernels, (name, cand.label)
+        assert pc.unfused.time_ms > pc.fused.time_ms or \
+            pc.saving_ms <= 0.0  # consistency of the saving signal
+        # the fused form always launches fewer kernels
+        assert pc.fused.launches < pc.unfused.launches or n_kernels == 1
+
+
+@pytest.mark.parametrize("n,vs,tl", [(8, 4, 2), (16, 4, 4), (32, 8, 4),
+                                     (24, 8, 3), (64, 16, 4)])
+def test_cellwise_counter_model_on_grid(n, vs, tl):
+    """Cell-wise counters follow the closed form on an (n, VS, TL) grid
+    and are invariant to the input values (the probing premise)."""
+    program = CellwiseProgram(
+        expr=("add", ("ewmul", ("in", 0), ("in", 1)),
+              ("smul", 0.5, ("in", 2))),
+        n_inputs=3)
+    rng = np.random.default_rng(n)
+    real = [rng.standard_normal(n) for _ in range(3)]
+    zero = [np.zeros(n) for _ in range(3)]
+    res_real = fused_cellwise(program, real, vs=vs, tl=tl)
+    res_zero = fused_cellwise(program, zero, vs=vs, tl=tl)
+    assert res_real.counters.as_dict() == res_zero.counters.as_dict()
+    assert res_real.time_ms == res_zero.time_ms
+    c = res_real.counters
+    assert c.global_load_transactions == \
+        coalesced_transactions(3 * n * 8)
+    assert c.global_store_transactions == coalesced_transactions(n * 8)
+    assert c.flops == program.op_count * n
+    assert c.kernel_launches == 1
+
+
+def test_cellwise_params_tile_the_width():
+    for n in (1, 2, 3, 4, 7, 8, 12, 16, 33, 64, 100):
+        vs, tl = cellwise_params(n)
+        assert vs * tl >= n
+        assert tl <= 4
+
+
+def test_probe_counters_value_independent_eq1():
+    """Eq.-1 sparse counters depend only on structure, never on values."""
+    X = random_csr(64, 20, 0.2, rng=9)
+    rng = np.random.default_rng(10)
+    y_real, v_real, z_real = (rng.standard_normal(20), rng.standard_normal(64),
+                              rng.standard_normal(20))
+    real = fused_pattern_sparse(X, y_real, v=v_real, z=z_real,
+                                alpha=1.5, beta=0.5)
+    zero = fused_pattern_sparse(X, np.zeros(20), v=np.zeros(64),
+                                z=np.zeros(20), alpha=1.5, beta=0.5)
+    assert real.counters.as_dict() == zero.counters.as_dict()
+    assert real.time_ms == zero.time_ms
+
+
+# --------------------------------------------------- SIMT replay parity --
+
+def _small_params(n, VS=4, BS=32, grid=2, C=1):
+    occ = Occupancy(blocks_per_sm=1, warps_per_block=max(1, BS // 32),
+                    limited_by="test")
+    return SparseParams(
+        vector_size=VS, block_size=BS, coarsening=C, grid_size=grid,
+        shared_bytes=shared_bytes_needed(BS, VS, n),
+        registers=SPARSE_KERNEL_REGISTERS, variant="shared", occupancy=occ)
+
+
+@pytest.mark.parametrize("beta", [0.0, 0.5])
+def test_sparse_model_atomics_match_simt_replay(beta):
+    """Model atomic counts == SIMT per-thread replay counts.
+
+    The counter model claims ``nnz`` shared atomics (one per scatter) and
+    ``grid * n`` global atomics for the mirror flush, plus ``n`` more when
+    the ``beta * z`` epilogue is live.  Replaying Algorithm 2 thread by
+    thread on the SIMT engine must produce exactly those counts.
+    """
+    m, n, VS, BS, GRID = 32, 24, 4, 32, 2
+    X = random_csr(m, n, 0.25, rng=7)
+    rng = np.random.default_rng(8)
+    y, v, z = (rng.standard_normal(n), rng.standard_normal(m),
+               rng.standard_normal(n))
+    C = max(1, -(-m // (GRID * (BS // VS))))
+    params = _small_params(n, VS=VS, BS=BS, grid=GRID, C=C)
+
+    res = fused_pattern_sparse(X, y, v=v, z=z, alpha=1.5, beta=beta,
+                               params=params)
+    eng = SimtEngine()
+    w = run_alg2(eng, X, y, v=v, z=z, alpha=1.5, beta=beta,
+                 VS=VS, block_size=BS, grid_size=GRID, variant="shared")
+
+    expect_shared = X.nnz
+    expect_global = GRID * n + (n if beta else 0)
+    assert eng.stats.atomic_shared == expect_shared
+    assert eng.stats.atomic_global == expect_global
+    assert res.counters.atomic_shared_ops == expect_shared
+    assert res.counters.atomic_global_ops == expect_global
+    # and both agree with the reference numerics
+    ref = 1.5 * spmv_t(X, v * spmv(X, y)) + beta * z
+    assert np.allclose(w, ref)
+    assert np.allclose(np.asarray(res.output), ref)
+
+
+def test_probe_grid_matches_simt_across_shapes():
+    """Sweep a small (m, n) grid: model shared/global atomics track the
+    replayed counts for every shape."""
+    for m, n, density in [(16, 8, 0.4), (24, 16, 0.25), (48, 12, 0.15)]:
+        X = random_csr(m, n, density, rng=m + n)
+        y = np.random.default_rng(m).standard_normal(n)
+        VS, BS, GRID = 4, 32, 2
+        C = max(1, -(-m // (GRID * (BS // VS))))
+        params = _small_params(n, VS=VS, BS=BS, grid=GRID, C=C)
+        res = fused_pattern_sparse(X, y, params=params)
+        eng = SimtEngine()
+        run_alg2(eng, X, y, VS=VS, block_size=BS, grid_size=GRID,
+                 variant="shared")
+        assert res.counters.atomic_shared_ops == eng.stats.atomic_shared, \
+            (m, n)
+        assert res.counters.atomic_global_ops == eng.stats.atomic_global, \
+            (m, n)
+
+
+def test_counters_add_is_fieldwise():
+    a, b = PerfCounters(), PerfCounters()
+    a.flops, b.flops = 3.0, 4.0
+    a.kernel_launches, b.kernel_launches = 1, 2
+    a.add(b)
+    assert a.flops == 7.0 and a.kernel_launches == 3

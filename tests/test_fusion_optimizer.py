@@ -1,0 +1,246 @@
+"""Adversarial DAGs for the fusion-plan optimizer.
+
+Shapes the optimizer must *not* mis-fuse: diamonds whose interior is
+consumed outside the region (must materialize), aliased operands, scalar
+broadcast chains, and DAGs over the exhaustive-search budget (greedy
+fallback must still be bit-identical).  Plus the rewriter's old
+single-consumer bug as a pinned regression and the engine-level plan cache.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.engine import PatternEngine
+from repro.sparse.generate import random_csr
+from repro.systemml.dag import (
+    Add,
+    EwMul,
+    FusedPattern,
+    Input,
+    MatVec,
+    Smul,
+    Transpose,
+)
+from repro.systemml.parser import parse_expression
+from repro.systemml.rewriter import rewrite
+from repro.systemml.fusion import (
+    clone_dag,
+    enumerate_candidates,
+    evaluate_dag,
+    fingerprint_dag,
+    index_dag,
+    infer_shapes,
+    optimize,
+)
+
+
+def _square_env(n=16, density=0.3, rng=2):
+    X = random_csr(n, n, density, rng=rng)
+    r = np.random.default_rng(rng + 1)
+    return X, r
+
+
+def _cands(root, env):
+    index = index_dag(root)
+    shapes = infer_shapes(index, env)
+    return enumerate_candidates(index, shapes)
+
+
+class TestDiamonds:
+    def test_shared_interior_is_materialized_as_region_input(self):
+        """A node consumed outside the region must become a region input
+        (materialized), never a region member."""
+        X, r = _square_env()
+        a, b = Input("a"), Input("b")
+        e = EwMul(a, b)                     # consumed by Smul AND MatVec
+        root = Add(Smul(2.0, e), MatVec(Input("X"), e))
+        env = {"X": X, "a": r.standard_normal(16), "b": r.standard_normal(16)}
+        cands = _cands(root, env)
+        assert cands, "expected at least one cell-wise candidate"
+        for c in cands:
+            if id(e) in c.member_ids:
+                # e may only be a member if its every consumer is too
+                assert any(id(m) == id(root) for m in c.members)
+            else:
+                assert any(op is e for op in c.operands), c.label
+        baseline = np.asarray(root.eval(env))
+        plan = optimize(root, env)
+        got = np.asarray(evaluate_dag(plan.lowered(), env))
+        assert np.array_equal(got, baseline)
+
+    def test_fully_internal_diamond_may_fuse(self):
+        """A diamond whose every path stays inside the region can fuse
+        whole — and stays bit-identical."""
+        a, b = Input("a"), Input("b")
+        e = EwMul(a, b)
+        root = Add(Smul(2.0, e), Smul(3.0, e))
+        r = np.random.default_rng(5)
+        env = {"a": r.standard_normal(32), "b": r.standard_normal(32)}
+        baseline = np.asarray(root.eval(env))
+        plan = optimize(root, env)
+        got = np.asarray(evaluate_dag(plan.lowered(), env))
+        assert np.array_equal(got, baseline)
+
+    def test_eq1_interior_shared_blocks_inner_fusion(self):
+        """If the inner matvec of Eq. 1 feeds a second consumer, the
+        candidate may not swallow it silently."""
+        X, r = _square_env(12, 0.4, rng=7)
+        p, v = Input("p"), Input("v")
+        mv = MatVec(Input("X"), p)
+        core = MatVec(Transpose(Input("X")), EwMul(v, mv))
+        root = Add(core, mv)                # mv escapes the region
+        env = {"X": X, "p": r.standard_normal(12), "v": r.standard_normal(12)}
+        baseline = np.asarray(root.eval(env))
+        for c in _cands(root, env):
+            if c.kind == "eq1":
+                assert id(mv) not in c.member_ids, c.label
+        plan = optimize(root, env)
+        got = np.asarray(evaluate_dag(plan.lowered(), env))
+        assert np.array_equal(got, baseline)
+
+
+class TestAliasingAndScalars:
+    def test_aliased_operand_add_a_a(self):
+        a = Input("a")
+        root = Add(EwMul(a, a), a)          # a used three times
+        r = np.random.default_rng(6)
+        env = {"a": r.standard_normal(40)}
+        baseline = np.asarray(root.eval(env))
+        for c in _cands(root, env):
+            # aliased leaves appear once in the operand list
+            assert len(c.operands) == len({id(o) for o in c.operands})
+        plan = optimize(root, env)
+        got = np.asarray(evaluate_dag(plan.lowered(), env))
+        assert np.array_equal(got, baseline)
+
+    def test_scalar_broadcast_chain(self):
+        root = parse_expression("0.5 * (2.0 * a) + -1.0 * (b * a)")
+        r = np.random.default_rng(7)
+        env = {"a": r.standard_normal(24), "b": r.standard_normal(24)}
+        baseline = np.asarray(root.eval(env))
+        plan = optimize(root, env)
+        assert plan.chosen, "scalar chain should produce a fusable region"
+        got = np.asarray(evaluate_dag(plan.lowered(), env))
+        assert np.array_equal(got, baseline)
+
+
+class TestSearchFallback:
+    def _wide_dag(self, k=8, n=16):
+        """k independent cell-wise pairs summed — k eligible candidates."""
+        r = np.random.default_rng(8)
+        env = {}
+        terms = []
+        for i in range(k):
+            a, b = Input(f"a{i}"), Input(f"b{i}")
+            env[f"a{i}"] = r.standard_normal(n)
+            env[f"b{i}"] = r.standard_normal(n)
+            terms.append(Smul(0.5, EwMul(a, b)))
+        root = terms[0]
+        for t in terms[1:]:
+            root = Add(root, t)
+        return root, env
+
+    def test_over_budget_falls_back_to_greedy(self):
+        root, env = self._wide_dag()
+        baseline = np.asarray(root.eval(env))
+        plan = optimize(root, env, node_budget=4)
+        assert plan.search == "greedy"
+        got = np.asarray(evaluate_dag(plan.lowered(), env))
+        assert np.array_equal(got, baseline)
+
+    def test_exhaustive_and_greedy_agree_on_value(self):
+        root, env = self._wide_dag(k=3)
+        ex = optimize(root, env)
+        gr = optimize(root, env, node_budget=1)
+        assert ex.search == "exhaustive" and gr.search == "greedy"
+        a = np.asarray(evaluate_dag(ex.lowered(), env))
+        b = np.asarray(evaluate_dag(gr.lowered(), env))
+        assert np.array_equal(a, b)
+        # greedy can never beat exhaustive on modeled saving
+        assert ex.saving_ms >= gr.saving_ms - 1e-12
+
+
+class TestRewriterRegression:
+    """Pinned regression for the old single-consumer assumption."""
+
+    def test_shared_inner_matvec_is_not_fused(self):
+        X, r = _square_env(10, 0.4, rng=9)
+        p, v = Input("p"), Input("v")
+        mv = MatVec(Input("X"), p)
+        core = MatVec(Transpose(Input("X")), EwMul(v, mv))
+        root = Add(core, mv)
+        env = {"X": X, "p": r.standard_normal(10), "v": r.standard_normal(10)}
+        baseline = np.asarray(root.eval(env))
+        rewritten = rewrite(clone_dag(root))
+        fused = [n for n in rewritten.walk() if isinstance(n, FusedPattern)]
+        assert not fused, "rewriter must refuse to fuse a shared interior"
+        assert np.array_equal(np.asarray(rewritten.eval(env)), baseline)
+
+    def test_exclusive_interior_still_fuses(self):
+        X, r = _square_env(10, 0.4, rng=10)
+        root = parse_expression("t(X) %*% (v * (X %*% p)) + 0.001 * p")
+        env = {"X": X, "p": r.standard_normal(10), "v": r.standard_normal(10)}
+        baseline = np.asarray(root.eval(env))
+        rewritten = rewrite(clone_dag(root))
+        fused = [n for n in rewritten.walk() if isinstance(n, FusedPattern)]
+        assert len(fused) == 1
+        assert np.allclose(np.asarray(rewritten.eval(env)), baseline)
+
+
+class TestPlanCache:
+    EXPR = "t(X) %*% (X %*% p) + 0.001 * p"
+
+    def _env(self, X, n, seed):
+        r = np.random.default_rng(seed)
+        return {"X": X, "p": r.standard_normal(n)}
+
+    def test_plan_cached_by_dag_fingerprint(self):
+        engine = PatternEngine()
+        X = random_csr(80, 20, 0.1, rng=11)
+        root = parse_expression(self.EXPR)
+        env = self._env(X, 20, 1)
+        plan1 = engine.fusion_plan(root, env, expression=self.EXPR)
+        s1 = engine.snapshot()
+        assert s1.fusion_plans_built == 1
+        plan2 = engine.fusion_plan(root, env, expression=self.EXPR)
+        s2 = engine.snapshot()
+        assert plan2 is plan1
+        assert s2.fusion_plans_built == 1
+        assert s2.artifact_hits > s1.artifact_hits
+
+    def test_vector_values_do_not_miss(self):
+        """Iterative solvers change vector *values* every step; the plan
+        key only sees vector lengths, so iteration 2 must hit."""
+        engine = PatternEngine()
+        X = random_csr(80, 20, 0.1, rng=11)
+        root = parse_expression(self.EXPR)
+        engine.fusion_plan(root, self._env(X, 20, 1), expression=self.EXPR)
+        engine.fusion_plan(root, self._env(X, 20, 99), expression=self.EXPR)
+        assert engine.snapshot().fusion_plans_built == 1
+
+    def test_reparsed_expression_hits(self):
+        """Fresh node objects with identical topology share a fingerprint."""
+        X = random_csr(80, 20, 0.1, rng=11)
+        env = self._env(X, 20, 1)
+        fp1 = fingerprint_dag(parse_expression(self.EXPR), env)
+        fp2 = fingerprint_dag(parse_expression(self.EXPR), env)
+        assert fp1 == fp2
+
+    def test_matrix_change_misses(self):
+        engine = PatternEngine()
+        root = parse_expression(self.EXPR)
+        X1 = random_csr(80, 20, 0.1, rng=11)
+        X2 = random_csr(80, 20, 0.1, rng=12)
+        engine.fusion_plan(root, self._env(X1, 20, 1), expression=self.EXPR)
+        engine.fusion_plan(root, self._env(X2, 20, 1), expression=self.EXPR)
+        assert engine.snapshot().fusion_plans_built == 2
+
+    def test_sharing_changes_fingerprint(self):
+        """A tree and a DAG with the same infix rendering differ."""
+        a = Input("a")
+        shared = EwMul(a, a)
+        dag = Add(shared, shared)           # one node, consumed twice
+        tree = Add(EwMul(a, a), EwMul(a, a))
+        env = {"a": np.ones(8)}
+        assert fingerprint_dag(dag, env) != fingerprint_dag(tree, env)
