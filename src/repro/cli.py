@@ -380,9 +380,63 @@ def cmd_check(args: argparse.Namespace) -> int:
     else:
         checked = (f"{len(args.paths)} kernel file(s)" if args.paths
                    else f"shipped kernels + {len(grid)} generated "
-                        "specializations")
+                        "specializations + fusion + AOT sparse sources")
         print(findings_text(findings, checked))
     return 1 if findings else 0
+
+
+def cmd_codegen(args: argparse.Namespace) -> int:
+    """Inspect the AOT sparse generators: emit (and optionally lint) the
+    specialized source a matrix's structure produces."""
+    from .analyze.codegen_lint import check_sparse_source
+    from .kernels.codegen import CompiledSparseKernels, sparse_kernel_name
+
+    X = _load_matrix(args.matrix)
+    if not isinstance(X, CsrMatrix):
+        raise SystemExit("repro codegen is sparse-only (CSR matrices)")
+    if args.vs is not None or args.c is not None:
+        vs, c = args.vs or 32, args.c or 1
+    else:
+        params = tune_sparse(X)
+        vs, c = params.vector_size, params.coarsening
+    bundle = CompiledSparseKernels(X, vs=vs, c=c)
+
+    m, n = X.shape
+    print(f"# structure {bundle.tag}: {m}x{n}, nnz={X.nnz}, "
+          f"VS={vs}, C={c} — {len(bundle.sources)} entry points, "
+          f"{bundle.fresh_compiles} fresh compiles, "
+          f"{bundle.nbytes} bytes")
+    wanted: list[str] = []
+    if args.stage in ("spmv", "all"):
+        wanted.append(sparse_kernel_name("spmv", bundle.tag, vs, c))
+    if args.stage in ("spmvt", "all"):
+        wanted.append(sparse_kernel_name("spmvt", bundle.tag, vs, c))
+    if args.stage in ("fused", "all"):
+        sfx = {(False, False): "", (True, False): "_v",
+               (False, True): "_b", (True, True): "_vb"}[
+            (bool(args.with_v), bool(args.beta))]
+        if args.stage == "all" and not (args.with_v or args.beta):
+            wanted += [name for name in bundle.sources
+                       if f"fused_{bundle.tag}" in name]
+        else:
+            wanted.append(
+                sparse_kernel_name("fused", bundle.tag, vs, c, sfx))
+    findings = []
+    for name in wanted:
+        src = bundle.sources[name]
+        print(f"\n# --- {name} ---")
+        print(src, end="")
+        if args.lint:
+            findings.extend(check_sparse_source(
+                src, filename=f"<generated {name}>"))
+    if args.lint:
+        print()
+        for f in findings:
+            print(f.describe())
+        print(f"{len(findings)} finding(s) over {len(wanted)} generated "
+              f"source(s)")
+        return 1 if findings else 0
+    return 0
 
 
 def cmd_plan(args: argparse.Namespace) -> int:
@@ -578,6 +632,28 @@ def build_parser() -> argparse.ArgumentParser:
                     help="VSxTL specialization grid for the codegen lint "
                          "(comma-separated, e.g. 8x4,16x2)")
     ck.set_defaults(fn=cmd_check)
+
+    cg = sub.add_parser("codegen",
+                        help="emit (and lint) the AOT-specialized sparse "
+                             "kernel source for a matrix's structure")
+    cg.add_argument("--matrix", default="2000x128:0.02",
+                    help=".npz path or MxN:sparsity (default "
+                         "2000x128:0.02)")
+    cg.add_argument("--stage", default="all",
+                    choices=["spmv", "spmvt", "fused", "all"])
+    cg.add_argument("--with-v", action="store_true",
+                    help="fused call shape includes the inter-vector "
+                         "operand")
+    cg.add_argument("--beta", action="store_true",
+                    help="fused call shape includes the beta*z fold")
+    cg.add_argument("--vs", type=int, default=None,
+                    help="vector size override (default: tuned)")
+    cg.add_argument("--c", type=int, default=None,
+                    help="coarsening override (default: tuned)")
+    cg.add_argument("--lint", action="store_true",
+                    help="run the sparse codegen lint over the emitted "
+                         "sources (exit 1 on findings)")
+    cg.set_defaults(fn=cmd_codegen)
 
     pl = sub.add_parser("plan",
                         help="enumerate, cost, and select DAG fusion plans "

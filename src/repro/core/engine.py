@@ -35,9 +35,11 @@ from __future__ import annotations
 
 import threading
 import time
+import warnings
+import weakref
 from collections import OrderedDict
 from concurrent.futures import ThreadPoolExecutor
-from dataclasses import astuple, dataclass
+from dataclasses import astuple, dataclass, field
 from hashlib import blake2b
 
 import numpy as np
@@ -153,6 +155,9 @@ class EngineStats:
     transposes_built: int = 0
     profiles_built: int = 0
     kernels_compiled: int = 0
+    compiled_kernels_built: int = 0
+    compile_fallbacks: int = 0
+    pinned_fingerprint_hits: int = 0
     fusion_plans_built: int = 0
     evictions: int = 0
     invalidations: int = 0
@@ -167,6 +172,8 @@ class EngineStats:
     batch_requests: int = 0
     batch_max_requests: int = 0
     batch_wall_ms: float = 0.0
+    #: artifact-LRU composition: per-kind entry counts (snapshot-only)
+    artifact_kinds: dict[str, int] = field(default_factory=dict)
 
     @property
     def hit_rate(self) -> float:
@@ -201,6 +208,9 @@ class EngineStats:
             f"{self.transposes_built} transposes built, "
             f"{self.profiles_built} profiles built, "
             f"{self.kernels_compiled} kernels compiled",
+            f"sparse AOT:       {self.compiled_kernels_built} bundles built, "
+            f"{self.compile_fallbacks} compile fallbacks, "
+            f"{self.pinned_fingerprint_hits} pinned-fingerprint hits",
             f"bytes cached:     {self.bytes_cached}",
             f"cold model-time:  {self.cold_ms_per_call:.4f} ms/call",
             f"warm model-time:  {self.warm_ms_per_call:.4f} ms/call",
@@ -212,6 +222,11 @@ class EngineStats:
                 f"{self.batches} batches (largest "
                 f"{self.batch_max_requests}), "
                 f"{self.batch_wall_ms:.2f} wall-ms total")
+        if self.artifact_kinds:
+            lines.append("artifact LRU composition:")
+            for kind in sorted(self.artifact_kinds):
+                lines.append(
+                    f"  {kind}: {self.artifact_kinds[kind]} entries")
         return "\n".join(lines)
 
 
@@ -229,13 +244,18 @@ class PatternEngine:
         LRU bound on the total bytes of cached artifacts (transposes).
     check:
         Verify every result against the NumPy reference (slow; tests only).
+    compile_kernels:
+        Build AOT-compiled sparse kernel bundles for fused sparse plans
+        (the warm-path fast route).  Disable to force interpreted dispatch
+        (benchmark baseline / debugging).
     """
 
     def __init__(self, ctx: GpuContext | None = None, max_plans: int = 256,
                  max_artifact_bytes: int = 256 * 1024 * 1024,
-                 check: bool = False):
+                 check: bool = False, compile_kernels: bool = True):
         self.ctx = ctx or DEFAULT_CONTEXT
         self.check = check
+        self.compile_kernels = compile_kernels
         self.executor = PatternExecutor(self.ctx)
         self.max_plans = max_plans
         self.max_artifact_bytes = max_artifact_bytes
@@ -245,6 +265,8 @@ class PatternEngine:
         self._lock = threading.RLock()
         self._device_fp = fingerprint_device(self.ctx)
         self._stats = EngineStats()
+        #: pinned matrices: id(X) -> (weakref, fingerprint, frozen arrays)
+        self._pinned: dict[int, tuple] = {}
 
     # ------------------------------------------------------------ public API
     def evaluate(self, X: CsrMatrix | np.ndarray, y: np.ndarray,
@@ -360,6 +382,10 @@ class PatternEngine:
             s.artifact_bytes = self._artifact_bytes
             s.bytes_cached = (self._artifact_bytes
                               + sum(e.nbytes for e in self._plans.values()))
+            kinds: dict[str, int] = {}
+            for e in self._artifacts.values():
+                kinds[e.kind] = kinds.get(e.kind, 0) + 1
+            s.artifact_kinds = kinds
         return s
 
     def stats(self) -> EngineStats:
@@ -367,7 +393,12 @@ class PatternEngine:
         return self.snapshot()
 
     def invalidate(self, X: CsrMatrix | np.ndarray) -> int:
-        """Drop every plan and artifact derived from ``X``; returns count."""
+        """Drop every plan and artifact derived from ``X``; returns count.
+
+        Also releases any pin on ``X`` (restoring writability), so
+        ``invalidate`` doubles as "I am about to mutate this matrix".
+        """
+        self.unpin(X)
         fp = fingerprint_matrix(X)
         removed = 0
         with self._lock:
@@ -387,6 +418,105 @@ class PatternEngine:
             self._plans.clear()
             self._artifacts.clear()
             self._artifact_bytes = 0
+
+    # ---------------------------------------------------- pinned fingerprints
+    def pin(self, X: CsrMatrix | np.ndarray) -> str:
+        """Freeze ``X`` and memoize its content fingerprint.
+
+        Warm calls on a pinned matrix skip the full content hash — the
+        dominant per-call host cost once kernels are compiled.  Soundness
+        comes from freezing: every backing array is marked read-only, so
+        the in-place mutation that fingerprinting exists to detect raises
+        instead of silently invalidating the memo.  :meth:`unpin` restores
+        writability.  Unpinned matrices keep the full hash-per-call
+        semantics unchanged.
+        """
+        arrays = self._backing_arrays(X)
+        for a in arrays:
+            a.flags.writeable = False
+        fp = fingerprint_matrix(X)
+        key = id(X)
+        try:
+            ref = weakref.ref(X, lambda _: self._pinned.pop(key, None))
+        except TypeError:
+            # ndarrays aren't weakref-able; a strong ref keeps the memo's
+            # id() stable (the pin holds the matrix alive until unpin)
+            ref = (lambda obj: (lambda: obj))(X)
+        with self._lock:
+            self._pinned[key] = (ref, fp, arrays)
+        return fp
+
+    def unpin(self, X: CsrMatrix | np.ndarray) -> None:
+        """Drop the fingerprint memo and restore array writability."""
+        with self._lock:
+            entry = self._pinned.pop(id(X), None)
+        if entry is not None:
+            for a in entry[2]:
+                try:
+                    a.flags.writeable = True
+                except ValueError:       # view of a buffer we do not own
+                    pass
+
+    @staticmethod
+    def _backing_arrays(X: CsrMatrix | np.ndarray) -> tuple[np.ndarray, ...]:
+        if isinstance(X, CsrMatrix):
+            return (X.values, X.col_idx, X.row_off)
+        return (np.asarray(X),)
+
+    def _fingerprint(self, X: CsrMatrix | np.ndarray) -> tuple[str, bool]:
+        """Content fingerprint; memoized (no hashing) for pinned matrices.
+
+        Returns ``(fingerprint, was_pinned)``.  The memo is honoured only
+        while the pin is intact: same object, same backing arrays, still
+        read-only.  Anything else — including a rebind of ``X.values`` to a
+        fresh writable array — falls back to full hashing.
+        """
+        with self._lock:
+            entry = self._pinned.get(id(X))
+        if entry is not None:
+            ref, fp, arrays = entry
+            if ref() is X and self._pin_intact(X, arrays):
+                with self._lock:
+                    self._stats.pinned_fingerprint_hits += 1
+                return fp, True
+            with self._lock:
+                self._pinned.pop(id(X), None)
+        return fingerprint_matrix(X), False
+
+    @staticmethod
+    def _pin_intact(X: CsrMatrix | np.ndarray, arrays: tuple) -> bool:
+        current = PatternEngine._backing_arrays(X)
+        if len(current) != len(arrays):
+            return False
+        return all(c is a and not a.flags.writeable
+                   for c, a in zip(current, arrays))
+
+    def compiled_for_pinned(self, X: CsrMatrix) -> object | None:
+        """Cached AOT bundle for a *pinned* sparse matrix, without hashing.
+
+        The DAG executor's per-node dispatch cannot afford a content hash,
+        so compiled pickup there is gated on the pin memo: returns the
+        cached :class:`~repro.kernels.codegen.CompiledSparseKernels` if
+        ``X`` is pinned with its pin intact and a bundle is already in the
+        LRU, else ``None`` (never builds).
+        """
+        if not (self.compile_kernels and isinstance(X, CsrMatrix)):
+            return None
+        with self._lock:
+            entry = self._pinned.get(id(X))
+        if entry is None:
+            return None
+        ref, fp, arrays = entry
+        if ref() is not X or not self._pin_intact(X, arrays):
+            return None
+        akey = (fp, self._device_fp, "compiled:sparse")
+        with self._lock:
+            art = self._artifacts.get(akey)
+            if art is not None and art.value is not None:
+                self._artifacts.move_to_end(akey)
+                self._stats.artifact_hits += 1
+                return art.value
+        return None
 
     # -------------------------------------------------------------- internals
     @staticmethod
@@ -415,8 +545,9 @@ class PatternEngine:
 
     def _evaluate_traced(self, p: GenericPattern, strategy: str,
                          span) -> tuple[KernelResult, bool]:
-        with trace.span("fingerprint", "engine"):
-            mat_fp = fingerprint_matrix(p.X)
+        with trace.span("fingerprint", "engine") as fsp:
+            mat_fp, pinned = self._fingerprint(p.X)
+            fsp.set("pinned", pinned)
         key = self._plan_key(p, mat_fp, strategy)
         with self._lock:
             entry = self._plans.get(key)
@@ -491,8 +622,10 @@ class PatternEngine:
         plan = self.executor.plan_for(p, entry.strategy)
         if entry.strategy == "fused":
             prof, prof_warm = self._profile_for(p, entry, mat_fp)
-            return plan.evaluate(p, params=entry.params,
-                                 profile=prof), prof_warm
+            compiled = (self._compiled_for(p.X, entry, mat_fp, prof)
+                        if p.is_sparse else None)
+            return plan.evaluate(p, params=entry.params, profile=prof,
+                                 compiled=compiled), prof_warm
         if entry.strategy == "cusparse-explicit" and p.is_sparse:
             XT, trans_res, warm = self._transpose_for(p.X, mat_fp)
             if p.inner:
@@ -607,13 +740,65 @@ class PatternEngine:
         self._store_profile(akey, "spmv-plan", plan, int(plan.nbytes))
         return plan
 
+    def _compiled_for(self, X: CsrMatrix, entry: PlanEntry, mat_fp: str,
+                      prof) -> object | None:
+        """Fetch or build the AOT sparse-kernel bundle for a fused plan.
+
+        Cached in the artifact LRU next to the kernel profile, keyed by the
+        matrix *content* fingerprint, so structure mutation (new
+        fingerprint) recompiles and :meth:`invalidate` drops the bundle
+        with everything else.  A generator/compile failure degrades to
+        interpreted dispatch: one :class:`RuntimeWarning`, a
+        ``compile_fallbacks`` tick, and a negative cache entry so the
+        failure is not retried (and not re-warned) every call.
+        """
+        if not self.compile_kernels:
+            return None
+        akey = (mat_fp, self._device_fp, "compiled:sparse")
+        with self._lock:
+            art = self._artifacts.get(akey)
+            if art is not None:
+                self._artifacts.move_to_end(akey)
+                self._stats.artifact_hits += 1
+                return art.value          # None = memoized compile failure
+        try:
+            with trace.span("kernel-compile", "engine",
+                            kind="compiled:sparse") as sp:
+                splan = getattr(prof, "spmv_plan", None) \
+                    or self._spmv_plan_for(X, mat_fp)
+                params = entry.params
+                bundle = codegen.CompiledSparseKernels(
+                    X, splan,
+                    vs=params.vector_size if params is not None else 32,
+                    c=params.coarsening if params is not None else 1)
+                sp.set("tag", bundle.tag)
+                sp.count(fresh_compiles=bundle.fresh_compiles,
+                         bytes_built=bundle.nbytes)
+        except Exception as exc:  # noqa: BLE001 - any failure must degrade
+            warnings.warn(
+                f"sparse kernel compilation failed ({exc!r}); "
+                f"falling back to interpreted dispatch", RuntimeWarning,
+                stacklevel=2)
+            with self._lock:
+                self._stats.compile_fallbacks += 1
+            self._store_profile(akey, "compiled:sparse", None, 256,
+                                count_as=None)
+            return None
+        self._store_profile(akey, "compiled:sparse", bundle,
+                            int(bundle.nbytes),
+                            count_as="compiled_kernels_built")
+        return bundle
+
     def _store_profile(self, akey: tuple, kind: str, value: object,
-                       nbytes: int) -> None:
+                       nbytes: int,
+                       count_as: str | None = "profiles_built") -> None:
         with self._lock:
             if akey in self._artifacts:       # lost a build race: keep first
                 return
             self._stats.artifact_misses += 1
-            self._stats.profiles_built += 1
+            if count_as is not None:
+                setattr(self._stats, count_as,
+                        getattr(self._stats, count_as) + 1)
             self._artifacts[akey] = ArtifactEntry(kind, value, nbytes, 0.0)
             self._artifact_bytes += nbytes
             while (self._artifact_bytes > self.max_artifact_bytes

@@ -120,10 +120,18 @@ class MLRuntime:
 
     # ------------------------------------------------------------ transfer --
     def upload(self, X) -> None:
-        """Charge the host-to-device transfer of an operand (Table 5)."""
+        """Charge the host-to-device transfer of an operand (Table 5).
+
+        Uploading also pins the operand on the engine: device-resident data
+        is immutable from the host's point of view, so the engine memoizes
+        its fingerprint and serves compiled kernels without re-hashing.
+        """
         if self.on_gpu:
             self.ledger.charge("transfer",
                                self.transfer.h2d_ms(self._nbytes(X)))
+            if isinstance(X, CsrMatrix) or (
+                    isinstance(X, np.ndarray) and X.ndim == 2):
+                self.engine.pin(X)   # vectors stay mutable (CG updates them)
 
     def download(self, x) -> None:
         if self.on_gpu:

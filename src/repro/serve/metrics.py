@@ -152,6 +152,11 @@ class ServeMetrics:
                 "artifact_misses": engine_stats.artifact_misses,
                 "profiles_built": engine_stats.profiles_built,
                 "transposes_built": engine_stats.transposes_built,
+                "compiled_kernels_built": engine_stats.compiled_kernels_built,
+                "compile_fallbacks": engine_stats.compile_fallbacks,
+                "pinned_fingerprint_hits":
+                    engine_stats.pinned_fingerprint_hits,
+                "artifact_kinds": dict(engine_stats.artifact_kinds),
                 "evictions": engine_stats.evictions,
                 "bytes_cached": engine_stats.bytes_cached,
                 "warm_calls": engine_stats.warm_calls,
@@ -236,4 +241,17 @@ class ServeMetrics:
             counter("repro_engine_evictions_total",
                     "LRU evictions in the serving engine",
                     eng["evictions"])
+            counter("repro_engine_compiled_kernels_built_total",
+                    "AOT sparse-kernel bundles compiled by the engine",
+                    eng["compiled_kernels_built"])
+            counter("repro_engine_compile_fallbacks_total",
+                    "sparse compilations that fell back to interpreted",
+                    eng["compile_fallbacks"])
+            lines.append("# HELP repro_engine_artifact_entries artifact-LRU "
+                         "entries by kind")
+            lines.append("# TYPE repro_engine_artifact_entries gauge")
+            for kind in sorted(eng.get("artifact_kinds", {})):
+                lines.append(
+                    f'repro_engine_artifact_entries{{kind="{kind}"}} '
+                    f'{eng["artifact_kinds"][kind]}')
         return "\n".join(lines) + "\n"

@@ -23,11 +23,14 @@ import numpy as np
 from .csr import CsrMatrix
 
 
-def _check_vector(x: np.ndarray, size: int, name: str) -> np.ndarray:
+def check_vector(x: np.ndarray, size: int, name: str) -> np.ndarray:
     x = np.asarray(x, dtype=np.float64)
     if x.shape != (size,):
         raise ValueError(f"{name} must have shape ({size},), got {x.shape}")
     return x
+
+
+_check_vector = check_vector
 
 
 def spmv(X: CsrMatrix, y: np.ndarray) -> np.ndarray:
@@ -89,12 +92,37 @@ class SpmvPlan:
         return int(self.row_expand.nbytes + self.starts.nbytes
                    + self.nonempty.nbytes)
 
-    def _scratch(self) -> np.ndarray:
+    def scratch(self) -> np.ndarray:
+        """Reusable O(nnz) product buffer (thread-local, see class docs).
+
+        Public because the generated AOT kernels
+        (:mod:`repro.kernels.codegen`) execute the same gather/product in
+        the same buffer — one scratch discipline for both dispatch modes.
+        """
         buf = getattr(self._tls, "buf", None)
         if buf is None:
             buf = np.empty(self.X.nnz, dtype=np.float64)
             self._tls.buf = buf
         return buf
+
+    _scratch = scratch
+
+    def codegen_constants(self) -> dict[str, np.ndarray]:
+        """The plan's index structure as codegen specialization constants.
+
+        These are bound (by reference, not copied) into the namespace of
+        generated sparse kernels: the value/index streams of the matrix and
+        the inspector products above.  Keys match the uppercase globals the
+        generated source references.
+        """
+        X = self.X
+        return {
+            "VALUES": X.values,
+            "COL_IDX": X.col_idx,
+            "STARTS": self.starts,
+            "NONEMPTY": self.nonempty,
+            "ROW_EXPAND": self.row_expand,
+        }
 
     def spmv(self, y: np.ndarray, out: np.ndarray | None = None
              ) -> np.ndarray:

@@ -68,11 +68,17 @@ def _vec(x) -> np.ndarray:
     return np.asarray(x, dtype=np.float64)
 
 
-def _matvec(X, y, transpose: bool, ctx: GpuContext) -> KernelResult:
+def _matvec(X, y, transpose: bool, ctx: GpuContext,
+            engine=None) -> KernelResult:
     if isinstance(X, CsrMatrix):
+        # engine-pinned matrices dispatch through the cached AOT bundle
+        # (hash-free lookup; None when unpinned or not yet compiled)
+        compiled = (engine.compiled_for_pinned(X)
+                    if engine is not None else None)
         if transpose:
-            return csrmv_transpose(X, y, ctx)
-        return csrmv(X, y, ctx, texture=ctx.use_texture_cache)
+            return csrmv_transpose(X, y, ctx, compiled=compiled)
+        return csrmv(X, y, ctx, texture=ctx.use_texture_cache,
+                     compiled=compiled)
     Xd = np.asarray(X, dtype=np.float64)
     return gemv_t(Xd, y, ctx) if transpose else gemv_n(Xd, y, ctx)
 
@@ -83,8 +89,9 @@ def _dispatch(nd: Node, ev, env: dict, ctx: GpuContext, engine, record):
     if isinstance(nd, MatVec):
         y = _vec(ev(nd.vec))
         if isinstance(nd.mat, Transpose):
-            return record(_matvec(ev(nd.mat.child), y, True, ctx), "mv")
-        return record(_matvec(ev(nd.mat), y, False, ctx), "mv")
+            return record(_matvec(ev(nd.mat.child), y, True, ctx, engine),
+                          "mv")
+        return record(_matvec(ev(nd.mat), y, False, ctx, engine), "mv")
     if isinstance(nd, EwMul):
         return record(blas1.ewmul(_vec(ev(nd.a)), _vec(ev(nd.b)), ctx),
                       "blas1")
@@ -112,7 +119,11 @@ def _dispatch(nd: Node, ev, env: dict, ctx: GpuContext, engine, record):
         X = ev(nd.mat)
         y = _vec(ev(nd.vec))
         extras = [_vec(ev(e)) for e in nd.extras]
+        compiled = (engine.compiled_for_pinned(X)
+                    if engine is not None and isinstance(X, CsrMatrix)
+                    else None)
         return record(fused_rowagg(X, y, nd.program, extras, ctx,
-                                   transpose=nd.transpose), "pattern")
+                                   transpose=nd.transpose,
+                                   compiled=compiled), "pattern")
     # unknown node types fall back to their own reference eval
     return nd.eval(env)

@@ -19,6 +19,14 @@ the lowered DAG is indistinguishable from the pattern-matched one.
 :class:`~repro.kernels.cellwise.CellwiseProgram` with the same operation
 order as the generated kernel, so plain ``root.eval(env)`` on a lowered
 DAG is bit-identical to executing it through the kernel layer.
+
+Lowered plans also pick up the AOT sparse-kernel layer transparently: when
+the DAG executor (:mod:`.executor`) runs a lowered node over a sparse
+matrix that is *pinned* on the session engine, the matvec inside
+``FusedRowAgg``/``MatVec`` — and the Eq.-1 ``FusedPattern`` path through
+the engine — dispatches to the engine-cached
+:class:`~repro.kernels.codegen.CompiledSparseKernels` bundle instead of
+interpreted kernels, with bit-identical results.
 """
 
 from __future__ import annotations

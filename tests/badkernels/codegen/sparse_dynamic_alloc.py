@@ -1,0 +1,16 @@
+"""Seeded bug: output allocation sized by a runtime variable.
+
+Every shape scalar must be baked into the source as a literal — a
+variable size means the specialization constant was never propagated and
+the kernel is not structure-specialized; expected
+``codegen-nonconstant-index``.
+"""
+
+
+def sparse_spmv_deadbeef_32_1(y, scratch):
+    m = len(STARTS)                       # BUG: runtime shape derivation
+    np.take(y, COL_IDX, out=scratch)
+    np.multiply(VALUES, scratch, out=scratch)
+    out = np.zeros(m)                     # BUG: non-literal allocation size
+    out[NONEMPTY] = np.add.reduceat(scratch, STARTS)
+    return out

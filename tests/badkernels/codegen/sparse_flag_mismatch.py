@@ -1,0 +1,19 @@
+"""Seeded bug: a ``_v`` fused specialization without the inter-vector stage.
+
+The fused call-shape suffix is a contract: ``_v`` promises the
+``p = p * v`` stage is compiled in.  Dropping it silently computes
+``X^T (X y)`` when the caller asked for ``X^T (v * (X y))``.  Expected
+``codegen-accumulation``.
+"""
+
+
+def sparse_fused_deadbeef_32_1_v(y, v, z, alpha, beta, scratch):
+    np.take(y, COL_IDX, out=scratch)
+    np.multiply(VALUES, scratch, out=scratch)
+    p = np.zeros(64)
+    p[NONEMPTY] = np.add.reduceat(scratch, STARTS)
+    # BUG: missing `p = p * v` despite the _v suffix
+    np.take(p, ROW_EXPAND, out=scratch)
+    np.multiply(VALUES, scratch, out=scratch)
+    w = alpha * np.bincount(COL_IDX, weights=scratch, minlength=16)
+    return w

@@ -1,0 +1,14 @@
+"""Seeded bug: a generated sparse kernel calls outside the whitelist.
+
+The flat sparse family may only use the five vectorized primitives its
+generators emit (take/multiply/zeros/add.reduceat/bincount) — anything
+else means the generator was tampered with or the source is not a
+generated kernel at all.  Expected ``codegen-flatness``.
+"""
+
+
+def sparse_spmvt_deadbeef_32_1(p, scratch):
+    np.take(p, ROW_EXPAND, out=scratch)
+    scratch = np.dot(VALUES, scratch)     # BUG: non-whitelisted call
+    out = np.bincount(COL_IDX, weights=scratch, minlength=16)
+    return out

@@ -1,0 +1,15 @@
+"""Seeded bug: a generated sparse SpMV with a per-row Python loop.
+
+The AOT generators emit flat straight-line NumPy — a row loop means the
+source was never specialized and would run at interpreted speed (and does
+not map onto a single kernel launch); expected ``codegen-flatness``.
+"""
+
+
+def sparse_spmv_deadbeef_32_1(y, scratch):
+    np.take(y, COL_IDX, out=scratch)
+    np.multiply(VALUES, scratch, out=scratch)
+    out = np.zeros(64)
+    for i in range(64):                   # BUG: data-dependent row loop
+        out[i] = scratch[i]
+    return out

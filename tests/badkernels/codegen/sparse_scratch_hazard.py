@@ -1,0 +1,15 @@
+"""Seeded bug: the scratch buffer is read before the gather wrote it.
+
+``scratch`` is a reused O(nnz) buffer shared across calls; multiplying
+into it before ``np.take(..., out=scratch)`` consumes the *previous*
+call's gather — numerically wrong on every call after the first.
+Expected ``codegen-accumulation``.
+"""
+
+
+def sparse_spmv_deadbeef_32_1(y, scratch):
+    np.multiply(VALUES, scratch, out=scratch)   # BUG: stale-buffer read
+    np.take(y, COL_IDX, out=scratch)
+    out = np.zeros(64)
+    out[NONEMPTY] = np.add.reduceat(scratch, STARTS)
+    return out

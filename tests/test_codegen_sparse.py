@@ -1,0 +1,404 @@
+"""AOT sparse-kernel codegen: bit-identity, cache semantics, fallback.
+
+The PR's contract, satellite by satellite:
+
+* every generated entry point (``spmv``, ``spmvt``, four fused call
+  shapes) is **bit-identical** to its interpreted twin — over a
+  200-pattern engine sweep, a hypothesis fuzz across random CSR
+  structures and the VS x C specialization grid, and the empty-row /
+  single-row / nnz==0 edges;
+* code objects are cached per *structure*: value-only mutation never
+  recompiles, structure mutation always does;
+* a compile failure degrades to the interpreted kernel with one
+  ``RuntimeWarning`` and a ``compile_fallbacks`` tick — never a
+  user-facing exception, and never a second warning for the same matrix
+  (negative cache);
+* pinned matrices skip content hashing but stay sound: in-place
+  mutation raises, ``unpin``/``invalidate`` restore writability;
+* generated sources lint clean under ``check_sparse_source`` and the
+  stats/trace surfaces report the compiled path.
+"""
+
+from __future__ import annotations
+
+import warnings
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import trace
+from repro.analyze.codegen_lint import check_sparse_source
+from repro.core.engine import PatternEngine
+from repro.core.pattern import GenericPattern
+from repro.kernels import codegen
+from repro.kernels.codegen import (CompiledSparseKernels,
+                                   clear_sparse_code_cache,
+                                   sparse_code_cache_size,
+                                   sparse_structure_tag)
+from repro.serve.metrics import ServeMetrics
+from repro.sparse import CsrMatrix, SpmvPlan, random_csr
+from repro.trace.report import attribution, attribution_text
+
+VS_GRID = (1, 32, 64, 128)
+C_GRID = (1, 2, 4)
+
+
+def _clone(X: CsrMatrix) -> CsrMatrix:
+    return CsrMatrix(X.shape, X.values.copy(), X.col_idx.copy(),
+                     X.row_off.copy())
+
+
+def _interpreted_fused(plan, y, v=None, z=None, alpha=1.0, beta=0.0):
+    """Interpreted twin of the generated fused family, stage for stage."""
+    p = plan.spmv(y)
+    if v is not None:
+        p = p * v
+    w = alpha * plan.spmv_t(p)
+    if beta != 0.0:
+        w = w + beta * z
+    return w
+
+
+def _assert_bundle_parity(X: CsrMatrix, vs: int = 32, c: int = 1,
+                          seed: int = 0) -> CompiledSparseKernels:
+    """All six entry points bit-identical to the interpreted plan ops."""
+    rng = np.random.default_rng(seed)
+    plan = SpmvPlan(X)
+    bundle = CompiledSparseKernels(X, plan, vs=vs, c=c)
+    y = rng.normal(size=X.n)
+    p = rng.normal(size=X.m)
+    v = rng.normal(size=X.m)
+    z = rng.normal(size=X.n)
+    assert np.array_equal(bundle.spmv(y), plan.spmv(y))
+    assert np.array_equal(bundle.spmv_t(p), plan.spmv_t(p))
+    for kv, kz in ((None, None), (v, None), (None, z), (v, z)):
+        beta = 0.0 if kz is None else -1.5
+        got = bundle.fused(y, v=kv, z=kz, alpha=2.5, beta=beta)
+        want = _interpreted_fused(plan, y, v=kv, z=kz, alpha=2.5, beta=beta)
+        assert np.array_equal(got, want)
+    return bundle
+
+
+# ------------------------------------------------------- direct bundle parity
+class TestBundleParity:
+    @pytest.mark.parametrize("vs", VS_GRID)
+    @pytest.mark.parametrize("c", C_GRID)
+    def test_specialization_grid(self, vs, c):
+        X = random_csr(60, 18, 0.25, rng=7)
+        _assert_bundle_parity(X, vs=vs, c=c, seed=vs * 10 + c)
+
+    def test_single_row_matrix(self):
+        _assert_bundle_parity(random_csr(1, 12, 0.5, rng=3))
+
+    def test_single_column_matrix(self):
+        _assert_bundle_parity(random_csr(40, 1, 0.5, rng=4))
+
+    def test_all_rows_empty(self):
+        X = random_csr(30, 10, 0.0, rng=5)
+        assert X.nnz == 0
+        _assert_bundle_parity(X)
+
+    def test_mostly_empty_rows(self):
+        # density low enough that most rows carry no entries: exercises
+        # the NONEMPTY/STARTS compaction against reduceat's semantics.
+        X = random_csr(200, 12, 0.01, rng=6)
+        assert X.nnz < X.m
+        _assert_bundle_parity(X)
+
+    def test_fused_beta_requires_z(self):
+        X = random_csr(10, 5, 0.4, rng=8)
+        bundle = CompiledSparseKernels(X)
+        with pytest.raises(ValueError, match="beta != 0 requires z"):
+            bundle.fused(np.ones(X.n), beta=0.5)
+
+    def test_dense_matrix_rejected(self):
+        with pytest.raises(TypeError):
+            CompiledSparseKernels(np.eye(4))
+
+    @settings(max_examples=40, deadline=None)
+    @given(seed=st.integers(0, 2**31 - 1), m=st.integers(1, 120),
+           n=st.integers(1, 40),
+           density=st.sampled_from([0.0, 0.02, 0.1, 0.3, 0.8]),
+           vs=st.sampled_from(VS_GRID), c=st.sampled_from(C_GRID))
+    def test_fuzz_structures(self, seed, m, n, density, vs, c):
+        X = random_csr(m, n, density, rng=seed)
+        _assert_bundle_parity(X, vs=vs, c=c, seed=seed)
+
+
+# ----------------------------------------------------- structure-keyed cache
+class TestCodeCacheSemantics:
+    def setup_method(self):
+        clear_sparse_code_cache()
+
+    def test_value_mutation_never_recompiles(self):
+        X = random_csr(50, 15, 0.2, rng=11)
+        b1 = CompiledSparseKernels(X)
+        assert b1.fresh_compiles == 6
+        size = sparse_code_cache_size()
+        assert size == 6
+
+        mutated = _clone(X)
+        mutated.values[:] = np.random.default_rng(1).normal(size=X.nnz)
+        b2 = CompiledSparseKernels(mutated)
+        assert b2.tag == b1.tag
+        assert b2.fresh_compiles == 0
+        assert sparse_code_cache_size() == size
+        # ... and the rebound constants still compute the right answer
+        _assert_bundle_parity(mutated)
+
+    def test_structure_mutation_recompiles(self):
+        X = random_csr(50, 15, 0.2, rng=12)
+        b1 = CompiledSparseKernels(X)
+        size = sparse_code_cache_size()
+
+        shuffled = _clone(X)
+        shuffled.col_idx[0] = (shuffled.col_idx[0] + 1) % X.n
+        b2 = CompiledSparseKernels(shuffled)
+        assert b2.tag != b1.tag
+        assert b2.fresh_compiles == 6
+        assert sparse_code_cache_size() == 2 * size
+
+    def test_same_structure_different_vs_recompiles(self):
+        X = random_csr(30, 10, 0.3, rng=13)
+        CompiledSparseKernels(X, vs=32, c=1)
+        size = sparse_code_cache_size()
+        b2 = CompiledSparseKernels(X, vs=64, c=1)
+        assert b2.fresh_compiles == 6
+        assert sparse_code_cache_size() == 2 * size
+
+
+# ----------------------------------------------------------- engine dispatch
+class TestEngineCompiledDispatch:
+    def _pattern(self, X, rng, with_v=True, with_z=True):
+        kw = {}
+        if with_v:
+            kw["v"] = rng.normal(size=X.m)
+        if with_z:
+            kw["z"] = rng.normal(size=X.n)
+            kw["beta"] = 0.75
+        return GenericPattern(X, rng.normal(size=X.n), alpha=1.25, **kw)
+
+    def test_compiled_engine_matches_interpreted_engine(self):
+        rng = np.random.default_rng(21)
+        X = random_csr(120, 30, 0.15, rng=21)
+        p = self._pattern(X, rng)
+        compiled = PatternEngine(compile_kernels=True)
+        interp = PatternEngine(compile_kernels=False)
+        for _ in range(3):       # cold + warm-compiled iterations
+            a = compiled.evaluate_pattern(p, "fused")
+            b = interp.evaluate_pattern(p, "fused")
+            assert np.array_equal(a.output, b.output)
+            assert np.array_equal(a.output, p.reference())
+        assert compiled.stats().compiled_kernels_built == 1
+        assert interp.stats().compiled_kernels_built == 0
+
+    def test_parity_sweep_200_patterns(self):
+        """Engine bit-identity over >= 200 random sparse patterns."""
+        compiled = PatternEngine(compile_kernels=True)
+        interp = PatternEngine(compile_kernels=False)
+        rng = np.random.default_rng(2015)
+        for i in range(200):
+            m = int(rng.integers(1, 150))
+            n = int(rng.integers(1, 50))
+            X = random_csr(m, n, float(rng.uniform(0.0, 0.5)),
+                           rng=int(rng.integers(0, 2**31)))
+            p = self._pattern(X, rng, with_v=bool(rng.random() < 0.5),
+                              with_z=bool(rng.random() < 0.5))
+            a = compiled.evaluate_pattern(p, "fused")
+            b = interp.evaluate_pattern(p, "fused")
+            assert np.array_equal(a.output, b.output), f"pattern {i}"
+        assert compiled.stats().compile_fallbacks == 0
+
+    def test_engine_value_mutation_rebuilds_bundle_not_code(self):
+        clear_sparse_code_cache()
+        engine = PatternEngine(compile_kernels=True)
+        X = random_csr(60, 20, 0.2, rng=22)
+        y = np.random.default_rng(22).normal(size=X.n)
+        engine.evaluate(X, y, strategy="fused")
+        assert engine.stats().compiled_kernels_built == 1
+        code_cached = sparse_code_cache_size()
+
+        X.values *= 2.0          # new content fingerprint, same structure
+        res = engine.evaluate(X, y, strategy="fused")
+        s = engine.stats()
+        assert s.compiled_kernels_built == 2      # new bundle (new constants)
+        assert sparse_code_cache_size() == code_cached   # zero fresh compiles
+        assert np.array_equal(res.output,
+                              GenericPattern(X, y).reference())
+
+    def test_invalidate_drops_compiled_bundle(self):
+        engine = PatternEngine(compile_kernels=True)
+        X = random_csr(40, 12, 0.3, rng=23)
+        y = np.ones(X.n)
+        engine.evaluate(X, y, strategy="fused")
+        kinds = engine.stats().artifact_kinds
+        assert kinds.get("compiled:sparse") == 1
+        engine.invalidate(X)
+        assert "compiled:sparse" not in engine.stats().artifact_kinds
+
+
+# ------------------------------------------------------- fallback regression
+class TestCompileFallback:
+    """Pinned regression: compile failure must never reach the caller."""
+
+    def test_failure_degrades_to_interpreted(self, monkeypatch):
+        def boom(*args, **kwargs):
+            raise RuntimeError("synthetic generator failure")
+
+        monkeypatch.setattr(codegen, "CompiledSparseKernels", boom)
+        engine = PatternEngine(compile_kernels=True)
+        X = random_csr(80, 25, 0.2, rng=31)
+        y = np.random.default_rng(31).normal(size=X.n)
+
+        with pytest.warns(RuntimeWarning, match="falling back"):
+            res = engine.evaluate(X, y, strategy="fused")
+        assert np.array_equal(res.output, GenericPattern(X, y).reference())
+        s = engine.stats()
+        assert s.compile_fallbacks == 1
+        assert s.compiled_kernels_built == 0
+
+        # negative cache: the second call neither retries nor re-warns
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            res2 = engine.evaluate(X, y, strategy="fused")
+        assert np.array_equal(res2.output, res.output)
+        assert engine.stats().compile_fallbacks == 1
+
+    def test_fallback_counter_in_report(self, monkeypatch):
+        monkeypatch.setattr(codegen, "CompiledSparseKernels",
+                            lambda *a, **k: (_ for _ in ()).throw(
+                                ValueError("nope")))
+        engine = PatternEngine(compile_kernels=True)
+        X = random_csr(20, 8, 0.4, rng=32)
+        with pytest.warns(RuntimeWarning):
+            engine.evaluate(X, np.ones(X.n), strategy="fused")
+        assert "1 compile fallbacks" in engine.stats().report()
+
+
+# ------------------------------------------------------------- pin semantics
+class TestPinnedFingerprint:
+    def test_pin_skips_hashing_and_freezes(self):
+        engine = PatternEngine(compile_kernels=True)
+        X = random_csr(70, 22, 0.2, rng=41)
+        y = np.ones(X.n)
+        engine.pin(X)
+        engine.evaluate(X, y, strategy="fused")
+        engine.evaluate(X, y, strategy="fused")
+        assert engine.stats().pinned_fingerprint_hits >= 2
+        with pytest.raises(ValueError):       # frozen: mutation must raise
+            X.values[0] = 99.0
+        engine.unpin(X)
+        X.values[0] = 99.0                    # writability restored
+
+    def test_invalidate_unpins(self):
+        engine = PatternEngine()
+        X = random_csr(30, 10, 0.3, rng=42)
+        engine.pin(X)
+        engine.invalidate(X)
+        X.values[0] = 1.0                     # must not raise
+
+    def test_pin_dense_matrix(self):
+        # ndarrays aren't weakref-able: pin falls back to a strong ref
+        engine = PatternEngine()
+        X = np.random.default_rng(43).normal(size=(20, 8))
+        engine.pin(X)
+        with pytest.raises(ValueError):
+            X[0, 0] = 1.0
+        engine.unpin(X)
+        X[0, 0] = 1.0
+
+    def test_compiled_for_pinned(self):
+        engine = PatternEngine(compile_kernels=True)
+        X = random_csr(50, 16, 0.25, rng=44)
+        y = np.ones(X.n)
+        assert engine.compiled_for_pinned(X) is None     # not pinned
+        engine.pin(X)
+        assert engine.compiled_for_pinned(X) is None     # pinned, no bundle
+        engine.evaluate(X, y, strategy="fused")
+        bundle = engine.compiled_for_pinned(X)
+        assert isinstance(bundle, CompiledSparseKernels)
+        engine.unpin(X)
+        assert engine.compiled_for_pinned(X) is None     # unpinned again
+
+    def test_compiled_for_pinned_never_builds(self):
+        engine = PatternEngine(compile_kernels=True)
+        X = random_csr(30, 10, 0.3, rng=45)
+        engine.pin(X)
+        engine.compiled_for_pinned(X)
+        assert engine.stats().compiled_kernels_built == 0
+
+
+# ----------------------------------------------------- stats + trace surface
+class TestObservability:
+    def test_artifact_kind_composition(self):
+        engine = PatternEngine(compile_kernels=True)
+        X = random_csr(40, 14, 0.3, rng=51)
+        engine.evaluate(X, np.ones(X.n), strategy="fused")
+        kinds = engine.stats().artifact_kinds
+        assert kinds.get("compiled:sparse") == 1
+        assert kinds.get("profile:fused-sparse") == 1
+        report = engine.stats().report()
+        assert "artifact LRU composition:" in report
+        assert "compiled:sparse: 1 entries" in report
+        assert "sparse AOT:" in report
+
+    def test_prometheus_exports_compiled_counters(self):
+        engine = PatternEngine(compile_kernels=True)
+        X = random_csr(30, 10, 0.3, rng=52)
+        engine.evaluate(X, np.ones(X.n), strategy="fused")
+        text = ServeMetrics().to_prometheus(engine_stats=engine.stats())
+        assert "repro_engine_compiled_kernels_built_total 1" in text
+        assert "repro_engine_compile_fallbacks_total 0" in text
+        assert ('repro_engine_artifact_entries{kind="compiled:sparse"} 1'
+                in text)
+
+    def _attribution_for(self, compile_kernels: bool) -> dict:
+        tracer = trace.install()
+        try:
+            engine = PatternEngine(compile_kernels=compile_kernels)
+            X = random_csr(200, 40, 0.2, rng=53)
+            y = np.ones(X.n)
+            for _ in range(4):
+                engine.evaluate(X, y, strategy="fused")
+        finally:
+            trace.uninstall()
+        measured = sum(s.duration_ms for s in tracer.spans
+                       if s.name == "evaluate")
+        return attribution(tracer.spans, measured)
+
+    def test_attribution_splits_compiled_kernel_time(self):
+        att = self._attribution_for(compile_kernels=True)
+        assert att["kernel_compiled_ms"] > 0.0
+        assert att["kernel_compiled_ms"] <= att["kernel_execute_ms"] + 1e-9
+        text = attribution_text(att)
+        assert "compiled:" in text
+        assert "interpreted:" in text
+
+    def test_attribution_interpreted_run_has_zero_compiled(self):
+        att = self._attribution_for(compile_kernels=False)
+        assert att["kernel_compiled_ms"] == 0.0
+        assert att["kernel_interpreted_ms"] > 0.0
+
+
+# ------------------------------------------------------------- lint coverage
+class TestGeneratedSourcesLintClean:
+    @pytest.mark.parametrize("density", [0.0, 0.02, 0.3])
+    @pytest.mark.parametrize("vs,c", [(32, 1), (64, 4)])
+    def test_bundle_sources_are_clean(self, density, vs, c):
+        X = random_csr(48, 12, density, rng=61)
+        bundle = CompiledSparseKernels(X, vs=vs, c=c)
+        assert len(bundle.sources) == 6
+        for name, src in bundle.sources.items():
+            findings = check_sparse_source(src, filename=name)
+            assert findings == [], f"{name}: {findings}"
+
+    def test_tag_is_structure_only(self):
+        X = random_csr(30, 10, 0.3, rng=62)
+        mutated = _clone(X)
+        mutated.values[:] += 1.0
+        assert sparse_structure_tag(X) == sparse_structure_tag(mutated)
+        shuffled = _clone(X)
+        shuffled.col_idx[0] = (shuffled.col_idx[0] + 1) % X.n
+        assert sparse_structure_tag(X) != sparse_structure_tag(shuffled)

@@ -23,7 +23,10 @@ def test_engine_loop_mode_writes_valid_chrome_trace(tmp_path, capsys):
     doc = json.loads(chrome.read_text())
     assert validate_chrome(doc) > 0
     names = {ev["name"] for ev in doc["traceEvents"] if ev["ph"] == "X"}
-    assert {"evaluate", "fingerprint", "spmv"} <= names
+    assert {"evaluate", "fingerprint"} <= names
+    # kernel span: one fused-pattern span under AOT dispatch, per-phase
+    # spmv/xt-accumulate spans under interpreted dispatch
+    assert "fused-pattern" in names or "spmv" in names
     # top-down phase table plus the attribution block
     assert "phase" in out and "self ms" in out
     assert "engine.evaluate" in out
