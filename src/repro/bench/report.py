@@ -26,6 +26,10 @@ PAPER_HEADLINES: dict[str, str] = {
     "serve": "fingerprint-aware micro-batching vs naive FIFO under a "
              "bounded artifact LRU (serving-layer extension; no paper "
              "headline)",
+    "cluster": "fingerprint-sharded serving: aggregate cache capacity "
+               "scales with shard count; hot keys replicated across "
+               "shards (distributed extension, cf. 1.5D replication "
+               "arXiv:2203.07673; no paper headline)",
     "trace": "span-level phase attribution of serving latency "
              "(observability extension; no paper headline)",
     "fusion": "SystemML-style cost-based operator fusion: the optimizer "
@@ -129,6 +133,18 @@ def measured_headline(name: str, res: ExperimentResult) -> str:
             rows = {r[0]: r for r in res.rows}
             return (f"HIGGS-like {rows['HIGGS-like'][4]:.1f}x (32 it), "
                     f"KDD-like {rows['KDD2010-like'][4]:.1f}x (100 it)")
+        if name == "cluster":
+            cols = res.columns
+            rps = {r[cols.index("shards")]: r[cols.index("throughput_rps")]
+                   for r in res.rows if r[0] == "scaling"}
+            shards = sorted(rps)
+            warm = {r[cols.index("shards")]: r[cols.index("warm_fraction")]
+                    for r in res.rows if r[0] == "scaling"}
+            divergent = sum(r[cols.index("divergent")] for r in res.rows)
+            return (f"{rps[shards[-1]] / rps[shards[0]]:.2f}x throughput "
+                    f"{shards[0]} -> {shards[-1]} shards (warm "
+                    f"{warm[shards[0]]:.2f} -> {warm[shards[-1]]:.2f}), "
+                    f"{divergent} divergent outputs")
         if name == "serve":
             rows = {r[0]: r for r in res.rows}
             ratio = rows["fifo"][4] / rows["fingerprint"][4]
@@ -205,7 +221,7 @@ NOTES = """
 #: experiments measuring host wall-clock (not model time) run first, before
 #: the long model-time builders perturb the process (allocator arenas, CPU
 #: caches) and skew the timed comparisons
-WALL_CLOCK_FIRST = ("codegen", "profile", "serve", "trace")
+WALL_CLOCK_FIRST = ("codegen", "profile", "serve", "cluster", "trace")
 
 
 def generate(path: str = "EXPERIMENTS.md") -> str:

@@ -162,6 +162,12 @@ def cmd_engine_stats(args: argparse.Namespace) -> int:
         engine.evaluate(X, p, z=p, beta=args.eps, strategy=args.strategy)
     st = engine.stats()
 
+    if args.json:
+        # sorted-key export (EngineStats.to_dict): the same deterministic
+        # shape the serve metrics endpoint and cluster aggregation consume
+        print(json.dumps(st.to_dict(), indent=2, sort_keys=True))
+        return 0
+
     # an uncached run pays the cold per-call price every iteration
     cold_total = st.cold_ms_per_call * args.iterations
     warm_total = st.cold_model_ms + st.warm_model_ms
@@ -523,9 +529,64 @@ def cmd_loadgen(args: argparse.Namespace) -> int:
           f"{args.matrices} matrices ({args.rows}x{args.cols}:"
           f"{args.sparsity:g}), Zipf({args.zipf:g}), {args.mode} loop, "
           f"{arrivals}")
+    if args.run and getattr(args, "shards", 0):
+        return _run_cluster_trace(args, trace)
     if args.run:
         return _run_trace(args, trace)
     return 0
+
+
+def _cluster_config(args: argparse.Namespace):
+    from .cluster import ClusterConfig
+    from .cluster.worker import WorkerConfig
+    worker = WorkerConfig(
+        queue_capacity=args.queue_capacity, max_batch=args.max_batch,
+        batch_linger_ms=args.linger_ms, workers=args.workers,
+        engine_workers=args.engine_workers, policy=args.policy,
+        max_plans=args.max_plans,
+        max_artifact_bytes=args.max_artifact_bytes,
+        max_matrices=args.max_matrices)
+    return ClusterConfig(
+        shards=args.shards, replication=args.replication,
+        hot_threshold=args.hot_threshold,
+        hot_min_requests=args.hot_min_requests,
+        max_retries=args.max_retries, seed=args.seed, worker=worker)
+
+
+def _run_cluster_trace(args: argparse.Namespace, trace: dict) -> int:
+    from .cluster import (ShardRouter, format_cluster_report,
+                          run_cluster_workload)
+
+    router = ShardRouter(_cluster_config(args))
+    try:
+        report = run_cluster_workload(router, trace, verify=args.verify)
+        metrics_json = router.metrics_json()
+        metrics_prom = router.metrics_prometheus()
+    except KeyboardInterrupt:
+        return _interrupted(args, router)
+    finally:
+        router.stop()                  # idempotent; covers error paths
+    print(format_cluster_report(report))
+    for spec, text in ((args.metrics_json, metrics_json),
+                       (args.prometheus, metrics_prom)):
+        if spec == "-":
+            print(text)
+        elif spec:
+            with open(spec, "w") as f:
+                f.write(text if text.endswith("\n") else text + "\n")
+            print(f"wrote {spec}")
+    if args.verify and report["divergent"]:
+        print(f"{report['divergent']} outputs diverged from uncached "
+              "evaluation", file=sys.stderr)
+        return 1
+    return 0
+
+
+def cmd_cluster(args: argparse.Namespace) -> int:
+    from .serve import load_workload
+    if not os.path.exists(args.workload):
+        raise SystemExit(f"workload file not found: {args.workload}")
+    return _run_cluster_trace(args, load_workload(args.workload))
 
 
 def _add_serve_config_flags(p: argparse.ArgumentParser) -> None:
@@ -560,6 +621,22 @@ def _add_serve_run_flags(p: argparse.ArgumentParser) -> None:
                    help="write the metrics snapshot as JSON ('-' = stdout)")
     p.add_argument("--prometheus", metavar="PATH",
                    help="write Prometheus text metrics ('-' = stdout)")
+
+
+def _add_cluster_flags(p: argparse.ArgumentParser) -> None:
+    """Topology/replication knobs of the sharded cluster router."""
+    p.add_argument("--replication", type=int, default=2,
+                   help="replica-set size for hot fingerprints "
+                        "(1 disables replication)")
+    p.add_argument("--hot-threshold", type=float, default=0.2,
+                   help="traffic share that promotes a fingerprint")
+    p.add_argument("--hot-min-requests", type=int, default=16,
+                   help="absolute popularity floor before promotion")
+    p.add_argument("--max-retries", type=int, default=3,
+                   help="forwarding attempts before deterministic "
+                        "rejection")
+    p.add_argument("--max-matrices", type=int, default=0,
+                   help="per-shard matrix-cache bound (0 = unbounded)")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -607,6 +684,8 @@ def build_parser() -> argparse.ArgumentParser:
                     help="also time N batched requests through the pool")
     es.add_argument("--workers", type=int, default=4)
     es.add_argument("--seed", type=int, default=0)
+    es.add_argument("--json", action="store_true",
+                    help="machine-readable stats (sorted keys) on stdout")
     es.set_defaults(fn=cmd_engine_stats)
 
     ge = sub.add_parser("generate", help="build a synthetic dataset")
@@ -703,8 +782,24 @@ def build_parser() -> argparse.ArgumentParser:
     lg.add_argument("--seed", type=int, default=0)
     lg.add_argument("--run", action="store_true",
                     help="also replay the trace through a server in-process")
+    lg.add_argument("--cluster", type=int, default=0, metavar="SHARDS",
+                    dest="shards",
+                    help="with --run: drive a sharded cluster of N worker "
+                         "processes instead of a single server")
     _add_serve_run_flags(lg)
+    _add_cluster_flags(lg)
     lg.set_defaults(fn=cmd_loadgen)
+
+    cl = sub.add_parser("cluster",
+                        help="replay a workload trace through the sharded "
+                             "multi-process cluster router")
+    cl.add_argument("workload", help="trace JSON from `repro loadgen`")
+    cl.add_argument("--shards", type=int, default=2,
+                    help="worker processes to spawn")
+    cl.add_argument("--seed", type=int, default=0)
+    _add_serve_run_flags(cl)
+    _add_cluster_flags(cl)
+    cl.set_defaults(fn=cmd_cluster)
 
     tr = sub.add_parser("trace",
                         help="run a workload under span tracing: Chrome "

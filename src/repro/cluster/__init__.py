@@ -1,0 +1,40 @@
+"""Sharded multi-process serving with fingerprint-affinity routing.
+
+The cluster layer scales the single-process :mod:`repro.serve` server
+horizontally: a :class:`ShardRouter` front process consistent-hashes each
+request's matrix content fingerprint onto N worker processes (each an
+independent :class:`~repro.serve.server.PatternServer` with its own
+engine and artifact LRU), so every shard's caches hold a disjoint slice
+of the working set and aggregate warm capacity grows with the shard
+count.  Hot fingerprints — the Zipf head — are replicated across R
+shards and balanced with power-of-two-choices; worker failures fail over
+along the hash ring with bounded retries, and exhaustion yields a
+deterministic ``rejected`` response, never a hang.
+
+Entry points: ``repro cluster`` on the CLI, :class:`ShardRouter` /
+:class:`ClusterClient` in-process, :class:`SocketClusterClient` and
+:class:`AsyncClusterClient` over the socket front door.
+"""
+
+from .channel import ShardChannel
+from .client import AsyncClusterClient, ClusterClient, SocketClusterClient
+from .hashring import HashRing, ring_point
+from .hotkeys import HotKeyTracker
+from .loadgen import format_cluster_report, run_cluster_workload
+from .metrics import (aggregate_shards, cluster_prometheus, merge_counters,
+                      merge_engine_stats, merge_histograms)
+from .request import (ClusterFuture, ClusterRequest, ClusterResponse,
+                      STATUS_ERROR, STATUS_OK, STATUS_REJECTED, STATUS_SHED,
+                      STATUS_TIMEOUT)
+from .router import ClusterConfig, ShardRouter
+from .worker import WorkerConfig, WorkerHost
+
+__all__ = [
+    "AsyncClusterClient", "ClusterClient", "ClusterConfig", "ClusterFuture",
+    "ClusterRequest", "ClusterResponse", "HashRing", "HotKeyTracker",
+    "STATUS_ERROR", "STATUS_OK", "STATUS_REJECTED", "STATUS_SHED",
+    "STATUS_TIMEOUT", "ShardChannel", "ShardRouter", "SocketClusterClient",
+    "WorkerConfig", "WorkerHost", "aggregate_shards", "cluster_prometheus",
+    "format_cluster_report", "merge_counters", "merge_engine_stats",
+    "merge_histograms", "ring_point", "run_cluster_workload",
+]

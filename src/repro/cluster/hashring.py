@@ -1,0 +1,95 @@
+"""Consistent-hash ring with virtual nodes and deterministic replica sets.
+
+The router's placement function: a matrix content fingerprint maps onto a
+fixed point of a 64-bit ring, and the shard owning the first virtual node
+clockwise of that point is the *primary* for the fingerprint.  Virtual
+nodes (``vnodes`` per shard, blake2b-placed) smooth the per-shard key share
+toward ``1/N``; walking the ring past the primary yields the deterministic
+*replica set* used for hot-key replication.
+
+Everything is a pure function of ``(shard ids, vnodes, key)`` — no RNG, no
+clock — so two routers configured identically agree on every placement, and
+adding or removing one shard remaps only the keys whose owning arc moved
+(~``1/N`` of them), which the hypothesis suite pins.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from hashlib import blake2b
+
+
+def ring_point(data: str | bytes) -> int:
+    """Deterministic 64-bit ring position for an arbitrary key."""
+    if isinstance(data, str):
+        data = data.encode()
+    return int.from_bytes(blake2b(data, digest_size=8).digest(), "big")
+
+
+class HashRing:
+    """Consistent hashing of string keys onto integer shard ids."""
+
+    def __init__(self, shards, vnodes: int = 64):
+        if vnodes < 1:
+            raise ValueError("vnodes must be >= 1")
+        self.vnodes = vnodes
+        self._points: list[tuple[int, int]] = []   # (ring point, shard id)
+        self._shards: set[int] = set()
+        for shard in shards:
+            self.add(shard)
+        if not self._shards:
+            raise ValueError("ring needs at least one shard")
+
+    # ---------------------------------------------------------------- topology
+    @property
+    def shards(self) -> tuple[int, ...]:
+        return tuple(sorted(self._shards))
+
+    def add(self, shard: int) -> None:
+        shard = int(shard)
+        if shard in self._shards:
+            return
+        self._shards.add(shard)
+        self._points.extend((ring_point(f"shard-{shard}/vnode-{i}"), shard)
+                            for i in range(self.vnodes))
+        self._points.sort()
+
+    def remove(self, shard: int) -> None:
+        shard = int(shard)
+        if shard not in self._shards:
+            raise KeyError(f"shard {shard} is not on the ring")
+        if len(self._shards) == 1:
+            raise ValueError("cannot remove the last shard")
+        self._shards.discard(shard)
+        self._points = [p for p in self._points if p[1] != shard]
+
+    # ----------------------------------------------------------------- lookup
+    def primary(self, key: str) -> int:
+        """The shard owning ``key`` (first vnode clockwise of its point)."""
+        return self.replicas(key, 1)[0]
+
+    def replicas(self, key: str, r: int) -> list[int]:
+        """The first ``min(r, N)`` *distinct* shards clockwise of ``key``.
+
+        Index 0 is the primary; the tail is the deterministic replica set a
+        hot key is mirrored onto.  Stable under vnode interleaving: the
+        walk skips points of shards already collected.
+        """
+        if r < 1:
+            raise ValueError("need at least one replica")
+        r = min(r, len(self._shards))
+        start = bisect_right(self._points, (ring_point(key), float("inf")))
+        out: list[int] = []
+        for i in range(len(self._points)):
+            shard = self._points[(start + i) % len(self._points)][1]
+            if shard not in out:
+                out.append(shard)
+                if len(out) == r:
+                    break
+        return out
+
+    def __len__(self) -> int:
+        return len(self._shards)
+
+    def __contains__(self, shard: int) -> bool:
+        return int(shard) in self._shards

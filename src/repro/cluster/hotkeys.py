@@ -1,0 +1,95 @@
+"""Sliding-popularity tracking for hot-key replication decisions.
+
+Zipf-skewed traffic concentrates on a few fingerprints; routing strictly by
+the hash ring would pin all of that load on each hot key's primary shard.
+The tracker keeps decayed per-fingerprint request counts and classifies a
+fingerprint as *hot* once it has both enough absolute observations and a
+traffic share above the configured threshold — the signal the router uses
+to mirror the key across its ring replica set and load-balance among the
+replicas (the 1.5D-replication tradeoff of arXiv:2203.07673: replicate the
+dense few, partition the long tail).
+
+Aging is deterministic: after every ``window`` recorded requests all counts
+are halved, so a key that cools off loses hot status within a bounded
+number of requests (no wall-clock dependence — replays stay reproducible).
+"""
+
+from __future__ import annotations
+
+import threading
+
+
+class HotKeyTracker:
+    """Decayed per-key popularity counts with a hot-share classifier."""
+
+    def __init__(self, threshold: float = 0.2, min_requests: int = 16,
+                 window: int = 1024):
+        if not 0.0 < threshold <= 1.0:
+            raise ValueError("threshold must be in (0, 1]")
+        if min_requests < 1:
+            raise ValueError("min_requests must be >= 1")
+        if window < 2:
+            raise ValueError("window must be >= 2")
+        self.threshold = threshold
+        self.min_requests = min_requests
+        self.window = window
+        self._lock = threading.Lock()
+        self._counts: dict[str, float] = {}
+        self._total = 0.0
+        self._since_decay = 0
+        self._promotions = 0
+
+    def record(self, key: str) -> bool:
+        """Count one request for ``key``; returns its (new) hot status."""
+        with self._lock:
+            self._counts[key] = self._counts.get(key, 0.0) + 1.0
+            self._total += 1.0
+            self._since_decay += 1
+            if self._since_decay >= self.window:
+                self._decay_locked()
+            return self._is_hot_locked(key)
+
+    def _decay_locked(self) -> None:
+        self._since_decay = 0
+        self._counts = {k: c / 2.0 for k, c in self._counts.items()
+                        if c / 2.0 >= 0.5}
+        self._total = sum(self._counts.values())
+
+    def _is_hot_locked(self, key: str) -> bool:
+        count = self._counts.get(key, 0.0)
+        return (count >= self.min_requests
+                and self._total > 0
+                and count / self._total >= self.threshold)
+
+    def is_hot(self, key: str) -> bool:
+        with self._lock:
+            return self._is_hot_locked(key)
+
+    def hot_keys(self) -> list[str]:
+        """Currently-hot keys, sorted (deterministic for metrics export)."""
+        with self._lock:
+            return sorted(k for k in self._counts
+                          if self._is_hot_locked(k))
+
+    def share(self, key: str) -> float:
+        with self._lock:
+            if self._total <= 0:
+                return 0.0
+            return self._counts.get(key, 0.0) / self._total
+
+    def note_promotion(self) -> None:
+        with self._lock:
+            self._promotions += 1
+
+    def snapshot(self) -> dict:
+        """Sorted-key summary folded into the cluster metrics endpoint."""
+        with self._lock:
+            hot = sorted(k for k in self._counts if self._is_hot_locked(k))
+            return {
+                "hot_keys": hot,
+                "min_requests": self.min_requests,
+                "promotions": self._promotions,
+                "threshold": self.threshold,
+                "tracked_keys": len(self._counts),
+                "window": self.window,
+            }

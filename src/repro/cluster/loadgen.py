@@ -1,0 +1,173 @@
+"""Replay serve-layer workload traces against a sharded cluster.
+
+The same JSON trace files :mod:`repro.serve.loadgen` synthesizes (Zipf
+popularity, Poisson arrivals, seeded vectors) drive the cluster: matrices
+are registered with the router once, and every trace entry becomes a
+fingerprint-addressed :class:`~repro.cluster.request.ClusterRequest`.
+Because the vectors are seeded, a cluster replay can be verified
+bit-identically against direct uncached evaluation — exactly the
+zero-divergence guarantee the single-server replay makes, now across
+process boundaries and retries.
+
+On top of the serve report fields, the cluster report carries the routing
+story: per-shard completion counts, retry/failover totals, and how much
+traffic the hot-key replica sets absorbed.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import numpy as np
+
+from ..core.api import evaluate as evaluate_uncached
+from ..serve.loadgen import build_matrices, percentile
+from .request import ClusterRequest
+
+
+def materialize_cluster_request(entry: dict, fingerprint: str,
+                                X) -> ClusterRequest:
+    """Deterministic ClusterRequest for one trace entry (seeded vectors)."""
+    rng = np.random.default_rng(int(entry["seed"]))
+    y = rng.normal(size=X.n)
+    beta = float(entry.get("beta", 0.0))
+    return ClusterRequest(fingerprint, y,
+                          z=(y if beta != 0.0 else None), beta=beta,
+                          strategy=entry.get("strategy", "auto"),
+                          deadline_ms=entry.get("deadline_ms"))
+
+
+def run_cluster_workload(router, trace: dict, verify: bool = False,
+                         ctx=None) -> dict:
+    """Replay a trace through a running router; returns the report dict.
+
+    ``router`` is anything with the client surface (``register`` /
+    ``submit``): an in-process :class:`~repro.cluster.router.ShardRouter`,
+    a :class:`~repro.cluster.client.ClusterClient`, or a
+    :class:`~repro.cluster.client.SocketClusterClient`.
+
+    ``verify=True`` re-evaluates every completed request through uncached
+    :func:`repro.core.api.evaluate` and counts byte-level divergences
+    (expected zero: shards never cache numerics, and retries re-run the
+    same deterministic inputs).
+    """
+    matrices = build_matrices(trace)
+    fingerprints = {name: router.register(X)
+                    for name, X in matrices.items()}
+    entries = trace["requests"]
+    requests = [materialize_cluster_request(
+                    e, fingerprints[e["matrix"]], matrices[e["matrix"]])
+                for e in entries]
+    mode = trace.get("mode", "open")
+    t0 = time.monotonic()
+
+    if mode == "closed":
+        concurrency = max(1, int(trace.get("concurrency") or 1))
+        responses: list = [None] * len(requests)
+        next_index = {"i": 0}
+        index_lock = threading.Lock()
+
+        def worker():
+            while True:
+                with index_lock:
+                    i = next_index["i"]
+                    if i >= len(requests):
+                        return
+                    next_index["i"] = i + 1
+                responses[i] = router.submit(requests[i]).result()
+
+        threads = [threading.Thread(target=worker, daemon=True)
+                   for _ in range(concurrency)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+    else:
+        futures = []
+        for entry, req in zip(entries, requests):
+            due = t0 + float(entry.get("at_ms", 0.0)) / 1e3
+            delay = due - time.monotonic()
+            if delay > 0:
+                time.sleep(delay)
+            futures.append(router.submit(req))
+        responses = [f.result() for f in futures]
+    wall_s = time.monotonic() - t0
+
+    by_status: dict[str, int] = {}
+    by_shard: dict[str, int] = {}
+    latencies, waits, services = [], [], []
+    warm = replica_routed = retried = 0
+    for resp in responses:
+        by_status[resp.status] = by_status.get(resp.status, 0) + 1
+        replica_routed += bool(resp.replica_routed)
+        retried += bool(resp.attempts > 1)
+        if resp.ok:
+            key = str(resp.shard)
+            by_shard[key] = by_shard.get(key, 0) + 1
+            latencies.append(resp.latency_ms)
+            waits.append(resp.wait_ms)
+            services.append(resp.service_ms)
+            warm += bool(resp.cached)
+    completed = by_status.get("ok", 0)
+
+    divergent = 0
+    if verify:
+        for entry, req, resp in zip(entries, requests, responses):
+            if not resp.ok:
+                continue
+            X = matrices[entry["matrix"]]
+            ref = evaluate_uncached(X, req.y, v=req.v, z=req.z,
+                                    alpha=req.alpha, beta=req.beta,
+                                    strategy=req.strategy, ctx=ctx)
+            if not np.array_equal(resp.result.output, ref.output):
+                divergent += 1
+
+    return {
+        "mode": mode,
+        "requests": len(requests),
+        "by_status": by_status,
+        "by_shard": {k: by_shard[k] for k in sorted(by_shard)},
+        "completed": completed,
+        "wall_s": wall_s,
+        "throughput_rps": completed / wall_s if wall_s > 0 else 0.0,
+        "latency_ms": {"p50": percentile(latencies, 0.50),
+                       "p99": percentile(latencies, 0.99),
+                       "mean": (float(np.mean(latencies))
+                                if latencies else 0.0),
+                       "max": max(latencies, default=0.0)},
+        "wait_ms_p99": percentile(waits, 0.99),
+        "service_ms_p99": percentile(services, 0.99),
+        "warm_fraction": warm / completed if completed else 0.0,
+        "replica_routed": replica_routed,
+        "retried": retried,
+        "divergent": divergent if verify else None,
+    }
+
+
+def format_cluster_report(report: dict) -> str:
+    """One human-readable block for the CLI."""
+    lat = report["latency_ms"]
+    statuses = ", ".join(f"{k}={v}"
+                         for k, v in sorted(report["by_status"].items()))
+    shards = ", ".join(f"s{k}={v}"
+                       for k, v in sorted(report["by_shard"].items()))
+    lines = [
+        f"mode:        {report['mode']}",
+        f"requests:    {report['requests']} ({statuses})",
+        f"shards:      {shards or 'none completed'}",
+        f"wall:        {report['wall_s'] * 1e3:10.1f} ms "
+        f"({report['throughput_rps']:.1f} req/s)",
+        f"latency:     p50 {lat['p50']:.2f} ms, p99 {lat['p99']:.2f} ms, "
+        f"mean {lat['mean']:.2f} ms, max {lat['max']:.2f} ms",
+        f"queue wait:  p99 {report['wait_ms_p99']:.2f} ms; "
+        f"service p99 {report['service_ms_p99']:.2f} ms",
+        f"warm:        {100 * report['warm_fraction']:.1f}% of completed "
+        "requests fully cached",
+        f"routing:     {report['replica_routed']} replica-routed, "
+        f"{report['retried']} retried at least once",
+    ]
+    if report.get("divergent") is not None:
+        lines.append(f"verified:    {report['divergent']} divergent outputs "
+                     "vs uncached evaluation")
+    return "\n".join(lines)

@@ -1,0 +1,137 @@
+"""Request/response/future types for the sharded cluster front door.
+
+Mirrors :mod:`repro.serve.request` one layer up: a
+:class:`ClusterRequest` describes one pattern evaluation *by matrix
+content fingerprint* (the matrix itself is registered with the router once
+and uploaded to shards on demand), and every submission resolves a
+:class:`ClusterFuture` with a terminal :class:`ClusterResponse` — shed,
+timeout, rejection, worker error, and transport exhaustion are all
+*statuses*, never raised exceptions, exactly as in the single-server layer.
+
+The response carries the routing story on top of the worker's serving
+fields: which shard answered, how many forwarding attempts were needed,
+and whether the request was routed via the hot-key replica set.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..kernels.base import KernelResult
+from ..serve.request import (STATUS_ERROR, STATUS_OK, STATUS_REJECTED,
+                             STATUS_SHED, STATUS_TIMEOUT, STATUSES)
+
+__all__ = [
+    "STATUS_ERROR", "STATUS_OK", "STATUS_REJECTED", "STATUS_SHED",
+    "STATUS_TIMEOUT", "STATUSES", "ClusterFuture", "ClusterRequest",
+    "ClusterResponse",
+]
+
+
+@dataclass
+class ClusterRequest:
+    """One fingerprint-addressed pattern evaluation."""
+
+    fingerprint: str
+    y: np.ndarray
+    v: np.ndarray | None = None
+    z: np.ndarray | None = None
+    alpha: float = 1.0
+    beta: float = 0.0
+    inner: bool = True
+    strategy: str = "auto"
+    deadline_ms: float | None = None
+
+    def to_wire(self) -> dict:
+        """The OP_EVAL payload fields (rid is added by the channel)."""
+        return {"fingerprint": self.fingerprint, "y": self.y, "v": self.v,
+                "z": self.z, "alpha": self.alpha, "beta": self.beta,
+                "inner": self.inner, "strategy": self.strategy,
+                "deadline_ms": self.deadline_ms}
+
+
+@dataclass
+class ClusterResponse:
+    """Terminal outcome of one routed request."""
+
+    id: int
+    status: str
+    fingerprint: str = ""
+    result: KernelResult | None = None
+    reason: str = ""
+    shard: int | None = None      # shard that produced the terminal reply
+    attempts: int = 1             # forwarding attempts (1 = no retry)
+    replica_routed: bool = False  # chosen via the hot-key replica set
+    latency_ms: float = 0.0       # router submit -> resolution
+    wait_ms: float = 0.0          # worker-side queue wait
+    service_ms: float = 0.0       # worker-side engine wall time
+    batch_size: int = 0           # worker-side micro-batch size
+    cached: bool = False          # worker engine served it fully warm
+
+    @property
+    def ok(self) -> bool:
+        return self.status == STATUS_OK
+
+
+class ClusterFuture:
+    """Write-once handle resolved by the router with a ClusterResponse."""
+
+    __slots__ = ("_event", "_response", "_callbacks", "_cb_lock",
+                 "resolved_at")
+
+    def __init__(self) -> None:
+        self._event = threading.Event()
+        self._response: ClusterResponse | None = None
+        self._callbacks: list = []
+        self._cb_lock = threading.Lock()
+        self.resolved_at: float | None = None
+
+    def resolve(self, response: ClusterResponse) -> bool:
+        """First resolution wins; later ones are ignored (returns False)."""
+        with self._cb_lock:
+            if self._event.is_set():
+                return False
+            self._response = response
+            self.resolved_at = time.monotonic()
+            self._event.set()
+            callbacks, self._callbacks = self._callbacks, []
+        for cb in callbacks:
+            cb(response)
+        return True
+
+    def add_done_callback(self, fn) -> None:
+        """Run ``fn(response)`` on resolution (immediately if resolved)."""
+        with self._cb_lock:
+            if not self._event.is_set():
+                self._callbacks.append(fn)
+                return
+            response = self._response
+        assert response is not None
+        fn(response)
+
+    def done(self) -> bool:
+        return self._event.is_set()
+
+    def result(self, timeout: float | None = None) -> ClusterResponse:
+        if not self._event.wait(timeout):
+            raise TimeoutError("request was not resolved within the timeout")
+        assert self._response is not None
+        return self._response
+
+
+@dataclass
+class _RouterTicket:
+    """Internal per-request routing state (attempts, exclusions, timing)."""
+
+    id: int
+    request: ClusterRequest
+    submitted_at: float
+    attempts: int = 0
+    replica_routed: bool = False
+    reuploaded_shards: set = field(default_factory=set)
+    failed_shards: set = field(default_factory=set)
+    future: ClusterFuture = field(default_factory=ClusterFuture)

@@ -39,7 +39,7 @@ import warnings
 import weakref
 from collections import OrderedDict
 from concurrent.futures import ThreadPoolExecutor
-from dataclasses import astuple, dataclass, field
+from dataclasses import astuple, dataclass, field, fields
 from hashlib import blake2b
 
 import numpy as np
@@ -194,6 +194,21 @@ class EngineStats:
         if not (self.cold_calls and self.warm_calls and self.warm_ms_per_call):
             return 1.0
         return self.cold_ms_per_call / self.warm_ms_per_call
+
+    def to_dict(self) -> dict:
+        """JSON-able export with *sorted* keys at every level.
+
+        The serving metrics endpoint and the cluster router's shard
+        aggregation both merge these dicts; deterministic key order is what
+        makes the merged output (and its tests) stable across shards and
+        runs, so the keys are sorted here rather than at every call site.
+        """
+        out: dict = {f.name: getattr(self, f.name)
+                     for f in fields(self) if f.name != "artifact_kinds"}
+        out["plan_hit_rate"] = self.hit_rate
+        out["artifact_kinds"] = {k: self.artifact_kinds[k]
+                                 for k in sorted(self.artifact_kinds)}
+        return {k: out[k] for k in sorted(out)}
 
     def report(self) -> str:
         lines = [

@@ -70,17 +70,20 @@ class Histogram:
         return self.max        # landed in the +Inf overflow bucket
 
     def to_dict(self) -> dict:
+        # sorted key order, like every other metrics exporter: merged and
+        # diffed across shards, so ordering is part of the contract
+        # (bucket keys sort by bound -- they are data, not schema)
         return {
-            "count": self.count,
-            "sum": self.total,
-            "min": self.min if self.count else 0.0,
-            "max": self.max if self.count else 0.0,
-            "mean": self.mean,
-            "p50": self.percentile(0.50),
-            "p99": self.percentile(0.99),
             "buckets": {str(b): c
                         for b, c in zip(self.buckets, self.counts)},
+            "count": self.count,
+            "max": self.max if self.count else 0.0,
+            "mean": self.mean,
+            "min": self.min if self.count else 0.0,
             "overflow": self.counts[-1],
+            "p50": self.percentile(0.50),
+            "p99": self.percentile(0.99),
+            "sum": self.total,
         }
 
 
@@ -130,40 +133,27 @@ class ServeMetrics:
         next to its endpoint histograms.
         """
         with self._lock:
+            # sorted key order at every level: shard-level snapshots are
+            # merged counter-by-counter by the cluster router, and the
+            # merge (and its tests) only stay deterministic when every
+            # exporter agrees on ordering
             snap = {
-                "counters": dict(self._counters),
-                "gauges": {"queue_depth": queue_depth,
-                           "in_flight": in_flight},
+                "counters": {k: self._counters[k]
+                             for k in sorted(self._counters)},
+                "gauges": {"in_flight": in_flight,
+                           "queue_depth": queue_depth},
                 "histograms": {
-                    "wait_ms": self._wait_ms.to_dict(),
-                    "service_ms": self._service_ms.to_dict(),
-                    "latency_ms": self._latency_ms.to_dict(),
                     "batch_size": self._batch_size.to_dict(),
+                    "latency_ms": self._latency_ms.to_dict(),
+                    "service_ms": self._service_ms.to_dict(),
+                    "wait_ms": self._wait_ms.to_dict(),
                 },
             }
         if phases is not None:
-            snap["phases"] = phases
+            snap["phases"] = {k: phases[k] for k in sorted(phases)}
         if engine_stats is not None:
-            snap["engine"] = {
-                "plan_hit_rate": engine_stats.hit_rate,
-                "plan_hits": engine_stats.plan_hits,
-                "plan_misses": engine_stats.plan_misses,
-                "artifact_hits": engine_stats.artifact_hits,
-                "artifact_misses": engine_stats.artifact_misses,
-                "profiles_built": engine_stats.profiles_built,
-                "transposes_built": engine_stats.transposes_built,
-                "compiled_kernels_built": engine_stats.compiled_kernels_built,
-                "compile_fallbacks": engine_stats.compile_fallbacks,
-                "pinned_fingerprint_hits":
-                    engine_stats.pinned_fingerprint_hits,
-                "artifact_kinds": dict(engine_stats.artifact_kinds),
-                "evictions": engine_stats.evictions,
-                "bytes_cached": engine_stats.bytes_cached,
-                "warm_calls": engine_stats.warm_calls,
-                "cold_calls": engine_stats.cold_calls,
-                "batches": engine_stats.batches,
-            }
-        return snap
+            snap["engine"] = engine_stats.to_dict()
+        return {k: snap[k] for k in sorted(snap)}
 
     def to_json(self, queue_depth: int = 0, in_flight: int = 0,
                 engine_stats=None, indent: int | None = 2,

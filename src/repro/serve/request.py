@@ -91,11 +91,14 @@ class ServeResponse:
 class ServeFuture:
     """Write-once handle resolved by the server with a ServeResponse."""
 
-    __slots__ = ("_event", "_response", "resolved_at")
+    __slots__ = ("_event", "_response", "_callbacks", "_cb_lock",
+                 "resolved_at")
 
     def __init__(self) -> None:
         self._event = threading.Event()
         self._response: ServeResponse | None = None
+        self._callbacks: list = []
+        self._cb_lock = threading.Lock()
         #: ``time.monotonic()`` of the winning :meth:`resolve` call —
         #: lets callers measure completion time against their own clock
         #: (e.g. a backlog-replay benchmark timing from floodgate-open)
@@ -103,12 +106,32 @@ class ServeFuture:
 
     def resolve(self, response: ServeResponse) -> bool:
         """First resolution wins; later ones are ignored (returns False)."""
-        if self._event.is_set():
-            return False
-        self._response = response
-        self.resolved_at = time.monotonic()
-        self._event.set()
+        with self._cb_lock:
+            if self._event.is_set():
+                return False
+            self._response = response
+            self.resolved_at = time.monotonic()
+            self._event.set()
+            callbacks, self._callbacks = self._callbacks, []
+        for cb in callbacks:
+            cb(response)
         return True
+
+    def add_done_callback(self, fn) -> None:
+        """Run ``fn(response)`` once resolved (immediately if already done).
+
+        Callbacks fire on the resolving thread (a server worker) — or the
+        caller's thread when the future is already resolved — so they must
+        be cheap and non-blocking (the cluster worker host uses one to hand
+        finished responses to its socket-writer queue).
+        """
+        with self._cb_lock:
+            if not self._event.is_set():
+                self._callbacks.append(fn)
+                return
+            response = self._response
+        assert response is not None
+        fn(response)
 
     def done(self) -> bool:
         return self._event.is_set()

@@ -1,0 +1,217 @@
+"""Worker failure: failover, bounded retry, deterministic rejection.
+
+The acceptance bar from the issue: killing a worker process mid-run must
+leave ZERO hung requests — every accepted request completes via replica
+failover or resolves a deterministic ``rejected`` response.  These tests
+kill real worker processes (SIGKILL, no cleanup) at the nastiest moments:
+
+* after warmup (cold failover along the ring),
+* with requests in flight on the dying shard (transport-failure retry),
+* with every shard dead (terminal rejection, bounded by ``max_retries``),
+* during shutdown (drain tolerates a corpse).
+
+All waits are bounded; a hang fails the test rather than the suite.
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.cluster import (ClusterConfig, ClusterRequest, ShardRouter,
+                           STATUS_OK, STATUS_REJECTED, WorkerConfig)
+from repro.core.api import evaluate as evaluate_uncached
+from repro.sparse import random_csr
+
+pytestmark = pytest.mark.cluster
+
+
+def make_router(shards=3, **kw):
+    kw.setdefault("worker", WorkerConfig(max_batch=8, batch_linger_ms=0.5))
+    kw.setdefault("heartbeat_interval_s", 0.1)
+    kw.setdefault("retry_backoff_ms", 2.0)
+    kw.setdefault("max_retries", 4)
+    return ShardRouter(ClusterConfig(shards=shards, **kw))
+
+
+def register_with_primary(router, target_shard, tries=64):
+    """A matrix whose fingerprint's ring primary is ``target_shard``."""
+    for seed in range(tries):
+        X = random_csr(150, 24, 0.08, rng=1000 + seed)
+        fp = router.register(X)
+        if router.ring.primary(fp) == target_shard:
+            return X, fp
+    raise AssertionError(f"no fingerprint landed on shard {target_shard}")
+
+
+def kill_shard(router, shard):
+    proc = router._channels[shard].process
+    proc.kill()
+    proc.join(10)
+    assert not proc.is_alive()
+
+
+# ------------------------------------------------------------- cold failover
+def test_requests_fail_over_to_next_ring_shard():
+    router = make_router(shards=3)
+    try:
+        victim = 1
+        X, fp = register_with_primary(router, victim)
+        rng = np.random.default_rng(0)
+        warm = router.evaluate(ClusterRequest(fp, rng.normal(size=X.n),
+                                              strategy="fused"), timeout=60)
+        assert warm.ok and warm.shard == victim
+        kill_shard(router, victim)
+        y = rng.normal(size=X.n)
+        resp = router.evaluate(ClusterRequest(fp, y, strategy="fused"),
+                               timeout=60)
+        assert resp.status == STATUS_OK, resp
+        assert resp.shard != victim
+        # failover is along the ring: the new owner is the next replica
+        assert resp.shard == [s for s in router.ring.replicas(fp, 3)
+                              if s != victim][0]
+        # and the answer is still bit-identical (re-upload + re-evaluate)
+        ref = evaluate_uncached(X, y, strategy="fused")
+        assert np.array_equal(resp.result.output, ref.output)
+        assert router.metrics_snapshot()["counters"]["failovers"] >= 1
+    finally:
+        router.stop()
+
+
+# -------------------------------------------------------- mid-flight failure
+def test_kill_with_requests_in_flight_completes_everything():
+    router = make_router(shards=3)
+    try:
+        victim = 2
+        X, fp = register_with_primary(router, victim)
+        others = [random_csr(150, 24, 0.08, rng=s) for s in range(3)]
+        fps = [router.register(M) for M in others]
+        rng = np.random.default_rng(1)
+        # warm the victim so the kill happens with its socket live
+        assert router.evaluate(ClusterRequest(fp, rng.normal(size=X.n),
+                                              strategy="fused"),
+                               timeout=60).ok
+        futures = []
+        for i in range(40):
+            M, f = ((X, fp) if i % 2 == 0
+                    else (others[i % 3], fps[i % 3]))
+            futures.append(router.submit(
+                ClusterRequest(f, rng.normal(size=M.n), strategy="fused")))
+            if i == 10:
+                kill_shard(router, victim)
+        statuses = {}
+        for fut in futures:
+            resp = fut.result(timeout=60)       # bounded: no hangs allowed
+            statuses[resp.status] = statuses.get(resp.status, 0) + 1
+            assert resp.status in (STATUS_OK, STATUS_REJECTED), resp
+        # the cluster stayed useful: most requests still completed
+        assert statuses.get(STATUS_OK, 0) >= 30, statuses
+        snap = router.metrics_snapshot()
+        assert snap["gauges"]["shards_healthy"] == 2
+        assert snap["counters"]["completed"] + \
+            snap["counters"]["rejected"] == 41
+    finally:
+        router.stop()
+
+
+def test_reupload_after_failover_is_transparent():
+    """The replacement shard has no matrix; the router re-uploads."""
+    router = make_router(shards=2, replication=1)
+    try:
+        victim = 0
+        X, fp = register_with_primary(router, victim)
+        rng = np.random.default_rng(2)
+        assert router.evaluate(ClusterRequest(fp, rng.normal(size=X.n),
+                                              strategy="fused"),
+                               timeout=60).ok
+        kill_shard(router, victim)
+        resp = router.evaluate(ClusterRequest(fp, rng.normal(size=X.n),
+                                              strategy="fused"), timeout=60)
+        assert resp.ok and resp.shard == 1
+        # two uploads total: one per shard that ever served the key
+        assert router.metrics_snapshot()["counters"]["uploads"] == 2
+    finally:
+        router.stop()
+
+
+# --------------------------------------------------------- total cluster loss
+def test_all_workers_dead_rejects_deterministically():
+    router = make_router(shards=2)
+    try:
+        X = random_csr(150, 24, 0.08, rng=3)
+        fp = router.register(X)
+        for shard in (0, 1):
+            kill_shard(router, shard)
+        t0 = time.monotonic()
+        resp = router.evaluate(
+            ClusterRequest(fp, np.zeros(X.n), strategy="fused"), timeout=60)
+        elapsed = time.monotonic() - t0
+        assert resp.status == STATUS_REJECTED
+        assert "no healthy shard" in resp.reason
+        assert elapsed < 30, "rejection must be prompt, not a timeout"
+        # identical failure -> identical deterministic reason
+        again = router.evaluate(
+            ClusterRequest(fp, np.zeros(X.n), strategy="fused"), timeout=60)
+        assert again.status == STATUS_REJECTED
+        assert again.reason == resp.reason
+    finally:
+        router.stop()
+
+
+def test_retries_are_bounded():
+    router = make_router(shards=2, max_retries=2)
+    try:
+        X = random_csr(150, 24, 0.08, rng=4)
+        fp = router.register(X)
+        for shard in (0, 1):
+            kill_shard(router, shard)
+        resp = router.evaluate(
+            ClusterRequest(fp, np.zeros(X.n), strategy="fused"), timeout=60)
+        assert resp.status == STATUS_REJECTED
+        assert resp.attempts <= 2
+    finally:
+        router.stop()
+
+
+# ------------------------------------------------------------------ shutdown
+def test_stop_with_dead_worker_does_not_hang():
+    router = make_router(shards=3)
+    X = random_csr(150, 24, 0.08, rng=5)
+    fp = router.register(X)
+    rng = np.random.default_rng(5)
+    assert router.evaluate(ClusterRequest(fp, rng.normal(size=X.n),
+                                          strategy="fused"), timeout=60).ok
+    kill_shard(router, 0)
+    t0 = time.monotonic()
+    router.stop()
+    assert time.monotonic() - t0 < 30
+    assert router._shutdown_complete
+
+
+def test_wedged_shard_times_out_pending_requests():
+    """A worker that is alive but mute never tears the socket; the
+    channel's timeout sweep must turn its silence into failures."""
+    import socket
+
+    from repro.cluster import ShardChannel
+
+    listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+    listener.bind(("127.0.0.1", 0))
+    listener.listen(1)
+    channel = None
+    try:
+        channel = ShardChannel(0, listener.getsockname()[1])
+        server_side, _ = listener.accept()   # accept, then never reply
+        got = []
+        channel.send({"op": "ping"}, on_reply=got.append)
+        assert channel.outstanding == 1
+        time.sleep(0.2)
+        assert channel.fail_timed_out(10.0) == 0    # too young to expire
+        assert channel.fail_timed_out(0.1) == 1     # the sweep fires it
+        assert got == [None]
+        assert channel.outstanding == 0
+        server_side.close()
+    finally:
+        if channel is not None:
+            channel.close()
+        listener.close()

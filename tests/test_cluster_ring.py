@@ -1,0 +1,121 @@
+"""Consistent-hash ring properties: balance, stability, determinism.
+
+The routing guarantees the cluster layer is built on:
+
+* keys spread across N shards within sane bounds (no shard starves or
+  absorbs everything) — virtual nodes do the smoothing;
+* adding/removing one shard remaps only the keys that must move (the
+  consistent-hashing point — a modulo router would remap nearly all);
+* replica sets are deterministic, start at the primary, and never repeat
+  a shard.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster import HashRing, ring_point
+
+KEYS = [f"fp-{i:04d}" for i in range(2000)]
+
+
+def spread(ring, keys):
+    counts = dict.fromkeys(ring.shards, 0)
+    for k in keys:
+        counts[ring.primary(k)] += 1
+    return counts
+
+
+# ------------------------------------------------------------------ balance
+@pytest.mark.parametrize("shards", [2, 3, 4, 8])
+def test_distribution_within_bounds(shards):
+    ring = HashRing(range(shards), vnodes=64)
+    counts = spread(ring, KEYS)
+    expected = len(KEYS) / shards
+    assert len(counts) == shards
+    for shard, n in counts.items():
+        # 64 vnodes keeps every shard within ~3x of fair share either way
+        assert expected / 3 <= n <= expected * 3, (shard, counts)
+
+
+def test_all_shards_reachable():
+    ring = HashRing(range(4))
+    assert set(spread(ring, KEYS)) == {0, 1, 2, 3}
+    assert all(n > 0 for n in spread(ring, KEYS).values())
+
+
+# ---------------------------------------------------------------- stability
+def test_add_shard_minimal_remap():
+    before = HashRing(range(4), vnodes=64)
+    after = HashRing(range(4), vnodes=64)
+    after.add(4)
+    moved = sum(before.primary(k) != after.primary(k) for k in KEYS)
+    # ideal is 1/5 of keys; allow 2x slack, but far below full reshuffle
+    assert moved <= len(KEYS) * 2 / 5, moved
+    # every key that moved, moved TO the new shard
+    for k in KEYS:
+        if before.primary(k) != after.primary(k):
+            assert after.primary(k) == 4
+
+
+def test_remove_shard_minimal_remap():
+    before = HashRing(range(4), vnodes=64)
+    after = HashRing(range(4), vnodes=64)
+    after.remove(2)
+    for k in KEYS:
+        if before.primary(k) != 2:
+            # keys not owned by the removed shard never move
+            assert after.primary(k) == before.primary(k)
+        else:
+            assert after.primary(k) != 2
+
+
+def test_remove_last_shard_refused():
+    ring = HashRing([0])
+    with pytest.raises(ValueError):
+        ring.remove(0)
+
+
+def test_remove_unknown_shard_refused():
+    ring = HashRing(range(2))
+    with pytest.raises(KeyError):
+        ring.remove(7)
+
+
+# ------------------------------------------------------------ replica sets
+@settings(max_examples=200, deadline=None)
+@given(key=st.text(min_size=1, max_size=40),
+       shards=st.integers(min_value=1, max_value=8),
+       r=st.integers(min_value=1, max_value=10))
+def test_replica_set_deterministic_and_distinct(key, shards, r):
+    ring = HashRing(range(shards), vnodes=32)
+    reps = ring.replicas(key, r)
+    # deterministic: a fresh identical ring agrees exactly
+    assert reps == HashRing(range(shards), vnodes=32).replicas(key, r)
+    # distinct shards, primary first, capped at the shard count
+    assert len(reps) == len(set(reps)) == min(r, shards)
+    assert reps[0] == ring.primary(key)
+    assert all(s in ring for s in reps)
+
+
+@settings(max_examples=100, deadline=None)
+@given(keys=st.lists(st.text(min_size=1, max_size=20), min_size=1,
+                     max_size=50, unique=True))
+def test_primary_stable_across_instances(keys):
+    a = HashRing(range(5), vnodes=16)
+    b = HashRing(range(5), vnodes=16)
+    assert [a.primary(k) for k in keys] == [b.primary(k) for k in keys]
+
+
+def test_ring_point_accepts_str_and_bytes():
+    assert ring_point("abc") == ring_point(b"abc")
+    assert ring_point("abc") != ring_point("abd")
+
+
+def test_vnodes_smooth_distribution():
+    """More vnodes -> strictly no worse worst-case imbalance on average."""
+    coarse = spread(HashRing(range(4), vnodes=4), KEYS)
+    fine = spread(HashRing(range(4), vnodes=128), KEYS)
+    expected = len(KEYS) / 4
+    worst = lambda counts: max(abs(n - expected) for n in counts.values())
+    assert worst(fine) <= worst(coarse)

@@ -1,0 +1,91 @@
+"""Stable sorted key order in every metrics export.
+
+Shard-level snapshots are merged counter-by-counter by the cluster
+router, and dashboards diff JSON exports across runs — both only stay
+deterministic when every exporter agrees on ordering.  These tests pin
+the contract at its three sources: ``ServeMetrics.snapshot()``,
+``EngineStats.to_dict()``, and the ``repro engine-stats --json`` CLI.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro import cli
+from repro.core.engine import EngineStats, PatternEngine
+from repro.serve import PatternServer, ServeRequest
+from repro.sparse import random_csr
+
+
+def assert_sorted_recursively(obj, path="$"):
+    """Every dict reachable from ``obj`` has its keys in sorted order."""
+    if isinstance(obj, dict):
+        keys = list(obj)
+        assert keys == sorted(keys), f"{path}: {keys}"
+        for k, v in obj.items():
+            # histogram bucket keys are numeric strings sorted by bound,
+            # not lexically -- they are data, not schema
+            if k == "buckets":
+                continue
+            assert_sorted_recursively(v, f"{path}.{k}")
+    elif isinstance(obj, (list, tuple)):
+        for i, v in enumerate(obj):
+            assert_sorted_recursively(v, f"{path}[{i}]")
+
+
+def test_serve_snapshot_keys_sorted_at_every_level():
+    X = random_csr(150, 24, 0.08, rng=0)
+    rng = np.random.default_rng(0)
+    with PatternServer() as server:
+        for _ in range(4):
+            assert server.evaluate(ServeRequest(
+                X, rng.normal(size=X.n), strategy="fused")).ok
+        snap = server.metrics_snapshot()
+    assert_sorted_recursively(snap)
+    # and the counters include everything the aggregator merges
+    assert {"completed", "submitted", "batches"} <= set(snap["counters"])
+
+
+def test_serve_snapshot_json_roundtrip_is_stable():
+    X = random_csr(150, 24, 0.08, rng=1)
+    rng = np.random.default_rng(1)
+    with PatternServer() as server:
+        assert server.evaluate(ServeRequest(X, rng.normal(size=X.n))).ok
+        a = server.metrics.to_json(engine_stats=server.engine.stats())
+        b = server.metrics.to_json(engine_stats=server.engine.stats())
+    assert a == b                      # identical text, not just equal dicts
+
+
+def test_engine_stats_to_dict_sorted_and_complete():
+    st = EngineStats(plan_hits=3, plan_misses=1,
+                     artifact_kinds={"profile": 2, "csc": 1})
+    d = st.to_dict()
+    assert list(d) == sorted(d)
+    assert list(d["artifact_kinds"]) == ["csc", "profile"]
+    assert d["plan_hit_rate"] == pytest.approx(0.75)
+    # every dataclass field is present (merge-ability across shards)
+    from dataclasses import fields
+    assert {f.name for f in fields(EngineStats)} <= set(d)
+
+
+def test_engine_stats_to_dict_tracks_live_engine():
+    engine = PatternEngine()
+    X = random_csr(150, 24, 0.08, rng=2)
+    rng = np.random.default_rng(2)
+    engine.evaluate(X, rng.normal(size=X.n), strategy="fused")
+    d = engine.stats().to_dict()
+    assert d["calls"] == 1 and d["profiles_built"] >= 1
+    assert_sorted_recursively({k: v for k, v in d.items()})
+
+
+def test_engine_stats_cli_json_sorted(capsys):
+    code = cli.main(["engine-stats", "400x32:0.05",
+                     "--iterations", "5", "--json"])
+    out = capsys.readouterr().out
+    assert code == 0
+    doc = json.loads(out)
+    assert_sorted_recursively(doc)
+    assert doc["calls"] >= 5
+    # the printed text IS the sorted serialization, byte-for-byte
+    assert out.strip() == json.dumps(doc, indent=2, sort_keys=True)

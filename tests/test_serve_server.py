@@ -219,6 +219,24 @@ class TestShutdown:
                    for f in futures)
         assert serve_threads() == []
 
+    def test_double_stop_before_start(self, X, rng):
+        """Stop-before-start must latch cleanly and stay idempotent."""
+        server = PatternServer(start=False)
+        future = server.submit(ServeRequest(X, rng.normal(size=X.n)))
+        server.stop()
+        server.stop()                         # second call: pure no-op
+        assert future.result(0.1).status == STATUS_REJECTED
+        # still terminal afterwards: submits reject, start refuses
+        late = server.submit(ServeRequest(X, rng.normal(size=X.n)))
+        assert late.result(0.1).status == STATUS_REJECTED
+        assert serve_threads() == []
+
+    def test_start_after_stop_raises(self):
+        server = PatternServer(start=False)
+        server.stop()
+        with pytest.raises(RuntimeError):
+            server.start()
+
     def test_every_future_resolves_exactly_once(self, X, rng):
         engine = SlowEngine(delay_s=0.01)
         server = PatternServer(engine, ServerConfig(max_batch=2, workers=2))
@@ -300,6 +318,23 @@ class TestServeFuture:
     def test_result_timeout(self):
         with pytest.raises(TimeoutError):
             ServeFuture().result(0.01)
+
+    def test_done_callback_after_resolution_runs_immediately(self):
+        fut = ServeFuture()
+        resp = ServeResponse(id=1, status=STATUS_OK)
+        fut.resolve(resp)
+        got = []
+        fut.add_done_callback(got.append)
+        assert got == [resp]
+
+    def test_done_callbacks_fire_once_in_order(self):
+        fut = ServeFuture()
+        got = []
+        fut.add_done_callback(lambda r: got.append(("a", r.status)))
+        fut.add_done_callback(lambda r: got.append(("b", r.status)))
+        fut.resolve(ServeResponse(id=1, status=STATUS_OK))
+        fut.resolve(ServeResponse(id=1, status=STATUS_REJECTED))  # ignored
+        assert got == [("a", STATUS_OK), ("b", STATUS_OK)]
 
 
 class TestServeClient:
