@@ -1,0 +1,119 @@
+"""SLO-aware scheduling: tiered EDF dispatch vs naive FIFO.
+
+Regenerates the slo experiment: a mixed-tenant burst (a small interactive
+minority carrying a latency SLO, a large batch majority) drained by one
+worker under FIFO and under the tiered ``edf`` policy.  Asserts the
+acceptance claims: interactive SLO attainment >= 95% under the scheduler
+while FIFO lands at its arrival-order-bound ~45%, and zero result
+divergence vs uncached evaluation.
+
+Also runnable as a script for CI smoke runs::
+
+    PYTHONPATH=src python benchmarks/bench_slo.py --smoke --check
+
+which writes the series to ``benchmarks/results/BENCH_slo.json`` and the
+markdown table to ``benchmarks/results/slo.md``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+
+from repro.bench.slo_bench import slo_attainment
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+#: acceptance thresholds: scheduler attainment floor, FIFO ceiling
+SCHED_ATTAINMENT = 0.95
+FIFO_ATTAINMENT = 0.80
+
+
+def _headline(result) -> tuple[float, float, float, int, int]:
+    """(edf attainment, fifo attainment, p99 ratio, divergent, dropped)."""
+    rows = {r[0]: r for r in result.rows}
+    cols = result.columns
+    att = cols.index("slo_attainment")
+    p99 = cols.index("interactive_p99_ms")
+    ratio = rows["fifo"][p99] / max(rows["edf"][p99], 1e-9)
+    divergent = sum(r[cols.index("divergent")] for r in result.rows)
+    dropped = sum(r[cols.index("dropped")] for r in result.rows)
+    return rows["edf"][att], rows["fifo"][att], ratio, divergent, dropped
+
+
+def bench_slo(benchmark, record_experiment):
+    result = benchmark.pedantic(slo_attainment, rounds=1, iterations=1)
+    record_experiment(result)
+
+    edf_att, fifo_att, ratio, divergent, dropped = _headline(result)
+
+    # the acceptance claims: the tiered scheduler meets the interactive
+    # SLO that FIFO structurally cannot, at zero result divergence and
+    # with every request completed in both runs
+    assert edf_att >= SCHED_ATTAINMENT, \
+        f"edf attainment {edf_att:.2f} < {SCHED_ATTAINMENT}"
+    assert fifo_att <= FIFO_ATTAINMENT, \
+        f"fifo attainment {fifo_att:.2f} > {FIFO_ATTAINMENT} — the SLO " \
+        "is too loose to discriminate"
+    assert ratio >= 1.5, f"interactive p99 ratio {ratio:.2f}x < 1.5x"
+    assert divergent == 0, f"{divergent} outputs diverged from uncached"
+    assert dropped == 0, f"{dropped} requests shed/timed out unexpectedly"
+
+    rows = {r[0]: r for r in result.rows}
+    cols = result.columns
+    assert rows["edf"][cols.index("completed")] == \
+        rows["fifo"][cols.index("completed")]
+
+
+def main(argv: list[str] | None = None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--smoke", action="store_true",
+                    help="small burst for CI smoke runs")
+    ap.add_argument("--scale", type=float, default=None,
+                    help="row-count scale in (0, 1] (default: REPRO_SCALE)")
+    ap.add_argument("--requests", type=int, default=None,
+                    help="burst size (default 200, smoke 96)")
+    ap.add_argument("--check", action="store_true",
+                    help="exit non-zero when the attainment / zero-"
+                         "divergence targets are missed")
+    args = ap.parse_args(argv)
+
+    requests = args.requests or (96 if args.smoke else 200)
+    scale = args.scale if args.scale is not None else \
+        (0.05 if args.smoke else None)
+    result = slo_attainment(scale=scale, requests=requests)
+    result.print()
+
+    edf_att, fifo_att, ratio, divergent, dropped = _headline(result)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    payload = {
+        "experiment": result.experiment,
+        "title": result.title,
+        "requests": requests,
+        "series": [dict(zip(result.columns, row)) for row in result.rows],
+        "interactive_p99_x": ratio,
+        "edf_slo_attainment": edf_att,
+        "fifo_slo_attainment": fifo_att,
+        "divergent_outputs": divergent,
+        "dropped_requests": dropped,
+        "notes": result.notes,
+    }
+    out = RESULTS_DIR / "BENCH_slo.json"
+    out.write_text(json.dumps(payload, indent=2) + "\n")
+    (RESULTS_DIR / "slo.md").write_text(result.to_markdown())
+    print(f"wrote {out} and {RESULTS_DIR / 'slo.md'}")
+
+    ok = (edf_att >= SCHED_ATTAINMENT and fifo_att <= FIFO_ATTAINMENT
+          and divergent == 0 and dropped == 0)
+    if not ok:
+        print(f"targets missed: edf attainment {edf_att:.2f} "
+              f"(>= {SCHED_ATTAINMENT} wanted), fifo {fifo_att:.2f} "
+              f"(<= {FIFO_ATTAINMENT} wanted), {divergent} divergent, "
+              f"{dropped} dropped", file=sys.stderr)
+    return 0 if ok or not args.check else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -87,5 +87,5 @@ def register(name: str):
 def run_all(**kwargs) -> dict[str, ExperimentResult]:
     """Run every registered experiment (used by the report generator)."""
     from . import (cluster_bench, engine_bench, figures,  # noqa: F401
-                   serve_bench, tables, trace_bench)
+                   serve_bench, slo_bench, tables, trace_bench)
     return {name: fn(**kwargs) for name, fn in sorted(REGISTRY.items())}

@@ -26,6 +26,10 @@ PAPER_HEADLINES: dict[str, str] = {
     "serve": "fingerprint-aware micro-batching vs naive FIFO under a "
              "bounded artifact LRU (serving-layer extension; no paper "
              "headline)",
+    "slo": "tiered EDF scheduling with weighted fair sharing: interactive "
+           "tenants meet a latency SLO that arrival-order dispatch "
+           "structurally cannot (serving-layer extension; no paper "
+           "headline)",
     "cluster": "fingerprint-sharded serving: aggregate cache capacity "
                "scales with shard count; hot keys replicated across "
                "shards (distributed extension, cf. 1.5D replication "
@@ -151,6 +155,16 @@ def measured_headline(name: str, res: ExperimentResult) -> str:
             return (f"p99 {rows['fifo'][4]:.1f} -> "
                     f"{rows['fingerprint'][4]:.1f} ms ({ratio:.1f}x), "
                     f"{rows['fingerprint'][10]:.0f} divergent outputs")
+        if name == "slo":
+            rows = {r[0]: r for r in res.rows}
+            cols = res.columns
+            att, p99 = cols.index("slo_attainment"), \
+                cols.index("interactive_p99_ms")
+            ratio = rows["fifo"][p99] / max(rows["edf"][p99], 1e-9)
+            return (f"interactive SLO attainment "
+                    f"{100 * rows['fifo'][att]:.0f}% -> "
+                    f"{100 * rows['edf'][att]:.0f}% under tiered EDF; "
+                    f"interactive p99 {ratio:.1f}x better")
         if name == "trace":
             q = dict(zip(res.column("quantity"), res.column("value")))
             return (f"coverage {100 * q['coverage']:.1f}% of "
@@ -221,7 +235,8 @@ NOTES = """
 #: experiments measuring host wall-clock (not model time) run first, before
 #: the long model-time builders perturb the process (allocator arenas, CPU
 #: caches) and skew the timed comparisons
-WALL_CLOCK_FIRST = ("codegen", "profile", "serve", "cluster", "trace")
+WALL_CLOCK_FIRST = ("codegen", "profile", "serve", "slo", "cluster",
+                    "trace")
 
 
 def generate(path: str = "EXPERIMENTS.md") -> str:

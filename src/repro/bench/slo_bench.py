@@ -1,0 +1,147 @@
+"""Builder for the SLO-aware scheduling experiment (EDF + tiers vs FIFO).
+
+The scenario the ``edf`` policy exists for: a mixed-tenant burst where a
+small interactive minority (latency-SLO-carrying requests, high fair-share
+weight) is queued behind a large batch majority.  FIFO dispatch serves the
+backlog in arrival order, so interactive requests drawn late in the burst
+wait for nearly the whole makespan and blow any meaningful SLO; weighted
+fair sharing plus earliest-deadline-first group picking drains the
+interactive tier at ~its weighted share of capacity, so its p99 lands at a
+small fraction of the makespan.
+
+Both policies process the *identical* request stream on identically
+configured engines; only dispatch order changes, so outputs stay
+bit-identical (verified per request against uncached ``api.evaluate``).
+
+The SLO threshold is self-calibrating: the FIFO run goes first, and the
+interactive SLO is set to ``SLO_FRACTION`` of its measured makespan.  That
+makes the gate machine-independent — under FIFO, interactive arrivals are
+uniform over the backlog, so by construction only ~``SLO_FRACTION`` of
+them can meet the threshold, while the tiered scheduler has several-fold
+headroom.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from ..core.api import evaluate as evaluate_uncached
+from ..core.engine import PatternEngine
+from ..kernels.base import DEFAULT_CONTEXT, GpuContext
+from ..serve import (PatternServer, ServerConfig, build_matrices,
+                     materialize_requests, percentile, synthesize_workload,
+                     tiers_from_trace)
+from .harness import ExperimentResult, register, resolve_scale
+
+POLICIES = ("fifo", "edf")
+#: interactive share of the request stream (minority tenant)
+INTERACTIVE_SHARE = 0.15
+#: interactive fair-share weight (batch weight is 1)
+INTERACTIVE_WEIGHT = 6.0
+#: interactive SLO as a fraction of the measured FIFO makespan
+SLO_FRACTION = 0.45
+
+
+@register("slo")
+def slo_attainment(scale: float | None = None,
+                   ctx: GpuContext = DEFAULT_CONTEXT,
+                   requests: int = 200, n_matrices: int = 6,
+                   zipf: float = 1.1, max_batch: int = 8,
+                   workers: int = 1) -> ExperimentResult:
+    """Tiered EDF scheduling vs FIFO on a mixed-tenant burst."""
+    scale = resolve_scale(0.2) if scale is None else scale
+    rows = max(1500, int(40_000 * scale))
+    res = ExperimentResult(
+        "slo",
+        f"SLO-aware scheduling: {requests} Zipf({zipf})-skewed requests "
+        f"over {n_matrices} matrices ({rows}x256), "
+        f"{100 * INTERACTIVE_SHARE:.0f}% interactive (weight "
+        f"{INTERACTIVE_WEIGHT:g}) vs batch, one-worker backlog drain",
+        ("policy", "completed", "dropped", "interactive_p50_ms",
+         "interactive_p99_ms", "batch_p99_ms", "slo_attainment",
+         "throughput_rps", "divergent"),
+    )
+    tier_mix = {
+        "interactive": {"share": INTERACTIVE_SHARE, "slo_ms": None,
+                        "weight": INTERACTIVE_WEIGHT, "rank": 0},
+        "batch": {"share": 1.0 - INTERACTIVE_SHARE, "slo_ms": None,
+                  "weight": 1.0, "rank": 1},
+    }
+    trace = synthesize_workload(
+        matrices=n_matrices, requests=requests, zipf=zipf, rows=rows,
+        cols=256, sparsity=0.02, mode="open", rate_rps=None,
+        strategy="fused", beta=1e-3, seed=7, tier_mix=tier_mix)
+    matrices = build_matrices(trace)
+    tiers = tiers_from_trace(trace)
+    reqs = materialize_requests(trace, matrices)
+    interactive = [e["tier"] == "interactive" for e in trace["requests"]]
+
+    # per-request bit-identity references (uncached, no session state)
+    refs = [evaluate_uncached(r.X, r.y, v=r.v, z=r.z, alpha=r.alpha,
+                              beta=r.beta, strategy=r.strategy,
+                              ctx=ctx).output
+            for r in reqs]
+
+    slo_ms: float | None = None          # set after the FIFO run
+    stats: dict[str, dict] = {}
+    for policy in POLICIES:
+        if policy == "edf" and slo_ms is not None:
+            # stamp the calibrated SLO so the server-side tier accounting
+            # (metrics attainment, Prometheus export) is exercised too
+            for r, is_int in zip(reqs, interactive):
+                r.slo_ms = slo_ms if is_int else None
+        engine = PatternEngine(ctx)
+        server = PatternServer(engine, ServerConfig(
+            queue_capacity=len(reqs), max_batch=max_batch,
+            batch_linger_ms=1.0, workers=workers, policy=policy,
+            tiers=tiers), start=False)
+        # backlog replay: enqueue the whole burst, then open the floodgate
+        # (latency = resolution - floodgate instant, as in serve_bench)
+        futures = [server.submit(r) for r in reqs]
+        t0 = time.monotonic()
+        server.start()
+        responses = [f.result(timeout=300.0) for f in futures]
+        wall_s = time.monotonic() - t0
+        server.stop()
+
+        ok = [r for r in responses if r.ok]
+        divergent = sum(
+            not np.array_equal(resp.result.output, ref)
+            for resp, ref in zip(responses, refs) if resp.ok)
+        lat = [(f.resolved_at - t0) * 1e3 if r.ok else None
+               for f, r in zip(futures, responses)]
+        if slo_ms is None:               # first (FIFO) run calibrates
+            slo_ms = SLO_FRACTION * wall_s * 1e3
+        int_lat = [v for v, is_int in zip(lat, interactive)
+                   if is_int and v is not None]
+        bat_lat = [v for v, is_int in zip(lat, interactive)
+                   if not is_int and v is not None]
+        n_int = sum(interactive)
+        attainment = sum(v <= slo_ms for v in int_lat) / n_int if n_int \
+            else 0.0
+        stats[policy] = {"attainment": attainment,
+                         "int_p99": percentile(int_lat, 0.99)}
+        res.add(policy, len(ok), len(responses) - len(ok),
+                percentile(int_lat, 0.50), percentile(int_lat, 0.99),
+                percentile(bat_lat, 0.99), attainment,
+                len(ok) / wall_s if wall_s > 0 else 0.0, divergent)
+
+    ratio = stats["fifo"]["int_p99"] / max(stats["edf"]["int_p99"], 1e-9)
+    res.notes.append(
+        f"interactive SLO {slo_ms:.1f} ms ({SLO_FRACTION:g}x the FIFO "
+        f"makespan): tiered EDF attains "
+        f"{100 * stats['edf']['attainment']:.1f}% vs FIFO's "
+        f"{100 * stats['fifo']['attainment']:.1f}% (targets >= 95% / "
+        f"<= 80%); interactive p99 {ratio:.2f}x better under EDF")
+    res.notes.append(
+        f"server config: {workers} worker, max_batch={max_batch}, burst "
+        "arrival; identical engines and request streams, so outputs are "
+        "bit-identical across policies — only dispatch order differs")
+    res.notes.append(
+        "weighted fair sharing drains the interactive tier at "
+        f"~{INTERACTIVE_WEIGHT / (INTERACTIVE_WEIGHT + 1):.0%} of capacity "
+        "while the batch backlog persists, then yields it all back — no "
+        "starvation either way (pinned by tests/test_serve_sched.py)")
+    return res

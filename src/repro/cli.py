@@ -212,13 +212,36 @@ def cmd_generate(args: argparse.Namespace) -> int:
     return 0
 
 
-def _serve_config(args: argparse.Namespace):
+def _resolve_sched(args: argparse.Namespace, trace: dict | None = None):
+    """Resolve the SLO-scheduling knobs shared by serve/cluster/trace.
+
+    Returns ``(tiers, autoscale, policy)``.  ``--tiers`` wins; otherwise a
+    replayed trace that carries a ``tiers`` block configures the server the
+    same way the trace was synthesized.  When tiers or a default SLO are in
+    play and no policy was named, the scheduler defaults to ``edf``.
+    """
+    from .serve import parse_autoscale, parse_tiers, tiers_from_trace
+    tiers = parse_tiers(args.tiers) if getattr(args, "tiers", None) else None
+    if tiers is None and trace is not None:
+        tiers = tiers_from_trace(trace)
+    autoscale = (parse_autoscale(args.autoscale)
+                 if getattr(args, "autoscale", None) else None)
+    slo = getattr(args, "slo", None)
+    policy = args.policy or ("edf" if (tiers or slo is not None)
+                             else "fingerprint")
+    return tiers, autoscale, policy
+
+
+def _serve_config(args: argparse.Namespace, trace: dict | None = None):
     from .serve import ServerConfig
+    tiers, autoscale, policy = _resolve_sched(args, trace)
     return ServerConfig(
         queue_capacity=args.queue_capacity, max_batch=args.max_batch,
         batch_linger_ms=args.linger_ms, workers=args.workers,
-        engine_workers=args.engine_workers, policy=args.policy,
-        default_deadline_ms=args.default_deadline_ms)
+        engine_workers=args.engine_workers, policy=policy,
+        default_deadline_ms=args.default_deadline_ms,
+        tiers=tiers, default_slo_ms=getattr(args, "slo", None),
+        autoscale=autoscale)
 
 
 def _drain_ignoring_sigint(server) -> None:
@@ -253,7 +276,7 @@ def _run_trace(args: argparse.Namespace, trace: dict) -> int:
 
     engine = PatternEngine(max_plans=args.max_plans,
                            max_artifact_bytes=args.max_artifact_bytes)
-    server = PatternServer(engine, _serve_config(args))
+    server = PatternServer(engine, _serve_config(args, trace))
     try:
         report = run_workload(server, trace, verify=args.verify)
         server.stop()                  # drain before the final snapshots
@@ -296,7 +319,7 @@ def _traced_replay(args: argparse.Namespace) -> tuple[int | None, float]:
     workload = load_workload(args.replay)
     engine = PatternEngine(max_plans=args.max_plans,
                            max_artifact_bytes=args.max_artifact_bytes)
-    server = PatternServer(engine, _serve_config(args))
+    server = PatternServer(engine, _serve_config(args, workload))
     try:
         report = run_workload(server, workload)
         server.stop()                  # drain so every span is recorded
@@ -515,20 +538,23 @@ def cmd_serve(args: argparse.Namespace) -> int:
 
 
 def cmd_loadgen(args: argparse.Namespace) -> int:
-    from .serve import save_workload, synthesize_workload
+    from .serve import parse_tier_mix, save_workload, synthesize_workload
+    tier_mix = parse_tier_mix(args.tier_mix) if args.tier_mix else None
     trace = synthesize_workload(
         matrices=args.matrices, requests=args.requests, zipf=args.zipf,
         rows=args.rows, cols=args.cols, sparsity=args.sparsity,
         rate_rps=args.rate, mode=args.mode, concurrency=args.concurrency,
         deadline_ms=args.deadline_ms, deadline_spread=args.deadline_spread,
-        strategy=args.strategy, beta=args.beta, seed=args.seed)
+        strategy=args.strategy, beta=args.beta, seed=args.seed,
+        tier_mix=tier_mix)
     save_workload(args.output, trace)
     arrivals = "burst at t=0" if args.rate is None or args.mode == "closed" \
         else f"Poisson at {args.rate:g} req/s"
+    mix = f", tiers {'/'.join(sorted(tier_mix))}" if tier_mix else ""
     print(f"wrote {args.output}: {args.requests} requests over "
           f"{args.matrices} matrices ({args.rows}x{args.cols}:"
           f"{args.sparsity:g}), Zipf({args.zipf:g}), {args.mode} loop, "
-          f"{arrivals}")
+          f"{arrivals}{mix}")
     if args.run and getattr(args, "shards", 0):
         return _run_cluster_trace(args, trace)
     if args.run:
@@ -536,16 +562,19 @@ def cmd_loadgen(args: argparse.Namespace) -> int:
     return 0
 
 
-def _cluster_config(args: argparse.Namespace):
+def _cluster_config(args: argparse.Namespace, trace: dict | None = None):
     from .cluster import ClusterConfig
     from .cluster.worker import WorkerConfig
+    tiers, autoscale, policy = _resolve_sched(args, trace)
     worker = WorkerConfig(
         queue_capacity=args.queue_capacity, max_batch=args.max_batch,
         batch_linger_ms=args.linger_ms, workers=args.workers,
-        engine_workers=args.engine_workers, policy=args.policy,
+        engine_workers=args.engine_workers, policy=policy,
         max_plans=args.max_plans,
         max_artifact_bytes=args.max_artifact_bytes,
-        max_matrices=args.max_matrices)
+        max_matrices=args.max_matrices,
+        tiers=tiers, default_slo_ms=getattr(args, "slo", None),
+        autoscale=autoscale)
     return ClusterConfig(
         shards=args.shards, replication=args.replication,
         hot_threshold=args.hot_threshold,
@@ -557,7 +586,7 @@ def _run_cluster_trace(args: argparse.Namespace, trace: dict) -> int:
     from .cluster import (ShardRouter, format_cluster_report,
                           run_cluster_workload)
 
-    router = ShardRouter(_cluster_config(args))
+    router = ShardRouter(_cluster_config(args, trace))
     try:
         report = run_cluster_workload(router, trace, verify=args.verify)
         metrics_json = router.metrics_json()
@@ -592,8 +621,20 @@ def cmd_cluster(args: argparse.Namespace) -> int:
 def _add_serve_config_flags(p: argparse.ArgumentParser) -> None:
     """Server/engine knobs shared by ``serve``, ``loadgen --run``, ``trace``."""
     from .serve import POLICIES
-    p.add_argument("--policy", default="fingerprint", choices=list(POLICIES),
-                   help="micro-batching policy (default: fingerprint)")
+    p.add_argument("--policy", default=None, choices=list(POLICIES),
+                   help="micro-batching policy (default: fingerprint, or "
+                        "edf once --tiers/--slo are given)")
+    p.add_argument("--tiers", nargs="?", const="interactive:3,batch:1",
+                   default=None, metavar="SPEC",
+                   help="priority tiers as name:weight[:slo_ms],... "
+                        "ranked by position (bare flag = "
+                        "'interactive:3,batch:1')")
+    p.add_argument("--slo", type=float, default=None, metavar="MS",
+                   help="default latency SLO for requests and tiers that "
+                        "carry none")
+    p.add_argument("--autoscale", default=None, metavar="MIN:MAX",
+                   help="autoscale in-flight batch workers between MIN and "
+                        "MAX from the queue-wait/service-time ratio")
     p.add_argument("--workers", type=int, default=2,
                    help="concurrent batches in flight")
     p.add_argument("--engine-workers", type=int, default=1,
@@ -780,6 +821,10 @@ def build_parser() -> argparse.ArgumentParser:
                     choices=list(STRATEGIES))
     lg.add_argument("--beta", type=float, default=1e-3)
     lg.add_argument("--seed", type=int, default=0)
+    lg.add_argument("--tier-mix", default=None, metavar="SPEC",
+                    help="tiered tenant mix as name:share[:slo_ms[:weight]]"
+                         ",... (e.g. 'interactive:0.3:30:3,batch:0.7'); "
+                         "stamps tier/tenant/slo_ms on every request")
     lg.add_argument("--run", action="store_true",
                     help="also replay the trace through a server in-process")
     lg.add_argument("--cluster", type=int, default=0, metavar="SHARDS",

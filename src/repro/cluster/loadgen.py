@@ -35,7 +35,10 @@ def materialize_cluster_request(entry: dict, fingerprint: str,
     return ClusterRequest(fingerprint, y,
                           z=(y if beta != 0.0 else None), beta=beta,
                           strategy=entry.get("strategy", "auto"),
-                          deadline_ms=entry.get("deadline_ms"))
+                          deadline_ms=entry.get("deadline_ms"),
+                          tenant=entry.get("tenant", ""),
+                          tier=entry.get("tier", ""),
+                          slo_ms=entry.get("slo_ms"))
 
 
 def run_cluster_workload(router, trace: dict, verify: bool = False,
@@ -111,6 +114,31 @@ def run_cluster_workload(router, trace: dict, verify: bool = False,
             warm += bool(resp.cached)
     completed = by_status.get("ok", 0)
 
+    tier_report: dict[str, dict] = {}
+    if trace.get("tiers") or any("tier" in e for e in entries):
+        for entry, resp in zip(entries, responses):
+            name = entry.get("tier") or resp.tier or "default"
+            rec = tier_report.setdefault(
+                name, {"requests": 0, "by_status": {}, "_lat": [],
+                       "slo_ms": entry.get("slo_ms"),
+                       "_slo_ok": 0, "_slo_n": 0})
+            rec["requests"] += 1
+            rec["by_status"][resp.status] = \
+                rec["by_status"].get(resp.status, 0) + 1
+            if resp.ok:
+                rec["_lat"].append(resp.latency_ms)
+            slo = entry.get("slo_ms")
+            if slo is not None:
+                rec["_slo_n"] += 1
+                if resp.ok and resp.latency_ms <= slo:
+                    rec["_slo_ok"] += 1
+        for rec in tier_report.values():
+            lat = rec.pop("_lat")
+            ok, n = rec.pop("_slo_ok"), rec.pop("_slo_n")
+            rec["latency_ms"] = {"p50": percentile(lat, 0.50),
+                                 "p99": percentile(lat, 0.99)}
+            rec["slo_attainment"] = (ok / n) if n else None
+
     divergent = 0
     if verify:
         for entry, req, resp in zip(entries, requests, responses):
@@ -142,6 +170,7 @@ def run_cluster_workload(router, trace: dict, verify: bool = False,
         "replica_routed": replica_routed,
         "retried": retried,
         "divergent": divergent if verify else None,
+        "tiers": {k: tier_report[k] for k in sorted(tier_report)} or None,
     }
 
 
@@ -167,6 +196,16 @@ def format_cluster_report(report: dict) -> str:
         f"routing:     {report['replica_routed']} replica-routed, "
         f"{report['retried']} retried at least once",
     ]
+    for name, rec in (report.get("tiers") or {}).items():
+        att = rec["slo_attainment"]
+        att_s = f"{100 * att:.1f}% SLO attainment" if att is not None \
+            else "no SLO"
+        tier_statuses = ", ".join(
+            f"{k}={v}" for k, v in sorted(rec["by_status"].items()))
+        lines.append(
+            f"tier {name}: {rec['requests']} reqs ({tier_statuses}); "
+            f"p50 {rec['latency_ms']['p50']:.2f} ms, "
+            f"p99 {rec['latency_ms']['p99']:.2f} ms; {att_s}")
     if report.get("divergent") is not None:
         lines.append(f"verified:    {report['divergent']} divergent outputs "
                      "vs uncached evaluation")

@@ -128,6 +128,25 @@ def aggregate_shards(snapshots: list[dict]) -> dict:
     engine = [s["engine"] for s in snapshots if "engine" in s]
     if engine:
         agg["engine"] = merge_engine_stats(engine)
+    tier_names = sorted({name for s in snapshots
+                         for name in s.get("tiers", {})})
+    if tier_names:
+        tiers: dict[str, dict] = {}
+        for name in tier_names:
+            recs = [s["tiers"][name] for s in snapshots
+                    if name in s.get("tiers", {})]
+            ok = sum(r.get("slo_ok", 0) for r in recs)
+            miss = sum(r.get("slo_miss", 0) for r in recs)
+            tiers[name] = {
+                "counts": merge_counters([r.get("counts", {})
+                                          for r in recs]),
+                "latency_ms": merge_histograms(
+                    [r["latency_ms"] for r in recs if "latency_ms" in r]),
+                "slo_attainment": (ok / (ok + miss)) if ok + miss else None,
+                "slo_miss": miss,
+                "slo_ok": ok,
+            }
+        agg["tiers"] = tiers
     phases = [s["phases"] for s in snapshots if "phases" in s]
     if phases:
         merged: dict[str, dict] = {}
@@ -184,6 +203,23 @@ def cluster_prometheus(snapshot: dict) -> str:
         lines.append(f'{metric}_bucket{{le="+Inf"}} {cumulative}')
         lines.append(f"{metric}_sum {hist['sum']}")
         lines.append(f"{metric}_count {hist['count']}")
+
+    if agg.get("tiers"):
+        lines.append("# HELP repro_cluster_tier_requests_total aggregate "
+                     "worker outcomes by tier and status")
+        lines.append("# TYPE repro_cluster_tier_requests_total counter")
+        for tname, tier in agg["tiers"].items():
+            for status, n in tier.get("counts", {}).items():
+                lines.append(f'repro_cluster_tier_requests_total'
+                             f'{{tier="{tname}",status="{status}"}} {n}')
+        lines.append("# HELP repro_cluster_tier_slo_attainment aggregate "
+                     "fraction of SLO-carrying requests served within SLO")
+        lines.append("# TYPE repro_cluster_tier_slo_attainment gauge")
+        for tname, tier in agg["tiers"].items():
+            att = tier.get("slo_attainment")
+            if att is not None:
+                lines.append(f'repro_cluster_tier_slo_attainment'
+                             f'{{tier="{tname}"}} {att}')
 
     eng = agg.get("engine")
     if eng:

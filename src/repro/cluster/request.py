@@ -45,13 +45,17 @@ class ClusterRequest:
     inner: bool = True
     strategy: str = "auto"
     deadline_ms: float | None = None
+    tenant: str = ""
+    tier: str = ""                  # service class; "" = worker default
+    slo_ms: float | None = None
 
     def to_wire(self) -> dict:
         """The OP_EVAL payload fields (rid is added by the channel)."""
         return {"fingerprint": self.fingerprint, "y": self.y, "v": self.v,
                 "z": self.z, "alpha": self.alpha, "beta": self.beta,
                 "inner": self.inner, "strategy": self.strategy,
-                "deadline_ms": self.deadline_ms}
+                "deadline_ms": self.deadline_ms, "tenant": self.tenant,
+                "tier": self.tier, "slo_ms": self.slo_ms}
 
 
 @dataclass
@@ -71,6 +75,7 @@ class ClusterResponse:
     service_ms: float = 0.0       # worker-side engine wall time
     batch_size: int = 0           # worker-side micro-batch size
     cached: bool = False          # worker engine served it fully warm
+    tier: str = ""                # service class the worker resolved
 
     @property
     def ok(self) -> bool:

@@ -386,7 +386,8 @@ class ShardRouter:
             wait_ms=reply.get("wait_ms", 0.0),
             service_ms=reply.get("service_ms", 0.0),
             batch_size=reply.get("batch_size", 0),
-            cached=reply.get("cached", False)))
+            cached=reply.get("cached", False),
+            tier=reply.get("tier", "")))
 
     def _retry(self, ticket: _RouterTicket, why: str) -> None:
         if ticket.attempts >= self.config.max_retries:
@@ -595,7 +596,10 @@ class ShardRouter:
                         beta=msg.get("beta", 0.0),
                         inner=msg.get("inner", True),
                         strategy=msg.get("strategy", "auto"),
-                        deadline_ms=msg.get("deadline_ms"))
+                        deadline_ms=msg.get("deadline_ms"),
+                        tenant=msg.get("tenant", ""),
+                        tier=msg.get("tier", ""),
+                        slo_ms=msg.get("slo_ms"))
                     self.submit(request).add_done_callback(
                         lambda resp, rid=rid: reply(
                             {"op": OP_RESULT, "rid": rid,

@@ -58,12 +58,19 @@ class WorkerConfig:
     max_plans: int = 256
     max_artifact_bytes: int = 256 * 1024 * 1024
     max_matrices: int = 0            # cached matrices per shard (0 = unbounded)
+    # SLO scheduling knobs, forwarded verbatim to the embedded server
+    # (all dataclasses, so a WorkerConfig stays multiprocessing-picklable)
+    tiers: dict | None = None        # name -> repro.serve.TierSpec
+    default_slo_ms: float | None = None
+    autoscale: object | None = None  # repro.serve.AutoscaleConfig
 
     def server_config(self) -> ServerConfig:
         return ServerConfig(
             queue_capacity=self.queue_capacity, max_batch=self.max_batch,
             batch_linger_ms=self.batch_linger_ms, workers=self.workers,
-            engine_workers=self.engine_workers, policy=self.policy)
+            engine_workers=self.engine_workers, policy=self.policy,
+            tiers=self.tiers, default_slo_ms=self.default_slo_ms,
+            autoscale=self.autoscale)
 
 
 class WorkerHost:
@@ -181,7 +188,9 @@ class WorkerHost:
                 alpha=msg.get("alpha", 1.0), beta=msg.get("beta", 0.0),
                 inner=msg.get("inner", True),
                 strategy=msg.get("strategy", "auto"),
-                deadline_ms=msg.get("deadline_ms"))
+                deadline_ms=msg.get("deadline_ms"),
+                tenant=msg.get("tenant", ""), tier=msg.get("tier", ""),
+                slo_ms=msg.get("slo_ms"))
             future = self.server.submit(request)
         except ValueError as exc:            # shape errors, caller's fault
             out.put({"op": OP_RESULT, "rid": rid, "status": "error",
@@ -193,7 +202,8 @@ class WorkerHost:
                  "result": resp.result, "reason": resp.reason,
                  "fingerprint": resp.fingerprint, "wait_ms": resp.wait_ms,
                  "service_ms": resp.service_ms,
-                 "batch_size": resp.batch_size, "cached": resp.cached}))
+                 "batch_size": resp.batch_size, "cached": resp.cached,
+                 "tier": resp.tier}))
 
     @staticmethod
     def _write_loop(conn: socket.socket, out: queue.Queue) -> None:

@@ -5,29 +5,42 @@ long-lived service: bounded admission with load-shedding and deadlines, a
 fingerprint-aware micro-batcher that keeps same-matrix requests adjacent so
 cached profiles/plans/transposes are reused, a worker pool draining batches
 through ``evaluate_many``, and live metrics exportable as JSON or
-Prometheus text.  See DESIGN.md §3.3 for the architecture.
+Prometheus text.  The ``edf`` policy adds SLO-aware scheduling on top:
+earliest-deadline-first dispatch with cost-aware batch sizing, weighted-
+fair priority tiers with deterministic shed ordering, and a hysteretic
+autoscaler driven by the queue-wait/service ratio.  See DESIGN.md §3.3
+and §3.9 for the architecture.
 """
 
+from .autoscale import AutoscaleConfig, Autoscaler, parse_autoscale
 from .batcher import POLICIES, form_batches
 from .client import ServeClient
 from .loadgen import (MODES, build_matrices, format_report, load_workload,
-                      materialize_request, materialize_requests, percentile,
-                      run_workload, save_workload, synthesize_workload,
+                      materialize_request, materialize_requests,
+                      parse_tier_mix, percentile, run_workload,
+                      save_workload, synthesize_workload, tiers_from_trace,
                       zipf_weights)
 from .metrics import Histogram, ServeMetrics
 from .queue import AdmissionQueue
 from .request import (STATUS_ERROR, STATUS_OK, STATUS_REJECTED, STATUS_SHED,
                       STATUS_TIMEOUT, STATUSES, ServeFuture, ServeRequest,
                       ServeResponse)
+from .sched import (DEFAULT_TIER, CostModel, TierSpec, default_tiers,
+                    parse_tiers, pick_next_batch, plan_batches, resolve_tier,
+                    shed_order, shed_sort_key)
 from .server import PatternServer, ServerConfig
 
 __all__ = [
     "POLICIES", "MODES", "STATUSES", "STATUS_OK", "STATUS_SHED",
-    "STATUS_TIMEOUT", "STATUS_REJECTED", "STATUS_ERROR",
-    "AdmissionQueue", "Histogram", "PatternServer", "ServeClient",
-    "ServeFuture", "ServeMetrics", "ServeRequest", "ServeResponse",
-    "ServerConfig", "build_matrices", "form_batches", "format_report",
-    "load_workload", "materialize_request", "materialize_requests",
-    "percentile", "run_workload", "save_workload", "synthesize_workload",
+    "STATUS_TIMEOUT", "STATUS_REJECTED", "STATUS_ERROR", "DEFAULT_TIER",
+    "AdmissionQueue", "AutoscaleConfig", "Autoscaler", "CostModel",
+    "Histogram", "PatternServer", "ServeClient", "ServeFuture",
+    "ServeMetrics", "ServeRequest", "ServeResponse", "ServerConfig",
+    "TierSpec", "build_matrices", "default_tiers", "form_batches",
+    "format_report", "load_workload", "materialize_request",
+    "materialize_requests", "parse_autoscale", "parse_tier_mix",
+    "parse_tiers", "percentile", "pick_next_batch", "plan_batches",
+    "resolve_tier", "run_workload", "save_workload", "shed_order",
+    "shed_sort_key", "synthesize_workload", "tiers_from_trace",
     "zipf_weights",
 ]

@@ -1,0 +1,133 @@
+"""Worker-pool autoscaling from the observed queue-wait/service ratio.
+
+The decision core is deliberately pure: :class:`Autoscaler` consumes one
+interval's aggregate signals at a time (mean queue wait, mean service
+time, completions, queue depth) and returns a new worker target — or
+``None`` — so hysteresis is unit-testable against synthetic load shapes
+without threads or clocks.
+
+The signal is the ratio *mean queue wait / mean service time* over the
+last interval.  Waiting much longer than serving means the pool is the
+bottleneck (scale up); near-zero wait with an empty queue means workers
+are idle (scale down).  Two guards prevent flapping on noisy or
+square-wave load:
+
+* **consecutive breaches** — a threshold must hold for ``breach_count``
+  intervals in a row before acting, so one slow batch or one idle tick
+  does nothing;
+* **cooldown** — after a resize, no further action for ``cooldown_s``,
+  so the effect of the last step is observed before the next.
+
+The server applies the target by widening/narrowing the in-flight slot
+gate (the thread pool itself is sized at ``max_workers`` once); every
+change is exported as a trace span and a Prometheus counter.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class AutoscaleConfig:
+    """Tunables for one :class:`Autoscaler`."""
+
+    min_workers: int = 1
+    max_workers: int = 8
+    high_ratio: float = 0.5      # wait/service above this => backlog
+    low_ratio: float = 0.1       # wait/service below this (queue empty)
+    breach_count: int = 3        # consecutive intervals before acting
+    cooldown_s: float = 1.0      # quiet period after each resize
+    interval_s: float = 0.25     # how often the server samples the ratio
+    step: int = 1                # workers added/removed per action
+
+    def __post_init__(self) -> None:
+        if self.min_workers < 1:
+            raise ValueError("min_workers must be >= 1")
+        if self.max_workers < self.min_workers:
+            raise ValueError("max_workers must be >= min_workers")
+        if self.low_ratio < 0 or self.high_ratio <= self.low_ratio:
+            raise ValueError("need 0 <= low_ratio < high_ratio")
+        if self.breach_count < 1:
+            raise ValueError("breach_count must be >= 1")
+        if self.cooldown_s < 0 or self.interval_s <= 0:
+            raise ValueError("cooldown_s >= 0 and interval_s > 0 required")
+        if self.step < 1:
+            raise ValueError("step must be >= 1")
+
+
+class Autoscaler:
+    """Hysteretic worker-target controller; pure decision logic."""
+
+    def __init__(self, config: AutoscaleConfig | None = None,
+                 initial: int | None = None):
+        self.config = config or AutoscaleConfig()
+        lo, hi = self.config.min_workers, self.config.max_workers
+        self.target = min(max(initial if initial is not None else lo, lo),
+                          hi)
+        self._high_streak = 0
+        self._low_streak = 0
+        self._last_change: float | None = None
+
+    def ratio(self, wait_ms: float, service_ms: float) -> float:
+        """The pressure signal for one interval's mean wait/service."""
+        if service_ms <= 0:
+            return 0.0
+        return wait_ms / service_ms
+
+    def observe(self, *, wait_ms: float, service_ms: float,
+                completed: int, queue_depth: int,
+                now: float) -> int | None:
+        """Feed one interval; returns the new target when it changes.
+
+        ``wait_ms``/``service_ms`` are the interval's *means*;
+        ``completed`` is how many requests finished in it.  An interval
+        that completes nothing while work is queued reads as maximal
+        pressure (workers wedged or saturated); completing nothing with
+        an empty queue reads as idle.
+        """
+        cfg = self.config
+        if completed > 0:
+            pressure = self.ratio(wait_ms, service_ms)
+            high = pressure >= cfg.high_ratio
+            low = pressure <= cfg.low_ratio and queue_depth == 0
+        else:
+            high = queue_depth > 0
+            low = queue_depth == 0
+        if high:
+            self._high_streak += 1
+            self._low_streak = 0
+        elif low:
+            self._low_streak += 1
+            self._high_streak = 0
+        else:
+            self._high_streak = 0
+            self._low_streak = 0
+        if self._last_change is not None \
+                and now - self._last_change < cfg.cooldown_s:
+            return None
+        if self._high_streak >= cfg.breach_count \
+                and self.target < cfg.max_workers:
+            self.target = min(self.target + cfg.step, cfg.max_workers)
+            self._reset(now)
+            return self.target
+        if self._low_streak >= cfg.breach_count \
+                and self.target > cfg.min_workers:
+            self.target = max(self.target - cfg.step, cfg.min_workers)
+            self._reset(now)
+            return self.target
+        return None
+
+    def _reset(self, now: float) -> None:
+        self._high_streak = 0
+        self._low_streak = 0
+        self._last_change = now
+
+
+def parse_autoscale(spec: str) -> AutoscaleConfig:
+    """CLI helper: ``"min:max"`` (e.g. ``"1:8"``) with stock hysteresis."""
+    fields = spec.split(":")
+    if len(fields) != 2:
+        raise ValueError(f"bad autoscale spec {spec!r}; expected MIN:MAX")
+    return AutoscaleConfig(min_workers=int(fields[0]),
+                           max_workers=int(fields[1]))

@@ -14,12 +14,16 @@ from collections import OrderedDict
 from typing import Sequence
 
 from .request import _Ticket
+from .sched import CostModel, TierSpec, plan_batches
 
-POLICIES = ("fifo", "fingerprint")
+POLICIES = ("fifo", "fingerprint", "edf")
 
 
 def form_batches(tickets: Sequence[_Ticket], policy: str,
-                 max_batch: int) -> list[list[_Ticket]]:
+                 max_batch: int, *,
+                 tiers: dict[str, TierSpec] | None = None,
+                 cost_model: CostModel | None = None,
+                 now: float | None = None) -> list[list[_Ticket]]:
     """Slice drained tickets into dispatch batches of at most ``max_batch``.
 
     * ``fifo`` — arrival order, cut every ``max_batch`` tickets; batches
@@ -27,8 +31,12 @@ def form_batches(tickets: Sequence[_Ticket], policy: str,
     * ``fingerprint`` — group by ``ticket.key`` first (groups ordered by
       their earliest arrival, arrival order preserved inside each group),
       then cut each group into ``max_batch`` chunks.
+    * ``edf`` — fingerprint groups ordered earliest-deadline-first inside
+      weighted-fair tier rounds, batch size capped by predicted cost
+      (:func:`repro.serve.sched.plan_batches`; the live server picks one
+      batch at a time instead so late arrivals join the decision).
 
-    Both policies dispatch every ticket exactly once; only adjacency
+    Every policy dispatches every ticket exactly once; only adjacency
     changes, so results are bit-identical across policies.
     """
     if policy not in POLICIES:
@@ -38,6 +46,9 @@ def form_batches(tickets: Sequence[_Ticket], policy: str,
         raise ValueError("max_batch must be >= 1")
     if not tickets:
         return []
+    if policy == "edf":
+        return plan_batches(tickets, tiers=tiers, cost_model=cost_model,
+                            max_batch=max_batch, now=now)
     if policy == "fifo":
         ordered: list[Sequence[_Ticket]] = [tickets]
     else:

@@ -28,11 +28,13 @@ class ServeClient:
                v: np.ndarray | None = None, z: np.ndarray | None = None,
                alpha: float = 1.0, beta: float = 0.0, inner: bool = True,
                strategy: str = "auto", deadline_ms: float | None = None,
-               block: bool = False,
+               tenant: str = "", tier: str = "",
+               slo_ms: float | None = None, block: bool = False,
                timeout: float | None = None) -> ServeFuture:
         req = ServeRequest(X, y, v=v, z=z, alpha=alpha, beta=beta,
                            inner=inner, strategy=strategy,
-                           deadline_ms=deadline_ms)
+                           deadline_ms=deadline_ms, tenant=tenant,
+                           tier=tier, slo_ms=slo_ms)
         return self.server.submit(req, block=block, timeout=timeout)
 
     def evaluate(self, X: CsrMatrix | np.ndarray, y: np.ndarray, *,

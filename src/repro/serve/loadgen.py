@@ -34,10 +34,53 @@ from ..core.api import evaluate as evaluate_uncached
 from ..sparse.csr import CsrMatrix
 from ..sparse.generate import random_csr
 from .request import ServeRequest
+from .sched import TierSpec
 from .server import PatternServer
 
 TRACE_VERSION = 1
 MODES = ("open", "closed")
+
+
+def parse_tier_mix(spec: str) -> dict[str, dict]:
+    """Parse a mixed-tenant spec: ``name:share[:slo_ms[:weight]]``, comma-
+    separated.  Position is priority (first tier listed ranks highest /
+    sheds last); shares are normalized over the listed tiers.  Example:
+    ``"interactive:0.25:75:8,batch:0.75"``.
+    """
+    mix: dict[str, dict] = {}
+    for rank, part in enumerate(p for p in spec.split(",") if p.strip()):
+        fields = part.strip().split(":")
+        if not 2 <= len(fields) <= 4 or not fields[0]:
+            raise ValueError(f"bad tier-mix entry {part!r}; expected "
+                             f"name:share[:slo_ms[:weight]]")
+        name = fields[0]
+        if name in mix:
+            raise ValueError(f"duplicate tier {name!r} in mix")
+        share = float(fields[1])
+        if share <= 0:
+            raise ValueError(f"tier {name!r}: share must be > 0")
+        slo = float(fields[2]) if len(fields) > 2 and fields[2] else None
+        weight = float(fields[3]) if len(fields) > 3 and fields[3] else 1.0
+        mix[name] = {"share": share, "slo_ms": slo, "weight": weight,
+                     "rank": rank}
+    if not mix:
+        raise ValueError("tier mix names no tiers")
+    total = sum(m["share"] for m in mix.values())
+    for m in mix.values():
+        m["share"] /= total
+    return mix
+
+
+def tiers_from_trace(trace: dict) -> dict[str, TierSpec] | None:
+    """TierSpecs for a trace's ``tiers`` block (None for untiered traces),
+    so a replay can configure the server exactly as the trace intends."""
+    mix = trace.get("tiers")
+    if not mix:
+        return None
+    return {name: TierSpec(name, weight=float(m.get("weight", 1.0)),
+                           rank=int(m.get("rank", i)),
+                           slo_ms=m.get("slo_ms"))
+            for i, (name, m) in enumerate(mix.items())}
 
 
 # ----------------------------------------------------------------- synthesis
@@ -58,8 +101,17 @@ def synthesize_workload(*, matrices: int = 8, requests: int = 200,
                         deadline_ms: float | None = None,
                         deadline_spread: float = 0.0,
                         strategy: str = "fused", beta: float = 1e-3,
-                        seed: int = 0) -> dict:
-    """Build a JSON-able trace with Zipf-skewed fingerprint popularity."""
+                        seed: int = 0,
+                        tier_mix: dict[str, dict] | None = None) -> dict:
+    """Build a JSON-able trace with Zipf-skewed fingerprint popularity.
+
+    ``tier_mix`` (see :func:`parse_tier_mix`) makes the trace
+    mixed-tenant: each request draws a tier by share and carries that
+    tier's name, a per-tier tenant label, and the tier's SLO; the mix
+    itself is recorded in the trace's ``tiers`` block so a replay can
+    reconstruct the server's :class:`~repro.serve.sched.TierSpec` map
+    (:func:`tiers_from_trace`).
+    """
     if mode not in MODES:
         raise ValueError(f"mode must be one of {MODES}, got {mode!r}")
     if matrices < 1 or requests < 1:
@@ -75,6 +127,13 @@ def synthesize_workload(*, matrices: int = 8, requests: int = 200,
     if rate_rps:
         # Poisson arrivals: exponential inter-arrival gaps at rate_rps
         at = np.cumsum(rng.exponential(1e3 / rate_rps, size=requests))
+    tier_names: list[str] = []
+    tier_picks = None
+    if tier_mix:
+        tier_names = list(tier_mix)
+        shares = np.array([tier_mix[n]["share"] for n in tier_names])
+        tier_picks = rng.choice(len(tier_names), size=requests,
+                                p=shares / shares.sum())
     reqs = []
     for i in range(requests):
         dl = None
@@ -82,16 +141,25 @@ def synthesize_workload(*, matrices: int = 8, requests: int = 200,
             lo = deadline_ms * (1.0 - deadline_spread)
             hi = deadline_ms * (1.0 + deadline_spread)
             dl = float(rng.uniform(lo, hi))
-        reqs.append({"matrix": mats[int(picks[i])]["name"],
-                     "seed": int(rng.integers(0, 2**31)),
-                     "at_ms": float(at[i]),
-                     "deadline_ms": dl,
-                     "strategy": strategy,
-                     "beta": beta})
-    return {"version": TRACE_VERSION, "mode": mode,
-            "rate_rps": rate_rps, "concurrency": concurrency,
-            "zipf": zipf, "seed": seed,
-            "matrices": mats, "requests": reqs}
+        entry = {"matrix": mats[int(picks[i])]["name"],
+                 "seed": int(rng.integers(0, 2**31)),
+                 "at_ms": float(at[i]),
+                 "deadline_ms": dl,
+                 "strategy": strategy,
+                 "beta": beta}
+        if tier_picks is not None:
+            tname = tier_names[int(tier_picks[i])]
+            entry["tier"] = tname
+            entry["tenant"] = f"tenant-{tname}"
+            entry["slo_ms"] = tier_mix[tname]["slo_ms"]
+        reqs.append(entry)
+    trace = {"version": TRACE_VERSION, "mode": mode,
+             "rate_rps": rate_rps, "concurrency": concurrency,
+             "zipf": zipf, "seed": seed,
+             "matrices": mats, "requests": reqs}
+    if tier_mix:
+        trace["tiers"] = tier_mix
+    return trace
 
 
 def save_workload(path, trace: dict) -> None:
@@ -150,7 +218,10 @@ def materialize_request(entry: dict, X: CsrMatrix) -> ServeRequest:
     beta = float(entry.get("beta", 0.0))
     return ServeRequest(X, y, z=(y if beta != 0.0 else None), beta=beta,
                         strategy=entry.get("strategy", "auto"),
-                        deadline_ms=entry.get("deadline_ms"))
+                        deadline_ms=entry.get("deadline_ms"),
+                        tenant=entry.get("tenant", ""),
+                        tier=entry.get("tier", ""),
+                        slo_ms=entry.get("slo_ms"))
 
 
 def materialize_requests(trace: dict,
@@ -230,6 +301,31 @@ def run_workload(server: PatternServer, trace: dict,
             warm += bool(resp.cached)
     completed = by_status.get("ok", 0)
 
+    tier_report: dict[str, dict] = {}
+    if trace.get("tiers") or any("tier" in e for e in entries):
+        for entry, resp in zip(entries, responses):
+            name = entry.get("tier") or resp.tier or "default"
+            rec = tier_report.setdefault(
+                name, {"requests": 0, "by_status": {}, "_lat": [],
+                       "slo_ms": entry.get("slo_ms"),
+                       "_slo_ok": 0, "_slo_n": 0})
+            rec["requests"] += 1
+            rec["by_status"][resp.status] = \
+                rec["by_status"].get(resp.status, 0) + 1
+            if resp.ok:
+                rec["_lat"].append(resp.latency_ms)
+            slo = entry.get("slo_ms")
+            if slo is not None:
+                rec["_slo_n"] += 1
+                if resp.ok and resp.latency_ms <= slo:
+                    rec["_slo_ok"] += 1
+        for rec in tier_report.values():
+            lat = rec.pop("_lat")
+            ok, n = rec.pop("_slo_ok"), rec.pop("_slo_n")
+            rec["latency_ms"] = {"p50": percentile(lat, 0.50),
+                                 "p99": percentile(lat, 0.99)}
+            rec["slo_attainment"] = (ok / n) if n else None
+
     divergent = 0
     if verify:
         for entry, req, resp in zip(entries, requests, responses):
@@ -258,6 +354,7 @@ def run_workload(server: PatternServer, trace: dict,
         "service_ms_p99": percentile(services, 0.99),
         "warm_fraction": warm / completed if completed else 0.0,
         "divergent": divergent if verify else None,
+        "tiers": {k: tier_report[k] for k in sorted(tier_report)} or None,
     }
 
 
@@ -278,6 +375,16 @@ def format_report(report: dict) -> str:
         f"warm:        {100 * report['warm_fraction']:.1f}% of completed "
         "requests fully cached",
     ]
+    for name, rec in (report.get("tiers") or {}).items():
+        att = rec["slo_attainment"]
+        att_s = f"{100 * att:.1f}% SLO attainment" if att is not None \
+            else "no SLO"
+        tier_statuses = ", ".join(
+            f"{k}={v}" for k, v in sorted(rec["by_status"].items()))
+        lines.append(
+            f"tier {name}: {rec['requests']} reqs ({tier_statuses}); "
+            f"p50 {rec['latency_ms']['p50']:.2f} ms, "
+            f"p99 {rec['latency_ms']['p99']:.2f} ms; {att_s}")
     if report.get("divergent") is not None:
         lines.append(f"verified:    {report['divergent']} divergent outputs "
                      "vs uncached evaluation")

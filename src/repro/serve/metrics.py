@@ -91,7 +91,8 @@ class ServeMetrics:
     """Lock-protected metrics sink for one :class:`PatternServer`."""
 
     COUNTERS = ("submitted", "admitted", "completed", "shed", "timeout",
-                "rejected", "errors", "batches")
+                "rejected", "errors", "batches", "preempted",
+                "scale_up", "scale_down")
 
     def __init__(self) -> None:
         self._lock = threading.Lock()
@@ -100,6 +101,7 @@ class ServeMetrics:
         self._service_ms = Histogram()
         self._latency_ms = Histogram()
         self._batch_size = Histogram(BATCH_SIZE_BUCKETS)
+        self._tiers: dict[str, dict] = {}
 
     # -------------------------------------------------------------- recording
     def inc(self, name: str, n: int = 1) -> None:
@@ -122,9 +124,62 @@ class ServeMetrics:
         with self._lock:
             self._latency_ms.observe(ms)
 
+    def observe_tier(self, tier: str, status: str,
+                     latency_ms: float | None = None,
+                     slo_ms: float | None = None) -> None:
+        """Record one terminal outcome against its service tier.
+
+        SLO attainment counts every SLO-carrying request: completing
+        within ``slo_ms`` attains; completing late — or not completing
+        at all (shed/timeout/rejected/error) — misses.  Requests without
+        an SLO only feed the per-tier status counts and latency
+        histogram.
+        """
+        if not tier:
+            return
+        with self._lock:
+            rec = self._tiers.get(tier)
+            if rec is None:
+                rec = self._tiers[tier] = {
+                    "counts": {}, "latency": Histogram(),
+                    "slo_ok": 0, "slo_miss": 0,
+                }
+            rec["counts"][status] = rec["counts"].get(status, 0) + 1
+            if latency_ms is not None:
+                rec["latency"].observe(latency_ms)
+            if slo_ms is not None:
+                if status == "ok" and latency_ms is not None \
+                        and latency_ms <= slo_ms:
+                    rec["slo_ok"] += 1
+                else:
+                    rec["slo_miss"] += 1
+
+    def flow_totals(self) -> dict:
+        """Monotonic wait/service totals for interval deltas (autoscaler)."""
+        with self._lock:
+            return {
+                "completed": self._counters["completed"],
+                "service_count": self._service_ms.count,
+                "service_ms_sum": self._service_ms.total,
+                "wait_count": self._wait_ms.count,
+                "wait_ms_sum": self._wait_ms.total,
+            }
+
     # -------------------------------------------------------------- exporting
+    @staticmethod
+    def _tier_dict(rec: dict) -> dict:
+        judged = rec["slo_ok"] + rec["slo_miss"]
+        return {
+            "counts": {k: rec["counts"][k] for k in sorted(rec["counts"])},
+            "latency_ms": rec["latency"].to_dict(),
+            "slo_attainment": (rec["slo_ok"] / judged) if judged else None,
+            "slo_miss": rec["slo_miss"],
+            "slo_ok": rec["slo_ok"],
+        }
+
     def snapshot(self, queue_depth: int = 0, in_flight: int = 0,
-                 engine_stats=None, phases=None) -> dict:
+                 engine_stats=None, phases=None,
+                 workers: int | None = None) -> dict:
         """One consistent dict of counters, gauges, histograms, hit-rates.
 
         ``phases``, when given, is the span-derived per-phase aggregate from
@@ -148,7 +203,11 @@ class ServeMetrics:
                     "service_ms": self._service_ms.to_dict(),
                     "wait_ms": self._wait_ms.to_dict(),
                 },
+                "tiers": {name: self._tier_dict(self._tiers[name])
+                          for name in sorted(self._tiers)},
             }
+        if workers is not None:
+            snap["gauges"]["workers_target"] = workers
         if phases is not None:
             snap["phases"] = {k: phases[k] for k in sorted(phases)}
         if engine_stats is not None:
@@ -157,16 +216,17 @@ class ServeMetrics:
 
     def to_json(self, queue_depth: int = 0, in_flight: int = 0,
                 engine_stats=None, indent: int | None = 2,
-                phases=None) -> str:
+                phases=None, workers: int | None = None) -> str:
         return json.dumps(self.snapshot(queue_depth, in_flight, engine_stats,
-                                        phases=phases),
+                                        phases=phases, workers=workers),
                           indent=indent)
 
     def to_prometheus(self, queue_depth: int = 0, in_flight: int = 0,
-                      engine_stats=None, phases=None) -> str:
+                      engine_stats=None, phases=None,
+                      workers: int | None = None) -> str:
         """Prometheus text exposition format (version 0.0.4)."""
         snap = self.snapshot(queue_depth, in_flight, engine_stats,
-                             phases=phases)
+                             phases=phases, workers=workers)
         lines: list[str] = []
 
         def counter(name, help_, value, labels=""):
@@ -191,10 +251,24 @@ class ServeMetrics:
                 snap["counters"]["submitted"])
         counter("repro_serve_batches_total", "micro-batches dispatched",
                 snap["counters"]["batches"])
+        counter("repro_serve_preempted_total",
+                "queued requests evicted by higher-priority arrivals",
+                snap["counters"]["preempted"])
+        lines.append("# HELP repro_serve_scale_events_total autoscaler "
+                     "worker-target changes by direction")
+        lines.append("# TYPE repro_serve_scale_events_total counter")
+        for direction in ("down", "up"):
+            lines.append(f'repro_serve_scale_events_total'
+                         f'{{direction="{direction}"}} '
+                         f'{snap["counters"]["scale_" + direction]}')
         gauge("repro_serve_queue_depth", "requests waiting for dispatch",
               snap["gauges"]["queue_depth"])
         gauge("repro_serve_in_flight", "batches currently evaluating",
               snap["gauges"]["in_flight"])
+        if "workers_target" in snap["gauges"]:
+            gauge("repro_serve_workers_target",
+                  "current autoscaled worker-slot target",
+                  snap["gauges"]["workers_target"])
         for hname, hist in snap["histograms"].items():
             metric = f"repro_serve_{hname}"
             lines.append(f"# HELP {metric} serving histogram ({hname})")
@@ -207,6 +281,41 @@ class ServeMetrics:
             lines.append(f'{metric}_bucket{{le="+Inf"}} {cumulative}')
             lines.append(f"{metric}_sum {hist['sum']}")
             lines.append(f"{metric}_count {hist['count']}")
+        if snap["tiers"]:
+            lines.append("# HELP repro_serve_tier_requests_total terminal "
+                         "outcomes by tier and status")
+            lines.append("# TYPE repro_serve_tier_requests_total counter")
+            for tname, tier in snap["tiers"].items():
+                for status, n in tier["counts"].items():
+                    lines.append(
+                        f'repro_serve_tier_requests_total'
+                        f'{{tier="{tname}",status="{status}"}} {n}')
+            lines.append("# HELP repro_serve_tier_latency_ms per-tier "
+                         "end-to-end latency")
+            lines.append("# TYPE repro_serve_tier_latency_ms histogram")
+            for tname, tier in snap["tiers"].items():
+                hist = tier["latency_ms"]
+                cumulative = 0
+                for bound, c in hist["buckets"].items():
+                    cumulative += c
+                    lines.append(
+                        f'repro_serve_tier_latency_ms_bucket'
+                        f'{{tier="{tname}",le="{bound}"}} {cumulative}')
+                cumulative += hist["overflow"]
+                lines.append(f'repro_serve_tier_latency_ms_bucket'
+                             f'{{tier="{tname}",le="+Inf"}} {cumulative}')
+                lines.append(f'repro_serve_tier_latency_ms_sum'
+                             f'{{tier="{tname}"}} {hist["sum"]}')
+                lines.append(f'repro_serve_tier_latency_ms_count'
+                             f'{{tier="{tname}"}} {hist["count"]}')
+            lines.append("# HELP repro_serve_tier_slo_attainment fraction "
+                         "of SLO-carrying requests served within SLO")
+            lines.append("# TYPE repro_serve_tier_slo_attainment gauge")
+            for tname, tier in snap["tiers"].items():
+                att = tier["slo_attainment"]
+                if att is not None:
+                    lines.append(f'repro_serve_tier_slo_attainment'
+                                 f'{{tier="{tname}"}} {att}')
         for phase, tot in snap.get("phases", {}).items():
             lines.append(
                 f'repro_trace_phase_ms_total{{phase="{phase}"}} '

@@ -53,6 +53,31 @@ class AdmissionQueue:
             self._not_empty.notify()
             return True
 
+    def offer_preempting(self, item, shed_key) -> tuple[bool, object | None]:
+        """Enqueue ``item``, evicting the worst queued item when full.
+
+        ``shed_key`` ranks shed candidates (the *maximum* key sheds
+        first) across the queued items **plus the newcomer**; when the
+        newcomer itself ranks worst it is refused outright, so a flood
+        of low-tier traffic can never push out queued high-tier work.
+        Returns ``(admitted, victim)`` — the caller owns resolving the
+        evicted victim (the scheduler sheds it deterministically).
+        """
+        with self._not_full:
+            if self._closed:
+                return False, None
+            if len(self._items) < self.capacity:
+                self._items.append(item)
+                self._not_empty.notify()
+                return True, None
+            worst = max(self._items, key=shed_key)
+            if shed_key(item) >= shed_key(worst):
+                return False, None
+            self._items.remove(worst)
+            self._items.append(item)
+            self._not_empty.notify()
+            return True, worst
+
     # ---------------------------------------------------------- consumer side
     def drain(self, max_items: int | None = None,
               wait_s: float | None = 0.05,

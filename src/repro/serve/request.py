@@ -49,6 +49,9 @@ class ServeRequest:
     inner: bool = True
     strategy: str = "auto"
     deadline_ms: float | None = None   # relative to submit; None = no deadline
+    tenant: str = ""                   # opaque tenant label (observability)
+    tier: str = ""                     # service class; "" = server default
+    slo_ms: float | None = None        # latency SLO (observed, not enforced)
 
     def to_pattern_request(self) -> PatternRequest:
         return PatternRequest(self.X, self.y, v=self.v, z=self.z,
@@ -82,6 +85,7 @@ class ServeResponse:
     latency_ms: float = 0.0       # enqueue -> resolution (end-to-end)
     batch_size: int = 0           # live requests in the dispatched batch
     cached: bool = False          # engine served this request fully warm
+    tier: str = ""                # service class the server resolved
 
     @property
     def ok(self) -> bool:
@@ -153,6 +157,8 @@ class _Ticket:
     enqueued_at: float              # time.monotonic()
     deadline_at: float | None       # absolute monotonic deadline, or None
     future: ServeFuture = field(default_factory=ServeFuture)
+    tier: str = ""                  # resolved service class name
+    slo_ms: float | None = None     # resolved latency SLO (observability)
 
     def expired(self, now: float | None = None) -> bool:
         if self.deadline_at is None:

@@ -1,0 +1,330 @@
+"""SLO-aware scheduling: tiers, shed ordering, cost model, EDF batching.
+
+This module holds the pure scheduling core behind the server's ``edf``
+policy, written as plain functions over drained tickets so every decision
+is unit-testable without threads:
+
+* **tiers** — a :class:`TierSpec` names a service class (``interactive``
+  vs ``batch`` tenants), its weighted-fair share, its shed priority
+  (``rank``; higher rank sheds first), and an optional SLO threshold.
+* **shed ordering** — under overload, victims are picked lowest tier
+  first, then latest deadline first, then latest arrival first.  The
+  order is a pure function of the tickets (:func:`shed_order`), so the
+  contract is deterministic and pinned by tests.
+* **cost model** — :class:`CostModel` predicts per-request service time
+  per fingerprint group from an EWMA of observed batch results, seeded
+  from the span-derived phase aggregates (``engine.evaluate``) that the
+  metrics endpoint already exports.  A cold server predicts ``None`` and
+  the batcher falls back to size-only caps.
+* **EDF batch picking** — :func:`pick_next_batch` selects the next
+  micro-batch: the tier with the least weighted virtual time goes first
+  (weighted fair sharing), inside the tier the fingerprint group with the
+  earliest deadline goes first (EDF, preserving batch affinity), and the
+  batch is cut short when its *predicted* service time would blow the
+  earliest deadline still waiting outside it (cost-aware sizing).
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+import time
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Callable, Mapping, Sequence
+
+from .request import _Ticket
+
+#: Tier assigned to requests that do not name one.
+DEFAULT_TIER = "interactive"
+
+#: Phase-aggregate key used to seed the cost model on a traced server.
+COST_PHASE = "engine.evaluate"
+
+
+@dataclass(frozen=True)
+class TierSpec:
+    """One service class: fair-share weight, shed rank, optional SLO."""
+
+    name: str
+    weight: float = 1.0          # weighted-fair share (> 0)
+    rank: int = 0                # shed priority: higher rank sheds first
+    slo_ms: float | None = None  # default latency SLO for the tier
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("tier name must be non-empty")
+        if self.weight <= 0:
+            raise ValueError(f"tier {self.name!r}: weight must be > 0")
+        if self.rank < 0:
+            raise ValueError(f"tier {self.name!r}: rank must be >= 0")
+        if self.slo_ms is not None and self.slo_ms <= 0:
+            raise ValueError(f"tier {self.name!r}: slo_ms must be > 0")
+
+
+def default_tiers() -> dict[str, TierSpec]:
+    """The stock two-tier split: interactive tenants outweigh batch 3:1."""
+    return {
+        "interactive": TierSpec("interactive", weight=3.0, rank=0),
+        "batch": TierSpec("batch", weight=1.0, rank=1),
+    }
+
+
+def parse_tiers(spec: str) -> dict[str, TierSpec]:
+    """Parse a CLI tier spec: ``name:weight[:slo_ms]`` comma-separated.
+
+    Position is priority: the first tier listed gets rank 0 (last to
+    shed), the next rank 1, and so on.  ``"interactive:3,batch:1"`` is
+    the stock configuration.
+    """
+    tiers: dict[str, TierSpec] = {}
+    for rank, part in enumerate(p for p in spec.split(",") if p.strip()):
+        fields = part.strip().split(":")
+        if not 1 <= len(fields) <= 3 or not fields[0]:
+            raise ValueError(
+                f"bad tier spec {part!r}; expected name:weight[:slo_ms]")
+        name = fields[0]
+        if name in tiers:
+            raise ValueError(f"duplicate tier {name!r} in spec")
+        weight = float(fields[1]) if len(fields) > 1 and fields[1] else 1.0
+        slo = float(fields[2]) if len(fields) > 2 and fields[2] else None
+        tiers[name] = TierSpec(name, weight=weight, rank=rank, slo_ms=slo)
+    if not tiers:
+        raise ValueError("tier spec names no tiers")
+    return tiers
+
+
+def resolve_tier(name: str, tiers: Mapping[str, TierSpec]) -> TierSpec:
+    """Look up a tier; unknown names become a synthetic lowest-priority
+    tier (weight 1, rank below every configured tier) so requests naming
+    a tier the server was not configured with degrade predictably instead
+    of raising inside the scheduler."""
+    spec = tiers.get(name or DEFAULT_TIER)
+    if spec is not None:
+        return spec
+    worst = max((t.rank for t in tiers.values()), default=-1)
+    return TierSpec(name or DEFAULT_TIER, weight=1.0, rank=worst + 1)
+
+
+# ------------------------------------------------------------- shed ordering
+def shed_sort_key(ticket: _Ticket,
+                  tiers: Mapping[str, TierSpec]) -> tuple:
+    """Sort key whose *maximum* is the next shed victim.
+
+    The contract (pinned by tests, relied on by the preempting offer):
+    lowest tier first (highest rank), then latest deadline first
+    (deadline-less requests count as latest), then latest arrival first.
+    """
+    deadline = ticket.deadline_at if ticket.deadline_at is not None \
+        else math.inf
+    return (resolve_tier(ticket.tier, tiers).rank, deadline,
+            ticket.enqueued_at, ticket.id)
+
+
+def shed_order(tickets: Sequence[_Ticket],
+               tiers: Mapping[str, TierSpec]) -> list[_Ticket]:
+    """Tickets in deterministic shed order: first element sheds first."""
+    return sorted(tickets, key=lambda t: shed_sort_key(t, tiers),
+                  reverse=True)
+
+
+# ----------------------------------------------------------------- cost model
+class CostModel:
+    """EWMA predictor of per-request service time per fingerprint group.
+
+    Three fallback levels, warmest first: a per-``(fingerprint, strategy)``
+    EWMA of observed service times (bounded key count, LRU-evicted), a
+    global EWMA across all observations, and a mean derived from the
+    ``engine.evaluate`` span phase aggregate when a tracer is installed.
+    A fully cold model predicts ``None`` — the batcher then caps batches
+    by size only, which is the pre-SLO behavior.
+    """
+
+    def __init__(self, alpha: float = 0.25, max_keys: int = 512):
+        if not 0.0 < alpha <= 1.0:
+            raise ValueError("alpha must be in (0, 1]")
+        if max_keys < 1:
+            raise ValueError("max_keys must be >= 1")
+        self.alpha = alpha
+        self.max_keys = max_keys
+        self._lock = threading.Lock()
+        self._per_key: OrderedDict[tuple, float] = OrderedDict()
+        self._global: float | None = None
+        self._phase: float | None = None
+        self._observations = 0
+
+    def observe(self, key: tuple, service_ms: float) -> None:
+        """Fold one observed per-request service time into the model."""
+        ms = float(service_ms)
+        if ms < 0:
+            return
+        with self._lock:
+            self._observations += 1
+            prev = self._per_key.pop(key, None)
+            self._per_key[key] = ms if prev is None \
+                else prev + self.alpha * (ms - prev)
+            while len(self._per_key) > self.max_keys:
+                self._per_key.popitem(last=False)
+            self._global = ms if self._global is None \
+                else self._global + self.alpha * (ms - self._global)
+
+    def observe_phases(self, phases: Mapping[str, Mapping] | None) -> None:
+        """Seed the global fallback from span phase aggregates
+        (:meth:`repro.trace.Tracer.phase_totals` shape)."""
+        if not phases:
+            return
+        tot = phases.get(COST_PHASE)
+        if not tot or not tot.get("count"):
+            return
+        with self._lock:
+            self._phase = float(tot["total_ms"]) / float(tot["count"])
+
+    def predict(self, key: tuple) -> float | None:
+        """Predicted per-request service ms for ``key``; None when cold."""
+        with self._lock:
+            est = self._per_key.get(key)
+            if est is None:
+                est = self._global
+            if est is None:
+                est = self._phase
+            return est
+
+    def snapshot(self) -> dict:
+        with self._lock:
+            return {
+                "global_ms": self._global,
+                "keys": len(self._per_key),
+                "observations": self._observations,
+                "phase_ms": self._phase,
+            }
+
+
+# ------------------------------------------------------------- batch picking
+def _edf_key(t: _Ticket) -> tuple:
+    deadline = t.deadline_at if t.deadline_at is not None else math.inf
+    return (deadline, t.enqueued_at, t.id)
+
+
+def pick_next_batch(backlog: list[_Ticket], *,
+                    tiers: Mapping[str, TierSpec],
+                    fair_vt: dict[str, float],
+                    cost_model: CostModel | None = None,
+                    max_batch: int = 16,
+                    now: float | None = None) -> list[_Ticket] | None:
+    """Remove and return the next micro-batch from ``backlog``.
+
+    Mutates ``backlog`` (picked tickets are removed) and ``fair_vt`` (the
+    chosen tier is charged its batch's predicted cost over its weight —
+    classic virtual-time weighted fair queueing, so a 3:1 interactive:
+    batch weighting dispatches roughly three interactive batches worth of
+    work per batch-tier batch under sustained overload without ever
+    starving either side).  Returns ``None`` when the backlog is empty.
+
+    Selection, in order:
+
+    1. *Tier*: the active tier with the least virtual time (ties broken
+       by rank then name).  Idle tiers' virtual times are clamped up to
+       the active minimum so a long-idle tier cannot bank unbounded
+       credit and then monopolize the workers.
+    2. *Group* (EDF): among the tier's fingerprint groups, the one whose
+       most-urgent ticket has the earliest deadline (deadline-less last,
+       then earliest arrival) — batch affinity is preserved because the
+       whole batch comes from one group.
+    3. *Size* (cost-aware): the batch grows up to ``max_batch`` while the
+       predicted service time ``k * cost`` still fits before the earliest
+       live deadline among tickets left behind; with a cold model the cap
+       is size-only.
+    """
+    if max_batch < 1:
+        raise ValueError("max_batch must be >= 1")
+    if not backlog:
+        return None
+    if now is None:
+        now = time.monotonic()
+
+    active = sorted({t.tier or DEFAULT_TIER for t in backlog})
+    # virtual-time entries persist only while a tier stays backlogged: an
+    # idle tier's entry is dropped here, and when it returns it re-enters
+    # at the floor of the still-active tiers (below), so a long-idle tier
+    # cannot bank unbounded credit and then monopolize the workers
+    for name in [n for n in fair_vt if n not in active]:
+        del fair_vt[name]
+    floor = min((fair_vt[n] for n in active if n in fair_vt), default=0.0)
+    for name in active:
+        fair_vt[name] = max(fair_vt.get(name, floor), floor)
+    specs = {name: resolve_tier(name, tiers) for name in active}
+    chosen_tier = min(active, key=lambda n: (fair_vt[n], specs[n].rank, n))
+
+    groups: dict[tuple, list[_Ticket]] = {}
+    for t in backlog:
+        if (t.tier or DEFAULT_TIER) == chosen_tier:
+            groups.setdefault(t.key, []).append(t)
+    for members in groups.values():
+        members.sort(key=_edf_key)
+    chosen_key = min(groups, key=lambda k: _edf_key(groups[k][0]))
+    group = groups[chosen_key]
+
+    cost = cost_model.predict(chosen_key) if cost_model is not None else None
+    take = min(max_batch, len(group))
+    if cost is not None and cost > 0 and take > 1:
+        in_batch = set()
+        size = 1
+        in_batch.add(id(group[0]))
+        while size < take:
+            in_batch.add(id(group[size]))
+            # earliest still-live deadline left waiting if we grow to
+            # size+1; deadlines already blown can't be saved by a
+            # smaller batch, so they don't cap it
+            guard = min((t.deadline_at for t in backlog
+                         if id(t) not in in_batch
+                         and t.deadline_at is not None
+                         and t.deadline_at > now), default=None)
+            if guard is not None \
+                    and now + (size + 1) * cost / 1e3 > guard:
+                in_batch.discard(id(group[size]))
+                break
+            size += 1
+        take = size
+
+    batch = group[:take]
+    picked = {id(t) for t in batch}
+    backlog[:] = [t for t in backlog if id(t) not in picked]
+    charge = cost * take if cost is not None and cost > 0 else float(take)
+    fair_vt[chosen_tier] = fair_vt[chosen_tier] \
+        + charge / specs[chosen_tier].weight
+    return batch
+
+
+def plan_batches(tickets: Sequence[_Ticket], *,
+                 tiers: Mapping[str, TierSpec] | None = None,
+                 cost_model: CostModel | None = None,
+                 max_batch: int = 16,
+                 now: float | None = None,
+                 fair_vt: dict[str, float] | None = None
+                 ) -> list[list[_Ticket]]:
+    """Plan a full dispatch order by repeated :func:`pick_next_batch`.
+
+    Pure convenience over the incremental picker (which the server calls
+    one batch at a time so late arrivals join the decision): every ticket
+    appears in exactly one batch, so outputs stay bit-identical to the
+    fifo/fingerprint policies — only adjacency and order change.
+    """
+    if tiers is None:
+        tiers = default_tiers()
+    if fair_vt is None:
+        fair_vt = {}
+    if now is None:
+        now = time.monotonic()
+    backlog = list(tickets)
+    batches: list[list[_Ticket]] = []
+    while backlog:
+        batch = pick_next_batch(backlog, tiers=tiers, fair_vt=fair_vt,
+                                cost_model=cost_model, max_batch=max_batch,
+                                now=now)
+        assert batch  # backlog was non-empty
+        batches.append(batch)
+    return batches
+
+
+#: Type of the victim-ranking callable handed to the preempting offer.
+ShedKey = Callable[[_Ticket], tuple]

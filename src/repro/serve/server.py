@@ -33,12 +33,15 @@ from dataclasses import dataclass
 
 from .. import trace
 from ..core.engine import PatternEngine
+from .autoscale import AutoscaleConfig, Autoscaler
 from .batcher import POLICIES, form_batches
 from .metrics import ServeMetrics
 from .queue import AdmissionQueue
 from .request import (STATUS_ERROR, STATUS_OK, STATUS_REJECTED, STATUS_SHED,
                       STATUS_TIMEOUT, ServeFuture, ServeRequest,
                       ServeResponse, _Ticket)
+from .sched import (CostModel, TierSpec, default_tiers, pick_next_batch,
+                    resolve_tier, shed_sort_key)
 
 
 @dataclass
@@ -50,9 +53,12 @@ class ServerConfig:
     batch_linger_ms: float = 1.0     # wait for a batch to fill before cut
     workers: int = 2                 # concurrent batches in flight
     engine_workers: int = 1          # threads inside evaluate_many per batch
-    policy: str = "fingerprint"      # "fingerprint" | "fifo"
+    policy: str = "fingerprint"      # "fingerprint" | "fifo" | "edf"
     default_deadline_ms: float | None = None
     drain_lookahead: int | None = None   # tickets pulled per round (None=all)
+    tiers: dict[str, TierSpec] | None = None  # None = stock two-tier split
+    default_slo_ms: float | None = None  # SLO for tiers that name none
+    autoscale: AutoscaleConfig | None = None  # None = fixed worker count
 
     def __post_init__(self) -> None:
         if self.policy not in POLICIES:
@@ -75,9 +81,21 @@ class PatternServer:
         self.engine = engine or PatternEngine()
         self.config = config or ServerConfig()
         self.metrics = ServeMetrics()
+        self.cost_model = CostModel()
+        self._tiers = self.config.tiers or default_tiers()
+        self._fair_vt: dict[str, float] = {}
+        asc = self.config.autoscale
+        self._autoscaler = Autoscaler(asc, initial=self.config.workers) \
+            if asc is not None else None
+        self._workers_target = self._autoscaler.target \
+            if self._autoscaler is not None else self.config.workers
+        self._last_autoscale = 0.0
+        self._prev_flow = self.metrics.flow_totals()
+        pool_size = max(self.config.workers,
+                        asc.max_workers if asc is not None else 0)
         self._queue = AdmissionQueue(self.config.queue_capacity)
         self._pool = ThreadPoolExecutor(
-            max_workers=self.config.workers,
+            max_workers=pool_size,
             thread_name_prefix="repro-serve-worker")
         self._scheduler = threading.Thread(
             target=self._schedule_loop, name="repro-serve-scheduler",
@@ -160,6 +178,12 @@ class PatternServer:
             request.validate()
             rid = self._new_id()
             key = request.group_key()
+            spec = resolve_tier(request.tier, self._tiers)
+            slo_ms = request.slo_ms
+            if slo_ms is None:
+                slo_ms = spec.slo_ms
+            if slo_ms is None:
+                slo_ms = self.config.default_slo_ms
             deadline_ms = request.deadline_ms
             if deadline_ms is None:
                 deadline_ms = self.config.default_deadline_ms
@@ -168,21 +192,31 @@ class PatternServer:
                 id=rid, request=request.to_pattern_request(), key=key,
                 enqueued_at=now,
                 deadline_at=(now + deadline_ms / 1e3)
-                if deadline_ms is not None else None)
+                if deadline_ms is not None else None,
+                tier=spec.name, slo_ms=slo_ms)
             self.metrics.inc("submitted")
             sp.set("rid", rid)
             if not self._accepting:
                 self._reject(ticket, "server shutdown")
                 sp.set("outcome", "rejected")
                 return ticket.future
-            if not self._queue.offer(ticket, block=block, timeout=timeout):
+            if self.config.policy == "edf" and not block:
+                admitted, victim = self._queue.offer_preempting(
+                    ticket, lambda t: shed_sort_key(t, self._tiers))
+                if victim is not None:
+                    self.metrics.inc("preempted")
+                    self._shed(victim,
+                               "preempted by higher-priority arrival")
+                offered = admitted
+            else:
+                offered = self._queue.offer(ticket, block=block,
+                                            timeout=timeout)
+            if not offered:
                 if self._accepting and not self._queue.closed:
-                    self.metrics.inc("shed")
                     sp.set("outcome", "shed")
-                    ticket.future.resolve(ServeResponse(
-                        id=rid, status=STATUS_SHED, fingerprint=key[0],
-                        reason=f"admission queue full "
-                               f"(capacity {self.config.queue_capacity})"))
+                    self._shed(ticket,
+                               f"admission queue full "
+                               f"(capacity {self.config.queue_capacity})")
                 else:
                     self._reject(ticket, "server shutdown")
                     sp.set("outcome", "rejected")
@@ -208,6 +242,12 @@ class PatternServer:
         with self._flight_lock:
             return self._in_flight
 
+    @property
+    def workers_target(self) -> int:
+        """Current worker-slot target (autoscaled, else the config value)."""
+        with self._flight_lock:
+            return self._workers_target
+
     def wait_idle(self, timeout: float | None = None) -> bool:
         """Block until the queue is empty and nothing is in flight."""
         deadline = (time.monotonic() + timeout) if timeout is not None \
@@ -231,17 +271,20 @@ class PatternServer:
     def metrics_snapshot(self) -> dict:
         return self.metrics.snapshot(self.queue_depth, self.in_flight,
                                      self.engine.snapshot(),
-                                     phases=self._trace_phases())
+                                     phases=self._trace_phases(),
+                                     workers=self.workers_target)
 
     def metrics_json(self, indent: int | None = 2) -> str:
         return self.metrics.to_json(self.queue_depth, self.in_flight,
                                     self.engine.snapshot(), indent=indent,
-                                    phases=self._trace_phases())
+                                    phases=self._trace_phases(),
+                                    workers=self.workers_target)
 
     def metrics_prometheus(self) -> str:
         return self.metrics.to_prometheus(self.queue_depth, self.in_flight,
                                           self.engine.snapshot(),
-                                          phases=self._trace_phases())
+                                          phases=self._trace_phases(),
+                                          workers=self.workers_target)
 
     # -------------------------------------------------------------- internals
     def _new_id(self) -> int:
@@ -252,10 +295,23 @@ class PatternServer:
     def _reject(self, ticket: _Ticket, reason: str) -> None:
         if ticket.future.resolve(ServeResponse(
                 id=ticket.id, status=STATUS_REJECTED, reason=reason,
-                fingerprint=ticket.key[0])):
+                fingerprint=ticket.key[0], tier=ticket.tier)):
             self.metrics.inc("rejected")
+            self.metrics.observe_tier(ticket.tier, STATUS_REJECTED,
+                                      slo_ms=ticket.slo_ms)
+
+    def _shed(self, ticket: _Ticket, reason: str) -> None:
+        if ticket.future.resolve(ServeResponse(
+                id=ticket.id, status=STATUS_SHED, reason=reason,
+                fingerprint=ticket.key[0], tier=ticket.tier)):
+            self.metrics.inc("shed")
+            self.metrics.observe_tier(ticket.tier, STATUS_SHED,
+                                      slo_ms=ticket.slo_ms)
 
     def _schedule_loop(self) -> None:
+        if self.config.policy == "edf":
+            self._schedule_loop_edf()
+            return
         cfg = self.config
         linger_s = max(cfg.batch_linger_ms, 0.0) / 1e3
         pending: deque[list[_Ticket]] = deque()
@@ -264,6 +320,7 @@ class PatternServer:
                 tickets = self._queue.drain(
                     max_items=cfg.drain_lookahead, wait_s=0.05,
                     linger_s=linger_s)
+                self._maybe_autoscale()
                 if not tickets:
                     continue
                 with trace.span("batch-formation", "serve",
@@ -281,10 +338,87 @@ class PatternServer:
         for ticket in leftovers:
             self._reject(ticket, "server shutdown")
 
+    def _schedule_loop_edf(self) -> None:
+        """EDF scheduling: one cost-sized batch picked per free slot.
+
+        Unlike the fifo/fingerprint loop — which plans a whole drained
+        round up front — the EDF loop keeps an unplanned ``backlog`` and
+        runs :func:`~repro.serve.sched.pick_next_batch` once per
+        dispatch, so requests arriving between dispatches join the very
+        next decision (a late interactive request overtakes queued batch
+        work instead of waiting out a pre-planned round).
+        """
+        cfg = self.config
+        linger_s = max(cfg.batch_linger_ms, 0.0) / 1e3
+        backlog: list[_Ticket] = []
+        while not self._stop_event.is_set():
+            tickets = self._queue.drain(
+                max_items=cfg.drain_lookahead,
+                wait_s=0.05 if not backlog else 0.0,
+                linger_s=linger_s if not backlog else 0.0)
+            if tickets and self.cost_model.snapshot()["observations"] == 0:
+                # cold model on a traced server: seed the global fallback
+                # from the span phase aggregates before the first dispatch
+                self.cost_model.observe_phases(self._trace_phases())
+            backlog.extend(tickets)
+            self._maybe_autoscale()
+            if not backlog:
+                continue
+            if not self._acquire_slot():
+                break                       # stopping; backlog handled below
+            with trace.span("batch-formation", "serve",
+                            policy=cfg.policy) as sp:
+                batch = pick_next_batch(
+                    backlog, tiers=self._tiers, fair_vt=self._fair_vt,
+                    cost_model=self.cost_model, max_batch=cfg.max_batch)
+                assert batch is not None    # backlog was non-empty
+                sp.count(tickets=len(batch) + len(backlog), batches=1)
+            self._pool.submit(self._run_batch, batch)
+        leftovers = backlog + self._queue.reject_pending()
+        for ticket in leftovers:
+            self._reject(ticket, "server shutdown")
+
+    def _maybe_autoscale(self) -> None:
+        """Sample the queue-wait/service ratio and apply the autoscaler.
+
+        Runs on the scheduler thread at ``interval_s`` cadence; a target
+        change widens/narrows the in-flight slot gate (the thread pool
+        is sized at ``max_workers`` once) and is exported as a trace
+        span plus the ``scale_up``/``scale_down`` counters.
+        """
+        asc = self._autoscaler
+        if asc is None:
+            return
+        now = time.monotonic()
+        if now - self._last_autoscale < asc.config.interval_s:
+            return
+        self._last_autoscale = now
+        flow = self.metrics.flow_totals()
+        prev, self._prev_flow = self._prev_flow, flow
+        d_wait_n = flow["wait_count"] - prev["wait_count"]
+        d_serv_n = flow["service_count"] - prev["service_count"]
+        target = asc.observe(
+            wait_ms=((flow["wait_ms_sum"] - prev["wait_ms_sum"]) / d_wait_n
+                     if d_wait_n else 0.0),
+            service_ms=((flow["service_ms_sum"] - prev["service_ms_sum"])
+                        / d_serv_n if d_serv_n else 0.0),
+            completed=flow["completed"] - prev["completed"],
+            queue_depth=self.queue_depth, now=now)
+        if target is None:
+            return
+        with self._flight_cond:
+            old, self._workers_target = self._workers_target, target
+            self._flight_cond.notify_all()
+        direction = "up" if target > old else "down"
+        self.metrics.inc(f"scale_{direction}")
+        with trace.span("scale", "serve", direction=direction) as sp:
+            sp.set("from", old)
+            sp.set("to", target)
+
     def _acquire_slot(self) -> bool:
         """Wait for an in-flight slot; False when the server is stopping."""
         with self._flight_cond:
-            while (self._in_flight >= self.config.workers
+            while (self._in_flight >= self._workers_target
                    and not self._stop_event.is_set()):
                 self._flight_cond.wait(0.05)
             if self._stop_event.is_set():
@@ -307,8 +441,10 @@ class PatternServer:
                 if t.future.resolve(ServeResponse(
                         id=t.id, status=STATUS_ERROR,
                         reason=f"{type(exc).__name__}: {exc}",
-                        fingerprint=t.key[0])):
+                        fingerprint=t.key[0], tier=t.tier)):
                     self.metrics.inc("errors")
+                    self.metrics.observe_tier(t.tier, STATUS_ERROR,
+                                              slo_ms=t.slo_ms)
         finally:
             self._release_slot()
 
@@ -328,10 +464,13 @@ class PatternServer:
                                     parent=batch_span_id,
                                     args={"rid": t.id,
                                           "status": "timeout"})
-                t.future.resolve(ServeResponse(
-                    id=t.id, status=STATUS_TIMEOUT,
-                    reason="deadline expired while queued",
-                    fingerprint=t.key[0], wait_ms=wait_ms))
+                if t.future.resolve(ServeResponse(
+                        id=t.id, status=STATUS_TIMEOUT,
+                        reason="deadline expired while queued",
+                        fingerprint=t.key[0], wait_ms=wait_ms,
+                        tier=t.tier)):
+                    self.metrics.observe_tier(t.tier, STATUS_TIMEOUT,
+                                              slo_ms=t.slo_ms)
             else:
                 live.append(t)
         if not live:
@@ -359,11 +498,16 @@ class PatternServer:
                                 br.started_at + br.wall_ms / 1e3, done,
                                 parent=batch_span_id,
                                 args={"rid": t.id})
-            t.future.resolve(ServeResponse(
-                id=t.id, status=STATUS_OK, result=br.result,
-                fingerprint=t.key[0], wait_ms=wait_ms,
-                service_ms=br.wall_ms, latency_ms=latency_ms,
-                batch_size=len(live), cached=br.cached))
+            self.cost_model.observe(t.key, br.wall_ms)
+            if t.future.resolve(ServeResponse(
+                    id=t.id, status=STATUS_OK, result=br.result,
+                    fingerprint=t.key[0], wait_ms=wait_ms,
+                    service_ms=br.wall_ms, latency_ms=latency_ms,
+                    batch_size=len(live), cached=br.cached,
+                    tier=t.tier)):
+                self.metrics.observe_tier(t.tier, STATUS_OK,
+                                          latency_ms=latency_ms,
+                                          slo_ms=t.slo_ms)
         bsp.count(completed=len(live))
         self.metrics.observe_batch(len(live),
                                    [br.wall_ms for br in results])

@@ -10,6 +10,27 @@ from repro.gpu.device import GTX_TITAN
 from repro.sparse.generate import random_csr
 
 
+#: default per-test deadline for multi-process cluster tests: generous
+#: enough for a loaded shared runner, small enough that a wedged worker
+#: (a future that never resolves) fails the one test instead of eating
+#: the whole job's timeout ceiling
+CLUSTER_TEST_TIMEOUT_S = 120
+
+
+def pytest_collection_modifyitems(config, items):
+    """Scope a per-test deadline to every cluster-marked test.
+
+    The ``timeout`` marker is enforced by ``pytest-timeout`` when it is
+    installed (the CI ``[test]`` extra ships it) and is inert otherwise,
+    so local runs without the plugin behave unchanged.  Tests that set
+    their own ``timeout`` marker keep it.
+    """
+    for item in items:
+        if item.get_closest_marker("cluster") is not None \
+                and item.get_closest_marker("timeout") is None:
+            item.add_marker(pytest.mark.timeout(CLUSTER_TEST_TIMEOUT_S))
+
+
 @pytest.fixture
 def rng() -> np.random.Generator:
     return np.random.default_rng(12345)
