@@ -12,11 +12,15 @@ corrupted ``w``).  This package enforces them at *plan time*:
   source against the Listing 2 register rules;
 * :mod:`~repro.analyze.sanitizer` cross-validates every static finding
   class dynamically through ``SimtEngine(sanitize=True)``;
+* :mod:`~repro.analyze.host` applies the same architecture to the threaded
+  *host* stack (engine/serve/cluster): lock-discipline checkers plus a
+  dynamic lock-order witness;
 * :mod:`~repro.analyze.check` ties it together for the ``repro check`` CLI.
 """
 
 from .check import (DEFAULT_GRID, analyze_file, check_grid, check_shipped,
                     findings_json, findings_text, parse_grid, run_check)
+from .host import (HOST_MODULE_FILES, analyze_host_file, run_host_check)
 from .checkers import check_barriers, check_model, check_models, check_races
 from .codegen_lint import check_codegen_source, check_specialization
 from .extract import AnalysisError, extract_kernel, extract_source, is_kernel
@@ -27,6 +31,7 @@ from .sanitizer import (alg1_launch, alg2_launch, dynamic_kinds,
 __all__ = [
     "DEFAULT_GRID", "analyze_file", "check_grid", "check_shipped",
     "findings_json", "findings_text", "parse_grid", "run_check",
+    "HOST_MODULE_FILES", "analyze_host_file", "run_host_check",
     "check_barriers", "check_model", "check_models", "check_races",
     "check_codegen_source", "check_specialization",
     "AnalysisError", "extract_kernel", "extract_source", "is_kernel",

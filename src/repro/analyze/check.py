@@ -165,11 +165,23 @@ def run_check(paths: list[str] | None = None,
             + check_sparse_codegen())
 
 
-def findings_json(findings: list[Finding]) -> str:
-    return json.dumps([f.to_dict() for f in findings], indent=2)
+def findings_json(findings: list[Finding],
+                  suppressed: list[Finding] | None = None) -> str:
+    """Stable machine-readable findings: a flat list of dicts with sorted
+    keys, ordered by (file, line, kind).  Suppressed findings (inline
+    ``# analyze: allow`` sites) are included with ``"suppressed": true``
+    so the gate's exceptions stay auditable."""
+    rows = [dict(f.to_dict(), suppressed=False) for f in findings]
+    rows += [dict(f.to_dict(), suppressed=True) for f in (suppressed or [])]
+    rows.sort(key=lambda r: (r["file"], r["line"], r["kind"]))
+    return json.dumps(rows, indent=2, sort_keys=True)
 
 
-def findings_text(findings: list[Finding], checked: str) -> str:
+def findings_text(findings: list[Finding], checked: str,
+                  suppressed_count: int = 0) -> str:
     lines = [f.describe() for f in findings]
-    lines.append(f"{len(findings)} finding(s) over {checked}")
+    tail = f"{len(findings)} finding(s) over {checked}"
+    if suppressed_count:
+        tail += f" ({suppressed_count} suppressed)"
+    lines.append(tail)
     return "\n".join(lines)

@@ -1,0 +1,92 @@
+"""Host-side concurrency analyzer: lock discipline for the threaded stack.
+
+``analyze_host_file`` runs extraction + checkers + suppression filtering on
+one Python source file; ``run_host_check`` covers the shipped host modules
+(engine, serve, cluster, trace) that own threads or locks.  The dynamic
+counterpart lives in :mod:`repro.analyze.host.witness`.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from ..extract import AnalysisError
+from ..model import Finding
+from .hostcheckers import (apply_suppressions, check_class,
+                           lock_order_edges)
+from .hostextract import extract_classes, parse_suppressions
+from .hostmodel import HOST_KINDS, ClassModel
+
+_REPRO_ROOT = Path(__file__).resolve().parents[2]
+
+#: shipped modules that own locks or threads; resolved relative to the
+#: package so the checker needs no imports of the code under analysis
+HOST_MODULE_FILES: tuple[str, ...] = tuple(
+    str(_REPRO_ROOT / rel) for rel in (
+        "core/engine.py",
+        "serve/server.py",
+        "serve/queue.py",
+        "serve/request.py",
+        "serve/sched.py",
+        "serve/metrics.py",
+        "cluster/router.py",
+        "cluster/channel.py",
+        "cluster/worker.py",
+        "cluster/hotkeys.py",
+        "cluster/client.py",
+        "cluster/request.py",
+        "trace/span.py",
+    )
+)
+
+
+def analyze_host_file(path: str) -> tuple[list[Finding], list[Finding]]:
+    """Check one file; returns ``(active, suppressed)`` findings."""
+    with open(path) as f:
+        source = f.read()
+    try:
+        classes = extract_classes(source, file=path)
+    except SyntaxError as exc:
+        raise AnalysisError(f"{path}:{exc.lineno}: {exc.msg}") from None
+    findings: list[Finding] = []
+    for cls in classes:
+        findings.extend(check_class(cls))
+    findings.sort(key=lambda f: (f.line, f.kind, f.kernel))
+    return apply_suppressions(findings, classes, parse_suppressions(source))
+
+
+def run_host_check(paths: list[str] | None = None) \
+        -> tuple[list[Finding], list[Finding]]:
+    """Host concurrency check; ``paths`` overrides the shipped scope."""
+    targets = list(paths) if paths else list(HOST_MODULE_FILES)
+    active: list[Finding] = []
+    suppressed: list[Finding] = []
+    for path in targets:
+        if not Path(path).exists():
+            raise SystemExit(f"host module not found: {path}")
+        got_active, got_suppressed = analyze_host_file(path)
+        active.extend(got_active)
+        suppressed.extend(got_suppressed)
+    return active, suppressed
+
+
+def host_classes(path: str) -> list[ClassModel]:
+    """Extracted models for one file (used by the witness cross-check)."""
+    with open(path) as f:
+        source = f.read()
+    return extract_classes(source, file=path)
+
+
+__all__ = [
+    "AnalysisError",
+    "HOST_KINDS",
+    "HOST_MODULE_FILES",
+    "analyze_host_file",
+    "apply_suppressions",
+    "check_class",
+    "extract_classes",
+    "host_classes",
+    "lock_order_edges",
+    "parse_suppressions",
+    "run_host_check",
+]

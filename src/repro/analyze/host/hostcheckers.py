@@ -1,0 +1,301 @@
+"""Lock-discipline checkers over the extracted host concurrency model.
+
+Rule catalog (finding kinds):
+
+``lock-order-cycle``
+    The per-class lock-order graph (edge A→B when B is acquired while A is
+    held, on any reachable context) contains a cycle — two threads taking
+    the locks in opposite orders can deadlock.
+``atomicity``
+    An attribute is written under a lock on one path but accessed with an
+    empty guard intersection overall (bare, or under a different lock) on
+    another reachable path.  The Eraser-style lockset rule: candidate
+    guards are intersected across every access; flagged only when some
+    write actually held a lock, so single-thread state never trips it.
+``lock-held-blocking``
+    A call that can stall the thread (join/recv/accept/sleep/result/...)
+    executes while holding a lock.  ``Condition.wait`` releases its own
+    lock and is only flagged for *other* held locks.
+``wait-not-in-loop``
+    ``Condition.wait`` outside a ``while`` predicate loop — wakeups are
+    spurious and the predicate must be rechecked.  ``wait_for`` loops
+    internally and is exempt.
+``notify-without-lock``
+    ``Condition.notify``/``notify_all`` without holding the condition's
+    underlying lock (raises ``RuntimeError`` at runtime).
+``release-on-exception``
+    A bare ``acquire()`` whose release is not in a ``try/finally`` — an
+    exception leaks the lock.
+``lock-drop-reentry``
+    Within one method, state read under a lock is written in a *later*
+    critical section of the same lock — the classic double-checked
+    check-then-act where the world may change between the sections.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, defaultdict
+
+from ..model import Finding
+from .hostmodel import (
+    KIND_ATOMICITY,
+    KIND_BLOCKING,
+    KIND_LOCK_ORDER,
+    KIND_NOTIFY,
+    KIND_REENTRY,
+    KIND_RELEASE,
+    KIND_WAIT_LOOP,
+    WRITE,
+    ClassModel,
+)
+
+
+def _effective(cls: ClassModel, method: str,
+               held: frozenset[str]) -> list[frozenset[str]]:
+    """Expand a method-local held set by every reachable entry context."""
+    contexts = cls.contexts.get(method) or {frozenset()}
+    return [ctx | held for ctx in contexts]
+
+
+def _finding(cls: ClassModel, kind: str, method: str, line: int,
+             message: str) -> Finding:
+    return Finding(kind=kind, kernel=f"{cls.name}.{method}", line=line,
+                   message=message, file=cls.file)
+
+
+def lock_order_edges(cls: ClassModel) \
+        -> dict[tuple[str, str], tuple[str, int]]:
+    """All held→acquired edges with a representative (method, line) each."""
+    edges: dict[tuple[str, str], tuple[str, int]] = {}
+    for method in cls.methods.values():
+        for acq in method.acquires:
+            for eff in _effective(cls, method.name, acq.held):
+                for held in eff:
+                    if held == acq.lock:
+                        continue
+                    edges.setdefault((held, acq.lock),
+                                     (method.name, acq.line))
+    return edges
+
+
+def _cycles(edges: dict[tuple[str, str], tuple[str, int]]) \
+        -> list[list[str]]:
+    """Strongly connected components of size > 1 (deadlock-capable sets)."""
+    graph: dict[str, set[str]] = defaultdict(set)
+    for a, b in edges:
+        graph[a].add(b)
+        graph.setdefault(b, set())
+    index: dict[str, int] = {}
+    low: dict[str, int] = {}
+    on_stack: set[str] = set()
+    stack: list[str] = []
+    sccs: list[list[str]] = []
+    counter = [0]
+
+    def strongconnect(v: str) -> None:
+        index[v] = low[v] = counter[0]
+        counter[0] += 1
+        stack.append(v)
+        on_stack.add(v)
+        for w in sorted(graph[v]):
+            if w not in index:
+                strongconnect(w)
+                low[v] = min(low[v], low[w])
+            elif w in on_stack:
+                low[v] = min(low[v], index[w])
+        if low[v] == index[v]:
+            scc = []
+            while True:
+                w = stack.pop()
+                on_stack.discard(w)
+                scc.append(w)
+                if w == v:
+                    break
+            if len(scc) > 1:
+                sccs.append(sorted(scc))
+
+    for v in sorted(graph):
+        if v not in index:
+            strongconnect(v)
+    return sccs
+
+
+def check_lock_order(cls: ClassModel) -> list[Finding]:
+    edges = lock_order_edges(cls)
+    findings = []
+    for scc in _cycles(edges):
+        members = set(scc)
+        intra = sorted(
+            ((a, b, meth, line) for (a, b), (meth, line) in edges.items()
+             if a in members and b in members),
+            key=lambda e: e[3])
+        parts = ", ".join(f"{a}->{b} ({meth}:{line})"
+                          for a, b, meth, line in intra)
+        anchor = intra[0]
+        findings.append(_finding(
+            cls, KIND_LOCK_ORDER, anchor[2], anchor[3],
+            f"locks {{{', '.join(scc)}}} are acquired in conflicting "
+            f"orders: {parts}; opposing threads can deadlock"))
+    return findings
+
+
+def check_atomicity(cls: ClassModel) -> list[Finding]:
+    samples: dict[str, list[tuple]] = defaultdict(list)
+    for method in cls.methods.values():
+        for acc in method.accesses:
+            for eff in _effective(cls, method.name, acc.held):
+                samples[acc.attr].append((acc, eff))
+    findings = []
+    for attr in sorted(samples):
+        rows = samples[attr]
+        lockset = frozenset.intersection(*(eff for _, eff in rows))
+        if lockset:
+            continue
+        locked_writes = [(acc, eff) for acc, eff in rows
+                         if acc.kind == WRITE and eff]
+        if not locked_writes:
+            continue  # never written under a lock: single-thread state
+        guard = Counter(
+            lock for _, eff in locked_writes for lock in eff
+        ).most_common(1)[0][0]
+        write_acc = min((acc for acc, _ in locked_writes),
+                        key=lambda a: a.line)
+        bare = min((acc for acc, eff in rows if guard not in eff),
+                   key=lambda a: a.line)
+        findings.append(_finding(
+            cls, KIND_ATOMICITY, bare.method, bare.line,
+            f"attribute '{attr}' is written under {guard} "
+            f"({write_acc.method}:{write_acc.line}) but accessed without "
+            f"it here; a racing thread can observe torn state"))
+    return findings
+
+
+def check_blocking(cls: ClassModel) -> list[Finding]:
+    findings = []
+    seen: set[tuple[int, str]] = set()
+    for method in cls.methods.values():
+        for call in method.blocking:
+            for eff in _effective(cls, method.name, call.held):
+                stalled = eff - call.releases
+                if not stalled:
+                    continue
+                key = (call.line, call.callee)
+                if key in seen:
+                    continue
+                seen.add(key)
+                findings.append(_finding(
+                    cls, KIND_BLOCKING, method.name, call.line,
+                    f"blocking call {call.callee}() while holding "
+                    f"{{{', '.join(sorted(stalled))}}}; every thread "
+                    f"contending on the lock stalls behind it"))
+    return findings
+
+
+def check_wait_loop(cls: ClassModel) -> list[Finding]:
+    findings = []
+    for method in cls.methods.values():
+        for wp in method.waits:
+            if wp.in_loop:
+                continue
+            findings.append(_finding(
+                cls, KIND_WAIT_LOOP, method.name, wp.line,
+                f"{wp.cond}.wait() is not wrapped in a while-predicate "
+                f"loop; spurious wakeups and stolen notifications break "
+                f"the invariant"))
+    return findings
+
+
+def check_notify(cls: ClassModel) -> list[Finding]:
+    findings = []
+    for method in cls.methods.values():
+        for np_ in method.notifies:
+            canon = cls.canonical(np_.cond)
+            missing = all(
+                canon not in eff
+                for eff in _effective(cls, method.name, np_.held))
+            if missing:
+                findings.append(_finding(
+                    cls, KIND_NOTIFY, method.name, np_.line,
+                    f"{np_.cond}.notify() without holding its lock "
+                    f"({canon}); raises RuntimeError at runtime"))
+    return findings
+
+
+def check_release(cls: ClassModel) -> list[Finding]:
+    findings = []
+    for method in cls.methods.values():
+        for region in method.manual:
+            if region.safe:
+                continue
+            findings.append(_finding(
+                cls, KIND_RELEASE, method.name, region.line,
+                f"{region.lock}.acquire() without a try/finally release; "
+                f"an exception on this path leaks the lock"))
+    return findings
+
+
+def check_reentry(cls: ClassModel) -> list[Finding]:
+    findings = []
+    for method in cls.methods.values():
+        # per lock: critical-section ordinal -> reads/writes per attr
+        reads: dict[str, dict[str, int]] = defaultdict(dict)
+        flagged: set[tuple[str, str]] = set()
+        for acc in method.accesses:
+            for lock, ordinal in acc.sections:
+                if acc.kind == WRITE:
+                    first_read = reads[lock].get(acc.attr)
+                    if (first_read is not None and first_read < ordinal
+                            and (lock, acc.attr) not in flagged):
+                        flagged.add((lock, acc.attr))
+                        findings.append(_finding(
+                            cls, KIND_REENTRY, method.name, acc.line,
+                            f"attribute '{acc.attr}' was read under {lock} "
+                            f"in an earlier critical section and is "
+                            f"written here after the lock was dropped and "
+                            f"retaken; the check-then-act is not atomic"))
+                else:
+                    reads[lock].setdefault(acc.attr, ordinal)
+    return findings
+
+
+_CHECKERS = (check_lock_order, check_atomicity, check_blocking,
+             check_wait_loop, check_notify, check_release, check_reentry)
+
+
+def check_class(cls: ClassModel) -> list[Finding]:
+    findings: list[Finding] = []
+    for checker in _CHECKERS:
+        findings.extend(checker(cls))
+    return findings
+
+
+def apply_suppressions(
+        findings: list[Finding],
+        classes: list[ClassModel],
+        suppressions: dict[int, frozenset[str]],
+) -> tuple[list[Finding], list[Finding]]:
+    """Split findings into (active, suppressed) per ``# analyze: allow``.
+
+    A suppression matches when it sits on the finding's line, the line
+    above it, or the ``def`` line of the enclosing method (method-scoped
+    allow).  ``allow(all)`` matches every kind.
+    """
+    def_lines: dict[str, int] = {}
+    for cls in classes:
+        for method in cls.methods.values():
+            def_lines[f"{cls.name}.{method.name}"] = method.line
+
+    def allowed(f: Finding) -> bool:
+        candidates = [f.line, f.line - 1]
+        def_line = def_lines.get(f.kernel)
+        if def_line is not None:
+            candidates.append(def_line)
+        for line in candidates:
+            kinds = suppressions.get(line)
+            if kinds and (f.kind in kinds or "all" in kinds):
+                return True
+        return False
+
+    active = [f for f in findings if not allowed(f)]
+    suppressed = [f for f in findings if allowed(f)]
+    return active, suppressed

@@ -1,0 +1,557 @@
+"""AST extraction of the host concurrency model.
+
+Turns a Python source file into :class:`~repro.analyze.host.hostmodel.ClassModel`
+instances.  The walk is statement-structured (not a flat ``ast.walk``) so the
+extractor can track the stack of held locks through ``with`` nesting, pair
+bare ``acquire()`` calls with their ``release()``, and number the distinct
+critical sections a method opens on each lock (the input to the
+lock-drop-reentry rule).
+
+Deliberate approximations (documented, validated by the witness):
+
+* ``__init__``/``__post_init__`` bodies are skipped — construction
+  happens-before publication to other threads.
+* Nested ``def``/``lambda`` bodies are skipped — they execute later, under
+  an unknowable lock context (thread targets, callbacks, weakref
+  finalizers).
+* ``queue.Queue``-style ``put``/``get`` and message-framing helpers
+  (``send_msg``/``recv_msg``) are *not* treated as blocking or mutating:
+  they are internally synchronized or deliberately serialized by a
+  dedicated write lock in shipped code, and taints there drown the signal.
+* ``threading.Event`` and ``threading.local`` attributes are exempt from
+  atomicity checking (internally synchronized), but ``Event.wait`` is
+  still blocking taint.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from collections import deque
+from pathlib import Path
+
+from .hostmodel import (
+    CONDITION,
+    EVENT,
+    LOCK,
+    READ,
+    RLOCK,
+    WRITE,
+    AttrAccess,
+    BlockingCall,
+    CallSite,
+    ClassModel,
+    LockAcquire,
+    LockInfo,
+    ManualRegion,
+    MethodModel,
+    NotifyPoint,
+    WaitPoint,
+)
+
+#: threading constructors we inventory, mapped to lock kinds.  ``local`` is
+#: grouped with Event: internally synchronized state, never a guard.
+_LOCK_CTORS = {
+    "Lock": LOCK,
+    "RLock": RLOCK,
+    "Condition": CONDITION,
+    "Event": EVENT,
+    "local": EVENT,
+}
+
+#: method names that mutate their receiver in place
+MUTATORS = frozenset({
+    "append", "appendleft", "add", "discard", "remove", "clear", "update",
+    "setdefault", "pop", "popitem", "popleft", "extend", "insert", "sort",
+    "reverse", "move_to_end",
+})
+
+#: attribute-call names that can stall the calling thread
+BLOCKING_ATTRS = frozenset({
+    "join", "wait", "accept", "connect", "recv", "recvfrom", "recv_into",
+    "sendall", "result", "shutdown", "poll", "select", "sleep",
+    "communicate",
+})
+
+_SKIPPED_METHODS = frozenset({"__init__", "__post_init__"})
+
+_SUPPRESS_RE = re.compile(r"#\s*analyze:\s*allow\(([^)]*)\)")
+
+
+def parse_suppressions(source: str) -> dict[int, frozenset[str]]:
+    """Map line number -> finding kinds allowed by ``# analyze: allow(...)``."""
+    out: dict[int, frozenset[str]] = {}
+    for lineno, line in enumerate(source.splitlines(), start=1):
+        m = _SUPPRESS_RE.search(line)
+        if m is not None:
+            kinds = frozenset(
+                k.strip() for k in m.group(1).replace(",", " ").split() if k.strip()
+            )
+            if kinds:
+                out[lineno] = kinds
+    return out
+
+
+def _is_self_attr(node: ast.AST) -> str | None:
+    if (isinstance(node, ast.Attribute)
+            and isinstance(node.value, ast.Name)
+            and node.value.id == "self"):
+        return node.attr
+    return None
+
+
+def _render(node: ast.AST) -> str:
+    """Short dotted rendering of a call target, for messages."""
+    if isinstance(node, ast.Attribute):
+        return f"{_render(node.value)}.{node.attr}"
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Call):
+        return f"{_render(node.func)}()"
+    return "<expr>"
+
+
+def _lock_ctor(value: ast.AST) -> tuple[str, ast.AST | None] | None:
+    """Recognize ``threading.Lock()`` style constructors.
+
+    Returns ``(kind, condition_lock_arg)`` or ``None``.
+    """
+    if not isinstance(value, ast.Call):
+        return None
+    func = value.func
+    name = None
+    if isinstance(func, ast.Attribute) and isinstance(func.value, ast.Name):
+        if func.value.id == "threading":
+            name = func.attr
+    elif isinstance(func, ast.Name):
+        name = func.id
+    if name not in _LOCK_CTORS:
+        return None
+    arg: ast.AST | None = None
+    if name == "Condition":
+        if value.args:
+            arg = value.args[0]
+        else:
+            for kw in value.keywords:
+                if kw.arg == "lock":
+                    arg = kw.value
+    return _LOCK_CTORS[name], arg
+
+
+def _collect_locks(cls_node: ast.ClassDef) -> dict[str, LockInfo]:
+    """Inventory every ``self.x = threading.<sync>()`` in the class."""
+    raw: dict[str, tuple[str, str | None, int]] = {}
+    for node in ast.walk(cls_node):
+        if not isinstance(node, ast.Assign) or len(node.targets) != 1:
+            continue
+        attr = _is_self_attr(node.targets[0])
+        if attr is None:
+            continue
+        ctor = _lock_ctor(node.value)
+        if ctor is None:
+            continue
+        kind, cond_arg = ctor
+        cond_attr = _is_self_attr(cond_arg) if cond_arg is not None else None
+        if attr not in raw:
+            raw[attr] = (kind, cond_attr, node.lineno)
+    locks: dict[str, LockInfo] = {}
+    for attr, (kind, cond_attr, line) in raw.items():
+        if kind == CONDITION and cond_attr is not None:
+            underlying = cond_attr  # Condition(self._x) synchronizes on _x
+        else:
+            underlying = attr
+        locks[attr] = LockInfo(name=attr, kind=kind, underlying=underlying,
+                               line=line)
+    return locks
+
+
+class _MethodWalker:
+    """Walks one method body tracking the held-lock stack."""
+
+    def __init__(self, cls: ClassModel, method: MethodModel,
+                 method_names: frozenset[str]):
+        self.cls = cls
+        self.m = method
+        self.method_names = method_names
+        self.held: dict[str, int] = {}        # canonical lock -> depth
+        self.cs_counter: dict[str, int] = {}  # canonical lock -> sections seen
+        self.active_cs: dict[str, int] = {}   # canonical lock -> current ordinal
+        self.while_depth = 0
+
+    # -- state helpers ---------------------------------------------------
+    def _held(self) -> frozenset[str]:
+        return frozenset(self.held)
+
+    def _sections(self) -> tuple[tuple[str, int], ...]:
+        return tuple(sorted(self.active_cs.items()))
+
+    def _push(self, canon: str, line: int, via: str) -> None:
+        self.m.acquires.append(
+            LockAcquire(lock=canon, line=line, held=self._held(),
+                        method=self.m.name, via=via))
+        self.held[canon] = self.held.get(canon, 0) + 1
+        if self.held[canon] == 1:
+            self.cs_counter[canon] = self.cs_counter.get(canon, 0) + 1
+            self.active_cs[canon] = self.cs_counter[canon]
+
+    def _pop(self, canon: str) -> None:
+        if canon in self.held:
+            self.held[canon] -= 1
+            if not self.held[canon]:
+                del self.held[canon]
+                self.active_cs.pop(canon, None)
+
+    def _access(self, attr: str, kind: str, line: int) -> None:
+        self.m.accesses.append(
+            AttrAccess(attr=attr, kind=kind, line=line, held=self._held(),
+                       method=self.m.name, sections=self._sections()))
+
+    # -- statement walk --------------------------------------------------
+    def walk_block(self, stmts: list[ast.stmt]) -> None:
+        for stmt in stmts:
+            self.walk_stmt(stmt)
+
+    def walk_stmt(self, stmt: ast.stmt) -> None:
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef,
+                             ast.ClassDef)):
+            return  # deferred execution context: out of scope
+        if isinstance(stmt, (ast.With, ast.AsyncWith)):
+            self._walk_with(stmt)
+        elif isinstance(stmt, ast.While):
+            self.visit(stmt.test)
+            self.while_depth += 1
+            self.walk_block(stmt.body)
+            self.walk_block(stmt.orelse)
+            self.while_depth -= 1
+        elif isinstance(stmt, (ast.For, ast.AsyncFor)):
+            self.visit(stmt.iter)
+            self._store_target(stmt.target)
+            self.walk_block(stmt.body)
+            self.walk_block(stmt.orelse)
+        elif isinstance(stmt, ast.If):
+            self.visit(stmt.test)
+            self.walk_block(stmt.body)
+            self.walk_block(stmt.orelse)
+        elif isinstance(stmt, ast.Try):
+            self.walk_block(stmt.body)
+            for handler in stmt.handlers:
+                self.walk_block(handler.body)
+            self.walk_block(stmt.orelse)
+            self.walk_block(stmt.finalbody)
+        elif isinstance(stmt, ast.Expr):
+            if not self._lock_op_stmt(stmt.value):
+                self.visit(stmt.value)
+        elif isinstance(stmt, ast.Assign):
+            self.visit(stmt.value)
+            for target in stmt.targets:
+                self._store_target(target)
+        elif isinstance(stmt, ast.AnnAssign):
+            if stmt.value is not None:
+                self.visit(stmt.value)
+            self._store_target(stmt.target)
+        elif isinstance(stmt, ast.AugAssign):
+            self.visit(stmt.value)
+            attr = self._store_root(stmt.target)
+            if attr is not None:
+                self._access(attr, READ, stmt.lineno)
+                self._access(attr, WRITE, stmt.lineno)
+        elif isinstance(stmt, ast.Delete):
+            for target in stmt.targets:
+                self._store_target(target)
+        elif isinstance(stmt, (ast.Return, ast.Raise, ast.Assert)):
+            for child in ast.iter_child_nodes(stmt):
+                self.visit(child)
+        elif isinstance(stmt, (ast.Pass, ast.Break, ast.Continue,
+                               ast.Global, ast.Nonlocal, ast.Import,
+                               ast.ImportFrom)):
+            pass
+        else:
+            for child in ast.iter_child_nodes(stmt):
+                if isinstance(child, ast.expr):
+                    self.visit(child)
+                elif isinstance(child, ast.stmt):
+                    self.walk_stmt(child)
+
+    def _walk_with(self, stmt: ast.With | ast.AsyncWith) -> None:
+        entered: list[str] = []
+        for item in stmt.items:
+            attr = _is_self_attr(item.context_expr)
+            canon = self.cls.canonical(attr) if attr is not None else None
+            info = self.cls.locks.get(attr) if attr is not None else None
+            if canon is not None and info is not None and info.kind != EVENT:
+                self._push(canon, item.context_expr.lineno, via="with")
+                entered.append(canon)
+            else:
+                self.visit(item.context_expr)
+            if item.optional_vars is not None:
+                self._store_target(item.optional_vars)
+        self.walk_block(stmt.body)
+        for canon in reversed(entered):
+            self._pop(canon)
+
+    def _lock_op_stmt(self, expr: ast.expr) -> bool:
+        """Handle statement-level ``self._x.acquire()`` / ``release()``."""
+        if not (isinstance(expr, ast.Call)
+                and isinstance(expr.func, ast.Attribute)):
+            return False
+        recv = _is_self_attr(expr.func.value)
+        if recv is None:
+            return False
+        info = self.cls.locks.get(recv)
+        if info is None or info.kind == EVENT:
+            return False
+        canon = info.underlying
+        if expr.func.attr == "acquire":
+            for arg in expr.args:
+                self.visit(arg)
+            self._push(canon, expr.lineno, via="acquire")
+            # A bare acquire is exception-safe only when the *next* thing
+            # that can raise is inside a try whose finally releases it.
+            # We approximate: safe iff some enclosing-method try/finally
+            # releases this lock attr after this line (checked by the
+            # method-level scan in extract_classes).
+            self.m.manual.append(
+                ManualRegion(lock=canon, line=expr.lineno,
+                             method=self.m.name, safe=False))
+            return True
+        if expr.func.attr == "release":
+            self._pop(canon)
+            return True
+        return False
+
+    # -- expression walk -------------------------------------------------
+    def visit(self, node: ast.AST) -> None:
+        if isinstance(node, (ast.Lambda, ast.FunctionDef,
+                             ast.AsyncFunctionDef)):
+            return
+        if isinstance(node, ast.Call):
+            self._visit_call(node)
+            return
+        if isinstance(node, ast.Attribute):
+            attr = _is_self_attr(node)
+            if attr is not None:
+                if attr not in self.cls.locks:
+                    kind = WRITE if isinstance(node.ctx, (ast.Store, ast.Del)) \
+                        else READ
+                    self._access(attr, kind, node.lineno)
+                return
+            self.visit(node.value)
+            return
+        for child in ast.iter_child_nodes(node):
+            self.visit(child)
+
+    def _visit_call(self, node: ast.Call) -> None:
+        func = node.func
+        handled_receiver = False
+        if isinstance(func, ast.Attribute):
+            name = func.attr
+            recv_attr = _is_self_attr(func.value)
+            if recv_attr is not None and recv_attr in self.cls.locks:
+                self._sync_attr_call(recv_attr, name, node)
+                handled_receiver = True
+            elif recv_attr is not None:
+                if name in MUTATORS:
+                    self._access(recv_attr, WRITE, node.lineno)
+                else:
+                    self._access(recv_attr, READ, node.lineno)
+                if name in BLOCKING_ATTRS:
+                    self.m.blocking.append(BlockingCall(
+                        callee=f"self.{recv_attr}.{name}", line=node.lineno,
+                        held=self._held(), method=self.m.name))
+                handled_receiver = True
+            elif (isinstance(func.value, ast.Name)
+                  and func.value.id == "self"):
+                if name in self.method_names:
+                    self.m.calls.append(CallSite(
+                        callee=name, line=node.lineno, held=self._held()))
+                handled_receiver = True
+            elif name in BLOCKING_ATTRS:
+                self.m.blocking.append(BlockingCall(
+                    callee=_render(func), line=node.lineno,
+                    held=self._held(), method=self.m.name))
+            if not handled_receiver:
+                self.visit(func.value)
+        else:
+            self.visit(func)
+        for arg in node.args:
+            self.visit(arg)
+        for kw in node.keywords:
+            self.visit(kw.value)
+
+    def _sync_attr_call(self, attr: str, name: str, node: ast.Call) -> None:
+        """A method call on a lock/condition/event attribute."""
+        info = self.cls.locks[attr]
+        canon = info.underlying
+        if info.kind == CONDITION and name in ("wait", "wait_for"):
+            self.m.waits.append(WaitPoint(
+                cond=attr, line=node.lineno, held=self._held(),
+                in_loop=(self.while_depth > 0 or name == "wait_for"),
+                method=self.m.name))
+            # Condition.wait releases its own lock while blocked; any
+            # *other* held lock is real blocking taint.
+            self.m.blocking.append(BlockingCall(
+                callee=f"self.{attr}.{name}", line=node.lineno,
+                held=self._held(), method=self.m.name,
+                releases=frozenset({canon})))
+        elif info.kind == CONDITION and name in ("notify", "notify_all"):
+            self.m.notifies.append(NotifyPoint(
+                cond=attr, line=node.lineno, held=self._held(),
+                method=self.m.name))
+        elif info.kind == EVENT and name in BLOCKING_ATTRS:
+            self.m.blocking.append(BlockingCall(
+                callee=f"self.{attr}.{name}", line=node.lineno,
+                held=self._held(), method=self.m.name))
+        elif name == "acquire":
+            # expression-position acquire (e.g. ``if lock.acquire(False):``)
+            # cannot be paired with a structured release — flag it.
+            self._push(canon, node.lineno, via="acquire")
+            self.m.manual.append(ManualRegion(
+                lock=canon, line=node.lineno, method=self.m.name,
+                safe=False))
+        elif name == "release":
+            self._pop(canon)
+
+    # -- store-target classification ------------------------------------
+    def _store_root(self, target: ast.AST) -> str | None:
+        """Resolve a store target to a first-level ``self`` attribute."""
+        attr = _is_self_attr(target)
+        if attr is not None:
+            return None if attr in self.cls.locks else attr
+        if isinstance(target, ast.Subscript):
+            self.visit(target.slice)
+            return self._store_root(target.value)
+        if isinstance(target, ast.Attribute):
+            # self._stats.field = v mutates the *_stats object*, which only
+            # reads the _stats binding itself
+            self.visit(target.value)
+            return None
+        return None
+
+    def _store_target(self, target: ast.AST) -> None:
+        if isinstance(target, (ast.Tuple, ast.List)):
+            for elt in target.elts:
+                self._store_target(elt)
+            return
+        if isinstance(target, ast.Starred):
+            self._store_target(target.value)
+            return
+        attr = self._store_root(target)
+        if attr is not None:
+            self._access(attr, WRITE, target.lineno)
+        elif isinstance(target, ast.Name):
+            pass
+        elif _is_self_attr(target) is None and not isinstance(
+                target, (ast.Subscript, ast.Attribute)):
+            self.visit(target)
+
+
+def _mark_safe_manual(fn: ast.FunctionDef | ast.AsyncFunctionDef,
+                      cls: ClassModel, method: MethodModel) -> None:
+    """Upgrade bare acquires whose release provably sits in a finally.
+
+    The structured pattern we accept is ``x.acquire()`` immediately
+    followed (same statement list) by a ``try:`` whose ``finally`` calls
+    ``x.release()``.
+    """
+    safe_lines: set[int] = set()
+
+    def scan(stmts: list[ast.stmt]) -> None:
+        for idx, stmt in enumerate(stmts):
+            if (isinstance(stmt, ast.Expr)
+                    and isinstance(stmt.value, ast.Call)
+                    and isinstance(stmt.value.func, ast.Attribute)
+                    and stmt.value.func.attr == "acquire"):
+                recv = _is_self_attr(stmt.value.func.value)
+                if recv is not None and recv in cls.locks:
+                    nxt = stmts[idx + 1] if idx + 1 < len(stmts) else None
+                    if isinstance(nxt, ast.Try) and _finally_releases(
+                            nxt, recv):
+                        safe_lines.add(stmt.value.lineno)
+            # recurse into nested statement lists
+            for field_name in ("body", "orelse", "finalbody"):
+                sub = getattr(stmt, field_name, None)
+                if isinstance(sub, list) and sub and isinstance(
+                        sub[0], ast.stmt):
+                    scan(sub)
+            for handler in getattr(stmt, "handlers", []) or []:
+                scan(handler.body)
+
+    def _finally_releases(try_stmt: ast.Try, attr: str) -> bool:
+        for stmt in try_stmt.finalbody:
+            for sub in ast.walk(stmt):
+                if (isinstance(sub, ast.Call)
+                        and isinstance(sub.func, ast.Attribute)
+                        and sub.func.attr == "release"
+                        and _is_self_attr(sub.func.value) == attr):
+                    return True
+        return False
+
+    scan(fn.body)
+    if safe_lines:
+        method.manual = [
+            region if region.line not in safe_lines
+            else ManualRegion(lock=region.lock, line=region.line,
+                              method=region.method, safe=True)
+            for region in method.manual
+        ]
+
+
+def _compute_contexts(cls: ClassModel) -> None:
+    """Fixpoint over intra-class calls: lock contexts each method runs under.
+
+    Entry points — public methods, plus private methods never *called*
+    intra-class (thread targets, pool submissions, and callbacks reference
+    methods without calling them) — start with the empty context.  A call
+    from ``m`` under held set ``H`` while ``m`` runs in context ``C`` adds
+    context ``C | H`` to the callee.
+    """
+    called = {cs.callee for m in cls.methods.values() for cs in m.calls}
+    contexts: dict[str, set[frozenset[str]]] = {
+        name: set() for name in cls.methods
+    }
+    work: deque[str] = deque()
+    for name in cls.methods:
+        if not name.startswith("_") or name not in called:
+            contexts[name].add(frozenset())
+            work.append(name)
+    while work:
+        name = work.popleft()
+        method = cls.methods[name]
+        for ctx in list(contexts[name]):
+            for cs in method.calls:
+                if cs.callee not in cls.methods:
+                    continue
+                new = ctx | cs.held
+                if new not in contexts[cs.callee]:
+                    contexts[cs.callee].add(new)
+                    work.append(cs.callee)
+    cls.contexts = contexts
+
+
+def extract_classes(source: str, file: str | Path = "<string>"
+                    ) -> list[ClassModel]:
+    """Extract concurrency models for every lock-owning class in *source*."""
+    tree = ast.parse(source, filename=str(file))
+    out: list[ClassModel] = []
+    for node in tree.body:
+        if not isinstance(node, ast.ClassDef):
+            continue
+        locks = _collect_locks(node)
+        cls = ClassModel(name=node.name, file=str(file), line=node.lineno,
+                         locks=locks)
+        if not cls.real_locks():
+            continue  # nothing to check without a real lock
+        fns = [n for n in node.body
+               if isinstance(n, (ast.FunctionDef, ast.AsyncFunctionDef))]
+        method_names = frozenset(fn.name for fn in fns)
+        for fn in fns:
+            method = MethodModel(name=fn.name, line=fn.lineno)
+            cls.methods[fn.name] = method
+            if fn.name in _SKIPPED_METHODS:
+                continue
+            walker = _MethodWalker(cls, method, method_names)
+            walker.walk_block(fn.body)
+            _mark_safe_manual(fn, cls, method)
+        _compute_contexts(cls)
+        out.append(cls)
+    return out

@@ -1,0 +1,182 @@
+"""Abstract concurrency model for the threaded host modules.
+
+The extractor (:mod:`repro.analyze.host.hostextract`) lowers each class of
+a host module (server, router, engine, ...) into this representation: the
+class's lock inventory, and per method every lock acquisition, attribute
+access, blocking call, and condition wait/notify together with the set of
+locks held at that point.  The checkers
+(:mod:`repro.analyze.host.hostcheckers`) then reason about lock order,
+access locksets, and wait discipline without executing anything.
+
+Canonical lock names
+--------------------
+``threading.Condition(self._x)`` synchronizes on ``self._x``; a bare
+``Condition()`` owns a private lock.  Every acquisition and held-set entry
+is recorded under the *canonical* name — the underlying lock attribute —
+so ``with self._not_empty:`` and ``with self._not_full:`` over one shared
+lock never look like two locks (that aliasing is exactly what a naive
+reading of the queue class would get wrong).
+
+Held-set semantics
+------------------
+Held sets are *intra-class*: they name attributes of ``self`` only.  Locks
+of other objects (a queue's internal lock seen from the server) are out of
+static scope; the dynamic witness observes those orders at runtime.
+Accesses inside ``__init__`` are ignored (construction happens-before
+publication), as are bodies of nested functions and lambdas (deferred
+execution contexts whose held-at-call-time set is unknowable statically).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..model import Finding  # noqa: F401  (re-exported for host checkers)
+
+LOCK = "lock"
+RLOCK = "rlock"
+CONDITION = "condition"
+EVENT = "event"
+
+READ = "read"
+WRITE = "write"
+
+#: finding kinds the host checkers emit
+KIND_LOCK_ORDER = "lock-order-cycle"
+KIND_ATOMICITY = "atomicity"
+KIND_BLOCKING = "lock-held-blocking"
+KIND_WAIT_LOOP = "wait-not-in-loop"
+KIND_NOTIFY = "notify-without-lock"
+KIND_RELEASE = "release-on-exception"
+KIND_REENTRY = "lock-drop-reentry"
+
+HOST_KINDS = (KIND_LOCK_ORDER, KIND_ATOMICITY, KIND_BLOCKING,
+              KIND_WAIT_LOOP, KIND_NOTIFY, KIND_RELEASE, KIND_REENTRY)
+
+
+@dataclass(frozen=True)
+class LockInfo:
+    """One synchronization attribute of a class."""
+
+    name: str                   # attribute name ("_lock")
+    kind: str                   # LOCK | RLOCK | CONDITION | EVENT
+    underlying: str             # canonical lock this synchronizes on
+    line: int
+
+
+@dataclass(frozen=True)
+class AttrAccess:
+    """One ``self.<attr>`` read or write site (non-lock attributes)."""
+
+    attr: str
+    kind: str                   # READ | WRITE
+    line: int
+    held: frozenset[str]        # canonical locks held (method-local)
+    method: str
+    #: (lock, critical-section ordinal) pairs active at this access; the
+    #: ordinal increments each time the method re-enters the lock from a
+    #: released state, which is what the lock-drop-reentry checker keys on
+    sections: tuple[tuple[str, int], ...] = ()
+
+
+@dataclass(frozen=True)
+class LockAcquire:
+    """One acquisition site (``with self._x:`` or ``self._x.acquire()``)."""
+
+    lock: str                   # canonical name
+    line: int
+    held: frozenset[str]        # canonical locks already held here
+    method: str
+    via: str                    # "with" | "acquire"
+
+
+@dataclass(frozen=True)
+class BlockingCall:
+    """A call that can stall the thread (join/recv/sleep/...)."""
+
+    callee: str                 # rendered call target for the message
+    line: int
+    held: frozenset[str]
+    method: str
+    #: locks the call itself releases while blocked (``Condition.wait``
+    #: releases its own lock); the checker subtracts these
+    releases: frozenset[str] = frozenset()
+
+
+@dataclass(frozen=True)
+class WaitPoint:
+    """A ``Condition.wait``/``wait_for`` site on a known condition attr."""
+
+    cond: str                   # condition attribute name
+    line: int
+    held: frozenset[str]
+    in_loop: bool               # lexically inside a while loop
+    method: str
+
+
+@dataclass(frozen=True)
+class NotifyPoint:
+    """A ``Condition.notify``/``notify_all`` site."""
+
+    cond: str
+    line: int
+    held: frozenset[str]
+    method: str
+
+
+@dataclass(frozen=True)
+class ManualRegion:
+    """A bare ``acquire()`` and whether its release is exception-safe."""
+
+    lock: str
+    line: int                   # the acquire line
+    method: str
+    safe: bool                  # release sits in a try/finally
+
+
+@dataclass(frozen=True)
+class CallSite:
+    """An intra-class ``self.method(...)`` call (for context propagation)."""
+
+    callee: str
+    line: int
+    held: frozenset[str]
+
+
+@dataclass
+class MethodModel:
+    """Everything extracted from one method body."""
+
+    name: str
+    line: int
+    accesses: list[AttrAccess] = field(default_factory=list)
+    acquires: list[LockAcquire] = field(default_factory=list)
+    blocking: list[BlockingCall] = field(default_factory=list)
+    waits: list[WaitPoint] = field(default_factory=list)
+    notifies: list[NotifyPoint] = field(default_factory=list)
+    manual: list[ManualRegion] = field(default_factory=list)
+    calls: list[CallSite] = field(default_factory=list)
+
+
+@dataclass
+class ClassModel:
+    """One analyzed class: lock inventory, methods, entry contexts."""
+
+    name: str
+    file: str
+    line: int
+    locks: dict[str, LockInfo] = field(default_factory=dict)
+    methods: dict[str, MethodModel] = field(default_factory=dict)
+    #: per method, the set of lock contexts it can be entered under —
+    #: frozenset() for thread entry points, callers' held sets for
+    #: internal helpers (computed by the extractor's fixpoint)
+    contexts: dict[str, set[frozenset[str]]] = field(default_factory=dict)
+
+    def canonical(self, attr: str) -> str | None:
+        info = self.locks.get(attr)
+        return info.underlying if info is not None else None
+
+    def real_locks(self) -> set[str]:
+        """Canonical lock names (conditions resolved, events excluded)."""
+        return {info.underlying for info in self.locks.values()
+                if info.kind in (LOCK, RLOCK, CONDITION)}

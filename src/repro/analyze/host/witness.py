@@ -1,0 +1,433 @@
+"""Dynamic lock-order witness: runtime cross-validation of the static model.
+
+``instrument_locks(witness, obj, ...)`` swaps an object's ``threading``
+locks for tracing wrappers that record, per thread, the acquisition DAG
+(which lock was taken while which others were held), hold durations, wait
+call sites, and notify discipline — while the *existing* serve/cluster
+scenarios run unmodified.  ``cross_validate`` then confirms or refutes
+every statically predicted lock-order edge: on shipped code the static
+edge set must be a subset of the witnessed one and no witnessed edge may
+invert a static edge.
+
+Instrument **before** any thread can be waiting on a Condition: conditions
+are rebuilt around the traced lock, and a waiter parked in the old
+condition would never see a notify on the new one.  (Wrapping the lock
+itself is safe at any time — the wrapper delegates to the *same*
+underlying lock object, so traced and untraced holders still exclude each
+other.)
+
+``watch_attrs`` adds Eraser-style dynamic lockset sampling for chosen
+attributes via a synthesized property subclass, confirming static
+guarded-attribute claims on live objects.
+"""
+
+from __future__ import annotations
+
+import ast
+import sys
+import threading
+import time
+from collections import defaultdict
+from dataclasses import dataclass, field
+
+from .hostmodel import (
+    KIND_ATOMICITY,
+    KIND_BLOCKING,
+    KIND_LOCK_ORDER,
+    KIND_NOTIFY,
+    KIND_REENTRY,
+    KIND_RELEASE,
+    KIND_WAIT_LOOP,
+)
+
+_LOCK_TYPES = (type(threading.Lock()), type(threading.RLock()))
+
+
+@dataclass
+class _HoldFrame:
+    name: str
+    t0: float
+    count: int = 1
+    func: str = ""
+    frame_id: int = 0
+
+
+class LockWitness:
+    """Collects lock events from every :class:`TracedLock` bound to it."""
+
+    def __init__(self, hold_threshold_ms: float | None = None,
+                 track_reentry: bool = False):
+        self._mu = threading.Lock()
+        self.hold_threshold_ms = hold_threshold_ms
+        self.track_reentry = track_reentry
+        #: (held, acquired) -> observation count
+        self.edges: dict[tuple[str, str], int] = defaultdict(int)
+        self.acquire_counts: dict[str, int] = defaultdict(int)
+        self.max_hold_ms: dict[str, float] = defaultdict(float)
+        #: wait call sites: (file, line, lock name)
+        self.wait_sites: set[tuple[str, int, str]] = set()
+        self.notify_violations: list[tuple[str, str]] = []
+        #: (function name, frame id) -> per-lock hold-session count
+        self.reentry_sessions: dict[tuple[str, int, str], int] = \
+            defaultdict(int)
+        self._stacks: dict[int, list[_HoldFrame]] = {}
+        #: watched attribute -> lockset samples / locked-write flag
+        self.access_locksets: dict[str, set[frozenset[str]]] = \
+            defaultdict(set)
+        self.locked_writes: set[str] = set()
+
+    # ----------------------------------------------------------- lock stack
+    def _stack(self) -> list[_HoldFrame]:
+        tid = threading.get_ident()
+        with self._mu:
+            return self._stacks.setdefault(tid, [])
+
+    def held_names(self) -> list[str]:
+        return [f.name for f in self._stack()]
+
+    def on_acquire(self, name: str, caller) -> None:
+        stack = self._stack()
+        with self._mu:
+            self.acquire_counts[name] += 1
+        for frame_ in stack:
+            if frame_.name == name:
+                frame_.count += 1
+                return
+        with self._mu:
+            for frame_ in stack:
+                if frame_.name != name:
+                    self.edges[(frame_.name, name)] += 1
+        func = caller.f_code.co_name if caller is not None else ""
+        frame_id = id(caller) if caller is not None else 0
+        if self.track_reentry and caller is not None:
+            key = (func, frame_id, name)
+            with self._mu:
+                self.reentry_sessions[key] += 1
+        stack.append(_HoldFrame(name=name, t0=time.monotonic(),
+                                func=func, frame_id=frame_id))
+
+    def on_release(self, name: str) -> None:
+        stack = self._stack()
+        for idx in range(len(stack) - 1, -1, -1):
+            if stack[idx].name == name:
+                stack[idx].count -= 1
+                if stack[idx].count == 0:
+                    held_ms = (time.monotonic() - stack[idx].t0) * 1e3
+                    with self._mu:
+                        self.max_hold_ms[name] = max(
+                            self.max_hold_ms[name], held_ms)
+                    del stack[idx]
+                return
+
+    def record_wait_site(self, name: str, frame) -> None:
+        with self._mu:
+            self.wait_sites.add(
+                (frame.f_code.co_filename, frame.f_lineno, name))
+
+    def record_notify_violation(self, name: str, func: str) -> None:
+        with self._mu:
+            self.notify_violations.append((name, func))
+
+    def record_access(self, key: str, kind: str) -> None:
+        held = frozenset(self.held_names())
+        with self._mu:
+            self.access_locksets[key].add(held)
+            if kind == "write" and held:
+                self.locked_writes.add(key)
+
+    # ------------------------------------------------------------- verdicts
+    def witnessed_edges(self) -> set[tuple[str, str]]:
+        return set(self.edges)
+
+    def order_cycles(self) -> list[list[str]]:
+        """Cycles in the witnessed acquisition DAG (deadlock-capable)."""
+        graph: dict[str, set[str]] = defaultdict(set)
+        for a, b in self.edges:
+            graph[a].add(b)
+        cycles: list[list[str]] = []
+        state: dict[str, int] = {}
+        path: list[str] = []
+
+        def dfs(v: str) -> None:
+            state[v] = 1
+            path.append(v)
+            for w in sorted(graph.get(v, ())):
+                if state.get(w, 0) == 0:
+                    dfs(w)
+                elif state.get(w) == 1:
+                    cycles.append(path[path.index(w):] + [w])
+            path.pop()
+            state[v] = 2
+
+        for v in sorted(graph):
+            if state.get(v, 0) == 0:
+                dfs(v)
+        return cycles
+
+    def racy_attrs(self) -> list[str]:
+        """Watched attrs whose observed lockset intersection is empty even
+        though some write held a lock (the dynamic atomicity verdict)."""
+        out = []
+        for key, samples in sorted(self.access_locksets.items()):
+            if key not in self.locked_writes:
+                continue
+            if not frozenset.intersection(*samples):
+                out.append(key)
+        return out
+
+    def slow_holds(self) -> list[str]:
+        if self.hold_threshold_ms is None:
+            return []
+        return sorted(name for name, ms in self.max_hold_ms.items()
+                      if ms > self.hold_threshold_ms)
+
+    def waits_not_in_loop(self) -> list[tuple[str, int, str]]:
+        """Executed wait sites whose source is not inside a ``while``."""
+        out = []
+        by_file: dict[str, list[tuple[int, str]]] = defaultdict(list)
+        for fname, line, lock in self.wait_sites:
+            by_file[fname].append((line, lock))
+        for fname, sites in by_file.items():
+            try:
+                with open(fname) as f:
+                    tree = ast.parse(f.read())
+            except (OSError, SyntaxError):
+                continue
+            while_spans = [
+                (node.lineno, max(getattr(n, "lineno", node.lineno)
+                                  for n in ast.walk(node)))
+                for node in ast.walk(tree) if isinstance(node, ast.While)
+            ]
+            for line, lock in sites:
+                if not any(lo <= line <= hi for lo, hi in while_spans):
+                    out.append((fname, line, lock))
+        return sorted(out)
+
+    def leaked_locks(self) -> list[str]:
+        """Locks still held on some thread's stack (release never ran)."""
+        with self._mu:
+            stacks = list(self._stacks.values())
+        return sorted({f.name for stack in stacks for f in stack})
+
+    def reentry_functions(self) -> list[tuple[str, str]]:
+        """(function, lock) pairs where one invocation dropped and retook
+        the lock (only meaningful with ``track_reentry=True``)."""
+        return sorted({(func, lock)
+                       for (func, _fid, lock), n
+                       in self.reentry_sessions.items() if n > 1})
+
+    def dynamic_kinds(self) -> set[str]:
+        """Finding kinds the run actually witnessed (mutant-corpus parity)."""
+        kinds = set()
+        if self.order_cycles():
+            kinds.add(KIND_LOCK_ORDER)
+        if self.racy_attrs():
+            kinds.add(KIND_ATOMICITY)
+        if self.slow_holds():
+            kinds.add(KIND_BLOCKING)
+        if self.waits_not_in_loop():
+            kinds.add(KIND_WAIT_LOOP)
+        if self.notify_violations:
+            kinds.add(KIND_NOTIFY)
+        if self.leaked_locks():
+            kinds.add(KIND_RELEASE)
+        if self.reentry_functions():
+            kinds.add(KIND_REENTRY)
+        return kinds
+
+
+class TracedLock:
+    """Delegating wrapper around a ``Lock``/``RLock`` that reports to a
+    :class:`LockWitness`.  Mutual exclusion stays with the wrapped inner
+    lock, so traced and untraced references interoperate."""
+
+    def __init__(self, name: str, inner, witness: LockWitness):
+        self.name = name
+        self.inner = inner
+        self.witness = witness
+
+    def _caller(self):
+        # walk out of our own frames (acquire/__enter__) and threading.py
+        # (Condition delegation) to the user frame that took the lock
+        frame = sys._getframe(1)
+        while frame is not None and (
+                frame.f_code.co_filename == __file__
+                or frame.f_code.co_filename.endswith("threading.py")):
+            frame = frame.f_back
+        return frame
+
+    def acquire(self, blocking: bool = True, timeout: float = -1):
+        got = self.inner.acquire(blocking, timeout)
+        if got:
+            self.witness.on_acquire(self.name, self._caller())
+        return got
+
+    def release(self) -> None:
+        self.witness.on_release(self.name)
+        self.inner.release()
+
+    def __enter__(self):
+        self.acquire()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.release()
+
+    def locked(self) -> bool:
+        return self.inner.locked()
+
+    def __getattr__(self, item):
+        # delegate RLock internals (_release_save/_acquire_restore/
+        # _is_owned) so threading.Condition can drive the inner lock;
+        # the stack entry simply persists across the wait, which is
+        # harmless because the waiting thread acquires nothing meanwhile
+        return getattr(self.inner, item)
+
+
+class TracedCondition(threading.Condition):
+    """``threading.Condition`` over a :class:`TracedLock` that also records
+    wait call sites and notify discipline."""
+
+    def __init__(self, lock: TracedLock, name: str, witness: LockWitness):
+        super().__init__(lock)
+        self._witness = witness
+        self._name = name
+        self._lock_name = lock.name
+
+    def wait(self, timeout: float | None = None):
+        frame = sys._getframe(1)
+        self._witness.record_wait_site(self._name, frame)
+        return super().wait(timeout)
+
+    def _owned_here(self) -> bool:
+        return self._lock_name in self._witness.held_names()
+
+    def notify(self, n: int = 1) -> None:
+        if not self._owned_here():
+            self._witness.record_notify_violation(
+                self._name, sys._getframe(1).f_code.co_name)
+        super().notify(n)
+
+    def notify_all(self) -> None:
+        if not self._owned_here():
+            self._witness.record_notify_violation(
+                self._name, sys._getframe(1).f_code.co_name)
+        super().notify_all()
+
+
+def instrument_object(witness: LockWitness, obj, prefix: str | None = None
+                      ) -> list[str]:
+    """Swap *obj*'s lock attributes for traced wrappers.
+
+    Returns the instrumented attribute names.  Conditions are rebuilt
+    around the traced underlying lock (aliasing detected by identity), so
+    call this before any thread is parked in a wait.
+    """
+    prefix = prefix or type(obj).__name__
+    d = getattr(obj, "__dict__", None)
+    if d is None:
+        return []
+    done: list[str] = []
+    by_identity: dict[int, TracedLock] = {}
+    for attr, val in sorted(d.items()):
+        if isinstance(val, _LOCK_TYPES):
+            traced = TracedLock(f"{prefix}.{attr}", val, witness)
+            by_identity[id(val)] = traced
+            setattr(obj, attr, traced)
+            done.append(attr)
+    for attr, val in sorted(d.items()):
+        if isinstance(val, threading.Condition):
+            inner = val._lock
+            traced = by_identity.get(id(inner))
+            if traced is None:
+                if isinstance(inner, TracedLock):
+                    traced = inner
+                else:
+                    traced = TracedLock(f"{prefix}.{attr}", inner, witness)
+            setattr(obj, attr,
+                    TracedCondition(traced, f"{prefix}.{attr}", witness))
+            done.append(attr)
+    return done
+
+
+def instrument_locks(witness: LockWitness, *objects,
+                     prefixes: dict[int, str] | None = None
+                     ) -> dict[str, list[str]]:
+    """Instrument several objects at once; returns {prefix: [attrs]}."""
+    out: dict[str, list[str]] = {}
+    for obj in objects:
+        prefix = (prefixes or {}).get(id(obj)) or type(obj).__name__
+        out[prefix] = instrument_object(witness, obj, prefix=prefix)
+    return out
+
+
+def watch_attrs(witness: LockWitness, obj, attrs: list[str],
+                prefix: str | None = None) -> None:
+    """Sample the lockset of every access to *attrs* on *obj*.
+
+    Implemented by retyping *obj* to a synthesized subclass whose data
+    descriptors report each read/write together with the locks the
+    accessing thread currently holds (per the witness stacks).
+    """
+    prefix = prefix or type(obj).__name__
+    cls = type(obj)
+    namespace = {}
+    for attr in attrs:
+        secret = f"_watched__{attr}"
+        key = f"{prefix}.{attr}"
+
+        def make_property(secret=secret, key=key):
+            def fget(self):
+                witness.record_access(key, "read")
+                return self.__dict__[secret]
+
+            def fset(self, value):
+                witness.record_access(key, "write")
+                self.__dict__[secret] = value
+
+            return property(fget, fset)
+
+        namespace[attr] = make_property()
+    sub = type(f"{cls.__name__}Watched", (cls,), namespace)
+    for attr in attrs:
+        if attr in obj.__dict__:
+            obj.__dict__[f"_watched__{attr}"] = obj.__dict__.pop(attr)
+    obj.__class__ = sub
+
+
+@dataclass
+class CrossValidation:
+    """Outcome of comparing static lock-order edges with the witness."""
+
+    confirmed: set[tuple[str, str]] = field(default_factory=set)
+    unobserved: set[tuple[str, str]] = field(default_factory=set)
+    #: static edges whose *reverse* was witnessed — a refutation of the
+    #: static total-order claim that must be empty on shipped code
+    inversions: set[tuple[str, str]] = field(default_factory=set)
+
+    @property
+    def ok(self) -> bool:
+        return not self.inversions
+
+
+def cross_validate(static_edges: set[tuple[str, str]],
+                   witness: LockWitness) -> CrossValidation:
+    """Compare per-class static edges (``ClassName.attr`` qualified) with
+    the witnessed acquisition DAG."""
+    seen = witness.witnessed_edges()
+    result = CrossValidation()
+    for edge in static_edges:
+        if edge in seen:
+            result.confirmed.add(edge)
+        else:
+            result.unobserved.add(edge)
+        if (edge[1], edge[0]) in seen:
+            result.inversions.add(edge)
+    return result
+
+
+def qualify_edges(cls_name: str,
+                  edges: dict[tuple[str, str], tuple[str, int]]
+                  ) -> set[tuple[str, str]]:
+    """Static per-class edges -> witness naming (``Class.attr`` pairs)."""
+    return {(f"{cls_name}.{a}", f"{cls_name}.{b}") for a, b in edges}

@@ -43,6 +43,9 @@ PAPER_HEADLINES: dict[str, str] = {
     "analyze": "static race/barrier/codegen checking of the fused kernels, "
                "cross-validated by a dynamic sanitizer (correctness gate; "
                "no paper headline)",
+    "host-analyze": "lock-discipline checking of the serve/cluster/engine "
+                    "host stack, cross-validated by a dynamic lock-order "
+                    "witness (correctness gate; no paper headline)",
     "codegen": "specialized code generation for the fused kernel "
                "(Section 4 codegen, host-level analogue: specialization "
                "constants baked at compile time; no paper headline)",
@@ -89,6 +92,14 @@ def measured_headline(name: str, res: ExperimentResult) -> str:
                       if s.startswith("badkernels")]
             return (f"{clean} findings over the shipped + generated "
                     f"scopes; corpus: {'; '.join(corpus) or 'skipped'}")
+        if name == "host-analyze":
+            rows = {r[0]: r for r in res.rows}
+            active = sum(r[1] for s, r in rows.items()
+                         if s.startswith("shipped"))
+            extra = [r[2] for s, r in rows.items()
+                     if not s.startswith("shipped")]
+            return (f"{active} active findings over the shipped host "
+                    f"stack; {'; '.join(extra) or 'corpus skipped'}")
         if name == "codegen":
             per_call = dict(zip(res.column("series"),
                                 res.column("per_call_ms")))

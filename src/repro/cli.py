@@ -396,21 +396,40 @@ def cmd_trace(args: argparse.Namespace) -> int:
 
 
 def cmd_check(args: argparse.Namespace) -> int:
-    """Static race/barrier/codegen analysis; exit 1 on any finding."""
-    from .analyze import findings_json, findings_text, parse_grid, run_check
+    """Static kernel + host-concurrency analysis; exit 1 on any finding."""
+    from .analyze import (HOST_MODULE_FILES, findings_json, findings_text,
+                          parse_grid, run_check, run_host_check)
+    scope = args.scope
+    if scope not in ("all", "kernels", "host"):
+        raise ValueError(
+            f"unknown scope {scope!r}; expected kernels, host, or all")
     try:
         grid = parse_grid(args.grid)
-        findings = run_check(paths=args.paths or None, grid=grid)
+        findings, suppressed = [], []
+        if scope in ("kernels", "all"):
+            findings.extend(run_check(paths=args.paths or None, grid=grid))
+        if scope in ("host", "all"):
+            host_active, host_supp = run_host_check(args.paths or None)
+            findings.extend(host_active)
+            suppressed.extend(host_supp)
     except KeyboardInterrupt:
         print("repro check: interrupted", file=sys.stderr)
         return 130
     if args.json:
-        print(findings_json(findings))
+        print(findings_json(findings, suppressed))
     else:
-        checked = (f"{len(args.paths)} kernel file(s)" if args.paths
-                   else f"shipped kernels + {len(grid)} generated "
-                        "specializations + fusion + AOT sparse sources")
-        print(findings_text(findings, checked))
+        if args.paths:
+            checked = f"{len(args.paths)} file(s)"
+        else:
+            parts = []
+            if scope in ("kernels", "all"):
+                parts.append(f"shipped kernels + {len(grid)} generated "
+                             "specializations + fusion + AOT sparse sources")
+            if scope in ("host", "all"):
+                parts.append(f"{len(HOST_MODULE_FILES)} host module(s)")
+            checked = " + ".join(parts)
+        print(findings_text(findings, checked,
+                            suppressed_count=len(suppressed)))
     return 1 if findings else 0
 
 
@@ -742,10 +761,16 @@ def build_parser() -> argparse.ArgumentParser:
 
     ck = sub.add_parser("check",
                         help="static race/barrier/codegen analysis of the "
-                             "SIMT kernels (exit 1 on any finding)")
+                             "SIMT kernels and lock-discipline analysis of "
+                             "the threaded host stack (exit 1 on any "
+                             "finding)")
     ck.add_argument("paths", nargs="*",
-                    help="kernel files to analyze (default: shipped "
-                         "kernels + generated specializations)")
+                    help="files to analyze (default: shipped kernels + "
+                         "generated specializations and/or the shipped "
+                         "host modules, per --scope)")
+    ck.add_argument("--scope", default="all",
+                    help="kernels | host | all (default all): SIMT kernel "
+                         "checkers, host lock-discipline checkers, or both")
     ck.add_argument("--json", action="store_true",
                     help="machine-readable findings on stdout")
     ck.add_argument("--grid", default="2x2,4x2,4x4,8x2,8x4,16x2,32x2",

@@ -56,8 +56,9 @@ class ShardChannel:
     # ----------------------------------------------------------------- state
     @property
     def healthy(self) -> bool:
-        if not self._healthy:
-            return False
+        with self._lock:
+            if not self._healthy:
+                return False
         if self.process is not None and not self.process.is_alive():
             return False
         return True

@@ -124,6 +124,8 @@ class ClusterFuture:
     def result(self, timeout: float | None = None) -> ClusterResponse:
         if not self._event.wait(timeout):
             raise TimeoutError("request was not resolved within the timeout")
+        # Event.wait() publication barrier, as in ServeFuture.result
+        # analyze: allow(atomicity)
         assert self._response is not None
         return self._response
 

@@ -113,7 +113,9 @@ class ShardRouter:
             "rejected", "retries", "reuploads", "routed_primary",
             "routed_replica", "shed", "submitted", "timeout", "uploads")}
         self._next_id = 0
-        self._accepting = False
+        # an Event, not a bare bool: flipped under the lifecycle lock but
+        # read on the submit fast path under the routing lock only
+        self._accepting = threading.Event()
         self._stopped = False
         self._shutdown_complete = False
         self._lifecycle_lock = threading.RLock()
@@ -128,7 +130,9 @@ class ShardRouter:
             self.start()
 
     # ------------------------------------------------------------- lifecycle
-    def start(self) -> "ShardRouter":
+    # the worker-spawn handshake (pipe poll/recv) deliberately runs under
+    # the lifecycle lock so a concurrent stop() cannot interleave with it
+    def start(self) -> "ShardRouter":  # analyze: allow(lock-held-blocking)
         """Spawn workers, connect channels, start the heartbeat."""
         with self._lifecycle_lock:
             if self._stopped:
@@ -160,7 +164,7 @@ class ShardRouter:
                 target=self._heartbeat_loop, name="repro-cluster-heartbeat",
                 daemon=True)
             self._heartbeat.start()
-            self._accepting = True
+            self._accepting.set()
         return self
 
     def __enter__(self) -> "ShardRouter":
@@ -169,7 +173,9 @@ class ShardRouter:
     def __exit__(self, *exc) -> None:
         self.stop()
 
-    def stop(self) -> None:
+    # draining/joining under the lifecycle lock is the shutdown contract:
+    # a concurrent stop() must observe a fully-reaped router
+    def stop(self) -> None:  # analyze: allow(lock-held-blocking)
         """Graceful drain: live requests finish (or fail over), queued
         worker backlogs reject deterministically, processes join.
 
@@ -180,7 +186,7 @@ class ShardRouter:
             if self._shutdown_complete:
                 return
             self._stopped = True
-            self._accepting = False
+            self._accepting.clear()
             self._close_frontend()
             deadline = time.monotonic() + self.config.drain_timeout_s
             with self._live_cond:
@@ -194,9 +200,12 @@ class ShardRouter:
                     fingerprint=ticket.request.fingerprint,
                     reason="router shutdown before completion",
                     attempts=ticket.attempts), count=False)
-            for timer in list(self._timers):
+            # _retry mutates _timers under the routing lock; swap the set
+            # out under that same lock before cancelling
+            with self._lock:
+                timers, self._timers = list(self._timers), set()
+            for timer in timers:
                 timer.cancel()
-            self._timers.clear()
             # ask every live worker to drain, then reap
             acks = []
             for shard, channel in self._channels.items():
@@ -238,7 +247,7 @@ class ShardRouter:
                 ticket = _RouterTicket(id=self._next_id, request=request,
                                        submitted_at=time.monotonic())
                 self._counters["submitted"] += 1
-                accepting = self._accepting
+                accepting = self._accepting.is_set()
                 known = request.fingerprint in self._matrices
             sp.set("rid", ticket.id)
             if not accepting:
@@ -267,7 +276,9 @@ class ShardRouter:
         return self.submit(request).result(timeout)
 
     # --------------------------------------------------------------- routing
-    def _healthy_shards(self) -> list[int]:
+    # _channels is sealed in start() before the heartbeat and any frontend
+    # thread exists; post-start it is read-only, so bare reads are safe
+    def _healthy_shards(self) -> list[int]:  # analyze: allow(atomicity)
         return [s for s, c in self._channels.items() if c.healthy]
 
     def _route(self, ticket: _RouterTicket) -> int | None:
@@ -498,6 +509,7 @@ class ShardRouter:
         with self._lock:
             counters = {k: self._counters[k] for k in sorted(self._counters)}
             live = len(self._live)
+            hot = {fp: reps for fp, reps in sorted(self._hot.items())}
         per_shard = {}
         for shard, channel in sorted(self._channels.items()):
             entry = {
@@ -519,8 +531,7 @@ class ShardRouter:
                        "shards": len(self._channels),
                        "shards_healthy": len(self._healthy_shards())},
             "hotkeys": self.tracker.snapshot(),
-            "replicated": {fp: reps for fp, reps
-                           in sorted(self._hot.items())},
+            "replicated": hot,
             "shards": per_shard,
         }
 
@@ -551,7 +562,9 @@ class ShardRouter:
     def _accept_loop(self) -> None:
         listener = self._listener
         assert listener is not None
-        while not self._stopped:
+        # monotonic shutdown latch polled every 200ms; a stale read only
+        # delays loop exit by one accept timeout
+        while not self._stopped:  # analyze: allow(atomicity)
             try:
                 conn, _ = listener.accept()
             except socket.timeout:
@@ -620,7 +633,8 @@ class ShardRouter:
             except OSError:
                 pass
 
-    def _close_frontend(self) -> None:
+    # joins run from stop() under the lifecycle lock by design (see stop)
+    def _close_frontend(self) -> None:  # analyze: allow(lock-held-blocking)
         if self._listener is not None:
             try:
                 self._listener.close()

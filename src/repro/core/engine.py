@@ -488,13 +488,11 @@ class PatternEngine:
         """
         with self._lock:
             entry = self._pinned.get(id(X))
-        if entry is not None:
-            ref, fp, arrays = entry
-            if ref() is X and self._pin_intact(X, arrays):
-                with self._lock:
+            if entry is not None:
+                ref, fp, arrays = entry
+                if ref() is X and self._pin_intact(X, arrays):
                     self._stats.pinned_fingerprint_hits += 1
-                return fp, True
-            with self._lock:
+                    return fp, True
                 self._pinned.pop(id(X), None)
         return fingerprint_matrix(X), False
 
@@ -574,6 +572,9 @@ class PatternEngine:
             entry = self._resolve(p, strategy)
             with self._lock:
                 self._stats.plan_misses += 1
+                # racing resolves build identical plans for the same key, so
+                # the re-insert after dropping the lock is idempotent
+                # analyze: allow(lock-drop-reentry)
                 self._plans[key] = entry
                 while len(self._plans) > self.max_plans:
                     self._plans.popitem(last=False)
@@ -839,8 +840,13 @@ class PatternEngine:
                          + XT.row_off.nbytes)
             sp.count(bytes_built=nbytes, nnz=X.nnz)
         with self._lock:
+            existing = self._artifacts.get(akey)
+            if existing is not None:          # lost a build race: keep first
+                return existing.value, trans_res, False
             self._stats.artifact_misses += 1
             self._stats.transposes_built += 1
+            # keep-first recheck above makes the dropped-lock rebuild safe
+            # analyze: allow(lock-drop-reentry)
             self._artifacts[akey] = ArtifactEntry(
                 "csr2csc", XT, nbytes, trans_res.time_ms)
             self._artifact_bytes += nbytes

@@ -143,6 +143,9 @@ class ServeFuture:
     def result(self, timeout: float | None = None) -> ServeResponse:
         if not self._event.wait(timeout):
             raise TimeoutError("request was not resolved within the timeout")
+        # Event.wait() is the publication barrier: resolve() stores the
+        # response before set(), so the bare read is ordered after it
+        # analyze: allow(atomicity)
         assert self._response is not None
         return self._response
 

@@ -101,7 +101,10 @@ class PatternServer:
             target=self._schedule_loop, name="repro-serve-scheduler",
             daemon=True)
         self._stop_event = threading.Event()
-        self._accepting = True
+        # an Event, not a bare bool: submit() checks it without taking the
+        # lifecycle lock, so the flag needs its own synchronization
+        self._accepting = threading.Event()
+        self._accepting.set()
         self._stopped = False
         self._shutdown_complete = False
         # reentrant: an interrupted stop() may be retried from the same
@@ -128,7 +131,9 @@ class PatternServer:
                     pass
         return self
 
-    def stop(self) -> None:
+    # joining the scheduler/pool under the lifecycle lock is the point:
+    # concurrent stop()/start() calls must observe a completed shutdown
+    def stop(self) -> None:  # analyze: allow(lock-held-blocking)
         """Graceful shutdown: drain in-flight work, reject queued requests.
 
         Safe to call more than once, including again after a
@@ -141,7 +146,7 @@ class PatternServer:
             if self._shutdown_complete:
                 return
             self._stopped = True
-            self._accepting = False
+            self._accepting.clear()
             started = self._scheduler.ident is not None
             self._queue.close()
             self._stop_event.set()
@@ -196,7 +201,7 @@ class PatternServer:
                 tier=spec.name, slo_ms=slo_ms)
             self.metrics.inc("submitted")
             sp.set("rid", rid)
-            if not self._accepting:
+            if not self._accepting.is_set():
                 self._reject(ticket, "server shutdown")
                 sp.set("outcome", "rejected")
                 return ticket.future
@@ -212,7 +217,7 @@ class PatternServer:
                 offered = self._queue.offer(ticket, block=block,
                                             timeout=timeout)
             if not offered:
-                if self._accepting and not self._queue.closed:
+                if self._accepting.is_set() and not self._queue.closed:
                     sp.set("outcome", "shed")
                     self._shed(ticket,
                                f"admission queue full "

@@ -13,7 +13,7 @@ paper's "transparently selects our fused GPU kernel" integration.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any
 
 import numpy as np

@@ -17,7 +17,7 @@ and data transformations" can be reproduced quantitatively.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from ..gpu.device import DeviceSpec, GTX_TITAN
 from ..gpu.transfer import TransferModel

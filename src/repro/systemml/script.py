@@ -29,10 +29,7 @@ import numpy as np
 
 from ..ml.runtime import MLRuntime
 from ..sparse.csr import CsrMatrix
-from .dag import Add, EwMul, FusedPattern, Input, MatVec, Node, Smul, \
-    Transpose
 from .parser import DmlSyntaxError
-from .rewriter import rewrite
 
 
 class DmlRuntimeError(RuntimeError):

@@ -1,0 +1,43 @@
+"""Seeded mutant: a socket recv inside the critical section.  Every
+other thread contending on the lock stalls for the full network
+timeout."""
+
+import socket
+import threading
+
+EXPECTED_KIND = "lock-held-blocking"
+
+#: the dynamic verdict: any lock held longer than this was blocking
+WITNESS = {"hold_threshold_ms": 25.0}
+
+
+class LinkPoller:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._sock = None
+
+    def attach(self, sock):
+        with self._lock:
+            self._sock = sock
+
+    def poll_once(self):
+        with self._lock:
+            try:
+                return self._sock.recv(1)   # BUG: blocking recv under lock
+            except OSError:
+                return b""
+
+
+def build():
+    return LinkPoller()
+
+
+def drive(obj):
+    a, b = socket.socketpair()
+    try:
+        a.settimeout(0.05)                  # recv stalls ~50ms > threshold
+        obj.attach(a)
+        obj.poll_once()
+    finally:
+        a.close()
+        b.close()

@@ -1,0 +1,35 @@
+"""Seeded mutant: check-then-act split across two critical sections of
+the same lock — between the lookup and the insert another thread may
+have inserted, and the second section blindly overwrites."""
+
+import threading
+
+EXPECTED_KIND = "lock-drop-reentry"
+
+WITNESS = {"track_reentry": True}
+
+
+class PlanCache:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._plans = {}
+        self._builds = 0
+
+    def lookup(self, key):
+        with self._lock:
+            plan = self._plans.get(key)
+        if plan is None:
+            plan = ("compiled", key)
+            with self._lock:                # BUG: world changed meanwhile
+                self._builds += 1
+                self._plans[key] = plan
+        return plan
+
+
+def build():
+    return PlanCache()
+
+
+def drive(obj):
+    obj.lookup("k")
+    obj.lookup("k")

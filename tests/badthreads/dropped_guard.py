@@ -1,0 +1,30 @@
+"""Seeded mutant: a shared counter is written under its lock but read
+bare on the fast path — a racing reader can see torn/stale state."""
+
+import threading
+
+EXPECTED_KIND = "atomicity"
+
+WATCH_ATTRS = ["_count"]
+
+
+class SharedCounter:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._count = 0
+
+    def inc(self):
+        with self._lock:
+            self._count += 1
+
+    def peek(self):
+        return self._count            # BUG: read without the lock
+
+
+def build():
+    return SharedCounter()
+
+
+def drive(obj):
+    obj.inc()
+    obj.peek()

@@ -1,0 +1,40 @@
+"""Seeded mutant: two methods acquire the same pair of locks in opposite
+orders.  Two threads running link() and unlink() concurrently can each
+grab their first lock and wait forever for the other's."""
+
+import threading
+
+EXPECTED_KIND = "lock-order-cycle"
+
+
+class DualIndex:
+    """Forward/reverse index whose maintenance paths disagree on order."""
+
+    def __init__(self):
+        self._fwd_lock = threading.Lock()
+        self._rev_lock = threading.Lock()
+        self._fwd = {}
+        self._rev = {}
+
+    def link(self, key, value):
+        with self._fwd_lock:
+            with self._rev_lock:
+                self._fwd[key] = value
+                self._rev[value] = key
+
+    def unlink(self, value):
+        with self._rev_lock:          # BUG: reverse of link()'s order
+            with self._fwd_lock:
+                key = self._rev.pop(value, None)
+                if key is not None:
+                    self._fwd.pop(key, None)
+
+
+def build():
+    return DualIndex()
+
+
+def drive(obj):
+    # sequential execution witnesses both orders without deadlocking
+    obj.link("a", 1)
+    obj.unlink(1)

@@ -1,0 +1,34 @@
+"""Seeded mutant: ``Condition.notify`` after the lock was already
+dropped — raises ``RuntimeError`` at runtime and the wakeup is lost."""
+
+import threading
+
+EXPECTED_KIND = "notify-without-lock"
+
+
+class Mailbox:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._ready = threading.Condition(self._lock)
+        self._items = []
+
+    def post(self, item):
+        with self._lock:
+            self._items.append(item)
+        self._ready.notify()                # BUG: lock already released
+
+    def drain_nowait(self):
+        with self._lock:
+            items, self._items = self._items, []
+            return items
+
+
+def build():
+    return Mailbox()
+
+
+def drive(obj):
+    try:
+        obj.post("x")
+    except RuntimeError:
+        pass

@@ -1,0 +1,36 @@
+"""Seeded mutant: bare ``acquire()`` with a raise path before the
+``release()`` — the exception leaks the lock and every later caller
+deadlocks."""
+
+import threading
+
+EXPECTED_KIND = "release-on-exception"
+
+
+class Ledger:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._balance = 0
+
+    def deposit(self, n):
+        with self._lock:
+            self._balance += n
+
+    def withdraw(self, n):
+        self._lock.acquire()                # BUG: no try/finally
+        if n > self._balance:
+            raise ValueError("insufficient funds")
+        self._balance -= n
+        self._lock.release()
+
+
+def build():
+    return Ledger()
+
+
+def drive(obj):
+    obj.deposit(5)
+    try:
+        obj.withdraw(10)                    # raises with the lock held
+    except ValueError:
+        pass

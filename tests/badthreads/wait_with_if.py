@@ -1,0 +1,35 @@
+"""Seeded mutant: ``Condition.wait`` guarded by ``if`` instead of
+``while`` — a spurious wakeup or stolen notification leaves the caller
+proceeding on a false predicate."""
+
+import threading
+
+EXPECTED_KIND = "wait-not-in-loop"
+
+
+class Gate:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._cond = threading.Condition(self._lock)
+        self._open = False
+
+    def release_waiters(self):
+        with self._cond:
+            self._open = True
+            self._cond.notify_all()
+
+    def await_open(self, timeout=0.02):
+        with self._cond:
+            if not self._open:              # BUG: must be a while loop
+                self._cond.wait(timeout)
+            return self._open
+
+
+def build():
+    return Gate()
+
+
+def drive(obj):
+    obj.await_open(0.02)                    # times out: wait site executes
+    obj.release_waiters()
+    obj.await_open(0.02)

@@ -1,0 +1,98 @@
+"""The badthreads corpus contract: every seeded host-concurrency mutant
+is caught statically, reproduced dynamically by the lock witness, and the
+two verdicts agree — mirroring ``tests/test_badkernels.py``.
+
+Fixture protocol (see ``tests/badthreads/README.md``): ``EXPECTED_KIND``,
+``build()``, ``drive(obj)``, optional ``WATCH_ATTRS``/``WITNESS``.
+"""
+
+import importlib.util
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.analyze.host import analyze_host_file
+from repro.analyze.host.hostmodel import HOST_KINDS
+from repro.analyze.host.witness import (LockWitness, instrument_object,
+                                        watch_attrs)
+from repro.cli import main
+
+CORPUS_DIR = Path(__file__).parent / "badthreads"
+CORPUS = sorted(CORPUS_DIR.glob("*.py"))
+
+params = pytest.mark.parametrize("path", CORPUS, ids=lambda p: p.stem)
+
+
+def load_fixture(path: Path):
+    spec = importlib.util.spec_from_file_location(
+        f"badthreads_{path.stem}", path)
+    mod = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(mod)
+    return mod
+
+
+def run_witnessed(mod):
+    """Drive the fixture scenario under full instrumentation."""
+    witness = LockWitness(**getattr(mod, "WITNESS", {}))
+    obj = mod.build()
+    instrument_object(witness, obj)
+    if getattr(mod, "WATCH_ATTRS", None):
+        watch_attrs(witness, obj, mod.WATCH_ATTRS)
+    mod.drive(obj)
+    return witness
+
+
+def test_corpus_is_present():
+    assert len(CORPUS) >= 6
+    kinds = {load_fixture(p).EXPECTED_KIND for p in CORPUS}
+    assert kinds <= set(HOST_KINDS)
+    # the corpus exercises every rule in the catalog
+    assert kinds == set(HOST_KINDS)
+
+
+@params
+def test_static_flags_expected_kind(path):
+    mod = load_fixture(path)
+    active, suppressed = analyze_host_file(str(path))
+    assert not suppressed, "mutants must not carry suppressions"
+    assert {f.kind for f in active} == {mod.EXPECTED_KIND}
+    for f in active:
+        assert f.file == str(path)
+        assert f.line > 0 and f.kernel and f.message
+
+
+@params
+def test_dynamic_reproduces_expected_kind(path):
+    mod = load_fixture(path)
+    witness = run_witnessed(mod)
+    assert mod.EXPECTED_KIND in witness.dynamic_kinds()
+
+
+@params
+def test_static_and_dynamic_agree(path):
+    mod = load_fixture(path)
+    active, _ = analyze_host_file(str(path))
+    witness = run_witnessed(mod)
+    assert ({f.kind for f in active} == witness.dynamic_kinds()
+            == {mod.EXPECTED_KIND})
+
+
+def test_cli_flags_whole_corpus(capsys):
+    rc = main(["check", "--scope", "host"]
+              + [str(p) for p in CORPUS])
+    assert rc == 1
+    out = capsys.readouterr().out
+    # one line per finding plus the summary
+    assert f"{len(CORPUS)} file(s)" in out
+
+
+def test_cli_json_lists_every_expected_kind(capsys):
+    rc = main(["check", "--scope", "host", "--json"]
+              + [str(p) for p in CORPUS])
+    assert rc == 1
+    findings = json.loads(capsys.readouterr().out)
+    flagged = {(Path(f["file"]).name, f["kind"]) for f in findings}
+    expected = {(p.name, load_fixture(p).EXPECTED_KIND) for p in CORPUS}
+    assert expected <= flagged
+    assert all(f["suppressed"] is False for f in findings)

@@ -143,6 +143,27 @@ class TestFileGuards:
         assert _exit_code(["check", "--grid", ","]) == 1
         assert "empty" in capsys.readouterr().err
 
+    def test_check_zero_grid_dimension(self, capsys):
+        assert _exit_code(["check", "--grid", "0x4"]) == 1
+        err = capsys.readouterr().err
+        assert err.startswith("repro check:")
+        assert "positive" in err
+        assert len(err.strip().splitlines()) == 1
+
+    def test_check_unknown_scope(self, capsys):
+        assert _exit_code(["check", "--scope", "bogus"]) == 1
+        err = capsys.readouterr().err
+        assert err.startswith("repro check: unknown scope 'bogus'")
+        assert "kernels, host, or all" in err
+        assert len(err.strip().splitlines()) == 1
+
+    def test_check_host_scope_missing_file(self, tmp_path, capsys):
+        missing = str(tmp_path / "nope.py")
+        with pytest.raises(SystemExit) as exc:
+            main(["check", "--scope", "host", missing])
+        assert f"host module not found: {missing}" in str(exc.value.code)
+        assert _exit_code(["check", "--scope", "host", missing]) == 1
+
     def test_check_unparseable_kernel_file(self, tmp_path, capsys):
         path = tmp_path / "broken.py"
         path.write_text("def k(:\n")
@@ -215,7 +236,54 @@ class TestSuccessPaths:
     def test_check_json_output_parses(self, capsys):
         import json
         assert _exit_code(["check", "--json", "--grid", "4x2"]) == 0
+        findings = json.loads(capsys.readouterr().out)
+        # scope defaults to `all`: the host layer's deliberate patterns
+        # appear as suppressed entries, and none are active (exit 0)
+        assert all(f["suppressed"] for f in findings)
+
+    def test_check_kernels_scope_json_is_empty(self, capsys):
+        import json
+        assert _exit_code(["check", "--scope", "kernels", "--json",
+                           "--grid", "4x2"]) == 0
         assert json.loads(capsys.readouterr().out) == []
+
+    def test_check_host_scope_shipped_clean(self, capsys):
+        assert _exit_code(["check", "--scope", "host"]) == 0
+        out = capsys.readouterr().out
+        assert "0 finding(s)" in out
+        assert "host module(s)" in out
+        assert "suppressed" in out       # deliberate patterns stay visible
+
+    def test_check_all_scope_covers_both_layers(self, capsys):
+        assert _exit_code(["check", "--scope", "all"]) == 0
+        out = capsys.readouterr().out
+        assert "shipped kernels" in out and "host module(s)" in out
+
+    def test_check_host_json_schema_is_stable(self, capsys, tmp_path):
+        import json
+        bad = tmp_path / "racy.py"
+        bad.write_text(
+            "import threading\n"
+            "class C:\n"
+            "    def __init__(self):\n"
+            "        self._lock = threading.Lock()\n"
+            "        self._x = 0\n"
+            "    def bump(self):\n"
+            "        with self._lock:\n"
+            "            self._x += 1\n"
+            "    def peek(self):\n"
+            "        return self._x\n")
+        assert _exit_code(["check", "--scope", "host", "--json",
+                           str(bad)]) == 1
+        findings = json.loads(capsys.readouterr().out)
+        assert isinstance(findings, list) and findings
+        for f in findings:
+            # flat dicts with deterministic, sorted keys
+            assert list(f) == sorted(f)
+            assert {"file", "kind", "kernel", "line",
+                    "message", "suppressed"} <= set(f)
+        keys = [(f["file"], f["line"], f["kind"]) for f in findings]
+        assert keys == sorted(keys)
 
     def test_loadgen_run_inline(self, tmp_path, capsys):
         assert _exit_code(["loadgen", str(tmp_path / "t.json"),

@@ -1,0 +1,335 @@
+"""Unit coverage for the host concurrency analyzer: model extraction
+(lock inventory, condition aliasing, held-set tracking, context
+propagation), checker precision dampers, suppression handling, and the
+shipped-code-is-clean gate."""
+
+import textwrap
+
+import pytest
+
+from repro.analyze.host import (HOST_MODULE_FILES, analyze_host_file,
+                                extract_classes, lock_order_edges,
+                                parse_suppressions, run_host_check)
+from repro.analyze.host.hostcheckers import check_class
+from repro.analyze.host.hostmodel import CONDITION, EVENT, LOCK, RLOCK
+
+
+def extract_one(source: str):
+    classes = extract_classes(textwrap.dedent(source))
+    assert len(classes) == 1
+    return classes[0]
+
+
+def kinds_of(source: str) -> set:
+    return {f.kind for f in check_class(extract_one(source))}
+
+
+class TestExtraction:
+    def test_lock_inventory_kinds(self):
+        cls = extract_one("""
+            import threading
+            class C:
+                def __init__(self):
+                    self._a = threading.Lock()
+                    self._b = threading.RLock()
+                    self._cv = threading.Condition(self._a)
+                    self._ev = threading.Event()
+        """)
+        assert cls.locks["_a"].kind == LOCK
+        assert cls.locks["_b"].kind == RLOCK
+        assert cls.locks["_cv"].kind == CONDITION
+        assert cls.locks["_ev"].kind == EVENT
+
+    def test_condition_aliases_to_underlying_lock(self):
+        cls = extract_one("""
+            import threading
+            class C:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self._not_empty = threading.Condition(self._lock)
+                    self._not_full = threading.Condition(self._lock)
+                    self._items = []
+                def push(self, v):
+                    with self._not_full:
+                        self._items.append(v)
+                def pop(self):
+                    with self._not_empty:
+                        return self._items.pop()
+        """)
+        assert cls.canonical("_not_empty") == "_lock"
+        assert cls.canonical("_not_full") == "_lock"
+        # both critical sections guard _items under the *same* canonical
+        # lock, so the lockset intersection is non-empty: no finding
+        assert not check_class(cls)
+
+    def test_bare_condition_owns_its_lock(self):
+        cls = extract_one("""
+            import threading
+            class C:
+                def __init__(self):
+                    self._cv = threading.Condition()
+        """)
+        assert cls.canonical("_cv") == "_cv"
+
+    def test_held_set_tracks_with_nesting(self):
+        cls = extract_one("""
+            import threading
+            class C:
+                def __init__(self):
+                    self._a = threading.Lock()
+                    self._b = threading.Lock()
+                def m(self):
+                    with self._a:
+                        with self._b:
+                            pass
+        """)
+        edges = lock_order_edges(cls)
+        assert set(edges) == {("_a", "_b")}
+
+    def test_init_accesses_are_exempt(self):
+        # bare writes in __init__ happen before publication
+        assert kinds_of("""
+            import threading
+            class C:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self._x = 0
+                def bump(self):
+                    with self._lock:
+                        self._x += 1
+        """) == set()
+
+    def test_nested_function_bodies_are_skipped(self):
+        # the callback body runs later under an unknown context; taking
+        # its bare read at face value would be a false positive
+        assert kinds_of("""
+            import threading
+            class C:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self._x = 0
+                def bump(self):
+                    with self._lock:
+                        self._x += 1
+                def watcher(self):
+                    def cb():
+                        return self._x
+                    return cb
+        """) == set()
+
+    def test_context_propagation_through_locked_helper(self):
+        # the _locked-suffix helper pattern: bare accesses are fine
+        # because every caller already holds the lock
+        assert kinds_of("""
+            import threading
+            class C:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self._counts = {}
+                def record(self, k):
+                    with self._lock:
+                        self._bump_locked(k)
+                def snapshot(self):
+                    with self._lock:
+                        self._bump_locked(None)
+                        return dict(self._counts)
+                def _bump_locked(self, k):
+                    if k is not None:
+                        self._counts[k] = self._counts.get(k, 0) + 1
+        """) == set()
+
+    def test_thread_target_is_an_entry_point(self):
+        # a private method only *referenced* (Thread target) is an entry:
+        # its bare write races with the locked writer
+        assert kinds_of("""
+            import threading
+            class C:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self._state = 0
+                    self._t = threading.Thread(target=self._loop)
+                def set_state(self, v):
+                    with self._lock:
+                        self._state = v
+                def _loop(self):
+                    self._state = 1
+        """) == {"atomicity"}
+
+    def test_event_attrs_exempt_from_atomicity(self):
+        assert kinds_of("""
+            import threading
+            class C:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self._stop = threading.Event()
+                def stop(self):
+                    with self._lock:
+                        self._stop.set()
+                def running(self):
+                    return not self._stop.is_set()
+        """) == set()
+
+
+class TestCheckerDampers:
+    def test_unlocked_only_attr_is_quiet(self):
+        # never written under a lock -> single-thread state, no finding
+        assert kinds_of("""
+            import threading
+            class C:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self._ticks = 0
+                def loop_body(self):
+                    self._ticks += 1
+                def read(self):
+                    return self._ticks
+        """) == set()
+
+    def test_condition_wait_does_not_block_its_own_lock(self):
+        assert kinds_of("""
+            import threading
+            class C:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self._cv = threading.Condition(self._lock)
+                    self._ready = False
+                def consume(self):
+                    with self._cv:
+                        while not self._ready:
+                            self._cv.wait(0.1)
+                def produce(self):
+                    with self._cv:
+                        self._ready = True
+                        self._cv.notify_all()
+        """) == set()
+
+    def test_wait_holding_second_lock_is_blocking(self):
+        assert kinds_of("""
+            import threading
+            class C:
+                def __init__(self):
+                    self._a = threading.Lock()
+                    self._lock = threading.Lock()
+                    self._cv = threading.Condition(self._lock)
+                    self._ready = False
+                def consume(self):
+                    with self._a:
+                        with self._cv:
+                            while not self._ready:
+                                self._cv.wait(0.1)
+        """) == {"lock-held-blocking"}
+
+    def test_wait_for_is_exempt_from_loop_rule(self):
+        assert kinds_of("""
+            import threading
+            class C:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self._cv = threading.Condition(self._lock)
+                    self._ready = False
+                def consume(self):
+                    with self._cv:
+                        self._cv.wait_for(lambda: self._ready, 0.1)
+        """) == set()
+
+    def test_try_finally_release_is_safe(self):
+        assert kinds_of("""
+            import threading
+            class C:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self._x = 0
+                def m(self):
+                    self._lock.acquire()
+                    try:
+                        self._x += 1
+                    finally:
+                        self._lock.release()
+                def read(self):
+                    with self._lock:
+                        return self._x
+        """) == set()
+
+    def test_reentry_requires_write_in_later_section(self):
+        # read in CS1, read again in CS2: no reentry hazard
+        assert kinds_of("""
+            import threading
+            class C:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self._d = {}
+                def peek_twice(self, k):
+                    with self._lock:
+                        a = self._d.get(k)
+                    with self._lock:
+                        b = self._d.get(k)
+                    return a, b
+        """) == set()
+
+
+class TestSuppressions:
+    SOURCE = textwrap.dedent("""
+        import threading
+        class C:
+            def __init__(self):
+                self._lock = threading.Lock()
+                self._x = 0
+            def bump(self):
+                with self._lock:
+                    self._x += 1
+            def peek(self):
+                # analyze: allow(atomicity)
+                return self._x
+    """)
+
+    def test_parse_suppressions(self):
+        supp = parse_suppressions(self.SOURCE)
+        assert frozenset({"atomicity"}) in supp.values()
+
+    def test_suppressed_finding_is_reported_separately(self, tmp_path):
+        path = tmp_path / "mod.py"
+        path.write_text(self.SOURCE)
+        active, suppressed = analyze_host_file(str(path))
+        assert active == []
+        assert [f.kind for f in suppressed] == ["atomicity"]
+
+    def test_method_scoped_allow_on_def_line(self, tmp_path):
+        path = tmp_path / "mod.py"
+        path.write_text(self.SOURCE.replace(
+            "            def peek(self):",
+            "            def peek(self):  # analyze: allow(all)").replace(
+            "                # analyze: allow(atomicity)\n", ""))
+        active, suppressed = analyze_host_file(str(path))
+        assert active == []
+        assert len(suppressed) == 1
+
+    def test_unrelated_allow_does_not_mask(self, tmp_path):
+        path = tmp_path / "mod.py"
+        path.write_text(self.SOURCE.replace("allow(atomicity)",
+                                            "allow(lock-order-cycle)"))
+        active, _ = analyze_host_file(str(path))
+        assert [f.kind for f in active] == ["atomicity"]
+
+
+class TestShippedCode:
+    def test_shipped_host_modules_are_clean(self):
+        active, suppressed = run_host_check()
+        assert active == [], "\n".join(f.describe() for f in active)
+        # the deliberate patterns stay visible as suppressions
+        assert suppressed
+
+    def test_every_host_module_exists(self):
+        import os
+        for path in HOST_MODULE_FILES:
+            assert os.path.exists(path), path
+
+    def test_shipped_lock_order_graph_is_acyclic(self):
+        from repro.analyze.host import host_classes
+        from repro.analyze.host.hostcheckers import _cycles
+        for path in HOST_MODULE_FILES:
+            for cls in host_classes(path):
+                assert _cycles(lock_order_edges(cls)) == []
+
+    def test_missing_path_exits_with_one_liner(self):
+        with pytest.raises(SystemExit, match="host module not found"):
+            run_host_check(["/nonexistent/mod.py"])
